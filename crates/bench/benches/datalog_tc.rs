@@ -1,0 +1,47 @@
+//! EX-TC — §3.1 transitive closure, with the naive-vs-semi-naive
+//! ablation DESIGN.md calls out. The paper's claim being exercised: the
+//! minimum model is computed by forward chaining; semi-naive evaluation
+//! avoids rederivations and should win by a growing factor on graphs
+//! with long paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unchained_bench::{graph_workloads, must_parse};
+use unchained_common::Interner;
+use unchained_core::{naive, seminaive, EvalOptions};
+use unchained_harness::programs::TC;
+
+fn bench_tc(c: &mut Criterion) {
+    let mut interner = Interner::new();
+    let program = must_parse(TC, &mut interner);
+    let workloads = graph_workloads(&mut interner, &[16, 32, 64]);
+
+    let mut group = c.benchmark_group("datalog_tc");
+    group.sample_size(10);
+    for w in &workloads {
+        group.bench_with_input(
+            BenchmarkId::new("naive", &w.label),
+            &w.input,
+            |b, input| {
+                b.iter(|| {
+                    naive::minimum_model(&program, black_box(input), EvalOptions::default())
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("seminaive", &w.label),
+            &w.input,
+            |b, input| {
+                b.iter(|| {
+                    seminaive::minimum_model(&program, black_box(input), EvalOptions::default())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tc);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! EXT-EXCHANGE — distributed data exchange: rounds to convergence for
+//! edge-partitioned transitive closure as the network and data grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unchained_bench::must_parse;
+use unchained_common::{Instance, Interner, Tuple, Value};
+use unchained_exchange::{Network, Peer};
+
+fn build_network(interner: &mut Interner, peers: usize, nodes: i64) -> Network {
+    let program = must_parse(
+        "T(x,y) :- G(x,y). T(x,y) :- T(x,z), T(z,y). T(x,y) :- Timp(x,y).",
+        interner,
+    );
+    let g = interner.get("G").unwrap();
+    let t = interner.get("T").unwrap();
+    let timp = interner.get("Timp").unwrap();
+    let mut network = Network::new();
+    let names: Vec<String> = (0..peers).map(|k| format!("peer-{k}")).collect();
+    let mut dbs: Vec<Instance> = (0..peers)
+        .map(|_| {
+            let mut db = Instance::new();
+            db.ensure(g, 2);
+            db
+        })
+        .collect();
+    for k in 0..nodes - 1 {
+        let owner = (k as usize) % peers;
+        dbs[owner].insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
+    }
+    for (idx, db) in dbs.into_iter().enumerate() {
+        let mut peer = Peer::new(names[idx].clone(), program.clone(), db);
+        // Ring topology: each peer shares reachability with its successor.
+        let next = &names[(idx + 1) % peers];
+        peer = peer.exporting(t, next.clone(), timp);
+        network.add_peer(peer);
+    }
+    network
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange");
+    group.sample_size(10);
+    let mut interner = Interner::new();
+    for (peers, nodes) in [(2usize, 12i64), (3, 12), (4, 16)] {
+        let network = build_network(&mut interner, peers, nodes);
+        group.bench_with_input(
+            BenchmarkId::new("ring_tc", format!("{peers}peers_{nodes}nodes")),
+            &network,
+            |b, network| {
+                b.iter(|| {
+                    let mut net = black_box(network).clone();
+                    net.run_to_convergence(1000).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange);
+criterion_main!(benches);

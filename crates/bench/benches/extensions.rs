@@ -1,0 +1,92 @@
+//! Benchmarks of the extension subsystems: stable-model enumeration
+//! (§3.3 context), choice-based parity (§5.2), value-invention chains
+//! (§4.3), and distributed exchange rounds (§6 / abstract).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unchained_bench::must_parse;
+use unchained_common::{Instance, Interner, Tuple, Value};
+use unchained_core::{invention, stable, EvalOptions};
+use unchained_harness::programs::WIN;
+use unchained_nondet::{poss_cert, EffOptions, NondetProgram, CHOICE_PARITY};
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+
+    // Stable models of win-move on even cycles: 2^(n) candidates pruned
+    // to the WF-unknown set (all n facts unknown).
+    let mut interner = Interner::new();
+    let win = must_parse(WIN, &mut interner);
+    for n in [6i64, 10, 14] {
+        let moves = interner.intern("moves");
+        let mut input = Instance::new();
+        for k in 0..n {
+            input.insert_fact(moves, Tuple::from([Value::Int(k), Value::Int((k + 1) % n)]));
+        }
+        group.bench_with_input(
+            BenchmarkId::new("stable_models_even_cycle", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    stable::stable_models(
+                        &win,
+                        black_box(input),
+                        stable::StableOptions { max_unknowns: 16, ..Default::default() },
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+
+    // Choice parity: exhaustive poss/cert over all chains.
+    let parity = must_parse(CHOICE_PARITY, &mut interner);
+    for k in [2usize, 3, 4] {
+        let r = interner.intern("R");
+        let mut input = Instance::new();
+        input.ensure(r, 1);
+        for v in 0..k as i64 {
+            input.insert_fact(r, Tuple::from([Value::Int(v)]));
+        }
+        let compiled = NondetProgram::compile(&parity, false).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("choice_parity_posscert", k),
+            &input,
+            |b, input| {
+                b.iter(|| poss_cert(&compiled, black_box(input), EffOptions::default()).unwrap())
+            },
+        );
+    }
+
+    // Value invention: bounded chains of increasing length.
+    let chain = must_parse(
+        "Chain(n, x) :- Start(x).\nChain(n2, n) :- Chain(n, x).",
+        &mut interner,
+    );
+    for stages in [16usize, 64, 256] {
+        let start = interner.intern("Start");
+        let mut input = Instance::new();
+        input.insert_fact(start, Tuple::from([Value::Int(0)]));
+        group.bench_with_input(
+            BenchmarkId::new("invention_chain_stages", stages),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    // The chain grows forever; measure a fixed slice.
+                    invention::eval(
+                        &chain,
+                        black_box(input),
+                        EvalOptions::default().with_max_stages(stages),
+                    )
+                    .unwrap_err()
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_extensions);
+criterion_main!(benches);

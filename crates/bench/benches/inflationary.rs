@@ -1,0 +1,66 @@
+//! EX-CLOSER / EX-DELAY / EX-TSTAMP — the paper's three inflationary
+//! showcase programs (Examples 4.1, 4.3, 4.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unchained_bench::must_parse;
+use unchained_common::Interner;
+use unchained_core::{inflationary, EvalOptions};
+use unchained_harness::generators::{line_graph, random_digraph};
+use unchained_harness::programs::{CLOSER, CTC_INFLATIONARY, GOOD_TIMESTAMP};
+
+fn bench_inflationary(c: &mut Criterion) {
+    let mut interner = Interner::new();
+    let closer = must_parse(CLOSER, &mut interner);
+    let delayed = must_parse(CTC_INFLATIONARY, &mut interner);
+    let good = must_parse(GOOD_TIMESTAMP, &mut interner);
+
+    let mut group = c.benchmark_group("inflationary");
+    group.sample_size(10);
+    // closer: quartic output, keep graphs small.
+    for n in [4i64, 6, 8] {
+        let input = line_graph(&mut interner, "G", n);
+        group.bench_with_input(BenchmarkId::new("closer/line", n), &input, |b, input| {
+            b.iter(|| {
+                inflationary::eval(&closer, black_box(input), EvalOptions::default()).unwrap()
+            })
+        });
+    }
+    for n in [8i64, 16] {
+        let input = line_graph(&mut interner, "G", n);
+        group.bench_with_input(BenchmarkId::new("delayed_ctc/line", n), &input, |b, input| {
+            b.iter(|| {
+                inflationary::eval(&delayed, black_box(input), EvalOptions::default()).unwrap()
+            })
+        });
+        // Ablation: the semi-naive variant of the same engine.
+        group.bench_with_input(
+            BenchmarkId::new("delayed_ctc_seminaive/line", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    inflationary::eval_seminaive(
+                        &delayed,
+                        black_box(input),
+                        EvalOptions::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+        let input = random_digraph(&mut interner, "G", n, 2.0 / n as f64, 42 + n as u64);
+        group.bench_with_input(
+            BenchmarkId::new("good_timestamp/random", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    inflationary::eval(&good, black_box(input), EvalOptions::default()).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inflationary);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Magic-sets ablation: full semi-naive TC vs the magic-rewritten
+//! single-source query, on many-chain inputs where goal direction
+//! should win by a factor that grows with the number of chains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unchained_bench::must_parse;
+use unchained_common::{Instance, Interner, Tuple, Value};
+use unchained_core::magic::{answer, QueryPattern};
+use unchained_core::{seminaive, EvalOptions};
+use unchained_harness::programs::TC;
+
+fn chains(interner: &mut Interner, n_chains: i64, len: i64) -> Instance {
+    let g = interner.intern("G");
+    let mut input = Instance::new();
+    for c in 0..n_chains {
+        for k in 0..len {
+            let base = c * 1000;
+            input.insert_fact(
+                g,
+                Tuple::from([Value::Int(base + k), Value::Int(base + k + 1)]),
+            );
+        }
+    }
+    input
+}
+
+fn bench_magic(c: &mut Criterion) {
+    let mut interner = Interner::new();
+    let program = must_parse(TC, &mut interner);
+    let t = interner.get("T").unwrap();
+
+    let mut group = c.benchmark_group("magic_tc");
+    group.sample_size(10);
+    for n_chains in [4i64, 8, 16] {
+        let input = chains(&mut interner, n_chains, 16);
+        group.bench_with_input(
+            BenchmarkId::new("full", n_chains),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    seminaive::minimum_model(&program, black_box(input), EvalOptions::default())
+                        .unwrap()
+                })
+            },
+        );
+        let query = QueryPattern::new(t, vec![Some(Value::Int(0)), None]);
+        group.bench_with_input(
+            BenchmarkId::new("magic_single_source", n_chains),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut scratch = interner.clone();
+                    answer(
+                        &program,
+                        &query,
+                        black_box(input),
+                        &mut scratch,
+                        EvalOptions::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_magic);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! EX-ORIENT / EX-DIFF / TH-5.11 — the nondeterministic family:
+//! single-run orientation scaling, exhaustive effect enumeration and
+//! poss/cert on small inputs, and the three P − π_A(Q) encodings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unchained_bench::must_parse;
+use unchained_common::{Instance, Interner, Tuple, Value};
+use unchained_core::EvalOptions;
+use unchained_harness::generators::symmetric_pairs;
+use unchained_harness::programs::{DIFF_BOTTOM, DIFF_FORALL, DIFF_NNEGNEG, ORIENTATION};
+use unchained_nondet::{effect, poss_cert, EffOptions, NondetProgram, RandomChooser};
+
+fn diff_input(interner: &mut Interner, n: i64) -> Instance {
+    let p = interner.intern("P");
+    let q = interner.intern("Q");
+    let mut input = Instance::new();
+    for k in 0..n {
+        input.insert_fact(p, Tuple::from([Value::Int(k)]));
+        if k % 3 == 0 {
+            input.insert_fact(q, Tuple::from([Value::Int(k), Value::Int(100 + k)]));
+        }
+    }
+    input
+}
+
+fn bench_nondet(c: &mut Criterion) {
+    let mut interner = Interner::new();
+    let orientation = must_parse(ORIENTATION, &mut interner);
+
+    let mut group = c.benchmark_group("nondet");
+    group.sample_size(10);
+
+    // Single-run orientation: linear in the number of 2-cycles.
+    for pairs in [8i64, 16, 32] {
+        let input = symmetric_pairs(&mut interner, "G", pairs, pairs, 5);
+        let compiled = NondetProgram::compile(&orientation, false).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("orientation_run/pairs", pairs),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut chooser = RandomChooser::seeded(9);
+                    unchained_nondet::run_once(
+                        &compiled,
+                        black_box(input),
+                        &mut chooser,
+                        EvalOptions::default(),
+                    )
+                    .unwrap()
+                })
+            },
+        );
+    }
+
+    // Exhaustive effects + poss/cert: exponential, keep inputs tiny.
+    for pairs in [2i64, 3, 4] {
+        let input = symmetric_pairs(&mut interner, "G", pairs, 0, 5);
+        let compiled = NondetProgram::compile(&orientation, false).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("orientation_eff/pairs", pairs),
+            &input,
+            |b, input| {
+                b.iter(|| effect(&compiled, black_box(input), EffOptions::default()).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("orientation_posscert/pairs", pairs),
+            &input,
+            |b, input| {
+                b.iter(|| poss_cert(&compiled, black_box(input), EffOptions::default()).unwrap())
+            },
+        );
+    }
+
+    // The three difference encodings (Examples 5.4/5.5, §5.2).
+    for (name, src) in [
+        ("diff_forall", DIFF_FORALL),
+        ("diff_bottom", DIFF_BOTTOM),
+        ("diff_negneg", DIFF_NNEGNEG),
+    ] {
+        let program = must_parse(src, &mut interner);
+        let input = diff_input(&mut interner, 6);
+        let compiled = NondetProgram::compile(&program, false).unwrap();
+        group.bench_with_input(BenchmarkId::new(name, 6), &input, |b, input| {
+            b.iter(|| effect(&compiled, black_box(input), EffOptions::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nondet);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! TH-4.7 — evenness on ordered databases with min/max, in
+//! semipositive Datalog¬, across the three deterministic engines that
+//! Theorem 4.7 says coincide there.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unchained_bench::must_parse;
+use unchained_common::Interner;
+use unchained_core::{inflationary, stratified, wellfounded, EvalOptions};
+use unchained_harness::ordered::evenness_input;
+use unchained_harness::programs::EVEN_SEMIPOSITIVE;
+
+fn bench_parity(c: &mut Criterion) {
+    let mut interner = Interner::new();
+    let program = must_parse(EVEN_SEMIPOSITIVE, &mut interner);
+
+    let mut group = c.benchmark_group("ordered_parity");
+    group.sample_size(10);
+    for n in [16i64, 32, 64] {
+        let members: Vec<i64> = (0..n / 2).collect();
+        let input = evenness_input(&mut interner, "R", n, &members);
+        group.bench_with_input(BenchmarkId::new("stratified", n), &input, |b, input| {
+            b.iter(|| {
+                stratified::eval(&program, black_box(input), EvalOptions::default()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("inflationary", n), &input, |b, input| {
+            b.iter(|| {
+                inflationary::eval(&program, black_box(input), EvalOptions::default()).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("wellfounded", n), &input, |b, input| {
+            b.iter(|| {
+                wellfounded::eval(&program, black_box(input), EvalOptions::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parity);
+criterion_main!(benches);

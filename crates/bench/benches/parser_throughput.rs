@@ -1,0 +1,45 @@
+//! Infrastructure bench: parsing and analysis throughput on a
+//! synthetic many-rule program (supports the "many small modules" cost
+//! model of the front end).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unchained_common::Interner;
+use unchained_parser::{classify, parse_program, DependencyGraph};
+
+fn synthetic_program(rules: usize) -> String {
+    let mut src = String::new();
+    for k in 0..rules {
+        src.push_str(&format!(
+            "P{k}(x,y) :- Q{k}(x,z), R{k}(z,y), !S{k}(x,y).\n",
+        ));
+    }
+    src
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser_throughput");
+    group.sample_size(20);
+    for rules in [64usize, 256, 1024] {
+        let src = synthetic_program(rules);
+        group.bench_with_input(BenchmarkId::new("parse", rules), &src, |b, src| {
+            b.iter(|| {
+                let mut interner = Interner::new();
+                parse_program(black_box(src), &mut interner).unwrap()
+            })
+        });
+        let mut interner = Interner::new();
+        let program = parse_program(&src, &mut interner).unwrap();
+        group.bench_with_input(BenchmarkId::new("analyze", rules), &program, |b, p| {
+            b.iter(|| {
+                let lang = classify(black_box(p));
+                let strat = DependencyGraph::build(p).stratify().unwrap();
+                (lang, strat.strata_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! EX-STRAT — §3.2 complement of transitive closure under stratified
+//! semantics: per-stratum semi-naive fixpoints, negation against the
+//! completed stratum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unchained_bench::{graph_workloads, must_parse};
+use unchained_common::Interner;
+use unchained_core::{stratified, EvalOptions};
+use unchained_harness::programs::CTC_STRATIFIED;
+
+fn bench_ctc(c: &mut Criterion) {
+    let mut interner = Interner::new();
+    let program = must_parse(CTC_STRATIFIED, &mut interner);
+    let workloads = graph_workloads(&mut interner, &[8, 16, 32]);
+
+    let mut group = c.benchmark_group("stratified_ctc");
+    group.sample_size(10);
+    for w in &workloads {
+        group.bench_with_input(BenchmarkId::from_parameter(&w.label), &w.input, |b, input| {
+            b.iter(|| {
+                stratified::eval(&program, black_box(input), EvalOptions::default()).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ctc);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! EX-WIN — Example 3.2's win-move game under the well-founded
+//! semantics (alternating fixpoint). Workload: random game boards of
+//! growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unchained_bench::must_parse;
+use unchained_common::Interner;
+use unchained_core::{wellfounded, EvalOptions};
+use unchained_harness::generators::random_game;
+use unchained_harness::programs::WIN;
+
+fn bench_win(c: &mut Criterion) {
+    let mut interner = Interner::new();
+    let program = must_parse(WIN, &mut interner);
+
+    let mut group = c.benchmark_group("wellfounded_win");
+    group.sample_size(10);
+    for n in [8i64, 16, 32] {
+        let input = random_game(&mut interner, "moves", n, 3, 0xF00D + n as u64);
+        group.bench_with_input(
+            BenchmarkId::new("alternating_fixpoint", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    wellfounded::eval(&program, black_box(input), EvalOptions::default())
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_win);
+criterion_main!(benches);

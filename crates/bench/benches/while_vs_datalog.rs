@@ -1,0 +1,63 @@
+//! TH-4.2 / TH-4.8 — the cross-formalism equivalences: inflationary
+//! Datalog¬ vs the while-language *fixpoint* program for the same query
+//! (Example 4.4's good-nodes), and Datalog¬¬ vs a while program with
+//! destructive assignment (complement of TC).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use unchained_bench::must_parse;
+use unchained_common::Interner;
+use unchained_core::{inflationary, EvalOptions};
+use unchained_fo::{FoTerm, Formula, VarSet};
+use unchained_harness::generators::random_digraph;
+use unchained_harness::programs::GOOD_TIMESTAMP;
+use unchained_while::{run as run_while, Assignment, LoopCondition, Stmt, WhileProgram};
+
+fn bench_cross(c: &mut Criterion) {
+    let mut interner = Interner::new();
+    let good_dl = must_parse(GOOD_TIMESTAMP, &mut interner);
+    let g = interner.get("G").unwrap();
+    let good_w = interner.intern("goodW");
+    let mut vs = VarSet::new();
+    let (x, y) = (vs.var("x"), vs.var("y"));
+    let good_while = WhileProgram::new(vec![Stmt::While {
+        condition: LoopCondition::Change,
+        body: vec![Stmt::Assign {
+            target: good_w,
+            vars: vec![x],
+            formula: Formula::forall(
+                [y],
+                Formula::Atom(g, vec![FoTerm::Var(y), FoTerm::Var(x)])
+                    .implies(Formula::Atom(good_w, vec![FoTerm::Var(y)])),
+            ),
+            mode: Assignment::Cumulate,
+        }],
+    }]);
+
+    let mut group = c.benchmark_group("while_vs_datalog");
+    group.sample_size(10);
+    for n in [8i64, 16, 24] {
+        let input = random_digraph(&mut interner, "G", n, 1.5 / n as f64, 77 + n as u64);
+        group.bench_with_input(
+            BenchmarkId::new("good/inflationary_datalog", n),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    inflationary::eval(&good_dl, black_box(input), EvalOptions::default())
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("good/while_fixpoint", n),
+            &input,
+            |b, input| {
+                b.iter(|| run_while(&good_while, black_box(input), 1_000_000, None).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cross);
+criterion_main!(benches);

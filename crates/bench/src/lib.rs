@@ -1,0 +1,71 @@
+//! # unchained-bench
+//!
+//! Shared helpers for the Criterion benchmarks and the `fig1` binary
+//! that regenerates the paper's Figure 1 (the relative-expressive-power
+//! hierarchy) as an empirically validated table.
+//!
+//! One Criterion bench exists per experiment row of DESIGN.md:
+//!
+//! | bench target | experiment |
+//! |---|---|
+//! | `datalog_tc` | EX-TC (+ naive-vs-semi-naive ablation) |
+//! | `stratified_ctc` | EX-STRAT |
+//! | `wellfounded_win` | EX-WIN |
+//! | `inflationary` | EX-CLOSER, EX-DELAY, EX-TSTAMP |
+//! | `nondet` | EX-ORIENT, EX-DIFF, TH-5.11 |
+//! | `ordered_parity` | TH-4.7 |
+//! | `while_vs_datalog` | TH-4.2, TH-4.8 |
+//! | `parser_throughput` | (infrastructure) |
+
+use unchained_common::{Instance, Interner};
+use unchained_parser::{parse_program, Program};
+
+/// Parses a program, panicking on error (bench setup).
+pub fn must_parse(src: &str, interner: &mut Interner) -> Program {
+    parse_program(src, interner).expect("bench program parses")
+}
+
+/// A labelled workload: name + input instance.
+pub struct Workload {
+    /// Display label, e.g. `line/64`.
+    pub label: String,
+    /// The input.
+    pub input: Instance,
+}
+
+/// Builds the standard graph workloads used by several benches: lines
+/// and seeded random digraphs of the given sizes.
+pub fn graph_workloads(interner: &mut Interner, sizes: &[i64]) -> Vec<Workload> {
+    let mut out = Vec::new();
+    for &n in sizes {
+        out.push(Workload {
+            label: format!("line/{n}"),
+            input: unchained_harness::generators::line_graph(interner, "G", n),
+        });
+        out.push(Workload {
+            label: format!("random/{n}"),
+            input: unchained_harness::generators::random_digraph(
+                interner,
+                "G",
+                n,
+                2.0 / n as f64,
+                0xDA7A + n as u64,
+            ),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_built() {
+        let mut i = Interner::new();
+        let w = graph_workloads(&mut i, &[8, 16]);
+        assert_eq!(w.len(), 4);
+        assert!(w[0].label.starts_with("line/"));
+        assert!(w[0].input.fact_count() > 0);
+    }
+}

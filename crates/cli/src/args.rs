@@ -1,0 +1,277 @@
+//! Hand-rolled argument parsing (the sanctioned dependency set has no
+//! CLI crate, and the surface is small).
+
+use std::fmt;
+
+/// Which engine to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Semantics {
+    /// Naive positive-Datalog evaluation.
+    Naive,
+    /// Semi-naive positive-Datalog evaluation.
+    Seminaive,
+    /// Stratified Datalog¬.
+    Stratified,
+    /// Well-founded (3-valued) Datalog¬.
+    WellFounded,
+    /// Inflationary (forward chaining) Datalog¬.
+    Inflationary,
+    /// Datalog¬¬ (noninflationary, retraction).
+    Noninflationary,
+    /// Datalog¬new (value invention).
+    Invention,
+    /// Nondeterministic single run (N-Datalog¬(¬), ⊥, ∀, new).
+    Nondet,
+    /// Exhaustive effect enumeration + poss/cert.
+    Effect,
+    /// The imperative while / fixpoint language (program file uses the
+    /// `unchained_while::parse` text syntax, not Datalog rules).
+    WhileLang,
+}
+
+impl Semantics {
+    /// Parses a semantics name.
+    pub fn parse(s: &str) -> Option<Semantics> {
+        Some(match s {
+            "naive" => Semantics::Naive,
+            "seminaive" | "semi-naive" => Semantics::Seminaive,
+            "stratified" => Semantics::Stratified,
+            "wellfounded" | "well-founded" | "wf" => Semantics::WellFounded,
+            "inflationary" | "forward" => Semantics::Inflationary,
+            "noninflationary" | "datalog-neg-neg" | "while" => Semantics::Noninflationary,
+            "invention" | "datalog-new" => Semantics::Invention,
+            "nondet" | "n" => Semantics::Nondet,
+            "effect" | "eff" => Semantics::Effect,
+            "whilelang" | "while-lang" | "wl" => Semantics::WhileLang,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Semantics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Semantics::Naive => "naive",
+            Semantics::Seminaive => "seminaive",
+            Semantics::Stratified => "stratified",
+            Semantics::WellFounded => "wellfounded",
+            Semantics::Inflationary => "inflationary",
+            Semantics::Noninflationary => "noninflationary",
+            Semantics::Invention => "invention",
+            Semantics::Nondet => "nondet",
+            Semantics::Effect => "effect",
+            Semantics::WhileLang => "whilelang",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Args {
+    /// The command: `eval` or `check`.
+    pub command: Command,
+}
+
+/// Supported subcommands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Evaluate a program against facts.
+    Eval {
+        /// Path to the program file.
+        program: String,
+        /// Path to the facts file (optional; empty input otherwise).
+        facts: Option<String>,
+        /// Engine.
+        semantics: Semantics,
+        /// Print only this relation (otherwise: all idb relations).
+        output: Option<String>,
+        /// Stage budget.
+        max_stages: Option<usize>,
+        /// Seed for nondeterministic runs.
+        seed: u64,
+        /// Conflict policy name for Datalog¬¬ (positive | negative |
+        /// noop | undefined).
+        policy: String,
+    },
+    /// Parse and analyze a program: language class, edb/idb,
+    /// stratification.
+    Check {
+        /// Path to the program file.
+        program: String,
+    },
+    /// Interactive session.
+    Repl,
+    /// Print usage.
+    Help,
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+unchained — the Datalog engine family of 'Datalog Unchained' (PODS 2021)
+
+USAGE:
+  unchained eval --semantics <SEM> <PROGRAM.dl> [FACTS.dl] [options]
+  unchained check <PROGRAM.dl>
+  unchained repl
+  unchained help
+
+SEMANTICS (for --semantics / -s):
+  naive | seminaive            positive Datalog (minimum model)
+  stratified                   stratified Datalog¬
+  wellfounded                  well-founded Datalog¬ (3-valued)
+  inflationary                 forward chaining Datalog¬
+  noninflationary              Datalog¬¬ (retraction; see --policy)
+  invention                    Datalog¬new (value invention)
+  nondet                       one nondeterministic run (N-Datalog…)
+  effect                       exhaustive eff(P) + poss/cert
+  whilelang                    imperative while/fixpoint program
+                               (text syntax: R += { x | phi }; while … do … end)
+
+OPTIONS:
+  --output <PRED>              print only this relation
+  --max-stages <N>             stage / step budget
+  --seed <N>                   RNG seed for nondet runs (default 0)
+  --policy <P>                 Datalog¬¬ conflict policy:
+                               positive (default) | negative | noop | undefined
+";
+
+/// Parses a command line (without the binary name).
+pub fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter().peekable();
+    let Some(cmd) = it.next() else {
+        return Ok(Args { command: Command::Help });
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Args { command: Command::Help }),
+        "repl" => Ok(Args { command: Command::Repl }),
+        "check" => {
+            let program = it
+                .next()
+                .ok_or("check: missing program file")?
+                .clone();
+            Ok(Args { command: Command::Check { program } })
+        }
+        "eval" => {
+            let mut program = None;
+            let mut facts = None;
+            let mut semantics = None;
+            let mut output = None;
+            let mut max_stages = None;
+            let mut seed = 0u64;
+            let mut policy = "positive".to_string();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--semantics" | "-s" => {
+                        let v = it.next().ok_or("--semantics needs a value")?;
+                        semantics = Some(
+                            Semantics::parse(v)
+                                .ok_or_else(|| format!("unknown semantics `{v}`"))?,
+                        );
+                    }
+                    "--output" | "-o" => {
+                        output = Some(it.next().ok_or("--output needs a value")?.clone());
+                    }
+                    "--max-stages" => {
+                        let v = it.next().ok_or("--max-stages needs a value")?;
+                        max_stages =
+                            Some(v.parse().map_err(|_| format!("bad --max-stages `{v}`"))?);
+                    }
+                    "--seed" => {
+                        let v = it.next().ok_or("--seed needs a value")?;
+                        seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
+                    }
+                    "--policy" => {
+                        policy = it.next().ok_or("--policy needs a value")?.clone();
+                    }
+                    other if other.starts_with('-') => {
+                        return Err(format!("unknown option `{other}`"));
+                    }
+                    path => {
+                        if program.is_none() {
+                            program = Some(path.to_string());
+                        } else if facts.is_none() {
+                            facts = Some(path.to_string());
+                        } else {
+                            return Err(format!("unexpected argument `{path}`"));
+                        }
+                    }
+                }
+            }
+            Ok(Args {
+                command: Command::Eval {
+                    program: program.ok_or("eval: missing program file")?,
+                    facts,
+                    semantics: semantics.ok_or("eval: missing --semantics")?,
+                    output,
+                    max_stages,
+                    seed,
+                    policy,
+                },
+            })
+        }
+        other => Err(format!("unknown command `{other}` (try `unchained help`)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_eval() {
+        let args = parse_args(&argv(
+            "eval --semantics inflationary prog.dl facts.dl --output T --max-stages 10",
+        ))
+        .unwrap();
+        let Command::Eval { program, facts, semantics, output, max_stages, .. } = args.command
+        else {
+            panic!("expected eval");
+        };
+        assert_eq!(program, "prog.dl");
+        assert_eq!(facts.as_deref(), Some("facts.dl"));
+        assert_eq!(semantics, Semantics::Inflationary);
+        assert_eq!(output.as_deref(), Some("T"));
+        assert_eq!(max_stages, Some(10));
+    }
+
+    #[test]
+    fn parse_check_and_help() {
+        assert_eq!(
+            parse_args(&argv("check p.dl")).unwrap().command,
+            Command::Check { program: "p.dl".into() }
+        );
+        assert_eq!(parse_args(&argv("help")).unwrap().command, Command::Help);
+        assert_eq!(parse_args(&[]).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_args(&argv("eval prog.dl")).is_err()); // no semantics
+        assert!(parse_args(&argv("eval --semantics bogus p.dl")).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("eval -s naive a b c")).is_err());
+    }
+
+    #[test]
+    fn all_semantics_names_parse() {
+        for name in [
+            "naive",
+            "seminaive",
+            "stratified",
+            "wellfounded",
+            "inflationary",
+            "noninflationary",
+            "invention",
+            "nondet",
+            "effect",
+            "whilelang",
+        ] {
+            assert!(Semantics::parse(name).is_some(), "{name}");
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! # unchained-cli
+//!
+//! Library backing the `unchained` binary: argument parsing
+//! ([`args`]) and I/O-free command execution ([`run`]), split out so
+//! the whole pipeline is unit-testable.
+
+pub mod args;
+pub mod repl;
+pub mod run;
+
+pub use args::{parse_args, Args, Command, Semantics};
+pub use repl::{run_repl, Repl, ReplOutcome};
+pub use run::execute;

@@ -1,0 +1,61 @@
+//! The `unchained` binary: evaluate `.dl` programs under any semantics
+//! of the *Datalog Unchained* family.
+
+use std::process::ExitCode;
+use unchained_cli::args::{parse_args, Command};
+use unchained_cli::run::execute;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if matches!(args.command, Command::Repl) {
+        return match unchained_cli::run_repl() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let (program_path, facts_path) = match &args.command {
+        Command::Eval { program, facts, .. } => (Some(program.clone()), facts.clone()),
+        Command::Check { program } => (Some(program.clone()), None),
+        Command::Repl | Command::Help => (None, None),
+    };
+    let program_text = match &program_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => String::new(),
+    };
+    let facts_text = match &facts_path {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(t) => Some(t),
+            Err(e) => {
+                eprintln!("error: cannot read {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    match execute(&args.command, &program_text, facts_text.as_deref()) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

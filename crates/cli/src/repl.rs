@@ -1,0 +1,410 @@
+//! An interactive session: accumulate facts and rules, evaluate under
+//! any semantics of the family, inspect relations.
+//!
+//! The REPL is a pure line-processor ([`Repl::feed`]) so the whole
+//! interaction is unit-testable; `main` wires it to stdin.
+//!
+//! ```text
+//! > G(1,2).                      % ground fact → database
+//! > T(x,y) :- G(x,y).            % rule → program
+//! > T(x,y) :- G(x,z), T(z,y).
+//! > ? T                          % evaluate, print relation T
+//! T(1, 2)
+//! > .semantics wellfounded       % switch engines
+//! > .help                        % list commands
+//! ```
+
+use crate::args::Semantics;
+use unchained_common::{Instance, Interner, Tuple, Value};
+use unchained_core::EvalOptions;
+use unchained_parser::{classify, parse_program, HeadLiteral, Program, Term};
+
+/// REPL state.
+pub struct Repl {
+    interner: Interner,
+    program: Program,
+    database: Instance,
+    semantics: Semantics,
+    max_stages: Option<usize>,
+    seed: u64,
+}
+
+impl Default for Repl {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Help text for the in-REPL `.help` command.
+pub const REPL_HELP: &str = "\
+Enter Datalog statements (terminated by `.`) or commands:
+  G('a','b').                 add a ground fact to the database
+  T(x,y) :- G(x,y).           add a rule to the program
+  ? <relation>                evaluate and print one relation
+  ?                           evaluate and print all idb relations
+  .semantics <name>           switch engine (naive, seminaive, stratified,
+                              wellfounded, inflationary, noninflationary,
+                              invention, nondet, effect)
+  .seed <n>                   RNG seed for nondeterministic runs
+  .max-stages <n>             stage budget
+  .explain <fact>.            derivation tree of a fact (Datalog only)
+  .program                    show the accumulated rules
+  .facts                      show the database
+  .check                      classify the program
+  .clear                      drop program and database
+  .help                       this text
+  .quit                       leave
+";
+
+/// What the caller should do after a line is processed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReplOutcome {
+    /// Print this text (possibly empty) and continue.
+    Continue(String),
+    /// Exit the session.
+    Quit,
+}
+
+impl Repl {
+    /// Creates a fresh session (semi-naive semantics).
+    pub fn new() -> Self {
+        Repl {
+            interner: Interner::new(),
+            program: Program::new(),
+            database: Instance::new(),
+            semantics: Semantics::Seminaive,
+            max_stages: None,
+            seed: 0,
+        }
+    }
+
+    /// Processes one input line.
+    pub fn feed(&mut self, line: &str) -> ReplOutcome {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('%') || line.starts_with('#') {
+            return ReplOutcome::Continue(String::new());
+        }
+        if let Some(rest) = line.strip_prefix('?') {
+            return ReplOutcome::Continue(self.query(rest.trim().trim_end_matches('.')));
+        }
+        if let Some(cmd) = line.strip_prefix('.') {
+            return self.command(cmd.trim());
+        }
+        ReplOutcome::Continue(self.add_statements(line))
+    }
+
+    fn command(&mut self, cmd: &str) -> ReplOutcome {
+        let (name, arg) = match cmd.split_once(char::is_whitespace) {
+            Some((n, a)) => (n, a.trim()),
+            None => (cmd, ""),
+        };
+        let out = match name {
+            "quit" | "exit" | "q" => return ReplOutcome::Quit,
+            "help" | "h" => REPL_HELP.to_string(),
+            "semantics" => match Semantics::parse(arg) {
+                Some(Semantics::WhileLang) | None => {
+                    format!("unknown semantics `{arg}`\n")
+                }
+                Some(s) => {
+                    self.semantics = s;
+                    format!("semantics: {s}\n")
+                }
+            },
+            "seed" => match arg.parse::<u64>() {
+                Ok(n) => {
+                    self.seed = n;
+                    format!("seed: {n}\n")
+                }
+                Err(_) => format!("bad seed `{arg}`\n"),
+            },
+            "max-stages" => match arg.parse::<usize>() {
+                Ok(n) => {
+                    self.max_stages = Some(n);
+                    format!("max stages: {n}\n")
+                }
+                Err(_) => format!("bad stage budget `{arg}`\n"),
+            },
+            "explain" => self.explain(arg),
+            "program" => self.program.display(&self.interner).to_string(),
+            "facts" => self.database.display(&self.interner).to_string(),
+            "check" => {
+                if self.program.rules.is_empty() {
+                    "no rules yet\n".to_string()
+                } else {
+                    format!("language: {}\n", classify(&self.program))
+                }
+            }
+            "clear" => {
+                self.program = Program::new();
+                self.database = Instance::new();
+                "cleared\n".to_string()
+            }
+            other => format!("unknown command `.{other}` (try `.help`)\n"),
+        };
+        ReplOutcome::Continue(out)
+    }
+
+    /// Adds rules/facts from a statement line. Ground single-atom
+    /// statements go to the database; everything else to the program.
+    fn add_statements(&mut self, line: &str) -> String {
+        let parsed = match parse_program(line, &mut self.interner) {
+            Ok(p) => p,
+            Err(e) => return format!("{e}\n"),
+        };
+        let mut added_facts = 0;
+        let mut added_rules = 0;
+        for rule in parsed.rules {
+            let ground_fact = rule.body.is_empty()
+                && rule.head.len() == 1
+                && rule.forall.is_empty()
+                && matches!(&rule.head[0], HeadLiteral::Pos(a)
+                    if a.args.iter().all(|t| matches!(t, Term::Const(_))));
+            if ground_fact {
+                let HeadLiteral::Pos(atom) = &rule.head[0] else { unreachable!() };
+                let values: Vec<Value> = atom
+                    .args
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(v) => *v,
+                        Term::Var(_) => unreachable!("checked ground"),
+                    })
+                    .collect();
+                self.database.insert_fact(atom.pred, Tuple::from(values));
+                added_facts += 1;
+            } else {
+                self.program.rules.push(rule);
+                added_rules += 1;
+            }
+        }
+        match (added_facts, added_rules) {
+            (0, 0) => String::new(),
+            (f, 0) => format!("added {f} fact(s)\n"),
+            (0, r) => format!("added {r} rule(s)\n"),
+            (f, r) => format!("added {f} fact(s), {r} rule(s)\n"),
+        }
+    }
+
+    /// Explains the derivation of a ground fact via why-provenance
+    /// (positive Datalog programs only).
+    fn explain(&mut self, fact_text: &str) -> String {
+        let fact_text = fact_text.trim().trim_end_matches('.');
+        if fact_text.is_empty() {
+            return "usage: .explain T(1,2)
+".to_string();
+        }
+        // Parse the fact as a one-statement program.
+        let parsed = match parse_program(&format!("{fact_text}."), &mut self.interner) {
+            Ok(p) => p,
+            Err(e) => return format!("{e}
+"),
+        };
+        let Some(rule) = parsed.rules.first() else {
+            return "usage: .explain T(1,2)
+".to_string();
+        };
+        let Some(atom) = rule.head.first().and_then(HeadLiteral::atom) else {
+            return "usage: .explain T(1,2)
+".to_string();
+        };
+        let mut values = Vec::new();
+        for term in &atom.args {
+            match term {
+                Term::Const(v) => values.push(*v),
+                Term::Var(_) => return "explain needs a ground fact
+".to_string(),
+            }
+        }
+        match unchained_core::provenance::minimum_model_with_provenance(
+            &self.program,
+            &self.database,
+            self.options(),
+        ) {
+            Ok(run) => unchained_core::provenance::explain(
+                &run,
+                atom.pred,
+                &Tuple::from(values),
+                &self.interner,
+            ),
+            Err(e) => format!("error: {e} (explain requires pure Datalog)
+"),
+        }
+    }
+
+    /// Evaluates the program and prints `target` (or all idb relations).
+    fn query(&mut self, target: &str) -> String {
+        let cmd = crate::args::Command::Eval {
+            program: String::new(),
+            facts: None,
+            semantics: self.semantics,
+            output: if target.is_empty() { None } else { Some(target.to_string()) },
+            max_stages: self.max_stages,
+            seed: self.seed,
+            policy: "positive".to_string(),
+        };
+        let program_text = self.program.display(&self.interner).to_string();
+        // Instance display prints bare facts; the fact-file parser wants
+        // statement terminators.
+        let facts_text: String = self
+            .database
+            .display(&self.interner)
+            .to_string()
+            .lines()
+            .map(|l| format!("{l}.
+"))
+            .collect();
+        match crate::run::execute(&cmd, &program_text, Some(&facts_text)) {
+            Ok(out) => out,
+            Err(e) => format!("error: {e}\n"),
+        }
+    }
+
+    /// The currently selected semantics.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// Exposes the evaluation options (for tests).
+    pub fn options(&self) -> EvalOptions {
+        let mut o = EvalOptions::default();
+        if let Some(m) = self.max_stages {
+            o = o.with_max_stages(m);
+        }
+        o
+    }
+}
+
+/// Runs the REPL over stdin/stdout (used by `main`).
+pub fn run_repl() -> std::io::Result<()> {
+    use std::io::{BufRead, Write};
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    let mut repl = Repl::new();
+    writeln!(stdout, "unchained repl — `.help` for commands, `.quit` to leave")?;
+    loop {
+        write!(stdout, "> ")?;
+        stdout.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            return Ok(()); // EOF
+        }
+        match repl.feed(&line) {
+            ReplOutcome::Continue(out) => {
+                write!(stdout, "{out}")?;
+            }
+            ReplOutcome::Quit => return Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_ok(repl: &mut Repl, line: &str) -> String {
+        match repl.feed(line) {
+            ReplOutcome::Continue(out) => out,
+            ReplOutcome::Quit => panic!("unexpected quit"),
+        }
+    }
+
+    #[test]
+    fn facts_rules_and_query() {
+        let mut repl = Repl::new();
+        assert_eq!(feed_ok(&mut repl, "G(1,2). G(2,3)."), "added 2 fact(s)\n");
+        assert_eq!(
+            feed_ok(&mut repl, "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y)."),
+            "added 2 rule(s)\n"
+        );
+        let out = feed_ok(&mut repl, "? T");
+        assert!(out.contains("T(1, 3)"), "{out}");
+        // Bare `?` prints all idb relations.
+        let out = feed_ok(&mut repl, "?");
+        assert!(out.contains("T(1, 2)"));
+    }
+
+    #[test]
+    fn switching_semantics() {
+        let mut repl = Repl::new();
+        feed_ok(&mut repl, "moves('a','b'). moves('b','a').");
+        feed_ok(&mut repl, "win(x) :- moves(x,y), !win(y).");
+        // Semi-naive rejects negation…
+        let out = feed_ok(&mut repl, "? win");
+        assert!(out.contains("error"), "{out}");
+        // …well-founded answers 3-valued.
+        assert_eq!(
+            feed_ok(&mut repl, ".semantics wellfounded"),
+            "semantics: wellfounded\n"
+        );
+        let out = feed_ok(&mut repl, "? win");
+        assert!(out.contains("unknown facts"), "{out}");
+    }
+
+    #[test]
+    fn commands() {
+        let mut repl = Repl::new();
+        feed_ok(&mut repl, "A(x) :- B(x).");
+        assert!(feed_ok(&mut repl, ".program").contains("A(x) :- B(x)."));
+        assert!(feed_ok(&mut repl, ".check").contains("language: Datalog"));
+        feed_ok(&mut repl, "B(7).");
+        assert!(feed_ok(&mut repl, ".facts").contains("B(7)"));
+        assert_eq!(feed_ok(&mut repl, ".clear"), "cleared\n");
+        assert_eq!(feed_ok(&mut repl, ".check"), "no rules yet\n");
+        assert!(feed_ok(&mut repl, ".help").contains(".semantics"));
+        assert!(feed_ok(&mut repl, ".bogus").contains("unknown command"));
+        assert!(feed_ok(&mut repl, ".semantics bogus").contains("unknown semantics"));
+        assert_eq!(repl.feed(".quit"), ReplOutcome::Quit);
+    }
+
+    #[test]
+    fn explain_shows_derivations() {
+        let mut repl = Repl::new();
+        feed_ok(&mut repl, "G(1,2). G(2,3).");
+        feed_ok(&mut repl, "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).");
+        let out = feed_ok(&mut repl, ".explain T(1,3).");
+        assert!(out.contains("⊢ T(1, 3)"), "{out}");
+        assert!(out.contains("(given)"), "{out}");
+        let out = feed_ok(&mut repl, ".explain T(3,1)");
+        assert!(out.contains("not derivable"), "{out}");
+        let out = feed_ok(&mut repl, ".explain");
+        assert!(out.contains("usage"), "{out}");
+        let out = feed_ok(&mut repl, ".explain T(x,y)");
+        assert!(out.contains("ground"), "{out}");
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_fatal() {
+        let mut repl = Repl::new();
+        let out = feed_ok(&mut repl, "T(x :- G(x).");
+        assert!(out.contains("parse error"));
+        // Session still usable.
+        assert_eq!(feed_ok(&mut repl, "G(1,1)."), "added 1 fact(s)\n");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let mut repl = Repl::new();
+        assert_eq!(feed_ok(&mut repl, ""), "");
+        assert_eq!(feed_ok(&mut repl, "% note"), "");
+        assert_eq!(feed_ok(&mut repl, "   "), "");
+    }
+
+    #[test]
+    fn budget_and_seed_settings() {
+        let mut repl = Repl::new();
+        assert_eq!(feed_ok(&mut repl, ".max-stages 5"), "max stages: 5\n");
+        assert_eq!(feed_ok(&mut repl, ".seed 42"), "seed: 42\n");
+        assert!(feed_ok(&mut repl, ".max-stages x").contains("bad"));
+        assert_eq!(repl.options().max_stages, Some(5));
+    }
+
+    #[test]
+    fn nonground_heads_become_rules() {
+        let mut repl = Repl::new();
+        // A "fact" with a variable is really an unconditional rule; it
+        // lands in the program, not the database.
+        let out = feed_ok(&mut repl, "delay :- .");
+        assert_eq!(out, "added 1 fact(s)\n"); // ground zero-ary: a fact
+        let out = feed_ok(&mut repl, "Self(x,x) :- Node(x).");
+        assert_eq!(out, "added 1 rule(s)\n");
+    }
+}

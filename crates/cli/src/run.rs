@@ -1,0 +1,373 @@
+//! Command execution: load, evaluate, render.
+
+use crate::args::{Command, Semantics};
+use unchained_common::{Instance, Interner};
+use unchained_core::{
+    inflationary, invention, naive, noninflationary, seminaive, stratified, wellfounded,
+    EvalOptions,
+};
+use unchained_nondet::{effect, poss_cert, EffOptions, NondetProgram, RandomChooser};
+use unchained_parser::{classify, parse_facts, parse_program, DependencyGraph, Program};
+use unchained_while::parse_while_program;
+
+/// Executes a parsed command against file contents already read by the
+/// caller (keeping this function I/O-free and testable). Returns the
+/// text to print.
+pub fn execute(
+    command: &Command,
+    program_text: &str,
+    facts_text: Option<&str>,
+) -> Result<String, String> {
+    match command {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Repl => Ok("(interactive mode: run the `unchained` binary with `repl`)".into()),
+        Command::Check { .. } => {
+            let mut interner = Interner::new();
+            let program =
+                parse_program(program_text, &mut interner).map_err(|e| e.to_string())?;
+            Ok(render_check(&program, &interner))
+        }
+        Command::Eval { semantics, output, max_stages, seed, policy, .. } => {
+            let mut interner = Interner::new();
+            if *semantics == Semantics::WhileLang {
+                return eval_while(
+                    program_text,
+                    facts_text,
+                    output.as_deref(),
+                    *max_stages,
+                    *seed,
+                    &mut interner,
+                );
+            }
+            let program =
+                parse_program(program_text, &mut interner).map_err(|e| e.to_string())?;
+            let input = match facts_text {
+                Some(text) => parse_facts(text, &mut interner).map_err(|e| e.to_string())?,
+                None => Instance::new(),
+            };
+            let mut options = EvalOptions::default();
+            if let Some(m) = max_stages {
+                options = options.with_max_stages(*m);
+            }
+            let answer = evaluate(
+                *semantics,
+                &program,
+                &input,
+                options,
+                *seed,
+                policy,
+                &mut interner,
+            )?;
+            Ok(render_answer(&answer, output.as_deref(), &program, &interner))
+        }
+    }
+}
+
+/// Evaluates a while-language program file.
+fn eval_while(
+    program_text: &str,
+    facts_text: Option<&str>,
+    output: Option<&str>,
+    max_stages: Option<usize>,
+    seed: u64,
+    interner: &mut Interner,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let (program, _) =
+        parse_while_program(program_text, interner).map_err(|e| e.to_string())?;
+    let input = match facts_text {
+        Some(text) => parse_facts(text, interner).map_err(|e| e.to_string())?,
+        None => Instance::new(),
+    };
+    let max = max_stages.unwrap_or(1_000_000);
+    // Deterministic seeded LCG drives the witness operator if present.
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
+    let mut chooser = move |n: usize| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as usize) % n
+    };
+    let needs_chooser = program.has_witness();
+    let result = if needs_chooser {
+        unchained_while::run(&program, &input, max, Some(&mut chooser))
+    } else {
+        unchained_while::run(&program, &input, max, None)
+    }
+    .map_err(|e| e.to_string())?;
+    let assigned = program.assigned();
+    let shown = match output {
+        Some(name) => match interner.get(name) {
+            Some(sym) => result.instance.project_schema([sym]),
+            None => Instance::new(),
+        },
+        None => result.instance.project_schema(assigned),
+    };
+    let mut out = shown.display(interner).to_string();
+    let _ = writeln!(out, "% iterations: {}", result.iterations);
+    Ok(out)
+}
+
+fn render_check(program: &Program, interner: &Interner) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let names = |syms: Vec<unchained_common::Symbol>| {
+        syms.iter()
+            .map(|&s| interner.name(s).to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(out, "rules:    {}", program.rules.len());
+    let _ = writeln!(out, "language: {}", classify(program));
+    let _ = writeln!(out, "edb:      {}", names(program.edb()));
+    let _ = writeln!(out, "idb:      {}", names(program.idb()));
+    match DependencyGraph::build(program).stratify() {
+        Ok(strat) => {
+            let _ = writeln!(out, "strata:   {}", strat.strata_count());
+        }
+        Err(e) => {
+            let _ = writeln!(out, "strata:   not stratifiable ({e})");
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn evaluate(
+    semantics: Semantics,
+    program: &Program,
+    input: &Instance,
+    options: EvalOptions,
+    seed: u64,
+    policy: &str,
+    interner: &mut Interner,
+) -> Result<Answer, String> {
+    match semantics {
+        Semantics::Naive => naive::minimum_model(program, input, options)
+            .map(|r| Answer::Instance(r.instance, r.stages))
+            .map_err(|e| e.to_string()),
+        Semantics::Seminaive => seminaive::minimum_model(program, input, options)
+            .map(|r| Answer::Instance(r.instance, r.stages))
+            .map_err(|e| e.to_string()),
+        Semantics::Stratified => stratified::eval(program, input, options)
+            .map(|r| Answer::Instance(r.instance, r.stages))
+            .map_err(|e| e.to_string()),
+        Semantics::WellFounded => wellfounded::eval(program, input, options)
+            .map(Answer::ThreeValued)
+            .map_err(|e| e.to_string()),
+        Semantics::Inflationary => inflationary::eval(program, input, options)
+            .map(|r| Answer::Instance(r.instance, r.stages))
+            .map_err(|e| e.to_string()),
+        Semantics::Noninflationary => {
+            let policy = match policy {
+                "positive" => noninflationary::ConflictPolicy::PreferPositive,
+                "negative" => noninflationary::ConflictPolicy::PreferNegative,
+                "noop" => noninflationary::ConflictPolicy::NoOp,
+                "undefined" => noninflationary::ConflictPolicy::Undefined,
+                other => return Err(format!("unknown conflict policy `{other}`")),
+            };
+            noninflationary::eval(program, input, policy, options)
+                .map(|r| Answer::Instance(r.instance, r.stages))
+                .map_err(|e| e.to_string())
+        }
+        Semantics::Invention => invention::eval(program, input, options)
+            .map(|r| {
+                let stages = r.stages;
+                Answer::Instance(r.instance, stages)
+            })
+            .map_err(|e| e.to_string()),
+        Semantics::Nondet => {
+            let compiled =
+                NondetProgram::compile(program, true).map_err(|e| e.to_string())?;
+            let mut chooser = RandomChooser::seeded(seed);
+            unchained_nondet::run_once(&compiled, input, &mut chooser, options)
+                .map(|r| Answer::Instance(r.instance, r.steps))
+                .map_err(|e| e.to_string())
+        }
+        Semantics::WhileLang => {
+            unreachable!("WhileLang is handled before Datalog parsing in execute()")
+        }
+        Semantics::Effect => {
+            let compiled =
+                NondetProgram::compile(program, true).map_err(|e| e.to_string())?;
+            let effects =
+                effect(&compiled, input, EffOptions::default()).map_err(|e| e.to_string())?;
+            let pc = poss_cert(&compiled, input, EffOptions::default())
+                .map_err(|e| e.to_string())?;
+            let _ = interner; // symbols already interned during parse
+            Ok(Answer::Effects { effects, poss: pc.poss, cert: pc.cert })
+        }
+    }
+}
+
+enum Answer {
+    Instance(Instance, usize),
+    ThreeValued(wellfounded::WellFoundedModel),
+    Effects { effects: Vec<Instance>, poss: Instance, cert: Instance },
+}
+
+fn render_instance(
+    instance: &Instance,
+    output: Option<&str>,
+    program: &Program,
+    interner: &Interner,
+) -> String {
+    match output {
+        Some(name) => match interner.get(name) {
+            Some(sym) => instance.project_schema([sym]).display(interner).to_string(),
+            None => String::new(),
+        },
+        None => instance
+            .project_schema(program.idb())
+            .display(interner)
+            .to_string(),
+    }
+}
+
+fn render_answer(
+    answer: &Answer,
+    output: Option<&str>,
+    program: &Program,
+    interner: &Interner,
+) -> String {
+    use std::fmt::Write as _;
+    match answer {
+        Answer::Instance(instance, stages) => {
+            let mut out = render_instance(instance, output, program, interner);
+            let _ = writeln!(out, "% stages: {stages}");
+            out
+        }
+        Answer::ThreeValued(model) => {
+            let mut out = String::new();
+            let _ = writeln!(out, "% true facts:");
+            out.push_str(&render_instance(&model.true_facts, output, program, interner));
+            let _ = writeln!(out, "% unknown facts:");
+            for (pred, tuple) in model.unknown_facts() {
+                if output.is_some_and(|o| interner.get(o) != Some(pred)) {
+                    continue;
+                }
+                if tuple.arity() == 0 {
+                    let _ = writeln!(out, "{}", interner.name(pred));
+                } else {
+                    let _ =
+                        writeln!(out, "{}{}", interner.name(pred), tuple.display(interner));
+                }
+            }
+            let _ = writeln!(out, "% rounds: {}", model.rounds);
+            out
+        }
+        Answer::Effects { effects, poss, cert } => {
+            let mut out = String::new();
+            let _ = writeln!(out, "% {} terminal instance(s)", effects.len());
+            for (i, e) in effects.iter().enumerate() {
+                let _ = writeln!(out, "% effect #{i}:");
+                out.push_str(&render_instance(e, output, program, interner));
+            }
+            let _ = writeln!(out, "% poss:");
+            out.push_str(&render_instance(poss, output, program, interner));
+            let _ = writeln!(out, "% cert:");
+            out.push_str(&render_instance(cert, output, program, interner));
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::{parse_args, Command};
+
+    fn eval_cmd(sem: &str) -> Command {
+        let argv: Vec<String> = format!("eval --semantics {sem} p.dl f.dl")
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        parse_args(&argv).unwrap().command
+    }
+
+    #[test]
+    fn end_to_end_seminaive() {
+        let out = execute(
+            &eval_cmd("seminaive"),
+            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).",
+            Some("G(1,2). G(2,3)."),
+        )
+        .unwrap();
+        assert!(out.contains("T(1, 3)"));
+        assert!(out.contains("% stages:"));
+    }
+
+    #[test]
+    fn end_to_end_wellfounded_three_valued() {
+        let out = execute(
+            &eval_cmd("wellfounded"),
+            "win(x) :- moves(x,y), !win(y).",
+            Some("moves('a','b'). moves('b','a')."),
+        )
+        .unwrap();
+        assert!(out.contains("% unknown facts:"));
+        assert!(out.contains("win('a')"));
+    }
+
+    #[test]
+    fn end_to_end_effect() {
+        let out = execute(
+            &eval_cmd("effect"),
+            "!G(x,y) :- G(x,y), G(y,x).",
+            Some("G(1,2). G(2,1)."),
+        )
+        .unwrap();
+        assert!(out.contains("% 2 terminal instance(s)"));
+        assert!(out.contains("% poss:"));
+        assert!(out.contains("% cert:"));
+    }
+
+    #[test]
+    fn check_renders_analysis() {
+        let out = execute(
+            &parse_args(&["check".to_string(), "p.dl".to_string()])
+                .unwrap()
+                .command,
+            "T(x,y) :- G(x,y). CT(x,y) :- !T(x,y).",
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("language: stratified Datalog¬"));
+        assert!(out.contains("strata:   2"));
+        assert!(out.contains("edb:      G"));
+    }
+
+    #[test]
+    fn bad_policy_reported() {
+        let argv: Vec<String> =
+            "eval --semantics noninflationary --policy bogus p.dl"
+                .split_whitespace()
+                .map(String::from)
+                .collect();
+        let cmd = parse_args(&argv).unwrap().command;
+        let err = execute(&cmd, "!A(x) :- A(x).", None).unwrap_err();
+        assert!(err.contains("bogus"));
+    }
+
+    #[test]
+    fn output_filter() {
+        let argv: Vec<String> =
+            "eval --semantics seminaive --output T p.dl".split_whitespace().map(String::from).collect();
+        let cmd = parse_args(&argv).unwrap().command;
+        let out = execute(
+            &cmd,
+            "T(x) :- A(x). U(x) :- A(x). A(1).",
+            None,
+        )
+        .unwrap();
+        assert!(out.contains("T(1)"));
+        assert!(!out.contains("U(1)"));
+    }
+
+    #[test]
+    fn parse_error_propagates() {
+        assert!(execute(&eval_cmd("naive"), "T(x :- G(x).", None).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! True end-to-end tests of the `unchained` binary (spawned as a
+//! process): file I/O, exit codes, stdout/stderr wiring, and the REPL
+//! over a piped stdin session.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_unchained"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("unchained-bin-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn eval_tc_from_files() {
+    let prog = write_temp("tc.dl", "T(x,y) :- G(x,y).\nT(x,y) :- G(x,z), T(z,y).\n");
+    let facts = write_temp("tc_facts.dl", "G(1,2). G(2,3).\n");
+    let out = bin()
+        .args(["eval", "--semantics", "seminaive"])
+        .arg(&prog)
+        .arg(&facts)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("T(1, 3)"), "{stdout}");
+}
+
+#[test]
+fn missing_file_fails_with_message() {
+    let out = bin()
+        .args(["eval", "--semantics", "naive", "/definitely/not/here.dl"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn check_prints_analysis() {
+    let prog = write_temp("win.dl", "win(x) :- moves(x,y), !win(y).\n");
+    let out = bin().arg("check").arg(&prog).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("not stratifiable"), "{stdout}");
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("USAGE"));
+}
+
+#[test]
+fn bad_command_exits_nonzero() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn repl_session_over_stdin() {
+    let mut child = bin()
+        .arg("repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let stdin = child.stdin.as_mut().unwrap();
+    stdin
+        .write_all(
+            b"G(1,2). G(2,3).\n\
+              T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).\n\
+              ? T\n\
+              .explain T(1,3)\n\
+              .quit\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("T(1, 3)"), "{stdout}");
+    assert!(stdout.contains("(given)"), "{stdout}");
+}

@@ -1,0 +1,145 @@
+//! End-to-end CLI runs over the `.dl` program corpus shipped in
+//! `examples/programs/`.
+
+use std::path::PathBuf;
+use unchained_cli::args::parse_args;
+use unchained_cli::run::execute;
+
+fn corpus(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/programs")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"))
+}
+
+fn eval(semantics: &str, program: &str, facts: Option<&str>, extra: &str) -> Result<String, String> {
+    let argv: Vec<String> = format!("eval --semantics {semantics} p.dl {extra}")
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let cmd = parse_args(&argv).unwrap().command;
+    execute(&cmd, program, facts)
+}
+
+#[test]
+fn tc_corpus() {
+    let out = eval(
+        "seminaive",
+        &corpus("tc.dl"),
+        Some(&corpus("tc_facts.dl")),
+        "",
+    )
+    .unwrap();
+    assert!(out.contains("T('sd', 'nce')"));
+}
+
+#[test]
+fn win_corpus_wellfounded() {
+    let out = eval(
+        "wellfounded",
+        &corpus("win.dl"),
+        Some(&corpus("win_facts.dl")),
+        "",
+    )
+    .unwrap();
+    assert!(out.contains("win('d')"));
+    assert!(out.contains("% unknown facts:"));
+    assert!(out.contains("win('a')"));
+}
+
+#[test]
+fn ctc_corpora_agree() {
+    let facts = "G(1,2). G(2,3).";
+    let strat = eval("stratified", &corpus("ctc_stratified.dl"), Some(facts), "--output CT")
+        .unwrap();
+    let infl = eval(
+        "inflationary",
+        &corpus("ctc_inflationary.dl"),
+        Some(facts),
+        "--output CT",
+    )
+    .unwrap();
+    let body = |s: &str| {
+        s.lines()
+            .filter(|l| l.starts_with("CT"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(body(&strat), body(&infl));
+    assert!(strat.contains("CT(2, 1)"));
+}
+
+#[test]
+fn flip_flop_corpus_diverges() {
+    let err = eval(
+        "noninflationary",
+        &corpus("flip_flop.dl"),
+        Some(&corpus("flip_flop_facts.dl")),
+        "",
+    )
+    .unwrap_err();
+    assert!(err.contains("diverges"), "{err}");
+}
+
+#[test]
+fn orientation_corpus_effect() {
+    let out = eval(
+        "effect",
+        &corpus("orientation.dl"),
+        Some(&corpus("orientation_facts.dl")),
+        "",
+    )
+    .unwrap();
+    assert!(out.contains("% 4 terminal instance(s)"), "{out}");
+}
+
+#[test]
+fn choice_parity_corpus() {
+    let out = eval(
+        "effect",
+        &corpus("choice_parity.dl"),
+        Some(&corpus("choice_parity_facts.dl")),
+        "--output evenR",
+    )
+    .unwrap();
+    // |R| = 4 is even: evenR certain.
+    assert!(out.contains("% cert:\nevenR"), "{out}");
+}
+
+#[test]
+fn even_semipositive_corpus() {
+    let out = eval(
+        "stratified",
+        &corpus("even_semipositive.dl"),
+        Some(&corpus("even_semipositive_facts.dl")),
+        "--output even",
+    )
+    .unwrap();
+    // |R| = 3 is odd: `even` must NOT be derived.
+    assert!(!out.contains("\neven\n"), "{out}");
+    let infl = eval(
+        "inflationary",
+        &corpus("even_semipositive.dl"),
+        Some(&corpus("even_semipositive_facts.dl")),
+        "--output odd-pref",
+    )
+    .unwrap();
+    assert!(infl.contains("odd-pref(5)"), "{infl}");
+}
+
+#[test]
+fn check_corpus_programs() {
+    for (file, expected) in [
+        ("tc.dl", "language: Datalog"),
+        ("ctc_stratified.dl", "language: stratified Datalog¬"),
+        ("win.dl", "language: Datalog¬"),
+        ("flip_flop.dl", "language: Datalog¬¬"),
+        ("orientation.dl", "language: Datalog¬¬"),
+        ("choice_parity.dl", "language: N-Datalog"),
+        ("even_semipositive.dl", "language: semipositive Datalog¬"),
+    ] {
+        let cmd = parse_args(&["check".into(), "p.dl".into()]).unwrap().command;
+        let out = execute(&cmd, &corpus(file), None).unwrap();
+        assert!(out.contains(expected), "{file}: {out}");
+    }
+}

@@ -1,0 +1,52 @@
+//! Error types shared across the workspace.
+
+use crate::interner::Symbol;
+use std::fmt;
+
+/// Errors raised by the substrate layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommonError {
+    /// A relation symbol was used with two different arities.
+    ArityMismatch {
+        /// The offending symbol.
+        name: Symbol,
+        /// Arity expected from the first use / declaration.
+        expected: usize,
+        /// Arity actually supplied.
+        found: usize,
+    },
+    /// A relation symbol was referenced but is not present.
+    UnknownRelation(Symbol),
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommonError::ArityMismatch { name, expected, found } => write!(
+                f,
+                "arity mismatch for {name:?}: expected {expected}, found {found}"
+            ),
+            CommonError::UnknownRelation(name) => {
+                write!(f, "unknown relation {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interner::Interner;
+
+    #[test]
+    fn display_messages() {
+        let mut i = Interner::new();
+        let g = i.intern("G");
+        let e = CommonError::ArityMismatch { name: g, expected: 2, found: 3 };
+        assert!(e.to_string().contains("expected 2"));
+        let u = CommonError::UnknownRelation(g);
+        assert!(u.to_string().contains("unknown relation"));
+    }
+}

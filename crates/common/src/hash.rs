@@ -1,0 +1,138 @@
+//! A fast, non-cryptographic hasher in the style of `rustc-hash`'s
+//! `FxHasher`, implemented in-repo because the sanctioned offline
+//! dependency set does not include a fast-hash crate.
+//!
+//! The default SipHash used by `std::collections::HashMap` is HashDoS
+//! resistant but slow for the short keys (interned symbols, small tuples)
+//! that dominate Datalog evaluation. All data hashed by the engines is
+//! internally generated, so DoS resistance is not a concern here.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Firefox/rustc "Fx" hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic, non-cryptographic hasher.
+///
+/// Determinism matters for this workspace: instance fingerprints built on
+/// top of this hasher are used for divergence (cycle) detection in the
+/// noninflationary engines and for memoization in the nondeterministic
+/// ones, and tests assert on reproducible traces.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Mix in the length so that trailing zero bytes are not
+            // confused with shorter inputs.
+            self.add(u64::from_le_bytes(word) ^ (rest.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the fast hasher.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+/// Hashes a single value with [`FxHasher`]. Convenience for fingerprints.
+pub fn hash_one<T: std::hash::Hash>(value: &T) -> u64 {
+    let mut hasher = FxHasher::default();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one(&"hello"), hash_one(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+        assert_ne!(hash_one(&"a"), hash_one(&"b"));
+    }
+
+    #[test]
+    fn distinguishes_lengths() {
+        // Trailing zero bytes must not collide with shorter inputs.
+        let mut a = FxHasher::default();
+        a.write(&[1, 0]);
+        let mut b = FxHasher::default();
+        b.write(&[1]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn empty_input_hashes() {
+        let h = FxHasher::default();
+        assert_eq!(h.finish(), 0);
+    }
+
+    #[test]
+    fn map_and_set_usable() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}

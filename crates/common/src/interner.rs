@@ -1,0 +1,130 @@
+//! String interning.
+//!
+//! Relation names and symbolic constants are interned into compact
+//! [`Symbol`] ids so that the hot evaluation paths only ever compare and
+//! hash 32-bit integers. The [`Interner`] is an explicit object owned by
+//! whoever builds programs and instances (typically one per "session");
+//! evaluation itself never needs it — only parsing and display do.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// An interned string (relation name or symbolic constant).
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; mixing symbols from different interners is a logic error (it
+/// cannot cause memory unsafety, just wrong names).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw id. Exposed for tight loops (e.g. dense per-predicate
+    /// tables indexed by symbol id).
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a symbol from a raw id previously obtained via
+    /// [`Symbol::index`]. The caller must ensure the id came from the same
+    /// interner.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        Symbol(u32::try_from(index).expect("symbol index overflow"))
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+#[derive(Default, Debug, Clone)]
+pub struct Interner {
+    names: Vec<Box<str>>,
+    lookup: FxHashMap<Box<str>, Symbol>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol. Idempotent.
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(name) {
+            return sym;
+        }
+        let sym = Symbol(u32::try_from(self.names.len()).expect("too many symbols"));
+        let boxed: Box<str> = name.into();
+        self.names.push(boxed.clone());
+        self.lookup.insert(boxed, sym);
+        sym
+    }
+
+    /// Looks up a symbol without interning.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.lookup.get(name).copied()
+    }
+
+    /// The string a symbol stands for.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner.
+    pub fn name(&self, sym: Symbol) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("edge");
+        let b = i.intern("edge");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(i.name(a), "a");
+        assert_eq!(i.name(b), "b");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert!(i.get("missing").is_none());
+        let s = i.intern("present");
+        assert_eq!(i.get("present"), Some(s));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let mut i = Interner::new();
+        let s = i.intern("x");
+        assert_eq!(Symbol::from_index(s.index()), s);
+    }
+}

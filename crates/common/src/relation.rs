@@ -1,0 +1,297 @@
+//! Relations (finite sets of constant tuples) and hash indexes over them.
+
+use crate::hash::{hash_one, FxHashMap, FxHashSet};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A finite relation instance: a set of same-arity tuples.
+///
+/// Mutations bump a `version` counter; evaluators use `(name, version)`
+/// pairs to cache [`Index`]es across fixpoint iterations and invalidate
+/// them precisely when the underlying relation changed.
+#[derive(Clone, Debug)]
+pub struct Relation {
+    arity: usize,
+    tuples: FxHashSet<Tuple>,
+    version: u64,
+}
+
+impl Relation {
+    /// Creates an empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Relation { arity, tuples: FxHashSet::default(), version: 0 }
+    }
+
+    /// Creates a relation from an iterator of tuples.
+    ///
+    /// # Panics
+    /// Panics if a tuple's arity does not match.
+    pub fn from_tuples(arity: usize, tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        let mut rel = Relation::new(arity);
+        for t in tuples {
+            rel.insert(t);
+        }
+        rel
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The mutation counter. Two calls returning the same value guarantee
+    /// the contents did not change in between.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Inserts a tuple, returning `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if the tuple's arity does not match the relation's.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        assert_eq!(
+            tuple.arity(),
+            self.arity,
+            "arity mismatch: relation has arity {}, tuple has arity {}",
+            self.arity,
+            tuple.arity()
+        );
+        let added = self.tuples.insert(tuple);
+        if added {
+            self.version += 1;
+        }
+        added
+    }
+
+    /// Removes a tuple, returning `true` if it was present.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        let removed = self.tuples.remove(tuple);
+        if removed {
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// Removes all tuples.
+    pub fn clear(&mut self) {
+        if !self.tuples.is_empty() {
+            self.tuples.clear();
+            self.version += 1;
+        }
+    }
+
+    /// Iterates over the tuples in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + Clone {
+        self.tuples.iter()
+    }
+
+    /// Returns the tuples in sorted order (for deterministic output).
+    pub fn sorted(&self) -> Vec<&Tuple> {
+        let mut v: Vec<&Tuple> = self.tuples.iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Inserts every tuple of `other`; returns the number actually added.
+    ///
+    /// # Panics
+    /// Panics if arities differ.
+    pub fn union_with(&mut self, other: &Relation) -> usize {
+        assert_eq!(self.arity, other.arity, "arity mismatch in union");
+        let mut added = 0;
+        for t in other.iter() {
+            if self.tuples.insert(t.clone()) {
+                added += 1;
+            }
+        }
+        if added > 0 {
+            self.version += 1;
+        }
+        added
+    }
+
+    /// Set-difference in place; returns the number removed.
+    pub fn difference_with(&mut self, other: &Relation) -> usize {
+        assert_eq!(self.arity, other.arity, "arity mismatch in difference");
+        let before = self.tuples.len();
+        for t in other.iter() {
+            self.tuples.remove(t);
+        }
+        let removed = before - self.tuples.len();
+        if removed > 0 {
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// True iff both relations hold exactly the same tuples.
+    pub fn same_tuples(&self, other: &Relation) -> bool {
+        self.arity == other.arity && self.tuples == other.tuples
+    }
+
+    /// Collects the values occurring in the relation into `out`.
+    pub fn collect_adom(&self, out: &mut FxHashSet<Value>) {
+        for t in self.iter() {
+            out.extend(t.values().iter().copied());
+        }
+    }
+
+    /// An order-independent 64-bit fingerprint of the contents.
+    ///
+    /// Computed as the wrapping sum of per-tuple hashes, so it does not
+    /// depend on hash-set iteration order. Used (together with relation
+    /// names) for instance-level state fingerprints in cycle detection.
+    pub fn fingerprint(&self) -> u64 {
+        self.tuples
+            .iter()
+            .fold(0u64, |acc, t| acc.wrapping_add(hash_one(t)))
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_tuples(other)
+    }
+}
+
+impl Eq for Relation {}
+
+/// A hash index over a relation: tuples grouped by their values at a
+/// fixed set of key columns.
+///
+/// Built once per (relation version, key columns) by evaluators and used
+/// to drive index-nested-loop joins: `probe` returns exactly the tuples
+/// whose key columns equal the probe key.
+#[derive(Debug)]
+pub struct Index {
+    key_columns: Vec<usize>,
+    buckets: FxHashMap<Box<[Value]>, Vec<Tuple>>,
+    empty: Vec<Tuple>,
+}
+
+impl Index {
+    /// Builds the index. `key_columns` must be valid positions.
+    pub fn build(relation: &Relation, key_columns: &[usize]) -> Self {
+        let mut buckets: FxHashMap<Box<[Value]>, Vec<Tuple>> = FxHashMap::default();
+        for t in relation.iter() {
+            let key: Box<[Value]> = key_columns.iter().map(|&c| t[c]).collect();
+            buckets.entry(key).or_default().push(t.clone());
+        }
+        Index { key_columns: key_columns.to_vec(), buckets, empty: Vec::new() }
+    }
+
+    /// The key columns this index was built on.
+    pub fn key_columns(&self) -> &[usize] {
+        &self.key_columns
+    }
+
+    /// The tuples whose key columns equal `key` (in index order).
+    pub fn probe(&self, key: &[Value]) -> &[Tuple] {
+        debug_assert_eq!(key.len(), self.key_columns.len());
+        self.buckets.get(key).map_or(&self.empty[..], |v| &v[..])
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(a: i64, b: i64) -> Tuple {
+        Tuple::from([Value::Int(a), Value::Int(b)])
+    }
+
+    #[test]
+    fn insert_dedups_and_bumps_version() {
+        let mut r = Relation::new(2);
+        let v0 = r.version();
+        assert!(r.insert(t2(1, 2)));
+        assert!(r.version() > v0);
+        let v1 = r.version();
+        assert!(!r.insert(t2(1, 2)));
+        assert_eq!(r.version(), v1, "duplicate insert must not bump version");
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut r = Relation::new(2);
+        r.insert(Tuple::from([Value::Int(1)]));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let mut a = Relation::from_tuples(2, vec![t2(1, 2), t2(3, 4)]);
+        let b = Relation::from_tuples(2, vec![t2(3, 4), t2(5, 6)]);
+        assert_eq!(a.union_with(&b), 1);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.difference_with(&b), 2);
+        assert_eq!(a.len(), 1);
+        assert!(a.contains(&t2(1, 2)));
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent() {
+        let a = Relation::from_tuples(2, vec![t2(1, 2), t2(3, 4), t2(5, 6)]);
+        let b = Relation::from_tuples(2, vec![t2(5, 6), t2(1, 2), t2(3, 4)]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let c = Relation::from_tuples(2, vec![t2(1, 2), t2(3, 4)]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn index_probe() {
+        let r = Relation::from_tuples(2, vec![t2(1, 10), t2(1, 20), t2(2, 30)]);
+        let idx = Index::build(&r, &[0]);
+        assert_eq!(idx.probe(&[Value::Int(1)]).len(), 2);
+        assert_eq!(idx.probe(&[Value::Int(2)]).len(), 1);
+        assert!(idx.probe(&[Value::Int(9)]).is_empty());
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn index_on_no_columns_groups_everything() {
+        let r = Relation::from_tuples(2, vec![t2(1, 10), t2(2, 20)]);
+        let idx = Index::build(&r, &[]);
+        assert_eq!(idx.probe(&[]).len(), 2);
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let r = Relation::from_tuples(2, vec![t2(3, 4), t2(1, 2)]);
+        let sorted = r.sorted();
+        assert_eq!(sorted, vec![&t2(1, 2), &t2(3, 4)]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = Relation::from_tuples(2, vec![t2(1, 2)]);
+        r.clear();
+        assert!(r.is_empty());
+        // Clearing an already-empty relation should not bump the version.
+        let v = r.version();
+        r.clear();
+        assert_eq!(r.version(), v);
+    }
+}

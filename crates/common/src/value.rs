@@ -1,0 +1,103 @@
+//! Domain values.
+//!
+//! The paper assumes an infinite set **dom** of constants. We realize it
+//! as the disjoint union of interned symbolic constants, 64-bit integers,
+//! and *invented* values (Section 4.3: `Datalog¬new` extends programs with
+//! the ability to invent values outside the current active domain).
+//!
+//! `Value` is `Copy` (12 bytes, padded to 16), which keeps tuples flat and
+//! valuation environments allocation-free.
+
+use crate::interner::{Interner, Symbol};
+use std::fmt;
+
+/// A single domain element.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Value {
+    /// An interned symbolic constant such as `'a'` or `'paris'`.
+    Sym(Symbol),
+    /// An integer constant.
+    Int(i64),
+    /// A value invented during evaluation of a `Datalog¬new` /
+    /// `N-Datalog¬new` program. The payload is a fresh counter issued by
+    /// the engine; invented values never collide with input constants.
+    Invented(u64),
+}
+
+impl Value {
+    /// Convenience constructor for interned symbols.
+    pub fn sym(interner: &mut Interner, name: &str) -> Self {
+        Value::Sym(interner.intern(name))
+    }
+
+    /// True for values produced by value invention rather than taken from
+    /// the input or the program text.
+    pub fn is_invented(self) -> bool {
+        matches!(self, Value::Invented(_))
+    }
+
+    /// Renders the value for humans; symbols are resolved through the
+    /// interner.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayValue<'a> {
+        DisplayValue { value: self, interner }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+/// Helper returned by [`Value::display`].
+pub struct DisplayValue<'a> {
+    value: &'a Value,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for DisplayValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.value {
+            Value::Sym(s) => write!(f, "'{}'", self.interner.name(*s)),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Invented(n) => write!(f, "@{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_is_small_and_copy() {
+        // The engines rely on Value being cheap to copy.
+        assert!(std::mem::size_of::<Value>() <= 16);
+        let v = Value::Int(3);
+        let w = v; // Copy
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut i = Interner::new();
+        let s = Value::sym(&mut i, "a");
+        assert_eq!(s.display(&i).to_string(), "'a'");
+        assert_eq!(Value::Int(-7).display(&i).to_string(), "-7");
+        assert_eq!(Value::Invented(3).display(&i).to_string(), "@3");
+    }
+
+    #[test]
+    fn invented_detection() {
+        assert!(Value::Invented(0).is_invented());
+        assert!(!Value::Int(0).is_invented());
+    }
+
+    #[test]
+    fn kinds_are_disjoint() {
+        let mut i = Interner::new();
+        let zero_sym = Value::sym(&mut i, "0");
+        assert_ne!(zero_sym, Value::Int(0));
+        assert_ne!(Value::Int(0), Value::Invented(0));
+    }
+}

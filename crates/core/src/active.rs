@@ -1,0 +1,354 @@
+//! An active-database trigger engine — the framework of Picouet–Vianu
+//! \[104\] ("Semantics and expressiveness issues in active databases"),
+//! which the paper points to at the end of Section 4.3, in its
+//! deferred-execution, set-oriented form.
+//!
+//! Active rules are ordinary Datalog¬¬-style rules over the base schema
+//! **extended with delta relations**: for a base relation `R`, the
+//! relation `ins-R` holds the tuples inserted in the previous round and
+//! `del-R` those deleted. Execution:
+//!
+//! 1. an external **update** (a set of insertions and deletions) is
+//!    applied to the state and becomes the round-0 deltas;
+//! 2. each round evaluates all rules *once* (one parallel firing)
+//!    against the state plus the current deltas; positive heads request
+//!    insertions, negative heads deletions;
+//! 3. the *effective* changes (requests that actually change the state)
+//!    are applied and become the next round's deltas;
+//! 4. the database **quiesces** when a round changes nothing.
+//!
+//! Like Datalog¬¬ itself (Section 4.2), triggers need not terminate;
+//! a round budget bounds runaway cascades. \[104\] shows such languages
+//! climb the complexity ladder (pspace, exptime, …) depending on the
+//! features enabled — here we provide the core machinery and validate
+//! its behavioural properties (cascades, audit rules, quiescence,
+//! divergence).
+
+use crate::error::EvalError;
+use crate::eval::{
+    active_domain, for_each_match, instantiate, plan_rule, IndexCache, Plan, Sources,
+};
+use std::ops::ControlFlow;
+use unchained_common::{FxHashSet, Instance, Interner, Symbol, Tuple};
+use unchained_parser::{check_range_restricted, HeadLiteral, Program};
+
+/// Prefix naming the insertion delta of a relation (`ins-R`).
+pub const INS_PREFIX: &str = "ins-";
+/// Prefix naming the deletion delta of a relation (`del-R`).
+pub const DEL_PREFIX: &str = "del-";
+
+/// An external update: the triggering event.
+#[derive(Clone, Default, Debug)]
+pub struct Update {
+    /// Facts to insert.
+    pub insertions: Vec<(Symbol, Tuple)>,
+    /// Facts to delete.
+    pub deletions: Vec<(Symbol, Tuple)>,
+}
+
+impl Update {
+    /// An update inserting one fact.
+    pub fn insert(pred: Symbol, tuple: Tuple) -> Self {
+        Update { insertions: vec![(pred, tuple)], deletions: vec![] }
+    }
+
+    /// An update deleting one fact.
+    pub fn delete(pred: Symbol, tuple: Tuple) -> Self {
+        Update { insertions: vec![], deletions: vec![(pred, tuple)] }
+    }
+
+    /// Adds an insertion (builder style).
+    pub fn and_insert(mut self, pred: Symbol, tuple: Tuple) -> Self {
+        self.insertions.push((pred, tuple));
+        self
+    }
+
+    /// Adds a deletion (builder style).
+    pub fn and_delete(mut self, pred: Symbol, tuple: Tuple) -> Self {
+        self.deletions.push((pred, tuple));
+        self
+    }
+}
+
+/// Outcome of processing one update to quiescence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ActiveReport {
+    /// Rounds of trigger firing (0 if the update itself changed
+    /// nothing).
+    pub rounds: usize,
+    /// Total effective insertions (including the external ones).
+    pub inserted: usize,
+    /// Total effective deletions (including the external ones).
+    pub deleted: usize,
+}
+
+/// An active database: base state plus trigger rules.
+pub struct ActiveDatabase {
+    /// Trigger rules (over base relations and `ins-`/`del-` deltas).
+    pub program: Program,
+    /// The base state. Delta relations never appear here.
+    pub state: Instance,
+    /// Round budget per update.
+    pub max_rounds: usize,
+}
+
+impl ActiveDatabase {
+    /// Creates an active database.
+    ///
+    /// # Errors
+    /// Rejects non-range-restricted rules.
+    pub fn new(program: Program, state: Instance) -> Result<Self, EvalError> {
+        check_range_restricted(&program, false)?;
+        Ok(ActiveDatabase { program, state, max_rounds: 10_000 })
+    }
+
+    /// Applies `update` and fires triggers until quiescence.
+    ///
+    /// `interner` is needed to resolve the `ins-R` / `del-R` delta
+    /// relation names used by the rules.
+    pub fn apply(
+        &mut self,
+        update: Update,
+        interner: &mut Interner,
+    ) -> Result<ActiveReport, EvalError> {
+        // Apply the external update; effective changes seed the deltas.
+        let mut report = ActiveReport { rounds: 0, inserted: 0, deleted: 0 };
+        let mut delta_ins: Vec<(Symbol, Tuple)> = Vec::new();
+        let mut delta_del: Vec<(Symbol, Tuple)> = Vec::new();
+        for (pred, tuple) in update.insertions {
+            if self.state.insert_fact(pred, tuple.clone()) {
+                report.inserted += 1;
+                delta_ins.push((pred, tuple));
+            }
+        }
+        for (pred, tuple) in update.deletions {
+            if self
+                .state
+                .relation_mut(pred)
+                .is_some_and(|r| r.remove(&tuple))
+            {
+                report.deleted += 1;
+                delta_del.push((pred, tuple));
+            }
+        }
+
+        let plans: Vec<Plan> = self.program.rules.iter().map(plan_rule).collect();
+        while !delta_ins.is_empty() || !delta_del.is_empty() {
+            report.rounds += 1;
+            if report.rounds > self.max_rounds {
+                return Err(EvalError::StageLimitExceeded(self.max_rounds));
+            }
+            // Resolve delta names for every base relation currently
+            // known (schema, state, or this round's deltas) — relations
+            // first introduced by an update or a trigger head get their
+            // deltas here.
+            let mut delta_of: unchained_common::FxHashMap<Symbol, (Symbol, Symbol)> =
+                unchained_common::FxHashMap::default();
+            let schema = self.program.schema()?;
+            let mut base_preds: Vec<Symbol> = schema.iter().map(|(s, _)| s).collect();
+            base_preds.extend(self.state.symbols());
+            base_preds.extend(delta_ins.iter().chain(delta_del.iter()).map(|(p, _)| *p));
+            base_preds.sort_unstable();
+            base_preds.dedup();
+            for pred in base_preds {
+                let name = interner.name(pred).to_string();
+                if name.starts_with(INS_PREFIX) || name.starts_with(DEL_PREFIX) {
+                    continue;
+                }
+                let ins = interner.intern(&format!("{INS_PREFIX}{name}"));
+                let del = interner.intern(&format!("{DEL_PREFIX}{name}"));
+                delta_of.insert(pred, (ins, del));
+            }
+            // Working view: state + delta relations.
+            let mut view = self.state.clone();
+            for (pred, tuple) in &delta_ins {
+                if let Some(&(ins, _)) = delta_of.get(pred) {
+                    view.insert_fact(ins, tuple.clone());
+                }
+            }
+            for (pred, tuple) in &delta_del {
+                if let Some(&(_, del)) = delta_of.get(pred) {
+                    view.insert_fact(del, tuple.clone());
+                }
+            }
+            // One parallel firing of all rules against the view.
+            let adom = active_domain(&self.program, &view);
+            let mut cache = IndexCache::new();
+            let mut req_ins: FxHashSet<(Symbol, Tuple)> = FxHashSet::default();
+            let mut req_del: FxHashSet<(Symbol, Tuple)> = FxHashSet::default();
+            for (rule, plan) in self.program.rules.iter().zip(&plans) {
+                let (pred, args, negative) = match &rule.head[0] {
+                    HeadLiteral::Pos(a) => (a.pred, &a.args, false),
+                    HeadLiteral::Neg(a) => (a.pred, &a.args, true),
+                    HeadLiteral::Bottom => continue,
+                };
+                let _ = for_each_match(plan, Sources::simple(&view), &adom, &mut cache, &mut |env| {
+                    let tuple = instantiate(args, env);
+                    if negative {
+                        req_del.insert((pred, tuple));
+                    } else {
+                        req_ins.insert((pred, tuple));
+                    }
+                    ControlFlow::Continue(())
+                });
+            }
+            // Effective changes (insertion priority on conflicts, as in
+            // the paper's Datalog¬¬ semantics).
+            delta_ins.clear();
+            delta_del.clear();
+            for (pred, tuple) in &req_del {
+                if req_ins.contains(&(*pred, tuple.clone())) {
+                    continue;
+                }
+                if self
+                    .state
+                    .relation_mut(*pred)
+                    .is_some_and(|r| r.remove(tuple))
+                {
+                    report.deleted += 1;
+                    delta_del.push((*pred, tuple.clone()));
+                }
+            }
+            for (pred, tuple) in req_ins {
+                if self.state.insert_fact(pred, tuple.clone()) {
+                    report.inserted += 1;
+                    delta_ins.push((pred, tuple));
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unchained_common::Value;
+    use unchained_parser::parse_program;
+
+    fn sym(i: &mut Interner, s: &str) -> Value {
+        Value::sym(i, s)
+    }
+
+    /// Referential integrity by genuinely cascading triggers: deleting
+    /// a department deletes its employees (round 1), which deletes
+    /// their assignments (round 2).
+    #[test]
+    fn cascading_delete_over_two_rounds() {
+        let mut i = Interner::new();
+        let program = parse_program(
+            "!emp(e, d) :- del-dept(d), emp(e, d).\n\
+             !assigned(e, p) :- del-emp(e, d), assigned(e, p).",
+            &mut i,
+        )
+        .unwrap();
+        let dept = i.get("dept").unwrap_or_else(|| i.intern("dept"));
+        let emp = i.get("emp").unwrap();
+        let assigned = i.get("assigned").unwrap();
+        let mut state = Instance::new();
+        let sales = sym(&mut i, "sales");
+        let ops = sym(&mut i, "ops");
+        state.insert_fact(dept, Tuple::from([sales]));
+        state.insert_fact(dept, Tuple::from([ops]));
+        let (ann, bob, dan) = (sym(&mut i, "ann"), sym(&mut i, "bob"), sym(&mut i, "dan"));
+        state.insert_fact(emp, Tuple::from([ann, sales]));
+        state.insert_fact(emp, Tuple::from([bob, sales]));
+        state.insert_fact(emp, Tuple::from([dan, ops]));
+        let (p1, p2, p3) = (sym(&mut i, "p1"), sym(&mut i, "p2"), sym(&mut i, "p3"));
+        state.insert_fact(assigned, Tuple::from([ann, p1]));
+        state.insert_fact(assigned, Tuple::from([bob, p2]));
+        state.insert_fact(assigned, Tuple::from([dan, p3]));
+
+        let mut db = ActiveDatabase::new(program, state).unwrap();
+        let report = db
+            .apply(Update::delete(dept, Tuple::from([sales])), &mut i)
+            .unwrap();
+        // 1 dept + 2 emps + 2 assignments deleted; 2 cascade rounds +
+        // a quiescing round.
+        assert_eq!(report.deleted, 5);
+        assert_eq!(report.inserted, 0);
+        assert!(report.rounds >= 2);
+        assert_eq!(db.state.relation(emp).unwrap().len(), 1);
+        assert_eq!(db.state.relation(assigned).unwrap().len(), 1);
+    }
+
+    /// Audit triggers: insertions are logged, and the log itself does
+    /// not retrigger anything.
+    #[test]
+    fn audit_log_trigger() {
+        let mut i = Interner::new();
+        let program = parse_program("log(e, d) :- ins-emp(e, d).", &mut i).unwrap();
+        let emp = i.intern("emp");
+        let log = i.get("log").unwrap();
+        let mut db = ActiveDatabase::new(program, Instance::new()).unwrap();
+        let e = sym(&mut i, "eve");
+        let d = sym(&mut i, "rnd");
+        let report = db.apply(Update::insert(emp, Tuple::from([e, d])), &mut i).unwrap();
+        assert!(db.state.contains_fact(log, &Tuple::from([e, d])));
+        // emp insert + log insert.
+        assert_eq!(report.inserted, 2);
+        // Re-inserting an existing fact is a no-op: no deltas, no firing.
+        let report = db.apply(Update::insert(emp, Tuple::from([e, d])), &mut i).unwrap();
+        assert_eq!(report, ActiveReport { rounds: 0, inserted: 0, deleted: 0 });
+    }
+
+    /// Repair trigger: deleting a protected fact re-inserts it
+    /// (compensating action), reaching quiescence.
+    #[test]
+    fn compensating_trigger_restores_protected_fact() {
+        let mut i = Interner::new();
+        let program = parse_program("config(k, v) :- del-config(k, v), protected(k).", &mut i)
+            .unwrap();
+        let config = i.get("config").unwrap();
+        let protected = i.get("protected").unwrap();
+        let mut state = Instance::new();
+        let k = sym(&mut i, "root-key");
+        let v = sym(&mut i, "v1");
+        state.insert_fact(config, Tuple::from([k, v]));
+        state.insert_fact(protected, Tuple::from([k]));
+        let mut db = ActiveDatabase::new(program, state).unwrap();
+        let report = db.apply(Update::delete(config, Tuple::from([k, v])), &mut i).unwrap();
+        assert!(db.state.contains_fact(config, &Tuple::from([k, v])));
+        assert_eq!(report.deleted, 1);
+        assert_eq!(report.inserted, 1);
+    }
+
+    /// Two triggers that undo each other forever exhaust the round
+    /// budget — active rule sets need not terminate, like Datalog¬¬.
+    #[test]
+    fn ping_pong_triggers_hit_round_budget() {
+        let mut i = Interner::new();
+        // Delete on insert, re-insert on delete: each round undoes the
+        // previous one forever.
+        let program =
+            parse_program("!A(x) :- ins-A(x). A(x) :- del-A(x).", &mut i).unwrap();
+        let a = i.intern("A");
+        let mut db = ActiveDatabase::new(program, Instance::new()).unwrap();
+        db.max_rounds = 30;
+        let result = db.apply(Update::insert(a, Tuple::from([Value::Int(1)])), &mut i);
+        assert!(matches!(result, Err(EvalError::StageLimitExceeded(30))));
+    }
+
+    /// Mixed update: simultaneous insertions and deletions both seed
+    /// round-0 deltas.
+    #[test]
+    fn mixed_update_seeds_both_deltas() {
+        let mut i = Interner::new();
+        let program = parse_program(
+            "sawins(x) :- ins-R(x). sawdel(x) :- del-R(x).",
+            &mut i,
+        )
+        .unwrap();
+        let r = i.intern("R");
+        let sawins = i.get("sawins").unwrap();
+        let sawdel = i.get("sawdel").unwrap();
+        let mut state = Instance::new();
+        state.insert_fact(r, Tuple::from([Value::Int(1)]));
+        let mut db = ActiveDatabase::new(program, state).unwrap();
+        let update = Update::insert(r, Tuple::from([Value::Int(2)]))
+            .and_delete(r, Tuple::from([Value::Int(1)]));
+        db.apply(update, &mut i).unwrap();
+        assert!(db.state.contains_fact(sawins, &Tuple::from([Value::Int(2)])));
+        assert!(db.state.contains_fact(sawdel, &Tuple::from([Value::Int(1)])));
+    }
+}

@@ -1,0 +1,655 @@
+//! Shared rule-evaluation machinery: body planning, plan execution, and
+//! index caching.
+//!
+//! Every engine in this crate (and the nondeterministic engines in
+//! `unchained-nondet`) evaluates rule bodies the same way:
+//!
+//! 1. a **plan** orders the body's work: positive atoms become indexed
+//!    scans (most-bound-first, greedy), equalities that can bind a
+//!    variable become binding steps, remaining variables — those
+//!    occurring only under negation, as in `CT(x,y) ← ¬T(x,y)` — are
+//!    enumerated over the active domain (the paper's semantics valuates
+//!    *every* variable over `adom(P, K)`), and negative / (in)equality
+//!    literals are checked as soon as their variables are bound;
+//! 2. an **executor** runs the plan against an instance, invoking a
+//!    callback once per satisfying valuation;
+//! 3. an **index cache** memoizes per-(relation, columns) hash indexes
+//!    across fixpoint iterations, invalidated by relation version.
+
+use std::ops::ControlFlow;
+use unchained_common::{FxHashMap, Index, Instance, Relation, Symbol, Tuple, Value};
+use unchained_parser::{Literal, Rule, Term, Var};
+
+/// Where a scan reads from: the full relation or the per-iteration delta
+/// (semi-naive evaluation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ScanSource {
+    /// The full current relation.
+    Full,
+    /// The delta instance supplied by the caller.
+    Delta,
+}
+
+/// One step of a compiled rule body.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Probe `pred` (via an index on `key` positions) and bind the
+    /// remaining positions.
+    Scan {
+        /// The relation scanned.
+        pred: Symbol,
+        /// The atom's argument terms.
+        args: Vec<Term>,
+        /// Positions whose value is known before the scan (constants and
+        /// already-bound variables). The index is built on these.
+        key: Vec<usize>,
+        /// Full or delta relation.
+        source: ScanSource,
+    },
+    /// Bind `var` to the value of `term` (which the plan guarantees is
+    /// evaluable here).
+    BindEq {
+        /// The variable being bound.
+        var: Var,
+        /// Its defining term.
+        term: Term,
+    },
+    /// Enumerate `var` over the active domain.
+    Domain {
+        /// The variable enumerated.
+        var: Var,
+    },
+    /// Check that `pred(args)` is absent.
+    CheckNeg {
+        /// The negated relation.
+        pred: Symbol,
+        /// Argument terms (all bound here).
+        args: Vec<Term>,
+    },
+    /// Check `(left = right) == equal`.
+    CheckCmp {
+        /// Left term.
+        left: Term,
+        /// Right term.
+        right: Term,
+        /// Equality (`true`) or inequality (`false`).
+        equal: bool,
+    },
+}
+
+/// A compiled rule body.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Ordered steps.
+    pub steps: Vec<Step>,
+    /// Number of variables in the owning rule (environment size).
+    pub var_count: usize,
+}
+
+/// Plans the given body literals of `rule`.
+///
+/// `vars_to_bind` lists the variables the plan must have bound when the
+/// callback fires (normally all body variables; the nondeterministic
+/// `forall` engine plans only the non-universal part of the body).
+/// Variables not bound by scans or equalities get [`Step::Domain`] steps.
+pub fn plan_body(rule: &Rule, literals: &[&Literal], vars_to_bind: &[Var]) -> Plan {
+    #[derive(PartialEq)]
+    enum LitState {
+        Pending,
+        Done,
+    }
+    let mut state: Vec<LitState> = literals.iter().map(|_| LitState::Pending).collect();
+    let mut bound = vec![false; rule.var_count()];
+    let mut steps = Vec::new();
+
+    let term_known = |t: &Term, bound: &[bool]| match t {
+        Term::Const(_) => true,
+        Term::Var(v) => bound[v.index()],
+    };
+
+    // Flush every pending check whose variables are now all bound.
+    // Negative literals and comparisons never bind variables (matching
+    // the paper: negation tests absence under a full valuation).
+    fn flush_checks(
+        literals: &[&Literal],
+        state: &mut [LitState],
+        bound: &[bool],
+        steps: &mut Vec<Step>,
+    ) {
+        for (i, lit) in literals.iter().enumerate() {
+            if state[i] == LitState::Done {
+                continue;
+            }
+            let ready = lit
+                .vars()
+                .iter()
+                .all(|v| bound[v.index()]);
+            if !ready {
+                continue;
+            }
+            match lit {
+                Literal::Neg(atom) => {
+                    steps.push(Step::CheckNeg { pred: atom.pred, args: atom.args.clone() });
+                    state[i] = LitState::Done;
+                }
+                Literal::Eq(l, r) => {
+                    steps.push(Step::CheckCmp { left: *l, right: *r, equal: true });
+                    state[i] = LitState::Done;
+                }
+                Literal::Neq(l, r) => {
+                    steps.push(Step::CheckCmp { left: *l, right: *r, equal: false });
+                    state[i] = LitState::Done;
+                }
+                Literal::Pos(_) => {
+                    // Positive atoms are handled by scans below; even when
+                    // fully bound we emit a scan (a cheap point lookup).
+                }
+                Literal::Choice(..) => {
+                    unreachable!(
+                        "choice constraints are stripped before planning (nondet engine only)"
+                    )
+                }
+            }
+        }
+    }
+
+    loop {
+        flush_checks(literals, &mut state, &bound, &mut steps);
+
+        // 1. Equality that can bind a variable?
+        let mut progressed = false;
+        for (i, lit) in literals.iter().enumerate() {
+            if state[i] == LitState::Done {
+                continue;
+            }
+            if let Literal::Eq(l, r) = lit {
+                let (lk, rk) = (term_known(l, &bound), term_known(r, &bound));
+                let bind = match (lk, rk) {
+                    (true, false) => r.as_var().map(|v| (v, *l)),
+                    (false, true) => l.as_var().map(|v| (v, *r)),
+                    _ => None,
+                };
+                if let Some((var, term)) = bind {
+                    steps.push(Step::BindEq { var, term });
+                    bound[var.index()] = true;
+                    state[i] = LitState::Done;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if progressed {
+            continue;
+        }
+
+        // 2. Positive atom: pick the pending one with the most known
+        //    argument positions (greedy bound-first join order).
+        let mut best: Option<(usize, usize)> = None; // (lit index, #known)
+        for (i, lit) in literals.iter().enumerate() {
+            if state[i] == LitState::Done {
+                continue;
+            }
+            if let Literal::Pos(atom) = lit {
+                let known = atom
+                    .args
+                    .iter()
+                    .filter(|t| term_known(t, &bound))
+                    .count();
+                // Prefer more bound columns; tie-break on source order.
+                if best.is_none_or(|(_, k)| known > k) {
+                    best = Some((i, known));
+                }
+            }
+        }
+        if let Some((i, _)) = best {
+            let Literal::Pos(atom) = literals[i] else { unreachable!() };
+            let key: Vec<usize> = atom
+                .args
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| term_known(t, &bound))
+                .map(|(p, _)| p)
+                .collect();
+            for t in &atom.args {
+                if let Term::Var(v) = t {
+                    bound[v.index()] = true;
+                }
+            }
+            steps.push(Step::Scan {
+                pred: atom.pred,
+                args: atom.args.clone(),
+                key,
+                source: ScanSource::Full,
+            });
+            state[i] = LitState::Done;
+            continue;
+        }
+
+        // 3. Still-unbound variable that the caller needs: enumerate it
+        //    over the active domain.
+        let next_unbound = vars_to_bind
+            .iter()
+            .copied()
+            .find(|v| !bound[v.index()]);
+        if let Some(v) = next_unbound {
+            steps.push(Step::Domain { var: v });
+            bound[v.index()] = true;
+            continue;
+        }
+
+        break;
+    }
+    flush_checks(literals, &mut state, &bound, &mut steps);
+    debug_assert!(
+        state.iter().all(|s| *s == LitState::Done),
+        "planner left literals unscheduled"
+    );
+    Plan { steps, var_count: rule.var_count() }
+}
+
+/// Plans a rule's full body, requiring all body variables bound.
+pub fn plan_rule(rule: &Rule) -> Plan {
+    let literals: Vec<&Literal> = rule.body.iter().collect();
+    let vars = rule.body_vars();
+    plan_body(rule, &literals, &vars)
+}
+
+/// Produces the semi-naive variants of a plan: for each scan of a
+/// predicate in `recursive`, a variant where that scan (and only that
+/// one) reads the delta. Returns an empty vector if the plan scans no
+/// recursive predicate (such rules only fire in the first iteration).
+pub fn seminaive_variants(plan: &Plan, recursive: &dyn Fn(Symbol) -> bool) -> Vec<Plan> {
+    let mut variants = Vec::new();
+    for (i, step) in plan.steps.iter().enumerate() {
+        if let Step::Scan { pred, .. } = step {
+            if recursive(*pred) {
+                let mut v = plan.clone();
+                if let Step::Scan { source, .. } = &mut v.steps[i] {
+                    *source = ScanSource::Delta;
+                }
+                variants.push(v);
+            }
+        }
+    }
+    variants
+}
+
+/// A per-run cache of relation indexes, keyed by
+/// `(relation, key columns, source)` and invalidated by relation version.
+///
+/// Delta relations are rebuilt every iteration, so their entries are
+/// cleared by [`IndexCache::begin_delta_round`].
+/// Cache key: relation, index columns, scan source.
+type IndexKey = (Symbol, Box<[usize]>, ScanSource);
+
+#[derive(Default)]
+pub struct IndexCache {
+    entries: FxHashMap<IndexKey, (u64, Index)>,
+}
+
+impl IndexCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all delta-source entries. Call whenever the delta instance
+    /// changes (its relation versions are not comparable across rounds).
+    pub fn begin_delta_round(&mut self) {
+        self.entries.retain(|(_, _, source), _| *source == ScanSource::Full);
+    }
+
+    fn get(
+        &mut self,
+        pred: Symbol,
+        cols: &[usize],
+        source: ScanSource,
+        relation: &Relation,
+    ) -> &Index {
+        let key = (pred, cols.to_vec().into_boxed_slice(), source);
+        let entry = self.entries.entry(key).or_insert_with(|| {
+            (relation.version(), Index::build(relation, cols))
+        });
+        if entry.0 != relation.version() {
+            *entry = (relation.version(), Index::build(relation, cols));
+        }
+        &entry.1
+    }
+}
+
+/// A valuation environment: one slot per rule variable.
+pub type Env = Vec<Option<Value>>;
+
+/// Evaluates `term` under `env`.
+///
+/// # Panics
+/// Panics if the term is an unbound variable — the planner guarantees
+/// this cannot happen for well-formed plans.
+#[inline]
+pub fn term_value(term: &Term, env: &Env) -> Value {
+    match term {
+        Term::Const(v) => *v,
+        Term::Var(v) => env[v.index()].expect("planner bound all variables"),
+    }
+}
+
+/// The instances a plan reads from.
+///
+/// * `full` — the current instance, read by [`ScanSource::Full`] scans.
+/// * `delta` — the per-round delta, read by [`ScanSource::Delta`] scans
+///   of semi-naive plan variants.
+/// * `neg` — when set, negative literals are checked against this
+///   instance instead of `full`. The well-founded engine uses this for
+///   the Gelfond–Lifschitz-style reduct of the alternating fixpoint,
+///   where negation reads the *previous* iterate while positive facts
+///   accumulate in the current one.
+#[derive(Clone, Copy)]
+pub struct Sources<'a> {
+    /// Current instance.
+    pub full: &'a Instance,
+    /// Semi-naive delta, if running a delta variant.
+    pub delta: Option<&'a Instance>,
+    /// Override instance for negative checks.
+    pub neg: Option<&'a Instance>,
+}
+
+impl<'a> Sources<'a> {
+    /// Sources reading everything from one instance.
+    pub fn simple(full: &'a Instance) -> Self {
+        Sources { full, delta: None, neg: None }
+    }
+}
+
+/// Runs `plan` against `sources`, with domain steps enumerating `adom`,
+/// invoking `on_match` for every satisfying valuation. `on_match` may
+/// stop the enumeration early by returning [`ControlFlow::Break`].
+#[allow(clippy::type_complexity)]
+pub fn for_each_match(
+    plan: &Plan,
+    sources: Sources<'_>,
+    adom: &[Value],
+    cache: &mut IndexCache,
+    on_match: &mut dyn FnMut(&Env) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let mut env: Env = vec![None; plan.var_count];
+    run_steps(&plan.steps, sources, adom, cache, &mut env, on_match)
+}
+
+fn run_steps(
+    steps: &[Step],
+    sources: Sources<'_>,
+    adom: &[Value],
+    cache: &mut IndexCache,
+    env: &mut Env,
+    on_match: &mut dyn FnMut(&Env) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let Some((step, rest)) = steps.split_first() else {
+        return on_match(env);
+    };
+    match step {
+        Step::Scan { pred, args, key, source } => {
+            let instance = match source {
+                ScanSource::Full => sources.full,
+                ScanSource::Delta => {
+                    sources.delta.expect("delta plan run without delta instance")
+                }
+            };
+            let Some(relation) = instance.relation(*pred) else {
+                return ControlFlow::Continue(()); // absent relation = empty
+            };
+            // Build the probe key from the bound positions.
+            let probe: Vec<Value> = key.iter().map(|&p| term_value(&args[p], env)).collect();
+            // The borrow checker will not let us hold the index across the
+            // recursive call (which needs `cache`), so clone the matching
+            // tuples. Buckets are typically small.
+            let matches: Vec<Tuple> =
+                cache.get(*pred, key, *source, relation).probe(&probe).to_vec();
+            'tuples: for tuple in matches {
+                // Bind non-key positions, checking repeated variables.
+                let mut newly_bound: Vec<usize> = Vec::new();
+                for (p, term) in args.iter().enumerate() {
+                    if key.contains(&p) {
+                        continue;
+                    }
+                    let Term::Var(v) = term else {
+                        unreachable!("constant positions are always key positions")
+                    };
+                    match env[v.index()] {
+                        Some(existing) => {
+                            if existing != tuple[p] {
+                                // Repeated variable mismatch.
+                                for &b in &newly_bound {
+                                    env[b] = None;
+                                }
+                                continue 'tuples;
+                            }
+                        }
+                        None => {
+                            env[v.index()] = Some(tuple[p]);
+                            newly_bound.push(v.index());
+                        }
+                    }
+                }
+                let flow = run_steps(rest, sources, adom, cache, env, on_match);
+                for &b in &newly_bound {
+                    env[b] = None;
+                }
+                flow?;
+            }
+            ControlFlow::Continue(())
+        }
+        Step::BindEq { var, term } => {
+            let value = term_value(term, env);
+            let prev = env[var.index()];
+            env[var.index()] = Some(value);
+            let flow = run_steps(rest, sources, adom, cache, env, on_match);
+            env[var.index()] = prev;
+            flow
+        }
+        Step::Domain { var } => {
+            for &value in adom {
+                env[var.index()] = Some(value);
+                run_steps(rest, sources, adom, cache, env, on_match)?;
+            }
+            env[var.index()] = None;
+            ControlFlow::Continue(())
+        }
+        Step::CheckNeg { pred, args } => {
+            let tuple: Tuple = args.iter().map(|t| term_value(t, env)).collect();
+            let neg_instance = sources.neg.unwrap_or(sources.full);
+            let present = neg_instance
+                .relation(*pred)
+                .is_some_and(|r| r.contains(&tuple));
+            if present {
+                ControlFlow::Continue(())
+            } else {
+                run_steps(rest, sources, adom, cache, env, on_match)
+            }
+        }
+        Step::CheckCmp { left, right, equal } => {
+            if (term_value(left, env) == term_value(right, env)) == *equal {
+                run_steps(rest, sources, adom, cache, env, on_match)
+            } else {
+                ControlFlow::Continue(())
+            }
+        }
+    }
+}
+
+/// Instantiates `args` under a complete environment.
+pub fn instantiate(args: &[Term], env: &Env) -> Tuple {
+    args.iter().map(|t| term_value(t, env)).collect()
+}
+
+/// Computes the sorted active domain `adom(P, I)`: constants of the
+/// program plus values of the instance.
+pub fn active_domain(program: &unchained_parser::Program, instance: &Instance) -> Vec<Value> {
+    let mut dom = instance.adom();
+    dom.extend(program.adom());
+    let mut v: Vec<Value> = dom.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unchained_common::Interner;
+    use unchained_parser::parse_program;
+
+    fn collect_matches(
+        src: &str,
+        facts: &[(&str, Vec<i64>)],
+    ) -> (Vec<Vec<Value>>, unchained_parser::Program) {
+        let mut interner = Interner::new();
+        let program = parse_program(src, &mut interner).unwrap();
+        let mut instance = Instance::new();
+        for (name, vals) in facts {
+            let sym = interner.intern(name);
+            let tuple: Tuple = vals.iter().map(|&v| Value::Int(v)).collect();
+            instance.insert_fact(sym, tuple);
+        }
+        let adom = active_domain(&program, &instance);
+        let rule = &program.rules[0];
+        let plan = plan_rule(rule);
+        let mut cache = IndexCache::new();
+        let mut out = Vec::new();
+        let n_vars = rule.var_count();
+        let _ = for_each_match(&plan, Sources::simple(&instance), &adom, &mut cache, &mut |env| {
+            out.push((0..n_vars).map(|i| env[i].unwrap()).collect::<Vec<_>>());
+            ControlFlow::Continue(())
+        });
+        out.sort();
+        (out, program)
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        let (matches, _) = collect_matches(
+            "P(x,y) :- G(x,z), G(z,y).",
+            &[("G", vec![1, 2]), ("G", vec![2, 3])],
+        );
+        // x=1, y=3, z=2 (vars in first-occurrence order: x, y, z).
+        assert_eq!(matches, vec![vec![Value::Int(1), Value::Int(3), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn negative_only_rule_ranges_over_adom() {
+        // CT(x,y) :- !T(x,y). — x, y enumerate the active domain.
+        let (matches, _) = collect_matches(
+            "CT(x,y) :- !T(x,y).",
+            &[("T", vec![1, 1]), ("E", vec![2])],
+        );
+        // adom = {1, 2}; all pairs except (1,1).
+        assert_eq!(matches.len(), 3);
+        assert!(!matches.contains(&vec![Value::Int(1), Value::Int(1)]));
+    }
+
+    #[test]
+    fn repeated_variables_in_atom() {
+        let (matches, _) = collect_matches(
+            "L(x) :- G(x,x).",
+            &[("G", vec![1, 2]), ("G", vec![3, 3])],
+        );
+        assert_eq!(matches, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn constants_in_atoms() {
+        let (matches, _) = collect_matches(
+            "P(x) :- G(1,x).",
+            &[("G", vec![1, 2]), ("G", vec![2, 3])],
+        );
+        assert_eq!(matches, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn equality_binding_and_checks() {
+        let (matches, _) = collect_matches(
+            "P(x,y) :- G(x,y), y = 2.",
+            &[("G", vec![1, 2]), ("G", vec![2, 3])],
+        );
+        assert_eq!(matches, vec![vec![Value::Int(1), Value::Int(2)]]);
+        let (matches, _) = collect_matches(
+            "P(x,y) :- G(x,y), x != y.",
+            &[("G", vec![1, 1]), ("G", vec![1, 2])],
+        );
+        assert_eq!(matches, vec![vec![Value::Int(1), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn equality_can_introduce_domain_var() {
+        // y bound through equality to x which is scanned.
+        let (matches, _) = collect_matches(
+            "P(y) :- G(x,x), y = x.",
+            &[("G", vec![3, 3])],
+        );
+        assert_eq!(matches, vec![vec![Value::Int(3), Value::Int(3)]]);
+    }
+
+    #[test]
+    fn empty_body_matches_once() {
+        let (matches, _) = collect_matches("delay :- .", &[("G", vec![1, 2])]);
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn missing_relation_is_empty_for_scan_and_true_for_negation() {
+        let (matches, _) = collect_matches("P(x) :- M(x).", &[("G", vec![1, 2])]);
+        assert!(matches.is_empty());
+        let (matches, _) = collect_matches("P(x) :- G(x,y), !M(x).", &[("G", vec![1, 2])]);
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn seminaive_variant_generation() {
+        let mut interner = Interner::new();
+        let program = parse_program("T(x,y) :- G(x,z), T(z,y).", &mut interner).unwrap();
+        let t = interner.get("T").unwrap();
+        let plan = plan_rule(&program.rules[0]);
+        let variants = seminaive_variants(&plan, &|p| p == t);
+        assert_eq!(variants.len(), 1);
+        let delta_scans = variants[0]
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::Scan { source: ScanSource::Delta, .. }))
+            .count();
+        assert_eq!(delta_scans, 1);
+        // Non-recursive rule: no variants.
+        let program2 = parse_program("T(x,y) :- G(x,y).", &mut interner).unwrap();
+        let plan2 = plan_rule(&program2.rules[0]);
+        assert!(seminaive_variants(&plan2, &|p| p == t).is_empty());
+    }
+
+    #[test]
+    fn early_exit_stops_enumeration() {
+        let mut interner = Interner::new();
+        let program = parse_program("P(x) :- G(x,y).", &mut interner).unwrap();
+        let g = interner.get("G").unwrap();
+        let mut instance = Instance::new();
+        for k in 0..10 {
+            instance.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
+        }
+        let adom = active_domain(&program, &instance);
+        let plan = plan_rule(&program.rules[0]);
+        let mut cache = IndexCache::new();
+        let mut count = 0;
+        let _ = for_each_match(&plan, Sources::simple(&instance), &adom, &mut cache, &mut |_| {
+            count += 1;
+            ControlFlow::Break(())
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn index_cache_invalidates_on_version_change() {
+        let mut interner = Interner::new();
+        let g = interner.intern("G");
+        let mut rel = Relation::new(1);
+        rel.insert(Tuple::from([Value::Int(1)]));
+        let mut cache = IndexCache::new();
+        assert_eq!(cache.get(g, &[0], ScanSource::Full, &rel).probe(&[Value::Int(1)]).len(), 1);
+        rel.insert(Tuple::from([Value::Int(2)]));
+        assert_eq!(cache.get(g, &[0], ScanSource::Full, &rel).probe(&[Value::Int(2)]).len(), 1);
+    }
+}

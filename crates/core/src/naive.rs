@@ -1,0 +1,188 @@
+//! Naive bottom-up evaluation of positive Datalog (Section 3.1).
+//!
+//! Computes the minimum model `P(I)`: the least fixpoint of the
+//! immediate consequence operator, by firing all rules with all
+//! applicable valuations until nothing new is inferred. The semi-naive
+//! engine ([`crate::seminaive`]) computes the same result while avoiding
+//! rederivations; this one exists as the reference implementation and as
+//! the baseline for the `naive_vs_seminaive` benchmark.
+
+use crate::error::EvalError;
+use crate::eval::{active_domain, for_each_match, instantiate, plan_rule, IndexCache, Sources};
+use crate::options::{EvalOptions, FixpointRun};
+use crate::require_language;
+use std::ops::ControlFlow;
+use unchained_common::Instance;
+use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
+
+/// Computes the minimum model of a positive Datalog program on `input`.
+///
+/// The result instance contains the input edb relations plus the
+/// computed idb relations; use [`FixpointRun::answer`] to project to the
+/// idb.
+///
+/// # Errors
+/// Rejects programs outside pure Datalog and non-range-restricted rules.
+pub fn minimum_model(
+    program: &Program,
+    input: &Instance,
+    options: EvalOptions,
+) -> Result<FixpointRun, EvalError> {
+    require_language(program, Language::Datalog)?;
+    check_range_restricted(program, false)?;
+
+    let adom = active_domain(program, input);
+    let plans: Vec<_> = program.rules.iter().map(plan_rule).collect();
+    let mut cache = IndexCache::new();
+    let mut instance = input.clone();
+    // Make sure every idb relation exists, even if it stays empty.
+    let schema = program.schema()?;
+    for pred in program.idb() {
+        instance.ensure(pred, schema.arity(pred).expect("idb has arity"));
+    }
+
+    let mut stages = 0;
+    loop {
+        stages += 1;
+        if options.max_stages.is_some_and(|m| stages > m) {
+            return Err(EvalError::StageLimitExceeded(stages - 1));
+        }
+        let mut new_facts = Vec::new();
+        for (rule, plan) in program.rules.iter().zip(&plans) {
+            let HeadLiteral::Pos(head) = &rule.head[0] else {
+                unreachable!("pure Datalog heads are positive")
+            };
+            let _ = for_each_match(plan, Sources::simple(&instance), &adom, &mut cache, &mut |env| {
+                let tuple = instantiate(&head.args, env);
+                if !instance.contains_fact(head.pred, &tuple) {
+                    new_facts.push((head.pred, tuple));
+                }
+                ControlFlow::Continue(())
+            });
+        }
+        let mut changed = false;
+        for (pred, tuple) in new_facts {
+            changed |= instance.insert_fact(pred, tuple);
+        }
+        if !changed {
+            return Ok(FixpointRun { instance, stages });
+        }
+        if options
+            .max_facts
+            .is_some_and(|m| instance.fact_count() > m)
+        {
+            return Err(EvalError::FactLimitExceeded(instance.fact_count()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unchained_common::{Interner, Tuple, Value};
+    use unchained_parser::parse_program;
+
+    fn tc_program(interner: &mut Interner) -> Program {
+        parse_program(
+            "T(x,y) :- G(x,y).\n\
+             T(x,y) :- G(x,z), T(z,y).",
+            interner,
+        )
+        .unwrap()
+    }
+
+    fn line_graph(interner: &mut Interner, n: i64) -> Instance {
+        let g = interner.intern("G");
+        let mut inst = Instance::new();
+        for k in 0..n - 1 {
+            inst.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
+        }
+        inst
+    }
+
+    #[test]
+    fn transitive_closure_of_a_line() {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let input = line_graph(&mut i, 5);
+        let run = minimum_model(&p, &input, EvalOptions::default()).unwrap();
+        let t = i.get("T").unwrap();
+        // A 5-node line has C(5,2) = 10 transitive-closure pairs.
+        assert_eq!(run.instance.relation(t).unwrap().len(), 10);
+        assert!(run
+            .instance
+            .contains_fact(t, &Tuple::from([Value::Int(0), Value::Int(4)])));
+        // Answer projects away the edb.
+        let answer = run.answer(&p);
+        assert!(answer.relation(i.get("G").unwrap()).is_none());
+    }
+
+    #[test]
+    fn empty_input_fixpoint_in_one_stage() {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let run = minimum_model(&p, &Instance::new(), EvalOptions::default()).unwrap();
+        assert_eq!(run.stages, 1);
+        let t = i.get("T").unwrap();
+        assert!(run.instance.relation(t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn stage_count_tracks_distance() {
+        // On a line of n nodes, the left-linear TC rule needs ~n stages.
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let input = line_graph(&mut i, 6);
+        let run = minimum_model(&p, &input, EvalOptions::default()).unwrap();
+        // Distances up to 5; stage k infers pairs at distance k; +1 to
+        // detect the fixpoint.
+        assert_eq!(run.stages, 6);
+    }
+
+    #[test]
+    fn rejects_negation() {
+        let mut i = Interner::new();
+        let p = parse_program("A(x) :- B(x), !C(x).", &mut i).unwrap();
+        assert!(matches!(
+            minimum_model(&p, &Instance::new(), EvalOptions::default()),
+            Err(EvalError::WrongLanguage { .. })
+        ));
+    }
+
+    #[test]
+    fn stage_limit_enforced() {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let input = line_graph(&mut i, 10);
+        assert!(matches!(
+            minimum_model(&p, &input, EvalOptions::default().with_max_stages(2)),
+            Err(EvalError::StageLimitExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let g = i.intern("G");
+        let mut input = Instance::new();
+        for k in 0..4 {
+            input.insert_fact(g, Tuple::from([Value::Int(k), Value::Int((k + 1) % 4)]));
+        }
+        let run = minimum_model(&p, &input, EvalOptions::default()).unwrap();
+        let t = i.get("T").unwrap();
+        // Complete relation on 4 nodes.
+        assert_eq!(run.instance.relation(t).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn facts_in_program_text() {
+        let mut i = Interner::new();
+        let p = parse_program("G(1,2). T(x,y) :- G(x,y).", &mut i).unwrap();
+        let run = minimum_model(&p, &Instance::new(), EvalOptions::default()).unwrap();
+        let t = i.get("T").unwrap();
+        assert!(run
+            .instance
+            .contains_fact(t, &Tuple::from([Value::Int(1), Value::Int(2)])));
+    }
+}

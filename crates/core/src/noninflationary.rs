@@ -1,0 +1,371 @@
+//! Datalog¬¬ — noninflationary semantics with retraction (Section 4.2).
+//!
+//! Negative head literals delete facts, and input relations may appear
+//! in heads, so programs can express updates. The immediate consequence
+//! operator fires all rules in parallel; positive head instantiations
+//! are inserted and negative ones deleted, with a **conflict policy**
+//! deciding what happens when `A` and `¬A` are inferred in the same
+//! firing. The paper's default gives priority to insertion and notes
+//! three alternatives, all yielding equivalent languages; we implement
+//! all four.
+//!
+//! Termination is *not* guaranteed: the flip-flop program of Section 4.2
+//! oscillates forever. The engine detects such divergence by
+//! remembering visited states (exactly, or by fingerprint).
+//!
+//! By the results of \[6\], Datalog¬¬ expresses exactly the **while
+//! queries** (Theorem 4.5 relates it to inflationary Datalog¬ via
+//! `ptime` vs `pspace`).
+
+use crate::error::EvalError;
+use crate::eval::{
+    active_domain, for_each_match, instantiate, plan_rule, IndexCache, Plan, Sources,
+};
+use crate::options::{DivergenceDetection, EvalOptions, FixpointRun};
+use crate::require_language;
+use std::collections::hash_map::Entry;
+use std::ops::ControlFlow;
+use unchained_common::{FxHashMap, FxHashSet, Instance, Symbol, Tuple};
+use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
+
+/// What to do when `A` and `¬A` are inferred in the same firing
+/// (Section 4.2 discusses all four; the languages are equivalent under
+/// any of the first three).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ConflictPolicy {
+    /// Keep `A`: insertion wins (the paper's chosen semantics).
+    #[default]
+    PreferPositive,
+    /// Remove `A`: deletion wins.
+    PreferNegative,
+    /// No-op: `A`'s membership is left as it was in the previous state.
+    NoOp,
+    /// Treat the conflict as a contradiction making the result undefined
+    /// (option (iii) in the paper): evaluation fails.
+    Undefined,
+}
+
+/// Evaluates a Datalog¬¬ program to its (non-guaranteed) fixpoint.
+///
+/// # Errors
+/// * [`EvalError::Diverged`] if the state sequence enters a cycle (the
+///   computation would never terminate);
+/// * [`EvalError::Contradiction`] under [`ConflictPolicy::Undefined`]
+///   when `A` and `¬A` are inferred simultaneously;
+/// * the usual language / range-restriction / budget errors.
+pub fn eval(
+    program: &Program,
+    input: &Instance,
+    policy: ConflictPolicy,
+    options: EvalOptions,
+) -> Result<FixpointRun, EvalError> {
+    require_language(program, Language::DatalogNegNeg)?;
+    check_range_restricted(program, false)?;
+
+    let adom = active_domain(program, input);
+    let plans: Vec<Plan> = program.rules.iter().map(plan_rule).collect();
+    let mut cache = IndexCache::new();
+    let mut instance = input.clone();
+    let schema = program.schema()?;
+    for pred in program.idb() {
+        instance.ensure(pred, schema.arity(pred).expect("idb has arity"));
+    }
+
+    // Divergence detection state.
+    let mut seen_exact: FxHashMap<u64, Vec<(Instance, usize)>> = FxHashMap::default();
+    let mut seen_fp: FxHashMap<u64, usize> = FxHashMap::default();
+    let mut record = |inst: &Instance, stage: usize, mode: DivergenceDetection| -> Option<usize> {
+        let fp = inst.fingerprint();
+        match mode {
+            DivergenceDetection::Off => None,
+            DivergenceDetection::Fingerprint => match seen_fp.entry(fp) {
+                Entry::Occupied(prev) => Some(*prev.get()),
+                Entry::Vacant(slot) => {
+                    slot.insert(stage);
+                    None
+                }
+            },
+            DivergenceDetection::Exact => {
+                let bucket = seen_exact.entry(fp).or_default();
+                if let Some((_, prev)) = bucket.iter().find(|(i, _)| i.same_facts(inst)) {
+                    Some(*prev)
+                } else {
+                    bucket.push((inst.clone(), stage));
+                    None
+                }
+            }
+        }
+    };
+    record(&instance, 0, options.divergence);
+
+    let mut stages = 0;
+    loop {
+        stages += 1;
+        if options.max_stages.is_some_and(|m| stages > m) {
+            return Err(EvalError::StageLimitExceeded(stages - 1));
+        }
+        // One parallel firing: collect asserted and retracted facts.
+        let mut inserted: FxHashSet<(Symbol, Tuple)> = FxHashSet::default();
+        let mut deleted: FxHashSet<(Symbol, Tuple)> = FxHashSet::default();
+        for (rule, plan) in program.rules.iter().zip(&plans) {
+            let (head_pred, head_args, negative) = match &rule.head[0] {
+                HeadLiteral::Pos(a) => (a.pred, &a.args, false),
+                HeadLiteral::Neg(a) => (a.pred, &a.args, true),
+                HeadLiteral::Bottom => unreachable!("⊥ is nondeterministic-only"),
+            };
+            let _ = for_each_match(plan, Sources::simple(&instance), &adom, &mut cache, &mut |env| {
+                let tuple = instantiate(head_args, env);
+                if negative {
+                    deleted.insert((head_pred, tuple));
+                } else {
+                    inserted.insert((head_pred, tuple));
+                }
+                ControlFlow::Continue(())
+            });
+        }
+
+        // Resolve conflicts per the policy and apply.
+        let mut next = instance.clone();
+        match policy {
+            ConflictPolicy::PreferPositive => {
+                for (pred, tuple) in &deleted {
+                    if !inserted.contains(&(*pred, tuple.clone())) {
+                        if let Some(rel) = next.relation_mut(*pred) {
+                            rel.remove(tuple);
+                        }
+                    }
+                }
+                for (pred, tuple) in inserted {
+                    next.insert_fact(pred, tuple);
+                }
+            }
+            ConflictPolicy::PreferNegative => {
+                for (pred, tuple) in inserted {
+                    if !deleted.contains(&(pred, tuple.clone())) {
+                        next.insert_fact(pred, tuple);
+                    }
+                }
+                for (pred, tuple) in &deleted {
+                    if let Some(rel) = next.relation_mut(*pred) {
+                        rel.remove(tuple);
+                    }
+                }
+            }
+            ConflictPolicy::NoOp => {
+                for (pred, tuple) in &inserted {
+                    if !deleted.contains(&(*pred, tuple.clone())) {
+                        next.insert_fact(*pred, tuple.clone());
+                    }
+                }
+                for (pred, tuple) in &deleted {
+                    if !inserted.contains(&(*pred, tuple.clone())) {
+                        if let Some(rel) = next.relation_mut(*pred) {
+                            rel.remove(tuple);
+                        }
+                    }
+                }
+            }
+            ConflictPolicy::Undefined => {
+                if let Some((_, _)) = inserted.iter().find(|f| deleted.contains(*f)) {
+                    return Err(EvalError::Contradiction { stage: stages });
+                }
+                for (pred, tuple) in inserted {
+                    next.insert_fact(pred, tuple);
+                }
+                for (pred, tuple) in &deleted {
+                    if let Some(rel) = next.relation_mut(*pred) {
+                        rel.remove(tuple);
+                    }
+                }
+            }
+        }
+
+        if next.same_facts(&instance) {
+            return Ok(FixpointRun { instance, stages });
+        }
+        if let Some(first) = record(&next, stages, options.divergence) {
+            return Err(EvalError::Diverged { stage: stages, period: stages - first });
+        }
+        if options.max_facts.is_some_and(|m| next.fact_count() > m) {
+            return Err(EvalError::FactLimitExceeded(next.fact_count()));
+        }
+        instance = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unchained_common::{Interner, Value};
+    use unchained_parser::parse_program;
+
+    /// The paper's Section 4.2 flip-flop program never terminates on
+    /// input `T(0)`.
+    #[test]
+    fn flip_flop_diverges() {
+        let mut i = Interner::new();
+        let program = parse_program(
+            "T(0) :- T(1).\n\
+             !T(1) :- T(1).\n\
+             T(1) :- T(0).\n\
+             !T(0) :- T(0).",
+            &mut i,
+        )
+        .unwrap();
+        let t = i.get("T").unwrap();
+        let mut input = Instance::new();
+        input.insert_fact(t, Tuple::from([Value::Int(0)]));
+        let err = eval(&program, &input, ConflictPolicy::PreferPositive, EvalOptions::default())
+            .unwrap_err();
+        // T flip-flops between {⟨0⟩} and {⟨1⟩}: period 2.
+        assert_eq!(err, EvalError::Diverged { stage: 2, period: 2 });
+    }
+
+    #[test]
+    fn flip_flop_diverges_under_fingerprint_detection() {
+        let mut i = Interner::new();
+        let program = parse_program(
+            "T(0) :- T(1). !T(1) :- T(1). T(1) :- T(0). !T(0) :- T(0).",
+            &mut i,
+        )
+        .unwrap();
+        let t = i.get("T").unwrap();
+        let mut input = Instance::new();
+        input.insert_fact(t, Tuple::from([Value::Int(0)]));
+        let opts = EvalOptions::default().with_divergence(DivergenceDetection::Fingerprint);
+        assert!(matches!(
+            eval(&program, &input, ConflictPolicy::PreferPositive, opts),
+            Err(EvalError::Diverged { .. })
+        ));
+        // With detection off, the stage limit kicks in.
+        let opts = EvalOptions::default()
+            .with_divergence(DivergenceDetection::Off)
+            .with_max_stages(50);
+        assert!(matches!(
+            eval(&program, &input, ConflictPolicy::PreferPositive, opts),
+            Err(EvalError::StageLimitExceeded(50))
+        ));
+    }
+
+    /// The deterministic 2-cycle removal program from Section 5.1 (with
+    /// deterministic semantics it removes *all* 2-cycles).
+    #[test]
+    fn remove_all_two_cycles() {
+        let mut i = Interner::new();
+        let program = parse_program("!G(x,y) :- G(x,y), G(y,x).", &mut i).unwrap();
+        let g = i.get("G").unwrap();
+        let mut input = Instance::new();
+        let v = Value::Int;
+        for (a, b) in [(1, 2), (2, 1), (2, 3), (3, 2), (4, 5)] {
+            input.insert_fact(g, Tuple::from([v(a), v(b)]));
+        }
+        let run = eval(&program, &input, ConflictPolicy::PreferPositive, EvalOptions::default())
+            .unwrap();
+        let rel = run.instance.relation(g).unwrap();
+        // Both 2-cycles removed entirely; (4,5) survives. Note the
+        // self-inverse pairs are deleted in one parallel firing.
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(&Tuple::from([v(4), v(5)])));
+    }
+
+    #[test]
+    fn conflict_policies_differ_on_simultaneous_inference() {
+        // A is present; one rule retracts it, another re-asserts it.
+        let mut i = Interner::new();
+        let program = parse_program("!A(x) :- A(x). A(x) :- A(x).", &mut i).unwrap();
+        let a = i.get("A").unwrap();
+        let mut input = Instance::new();
+        input.insert_fact(a, Tuple::from([Value::Int(1)]));
+
+        // PreferPositive: A survives; immediate fixpoint.
+        let run = eval(&program, &input, ConflictPolicy::PreferPositive, EvalOptions::default())
+            .unwrap();
+        assert!(run.instance.contains_fact(a, &Tuple::from([Value::Int(1)])));
+
+        // PreferNegative: A removed, then stays away.
+        let run = eval(&program, &input, ConflictPolicy::PreferNegative, EvalOptions::default())
+            .unwrap();
+        assert!(!run.instance.contains_fact(a, &Tuple::from([Value::Int(1)])));
+
+        // NoOp: A's membership is as in the old state: stays.
+        let run =
+            eval(&program, &input, ConflictPolicy::NoOp, EvalOptions::default()).unwrap();
+        assert!(run.instance.contains_fact(a, &Tuple::from([Value::Int(1)])));
+
+        // Undefined: contradiction.
+        assert!(matches!(
+            eval(&program, &input, ConflictPolicy::Undefined, EvalOptions::default()),
+            Err(EvalError::Contradiction { stage: 1 })
+        ));
+    }
+
+    #[test]
+    fn update_semantics_inserts_into_edb() {
+        // Symmetric closure computed *into the input relation*.
+        let mut i = Interner::new();
+        let program = parse_program("G(y,x) :- G(x,y).", &mut i).unwrap();
+        let g = i.get("G").unwrap();
+        let mut input = Instance::new();
+        input.insert_fact(g, Tuple::from([Value::Int(1), Value::Int(2)]));
+        let run = eval(&program, &input, ConflictPolicy::PreferPositive, EvalOptions::default())
+            .unwrap();
+        assert_eq!(run.instance.relation(g).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn subsumes_inflationary_datalog_neg() {
+        // A Datalog¬ program runs identically under Datalog¬¬ semantics.
+        let mut i = Interner::new();
+        let program = parse_program(
+            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).",
+            &mut i,
+        )
+        .unwrap();
+        let g = i.get("G").unwrap();
+        let mut input = Instance::new();
+        for k in 0..4i64 {
+            input.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
+        }
+        let a = eval(&program, &input, ConflictPolicy::PreferPositive, EvalOptions::default())
+            .unwrap();
+        let b = crate::inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
+        assert!(a.instance.same_facts(&b.instance));
+    }
+
+    #[test]
+    fn deletion_based_composition() {
+        // The paper's Section 5.2 example computing P − π_A(Q) with
+        // deletions, run deterministically:
+        //   answer(x) :- P(x).
+        //   !answer(x) :- Q(x,y).
+        let mut i = Interner::new();
+        let program = parse_program("answer(x) :- P(x). !answer(x) :- Q(x,y).", &mut i)
+            .unwrap();
+        let p = i.get("P").unwrap();
+        let q = i.get("Q").unwrap();
+        let answer = i.get("answer").unwrap();
+        let mut input = Instance::new();
+        let v = Value::Int;
+        for k in [1, 2, 3] {
+            input.insert_fact(p, Tuple::from([v(k)]));
+        }
+        input.insert_fact(q, Tuple::from([v(2), v(9)]));
+        let run = eval(&program, &input, ConflictPolicy::PreferNegative, EvalOptions::default())
+            .unwrap();
+        let rel = run.instance.relation(answer).unwrap();
+        // P − π_A(Q) = {1, 3}.
+        assert_eq!(rel.len(), 2);
+        assert!(rel.contains(&Tuple::from([v(1)])));
+        assert!(rel.contains(&Tuple::from([v(3)])));
+    }
+
+    #[test]
+    fn rejects_multi_head() {
+        let mut i = Interner::new();
+        let program = parse_program("A(x), B(x) :- C(x).", &mut i).unwrap();
+        assert!(matches!(
+            eval(&program, &Instance::new(), ConflictPolicy::PreferPositive, EvalOptions::default()),
+            Err(EvalError::WrongLanguage { .. })
+        ));
+    }
+}

@@ -1,0 +1,112 @@
+//! Evaluation options and result types shared by the engines.
+
+use unchained_common::Instance;
+use unchained_parser::{HeadLiteral, Program};
+
+/// How the noninflationary engines detect that a computation will never
+/// reach a fixpoint (Section 4.2: e.g. the flip-flop program).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DivergenceDetection {
+    /// Remember every visited state and compare exactly. Precise, memory
+    /// proportional to the number of stages × instance size.
+    #[default]
+    Exact,
+    /// Remember only 64-bit state fingerprints. Uses constant memory per
+    /// stage; a false divergence report requires a fingerprint collision
+    /// (probability ≈ 2⁻⁶⁴ per pair of states).
+    Fingerprint,
+    /// No cycle detection; rely on the stage limit alone.
+    Off,
+}
+
+/// Budgets and knobs for an evaluation run.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Maximum number of stages (applications of the immediate
+    /// consequence operator) before giving up with
+    /// [`EvalError::StageLimitExceeded`](crate::EvalError).
+    pub max_stages: Option<usize>,
+    /// Maximum total number of facts before giving up with
+    /// [`EvalError::FactLimitExceeded`](crate::EvalError). Only value
+    /// invention can grow an instance beyond polynomial bounds, but the
+    /// limit is enforced wherever set.
+    pub max_facts: Option<usize>,
+    /// Cycle detection for noninflationary semantics.
+    pub divergence: DivergenceDetection,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions { max_stages: None, max_facts: None, divergence: DivergenceDetection::Exact }
+    }
+}
+
+impl EvalOptions {
+    /// Options with a stage budget.
+    pub fn with_max_stages(mut self, n: usize) -> Self {
+        self.max_stages = Some(n);
+        self
+    }
+
+    /// Options with a fact budget.
+    pub fn with_max_facts(mut self, n: usize) -> Self {
+        self.max_facts = Some(n);
+        self
+    }
+
+    /// Options with the given divergence detector.
+    pub fn with_divergence(mut self, d: DivergenceDetection) -> Self {
+        self.divergence = d;
+        self
+    }
+}
+
+/// The result of a terminating fixpoint computation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FixpointRun {
+    /// The final instance over `sch(P)` (input relations included).
+    pub instance: Instance,
+    /// Number of stages performed, counting the stage that detects the
+    /// fixpoint (so a program that infers nothing still takes 1 stage).
+    pub stages: usize,
+}
+
+impl FixpointRun {
+    /// The *image* (answer) of the program: the final instance restricted
+    /// to the idb relations, as defined in Section 4.1 of the paper.
+    pub fn answer(&self, program: &Program) -> Instance {
+        self.instance.project_schema(program.idb())
+    }
+}
+
+/// True if the program's rules all have a single positive head literal
+/// (the shape required by the deterministic Datalog(¬) engines).
+pub fn single_positive_heads(program: &Program) -> bool {
+    program
+        .rules
+        .iter()
+        .all(|r| r.head.len() == 1 && matches!(r.head[0], HeadLiteral::Pos(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_builders() {
+        let o = EvalOptions::default()
+            .with_max_stages(5)
+            .with_max_facts(100)
+            .with_divergence(DivergenceDetection::Fingerprint);
+        assert_eq!(o.max_stages, Some(5));
+        assert_eq!(o.max_facts, Some(100));
+        assert_eq!(o.divergence, DivergenceDetection::Fingerprint);
+    }
+
+    #[test]
+    fn default_has_no_budgets() {
+        let o = EvalOptions::default();
+        assert!(o.max_stages.is_none() && o.max_facts.is_none());
+        assert_eq!(o.divergence, DivergenceDetection::Exact);
+    }
+}

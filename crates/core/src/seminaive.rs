@@ -1,0 +1,327 @@
+//! Semi-naive bottom-up evaluation.
+//!
+//! The classical optimization of naive fixpoint evaluation: a fact can
+//! only be *newly* derived in round `k+1` if its derivation uses at least
+//! one fact first derived in round `k`. Each rule with a recursive
+//! positive body literal is therefore evaluated in *variants*, one per
+//! recursive literal, where that literal scans the per-round delta and
+//! the others scan the full relations.
+//!
+//! The module exposes the shared [`seminaive_fixpoint`] used by the
+//! positive-Datalog engine here and by the stratified engine
+//! ([`crate::stratified`]), whose per-stratum fixpoints are exactly the
+//! same computation with negation frozen against completed strata.
+
+use crate::error::EvalError;
+use crate::eval::{
+    active_domain, for_each_match, instantiate, plan_rule, seminaive_variants, IndexCache, Plan,
+    Sources,
+};
+use crate::options::{EvalOptions, FixpointRun};
+use crate::require_language;
+use std::ops::ControlFlow;
+use unchained_common::{FxHashSet, Instance, Symbol};
+use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program, Rule};
+
+/// Runs the rules of one (sub)program to fixpoint with semi-naive
+/// deltas, mutating `instance` in place. Negative literals are checked
+/// against the full current instance, so the caller must guarantee they
+/// are *frozen* (never derivable by `rules`) — true for pure Datalog
+/// (no negation) and for stratified evaluation (negation only on
+/// completed strata).
+///
+/// Returns the number of rounds executed (≥ 1).
+pub(crate) fn seminaive_fixpoint(
+    rules: &[&Rule],
+    instance: &mut Instance,
+    adom: &[unchained_common::Value],
+    recursive: &FxHashSet<Symbol>,
+    cache: &mut IndexCache,
+    options: &EvalOptions,
+) -> Result<usize, EvalError> {
+    struct RulePlans<'r> {
+        rule: &'r Rule,
+        full: Plan,
+        deltas: Vec<Plan>,
+    }
+    let compiled: Vec<RulePlans> = rules
+        .iter()
+        .map(|rule| {
+            let full = plan_rule(rule);
+            let deltas = seminaive_variants(&full, &|p| recursive.contains(&p));
+            RulePlans { rule, full, deltas }
+        })
+        .collect();
+
+    let head_atom = |rule: &Rule| match &rule.head[0] {
+        HeadLiteral::Pos(a) => a.clone(),
+        _ => unreachable!("semi-naive engines require positive single heads"),
+    };
+
+    // Round 1: full evaluation of every rule.
+    let mut delta = Instance::new();
+    for rp in &compiled {
+        let head = head_atom(rp.rule);
+        let _ = for_each_match(&rp.full, Sources::simple(instance), adom, cache, &mut |env| {
+            let tuple = instantiate(&head.args, env);
+            if !instance.contains_fact(head.pred, &tuple) {
+                delta.insert_fact(head.pred, tuple);
+            }
+            ControlFlow::Continue(())
+        });
+    }
+    let mut rounds = 1;
+    loop {
+        // Merge the delta into the instance.
+        let mut changed = false;
+        for (pred, rel) in delta.iter() {
+            for t in rel.iter() {
+                changed |= instance.insert_fact(pred, t.clone());
+            }
+        }
+        if !changed {
+            return Ok(rounds);
+        }
+        if options
+            .max_facts
+            .is_some_and(|m| instance.fact_count() > m)
+        {
+            return Err(EvalError::FactLimitExceeded(instance.fact_count()));
+        }
+        rounds += 1;
+        if options.max_stages.is_some_and(|m| rounds > m) {
+            return Err(EvalError::StageLimitExceeded(rounds - 1));
+        }
+        // Evaluate the delta variants against (instance, delta).
+        cache.begin_delta_round();
+        let mut next_delta = Instance::new();
+        for rp in &compiled {
+            let head = head_atom(rp.rule);
+            for plan in &rp.deltas {
+                let _ = for_each_match(
+                    plan,
+                    Sources { full: instance, delta: Some(&delta), neg: None },
+                    adom,
+                    cache,
+                    &mut |env| {
+                    let tuple = instantiate(&head.args, env);
+                    if !instance.contains_fact(head.pred, &tuple)
+                        && !next_delta.contains_fact(head.pred, &tuple)
+                    {
+                        next_delta.insert_fact(head.pred, tuple);
+                    }
+                    ControlFlow::Continue(())
+                });
+            }
+        }
+        delta = next_delta;
+    }
+}
+
+/// Computes the minimum model of a positive Datalog program on `input`
+/// using semi-naive evaluation. Semantically identical to
+/// [`crate::naive::minimum_model`].
+///
+/// # Errors
+/// Rejects programs outside pure Datalog and non-range-restricted rules.
+pub fn minimum_model(
+    program: &Program,
+    input: &Instance,
+    options: EvalOptions,
+) -> Result<FixpointRun, EvalError> {
+    require_language(program, Language::Datalog)?;
+    check_range_restricted(program, false)?;
+
+    let adom = active_domain(program, input);
+    let mut instance = input.clone();
+    let schema = program.schema()?;
+    for pred in program.idb() {
+        instance.ensure(pred, schema.arity(pred).expect("idb has arity"));
+    }
+    let recursive: FxHashSet<Symbol> = program.idb().into_iter().collect();
+    let rules: Vec<&Rule> = program.rules.iter().collect();
+    let mut cache = IndexCache::new();
+    let stages = seminaive_fixpoint(&rules, &mut instance, &adom, &recursive, &mut cache, &options)?;
+    Ok(FixpointRun { instance, stages })
+}
+
+/// Convenience: evaluate a Datalog program and return just the relation
+/// for `answer_pred` (empty if it was never derived).
+pub fn eval_to_relation(
+    program: &Program,
+    input: &Instance,
+    answer_pred: Symbol,
+) -> Result<unchained_common::Relation, EvalError> {
+    let run = minimum_model(program, input, EvalOptions::default())?;
+    let arity = program
+        .schema()?
+        .arity(answer_pred)
+        .unwrap_or(0);
+    Ok(run
+        .instance
+        .relation(answer_pred)
+        .cloned()
+        .unwrap_or_else(|| unchained_common::Relation::new(arity)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+    use unchained_common::{Interner, Tuple, Value};
+    use unchained_parser::parse_program;
+
+    fn tc_program(interner: &mut Interner) -> Program {
+        parse_program(
+            "T(x,y) :- G(x,y).\n\
+             T(x,y) :- G(x,z), T(z,y).",
+            interner,
+        )
+        .unwrap()
+    }
+
+    fn random_ish_graph(interner: &mut Interner, n: i64) -> Instance {
+        // Deterministic pseudo-random graph: edge (i, (i*7+3) mod n) and
+        // (i, (i*5+1) mod n).
+        let g = interner.intern("G");
+        let mut inst = Instance::new();
+        for i in 0..n {
+            inst.insert_fact(g, Tuple::from([Value::Int(i), Value::Int((i * 7 + 3) % n)]));
+            inst.insert_fact(g, Tuple::from([Value::Int(i), Value::Int((i * 5 + 1) % n)]));
+        }
+        inst
+    }
+
+    #[test]
+    fn agrees_with_naive_on_lines_and_cycles() {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let g = i.get("G").unwrap();
+        for n in [2i64, 3, 5, 8] {
+            // line
+            let mut line = Instance::new();
+            for k in 0..n - 1 {
+                line.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
+            }
+            let a = naive::minimum_model(&p, &line, EvalOptions::default()).unwrap();
+            let b = minimum_model(&p, &line, EvalOptions::default()).unwrap();
+            assert!(a.instance.same_facts(&b.instance), "line n={n}");
+            // cycle
+            let mut cyc = Instance::new();
+            for k in 0..n {
+                cyc.insert_fact(g, Tuple::from([Value::Int(k), Value::Int((k + 1) % n)]));
+            }
+            let a = naive::minimum_model(&p, &cyc, EvalOptions::default()).unwrap();
+            let b = minimum_model(&p, &cyc, EvalOptions::default()).unwrap();
+            assert!(a.instance.same_facts(&b.instance), "cycle n={n}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_denser_graph() {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let input = random_ish_graph(&mut i, 13);
+        let a = naive::minimum_model(&p, &input, EvalOptions::default()).unwrap();
+        let b = minimum_model(&p, &input, EvalOptions::default()).unwrap();
+        assert!(a.instance.same_facts(&b.instance));
+    }
+
+    #[test]
+    fn nonrecursive_rules_fire_once() {
+        let mut i = Interner::new();
+        let p = parse_program("A(x) :- B(x). C(x) :- A(x).", &mut i).unwrap();
+        let b = i.get("B").unwrap();
+        let mut input = Instance::new();
+        input.insert_fact(b, Tuple::from([Value::Int(1)]));
+        let run = minimum_model(&p, &input, EvalOptions::default()).unwrap();
+        let c = i.get("C").unwrap();
+        assert!(run.instance.contains_fact(c, &Tuple::from([Value::Int(1)])));
+    }
+
+    #[test]
+    fn right_linear_and_left_linear_tc_agree() {
+        let mut i = Interner::new();
+        let left = tc_program(&mut i);
+        let right = parse_program(
+            "T(x,y) :- G(x,y).\n\
+             T(x,y) :- T(x,z), G(z,y).",
+            &mut i,
+        )
+        .unwrap();
+        let input = random_ish_graph(&mut i, 11);
+        let a = minimum_model(&left, &input, EvalOptions::default()).unwrap();
+        let b = minimum_model(&right, &input, EvalOptions::default()).unwrap();
+        let t = i.get("T").unwrap();
+        assert!(a
+            .instance
+            .relation(t)
+            .unwrap()
+            .same_tuples(b.instance.relation(t).unwrap()));
+    }
+
+    #[test]
+    fn nonlinear_tc_agrees() {
+        let mut i = Interner::new();
+        let lin = tc_program(&mut i);
+        let nonlin = parse_program(
+            "T(x,y) :- G(x,y).\n\
+             T(x,y) :- T(x,z), T(z,y).",
+            &mut i,
+        )
+        .unwrap();
+        let input = random_ish_graph(&mut i, 9);
+        let a = minimum_model(&lin, &input, EvalOptions::default()).unwrap();
+        let b = minimum_model(&nonlin, &input, EvalOptions::default()).unwrap();
+        let t = i.get("T").unwrap();
+        assert!(a
+            .instance
+            .relation(t)
+            .unwrap()
+            .same_tuples(b.instance.relation(t).unwrap()));
+        // The nonlinear version doubles path lengths per round, so it
+        // should take fewer rounds.
+        assert!(b.stages <= a.stages);
+    }
+
+    #[test]
+    fn same_generation_program() {
+        // A classic non-TC recursion: same-generation.
+        let mut i = Interner::new();
+        let p = parse_program(
+            "SG(x,x) :- Person(x).\n\
+             SG(x,y) :- Par(x,xp), SG(xp,yp), Par(y,yp).",
+            &mut i,
+        )
+        .unwrap();
+        let person = i.get("Person").unwrap();
+        let par = i.get("Par").unwrap();
+        let mut input = Instance::new();
+        // A small binary tree: 1 root; 2,3 children; 4,5,6,7 grandchildren.
+        for k in 1..=7i64 {
+            input.insert_fact(person, Tuple::from([Value::Int(k)]));
+        }
+        for (c, par_) in [(2, 1), (3, 1), (4, 2), (5, 2), (6, 3), (7, 3)] {
+            input.insert_fact(par, Tuple::from([Value::Int(c), Value::Int(par_)]));
+        }
+        let run = minimum_model(&p, &input, EvalOptions::default()).unwrap();
+        let sg = i.get("SG").unwrap();
+        let rel = run.instance.relation(sg).unwrap();
+        // 2 and 3 are same generation; 4..7 pairwise same generation.
+        assert!(rel.contains(&Tuple::from([Value::Int(2), Value::Int(3)])));
+        assert!(rel.contains(&Tuple::from([Value::Int(4), Value::Int(7)])));
+        assert!(!rel.contains(&Tuple::from([Value::Int(2), Value::Int(4)])));
+        // 7 reflexive + {2,3}² off-diag 2 + {4..7}² off-diag 12 = 21.
+        assert_eq!(rel.len(), 21);
+    }
+
+    #[test]
+    fn eval_to_relation_missing_answer_is_empty() {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let t = i.get("T").unwrap();
+        let rel = eval_to_relation(&p, &Instance::new(), t).unwrap();
+        assert!(rel.is_empty());
+        assert_eq!(rel.arity(), 2);
+    }
+}

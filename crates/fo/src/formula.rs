@@ -1,0 +1,587 @@
+//! First-order formulas (relational calculus) and their evaluation under
+//! the active-domain semantics.
+//!
+//! These formulas are the building blocks of the *while* and *fixpoint*
+//! comparator languages of Section 2 of the paper: assignments
+//! `R := {x̄ | φ(x̄)}` and loop conditions `while φ do` with `φ` a
+//! sentence. Quantifiers range over the evaluation domain, which callers
+//! typically take to be the active domain of the current instance
+//! (optionally extended with program constants).
+
+use std::fmt;
+use unchained_common::{FxHashMap, Instance, Interner, Relation, Symbol, Tuple, Value};
+
+/// A formula-scoped variable (index into the owning [`VarSet`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FoVar(pub u32);
+
+impl FoVar {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A namespace of formula variables with human-readable names.
+#[derive(Clone, Default, Debug)]
+pub struct VarSet {
+    names: Vec<String>,
+    lookup: FxHashMap<String, FoVar>,
+}
+
+impl VarSet {
+    /// Creates an empty variable namespace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating if necessary) the variable named `name`.
+    pub fn var(&mut self, name: &str) -> FoVar {
+        if let Some(&v) = self.lookup.get(name) {
+            return v;
+        }
+        let v = FoVar(u32::try_from(self.names.len()).expect("too many variables"));
+        self.names.push(name.to_string());
+        self.lookup.insert(name.to_string(), v);
+        v
+    }
+
+    /// The name of a variable.
+    pub fn name(&self, v: FoVar) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no variable was created.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A term: variable or constant.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FoTerm {
+    /// A variable.
+    Var(FoVar),
+    /// A constant.
+    Const(Value),
+}
+
+/// A first-order formula over a relational vocabulary.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Formula {
+    /// Truth.
+    True,
+    /// Falsity.
+    False,
+    /// `R(t1, …, tk)`.
+    Atom(Symbol, Vec<FoTerm>),
+    /// `t1 = t2`.
+    Eq(FoTerm, FoTerm),
+    /// `¬φ`.
+    Not(Box<Formula>),
+    /// `φ1 ∧ … ∧ φn` (empty conjunction is `True`).
+    And(Vec<Formula>),
+    /// `φ1 ∨ … ∨ φn` (empty disjunction is `False`).
+    Or(Vec<Formula>),
+    /// `∃ x̄ φ`.
+    Exists(Vec<FoVar>, Box<Formula>),
+    /// `∀ x̄ φ`.
+    Forall(Vec<FoVar>, Box<Formula>),
+}
+
+impl Formula {
+    /// `¬self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// `self ∧ other`.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(vec![self, other])
+    }
+
+    /// `self ∨ other`.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(vec![self, other])
+    }
+
+    /// `self → other`, i.e. `¬self ∨ other`.
+    pub fn implies(self, other: Formula) -> Formula {
+        self.not().or(other)
+    }
+
+    /// `∃ vars self`.
+    pub fn exists(vars: impl IntoIterator<Item = FoVar>, body: Formula) -> Formula {
+        Formula::Exists(vars.into_iter().collect(), Box::new(body))
+    }
+
+    /// `∀ vars self`.
+    pub fn forall(vars: impl IntoIterator<Item = FoVar>, body: Formula) -> Formula {
+        Formula::Forall(vars.into_iter().collect(), Box::new(body))
+    }
+
+    /// The free variables of the formula, in ascending order.
+    pub fn free_vars(&self) -> Vec<FoVar> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_free(&mut Vec::new(), &mut out);
+        out.into_iter().collect()
+    }
+
+    fn collect_free(
+        &self,
+        bound: &mut Vec<FoVar>,
+        out: &mut std::collections::BTreeSet<FoVar>,
+    ) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Atom(_, terms) => {
+                for t in terms {
+                    if let FoTerm::Var(v) = t {
+                        if !bound.contains(v) {
+                            out.insert(*v);
+                        }
+                    }
+                }
+            }
+            Formula::Eq(s, t) => {
+                for term in [s, t] {
+                    if let FoTerm::Var(v) = term {
+                        if !bound.contains(v) {
+                            out.insert(*v);
+                        }
+                    }
+                }
+            }
+            Formula::Not(inner) => inner.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => {
+                let depth = bound.len();
+                bound.extend(vars.iter().copied());
+                inner.collect_free(bound, out);
+                bound.truncate(depth);
+            }
+        }
+    }
+}
+
+/// An evaluation error.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FoError {
+    /// The formula mentions a relation absent from the instance.
+    UnknownRelation(Symbol),
+    /// An atom's arity does not match the instance relation's arity.
+    ArityMismatch {
+        /// The relation.
+        relation: Symbol,
+        /// Arity in the instance.
+        expected: usize,
+        /// Arity in the formula.
+        found: usize,
+    },
+    /// A variable was used but not assigned (internal safety check).
+    UnboundVariable(FoVar),
+}
+
+impl fmt::Display for FoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FoError::UnknownRelation(s) => write!(f, "unknown relation {s:?}"),
+            FoError::ArityMismatch { relation, expected, found } => write!(
+                f,
+                "arity mismatch on {relation:?}: instance has {expected}, formula uses {found}"
+            ),
+            FoError::UnboundVariable(v) => write!(f, "unbound variable {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FoError {}
+
+/// A (partial) assignment of values to formula variables.
+type Env = Vec<Option<Value>>;
+
+fn term_value(term: &FoTerm, env: &Env) -> Result<Value, FoError> {
+    match term {
+        FoTerm::Const(v) => Ok(*v),
+        FoTerm::Var(v) => env
+            .get(v.index())
+            .copied()
+            .flatten()
+            .ok_or(FoError::UnboundVariable(*v)),
+    }
+}
+
+/// Evaluates whether `formula` holds in `instance` under `env`, with
+/// quantifiers ranging over `domain`.
+fn satisfies(
+    formula: &Formula,
+    instance: &Instance,
+    domain: &[Value],
+    env: &mut Env,
+) -> Result<bool, FoError> {
+    match formula {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        Formula::Atom(pred, terms) => {
+            let rel = instance
+                .relation(*pred)
+                .ok_or(FoError::UnknownRelation(*pred))?;
+            if rel.arity() != terms.len() {
+                return Err(FoError::ArityMismatch {
+                    relation: *pred,
+                    expected: rel.arity(),
+                    found: terms.len(),
+                });
+            }
+            let tuple: Tuple = terms
+                .iter()
+                .map(|t| term_value(t, env))
+                .collect::<Result<Vec<Value>, FoError>>()?
+                .into();
+            Ok(rel.contains(&tuple))
+        }
+        Formula::Eq(s, t) => Ok(term_value(s, env)? == term_value(t, env)?),
+        Formula::Not(inner) => Ok(!satisfies(inner, instance, domain, env)?),
+        Formula::And(fs) => {
+            for f in fs {
+                if !satisfies(f, instance, domain, env)? {
+                    return Ok(false);
+                }
+            }
+            Ok(true)
+        }
+        Formula::Or(fs) => {
+            for f in fs {
+                if satisfies(f, instance, domain, env)? {
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+        Formula::Exists(vars, inner) => {
+            quantify(vars, inner, instance, domain, env, /* universal = */ false)
+        }
+        Formula::Forall(vars, inner) => {
+            quantify(vars, inner, instance, domain, env, /* universal = */ true)
+        }
+    }
+}
+
+fn quantify(
+    vars: &[FoVar],
+    inner: &Formula,
+    instance: &Instance,
+    domain: &[Value],
+    env: &mut Env,
+    universal: bool,
+) -> Result<bool, FoError> {
+    // Enumerate assignments of `vars` over `domain`, depth-first.
+    fn rec(
+        vars: &[FoVar],
+        inner: &Formula,
+        instance: &Instance,
+        domain: &[Value],
+        env: &mut Env,
+        universal: bool,
+    ) -> Result<bool, FoError> {
+        let Some((&v, rest)) = vars.split_first() else {
+            return satisfies(inner, instance, domain, env);
+        };
+        if env.len() <= v.index() {
+            env.resize(v.index() + 1, None);
+        }
+        let saved = env[v.index()];
+        for &value in domain {
+            env[v.index()] = Some(value);
+            let holds = rec(rest, inner, instance, domain, env, universal)?;
+            if holds != universal {
+                env[v.index()] = saved;
+                return Ok(!universal);
+            }
+        }
+        env[v.index()] = saved;
+        Ok(universal)
+    }
+    rec(vars, inner, instance, domain, env, universal)
+}
+
+/// Evaluates a **sentence** (formula without free variables).
+///
+/// Returns an error if the formula has free variables or mentions
+/// unknown relations.
+pub fn eval_sentence(
+    formula: &Formula,
+    instance: &Instance,
+    domain: &[Value],
+) -> Result<bool, FoError> {
+    let free = formula.free_vars();
+    if let Some(&v) = free.first() {
+        return Err(FoError::UnboundVariable(v));
+    }
+    satisfies(formula, instance, domain, &mut Vec::new())
+}
+
+/// Evaluates an open formula: returns the relation
+/// `{ (v(x1), …, v(xk)) | instance ⊨ φ[v] }` where `x1..xk` are
+/// `free_vars` (which must cover the formula's free variables) and `v`
+/// ranges over assignments into `domain`.
+///
+/// This is the `{x̄ | φ}` construct used by *while*-language
+/// assignments. Complexity is `O(|domain|^k)` satisfaction checks; the
+/// comparator programs in this workspace use small `k`.
+pub fn eval_formula(
+    formula: &Formula,
+    free_vars: &[FoVar],
+    instance: &Instance,
+    domain: &[Value],
+) -> Result<Relation, FoError> {
+    for v in formula.free_vars() {
+        if !free_vars.contains(&v) {
+            return Err(FoError::UnboundVariable(v));
+        }
+    }
+    let mut out = Relation::new(free_vars.len());
+    let env_len = free_vars
+        .iter()
+        .map(|v| v.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut env: Env = vec![None; env_len];
+    fn rec(
+        remaining: &[FoVar],
+        all: &[FoVar],
+        formula: &Formula,
+        instance: &Instance,
+        domain: &[Value],
+        env: &mut Env,
+        out: &mut Relation,
+    ) -> Result<(), FoError> {
+        let Some((&v, rest)) = remaining.split_first() else {
+            if satisfies(formula, instance, domain, env)? {
+                let tuple: Tuple = all
+                    .iter()
+                    .map(|v| env[v.index()].expect("free var assigned"))
+                    .collect();
+                out.insert(tuple);
+            }
+            return Ok(());
+        };
+        for &value in domain {
+            env[v.index()] = Some(value);
+            rec(rest, all, formula, instance, domain, env, out)?;
+        }
+        env[v.index()] = None;
+        Ok(())
+    }
+    rec(free_vars, free_vars, formula, instance, domain, &mut env, &mut out)?;
+    Ok(out)
+}
+
+/// Pretty-printer for formulas (for diagnostics and docs).
+pub fn display_formula(formula: &Formula, vars: &VarSet, interner: &Interner) -> String {
+    fn term(t: &FoTerm, vars: &VarSet, interner: &Interner) -> String {
+        match t {
+            FoTerm::Var(v) => vars.name(*v).to_string(),
+            FoTerm::Const(c) => c.display(interner).to_string(),
+        }
+    }
+    match formula {
+        Formula::True => "true".into(),
+        Formula::False => "false".into(),
+        Formula::Atom(p, ts) => format!(
+            "{}({})",
+            interner.name(*p),
+            ts.iter()
+                .map(|t| term(t, vars, interner))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Formula::Eq(s, t) => format!(
+            "{} = {}",
+            term(s, vars, interner),
+            term(t, vars, interner)
+        ),
+        Formula::Not(inner) => format!("¬({})", display_formula(inner, vars, interner)),
+        Formula::And(fs) => format!(
+            "({})",
+            fs.iter()
+                .map(|f| display_formula(f, vars, interner))
+                .collect::<Vec<_>>()
+                .join(" ∧ ")
+        ),
+        Formula::Or(fs) => format!(
+            "({})",
+            fs.iter()
+                .map(|f| display_formula(f, vars, interner))
+                .collect::<Vec<_>>()
+                .join(" ∨ ")
+        ),
+        Formula::Exists(vs, inner) => format!(
+            "∃{} ({})",
+            vs.iter().map(|v| vars.name(*v)).collect::<Vec<_>>().join(","),
+            display_formula(inner, vars, interner)
+        ),
+        Formula::Forall(vs, inner) => format!(
+            "∀{} ({})",
+            vs.iter().map(|v| vars.name(*v)).collect::<Vec<_>>().join(","),
+            display_formula(inner, vars, interner)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unchained_common::Interner;
+
+    /// A three-node path graph a -> b -> c.
+    fn path_instance() -> (Interner, Symbol, Instance, Vec<Value>) {
+        let mut i = Interner::new();
+        let g = i.intern("G");
+        let a = Value::sym(&mut i, "a");
+        let b = Value::sym(&mut i, "b");
+        let c = Value::sym(&mut i, "c");
+        let mut inst = Instance::new();
+        inst.insert_fact(g, Tuple::from([a, b]));
+        inst.insert_fact(g, Tuple::from([b, c]));
+        let domain = inst.adom_sorted();
+        (i, g, inst, domain)
+    }
+
+    #[test]
+    fn atoms_and_equality() {
+        let (_, g, inst, dom) = path_instance();
+        let mut vs = VarSet::new();
+        let x = vs.var("x");
+        let y = vs.var("y");
+        // {(x,y) | G(x,y)} == G
+        let phi = Formula::Atom(g, vec![FoTerm::Var(x), FoTerm::Var(y)]);
+        let rel = eval_formula(&phi, &[x, y], &inst, &dom).unwrap();
+        assert_eq!(rel.len(), 2);
+        // {(x) | G(x,x)} is empty
+        let loopy = Formula::Atom(g, vec![FoTerm::Var(x), FoTerm::Var(x)]);
+        assert!(eval_formula(&loopy, &[x], &inst, &dom).unwrap().is_empty());
+        // {(x,y) | x = y} is the diagonal of the domain
+        let diag = Formula::Eq(FoTerm::Var(x), FoTerm::Var(y));
+        assert_eq!(eval_formula(&diag, &[x, y], &inst, &dom).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn sentences_and_quantifiers() {
+        let (_, g, inst, dom) = path_instance();
+        let mut vs = VarSet::new();
+        let x = vs.var("x");
+        let y = vs.var("y");
+        // ∃x∃y G(x,y) — true.
+        let some_edge = Formula::exists(
+            [x, y],
+            Formula::Atom(g, vec![FoTerm::Var(x), FoTerm::Var(y)]),
+        );
+        assert!(eval_sentence(&some_edge, &inst, &dom).unwrap());
+        // ∀x∃y G(x,y) — false ('c' has no outgoing edge).
+        let total = Formula::forall(
+            [x],
+            Formula::exists([y], Formula::Atom(g, vec![FoTerm::Var(x), FoTerm::Var(y)])),
+        );
+        assert!(!eval_sentence(&total, &inst, &dom).unwrap());
+        // ∀x∀y (G(x,y) → ¬G(y,x)) — true (no 2-cycles).
+        let antisym = Formula::forall(
+            [x, y],
+            Formula::Atom(g, vec![FoTerm::Var(x), FoTerm::Var(y)])
+                .implies(Formula::Atom(g, vec![FoTerm::Var(y), FoTerm::Var(x)]).not()),
+        );
+        assert!(eval_sentence(&antisym, &inst, &dom).unwrap());
+    }
+
+    #[test]
+    fn open_formula_with_negation() {
+        let (mut i, g, inst, dom) = path_instance();
+        let mut vs = VarSet::new();
+        let x = vs.var("x");
+        let y = vs.var("y");
+        // sinks: {x | ∀y ¬G(x,y)} = {c}
+        let sinks = Formula::forall(
+            [y],
+            Formula::Atom(g, vec![FoTerm::Var(x), FoTerm::Var(y)]).not(),
+        );
+        let rel = eval_formula(&sinks, &[x], &inst, &dom).unwrap();
+        let c = Value::sym(&mut i, "c");
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(&Tuple::from([c])));
+    }
+
+    #[test]
+    fn errors() {
+        let (mut i, g, inst, dom) = path_instance();
+        let missing = i.intern("missing");
+        let mut vs = VarSet::new();
+        let x = vs.var("x");
+        let bad = Formula::Atom(missing, vec![FoTerm::Var(x)]);
+        assert!(matches!(
+            eval_formula(&bad, &[x], &inst, &dom),
+            Err(FoError::UnknownRelation(_))
+        ));
+        let wrong_arity = Formula::Atom(g, vec![FoTerm::Var(x)]);
+        assert!(matches!(
+            eval_formula(&wrong_arity, &[x], &inst, &dom),
+            Err(FoError::ArityMismatch { .. })
+        ));
+        // Sentence with a free variable is rejected.
+        let open = Formula::Atom(g, vec![FoTerm::Var(x), FoTerm::Var(x)]);
+        assert!(matches!(
+            eval_sentence(&open, &inst, &dom),
+            Err(FoError::UnboundVariable(_))
+        ));
+        // Open formula whose free variables are not all listed.
+        assert!(eval_formula(&open, &[], &inst, &dom).is_err());
+    }
+
+    #[test]
+    fn free_vars_respect_binders() {
+        let mut vs = VarSet::new();
+        let x = vs.var("x");
+        let y = vs.var("y");
+        let mut i = Interner::new();
+        let g = i.intern("G");
+        let phi = Formula::exists(
+            [y],
+            Formula::Atom(g, vec![FoTerm::Var(x), FoTerm::Var(y)]),
+        );
+        assert_eq!(phi.free_vars(), vec![x]);
+    }
+
+    #[test]
+    fn display_roundtrip_is_readable() {
+        let mut vs = VarSet::new();
+        let x = vs.var("x");
+        let mut i = Interner::new();
+        let p = i.intern("P");
+        let phi = Formula::forall([x], Formula::Atom(p, vec![FoTerm::Var(x)]).not());
+        assert_eq!(display_formula(&phi, &vs, &i), "∀x (¬(P(x)))");
+    }
+
+    #[test]
+    fn empty_domain_quantifiers() {
+        let mut i = Interner::new();
+        let p = i.intern("P");
+        let mut inst = Instance::new();
+        inst.ensure(p, 1);
+        let mut vs = VarSet::new();
+        let x = vs.var("x");
+        // Over the empty domain, ∀x φ is vacuously true and ∃x φ false.
+        let atom = Formula::Atom(p, vec![FoTerm::Var(x)]);
+        assert!(eval_sentence(&Formula::forall([x], atom.clone()), &inst, &[]).unwrap());
+        assert!(!eval_sentence(&Formula::exists([x], atom), &inst, &[]).unwrap());
+    }
+}

@@ -1,0 +1,25 @@
+//! # unchained-fo
+//!
+//! First-order logic over relations (relational calculus) and relational
+//! algebra, as recalled in Section 2 of *Datalog Unchained*. These are
+//! the assignment right-hand sides of the *while* / *fixpoint*
+//! comparator languages and the oracle queries used by the test harness.
+//!
+//! * [`formula`] — FO formulas with active-domain quantifier semantics,
+//!   sentence evaluation and `{x̄ | φ}` set comprehension.
+//! * [`algebra`] — positional relational algebra (π, σ, ⋈, ×, ∪, −).
+//! * [`codd`] — the constructive FO → algebra translation (Codd's
+//!   theorem), cross-checked against the direct evaluator.
+//! * [`text`] — a parseable text syntax for formulas.
+
+pub mod algebra;
+pub mod codd;
+pub mod formula;
+pub mod text;
+
+pub use algebra::{eval as eval_algebra, AlgebraError, Condition, Expr, Operand};
+pub use formula::{
+    display_formula, eval_formula, eval_sentence, FoError, FoTerm, FoVar, Formula, VarSet,
+};
+pub use codd::{compile_formula, eval_via_algebra};
+pub use text::{parse_formula, TextError};

@@ -1,0 +1,715 @@
+//! Text syntax for FO formulas (and the token layer shared with the
+//! while-language statement parser in `unchained-while`).
+//!
+//! Formula grammar:
+//!
+//! ```text
+//! phi  ::= imp
+//! imp  ::= disj [ "->" imp ]                      (right associative)
+//! disj ::= conj { ("or" | "|") conj }
+//! conj ::= neg  { ("and" | "&") neg }
+//! neg  ::= ("!" | "not") neg | prim
+//! prim ::= "(" phi ")"
+//!        | ("forall" | "exists") var+ "(" phi ")"
+//!        | "true" | "false"
+//!        | ident "(" terms ")"                    (relational atom)
+//!        | term ("=" | "!=") term
+//! term ::= ident | integer | 'symbol'
+//! ```
+//!
+//! Identifiers in argument position are variables; in predicate
+//! position, relation names — the same convention as the Datalog
+//! syntax. Unicode `¬ ∧ ∨ → ∀ ∃ ≠` are accepted.
+
+use crate::formula::{FoTerm, FoVar, Formula, VarSet};
+use std::fmt;
+use unchained_common::{Interner, Value};
+
+/// Token kinds (a superset of what formulas need: the while-language
+/// statement parser reuses this lexer).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer constant.
+    Int(i64),
+    /// Quoted symbolic constant.
+    Sym(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `|` (used both as disjunction and as the set-builder bar; the
+    /// parsers disambiguate by context)
+    Bar,
+    /// `&` or `and` or `∧`
+    And,
+    /// `or` or `∨`
+    Or,
+    /// `!` or `not` or `¬`
+    Not,
+    /// `->` or `→`
+    Implies,
+    /// `=`
+    Eq,
+    /// `!=` or `≠`
+    Neq,
+    /// `forall` or `∀`
+    Forall,
+    /// `exists` or `∃`
+    Exists,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `:=`
+    Assign,
+    /// `+=`
+    CumAssign,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `end`
+    End,
+    /// `change`
+    Change,
+    /// `W` (the witness operator)
+    Witness,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier `{s}`"),
+            Tok::Int(n) => write!(f, "integer {n}"),
+            Tok::Sym(s) => write!(f, "constant '{s}'"),
+            other => {
+                let s = match other {
+                    Tok::LParen => "`(`",
+                    Tok::RParen => "`)`",
+                    Tok::LBrace => "`{`",
+                    Tok::RBrace => "`}`",
+                    Tok::Comma => "`,`",
+                    Tok::Semi => "`;`",
+                    Tok::Bar => "`|`",
+                    Tok::And => "`&`",
+                    Tok::Or => "`or`",
+                    Tok::Not => "`!`",
+                    Tok::Implies => "`->`",
+                    Tok::Eq => "`=`",
+                    Tok::Neq => "`!=`",
+                    Tok::Forall => "`forall`",
+                    Tok::Exists => "`exists`",
+                    Tok::True => "`true`",
+                    Tok::False => "`false`",
+                    Tok::Assign => "`:=`",
+                    Tok::CumAssign => "`+=`",
+                    Tok::While => "`while`",
+                    Tok::Do => "`do`",
+                    Tok::End => "`end`",
+                    Tok::Change => "`change`",
+                    Tok::Witness => "`W`",
+                    Tok::Eof => "end of input",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// A parse error for the text syntax.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TextError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the source (best effort).
+    pub offset: usize,
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for TextError {}
+
+/// Tokenizes the formula / while-language text syntax. Comments run
+/// from `%`, `#` or `//` to end of line.
+pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, TextError> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '%' || c == '#' || (c == '/' && bytes.get(i + 1) == Some(&'/')) {
+            while i < n && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        let tok = match c {
+            '(' => {
+                i += 1;
+                Tok::LParen
+            }
+            ')' => {
+                i += 1;
+                Tok::RParen
+            }
+            '{' => {
+                i += 1;
+                Tok::LBrace
+            }
+            '}' => {
+                i += 1;
+                Tok::RBrace
+            }
+            ',' => {
+                i += 1;
+                Tok::Comma
+            }
+            ';' => {
+                i += 1;
+                Tok::Semi
+            }
+            '|' => {
+                i += 1;
+                Tok::Bar
+            }
+            '&' | '∧' => {
+                i += 1;
+                Tok::And
+            }
+            '∨' => {
+                i += 1;
+                Tok::Or
+            }
+            '¬' => {
+                i += 1;
+                Tok::Not
+            }
+            '→' => {
+                i += 1;
+                Tok::Implies
+            }
+            '∀' => {
+                i += 1;
+                Tok::Forall
+            }
+            '∃' => {
+                i += 1;
+                Tok::Exists
+            }
+            '≠' => {
+                i += 1;
+                Tok::Neq
+            }
+            '=' => {
+                i += 1;
+                Tok::Eq
+            }
+            '!' => {
+                i += 1;
+                if bytes.get(i) == Some(&'=') {
+                    i += 1;
+                    Tok::Neq
+                } else {
+                    Tok::Not
+                }
+            }
+            '-' => {
+                i += 1;
+                if bytes.get(i) == Some(&'>') {
+                    i += 1;
+                    Tok::Implies
+                } else if bytes.get(i).is_some_and(|d| d.is_ascii_digit()) {
+                    let mut s = String::from("-");
+                    while i < n && bytes[i].is_ascii_digit() {
+                        s.push(bytes[i]);
+                        i += 1;
+                    }
+                    Tok::Int(s.parse().map_err(|_| TextError {
+                        message: format!("integer out of range: {s}"),
+                        offset: start,
+                    })?)
+                } else {
+                    return Err(TextError {
+                        message: "expected `->` or a number after `-`".into(),
+                        offset: start,
+                    });
+                }
+            }
+            ':' => {
+                i += 1;
+                if bytes.get(i) == Some(&'=') {
+                    i += 1;
+                    Tok::Assign
+                } else {
+                    return Err(TextError {
+                        message: "expected `:=`".into(),
+                        offset: start,
+                    });
+                }
+            }
+            '+' => {
+                i += 1;
+                if bytes.get(i) == Some(&'=') {
+                    i += 1;
+                    Tok::CumAssign
+                } else {
+                    return Err(TextError {
+                        message: "expected `+=`".into(),
+                        offset: start,
+                    });
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(&ch) if ch == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&'\n') | None => {
+                            return Err(TextError {
+                                message: "unterminated quoted constant".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                Tok::Sym(s)
+            }
+            d if d.is_ascii_digit() => {
+                let mut s = String::new();
+                while i < n && bytes[i].is_ascii_digit() {
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                Tok::Int(s.parse().map_err(|_| TextError {
+                    message: format!("integer out of range: {s}"),
+                    offset: start,
+                })?)
+            }
+            a if a.is_alphabetic() || a == '_' => {
+                let mut s = String::new();
+                while i < n
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '-')
+                {
+                    // Stop before `->`.
+                    if bytes[i] == '-' && bytes.get(i + 1) == Some(&'>') {
+                        break;
+                    }
+                    s.push(bytes[i]);
+                    i += 1;
+                }
+                match s.as_str() {
+                    "and" => Tok::And,
+                    "or" => Tok::Or,
+                    "not" => Tok::Not,
+                    "forall" => Tok::Forall,
+                    "exists" => Tok::Exists,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "while" => Tok::While,
+                    "do" => Tok::Do,
+                    "end" => Tok::End,
+                    "change" => Tok::Change,
+                    "W" => Tok::Witness,
+                    _ => Tok::Ident(s),
+                }
+            }
+            other => {
+                return Err(TextError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: start,
+                })
+            }
+        };
+        out.push((tok, start));
+    }
+    out.push((Tok::Eof, n));
+    Ok(out)
+}
+
+/// Cursor over lexed tokens, shared with the while-language parser.
+pub struct Cursor<'a> {
+    toks: Vec<(Tok, usize)>,
+    at: usize,
+    /// The interner for relation names and symbolic constants.
+    pub interner: &'a mut Interner,
+    /// The variable namespace (scoped by the caller).
+    pub vars: &'a mut VarSet,
+}
+
+impl<'a> Cursor<'a> {
+    /// Creates a cursor over `src`.
+    pub fn new(
+        src: &str,
+        interner: &'a mut Interner,
+        vars: &'a mut VarSet,
+    ) -> Result<Self, TextError> {
+        Ok(Cursor { toks: lex(src)?, at: 0, interner, vars })
+    }
+
+    /// The current token.
+    pub fn peek(&self) -> &Tok {
+        &self.toks[self.at].0
+    }
+
+    /// Current byte offset (for errors).
+    pub fn offset(&self) -> usize {
+        self.toks[self.at].1
+    }
+
+    /// Consumes and returns the current token.
+    pub fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].0.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    /// Consumes `tok` or errors.
+    pub fn expect(&mut self, tok: &Tok) -> Result<(), TextError> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {tok}, found {}", self.peek())))
+        }
+    }
+
+    /// Builds an error at the current position.
+    pub fn error(&self, message: String) -> TextError {
+        TextError { message, offset: self.offset() }
+    }
+
+    /// True at end of input.
+    pub fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn parse_term(&mut self) -> Result<FoTerm, TextError> {
+        match self.bump() {
+            Tok::Ident(name) => Ok(FoTerm::Var(self.vars.var(&name))),
+            Tok::Int(n) => Ok(FoTerm::Const(Value::Int(n))),
+            Tok::Sym(s) => Ok(FoTerm::Const(Value::Sym(self.interner.intern(&s)))),
+            other => Err(self.error(format!("expected term, found {other}"))),
+        }
+    }
+
+    /// Parses a full formula (entry point used by both `parse_formula`
+    /// and the while-language parser inside `{ … | φ }`).
+    pub fn parse_formula(&mut self) -> Result<Formula, TextError> {
+        self.parse_implies()
+    }
+
+    fn parse_implies(&mut self) -> Result<Formula, TextError> {
+        let lhs = self.parse_or()?;
+        if self.peek() == &Tok::Implies {
+            self.bump();
+            let rhs = self.parse_implies()?;
+            Ok(lhs.implies(rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Formula, TextError> {
+        let mut parts = vec![self.parse_and()?];
+        while self.peek() == &Tok::Or {
+            self.bump();
+            parts.push(self.parse_and()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().unwrap())
+        } else {
+            Ok(Formula::Or(parts))
+        }
+    }
+
+    fn parse_and(&mut self) -> Result<Formula, TextError> {
+        let mut parts = vec![self.parse_neg()?];
+        while self.peek() == &Tok::And {
+            self.bump();
+            parts.push(self.parse_neg()?);
+        }
+        if parts.len() == 1 {
+            Ok(parts.pop().unwrap())
+        } else {
+            Ok(Formula::And(parts))
+        }
+    }
+
+    fn parse_neg(&mut self) -> Result<Formula, TextError> {
+        if self.peek() == &Tok::Not {
+            self.bump();
+            Ok(self.parse_neg()?.not())
+        } else {
+            self.parse_prim()
+        }
+    }
+
+    fn parse_var_list(&mut self) -> Result<Vec<FoVar>, TextError> {
+        let mut vars = Vec::new();
+        while let Tok::Ident(name) = self.peek().clone() {
+            self.bump();
+            vars.push(self.vars.var(&name));
+            if self.peek() == &Tok::Comma {
+                self.bump();
+            }
+        }
+        if vars.is_empty() {
+            return Err(self.error("expected at least one quantified variable".into()));
+        }
+        Ok(vars)
+    }
+
+    fn parse_prim(&mut self) -> Result<Formula, TextError> {
+        match self.peek().clone() {
+            Tok::LParen => {
+                self.bump();
+                let phi = self.parse_formula()?;
+                self.expect(&Tok::RParen)?;
+                Ok(phi)
+            }
+            Tok::Forall => {
+                self.bump();
+                let vars = self.parse_var_list()?;
+                self.expect(&Tok::LParen)?;
+                let phi = self.parse_formula()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Formula::forall(vars, phi))
+            }
+            Tok::Exists => {
+                self.bump();
+                let vars = self.parse_var_list()?;
+                self.expect(&Tok::LParen)?;
+                let phi = self.parse_formula()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Formula::exists(vars, phi))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Formula::True)
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Formula::False)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    // Relational atom.
+                    self.bump();
+                    let pred = self.interner.intern(&name);
+                    let mut terms = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        loop {
+                            terms.push(self.parse_term()?);
+                            if self.peek() == &Tok::Comma {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Formula::Atom(pred, terms))
+                } else {
+                    // Equality / inequality with a variable LHS, or a
+                    // zero-ary atom.
+                    match self.peek() {
+                        Tok::Eq => {
+                            self.bump();
+                            let lhs = FoTerm::Var(self.vars.var(&name));
+                            let rhs = self.parse_term()?;
+                            Ok(Formula::Eq(lhs, rhs))
+                        }
+                        Tok::Neq => {
+                            self.bump();
+                            let lhs = FoTerm::Var(self.vars.var(&name));
+                            let rhs = self.parse_term()?;
+                            Ok(Formula::Eq(lhs, rhs).not())
+                        }
+                        _ => Ok(Formula::Atom(self.interner.intern(&name), vec![])),
+                    }
+                }
+            }
+            Tok::Int(_) | Tok::Sym(_) => {
+                let lhs = self.parse_term()?;
+                match self.bump() {
+                    Tok::Eq => Ok(Formula::Eq(lhs, self.parse_term()?)),
+                    Tok::Neq => Ok(Formula::Eq(lhs, self.parse_term()?).not()),
+                    other => {
+                        Err(self.error(format!("expected `=` or `!=`, found {other}")))
+                    }
+                }
+            }
+            other => Err(self.error(format!("expected formula, found {other}"))),
+        }
+    }
+}
+
+/// Parses a formula from text. Variables are resolved/created in
+/// `vars`; relation names and symbolic constants are interned.
+pub fn parse_formula(
+    src: &str,
+    interner: &mut Interner,
+    vars: &mut VarSet,
+) -> Result<Formula, TextError> {
+    let mut cursor = Cursor::new(src, interner, vars)?;
+    let phi = cursor.parse_formula()?;
+    if !cursor.at_eof() {
+        return Err(cursor.error(format!("unexpected {} after formula", cursor.peek())));
+    }
+    Ok(phi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{eval_formula, eval_sentence};
+    use unchained_common::{Instance, Tuple};
+
+    fn setup() -> (Interner, Instance, Vec<Value>) {
+        let mut i = Interner::new();
+        let g = i.intern("G");
+        let mut inst = Instance::new();
+        for (a, b) in [(1i64, 2), (2, 3)] {
+            inst.insert_fact(g, Tuple::from([Value::Int(a), Value::Int(b)]));
+        }
+        let dom = inst.adom_sorted();
+        (i, inst, dom)
+    }
+
+    #[test]
+    fn atoms_and_connectives() {
+        let (mut i, inst, dom) = setup();
+        let mut vs = VarSet::new();
+        let phi = parse_formula("G(x,y) & x != y", &mut i, &mut vs).unwrap();
+        let x = vs.var("x");
+        let y = vs.var("y");
+        let rel = eval_formula(&phi, &[x, y], &inst, &dom).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn quantifiers_and_implication() {
+        let (mut i, inst, dom) = setup();
+        let mut vs = VarSet::new();
+        // Sinks: no outgoing edge.
+        let phi = parse_formula("forall y ( !G(x,y) )", &mut i, &mut vs).unwrap();
+        let x = vs.var("x");
+        let rel = eval_formula(&phi, &[x], &inst, &dom).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert!(rel.contains(&Tuple::from([Value::Int(3)])));
+        // ∀x∀y (G(x,y) -> exists z (G(y,z) or y = 3))
+        let mut vs = VarSet::new();
+        let phi = parse_formula(
+            "forall x, y (G(x,y) -> exists z (G(y,z) or y = 3))",
+            &mut i,
+            &mut vs,
+        )
+        .unwrap();
+        assert!(eval_sentence(&phi, &inst, &dom).unwrap());
+    }
+
+    #[test]
+    fn unicode_notation() {
+        let (mut i, inst, dom) = setup();
+        let mut vs1 = VarSet::new();
+        let a = parse_formula("∀y (¬G(x,y))", &mut i, &mut vs1).unwrap();
+        let mut vs2 = VarSet::new();
+        let b = parse_formula("forall y (!G(x,y))", &mut i, &mut vs2).unwrap();
+        let x1 = vs1.var("x");
+        let x2 = vs2.var("x");
+        let ra = eval_formula(&a, &[x1], &inst, &dom).unwrap();
+        let rb = eval_formula(&b, &[x2], &inst, &dom).unwrap();
+        assert!(ra.same_tuples(&rb));
+    }
+
+    #[test]
+    fn precedence() {
+        let mut i = Interner::new();
+        let mut vs = VarSet::new();
+        // a & b or c parses as (a ∧ b) ∨ c.
+        let phi = parse_formula("A() & B() or C()", &mut i, &mut vs).unwrap();
+        assert!(matches!(phi, Formula::Or(_)));
+        // a -> b -> c is right-associative.
+        let phi = parse_formula("A() -> B() -> C()", &mut i, &mut vs).unwrap();
+        // (¬A ∨ (B → C)) — outermost is an Or.
+        assert!(matches!(phi, Formula::Or(_)));
+    }
+
+    #[test]
+    fn zero_ary_atoms_and_booleans() {
+        let mut i = Interner::new();
+        let mut vs = VarSet::new();
+        let phi = parse_formula("flag & true & !false", &mut i, &mut vs).unwrap();
+        let flag = i.get("flag").unwrap();
+        let mut inst = Instance::new();
+        inst.insert_fact(flag, Tuple::from([]));
+        assert!(eval_sentence(&phi, &inst, &[]).unwrap());
+    }
+
+    #[test]
+    fn constants_and_comparisons() {
+        let mut i = Interner::new();
+        let mut vs = VarSet::new();
+        let phi = parse_formula("x = 'a' or x = 5", &mut i, &mut vs).unwrap();
+        let x = vs.var("x");
+        let a = Value::sym(&mut i, "a");
+        let dom = vec![a, Value::Int(5), Value::Int(6)];
+        let inst = Instance::new();
+        let rel = eval_formula(&phi, &[x], &inst, &dom).unwrap();
+        assert_eq!(rel.len(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        let mut i = Interner::new();
+        let mut vs = VarSet::new();
+        assert!(parse_formula("G(x,", &mut i, &mut vs).is_err());
+        assert!(parse_formula("forall (G(x))", &mut i, &mut vs).is_err());
+        assert!(parse_formula("G(x)) extra", &mut i, &mut vs).is_err());
+        assert!(parse_formula("", &mut i, &mut vs).is_err());
+        assert!(parse_formula("x ->", &mut i, &mut vs).is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let mut i = Interner::new();
+        let mut vs = VarSet::new();
+        let phi = parse_formula("% comment\ntrue // tail\n & true", &mut i, &mut vs).unwrap();
+        assert!(matches!(phi, Formula::And(_)));
+    }
+}

@@ -1,0 +1,254 @@
+//! Instance generators for the experiment harness: graph families,
+//! random relations, and game boards.
+//!
+//! Every generator is deterministic given its arguments (random ones
+//! take an explicit seed), so tests, benches and the Figure 1 harness
+//! are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use unchained_common::{Instance, Interner, Symbol, Tuple, Value};
+
+/// Inserts the edge `(a, b)` into `rel`.
+fn edge(instance: &mut Instance, rel: Symbol, a: i64, b: i64) {
+    instance.insert_fact(rel, Tuple::from([Value::Int(a), Value::Int(b)]));
+}
+
+/// A directed line `0 → 1 → … → n−1` in relation `name`.
+pub fn line_graph(interner: &mut Interner, name: &str, n: i64) -> Instance {
+    let rel = interner.intern(name);
+    let mut instance = Instance::new();
+    instance.ensure(rel, 2);
+    for k in 0..n - 1 {
+        edge(&mut instance, rel, k, k + 1);
+    }
+    instance
+}
+
+/// A directed cycle on `n` nodes.
+pub fn cycle_graph(interner: &mut Interner, name: &str, n: i64) -> Instance {
+    let rel = interner.intern(name);
+    let mut instance = Instance::new();
+    instance.ensure(rel, 2);
+    for k in 0..n {
+        edge(&mut instance, rel, k, (k + 1) % n);
+    }
+    instance
+}
+
+/// The complete directed graph (no self-loops) on `n` nodes.
+pub fn complete_graph(interner: &mut Interner, name: &str, n: i64) -> Instance {
+    let rel = interner.intern(name);
+    let mut instance = Instance::new();
+    instance.ensure(rel, 2);
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                edge(&mut instance, rel, a, b);
+            }
+        }
+    }
+    instance
+}
+
+/// A random digraph on `n` nodes where each ordered pair (including
+/// self-loops) is an edge independently with probability `p`.
+pub fn random_digraph(
+    interner: &mut Interner,
+    name: &str,
+    n: i64,
+    p: f64,
+    seed: u64,
+) -> Instance {
+    let rel = interner.intern(name);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut instance = Instance::new();
+    instance.ensure(rel, 2);
+    for a in 0..n {
+        for b in 0..n {
+            if rng.gen_bool(p) {
+                edge(&mut instance, rel, a, b);
+            }
+        }
+    }
+    instance
+}
+
+/// A random symmetric-pair graph: `pairs` disjoint 2-cycles plus
+/// `extra` random one-way edges among `2·pairs` nodes. The workload of
+/// the orientation program (Section 5.1).
+pub fn symmetric_pairs(
+    interner: &mut Interner,
+    name: &str,
+    pairs: i64,
+    extra: i64,
+    seed: u64,
+) -> Instance {
+    let rel = interner.intern(name);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut instance = Instance::new();
+    instance.ensure(rel, 2);
+    let n = 2 * pairs;
+    for k in 0..pairs {
+        edge(&mut instance, rel, 2 * k, 2 * k + 1);
+        edge(&mut instance, rel, 2 * k + 1, 2 * k);
+    }
+    let mut added = 0;
+    while added < extra {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && !instance.contains_fact(rel, &Tuple::from([Value::Int(b), Value::Int(a)]))
+        {
+            if instance.insert_fact(rel, Tuple::from([Value::Int(a), Value::Int(b)])) {
+                added += 1;
+            } else {
+                added += 1; // duplicate pick still consumes budget
+            }
+        } else {
+            added += 1;
+        }
+    }
+    instance
+}
+
+/// A random game board for the win-move query: `n` states, each with
+/// 0–`max_moves` outgoing moves, in relation `name`.
+pub fn random_game(
+    interner: &mut Interner,
+    name: &str,
+    n: i64,
+    max_moves: i64,
+    seed: u64,
+) -> Instance {
+    let rel = interner.intern(name);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut instance = Instance::new();
+    instance.ensure(rel, 2);
+    for a in 0..n {
+        let moves = rng.gen_range(0..=max_moves);
+        for _ in 0..moves {
+            let b = rng.gen_range(0..n);
+            edge(&mut instance, rel, a, b);
+        }
+    }
+    instance
+}
+
+/// The paper's Example 3.2 game instance `K`:
+/// `moves = {⟨b,c⟩, ⟨c,a⟩, ⟨a,b⟩, ⟨a,d⟩, ⟨d,e⟩, ⟨d,f⟩, ⟨f,g⟩}`.
+pub fn paper_game(interner: &mut Interner, name: &str) -> Instance {
+    let rel = interner.intern(name);
+    let mut instance = Instance::new();
+    instance.ensure(rel, 2);
+    for (x, y) in [
+        ("b", "c"),
+        ("c", "a"),
+        ("a", "b"),
+        ("a", "d"),
+        ("d", "e"),
+        ("d", "f"),
+        ("f", "g"),
+    ] {
+        let vx = Value::sym(interner, x);
+        let vy = Value::sym(interner, y);
+        instance.insert_fact(rel, Tuple::from([vx, vy]));
+    }
+    instance
+}
+
+/// A random unary relation over `0..universe` with `k` distinct
+/// members, in relation `name`.
+pub fn random_unary(
+    interner: &mut Interner,
+    name: &str,
+    universe: i64,
+    k: usize,
+    seed: u64,
+) -> Instance {
+    let rel = interner.intern(name);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut instance = Instance::new();
+    instance.ensure(rel, 1);
+    let mut values: Vec<i64> = (0..universe).collect();
+    // Fisher–Yates prefix shuffle.
+    for i in 0..k.min(values.len()) {
+        let j = rng.gen_range(i..values.len());
+        values.swap(i, j);
+        instance.insert_fact(rel, Tuple::from([Value::Int(values[i])]));
+    }
+    instance
+}
+
+/// Merges `b` into `a` (union of relations; arities must agree).
+pub fn merge(mut a: Instance, b: &Instance) -> Instance {
+    for (pred, rel) in b.iter() {
+        if rel.is_empty() {
+            a.ensure(pred, rel.arity());
+            continue;
+        }
+        a.ensure(pred, rel.arity()).union_with(rel);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_cycle_sizes() {
+        let mut i = Interner::new();
+        let g = line_graph(&mut i, "G", 5);
+        assert_eq!(g.fact_count(), 4);
+        let c = cycle_graph(&mut i, "G", 5);
+        assert_eq!(c.fact_count(), 5);
+        let k = complete_graph(&mut i, "G", 4);
+        assert_eq!(k.fact_count(), 12);
+    }
+
+    #[test]
+    fn random_digraph_is_seed_deterministic() {
+        let mut i = Interner::new();
+        let a = random_digraph(&mut i, "G", 10, 0.3, 7);
+        let b = random_digraph(&mut i, "G", 10, 0.3, 7);
+        assert!(a.same_facts(&b));
+        let c = random_digraph(&mut i, "G", 10, 0.3, 8);
+        assert!(!a.same_facts(&c) || a.fact_count() == c.fact_count());
+    }
+
+    #[test]
+    fn symmetric_pairs_have_two_cycles() {
+        let mut i = Interner::new();
+        let inst = symmetric_pairs(&mut i, "G", 3, 0, 1);
+        assert_eq!(inst.fact_count(), 6);
+        let g = i.get("G").unwrap();
+        let rel = inst.relation(g).unwrap();
+        for t in rel.iter() {
+            let rev = Tuple::from([t[1], t[0]]);
+            assert!(rel.contains(&rev));
+        }
+    }
+
+    #[test]
+    fn paper_game_has_seven_moves() {
+        let mut i = Interner::new();
+        let inst = paper_game(&mut i, "moves");
+        assert_eq!(inst.fact_count(), 7);
+    }
+
+    #[test]
+    fn random_unary_has_k_members() {
+        let mut i = Interner::new();
+        let inst = random_unary(&mut i, "R", 20, 7, 3);
+        assert_eq!(inst.fact_count(), 7);
+    }
+
+    #[test]
+    fn merge_unions() {
+        let mut i = Interner::new();
+        let a = line_graph(&mut i, "G", 3);
+        let b = random_unary(&mut i, "R", 5, 2, 1);
+        let m = merge(a, &b);
+        assert_eq!(m.fact_count(), 4);
+    }
+}

@@ -1,0 +1,28 @@
+//! # unchained-harness
+//!
+//! The experiment harness for reproducing *Datalog Unchained*:
+//!
+//! * [`generators`] — deterministic instance families (lines, cycles,
+//!   random digraphs, game boards, symmetric-pair graphs, unary
+//!   relations);
+//! * [`oracles`] — direct reference implementations of the queries the
+//!   paper's examples compute (transitive closure and its complement,
+//!   BFS distances, cycle reachability, the win-move game solution,
+//!   evenness, orientation validity);
+//! * [`programs`] — the paper's programs, verbatim, as parseable text;
+//! * [`ordered`] — ordered-database support (`succ`/`lt`/`min`/`max`,
+//!   Section 4.5);
+//! * [`equivalence`] — run two queries over an instance family and
+//!   compare answers (the engine behind the Figure 1 table);
+//! * [`randprog`] — random range-restricted program generation for
+//!   differential engine testing.
+
+pub mod equivalence;
+pub mod generators;
+pub mod oracles;
+pub mod ordered;
+pub mod programs;
+pub mod randprog;
+
+pub use equivalence::{compare, relation_of, QueryFn, Verdict};
+pub use oracles::GameValue;

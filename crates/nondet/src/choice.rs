@@ -1,0 +1,213 @@
+//! The choice operator (Section 5.2's pointer to \[90\] and LDL \[99\]):
+//! `choice((x̄),(ȳ))` in a rule body constrains the rule's firings so
+//! that, over the whole computation, the chosen `(x̄, ȳ)` pairs form a
+//! *function* from key to value. Once a pair is committed it stays
+//! fixed — the "static choice" semantics, whose stable-model reading
+//! \[66, 109\] this dynamic formulation matches on the programs here.
+//!
+//! The flagship application (after Corciulo–Giannotti–Pedreschi \[52\]:
+//! "Datalog with non-deterministic choice computes NDB-PTIME") is
+//! breaking the symmetry that makes *evenness* inexpressible in the
+//! deterministic languages (Section 4.4): choice builds an arbitrary
+//! successor chain over a unary relation, and parity is read off its
+//! last element. Every computation picks a different chain, but all of
+//! them agree on the answer — a *deterministic query computed by a
+//! nondeterministic program*, exactly Section 5.3's `det(·)` story.
+
+/// Evenness of unary `R` via choice, universal quantification and `⊥`.
+///
+/// The double constraint `choice((x),(y)), choice((y),(x))` makes
+/// `chain` a simple path: each element gets at most one successor and
+/// at most one predecessor. The `'r'` constant roots the chain. `last`
+/// detects the end of the chain with a universal check; premature
+/// `last` guesses are killed by the `⊥` rule (a state where a stale
+/// `last(z)` coexists with `chain(z,w)` always has the aborting firing
+/// available, so it can never be terminal).
+pub const CHOICE_PARITY: &str = "\
+chain('r','r') :- .
+chain(x,y) :- chain(w,x), R(y), y != 'r', choice((x),(y)), choice((y),(x)).
+odd(y) :- chain('r',y), y != 'r'.
+even(y) :- chain(x,y), odd(x).
+odd(y) :- chain(x,y), even(x), x != 'r'.
+last(z) :- forall w : odd(z), !chain(z,w).
+last(z) :- forall w : even(z), !chain(z,w).
+bottom :- last(z), chain(z,w).
+evenR :- last(z), even(z).
+evenR :- forall y : !R(y).
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chooser::RandomChooser;
+    use crate::eff::{effect, EffOptions};
+    use crate::posscert::poss_cert;
+    use crate::program::NondetProgram;
+    use crate::run::run_once;
+    use unchained_common::{Instance, Interner, Tuple, Value};
+    use unchained_core::EvalOptions;
+    use unchained_parser::parse_program;
+
+    #[test]
+    fn choice_enforces_functional_dependency() {
+        // Assign each student exactly one advisor.
+        let mut i = Interner::new();
+        let program = parse_program(
+            "advises(s, a) :- student(s), prof(a), choice((s),(a)).",
+            &mut i,
+        )
+        .unwrap();
+        let student = i.get("student").unwrap();
+        let prof = i.get("prof").unwrap();
+        let advises = i.get("advises").unwrap();
+        let mut input = Instance::new();
+        for s in 0..4i64 {
+            input.insert_fact(student, Tuple::from([Value::Int(s)]));
+        }
+        for a in [100i64, 200] {
+            input.insert_fact(prof, Tuple::from([Value::Int(a)]));
+        }
+        let compiled = NondetProgram::compile(&program, false).unwrap();
+        for seed in 0..8u64 {
+            let mut chooser = RandomChooser::seeded(seed);
+            let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default())
+                .unwrap();
+            let rel = run.instance.relation(advises).unwrap();
+            // Exactly one advisor per student.
+            assert_eq!(rel.len(), 4, "seed {seed}");
+            let mut seen = std::collections::BTreeSet::new();
+            for t in rel.iter() {
+                assert!(seen.insert(t[0]), "student assigned twice (seed {seed})");
+            }
+        }
+    }
+
+    #[test]
+    fn choice_effect_enumerates_all_functions() {
+        // 2 students × 2 professors → 4 total assignments.
+        let mut i = Interner::new();
+        let program = parse_program(
+            "advises(s, a) :- student(s), prof(a), choice((s),(a)).",
+            &mut i,
+        )
+        .unwrap();
+        let student = i.get("student").unwrap();
+        let prof = i.get("prof").unwrap();
+        let mut input = Instance::new();
+        for s in 0..2i64 {
+            input.insert_fact(student, Tuple::from([Value::Int(s)]));
+        }
+        for a in [100i64, 200] {
+            input.insert_fact(prof, Tuple::from([Value::Int(a)]));
+        }
+        let compiled = NondetProgram::compile(&program, false).unwrap();
+        let effects = effect(&compiled, &input, EffOptions::default()).unwrap();
+        assert_eq!(effects.len(), 4);
+    }
+
+    #[test]
+    fn global_choice_with_empty_key() {
+        // choice((),(x)) commits to a single global pick.
+        let mut i = Interner::new();
+        let program =
+            parse_program("leader(x) :- node(x), choice((),(x)).", &mut i).unwrap();
+        let node = i.get("node").unwrap();
+        let leader = i.get("leader").unwrap();
+        let mut input = Instance::new();
+        for k in 0..5i64 {
+            input.insert_fact(node, Tuple::from([Value::Int(k)]));
+        }
+        let compiled = NondetProgram::compile(&program, false).unwrap();
+        let effects = effect(&compiled, &input, EffOptions::default()).unwrap();
+        // One effect per possible leader, each with exactly one leader.
+        assert_eq!(effects.len(), 5);
+        for e in &effects {
+            assert_eq!(e.relation(leader).unwrap().len(), 1);
+        }
+    }
+
+    #[test]
+    fn parity_program_is_deterministic_despite_choice() {
+        let mut i = Interner::new();
+        let program = parse_program(CHOICE_PARITY, &mut i).unwrap();
+        let r = i.get("R").unwrap();
+        let even_r = i.get("evenR").unwrap();
+        for k in 0..=4usize {
+            let mut input = Instance::new();
+            input.ensure(r, 1);
+            for v in 0..k as i64 {
+                input.insert_fact(r, Tuple::from([Value::Int(v)]));
+            }
+            let compiled = NondetProgram::compile(&program, false).unwrap();
+            let pc = poss_cert(&compiled, &input, EffOptions::default()).unwrap();
+            let expected = k % 2 == 0;
+            // The deterministic fragment: every terminal computation
+            // agrees, so poss = cert on the answer relation.
+            let poss_even = pc.poss.contains_fact(even_r, &Tuple::from([]));
+            let cert_even = pc.cert.contains_fact(even_r, &Tuple::from([]));
+            assert_eq!(poss_even, expected, "|R| = {k} (poss)");
+            assert_eq!(cert_even, expected, "|R| = {k} (cert)");
+            assert!(pc.effect_count >= 1, "|R| = {k}");
+        }
+    }
+
+    #[test]
+    fn parity_single_runs_agree_across_seeds() {
+        let mut i = Interner::new();
+        let program = parse_program(CHOICE_PARITY, &mut i).unwrap();
+        let r = i.get("R").unwrap();
+        let even_r = i.get("evenR").unwrap();
+        for k in [3usize, 6] {
+            let mut input = Instance::new();
+            input.ensure(r, 1);
+            for v in 0..k as i64 {
+                input.insert_fact(r, Tuple::from([Value::Int(v)]));
+            }
+            let compiled = NondetProgram::compile(&program, false).unwrap();
+            let expected = k % 2 == 0;
+            for seed in 0..6u64 {
+                let mut chooser = RandomChooser::seeded(seed);
+                match run_once(&compiled, &input, &mut chooser, EvalOptions::default()) {
+                    Ok(run) => {
+                        assert_eq!(
+                            run.instance.contains_fact(even_r, &Tuple::from([])),
+                            expected,
+                            "|R| = {k}, seed {seed}"
+                        );
+                    }
+                    Err(crate::NondetError::Aborted { .. }) => {
+                        // A premature `last` guess was aborted via ⊥ —
+                        // an allowed (abandoned) computation.
+                    }
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn choice_under_forall_rejected() {
+        let mut i = Interner::new();
+        let program = parse_program(
+            "a(x) :- forall y : b(x), !c(y), choice((x),(y)).",
+            &mut i,
+        )
+        .unwrap();
+        assert!(matches!(
+            NondetProgram::compile(&program, false),
+            Err(crate::NondetError::ChoiceInUniversalScope { rule: 0 })
+        ));
+    }
+
+    #[test]
+    fn display_roundtrip_of_choice_literal() {
+        let mut i = Interner::new();
+        let src = "advises(s, a) :- student(s), prof(a), choice((s), (a)).\n";
+        let program = parse_program(src, &mut i).unwrap();
+        assert_eq!(program.display(&i).to_string(), src);
+        assert_eq!(
+            unchained_parser::classify(&program),
+            unchained_parser::Language::Nondeterministic
+        );
+    }
+}

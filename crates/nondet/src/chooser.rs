@@ -1,0 +1,105 @@
+//! Choice strategies for nondeterministic evaluation.
+//!
+//! Section 5.1: "the nondeterministic semantics is obtained by firing
+//! one instantiation of a rule at a time, based on a nondeterministic
+//! choice". A [`Chooser`] supplies that choice; different choosers give
+//! reproducible runs (seeded random), deterministic traces (first), or
+//! scripted tests (sequence).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Supplies the nondeterministic choices of a run.
+pub trait Chooser {
+    /// Picks an index in `0..n`. Called with `n ≥ 1`.
+    fn choose(&mut self, n: usize) -> usize;
+}
+
+/// Seeded pseudo-random choice — the production-system "conflict
+/// resolution by random selection" regime, reproducible by seed.
+pub struct RandomChooser {
+    rng: StdRng,
+}
+
+impl RandomChooser {
+    /// Creates a chooser from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        RandomChooser { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Chooser for RandomChooser {
+    fn choose(&mut self, n: usize) -> usize {
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// Always picks the first available instantiation (deterministic,
+/// text-order trace).
+#[derive(Default, Clone, Copy)]
+pub struct FirstChooser;
+
+impl Chooser for FirstChooser {
+    fn choose(&mut self, _n: usize) -> usize {
+        0
+    }
+}
+
+/// Replays a scripted sequence of choices (for tests); falls back to 0
+/// when the script runs out. Out-of-range entries are clamped.
+pub struct SequenceChooser {
+    script: Vec<usize>,
+    at: usize,
+}
+
+impl SequenceChooser {
+    /// Creates a chooser replaying `script`.
+    pub fn new(script: impl Into<Vec<usize>>) -> Self {
+        SequenceChooser { script: script.into(), at: 0 }
+    }
+}
+
+impl Chooser for SequenceChooser {
+    fn choose(&mut self, n: usize) -> usize {
+        let pick = self.script.get(self.at).copied().unwrap_or(0);
+        self.at += 1;
+        pick.min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_reproducible() {
+        let mut a = RandomChooser::seeded(42);
+        let mut b = RandomChooser::seeded(42);
+        for _ in 0..20 {
+            assert_eq!(a.choose(7), b.choose(7));
+        }
+    }
+
+    #[test]
+    fn random_stays_in_range() {
+        let mut c = RandomChooser::seeded(7);
+        for _ in 0..100 {
+            assert!(c.choose(3) < 3);
+        }
+    }
+
+    #[test]
+    fn first_picks_zero() {
+        let mut c = FirstChooser;
+        assert_eq!(c.choose(5), 0);
+    }
+
+    #[test]
+    fn sequence_replays_and_clamps() {
+        let mut c = SequenceChooser::new([2, 9, 1]);
+        assert_eq!(c.choose(5), 2);
+        assert_eq!(c.choose(3), 2); // 9 clamped to n-1
+        assert_eq!(c.choose(5), 1);
+        assert_eq!(c.choose(5), 0); // script exhausted
+    }
+}

@@ -1,0 +1,508 @@
+//! Abstract syntax for the whole language family.
+//!
+//! One AST covers every language in the paper; the *analysis* module
+//! classifies a program into the family it belongs to (pure Datalog,
+//! semipositive, stratified, Datalog¬, Datalog¬¬, Datalog¬new,
+//! N-Datalog¬∀, N-Datalog¬⊥, …) and each engine rejects programs outside
+//! its language.
+//!
+//! Variables are **rule-scoped**: a [`Var`] is an index into the owning
+//! rule's variable-name table, and the same name in two rules denotes two
+//! unrelated variables — exactly the scoping of the paper's rule syntax.
+
+use std::fmt;
+use unchained_common::{Interner, Schema, Symbol, Value};
+
+/// A rule-scoped variable (index into [`Rule::var_names`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A rule-scoped variable.
+    Var(Var),
+    /// A domain constant.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable, if this term is one.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// A predicate applied to terms, e.g. `T(x, 'a')`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// The relation symbol.
+    pub pred: Symbol,
+    /// Argument terms; the atom's arity is `args.len()`.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(pred: Symbol, args: Vec<Term>) -> Self {
+        Atom { pred, args }
+    }
+
+    /// The atom's arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Iterates over the variables occurring in the atom.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.args.iter().filter_map(|t| t.as_var())
+    }
+
+    /// Iterates over the constants occurring in the atom.
+    pub fn consts(&self) -> impl Iterator<Item = Value> + '_ {
+        self.args.iter().filter_map(|t| match t {
+            Term::Const(v) => Some(*v),
+            Term::Var(_) => None,
+        })
+    }
+}
+
+/// A body literal.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Literal {
+    /// A positive atom `R(u)`.
+    Pos(Atom),
+    /// A negative atom `¬R(u)`.
+    Neg(Atom),
+    /// Equality `s = t` (available in the nondeterministic languages,
+    /// Definition 5.1; harmless elsewhere).
+    Eq(Term, Term),
+    /// Inequality `s ≠ t`.
+    Neq(Term, Term),
+    /// The choice operator `choice((x̄),(ȳ))` of LDL (discussed in
+    /// Section 5.2): constrains the rule's firings so that, per rule,
+    /// the chosen pairs form a *function* from `x̄`-values to
+    /// `ȳ`-values. Only the nondeterministic engines interpret it.
+    Choice(Vec<Term>, Vec<Term>),
+}
+
+impl Literal {
+    /// The underlying atom for (positive or negative) relational literals.
+    pub fn atom(&self) -> Option<&Atom> {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Variables occurring in the literal.
+    pub fn vars(&self) -> Vec<Var> {
+        match self {
+            Literal::Pos(a) | Literal::Neg(a) => a.vars().collect(),
+            Literal::Eq(s, t) | Literal::Neq(s, t) => {
+                s.as_var().into_iter().chain(t.as_var()).collect()
+            }
+            Literal::Choice(left, right) => left
+                .iter()
+                .chain(right)
+                .filter_map(|t| t.as_var())
+                .collect(),
+        }
+    }
+}
+
+/// A head literal.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum HeadLiteral {
+    /// Assert a fact (`R(u)`).
+    Pos(Atom),
+    /// Retract a fact (`¬R(u)`): Datalog¬¬ / N-Datalog¬¬ only.
+    Neg(Atom),
+    /// The inconsistency symbol `⊥` of N-Datalog¬⊥: deriving it abandons
+    /// the computation.
+    Bottom,
+}
+
+impl HeadLiteral {
+    /// The underlying atom for relational head literals.
+    pub fn atom(&self) -> Option<&Atom> {
+        match self {
+            HeadLiteral::Pos(a) | HeadLiteral::Neg(a) => Some(a),
+            HeadLiteral::Bottom => None,
+        }
+    }
+}
+
+/// One rule `A1, …, Ak ← [∀ x̄] L1, …, Ln`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// Head literals (a single positive atom in plain Datalog(¬); possibly
+    /// several, possibly negative, in the update/nondeterministic
+    /// languages).
+    pub head: Vec<HeadLiteral>,
+    /// Body literals. May be empty (a ground fact / unconditional rule,
+    /// like `delay ←` in Example 4.4).
+    pub body: Vec<Literal>,
+    /// Universally quantified body variables (N-Datalog¬∀). Empty in
+    /// every other language.
+    pub forall: Vec<Var>,
+    /// Names of the rule's variables, indexed by [`Var`].
+    pub var_names: Vec<String>,
+}
+
+impl Rule {
+    /// Number of distinct variables in the rule.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Variables occurring in the head.
+    pub fn head_vars(&self) -> Vec<Var> {
+        let mut out: Vec<Var> = self
+            .head
+            .iter()
+            .filter_map(HeadLiteral::atom)
+            .flat_map(Atom::vars)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Variables occurring in the body.
+    pub fn body_vars(&self) -> Vec<Var> {
+        let mut out: Vec<Var> = self.body.iter().flat_map(|l| l.vars()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Variables occurring in the head but nowhere in the body — the
+    /// *invented-value* variables of Datalog¬new (Section 4.3).
+    pub fn invented_vars(&self) -> Vec<Var> {
+        let body: std::collections::BTreeSet<Var> = self.body_vars().into_iter().collect();
+        self.head_vars()
+            .into_iter()
+            .filter(|v| !body.contains(v))
+            .collect()
+    }
+
+    /// All constants in the rule.
+    pub fn consts(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        for h in &self.head {
+            if let Some(a) = h.atom() {
+                out.extend(a.consts());
+            }
+        }
+        for l in &self.body {
+            match l {
+                Literal::Pos(a) | Literal::Neg(a) => out.extend(a.consts()),
+                Literal::Eq(s, t) | Literal::Neq(s, t) => {
+                    for term in [s, t] {
+                        if let Term::Const(v) = term {
+                            out.push(*v);
+                        }
+                    }
+                }
+                Literal::Choice(left, right) => {
+                    for term in left.iter().chain(right) {
+                        if let Term::Const(v) = term {
+                            out.push(*v);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A program: a finite set (here: sequence) of rules.
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct Program {
+    /// The rules, in source order. Order never affects semantics in any
+    /// of the paper's languages; we keep it for display and diagnostics.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The schema `sch(P)` of all relations used by the program, with
+    /// arities. Fails on arity conflicts.
+    pub fn schema(&self) -> Result<Schema, unchained_common::schema::ArityConflict> {
+        let mut schema = Schema::new();
+        for rule in &self.rules {
+            for h in &rule.head {
+                if let Some(a) = h.atom() {
+                    schema.declare(a.pred, a.arity())?;
+                }
+            }
+            for l in &rule.body {
+                if let Some(a) = l.atom() {
+                    schema.declare(a.pred, a.arity())?;
+                }
+            }
+        }
+        Ok(schema)
+    }
+
+    /// The intensional relations `idb(P)`: those occurring in some head.
+    pub fn idb(&self) -> Vec<Symbol> {
+        let mut out: Vec<Symbol> = self
+            .rules
+            .iter()
+            .flat_map(|r| r.head.iter().filter_map(HeadLiteral::atom))
+            .map(|a| a.pred)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The extensional relations `edb(P)`: those occurring only in rule
+    /// bodies.
+    pub fn edb(&self) -> Vec<Symbol> {
+        let idb: std::collections::BTreeSet<Symbol> = self.idb().into_iter().collect();
+        let mut out: Vec<Symbol> = self
+            .rules
+            .iter()
+            .flat_map(|r| r.body.iter())
+            .filter_map(Literal::atom)
+            .map(|a| a.pred)
+            .filter(|p| !idb.contains(p))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The constants `adom(P)` occurring in the program text.
+    pub fn adom(&self) -> Vec<Value> {
+        let mut out: Vec<Value> = self.rules.iter().flat_map(|r| r.consts()).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Renders the program in the concrete syntax accepted by the parser.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayProgram<'a> {
+        DisplayProgram { program: self, interner }
+    }
+}
+
+/// Helper returned by [`Program::display`].
+pub struct DisplayProgram<'a> {
+    program: &'a Program,
+    interner: &'a Interner,
+}
+
+fn fmt_term(
+    f: &mut fmt::Formatter<'_>,
+    term: &Term,
+    rule: &Rule,
+    interner: &Interner,
+) -> fmt::Result {
+    match term {
+        Term::Var(v) => write!(f, "{}", rule.var_names[v.index()]),
+        Term::Const(c) => write!(f, "{}", c.display(interner)),
+    }
+}
+
+fn fmt_atom(
+    f: &mut fmt::Formatter<'_>,
+    atom: &Atom,
+    rule: &Rule,
+    interner: &Interner,
+) -> fmt::Result {
+    write!(f, "{}", interner.name(atom.pred))?;
+    if !atom.args.is_empty() {
+        write!(f, "(")?;
+        for (i, t) in atom.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            fmt_term(f, t, rule, interner)?;
+        }
+        write!(f, ")")?;
+    }
+    Ok(())
+}
+
+impl fmt::Display for DisplayProgram<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.program.rules {
+            for (i, h) in rule.head.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                match h {
+                    HeadLiteral::Pos(a) => fmt_atom(f, a, rule, self.interner)?,
+                    HeadLiteral::Neg(a) => {
+                        write!(f, "!")?;
+                        fmt_atom(f, a, rule, self.interner)?;
+                    }
+                    HeadLiteral::Bottom => write!(f, "bottom")?,
+                }
+            }
+            if !rule.body.is_empty() || !rule.forall.is_empty() {
+                write!(f, " :- ")?;
+                if !rule.forall.is_empty() {
+                    write!(f, "forall ")?;
+                    for (i, v) in rule.forall.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{}", rule.var_names[v.index()])?;
+                    }
+                    write!(f, " : ")?;
+                }
+                for (i, l) in rule.body.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match l {
+                        Literal::Pos(a) => fmt_atom(f, a, rule, self.interner)?,
+                        Literal::Neg(a) => {
+                            write!(f, "!")?;
+                            fmt_atom(f, a, rule, self.interner)?;
+                        }
+                        Literal::Eq(s, t) => {
+                            fmt_term(f, s, rule, self.interner)?;
+                            write!(f, " = ")?;
+                            fmt_term(f, t, rule, self.interner)?;
+                        }
+                        Literal::Neq(s, t) => {
+                            fmt_term(f, s, rule, self.interner)?;
+                            write!(f, " != ")?;
+                            fmt_term(f, t, rule, self.interner)?;
+                        }
+                        Literal::Choice(left, right) => {
+                            write!(f, "choice((")?;
+                            for (i, t) in left.iter().enumerate() {
+                                if i > 0 {
+                                    write!(f, ", ")?;
+                                }
+                                fmt_term(f, t, rule, self.interner)?;
+                            }
+                            write!(f, "), (")?;
+                            for (i, t) in right.iter().enumerate() {
+                                if i > 0 {
+                                    write!(f, ", ")?;
+                                }
+                                fmt_term(f, t, rule, self.interner)?;
+                            }
+                            write!(f, "))")?;
+                        }
+                    }
+                }
+            }
+            writeln!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_rule(interner: &mut Interner) -> Rule {
+        // T(x, y) :- G(x, z), T(z, y).
+        let g = interner.intern("G");
+        let t = interner.intern("T");
+        let (x, y, z) = (Var(0), Var(1), Var(2));
+        Rule {
+            head: vec![HeadLiteral::Pos(Atom::new(
+                t,
+                vec![Term::Var(x), Term::Var(y)],
+            ))],
+            body: vec![
+                Literal::Pos(Atom::new(g, vec![Term::Var(x), Term::Var(z)])),
+                Literal::Pos(Atom::new(t, vec![Term::Var(z), Term::Var(y)])),
+            ],
+            forall: vec![],
+            var_names: vec!["x".into(), "y".into(), "z".into()],
+        }
+    }
+
+    #[test]
+    fn head_and_body_vars() {
+        let mut i = Interner::new();
+        let r = mk_rule(&mut i);
+        assert_eq!(r.head_vars(), vec![Var(0), Var(1)]);
+        assert_eq!(r.body_vars(), vec![Var(0), Var(1), Var(2)]);
+        assert!(r.invented_vars().is_empty());
+    }
+
+    #[test]
+    fn invented_vars_detected() {
+        let mut i = Interner::new();
+        let p = i.intern("P");
+        let q = i.intern("Q");
+        // P(x, n) :- Q(x).   -- n appears only in the head
+        let r = Rule {
+            head: vec![HeadLiteral::Pos(Atom::new(
+                p,
+                vec![Term::Var(Var(0)), Term::Var(Var(1))],
+            ))],
+            body: vec![Literal::Pos(Atom::new(q, vec![Term::Var(Var(0))]))],
+            forall: vec![],
+            var_names: vec!["x".into(), "n".into()],
+        };
+        assert_eq!(r.invented_vars(), vec![Var(1)]);
+    }
+
+    #[test]
+    fn edb_idb_split() {
+        let mut i = Interner::new();
+        let r = mk_rule(&mut i);
+        let p = Program { rules: vec![r] };
+        let g = i.get("G").unwrap();
+        let t = i.get("T").unwrap();
+        assert_eq!(p.edb(), vec![g]);
+        assert_eq!(p.idb(), vec![t]);
+        let schema = p.schema().unwrap();
+        assert_eq!(schema.arity(g), Some(2));
+        assert_eq!(schema.arity(t), Some(2));
+    }
+
+    #[test]
+    fn display_roundtrippable_text() {
+        let mut i = Interner::new();
+        let r = mk_rule(&mut i);
+        let p = Program { rules: vec![r] };
+        assert_eq!(p.display(&i).to_string(), "T(x, y) :- G(x, z), T(z, y).\n");
+    }
+
+    #[test]
+    fn program_adom_collects_constants() {
+        let mut i = Interner::new();
+        let t = i.intern("T");
+        let rule = Rule {
+            head: vec![HeadLiteral::Pos(Atom::new(t, vec![Term::Const(Value::Int(0))]))],
+            body: vec![Literal::Pos(Atom::new(t, vec![Term::Const(Value::Int(1))]))],
+            forall: vec![],
+            var_names: vec![],
+        };
+        let p = Program { rules: vec![rule] };
+        assert_eq!(p.adom(), vec![Value::Int(0), Value::Int(1)]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Abstract syntax of the while / fixpoint languages.
+
+use unchained_common::{FxHashSet, Symbol, Value};
+use unchained_fo::{FoVar, Formula};
+
+/// Assignment mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Assignment {
+    /// `R := {x̄ | φ}` — destructive replacement (*while* only).
+    Replace,
+    /// `R += {x̄ | φ}` — cumulative (the *fixpoint* discipline; using
+    /// only this mode guarantees polynomial-time termination).
+    Cumulate,
+}
+
+/// Loop guard.
+#[derive(Clone, PartialEq, Debug)]
+pub enum LoopCondition {
+    /// `while change do …` — iterate while the body modifies some
+    /// relation.
+    Change,
+    /// `while φ do …` — iterate while the FO sentence `φ` holds.
+    Sentence(Formula),
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `target (:=|+=) { vars | formula }`.
+    Assign {
+        /// The relation variable assigned.
+        target: Symbol,
+        /// The result tuple shape (free variables of the comprehension).
+        vars: Vec<FoVar>,
+        /// The defining FO formula; its free variables must be ⊆ `vars`.
+        formula: Formula,
+        /// Replace or cumulate.
+        mode: Assignment,
+    },
+    /// `target (:=|+=) W { vars | formula }` — the witness operator:
+    /// nondeterministically choose *one* satisfying assignment (or none
+    /// if the formula is unsatisfiable).
+    AssignWitness {
+        /// The relation variable assigned.
+        target: Symbol,
+        /// The result tuple shape.
+        vars: Vec<FoVar>,
+        /// The defining FO formula.
+        formula: Formula,
+        /// Replace or cumulate.
+        mode: Assignment,
+    },
+    /// A loop.
+    While {
+        /// The guard.
+        condition: LoopCondition,
+        /// The body.
+        body: Vec<Stmt>,
+    },
+}
+
+/// A while-language program.
+#[derive(Clone, Default, PartialEq, Debug)]
+pub struct WhileProgram {
+    /// The statements, executed in order.
+    pub stmts: Vec<Stmt>,
+}
+
+impl WhileProgram {
+    /// Creates a program.
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        WhileProgram { stmts }
+    }
+
+    /// True iff the program is in the *fixpoint* sublanguage: every
+    /// assignment is cumulative and every loop guard is `change`.
+    /// Such programs always terminate in polynomially many steps.
+    pub fn is_fixpoint(&self) -> bool {
+        fn check(stmts: &[Stmt]) -> bool {
+            stmts.iter().all(|s| match s {
+                Stmt::Assign { mode, .. } | Stmt::AssignWitness { mode, .. } => {
+                    *mode == Assignment::Cumulate
+                }
+                Stmt::While { condition, body } => {
+                    matches!(condition, LoopCondition::Change) && check(body)
+                }
+            })
+        }
+        check(&self.stmts)
+    }
+
+    /// True iff the program uses the witness operator (then it denotes a
+    /// nondeterministic query).
+    pub fn has_witness(&self) -> bool {
+        fn check(stmts: &[Stmt]) -> bool {
+            stmts.iter().any(|s| match s {
+                Stmt::AssignWitness { .. } => true,
+                Stmt::While { body, .. } => check(body),
+                Stmt::Assign { .. } => false,
+            })
+        }
+        check(&self.stmts)
+    }
+
+    /// Relation symbols assigned anywhere in the program.
+    pub fn assigned(&self) -> Vec<Symbol> {
+        fn collect(stmts: &[Stmt], out: &mut Vec<Symbol>) {
+            for s in stmts {
+                match s {
+                    Stmt::Assign { target, .. } | Stmt::AssignWitness { target, .. } => {
+                        out.push(*target)
+                    }
+                    Stmt::While { body, .. } => collect(body, out),
+                }
+            }
+        }
+        let mut out = Vec::new();
+        collect(&self.stmts, &mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Constants mentioned in any formula of the program (they join the
+    /// evaluation domain).
+    pub fn constants(&self) -> Vec<Value> {
+        fn from_formula(f: &Formula, out: &mut FxHashSet<Value>) {
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Atom(_, terms) => {
+                    for t in terms {
+                        if let unchained_fo::FoTerm::Const(v) = t {
+                            out.insert(*v);
+                        }
+                    }
+                }
+                Formula::Eq(l, r) => {
+                    for t in [l, r] {
+                        if let unchained_fo::FoTerm::Const(v) = t {
+                            out.insert(*v);
+                        }
+                    }
+                }
+                Formula::Not(inner) => from_formula(inner, out),
+                Formula::And(fs) | Formula::Or(fs) => {
+                    for f in fs {
+                        from_formula(f, out);
+                    }
+                }
+                Formula::Exists(_, inner) | Formula::Forall(_, inner) => {
+                    from_formula(inner, out)
+                }
+            }
+        }
+        fn walk(stmts: &[Stmt], out: &mut FxHashSet<Value>) {
+            for s in stmts {
+                match s {
+                    Stmt::Assign { formula, .. } | Stmt::AssignWitness { formula, .. } => {
+                        from_formula(formula, out)
+                    }
+                    Stmt::While { condition, body } => {
+                        if let LoopCondition::Sentence(f) = condition {
+                            from_formula(f, out);
+                        }
+                        walk(body, out);
+                    }
+                }
+            }
+        }
+        let mut set = FxHashSet::default();
+        walk(&self.stmts, &mut set);
+        let mut v: Vec<Value> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unchained_common::Interner;
+    use unchained_fo::{FoTerm, VarSet};
+
+    fn tc_fixpoint_program(interner: &mut Interner) -> WhileProgram {
+        // T += {(x,y) | G(x,y) ∨ ∃z (G(x,z) ∧ T(z,y))}; while change.
+        let g = interner.intern("G");
+        let t = interner.intern("T");
+        let mut vs = VarSet::new();
+        let (x, y, z) = (vs.var("x"), vs.var("y"), vs.var("z"));
+        let phi = Formula::Atom(g, vec![FoTerm::Var(x), FoTerm::Var(y)]).or(Formula::exists(
+            [z],
+            Formula::Atom(g, vec![FoTerm::Var(x), FoTerm::Var(z)])
+                .and(Formula::Atom(t, vec![FoTerm::Var(z), FoTerm::Var(y)])),
+        ));
+        WhileProgram::new(vec![Stmt::While {
+            condition: LoopCondition::Change,
+            body: vec![Stmt::Assign {
+                target: t,
+                vars: vec![x, y],
+                formula: phi,
+                mode: Assignment::Cumulate,
+            }],
+        }])
+    }
+
+    #[test]
+    fn fixpoint_discipline_detected() {
+        let mut i = Interner::new();
+        let p = tc_fixpoint_program(&mut i);
+        assert!(p.is_fixpoint());
+        assert!(!p.has_witness());
+        let t = i.get("T").unwrap();
+        assert_eq!(p.assigned(), vec![t]);
+    }
+
+    #[test]
+    fn replace_breaks_fixpoint_discipline() {
+        let mut i = Interner::new();
+        let r = i.intern("R");
+        let p = WhileProgram::new(vec![Stmt::Assign {
+            target: r,
+            vars: vec![],
+            formula: Formula::True,
+            mode: Assignment::Replace,
+        }]);
+        assert!(!p.is_fixpoint());
+    }
+
+    #[test]
+    fn sentence_guard_breaks_fixpoint_discipline() {
+        let i = &mut Interner::new();
+        let r = i.intern("R");
+        let p = WhileProgram::new(vec![Stmt::While {
+            condition: LoopCondition::Sentence(Formula::True),
+            body: vec![Stmt::Assign {
+                target: r,
+                vars: vec![],
+                formula: Formula::True,
+                mode: Assignment::Cumulate,
+            }],
+        }]);
+        assert!(!p.is_fixpoint());
+    }
+
+    #[test]
+    fn constants_collected() {
+        let mut i = Interner::new();
+        let r = i.intern("R");
+        let mut vs = VarSet::new();
+        let x = vs.var("x");
+        let p = WhileProgram::new(vec![Stmt::Assign {
+            target: r,
+            vars: vec![x],
+            formula: Formula::Eq(FoTerm::Var(x), FoTerm::Const(Value::Int(5))),
+            mode: Assignment::Cumulate,
+        }]);
+        assert_eq!(p.constants(), vec![Value::Int(5)]);
+    }
+
+    #[test]
+    fn witness_detected_in_nested_loops() {
+        let mut i = Interner::new();
+        let r = i.intern("R");
+        let p = WhileProgram::new(vec![Stmt::While {
+            condition: LoopCondition::Change,
+            body: vec![Stmt::AssignWitness {
+                target: r,
+                vars: vec![],
+                formula: Formula::False,
+                mode: Assignment::Cumulate,
+            }],
+        }]);
+        assert!(p.has_witness());
+    }
+}

@@ -1,0 +1,121 @@
+//! Pretty-printing of while-language programs in the concrete syntax
+//! accepted by [`crate::parse::parse_while_program`].
+
+use crate::ast::{Assignment, LoopCondition, Stmt, WhileProgram};
+use std::fmt;
+use unchained_common::Interner;
+use unchained_fo::{display_formula, VarSet};
+
+/// Helper returned by [`display_program`].
+pub struct DisplayWhile<'a> {
+    program: &'a WhileProgram,
+    vars: &'a VarSet,
+    interner: &'a Interner,
+}
+
+/// Renders `program` in the parseable text syntax. `vars` must be the
+/// variable namespace the program was built with.
+pub fn display_program<'a>(
+    program: &'a WhileProgram,
+    vars: &'a VarSet,
+    interner: &'a Interner,
+) -> DisplayWhile<'a> {
+    DisplayWhile { program, vars, interner }
+}
+
+fn write_stmt(
+    f: &mut fmt::Formatter<'_>,
+    stmt: &Stmt,
+    vars: &VarSet,
+    interner: &Interner,
+    indent: usize,
+) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    match stmt {
+        Stmt::Assign { target, vars: head, formula, mode }
+        | Stmt::AssignWitness { target, vars: head, formula, mode } => {
+            let op = match mode {
+                Assignment::Replace => ":=",
+                Assignment::Cumulate => "+=",
+            };
+            let witness = if matches!(stmt, Stmt::AssignWitness { .. }) { "W " } else { "" };
+            let head_vars = head
+                .iter()
+                .map(|v| vars.name(*v).to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            writeln!(
+                f,
+                "{pad}{} {op} {witness}{{ {head_vars} | {} }};",
+                interner.name(*target),
+                display_formula(formula, vars, interner)
+            )
+        }
+        Stmt::While { condition, body } => {
+            match condition {
+                LoopCondition::Change => writeln!(f, "{pad}while change do")?,
+                LoopCondition::Sentence(phi) => writeln!(
+                    f,
+                    "{pad}while ({}) do",
+                    display_formula(phi, vars, interner)
+                )?,
+            }
+            for s in body {
+                write_stmt(f, s, vars, interner, indent + 1)?;
+            }
+            writeln!(f, "{pad}end")
+        }
+    }
+}
+
+impl fmt::Display for DisplayWhile<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for stmt in &self.program.stmts {
+            write_stmt(f, stmt, self.vars, self.interner, 0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_while_program;
+
+    fn roundtrip(src: &str) {
+        let mut i1 = Interner::new();
+        let (p1, v1) = parse_while_program(src, &mut i1).unwrap();
+        let shown1 = display_program(&p1, &v1, &i1).to_string();
+        let mut i2 = Interner::new();
+        let (p2, v2) = parse_while_program(&shown1, &mut i2).unwrap();
+        let shown2 = display_program(&p2, &v2, &i2).to_string();
+        assert_eq!(shown1, shown2, "source:\n{src}");
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("T += { x, y | G(x,y) };");
+        roundtrip(
+            "while change do\n\
+               good += { x | forall y (G(y,x) -> good(y)) };\n\
+             end",
+        );
+        roundtrip("picked := W { x | R(x) & x != 3 };");
+        roundtrip(
+            "E := { x, y | G(x,y) };\n\
+             while (exists x, y (E(x,y))) do\n\
+               E := { x, y | E(x,y) & exists z (E(y,z)) };\n\
+             end",
+        );
+        roundtrip("flag := { | exists x (R(x)) or false };");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut i = Interner::new();
+        let (p, v) =
+            parse_while_program("while change do T += { x | G(x) }; end", &mut i).unwrap();
+        let shown = display_program(&p, &v, &i).to_string();
+        assert_eq!(shown, "while change do\n  T += { x | G(x) };\nend\n");
+    }
+}

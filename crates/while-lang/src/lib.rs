@@ -1,0 +1,27 @@
+//! # unchained-while
+//!
+//! The imperative *while* and *fixpoint* languages recalled in Section 2
+//! of *Datalog Unchained* — the classical comparator languages of the
+//! paper's expressiveness results:
+//!
+//! * **while**: relation variables, assignments `R := {x̄ | φ}` with
+//!   `φ` first-order, and loops `while change do` / `while φ do`.
+//!   Expresses the *while queries* (= Datalog¬¬; Theorem 4.8: db-pspace
+//!   on ordered databases).
+//! * **fixpoint**: the same language with *cumulative* assignments only
+//!   (`R += φ`), which guarantees termination in polynomial time.
+//!   Expresses the *fixpoint queries* (= inflationary Datalog¬,
+//!   Theorem 4.2).
+//! * the **witness operator** `W x̄ φ(x̄)` of \[14\] (Section 5.2):
+//!   nondeterministically chooses one satisfying assignment, giving the
+//!   nondeterministic fixpoint logics FO+IFP+W / FO+PFP+W.
+
+pub mod ast;
+pub mod display;
+pub mod interp;
+pub mod parse;
+
+pub use ast::{Assignment, LoopCondition, Stmt, WhileProgram};
+pub use interp::{run, RunResult, WhileError, WitnessChooser};
+pub use display::display_program;
+pub use parse::parse_while_program;

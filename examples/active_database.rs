@@ -1,0 +1,78 @@
+//! Datalog¬¬ as an active-database rule language.
+//!
+//! The paper's Section 7 notes that forward-chaining rule languages
+//! with updates "remain common in … active databases, production
+//! systems, data-driven workflows". This example uses Datalog¬¬'s
+//! update semantics (input relations in rule heads, negative heads as
+//! deletions) for a classic active-rule task: **referential-integrity
+//! repair by cascading delete**.
+//!
+//! Schema: `emp(e, d)` (employee in department), `dept(d)`,
+//! `assigned(e, p)` (employee on project). Deleting departments (the
+//! `closed(d)` trigger relation) must cascade: employees of a closed
+//! department are removed, and their project assignments with them.
+//!
+//! ```sh
+//! cargo run --example active_database
+//! ```
+
+use unchained::common::{Instance, Interner, Tuple, Value};
+use unchained::core::{noninflationary, EvalOptions};
+use unchained::parser::parse_program;
+
+fn main() {
+    let mut interner = Interner::new();
+    // Cascading-delete rules. Each rule is an ECA-style active rule:
+    // the body is the event/condition, the negative head is the action.
+    let program = parse_program(
+        "!dept(d) :- closed(d).\n\
+         !emp(e, d) :- emp(e, d), closed(d).\n\
+         !assigned(e, p) :- assigned(e, p), emp(e, d), closed(d).",
+        &mut interner,
+    )
+    .expect("parses");
+
+    let dept = interner.get("dept").unwrap();
+    let emp = interner.get("emp").unwrap();
+    let assigned = interner.get("assigned").unwrap();
+    let closed = interner.get("closed").unwrap();
+
+    let mut input = Instance::new();
+    let sym = |i: &mut Interner, s: &str| Value::sym(i, s);
+    for d in ["sales", "research", "ops"] {
+        let v = sym(&mut interner, d);
+        input.insert_fact(dept, Tuple::from([v]));
+    }
+    for (e, d) in [("ann", "sales"), ("bob", "sales"), ("cyn", "research"), ("dan", "ops")] {
+        let (ve, vd) = (sym(&mut interner, e), sym(&mut interner, d));
+        input.insert_fact(emp, Tuple::from([ve, vd]));
+    }
+    for (e, p) in [("ann", "p1"), ("bob", "p1"), ("cyn", "p2"), ("dan", "p3")] {
+        let (ve, vp) = (sym(&mut interner, e), sym(&mut interner, p));
+        input.insert_fact(assigned, Tuple::from([ve, vp]));
+    }
+    // The triggering update: sales is closed.
+    let vsales = sym(&mut interner, "sales");
+    input.insert_fact(closed, Tuple::from([vsales]));
+
+    println!("before:\n{}", input.display(&interner));
+
+    let run = noninflationary::eval(
+        &program,
+        &input,
+        noninflationary::ConflictPolicy::PreferNegative,
+        EvalOptions::default(),
+    )
+    .expect("rules quiesce");
+
+    println!("after {} firing stages:\n{}", run.stages, run.instance.display(&interner));
+
+    // Integrity restored: no employee references a closed department,
+    // no assignment references a removed employee.
+    let emps = run.instance.relation(emp).unwrap();
+    let assigns = run.instance.relation(assigned).unwrap();
+    assert!(emps.iter().all(|t| t[1] != vsales));
+    assert_eq!(emps.len(), 2);
+    assert_eq!(assigns.len(), 2);
+    println!("referential integrity restored.");
+}

@@ -1,0 +1,58 @@
+//! Magic-sets rewriting: goal-directed evaluation of positive Datalog.
+//!
+//! Section 3.1 notes that most deductive-database optimization was
+//! developed around Datalog; magic sets is the canonical technique.
+//! This example rewrites the transitive-closure program for a
+//! single-source query and shows how much less the rewritten program
+//! derives.
+//!
+//! ```sh
+//! cargo run --example magic_sets
+//! ```
+
+use unchained::common::{Instance, Interner, Tuple, Value};
+use unchained::core::magic::{compare_with_full, magic_rewrite, QueryPattern};
+use unchained::parser::parse_program;
+
+fn main() {
+    let mut interner = Interner::new();
+    let program = parse_program(
+        "T(x,y) :- G(x,y).\n\
+         T(x,y) :- G(x,z), T(z,y).",
+        &mut interner,
+    )
+    .expect("parses");
+    let g = interner.get("G").unwrap();
+    let t = interner.get("T").unwrap();
+
+    // Many disjoint chains; the query touches only one of them.
+    let mut input = Instance::new();
+    for chain in 0..20i64 {
+        for k in 0..30i64 {
+            let base = chain * 100;
+            input.insert_fact(
+                g,
+                Tuple::from([Value::Int(base + k), Value::Int(base + k + 1)]),
+            );
+        }
+    }
+    println!("input: {} edges in 20 disjoint chains", input.fact_count());
+
+    // Query: T(0, y) — reachability from node 0 only.
+    let query = QueryPattern::new(t, vec![Some(Value::Int(0)), None]);
+    let rewritten = magic_rewrite(&program, &query, &mut interner).expect("rewrites");
+    println!("\nrewritten program:\n{}", rewritten.program.display(&interner));
+    println!("seed facts:\n{}", rewritten.seeds.display(&interner));
+
+    let (answer, stats) =
+        compare_with_full(&program, &query, &input, &mut interner).expect("evaluates");
+    println!("answer size: {} (nodes reachable from 0)", answer.len());
+    println!(
+        "facts derived: full evaluation {}, magic evaluation {} ({}x fewer)",
+        stats.full_facts,
+        stats.magic_facts,
+        stats.full_facts / stats.magic_facts.max(1)
+    );
+    assert_eq!(answer.len(), 30);
+    assert!(stats.magic_facts * 5 < stats.full_facts);
+}

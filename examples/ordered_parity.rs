@@ -1,0 +1,53 @@
+//! Theorem 4.7: on **ordered** databases (with explicit min and max),
+//! even the weak semipositive fragment of Datalog¬ captures db-ptime.
+//! The showcase query is *evenness* — `|R| even?` — which no
+//! deterministic generic language can express without order
+//! (Section 4.4's data-independence argument).
+//!
+//! This example evaluates the same semipositive parity program under
+//! the stratified, well-founded and inflationary semantics (Theorem 4.7
+//! says they coincide here) and checks the answers against a direct
+//! count.
+//!
+//! ```sh
+//! cargo run --example ordered_parity
+//! ```
+
+use unchained::common::{Interner, Tuple};
+use unchained::core::{inflationary, stratified, wellfounded, EvalOptions};
+use unchained::harness::ordered::evenness_input;
+use unchained::harness::programs::EVEN_SEMIPOSITIVE;
+use unchained::parser::{classify, parse_program};
+
+fn main() {
+    let mut interner = Interner::new();
+    let program = parse_program(EVEN_SEMIPOSITIVE, &mut interner).expect("parses");
+    println!("program class: {}\n", classify(&program));
+    let even = interner.get("even").unwrap();
+
+    println!("|R| | expected | stratified | inflationary | well-founded");
+    println!("----+----------+------------+--------------+-------------");
+    for k in 0..=6usize {
+        let members: Vec<i64> = (0..k as i64).collect();
+        let input = evenness_input(&mut interner, "R", 12, &members);
+        let expected = k % 2 == 0;
+
+        let s = stratified::eval(&program, &input, EvalOptions::default())
+            .unwrap()
+            .instance
+            .contains_fact(even, &Tuple::from([]));
+        let i = inflationary::eval(&program, &input, EvalOptions::default())
+            .unwrap()
+            .instance
+            .contains_fact(even, &Tuple::from([]));
+        let w = wellfounded::eval(&program, &input, EvalOptions::default())
+            .unwrap()
+            .truth(even, &Tuple::from([]))
+            == wellfounded::Truth::True;
+        println!("  {k} | {expected:8} | {s:10} | {i:12} | {w}");
+        assert_eq!(expected, s);
+        assert_eq!(expected, i);
+        assert_eq!(expected, w);
+    }
+    println!("\nall three engines agree with the parity oracle (Theorem 4.7).");
+}

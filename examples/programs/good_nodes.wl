@@ -1,0 +1,6 @@
+% Example 4.4 as a while-language *fixpoint* program:
+% good = the nodes not reachable from a cycle.
+% Run: unchained eval --semantics whilelang good_nodes.wl <facts.dl>
+while change do
+  good += { x | forall y (G(y,x) -> good(y)) };
+end

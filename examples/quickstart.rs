@@ -1,0 +1,39 @@
+//! Quickstart: parse a Datalog program, evaluate it, inspect the
+//! answer.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use unchained::common::{Instance, Interner, Tuple, Value};
+use unchained::core::{seminaive, EvalOptions};
+use unchained::parser::{classify, parse_program};
+
+fn main() {
+    // 1. One interner per session: it owns relation and constant names.
+    let mut interner = Interner::new();
+
+    // 2. Parse the paper's Section 3.1 program: transitive closure.
+    let program = parse_program(
+        "T(x,y) :- G(x,y).\n\
+         T(x,y) :- G(x,z), T(z,y).",
+        &mut interner,
+    )
+    .expect("program parses");
+    println!("language class: {}", classify(&program));
+
+    // 3. Build an input instance: a small flight network.
+    let g = interner.get("G").expect("G was interned by the parser");
+    let mut input = Instance::new();
+    for (from, to) in [("sd", "sfo"), ("sfo", "jfk"), ("jfk", "cdg"), ("cdg", "nce")] {
+        let from = Value::sym(&mut interner, from);
+        let to = Value::sym(&mut interner, to);
+        input.insert_fact(g, Tuple::from([from, to]));
+    }
+
+    // 4. Evaluate (semi-naive bottom-up) and print the reachable pairs.
+    let run = seminaive::minimum_model(&program, &input, EvalOptions::default())
+        .expect("evaluation succeeds");
+    println!("fixpoint reached after {} rounds", run.stages);
+    println!("{}", run.answer(&program).display(&interner));
+}

@@ -1,0 +1,90 @@
+//! A data-driven reactive system in temporal (Dedalus-style) Datalog —
+//! the abstract's fourth adoption domain, Section 6's "Datalog in time
+//! and space".
+//!
+//! Scenario: a traffic-light controller. The light cycles
+//! green → yellow → red → green; a pedestrian **request** (a fact that
+//! arrives at some timestep) forces the next green phase to be
+//! shortened. Deductive rules derive the *signal* shown within a step;
+//! inductive rules advance the *phase* to the next step.
+//!
+//! ```sh
+//! cargo run --example reactive_system
+//! ```
+
+use unchained::common::{Instance, Interner, Tuple, Value};
+use unchained::exchange::temporal::{run_temporal, TemporalEnd, TemporalProgram};
+use unchained::parser::parse_program;
+
+fn main() {
+    let mut interner = Interner::new();
+    // Within a timestep: derive the displayed signal from the phase,
+    // and detect the shortcut condition (green phase + pending request).
+    let deductive = parse_program(
+        "show('walk') :- phase('red').\n\
+         show('stop') :- phase('green').\n\
+         show('stop') :- phase('yellow').\n\
+         shortcut :- phase('green'), request.",
+        &mut interner,
+    )
+    .expect("deductive rules parse");
+    // Across timesteps: the phase machine advances along the cycle
+    // graph, except that a shortcut jumps straight to yellow. The cycle
+    // graph itself persists; the request does not (it is consumed).
+    let inductive = parse_program(
+        "next(x,y) :- next(x,y).\n\
+         phase(y) :- phase(x), next(x,y), !shortcut.\n\
+         phase('yellow') :- shortcut.",
+        &mut interner,
+    )
+    .expect("inductive rules parse");
+
+    let phase = interner.get("phase").unwrap();
+    let show = interner.get("show").unwrap();
+    let request = interner.get("request").unwrap();
+    let name = |i: &mut Interner, s: &str| Value::sym(i, s);
+    let green = name(&mut interner, "green");
+    let walk = name(&mut interner, "walk");
+
+    // Without a request: the light cycles with period 4.
+    let next = interner.get("next").unwrap();
+    let mut initial = Instance::new();
+    initial.insert_fact(phase, Tuple::from([green]));
+    for (a, b) in [
+        ("green", "green2"),
+        ("green2", "yellow"),
+        ("yellow", "red"),
+        ("red", "green"),
+    ] {
+        let (va, vb) = (name(&mut interner, a), name(&mut interner, b));
+        initial.insert_fact(next, Tuple::from([va, vb]));
+    }
+    let program = TemporalProgram { deductive, inductive };
+    let run = run_temporal(&program, &initial, 50).expect("runs");
+    println!("free-running controller:");
+    for (t, state) in run.trace.iter().enumerate().take(6) {
+        let phases: Vec<String> = state
+            .relation(phase)
+            .map(|r| r.sorted().iter().map(|t| t.display(&interner).to_string()).collect())
+            .unwrap_or_default();
+        println!("  t={t}: phase{}", phases.join(" phase"));
+    }
+    println!("  end: {:?}", run.end);
+    assert!(matches!(run.end, TemporalEnd::Cycle { period: 4, .. }));
+
+    // With a pedestrian request pending at t=0: green skips its second
+    // beat, so "walk" (red) arrives one step earlier.
+    let mut with_request = initial.clone();
+    with_request.insert_fact(request, Tuple::from([]));
+    // The request is not persisted: it is consumed after one step.
+    let run2 = run_temporal(&program, &with_request, 50).expect("runs");
+    let first_walk = |run: &unchained::exchange::temporal::TemporalRun| {
+        run.trace
+            .iter()
+            .position(|s| s.contains_fact(show, &Tuple::from([walk])))
+    };
+    let free = first_walk(&run).expect("free-running reaches walk");
+    let requested = first_walk(&run2).expect("requested run reaches walk");
+    println!("\nfirst 'walk' signal: free-running t={free}, with request t={requested}");
+    assert!(requested < free, "the request must shorten the green phase");
+}

@@ -1,0 +1,274 @@
+//! Cross-engine equivalence matrix: the paper's expressiveness theorems
+//! imply concrete agreements between engines on shared language
+//! fragments; this file checks them over instance families.
+
+use unchained::common::{Instance, Interner, Tuple, Value};
+use unchained::core::{
+    inflationary, invention, naive, noninflationary, seminaive, stratified, wellfounded,
+    EvalOptions,
+};
+use unchained::fo::{FoTerm, Formula, VarSet};
+use unchained::harness::generators::{cycle_graph, line_graph, random_digraph};
+use unchained::harness::programs;
+use unchained::nondet::{effect, EffOptions, NondetProgram};
+use unchained::parser::parse_program;
+use unchained::while_lang::{
+    run as run_while, Assignment, LoopCondition, Stmt, WhileProgram,
+};
+
+fn family(i: &mut Interner) -> Vec<Instance> {
+    let mut out = Vec::new();
+    for n in [1i64, 2, 3, 5, 7] {
+        out.push(line_graph(i, "G", n));
+    }
+    for n in [2i64, 4, 6] {
+        out.push(cycle_graph(i, "G", n));
+    }
+    for seed in 0..5u64 {
+        out.push(random_digraph(i, "G", 6, 0.3, seed));
+    }
+    out
+}
+
+/// On pure Datalog, *every* deterministic engine computes the minimum
+/// model: naive, semi-naive, stratified, inflationary, well-founded
+/// (total), Datalog¬¬, Datalog¬new (no inventing rules), and the
+/// single-effect nondeterministic run.
+#[test]
+fn all_engines_agree_on_pure_datalog() {
+    let mut i = Interner::new();
+    let program = parse_program(programs::TC, &mut i).unwrap();
+    for (idx, input) in family(&mut i).iter().enumerate() {
+        let reference =
+            naive::minimum_model(&program, input, EvalOptions::default()).unwrap();
+        let semi =
+            seminaive::minimum_model(&program, input, EvalOptions::default()).unwrap();
+        assert!(reference.instance.same_facts(&semi.instance), "seminaive #{idx}");
+        let strat = stratified::eval(&program, input, EvalOptions::default()).unwrap();
+        assert!(reference.instance.same_facts(&strat.instance), "stratified #{idx}");
+        let infl = inflationary::eval(&program, input, EvalOptions::default()).unwrap();
+        assert!(reference.instance.same_facts(&infl.instance), "inflationary #{idx}");
+        let wf = wellfounded::eval(&program, input, EvalOptions::default()).unwrap();
+        assert!(wf.is_total(), "wf total #{idx}");
+        assert!(reference.instance.same_facts(&wf.true_facts), "wellfounded #{idx}");
+        let nn = noninflationary::eval(
+            &program,
+            input,
+            noninflationary::ConflictPolicy::PreferPositive,
+            EvalOptions::default(),
+        )
+        .unwrap();
+        assert!(reference.instance.same_facts(&nn.instance), "datalog¬¬ #{idx}");
+        let inv = invention::eval(&program, input, EvalOptions::default()).unwrap();
+        assert!(reference.instance.same_facts(&inv.instance), "datalog¬new #{idx}");
+        // Exhaustive effect enumeration explores every firing order, so
+        // its state space is exponential in the number of derivable
+        // facts; only check the smallest inputs.
+        if input.fact_count() <= 4 {
+            let compiled = NondetProgram::compile(&program, false).unwrap();
+            let effects = effect(&compiled, input, EffOptions::default()).unwrap();
+            assert_eq!(effects.len(), 1, "deterministic effect #{idx}");
+            assert!(reference.instance.same_facts(&effects[0]), "nondet effect #{idx}");
+        }
+    }
+}
+
+/// On stratified Datalog¬, the stratified, well-founded (2-valued) and
+/// — for this particular stratum structure — inflationary engines
+/// agree. (Inflationary evaluation of a stratified program does NOT
+/// coincide in general; the CTC program is a known counterexample,
+/// which we also assert.)
+#[test]
+fn stratified_vs_wellfounded_on_stratified_programs() {
+    let mut i = Interner::new();
+    let program = parse_program(programs::CTC_STRATIFIED, &mut i).unwrap();
+    for (idx, input) in family(&mut i).iter().enumerate() {
+        let strat = stratified::eval(&program, input, EvalOptions::default()).unwrap();
+        let wf = wellfounded::eval(&program, input, EvalOptions::default()).unwrap();
+        assert!(wf.is_total(), "#{idx}");
+        assert!(strat.instance.same_facts(&wf.true_facts), "#{idx}");
+    }
+}
+
+/// Inflationary evaluation of the *unmodified* stratified CTC program
+/// differs from stratified semantics (the CT rule fires too early) —
+/// this is exactly why Example 4.3 needs the delay technique.
+#[test]
+fn inflationary_needs_the_delay_technique() {
+    let mut i = Interner::new();
+    let program = parse_program(programs::CTC_STRATIFIED, &mut i).unwrap();
+    let input = line_graph(&mut i, "G", 4);
+    let ct = i.get("CT").unwrap();
+    let strat = stratified::eval(&program, &input, EvalOptions::default()).unwrap();
+    let infl = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
+    // The inflationary run derives CT(0,2) at stage 2 (before T(0,2)
+    // appears), which stratified semantics excludes.
+    assert!(infl.instance.contains_fact(ct, &Tuple::from([Value::Int(0), Value::Int(2)])));
+    assert!(!strat.instance.contains_fact(ct, &Tuple::from([Value::Int(0), Value::Int(2)])));
+    assert!(!infl
+        .instance
+        .relation(ct)
+        .unwrap()
+        .same_tuples(strat.instance.relation(ct).unwrap()));
+}
+
+/// Theorem 4.2's two directions on a concrete query: the while-language
+/// *fixpoint* program and the inflationary Datalog¬ program for
+/// good-nodes coincide everywhere.
+#[test]
+fn fixpoint_program_equals_inflationary_datalog() {
+    let mut i = Interner::new();
+    let datalog = parse_program(programs::GOOD_TIMESTAMP, &mut i).unwrap();
+    let g = i.get("G").unwrap();
+    let good = i.get("good").unwrap();
+    let good_w = i.intern("goodW");
+    let mut vs = VarSet::new();
+    let (x, y) = (vs.var("x"), vs.var("y"));
+    let while_prog = WhileProgram::new(vec![Stmt::While {
+        condition: LoopCondition::Change,
+        body: vec![Stmt::Assign {
+            target: good_w,
+            vars: vec![x],
+            formula: Formula::forall(
+                [y],
+                Formula::Atom(g, vec![FoTerm::Var(y), FoTerm::Var(x)])
+                    .implies(Formula::Atom(good_w, vec![FoTerm::Var(y)])),
+            ),
+            mode: Assignment::Cumulate,
+        }],
+    }]);
+    assert!(while_prog.is_fixpoint());
+    for (idx, input) in family(&mut i).iter().enumerate() {
+        let a = inflationary::eval(&datalog, input, EvalOptions::default()).unwrap();
+        let b = run_while(&while_prog, input, 100_000, None).unwrap();
+        let got_a = a.instance.relation(good).unwrap();
+        let got_b = b.instance.relation(good_w).unwrap();
+        assert!(got_a.same_tuples(got_b), "instance #{idx}");
+    }
+}
+
+/// Theorem 4.8's two sides on a concrete query: the deletion-based
+/// Datalog¬¬ program for `P − π_A(Q)` and the while-language program
+/// with destructive assignment compute the same relation.
+#[test]
+fn datalog_negneg_equals_while_on_difference_query() {
+    let mut i = Interner::new();
+    let dl = parse_program("answer(x) :- P(x). !answer(x) :- Q(x,y).", &mut i).unwrap();
+    let (wl, _) = unchained::while_lang::parse_while_program(
+        "answerW := { x | P(x) & !exists y (Q(x,y)) };",
+        &mut i,
+    )
+    .unwrap();
+    let p = i.get("P").unwrap();
+    let q = i.get("Q").unwrap();
+    let answer = i.get("answer").unwrap();
+    let answer_w = i.get("answerW").unwrap();
+    for seed in 0..10u64 {
+        let mut input = Instance::new();
+        input.ensure(p, 1);
+        input.ensure(q, 2);
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) % 6) as i64
+        };
+        for _ in 0..5 {
+            input.insert_fact(p, Tuple::from([Value::Int(next())]));
+        }
+        for _ in 0..3 {
+            input.insert_fact(q, Tuple::from([Value::Int(next()), Value::Int(next())]));
+        }
+        let a = noninflationary::eval(
+            &dl,
+            &input,
+            noninflationary::ConflictPolicy::PreferNegative,
+            EvalOptions::default(),
+        )
+        .unwrap();
+        let b = unchained::while_lang::run(&wl, &input, 1000, None).unwrap();
+        assert!(
+            a.instance
+                .relation(answer)
+                .unwrap()
+                .same_tuples(b.instance.relation(answer_w).unwrap()),
+            "seed {seed}"
+        );
+    }
+}
+
+/// The four Datalog¬¬ conflict policies coincide on conflict-free
+/// programs.
+#[test]
+fn conflict_policies_agree_without_conflicts() {
+    let mut i = Interner::new();
+    let program = parse_program(
+        "alive(x) :- node(x).\n\
+         !alive(x) :- kill(x).",
+        &mut i,
+    )
+    .unwrap();
+    let node = i.get("node").unwrap();
+    let kill = i.get("kill").unwrap();
+    let mut input = Instance::new();
+    for k in 0..5 {
+        input.insert_fact(node, Tuple::from([Value::Int(k)]));
+    }
+    input.insert_fact(kill, Tuple::from([Value::Int(3)]));
+    // alive(3) is inferred and killed in the same firing — a genuine
+    // conflict, so policies diverge; removing node 3 removes it.
+    use noninflationary::ConflictPolicy::*;
+    let pp = noninflationary::eval(&program, &input, PreferPositive, EvalOptions::default())
+        .unwrap();
+    let alive = i.get("alive").unwrap();
+    assert_eq!(pp.instance.relation(alive).unwrap().len(), 5); // insert wins
+    let pn = noninflationary::eval(&program, &input, PreferNegative, EvalOptions::default())
+        .unwrap();
+    assert_eq!(pn.instance.relation(alive).unwrap().len(), 4); // delete wins
+
+    // Conflict-free version: node 3 absent.
+    let mut clean = Instance::new();
+    for k in 0..5 {
+        if k != 3 {
+            clean.insert_fact(node, Tuple::from([Value::Int(k)]));
+        }
+    }
+    clean.insert_fact(kill, Tuple::from([Value::Int(3)]));
+    let runs: Vec<Instance> = [PreferPositive, PreferNegative, NoOp, Undefined]
+        .into_iter()
+        .map(|p| {
+            noninflationary::eval(&program, &clean, p, EvalOptions::default())
+                .unwrap()
+                .instance
+        })
+        .collect();
+    for r in &runs[1..] {
+        assert!(runs[0].same_facts(r));
+    }
+}
+
+/// Genericity: all deterministic engines commute with renaming of
+/// domain constants (the paper's genericity condition on queries).
+#[test]
+fn engines_are_generic_under_isomorphism() {
+    let mut i = Interner::new();
+    let program = parse_program(programs::CTC_STRATIFIED, &mut i).unwrap();
+    let g = i.get("G").unwrap();
+    let ct = i.get("CT").unwrap();
+    let input = random_digraph(&mut i, "G", 6, 0.3, 99);
+    // Rename k ↦ k + 1000.
+    let rename = |v: Value| match v {
+        Value::Int(k) => Value::Int(k + 1000),
+        other => other,
+    };
+    let mut renamed = Instance::new();
+    for t in input.relation(g).unwrap().iter() {
+        renamed.insert_fact(g, Tuple::from([rename(t[0]), rename(t[1])]));
+    }
+    let a = stratified::eval(&program, &input, EvalOptions::default()).unwrap();
+    let b = stratified::eval(&program, &renamed, EvalOptions::default()).unwrap();
+    let mut a_renamed = unchained::common::Relation::new(2);
+    for t in a.instance.relation(ct).unwrap().iter() {
+        a_renamed.insert(Tuple::from([rename(t[0]), rename(t[1])]));
+    }
+    assert!(a_renamed.same_tuples(b.instance.relation(ct).unwrap()));
+}

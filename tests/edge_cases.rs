@@ -1,0 +1,209 @@
+//! Edge-case integration tests: degenerate programs and instances that
+//! historically break Datalog engines — empty programs, zero-arity
+//! (propositional) relations, self-referential rules, unicode source,
+//! and budget interactions.
+
+use unchained::common::{Instance, Interner, Tuple, Value};
+use unchained::core::{
+    inflationary, noninflationary, seminaive, stratified, wellfounded, EvalError, EvalOptions,
+};
+use unchained::parser::parse_program;
+
+#[test]
+fn empty_program_is_a_fixpoint_immediately() {
+    let mut i = Interner::new();
+    let program = parse_program("", &mut i).unwrap();
+    let g = i.intern("G");
+    let mut input = Instance::new();
+    input.insert_fact(g, Tuple::from([Value::Int(1), Value::Int(2)]));
+    let run = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
+    assert!(run.instance.same_facts(&input));
+    assert_eq!(run.stages, 1);
+    let run = stratified::eval(&program, &input, EvalOptions::default()).unwrap();
+    assert!(run.instance.same_facts(&input));
+}
+
+#[test]
+fn propositional_programs() {
+    // Pure zero-arity reasoning: a tiny boolean circuit.
+    let mut i = Interner::new();
+    let program = parse_program(
+        "out :- in1, in2.\n\
+         alarm :- out.\n\
+         quiet :- !alarm.",
+        &mut i,
+    )
+    .unwrap();
+    let in1 = i.get("in1").unwrap();
+    let in2 = i.get("in2").unwrap();
+    let alarm = i.get("alarm").unwrap();
+    let quiet = i.get("quiet").unwrap();
+    // Both inputs on: alarm, not quiet (stratified reading).
+    let mut on = Instance::new();
+    on.insert_fact(in1, Tuple::from([]));
+    on.insert_fact(in2, Tuple::from([]));
+    let run = stratified::eval(&program, &on, EvalOptions::default()).unwrap();
+    assert!(run.instance.contains_fact(alarm, &Tuple::from([])));
+    assert!(!run.instance.contains_fact(quiet, &Tuple::from([])));
+    // One input off: quiet.
+    let mut off = Instance::new();
+    off.insert_fact(in1, Tuple::from([]));
+    let run = stratified::eval(&program, &off, EvalOptions::default()).unwrap();
+    assert!(run.instance.contains_fact(quiet, &Tuple::from([])));
+}
+
+#[test]
+fn self_loop_edges_and_reflexive_queries() {
+    let mut i = Interner::new();
+    let program = parse_program(
+        "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y). L(x) :- T(x,x).",
+        &mut i,
+    )
+    .unwrap();
+    let g = i.get("G").unwrap();
+    let l = i.get("L").unwrap();
+    let mut input = Instance::new();
+    input.insert_fact(g, Tuple::from([Value::Int(1), Value::Int(1)]));
+    input.insert_fact(g, Tuple::from([Value::Int(1), Value::Int(2)]));
+    let run = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
+    assert!(run.instance.contains_fact(l, &Tuple::from([Value::Int(1)])));
+    assert!(!run.instance.contains_fact(l, &Tuple::from([Value::Int(2)])));
+}
+
+#[test]
+fn unicode_program_text_end_to_end() {
+    // The paper's own notation, verbatim.
+    let mut i = Interner::new();
+    let program = parse_program("win(x) ← moves(x,y), ¬win(y).", &mut i).unwrap();
+    let moves = i.get("moves").unwrap();
+    let win = i.get("win").unwrap();
+    let mut input = Instance::new();
+    input.insert_fact(moves, Tuple::from([Value::Int(0), Value::Int(1)]));
+    let model = wellfounded::eval(&program, &input, EvalOptions::default()).unwrap();
+    assert_eq!(
+        model.truth(win, &Tuple::from([Value::Int(0)])),
+        wellfounded::Truth::True
+    );
+}
+
+#[test]
+fn mixed_value_kinds_do_not_unify() {
+    // Integer 1, symbol '1', and an invented value are three distinct
+    // domain elements.
+    let mut i = Interner::new();
+    let program = parse_program("Same(x) :- A(x), B(x).", &mut i).unwrap();
+    let a = i.get("A").unwrap();
+    let b = i.get("B").unwrap();
+    let same = i.get("Same").unwrap();
+    let sym_one = Value::sym(&mut i, "1");
+    let mut input = Instance::new();
+    input.insert_fact(a, Tuple::from([Value::Int(1)]));
+    input.insert_fact(b, Tuple::from([sym_one]));
+    let run = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
+    assert!(run.instance.relation(same).unwrap().is_empty());
+}
+
+#[test]
+fn constants_in_program_extend_active_domain() {
+    // A rule mentioning constant 9 makes 9 part of adom(P, I): the
+    // negative-only rule ranges over it.
+    let mut i = Interner::new();
+    let program = parse_program(
+        "Seen(9) :- Marker(9).\n\
+         All(x) :- !Seen(x).",
+        &mut i,
+    )
+    .unwrap();
+    let all = i.get("All").unwrap();
+    let run =
+        inflationary::eval(&program, &Instance::new(), EvalOptions::default()).unwrap();
+    // adom(P, ∅) = {9}; Seen never derived, so All(9) holds.
+    assert!(run.instance.contains_fact(all, &Tuple::from([Value::Int(9)])));
+}
+
+#[test]
+fn duplicate_rules_are_harmless() {
+    let mut i = Interner::new();
+    let program = parse_program(
+        "T(x,y) :- G(x,y). T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).",
+        &mut i,
+    )
+    .unwrap();
+    let g = i.get("G").unwrap();
+    let t = i.get("T").unwrap();
+    let mut input = Instance::new();
+    for k in 0..3i64 {
+        input.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
+    }
+    let run = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
+    assert_eq!(run.instance.relation(t).unwrap().len(), 6);
+}
+
+#[test]
+fn max_stages_zero_fails_fast() {
+    let mut i = Interner::new();
+    let program = parse_program("T(x,y) :- G(x,y).", &mut i).unwrap();
+    let g = i.get("G").unwrap();
+    let mut input = Instance::new();
+    input.insert_fact(g, Tuple::from([Value::Int(1), Value::Int(2)]));
+    assert!(matches!(
+        inflationary::eval(&program, &input, EvalOptions::default().with_max_stages(0)),
+        Err(EvalError::StageLimitExceeded(0))
+    ));
+}
+
+#[test]
+fn negation_on_never_mentioned_relation() {
+    // ¬M(x) where M appears nowhere else: absent relation = empty, so
+    // the negation is vacuously true.
+    let mut i = Interner::new();
+    let program = parse_program("A(x) :- B(x), !M(x).", &mut i).unwrap();
+    let b = i.get("B").unwrap();
+    let a = i.get("A").unwrap();
+    let mut input = Instance::new();
+    input.insert_fact(b, Tuple::from([Value::Int(5)]));
+    let run = stratified::eval(&program, &input, EvalOptions::default()).unwrap();
+    assert!(run.instance.contains_fact(a, &Tuple::from([Value::Int(5)])));
+}
+
+#[test]
+fn noninflationary_delete_then_rederive_cycles_are_detected_not_looped() {
+    // A two-rule system whose state oscillates with period 2 via an
+    // auxiliary marker.
+    let mut i = Interner::new();
+    let program = parse_program(
+        "mark :- !mark.\n\
+         !mark :- mark.",
+        &mut i,
+    )
+    .unwrap();
+    let err = noninflationary::eval(
+        &program,
+        &Instance::new(),
+        noninflationary::ConflictPolicy::PreferPositive,
+        EvalOptions::default(),
+    )
+    .unwrap_err();
+    assert!(matches!(err, EvalError::Diverged { period: 2, .. }), "{err}");
+}
+
+#[test]
+fn large_arity_relations() {
+    let mut i = Interner::new();
+    let program =
+        parse_program("Wide(a,b,c,d,e,f) :- In(a,b,c), In(d,e,f).", &mut i).unwrap();
+    let input_pred = i.get("In").unwrap();
+    let wide = i.get("Wide").unwrap();
+    let mut input = Instance::new();
+    input.insert_fact(
+        input_pred,
+        Tuple::from([Value::Int(1), Value::Int(2), Value::Int(3)]),
+    );
+    input.insert_fact(
+        input_pred,
+        Tuple::from([Value::Int(4), Value::Int(5), Value::Int(6)]),
+    );
+    let run = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
+    assert_eq!(run.instance.relation(wide).unwrap().len(), 4);
+    assert_eq!(run.instance.relation(wide).unwrap().arity(), 6);
+}

@@ -1,0 +1,275 @@
+//! End-to-end reproduction of every worked example in the paper,
+//! through the public facade crate.
+
+use unchained::common::{Instance, Interner, Relation, Tuple, Value};
+use unchained::core::{
+    inflationary, invention, noninflationary, seminaive, stratified, wellfounded,
+    EvalError, EvalOptions,
+};
+use unchained::harness::generators::{line_graph, paper_game};
+use unchained::harness::oracles;
+use unchained::harness::programs;
+use unchained::nondet::{effect, EffOptions, NondetProgram};
+use unchained::parser::parse_program;
+
+/// §3.1 — transitive closure under minimum-model semantics.
+#[test]
+fn section_3_1_transitive_closure() {
+    let mut i = Interner::new();
+    let program = parse_program(programs::TC, &mut i).unwrap();
+    let input = line_graph(&mut i, "G", 6);
+    let g = i.get("G").unwrap();
+    let t = i.get("T").unwrap();
+    let run = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
+    assert!(run
+        .instance
+        .relation(t)
+        .unwrap()
+        .same_tuples(&oracles::transitive_closure(&input, g)));
+}
+
+/// §3.2 — complement of transitive closure under stratified semantics.
+#[test]
+fn section_3_2_stratified_complement() {
+    let mut i = Interner::new();
+    let program = parse_program(programs::CTC_STRATIFIED, &mut i).unwrap();
+    let input = line_graph(&mut i, "G", 5);
+    let g = i.get("G").unwrap();
+    let ct = i.get("CT").unwrap();
+    let run = stratified::eval(&program, &input, EvalOptions::default()).unwrap();
+    let expected = oracles::complement_tc(&input, g, &input.adom_sorted());
+    assert!(run.instance.relation(ct).unwrap().same_tuples(&expected));
+}
+
+/// Example 3.2 — the win-move game: the paper's exact 3-valued answer.
+#[test]
+fn example_3_2_win_move_exact_answer() {
+    let mut i = Interner::new();
+    let program = parse_program(programs::WIN, &mut i).unwrap();
+    let input = paper_game(&mut i, "moves");
+    let win = i.get("win").unwrap();
+    let model = wellfounded::eval(&program, &input, EvalOptions::default()).unwrap();
+    let truth = |name: &str, i: &mut Interner| {
+        let v = Value::sym(i, name);
+        model.truth(win, &Tuple::from([v]))
+    };
+    use wellfounded::Truth::*;
+    assert_eq!(truth("d", &mut i), True);
+    assert_eq!(truth("f", &mut i), True);
+    assert_eq!(truth("e", &mut i), False);
+    assert_eq!(truth("g", &mut i), False);
+    assert_eq!(truth("a", &mut i), Unknown);
+    assert_eq!(truth("b", &mut i), Unknown);
+    assert_eq!(truth("c", &mut i), Unknown);
+}
+
+/// Example 4.1 — closer: stages encode shortest-path distance.
+#[test]
+fn example_4_1_closer_matches_distance_oracle() {
+    let mut i = Interner::new();
+    let program = parse_program(programs::CLOSER, &mut i).unwrap();
+    let g = i.get("G").unwrap();
+    let closer = i.get("closer").unwrap();
+    // A branching graph exercises incomparable and infinite distances.
+    let mut input = Instance::new();
+    let v = Value::Int;
+    for (a, b) in [(0, 1), (1, 2), (0, 3), (3, 4), (4, 2), (5, 0)] {
+        input.insert_fact(g, Tuple::from([v(a), v(b)]));
+    }
+    let run = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
+    let rel = run.instance.relation(closer).unwrap();
+    let dist = oracles::distances(&input, g);
+    let dom = input.adom_sorted();
+    for &a in &dom {
+        for &b in &dom {
+            for &c in &dom {
+                for &e in &dom {
+                    let da = dist.get(&(a, b)).copied().unwrap_or(u64::MAX);
+                    let db = dist.get(&(c, e)).copied().unwrap_or(u64::MAX);
+                    assert_eq!(
+                        rel.contains(&Tuple::from([a, b, c, e])),
+                        da < db,
+                        "closer({a:?},{b:?},{c:?},{e:?})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Example 4.3 — the delayed-firing complement program equals the
+/// stratified complement on nonempty graphs.
+#[test]
+fn example_4_3_delayed_complement() {
+    let mut i = Interner::new();
+    let delayed = parse_program(programs::CTC_INFLATIONARY, &mut i).unwrap();
+    let strat = parse_program(programs::CTC_STRATIFIED, &mut i).unwrap();
+    let ct = i.get("CT").unwrap();
+    for n in [2i64, 3, 4, 7] {
+        let input = line_graph(&mut i, "G", n);
+        let a = inflationary::eval(&delayed, &input, EvalOptions::default()).unwrap();
+        let b = stratified::eval(&strat, &input, EvalOptions::default()).unwrap();
+        assert!(
+            a.instance
+                .relation(ct)
+                .unwrap()
+                .same_tuples(b.instance.relation(ct).unwrap()),
+            "n = {n}"
+        );
+    }
+}
+
+/// Example 4.4 — the timestamped `good` program equals the
+/// cycle-unreachability oracle.
+#[test]
+fn example_4_4_timestamped_good() {
+    let mut i = Interner::new();
+    let program = parse_program(programs::GOOD_TIMESTAMP, &mut i).unwrap();
+    let g = i.get("G").unwrap();
+    let good = i.get("good").unwrap();
+    // Mix of cycle, tail, and independent DAG.
+    let mut input = Instance::new();
+    let v = Value::Int;
+    for (a, b) in [(1, 2), (2, 3), (3, 1), (3, 4), (6, 7), (7, 8), (6, 8)] {
+        input.insert_fact(g, Tuple::from([v(a), v(b)]));
+    }
+    let run = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
+    let got = run
+        .instance
+        .relation(good)
+        .cloned()
+        .unwrap_or_else(|| Relation::new(1));
+    assert!(got.same_tuples(&oracles::good_nodes(&input, g)));
+}
+
+/// §4.2 — the flip-flop program diverges (period-2 cycle) on `T(0)`.
+#[test]
+fn section_4_2_flip_flop() {
+    let mut i = Interner::new();
+    let program = parse_program(programs::FLIP_FLOP, &mut i).unwrap();
+    let t = i.get("T").unwrap();
+    let mut input = Instance::new();
+    input.insert_fact(t, Tuple::from([Value::Int(0)]));
+    let err = noninflationary::eval(
+        &program,
+        &input,
+        noninflationary::ConflictPolicy::PreferPositive,
+        EvalOptions::default(),
+    )
+    .unwrap_err();
+    assert_eq!(err, EvalError::Diverged { stage: 2, period: 2 });
+}
+
+/// §4.3 — value invention: object creation per edge, dereferencable by
+/// later rules, with the safety restriction checkable.
+#[test]
+fn section_4_3_value_invention() {
+    let mut i = Interner::new();
+    let program = parse_program(
+        "EdgeObj(o, x, y) :- G(x,y).\n\
+         Endpoint(o, x) :- EdgeObj(o, x, y).\n\
+         Endpoint(o, y) :- EdgeObj(o, x, y).",
+        &mut i,
+    )
+    .unwrap();
+    let input = line_graph(&mut i, "G", 4);
+    let run = invention::eval(&program, &input, EvalOptions::default()).unwrap();
+    assert_eq!(run.invented, 3);
+    let endpoint = i.get("Endpoint").unwrap();
+    assert_eq!(run.instance.relation(endpoint).unwrap().len(), 6);
+    assert!(!run.is_safe_answer(endpoint)); // contains object ids
+}
+
+/// §5.1 — orientation: every effect is a valid orientation and all
+/// orientations appear.
+#[test]
+fn section_5_1_orientation_effects() {
+    let mut i = Interner::new();
+    let program = parse_program(programs::ORIENTATION, &mut i).unwrap();
+    let g = i.get("G").unwrap();
+    let mut input = Instance::new();
+    let v = Value::Int;
+    for (a, b) in [(1, 2), (2, 1), (3, 4), (4, 3), (9, 1)] {
+        input.insert_fact(g, Tuple::from([v(a), v(b)]));
+    }
+    let original = input.relation(g).unwrap().clone();
+    let compiled = NondetProgram::compile(&program, false).unwrap();
+    let effects = effect(&compiled, &input, EffOptions::default()).unwrap();
+    assert_eq!(effects.len(), 4);
+    for e in &effects {
+        assert!(oracles::is_valid_orientation(&original, e.relation(g).unwrap()));
+    }
+}
+
+/// Examples 5.4 / 5.5 — P − π_A(Q): correct in the three
+/// control-extended languages, incorrect on some effect of the naive
+/// two-rule composition in N-Datalog¬.
+#[test]
+fn examples_5_4_5_5_difference_query() {
+    let mut i = Interner::new();
+    let p = i.intern("P");
+    let q = i.intern("Q");
+    let v = Value::Int;
+    let mut input = Instance::new();
+    for k in 0..4 {
+        input.insert_fact(p, Tuple::from([v(k)]));
+    }
+    input.insert_fact(q, Tuple::from([v(2), v(7)]));
+    let mut expected = Relation::new(1);
+    for k in [0i64, 1, 3] {
+        expected.insert(Tuple::from([v(k)]));
+    }
+
+    for src in [programs::DIFF_FORALL, programs::DIFF_BOTTOM, programs::DIFF_NNEGNEG] {
+        let program = parse_program(src, &mut i).unwrap();
+        let answer = i.get("answer").unwrap();
+        let compiled = NondetProgram::compile(&program, false).unwrap();
+        let effects = effect(&compiled, &input, EffOptions::default()).unwrap();
+        assert!(!effects.is_empty());
+        for e in &effects {
+            let got = e
+                .relation(answer)
+                .cloned()
+                .unwrap_or_else(|| Relation::new(1));
+            assert!(got.same_tuples(&expected), "program:\n{src}");
+        }
+    }
+
+    // Naive composition: at least one effect computes the wrong answer
+    // (answer(2) sneaks in when the answer rule fires before T(2)).
+    let naive = parse_program(programs::DIFF_NAIVE_COMPOSITION, &mut i).unwrap();
+    let answer = i.get("answer").unwrap();
+    let compiled = NondetProgram::compile(&naive, false).unwrap();
+    let effects = effect(&compiled, &input, EffOptions::default()).unwrap();
+    assert!(effects.iter().any(|e| {
+        !e.relation(answer)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(1))
+            .same_tuples(&expected)
+    }));
+}
+
+/// Theorem 4.7 — evenness on ordered databases across the three
+/// deterministic engines.
+#[test]
+fn theorem_4_7_evenness_on_ordered_databases() {
+    let mut i = Interner::new();
+    let program = parse_program(programs::EVEN_SEMIPOSITIVE, &mut i).unwrap();
+    let even = i.get("even").unwrap();
+    for k in 0..7usize {
+        let members: Vec<i64> = (0..k as i64).map(|x| 3 * x).collect();
+        let input =
+            unchained::harness::ordered::evenness_input(&mut i, "R", 25, &members);
+        let expected = k % 2 == 0;
+        let s = stratified::eval(&program, &input, EvalOptions::default()).unwrap();
+        assert_eq!(s.instance.contains_fact(even, &Tuple::from([])), expected, "strat k={k}");
+        let f = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
+        assert_eq!(f.instance.contains_fact(even, &Tuple::from([])), expected, "infl k={k}");
+        let w = wellfounded::eval(&program, &input, EvalOptions::default()).unwrap();
+        assert_eq!(
+            w.truth(even, &Tuple::from([])) == wellfounded::Truth::True,
+            expected,
+            "wf k={k}"
+        );
+    }
+}

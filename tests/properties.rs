@@ -1,0 +1,223 @@
+//! Property-based tests (proptest) of the core invariants:
+//! oracle agreement on random graphs, monotonicity of Datalog,
+//! inflationary growth, 3-valued model containment, orientation
+//! validity, and parser round-tripping.
+
+use proptest::prelude::*;
+use unchained::common::{Instance, Interner, Tuple, Value};
+use unchained::core::{
+    inflationary, naive, seminaive, stratified, wellfounded, EvalOptions,
+};
+use unchained::harness::oracles;
+use unchained::harness::programs;
+use unchained::nondet::{run_once, NondetProgram, RandomChooser};
+use unchained::parser::parse_program;
+
+/// Strategy: a set of edges over a small node universe.
+fn edges(max_node: i64, max_edges: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0..max_node, 0..max_node), 0..max_edges)
+}
+
+fn graph_instance(interner: &mut Interner, edges: &[(i64, i64)]) -> Instance {
+    let g = interner.intern("G");
+    let mut instance = Instance::new();
+    instance.ensure(g, 2);
+    for &(a, b) in edges {
+        instance.insert_fact(g, Tuple::from([Value::Int(a), Value::Int(b)]));
+    }
+    instance
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Semi-naive and naive evaluation compute the same minimum model.
+    #[test]
+    fn seminaive_equals_naive(es in edges(7, 20)) {
+        let mut i = Interner::new();
+        let program = parse_program(programs::TC, &mut i).unwrap();
+        let input = graph_instance(&mut i, &es);
+        let a = naive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
+        let b = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
+        prop_assert!(a.instance.same_facts(&b.instance));
+    }
+
+    /// The Datalog TC answer equals the BFS oracle.
+    #[test]
+    fn tc_matches_oracle(es in edges(8, 24)) {
+        let mut i = Interner::new();
+        let program = parse_program(programs::TC, &mut i).unwrap();
+        let input = graph_instance(&mut i, &es);
+        let g = i.get("G").unwrap();
+        let t = i.get("T").unwrap();
+        let run = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
+        prop_assert!(run
+            .instance
+            .relation(t)
+            .unwrap()
+            .same_tuples(&oracles::transitive_closure(&input, g)));
+    }
+
+    /// Monotonicity of pure Datalog: adding edges never removes answers.
+    #[test]
+    fn datalog_is_monotone(es in edges(6, 15), extra in (0i64..6, 0i64..6)) {
+        let mut i = Interner::new();
+        let program = parse_program(programs::TC, &mut i).unwrap();
+        let input = graph_instance(&mut i, &es);
+        let g = i.get("G").unwrap();
+        let t = i.get("T").unwrap();
+        let mut bigger = input.clone();
+        bigger.insert_fact(g, Tuple::from([Value::Int(extra.0), Value::Int(extra.1)]));
+        let small = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
+        let large = seminaive::minimum_model(&program, &bigger, EvalOptions::default()).unwrap();
+        for tuple in small.instance.relation(t).unwrap().iter() {
+            prop_assert!(large.instance.contains_fact(t, tuple));
+        }
+    }
+
+    /// Inflationary stages grow monotonically: the final instance
+    /// contains the input, and the answer under a pure-Datalog program
+    /// equals the minimum model.
+    #[test]
+    fn inflationary_contains_input(es in edges(6, 15)) {
+        let mut i = Interner::new();
+        let program = parse_program(programs::TC, &mut i).unwrap();
+        let input = graph_instance(&mut i, &es);
+        let g = i.get("G").unwrap();
+        let run = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
+        for tuple in input.relation(g).unwrap().iter() {
+            prop_assert!(run.instance.contains_fact(g, tuple));
+        }
+        let mm = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
+        prop_assert!(run.instance.same_facts(&mm.instance));
+    }
+
+    /// The semi-naive inflationary engine is stage-exact with the
+    /// naive one on random inputs of the win program.
+    #[test]
+    fn inflationary_seminaive_stage_exact(es in edges(6, 14)) {
+        let mut i = Interner::new();
+        let program = parse_program(programs::WIN, &mut i).unwrap();
+        let moves = i.intern("moves");
+        let mut input = Instance::new();
+        input.ensure(moves, 2);
+        for &(a, b) in &es {
+            input.insert_fact(moves, Tuple::from([Value::Int(a), Value::Int(b)]));
+        }
+        let a = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
+        let b = inflationary::eval_seminaive(&program, &input, EvalOptions::default()).unwrap();
+        prop_assert!(a.instance.same_facts(&b.instance));
+        prop_assert_eq!(a.stages, b.stages);
+    }
+
+    /// 3-valued containment: true facts ⊆ possible facts, and the
+    /// model is consistent with the game oracle on win-move inputs.
+    #[test]
+    fn wellfounded_true_subset_of_possible(es in edges(6, 14)) {
+        let mut i = Interner::new();
+        let program = parse_program(programs::WIN, &mut i).unwrap();
+        // Reuse the edge set as a `moves` relation.
+        let moves = i.intern("moves");
+        let mut input = Instance::new();
+        input.ensure(moves, 2);
+        for &(a, b) in &es {
+            input.insert_fact(moves, Tuple::from([Value::Int(a), Value::Int(b)]));
+        }
+        let model = wellfounded::eval(&program, &input, EvalOptions::default()).unwrap();
+        let win = i.get("win").unwrap();
+        if let Some(rel) = model.true_facts.relation(win) {
+            for t in rel.iter() {
+                prop_assert!(model.possible_facts.contains_fact(win, t));
+            }
+        }
+        // Consistency with the oracle.
+        let solution = oracles::solve_game(&input, moves);
+        for (&state, &value) in &solution {
+            let truth = model.truth(win, &Tuple::from([state]));
+            let expected = match value {
+                oracles::GameValue::Win => wellfounded::Truth::True,
+                oracles::GameValue::Lose => wellfounded::Truth::False,
+                oracles::GameValue::Draw => wellfounded::Truth::Unknown,
+            };
+            prop_assert_eq!(truth, expected);
+        }
+    }
+
+    /// The stratified CTC answer partitions adom² with the TC answer.
+    #[test]
+    fn ctc_partitions_square(es in edges(6, 14)) {
+        let mut i = Interner::new();
+        let program = parse_program(programs::CTC_STRATIFIED, &mut i).unwrap();
+        let input = graph_instance(&mut i, &es);
+        let t = i.get("T").unwrap();
+        let ct = i.get("CT").unwrap();
+        let run = stratified::eval(&program, &input, EvalOptions::default()).unwrap();
+        let n = input.adom().len();
+        let t_rel = run.instance.relation(t).unwrap();
+        let ct_rel = run.instance.relation(ct).unwrap();
+        prop_assert_eq!(t_rel.len() + ct_rel.len(), n * n);
+        for tuple in t_rel.iter() {
+            prop_assert!(!ct_rel.contains(tuple));
+        }
+    }
+
+    /// Every nondeterministic orientation run yields a valid
+    /// orientation, for every seed.
+    #[test]
+    fn orientation_runs_always_valid(es in edges(6, 12), seed in 0u64..1000) {
+        let mut i = Interner::new();
+        let program = parse_program(programs::ORIENTATION, &mut i).unwrap();
+        let input = graph_instance(&mut i, &es);
+        let g = i.get("G").unwrap();
+        let original = input.relation(g).unwrap().clone();
+        let compiled = NondetProgram::compile(&program, false).unwrap();
+        let mut chooser = RandomChooser::seeded(seed);
+        let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default()).unwrap();
+        // Self-loops are their own reverse and cannot be oriented, so
+        // exclude graphs with self-loops from the validity check — the
+        // program deletes them outright (G(x,x),G(x,x) matches).
+        if es.iter().all(|&(a, b)| a != b) {
+            prop_assert!(oracles::is_valid_orientation(&original, run.instance.relation(g).unwrap()));
+        }
+    }
+
+    /// Parser round-trip: display of a parsed program reparses to the
+    /// same display.
+    #[test]
+    fn parser_display_roundtrip(n_rules in 1usize..6, seed in 0u64..500) {
+        // Deterministic pseudo-random rule synthesis from the seed.
+        let mut s = seed;
+        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (s >> 33) as usize };
+        let mut src = String::new();
+        for r in 0..n_rules {
+            let head_arity = next() % 3;
+            let vars = ["x", "y", "z"];
+            let head_args: Vec<&str> = (0..head_arity).map(|k| vars[k]).collect();
+            let mut rule = format!("H{r}");
+            if !head_args.is_empty() {
+                rule.push_str(&format!("({})", head_args.join(",")));
+            }
+            rule.push_str(" :- ");
+            let mut body = Vec::new();
+            // Ensure range restriction: one positive atom with all vars.
+            body.push(format!("B{r}(x,y,z)"));
+            if next() % 2 == 0 {
+                body.push(format!("!C{r}(x)"));
+            }
+            if next() % 2 == 0 {
+                body.push("x != y".to_string());
+            }
+            rule.push_str(&body.join(", "));
+            rule.push('.');
+            src.push_str(&rule);
+            src.push('\n');
+        }
+        let mut i1 = Interner::new();
+        let p1 = parse_program(&src, &mut i1).unwrap();
+        let shown1 = p1.display(&i1).to_string();
+        let mut i2 = Interner::new();
+        let p2 = parse_program(&shown1, &mut i2).unwrap();
+        let shown2 = p2.display(&i2).to_string();
+        prop_assert_eq!(shown1, shown2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Section 4.4's second way out of the evenness impasse: "sacrifice
+//! determinism by allowing a nondeterministic construct to pick an
+//! arbitrary element from a set". The witness operator `W` of [14]
+//! (FO+IFP+W, Section 5.2) is exactly that construct; this test
+//! computes evenness with it in the while language and checks that the
+//! answer is independent of the choices — the `det(·)` fragment story
+//! of Section 5.3, on the fixpoint-logic side.
+
+use unchained::common::{Instance, Interner, Tuple, Value};
+use unchained::while_lang::{parse_while_program, run};
+
+/// Build the witness-based parity program:
+/// repeatedly pick an arbitrary unprocessed element of R,
+/// mark it processed, and flip a parity flag.
+const PARITY_W: &str = "
+    evenFlag := { | true };
+    while (exists x (R(x) & !done(x))) do
+        cur  := W { x | R(x) & !done(x) };
+        done += { x | cur(x) };
+        tmp  := { | !evenFlag };
+        evenFlag := { | tmp };
+    end
+";
+
+fn parity_input(interner: &mut Interner, k: usize) -> Instance {
+    let r = interner.intern("R");
+    let mut input = Instance::new();
+    input.ensure(r, 1);
+    for v in 0..k as i64 {
+        input.insert_fact(r, Tuple::from([Value::Int(v)]));
+    }
+    input
+}
+
+#[test]
+fn witness_parity_matches_oracle_for_all_choosers() {
+    let mut interner = Interner::new();
+    let (program, _) = parse_while_program(PARITY_W, &mut interner).unwrap();
+    assert!(program.has_witness());
+    let even_flag = interner.get("evenFlag").unwrap();
+
+    for k in 0..=6usize {
+        let input = parity_input(&mut interner, k);
+        let expected = k % 2 == 0;
+        // Several deterministic chooser policies: first, last, middle,
+        // and a couple of pseudo-random ones.
+        let policies: Vec<Box<dyn FnMut(usize) -> usize>> = vec![
+            Box::new(|_n| 0),
+            Box::new(|n| n - 1),
+            Box::new(|n| n / 2),
+            Box::new(move |n| (7 * n + 3) % n),
+            Box::new(move |n| (11 * n + 5) % n),
+        ];
+        for (pidx, mut policy) in policies.into_iter().enumerate() {
+            let mut chooser = |n: usize| policy(n);
+            let result = run(&program, &input, 10_000, Some(&mut chooser)).unwrap();
+            let got = result
+                .instance
+                .relation(even_flag)
+                .is_some_and(|rel| !rel.is_empty());
+            assert_eq!(got, expected, "|R| = {k}, policy #{pidx}");
+        }
+    }
+}
+
+#[test]
+fn witness_parity_processes_each_element_once() {
+    let mut interner = Interner::new();
+    let (program, _) = parse_while_program(PARITY_W, &mut interner).unwrap();
+    let done = interner.get("done").unwrap();
+    let input = parity_input(&mut interner, 5);
+    let mut chooser = |n: usize| n - 1;
+    let result = run(&program, &input, 10_000, Some(&mut chooser)).unwrap();
+    // Every element processed exactly once; iterations = |R|.
+    assert_eq!(result.instance.relation(done).unwrap().len(), 5);
+    assert_eq!(result.iterations, 5);
+}
+
+#[test]
+fn witness_program_is_not_fixpoint_discipline() {
+    // It uses destructive assignment and a sentence guard: full
+    // while+W (FO+PFP+W), not FO+IFP+W — evenness needs the
+    // destructive parity flip.
+    let mut interner = Interner::new();
+    let (program, _) = parse_while_program(PARITY_W, &mut interner).unwrap();
+    assert!(!program.is_fixpoint());
+}
