@@ -93,6 +93,10 @@ pub enum Command {
         /// Conflict policy name for Datalog¬¬ (positive | negative |
         /// noop | undefined).
         policy: String,
+        /// Print a per-stage evaluation statistics table.
+        stats: bool,
+        /// Write the evaluation trace as JSON lines to this path.
+        trace_json: Option<String>,
     },
     /// Parse and analyze a program: language class, edb/idb,
     /// stratification.
@@ -112,6 +116,7 @@ unchained — the Datalog engine family of 'Datalog Unchained' (PODS 2021)
 
 USAGE:
   unchained eval --semantics <SEM> <PROGRAM.dl> [FACTS.dl] [options]
+  unchained run ...            alias for eval
   unchained check <PROGRAM.dl>
   unchained repl
   unchained help
@@ -134,25 +139,33 @@ OPTIONS:
   --seed <N>                   RNG seed for nondet runs (default 0)
   --policy <P>                 Datalog¬¬ conflict policy:
                                positive (default) | negative | noop | undefined
+  --stats                      print per-stage evaluation statistics
+                               (delta sizes, rules fired, join work, timing)
+  --trace-json <PATH>          write the evaluation trace as JSON lines
 ";
 
 /// Parses a command line (without the binary name).
 pub fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut it = argv.iter().peekable();
     let Some(cmd) = it.next() else {
-        return Ok(Args { command: Command::Help });
+        return Ok(Args {
+            command: Command::Help,
+        });
     };
     match cmd.as_str() {
-        "help" | "--help" | "-h" => Ok(Args { command: Command::Help }),
-        "repl" => Ok(Args { command: Command::Repl }),
+        "help" | "--help" | "-h" => Ok(Args {
+            command: Command::Help,
+        }),
+        "repl" => Ok(Args {
+            command: Command::Repl,
+        }),
         "check" => {
-            let program = it
-                .next()
-                .ok_or("check: missing program file")?
-                .clone();
-            Ok(Args { command: Command::Check { program } })
+            let program = it.next().ok_or("check: missing program file")?.clone();
+            Ok(Args {
+                command: Command::Check { program },
+            })
         }
-        "eval" => {
+        "eval" | "run" => {
             let mut program = None;
             let mut facts = None;
             let mut semantics = None;
@@ -160,6 +173,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             let mut max_stages = None;
             let mut seed = 0u64;
             let mut policy = "positive".to_string();
+            let mut stats = false;
+            let mut trace_json = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--semantics" | "-s" => {
@@ -184,6 +199,12 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "--policy" => {
                         policy = it.next().ok_or("--policy needs a value")?.clone();
                     }
+                    "--stats" => {
+                        stats = true;
+                    }
+                    "--trace-json" => {
+                        trace_json = Some(it.next().ok_or("--trace-json needs a path")?.clone());
+                    }
                     other if other.starts_with('-') => {
                         return Err(format!("unknown option `{other}`"));
                     }
@@ -207,6 +228,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     max_stages,
                     seed,
                     policy,
+                    stats,
+                    trace_json,
                 },
             })
         }
@@ -228,7 +251,14 @@ mod tests {
             "eval --semantics inflationary prog.dl facts.dl --output T --max-stages 10",
         ))
         .unwrap();
-        let Command::Eval { program, facts, semantics, output, max_stages, .. } = args.command
+        let Command::Eval {
+            program,
+            facts,
+            semantics,
+            output,
+            max_stages,
+            ..
+        } = args.command
         else {
             panic!("expected eval");
         };
@@ -240,10 +270,43 @@ mod tests {
     }
 
     #[test]
+    fn run_alias_and_observability_flags() {
+        let args = parse_args(&argv(
+            "run --semantics seminaive prog.dl --stats --trace-json out.jsonl",
+        ))
+        .unwrap();
+        let Command::Eval {
+            program,
+            stats,
+            trace_json,
+            ..
+        } = args.command
+        else {
+            panic!("expected eval");
+        };
+        assert_eq!(program, "prog.dl");
+        assert!(stats);
+        assert_eq!(trace_json.as_deref(), Some("out.jsonl"));
+        // Flags default off.
+        let args = parse_args(&argv("eval -s naive p.dl")).unwrap();
+        let Command::Eval {
+            stats, trace_json, ..
+        } = args.command
+        else {
+            panic!("expected eval");
+        };
+        assert!(!stats);
+        assert!(trace_json.is_none());
+        assert!(parse_args(&argv("eval -s naive p.dl --trace-json")).is_err());
+    }
+
+    #[test]
     fn parse_check_and_help() {
         assert_eq!(
             parse_args(&argv("check p.dl")).unwrap().command,
-            Command::Check { program: "p.dl".into() }
+            Command::Check {
+                program: "p.dl".into()
+            }
         );
         assert_eq!(parse_args(&argv("help")).unwrap().command, Command::Help);
         assert_eq!(parse_args(&[]).unwrap().command, Command::Help);

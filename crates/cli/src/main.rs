@@ -3,7 +3,7 @@
 
 use std::process::ExitCode;
 use unchained_cli::args::{parse_args, Command};
-use unchained_cli::run::execute;
+use unchained_cli::run::execute_full;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -48,9 +48,19 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    match execute(&args.command, &program_text, facts_text.as_deref()) {
+    let trace_path = match &args.command {
+        Command::Eval { trace_json, .. } => trace_json.clone(),
+        _ => None,
+    };
+    match execute_full(&args.command, &program_text, facts_text.as_deref()) {
         Ok(out) => {
-            print!("{out}");
+            if let (Some(path), Some(json)) = (&trace_path, &out.trace_json) {
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            print!("{}", out.text);
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -48,12 +48,14 @@ Enter Datalog statements (terminated by `.`) or commands:
   .seed <n>                   RNG seed for nondeterministic runs
   .max-stages <n>             stage budget
   .explain <fact>.            derivation tree of a fact (Datalog only)
+  .stats [relation]           evaluate with per-stage statistics
   .program                    show the accumulated rules
   .facts                      show the database
   .check                      classify the program
   .clear                      drop program and database
   .help                       this text
   .quit                       leave
+Commands may also be spelled with a `:` prefix (`:stats`, `:help`, …).
 ";
 
 /// What the caller should do after a line is processed.
@@ -85,9 +87,9 @@ impl Repl {
             return ReplOutcome::Continue(String::new());
         }
         if let Some(rest) = line.strip_prefix('?') {
-            return ReplOutcome::Continue(self.query(rest.trim().trim_end_matches('.')));
+            return ReplOutcome::Continue(self.query(rest.trim().trim_end_matches('.'), false));
         }
-        if let Some(cmd) = line.strip_prefix('.') {
+        if let Some(cmd) = line.strip_prefix('.').or_else(|| line.strip_prefix(':')) {
             return self.command(cmd.trim());
         }
         ReplOutcome::Continue(self.add_statements(line))
@@ -125,6 +127,7 @@ impl Repl {
                 Err(_) => format!("bad stage budget `{arg}`\n"),
             },
             "explain" => self.explain(arg),
+            "stats" => self.query(arg.trim_end_matches('.'), true),
             "program" => self.program.display(&self.interner).to_string(),
             "facts" => self.database.display(&self.interner).to_string(),
             "check" => {
@@ -160,7 +163,9 @@ impl Repl {
                 && matches!(&rule.head[0], HeadLiteral::Pos(a)
                     if a.args.iter().all(|t| matches!(t, Term::Const(_))));
             if ground_fact {
-                let HeadLiteral::Pos(atom) = &rule.head[0] else { unreachable!() };
+                let HeadLiteral::Pos(atom) = &rule.head[0] else {
+                    unreachable!()
+                };
                 let values: Vec<Value> = atom
                     .args
                     .iter()
@@ -190,28 +195,38 @@ impl Repl {
         let fact_text = fact_text.trim().trim_end_matches('.');
         if fact_text.is_empty() {
             return "usage: .explain T(1,2)
-".to_string();
+"
+            .to_string();
         }
         // Parse the fact as a one-statement program.
         let parsed = match parse_program(&format!("{fact_text}."), &mut self.interner) {
             Ok(p) => p,
-            Err(e) => return format!("{e}
-"),
+            Err(e) => {
+                return format!(
+                    "{e}
+"
+                )
+            }
         };
         let Some(rule) = parsed.rules.first() else {
             return "usage: .explain T(1,2)
-".to_string();
+"
+            .to_string();
         };
         let Some(atom) = rule.head.first().and_then(HeadLiteral::atom) else {
             return "usage: .explain T(1,2)
-".to_string();
+"
+            .to_string();
         };
         let mut values = Vec::new();
         for term in &atom.args {
             match term {
                 Term::Const(v) => values.push(*v),
-                Term::Var(_) => return "explain needs a ground fact
-".to_string(),
+                Term::Var(_) => {
+                    return "explain needs a ground fact
+"
+                    .to_string()
+                }
             }
         }
         match unchained_core::provenance::minimum_model_with_provenance(
@@ -225,21 +240,30 @@ impl Repl {
                 &Tuple::from(values),
                 &self.interner,
             ),
-            Err(e) => format!("error: {e} (explain requires pure Datalog)
-"),
+            Err(e) => format!(
+                "error: {e} (explain requires pure Datalog)
+"
+            ),
         }
     }
 
-    /// Evaluates the program and prints `target` (or all idb relations).
-    fn query(&mut self, target: &str) -> String {
+    /// Evaluates the program and prints `target` (or all idb
+    /// relations); with `stats`, appends the per-stage statistics table.
+    fn query(&mut self, target: &str, stats: bool) -> String {
         let cmd = crate::args::Command::Eval {
             program: String::new(),
             facts: None,
             semantics: self.semantics,
-            output: if target.is_empty() { None } else { Some(target.to_string()) },
+            output: if target.is_empty() {
+                None
+            } else {
+                Some(target.to_string())
+            },
             max_stages: self.max_stages,
             seed: self.seed,
             policy: "positive".to_string(),
+            stats,
+            trace_json: None,
         };
         let program_text = self.program.display(&self.interner).to_string();
         // Instance display prints bare facts; the fact-file parser wants
@@ -249,8 +273,12 @@ impl Repl {
             .display(&self.interner)
             .to_string()
             .lines()
-            .map(|l| format!("{l}.
-"))
+            .map(|l| {
+                format!(
+                    "{l}.
+"
+                )
+            })
             .collect();
         match crate::run::execute(&cmd, &program_text, Some(&facts_text)) {
             Ok(out) => out,
@@ -279,7 +307,10 @@ pub fn run_repl() -> std::io::Result<()> {
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let mut repl = Repl::new();
-    writeln!(stdout, "unchained repl — `.help` for commands, `.quit` to leave")?;
+    writeln!(
+        stdout,
+        "unchained repl — `.help` for commands, `.quit` to leave"
+    )?;
     loop {
         write!(stdout, "> ")?;
         stdout.flush()?;
@@ -353,6 +384,23 @@ mod tests {
         assert!(feed_ok(&mut repl, ".bogus").contains("unknown command"));
         assert!(feed_ok(&mut repl, ".semantics bogus").contains("unknown semantics"));
         assert_eq!(repl.feed(".quit"), ReplOutcome::Quit);
+    }
+
+    #[test]
+    fn stats_command_prints_stage_table() {
+        let mut repl = Repl::new();
+        feed_ok(&mut repl, "G(1,2). G(2,3). G(3,4).");
+        feed_ok(&mut repl, "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).");
+        let out = feed_ok(&mut repl, ".stats T");
+        assert!(out.contains("T(1, 4)"), "{out}");
+        assert!(out.contains("engine: seminaive"), "{out}");
+        assert!(out.contains("stage"), "{out}");
+        // `:`-prefixed spelling works too.
+        let out = feed_ok(&mut repl, ":stats");
+        assert!(out.contains("engine: seminaive"), "{out}");
+        // Plain queries stay stats-free.
+        let out = feed_ok(&mut repl, "? T");
+        assert!(!out.contains("engine:"), "{out}");
     }
 
     #[test]

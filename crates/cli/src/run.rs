@@ -1,7 +1,7 @@
 //! Command execution: load, evaluate, render.
 
 use crate::args::{Command, Semantics};
-use unchained_common::{Instance, Interner};
+use unchained_common::{Instance, Interner, Telemetry};
 use unchained_core::{
     inflationary, invention, naive, noninflationary, seminaive, stratified, wellfounded,
     EvalOptions,
@@ -9,6 +9,17 @@ use unchained_core::{
 use unchained_nondet::{effect, poss_cert, EffOptions, NondetProgram, RandomChooser};
 use unchained_parser::{classify, parse_facts, parse_program, DependencyGraph, Program};
 use unchained_while::parse_while_program;
+
+/// The outcome of a command: the text to print plus, when
+/// `--trace-json` was requested, the JSON-lines trace content for the
+/// caller to write to the requested path (this module stays I/O-free).
+#[derive(Clone, Debug)]
+pub struct ExecOutput {
+    /// The text to print to stdout.
+    pub text: String,
+    /// JSON-lines trace content, when `--trace-json` was given.
+    pub trace_json: Option<String>,
+}
 
 /// Executes a parsed command against file contents already read by the
 /// caller (keeping this function I/O-free and testable). Returns the
@@ -18,52 +29,116 @@ pub fn execute(
     program_text: &str,
     facts_text: Option<&str>,
 ) -> Result<String, String> {
+    execute_full(command, program_text, facts_text).map(|o| o.text)
+}
+
+/// Like [`execute`], but also returns the JSON-lines trace when the
+/// command asked for one, and appends the `--stats` table to the text.
+pub fn execute_full(
+    command: &Command,
+    program_text: &str,
+    facts_text: Option<&str>,
+) -> Result<ExecOutput, String> {
+    let plain = |text: String| ExecOutput {
+        text,
+        trace_json: None,
+    };
     match command {
-        Command::Help => Ok(crate::args::USAGE.to_string()),
-        Command::Repl => Ok("(interactive mode: run the `unchained` binary with `repl`)".into()),
+        Command::Help => Ok(plain(crate::args::USAGE.to_string())),
+        Command::Repl => Ok(plain(
+            "(interactive mode: run the `unchained` binary with `repl`)".into(),
+        )),
         Command::Check { .. } => {
             let mut interner = Interner::new();
-            let program =
-                parse_program(program_text, &mut interner).map_err(|e| e.to_string())?;
-            Ok(render_check(&program, &interner))
+            let program = parse_program(program_text, &mut interner).map_err(|e| e.to_string())?;
+            Ok(plain(render_check(&program, &interner)))
         }
-        Command::Eval { semantics, output, max_stages, seed, policy, .. } => {
+        Command::Eval {
+            semantics,
+            output,
+            max_stages,
+            seed,
+            policy,
+            stats,
+            trace_json,
+            ..
+        } => {
             let mut interner = Interner::new();
-            if *semantics == Semantics::WhileLang {
-                return eval_while(
+            let want_trace = *stats || trace_json.is_some();
+            let tel = if want_trace {
+                Telemetry::enabled()
+            } else {
+                Telemetry::off()
+            };
+            let evaluated = if *semantics == Semantics::WhileLang {
+                eval_while(
                     program_text,
                     facts_text,
                     output.as_deref(),
                     *max_stages,
                     *seed,
                     &mut interner,
-                );
-            }
-            let program =
-                parse_program(program_text, &mut interner).map_err(|e| e.to_string())?;
-            let input = match facts_text {
-                Some(text) => parse_facts(text, &mut interner).map_err(|e| e.to_string())?,
-                None => Instance::new(),
+                    tel.clone(),
+                )
+            } else {
+                let program =
+                    parse_program(program_text, &mut interner).map_err(|e| e.to_string())?;
+                let input = match facts_text {
+                    Some(text) => parse_facts(text, &mut interner).map_err(|e| e.to_string())?,
+                    None => Instance::new(),
+                };
+                let mut options = EvalOptions::default().with_telemetry(tel.clone());
+                if let Some(m) = max_stages {
+                    options = options.with_max_stages(*m);
+                }
+                evaluate(
+                    *semantics,
+                    &program,
+                    &input,
+                    options,
+                    *seed,
+                    policy,
+                    &mut interner,
+                )
+                .map(|answer| render_answer(&answer, output.as_deref(), &program, &interner))
             };
-            let mut options = EvalOptions::default();
-            if let Some(m) = max_stages {
-                options = options.with_max_stages(*m);
+            tel.with(|t| t.interner_symbols = interner.len());
+            match evaluated {
+                Ok(mut text) => {
+                    if *stats {
+                        if let Some(trace) = tel.snapshot() {
+                            text.push_str(&trace.render_table(&interner));
+                        }
+                    }
+                    let json = match trace_json {
+                        Some(_) => tel.snapshot().map(|t| t.to_json_lines(&interner)),
+                        None => None,
+                    };
+                    Ok(ExecOutput {
+                        text,
+                        trace_json: json,
+                    })
+                }
+                Err(mut message) => {
+                    // Engines finish their trace even on divergence or
+                    // budget errors; surface it with the failure.
+                    if *stats {
+                        if let Some(trace) = tel.snapshot() {
+                            if !trace.stages.is_empty() {
+                                message.push('\n');
+                                message.push_str(&trace.render_table(&interner));
+                            }
+                        }
+                    }
+                    Err(message)
+                }
             }
-            let answer = evaluate(
-                *semantics,
-                &program,
-                &input,
-                options,
-                *seed,
-                policy,
-                &mut interner,
-            )?;
-            Ok(render_answer(&answer, output.as_deref(), &program, &interner))
         }
     }
 }
 
 /// Evaluates a while-language program file.
+#[allow(clippy::too_many_arguments)]
 fn eval_while(
     program_text: &str,
     facts_text: Option<&str>,
@@ -71,10 +146,10 @@ fn eval_while(
     max_stages: Option<usize>,
     seed: u64,
     interner: &mut Interner,
+    telemetry: Telemetry,
 ) -> Result<String, String> {
     use std::fmt::Write as _;
-    let (program, _) =
-        parse_while_program(program_text, interner).map_err(|e| e.to_string())?;
+    let (program, _) = parse_while_program(program_text, interner).map_err(|e| e.to_string())?;
     let input = match facts_text {
         Some(text) => parse_facts(text, interner).map_err(|e| e.to_string())?,
         None => Instance::new(),
@@ -92,9 +167,9 @@ fn eval_while(
     };
     let needs_chooser = program.has_witness();
     let result = if needs_chooser {
-        unchained_while::run(&program, &input, max, Some(&mut chooser))
+        unchained_while::run_traced(&program, &input, max, Some(&mut chooser), telemetry)
     } else {
-        unchained_while::run(&program, &input, max, None)
+        unchained_while::run_traced(&program, &input, max, None, telemetry)
     }
     .map_err(|e| e.to_string())?;
     let assigned = program.assigned();
@@ -179,8 +254,7 @@ fn evaluate(
             })
             .map_err(|e| e.to_string()),
         Semantics::Nondet => {
-            let compiled =
-                NondetProgram::compile(program, true).map_err(|e| e.to_string())?;
+            let compiled = NondetProgram::compile(program, true).map_err(|e| e.to_string())?;
             let mut chooser = RandomChooser::seeded(seed);
             unchained_nondet::run_once(&compiled, input, &mut chooser, options)
                 .map(|r| Answer::Instance(r.instance, r.steps))
@@ -190,14 +264,17 @@ fn evaluate(
             unreachable!("WhileLang is handled before Datalog parsing in execute()")
         }
         Semantics::Effect => {
-            let compiled =
-                NondetProgram::compile(program, true).map_err(|e| e.to_string())?;
+            let compiled = NondetProgram::compile(program, true).map_err(|e| e.to_string())?;
             let effects =
                 effect(&compiled, input, EffOptions::default()).map_err(|e| e.to_string())?;
-            let pc = poss_cert(&compiled, input, EffOptions::default())
-                .map_err(|e| e.to_string())?;
+            let pc =
+                poss_cert(&compiled, input, EffOptions::default()).map_err(|e| e.to_string())?;
             let _ = interner; // symbols already interned during parse
-            Ok(Answer::Effects { effects, poss: pc.poss, cert: pc.cert })
+            Ok(Answer::Effects {
+                effects,
+                poss: pc.poss,
+                cert: pc.cert,
+            })
         }
     }
 }
@@ -205,7 +282,11 @@ fn evaluate(
 enum Answer {
     Instance(Instance, usize),
     ThreeValued(wellfounded::WellFoundedModel),
-    Effects { effects: Vec<Instance>, poss: Instance, cert: Instance },
+    Effects {
+        effects: Vec<Instance>,
+        poss: Instance,
+        cert: Instance,
+    },
 }
 
 fn render_instance(
@@ -242,7 +323,12 @@ fn render_answer(
         Answer::ThreeValued(model) => {
             let mut out = String::new();
             let _ = writeln!(out, "% true facts:");
-            out.push_str(&render_instance(&model.true_facts, output, program, interner));
+            out.push_str(&render_instance(
+                &model.true_facts,
+                output,
+                program,
+                interner,
+            ));
             let _ = writeln!(out, "% unknown facts:");
             for (pred, tuple) in model.unknown_facts() {
                 if output.is_some_and(|o| interner.get(o) != Some(pred)) {
@@ -251,14 +337,17 @@ fn render_answer(
                 if tuple.arity() == 0 {
                     let _ = writeln!(out, "{}", interner.name(pred));
                 } else {
-                    let _ =
-                        writeln!(out, "{}{}", interner.name(pred), tuple.display(interner));
+                    let _ = writeln!(out, "{}{}", interner.name(pred), tuple.display(interner));
                 }
             }
             let _ = writeln!(out, "% rounds: {}", model.rounds);
             out
         }
-        Answer::Effects { effects, poss, cert } => {
+        Answer::Effects {
+            effects,
+            poss,
+            cert,
+        } => {
             let mut out = String::new();
             let _ = writeln!(out, "% {} terminal instance(s)", effects.len());
             for (i, e) in effects.iter().enumerate() {
@@ -341,11 +430,10 @@ mod tests {
 
     #[test]
     fn bad_policy_reported() {
-        let argv: Vec<String> =
-            "eval --semantics noninflationary --policy bogus p.dl"
-                .split_whitespace()
-                .map(String::from)
-                .collect();
+        let argv: Vec<String> = "eval --semantics noninflationary --policy bogus p.dl"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
         let cmd = parse_args(&argv).unwrap().command;
         let err = execute(&cmd, "!A(x) :- A(x).", None).unwrap_err();
         assert!(err.contains("bogus"));
@@ -353,15 +441,12 @@ mod tests {
 
     #[test]
     fn output_filter() {
-        let argv: Vec<String> =
-            "eval --semantics seminaive --output T p.dl".split_whitespace().map(String::from).collect();
+        let argv: Vec<String> = "eval --semantics seminaive --output T p.dl"
+            .split_whitespace()
+            .map(String::from)
+            .collect();
         let cmd = parse_args(&argv).unwrap().command;
-        let out = execute(
-            &cmd,
-            "T(x) :- A(x). U(x) :- A(x). A(1).",
-            None,
-        )
-        .unwrap();
+        let out = execute(&cmd, "T(x) :- A(x). U(x) :- A(x). A(1).", None).unwrap();
         assert!(out.contains("T(1)"));
         assert!(!out.contains("U(1)"));
     }
@@ -369,5 +454,88 @@ mod tests {
     #[test]
     fn parse_error_propagates() {
         assert!(execute(&eval_cmd("naive"), "T(x :- G(x).", None).is_err());
+    }
+
+    fn eval_cmd_with(sem: &str, extra: &str) -> Command {
+        let argv: Vec<String> = format!("eval --semantics {sem} p.dl f.dl {extra}")
+            .split_whitespace()
+            .map(String::from)
+            .collect();
+        parse_args(&argv).unwrap().command
+    }
+
+    #[test]
+    fn stats_flag_appends_stage_table() {
+        let out = execute_full(
+            &eval_cmd_with("seminaive", "--stats"),
+            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).",
+            Some("G(1,2). G(2,3). G(3,4)."),
+        )
+        .unwrap();
+        assert!(out.text.contains("T(1, 4)"));
+        assert!(out.text.contains("engine: seminaive"), "{}", out.text);
+        // Per-stage delta sizes: chain of 4 → deltas 3, 2, 1, 0.
+        assert!(out.text.contains("T=3"), "{}", out.text);
+        assert!(out.text.contains("T=1"), "{}", out.text);
+        assert!(out.text.contains("wall:"), "{}", out.text);
+        // No --trace-json requested → no JSON payload.
+        assert!(out.trace_json.is_none());
+    }
+
+    #[test]
+    fn trace_json_flag_yields_json_lines() {
+        let out = execute_full(
+            &eval_cmd_with("seminaive", "--trace-json out.jsonl"),
+            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).",
+            Some("G(1,2). G(2,3)."),
+        )
+        .unwrap();
+        // The answer text stays clean (no table without --stats)…
+        assert!(!out.text.contains("engine:"));
+        // …and the JSON-lines payload is present and well-formed.
+        let json = out.trace_json.expect("trace json");
+        let lines: Vec<&str> = json.lines().collect();
+        assert!(lines.len() >= 2, "{json}");
+        assert!(lines[0].starts_with("{\"type\":\"run\""), "{json}");
+        assert!(lines[0].contains("\"engine\":\"seminaive\""), "{json}");
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[1].contains("\"type\":\"stage\""), "{json}");
+    }
+
+    #[test]
+    fn stats_survive_divergence_errors() {
+        let err = execute_full(
+            &eval_cmd_with("noninflationary", "--stats"),
+            "T(0) :- T(1). !T(1) :- T(1). T(1) :- T(0). !T(0) :- T(0).",
+            Some("T(0)."),
+        )
+        .unwrap_err();
+        // The flip-flop diverges, but the stats table rides along with
+        // the error so the period-2 cycle is visible.
+        assert!(err.contains("diverge"), "{err}");
+        assert!(err.contains("engine: noninflationary"), "{err}");
+        assert!(err.contains("period 2"), "{err}");
+    }
+
+    #[test]
+    fn stats_flag_off_keeps_output_clean() {
+        let out =
+            execute_full(&eval_cmd("seminaive"), "T(x,y) :- G(x,y).", Some("G(1,2).")).unwrap();
+        assert!(!out.text.contains("engine:"));
+        assert!(out.trace_json.is_none());
+    }
+
+    #[test]
+    fn whilelang_stats_report_loop_iterations() {
+        let out = execute_full(
+            &eval_cmd_with("whilelang", "--stats"),
+            "while change do\n  T += { x, y | G(x,y) or exists z (T(x,z) & G(z,y)) };\nend",
+            Some("G(1,2). G(2,3). G(3,4)."),
+        )
+        .unwrap();
+        assert!(out.text.contains("engine: while"), "{}", out.text);
+        assert!(out.text.contains("loop iterations:"), "{}", out.text);
     }
 }

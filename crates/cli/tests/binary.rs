@@ -90,3 +90,39 @@ fn repl_session_over_stdin() {
     assert!(stdout.contains("T(1, 3)"), "{stdout}");
     assert!(stdout.contains("(given)"), "{stdout}");
 }
+
+#[test]
+fn run_stats_prints_table_and_writes_trace_json() {
+    let prog = write_temp(
+        "tc_stats.dl",
+        "T(x,y) :- G(x,y).\nT(x,y) :- G(x,z), T(z,y).\n",
+    );
+    let facts = write_temp("tc_stats_facts.dl", "G(1,2). G(2,3). G(3,4).\n");
+    let trace = std::env::temp_dir()
+        .join("unchained-bin-tests")
+        .join("tc_trace.jsonl");
+    let _ = std::fs::remove_file(&trace);
+    let out = bin()
+        .args(["run", "--semantics", "seminaive", "--stats", "--trace-json"])
+        .arg(&trace)
+        .arg(&prog)
+        .arg(&facts)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The answer, then the stats table with per-stage delta sizes and
+    // total timing.
+    assert!(stdout.contains("T(1, 4)"), "{stdout}");
+    assert!(stdout.contains("engine: seminaive"), "{stdout}");
+    assert!(stdout.contains("wall:"), "{stdout}");
+    assert!(stdout.contains("T=3"), "{stdout}");
+    // The trace file holds one JSON object per line.
+    let json = std::fs::read_to_string(&trace).unwrap();
+    let lines: Vec<&str> = json.lines().collect();
+    assert!(lines.len() >= 2, "{json}");
+    assert!(lines[0].starts_with("{\"type\":\"run\""), "{json}");
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    }
+}

@@ -12,7 +12,12 @@ fn corpus(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"))
 }
 
-fn eval(semantics: &str, program: &str, facts: Option<&str>, extra: &str) -> Result<String, String> {
+fn eval(
+    semantics: &str,
+    program: &str,
+    facts: Option<&str>,
+    extra: &str,
+) -> Result<String, String> {
     let argv: Vec<String> = format!("eval --semantics {semantics} p.dl {extra}")
         .split_whitespace()
         .map(String::from)
@@ -50,8 +55,13 @@ fn win_corpus_wellfounded() {
 #[test]
 fn ctc_corpora_agree() {
     let facts = "G(1,2). G(2,3).";
-    let strat = eval("stratified", &corpus("ctc_stratified.dl"), Some(facts), "--output CT")
-        .unwrap();
+    let strat = eval(
+        "stratified",
+        &corpus("ctc_stratified.dl"),
+        Some(facts),
+        "--output CT",
+    )
+    .unwrap();
     let infl = eval(
         "inflationary",
         &corpus("ctc_inflationary.dl"),
@@ -138,7 +148,9 @@ fn check_corpus_programs() {
         ("choice_parity.dl", "language: N-Datalog"),
         ("even_semipositive.dl", "language: semipositive Datalog¬"),
     ] {
-        let cmd = parse_args(&["check".into(), "p.dl".into()]).unwrap().command;
+        let cmd = parse_args(&["check".into(), "p.dl".into()])
+            .unwrap()
+            .command;
         let out = execute(&cmd, &corpus(file), None).unwrap();
         assert!(out.contains(expected), "{file}: {out}");
     }

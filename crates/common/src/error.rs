@@ -22,7 +22,11 @@ pub enum CommonError {
 impl fmt::Display for CommonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CommonError::ArityMismatch { name, expected, found } => write!(
+            CommonError::ArityMismatch {
+                name,
+                expected,
+                found,
+            } => write!(
                 f,
                 "arity mismatch for {name:?}: expected {expected}, found {found}"
             ),
@@ -44,7 +48,11 @@ mod tests {
     fn display_messages() {
         let mut i = Interner::new();
         let g = i.intern("G");
-        let e = CommonError::ArityMismatch { name: g, expected: 2, found: 3 };
+        let e = CommonError::ArityMismatch {
+            name: g,
+            expected: 2,
+            found: 3,
+        };
         assert!(e.to_string().contains("expected 2"));
         let u = CommonError::UnknownRelation(g);
         assert!(u.to_string().contains("unknown relation"));

@@ -55,7 +55,11 @@ impl Instance {
             .relations
             .entry(name)
             .or_insert_with(|| Relation::new(arity));
-        assert_eq!(rel.arity(), arity, "relation ensured with conflicting arity");
+        assert_eq!(
+            rel.arity(),
+            arity,
+            "relation ensured with conflicting arity"
+        );
         rel
     }
 
@@ -67,9 +71,7 @@ impl Instance {
 
     /// True iff the fact is present.
     pub fn contains_fact(&self, name: Symbol, tuple: &Tuple) -> bool {
-        self.relations
-            .get(&name)
-            .is_some_and(|r| r.contains(tuple))
+        self.relations.get(&name).is_some_and(|r| r.contains(tuple))
     }
 
     /// Iterates over `(symbol, relation)` pairs in symbol order.
@@ -162,7 +164,10 @@ impl Instance {
 
     /// Renders the instance for humans (sorted, one fact per line).
     pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayInstance<'a> {
-        DisplayInstance { instance: self, interner }
+        DisplayInstance {
+            instance: self,
+            interner,
+        }
     }
 }
 
@@ -179,7 +184,12 @@ impl fmt::Display for DisplayInstance<'_> {
                 if rel.arity() == 0 {
                     writeln!(f, "{}", self.interner.name(name))?;
                 } else {
-                    writeln!(f, "{}{}", self.interner.name(name), t.display(self.interner))?;
+                    writeln!(
+                        f,
+                        "{}{}",
+                        self.interner.name(name),
+                        t.display(self.interner)
+                    )?;
                 }
             }
         }

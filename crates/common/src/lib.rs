@@ -24,7 +24,9 @@ pub mod hash;
 pub mod instance;
 pub mod interner;
 pub mod relation;
+pub mod rng;
 pub mod schema;
+pub mod telemetry;
 pub mod tuple;
 pub mod value;
 
@@ -33,6 +35,10 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use instance::Instance;
 pub use interner::{Interner, Symbol};
 pub use relation::{Index, Relation};
+pub use rng::Rng;
 pub use schema::{RelationSchema, Schema};
+pub use telemetry::{
+    DivergenceSnapshot, EvalTrace, JoinCounters, StageRecord, Stopwatch, Telemetry,
+};
 pub use tuple::Tuple;
 pub use value::Value;

@@ -19,7 +19,11 @@ pub struct Relation {
 impl Relation {
     /// Creates an empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
-        Relation { arity, tuples: FxHashSet::default(), version: 0 }
+        Relation {
+            arity,
+            tuples: FxHashSet::default(),
+            version: 0,
+        }
     }
 
     /// Creates a relation from an iterator of tuples.
@@ -193,7 +197,11 @@ impl Index {
             let key: Box<[Value]> = key_columns.iter().map(|&c| t[c]).collect();
             buckets.entry(key).or_default().push(t.clone());
         }
-        Index { key_columns: key_columns.to_vec(), buckets, empty: Vec::new() }
+        Index {
+            key_columns: key_columns.to_vec(),
+            buckets,
+            empty: Vec::new(),
+        }
     }
 
     /// The key columns this index was built on.

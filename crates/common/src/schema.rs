@@ -44,7 +44,11 @@ impl Schema {
             Some(prev) if prev != arity => {
                 // Restore the previous declaration before failing.
                 self.relations.insert(name, prev);
-                Err(ArityConflict { name, declared: prev, conflicting: arity })
+                Err(ArityConflict {
+                    name,
+                    declared: prev,
+                    conflicting: arity,
+                })
             }
             _ => Ok(()),
         }
@@ -87,7 +91,10 @@ impl Schema {
 
     /// Renders the schema for humans.
     pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplaySchema<'a> {
-        DisplaySchema { schema: self, interner }
+        DisplaySchema {
+            schema: self,
+            interner,
+        }
     }
 }
 

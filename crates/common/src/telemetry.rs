@@ -1,0 +1,558 @@
+//! Zero-dependency evaluation telemetry: counters, monotonic timers,
+//! per-stage fixpoint traces, and a hand-rolled JSON-lines emitter.
+//!
+//! The paper's empirical story is about *how* forward chaining unfolds —
+//! stages of the immediate consequence operator, deltas shrinking to a
+//! fixpoint, divergence cycles in noninflationary runs. The engines
+//! record that unfolding into an [`EvalTrace`] through a [`Telemetry`]
+//! handle threaded through their options. A disabled handle (the
+//! default) is a no-op sink: the hot join counters are plain unguarded
+//! integer adds on the index cache, and everything stage-granular is
+//! skipped behind a single `Option` check per stage.
+//!
+//! Nothing here depends on `serde`/`tracing` — the offline build cannot
+//! fetch them, so the JSON emitter and table renderer are hand-rolled.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::rc::Rc;
+use std::time::Instant;
+
+use crate::{Interner, Symbol};
+
+/// Join-work counters, accumulated branch-free on the index cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinCounters {
+    /// Number of index probes performed.
+    pub probes: u64,
+    /// Total tuples returned by those probes.
+    pub probe_tuples: u64,
+    /// Number of hash indexes (re)built.
+    pub index_builds: u64,
+    /// Total tuples scanned while building indexes.
+    pub indexed_tuples: u64,
+}
+
+impl JoinCounters {
+    /// Component-wise difference against an earlier snapshot.
+    #[must_use]
+    pub fn since(&self, earlier: &JoinCounters) -> JoinCounters {
+        JoinCounters {
+            probes: self.probes - earlier.probes,
+            probe_tuples: self.probe_tuples - earlier.probe_tuples,
+            index_builds: self.index_builds - earlier.index_builds,
+            indexed_tuples: self.indexed_tuples - earlier.indexed_tuples,
+        }
+    }
+
+    /// Component-wise accumulation.
+    pub fn absorb(&mut self, other: &JoinCounters) {
+        self.probes += other.probes;
+        self.probe_tuples += other.probe_tuples;
+        self.index_builds += other.index_builds;
+        self.indexed_tuples += other.indexed_tuples;
+    }
+}
+
+/// One application of the immediate consequence operator (or the
+/// engine's closest analogue: a semi-naive round, an alternating-fixpoint
+/// iterate, a nondeterministic firing step…).
+#[derive(Clone, Debug, Default)]
+pub struct StageRecord {
+    /// 1-based stage index within the run.
+    pub stage: usize,
+    /// Wall time of the stage, in nanoseconds.
+    pub wall_nanos: u64,
+    /// Facts newly added this stage.
+    pub facts_added: usize,
+    /// Facts removed this stage (noninflationary semantics only).
+    pub facts_removed: usize,
+    /// Rule-body matches evaluated this stage (including rederivations).
+    pub rules_fired: u64,
+    /// Per-predicate cardinality of this stage's delta (added facts).
+    pub delta: Vec<(Symbol, usize)>,
+    /// Join work performed during this stage.
+    pub joins: JoinCounters,
+}
+
+/// Snapshot of the noninflationary divergence detector at run end.
+#[derive(Clone, Debug, Default)]
+pub struct DivergenceSnapshot {
+    /// Detector kind: `"exact"`, `"fingerprint"`, or `"off"`.
+    pub detector: String,
+    /// Distinct states remembered when the run ended.
+    pub states_seen: usize,
+    /// Stage at which a cycle was detected, if one was.
+    pub diverged_stage: Option<usize>,
+    /// Period of the detected cycle, if one was.
+    pub period: Option<usize>,
+}
+
+/// A full evaluation trace: per-stage records plus run-level summary.
+#[derive(Clone, Debug, Default)]
+pub struct EvalTrace {
+    /// Engine that produced the trace (`"naive"`, `"seminaive"`, …).
+    pub engine: String,
+    /// Per-stage records, in order.
+    pub stages: Vec<StageRecord>,
+    /// Total wall time of the run, in nanoseconds.
+    pub total_wall_nanos: u64,
+    /// Largest instance size observed at any stage boundary.
+    pub peak_facts: usize,
+    /// Instance size at run end.
+    pub final_facts: usize,
+    /// Total rule-body matches across stages.
+    pub rules_fired: u64,
+    /// Total join work across stages.
+    pub joins: JoinCounters,
+    /// Divergence-detector snapshot (noninflationary runs).
+    pub divergence: Option<DivergenceSnapshot>,
+    /// Values invented by the Datalog¬new engine.
+    pub invented: usize,
+    /// Candidate count at each nondeterministic choice point.
+    pub choice_points: Vec<usize>,
+    /// While-language loop iterations executed.
+    pub loop_iterations: usize,
+    /// Interner size after the run (set by the frontend, which owns it).
+    pub interner_symbols: usize,
+    /// Free-form annotations (strata, rewrites, candidate models…).
+    pub notes: Vec<String>,
+}
+
+impl EvalTrace {
+    /// Total facts added across all stages.
+    pub fn total_facts_added(&self) -> usize {
+        self.stages.iter().map(|s| s.facts_added).sum()
+    }
+
+    /// Fills the run-level summary from the stage records: total wall
+    /// time, final/peak sizes, and the stage sums for rules fired and
+    /// join work.
+    pub fn finish(&mut self, total_wall_nanos: u64, final_facts: usize) {
+        self.total_wall_nanos = total_wall_nanos;
+        self.final_facts = final_facts;
+        self.peak_facts = self.peak_facts.max(final_facts);
+        self.rules_fired = self.stages.iter().map(|s| s.rules_fired).sum();
+        let mut joins = JoinCounters::default();
+        for s in &self.stages {
+            joins.absorb(&s.joins);
+        }
+        self.joins = joins;
+    }
+
+    /// Renders the trace as JSON lines: one `run` object followed by one
+    /// `stage` object per stage. Predicate names resolve via `interner`.
+    pub fn to_json_lines(&self, interner: &Interner) -> String {
+        let mut out = String::new();
+        out.push_str("{\"type\":\"run\"");
+        push_json_str(&mut out, "engine", &self.engine);
+        let _ = write!(
+            out,
+            ",\"stages\":{},\"total_wall_nanos\":{},\"peak_facts\":{},\"final_facts\":{}",
+            self.stages.len(),
+            self.total_wall_nanos,
+            self.peak_facts,
+            self.final_facts
+        );
+        let _ = write!(out, ",\"rules_fired\":{}", self.rules_fired);
+        out.push_str(",\"joins\":");
+        push_joins(&mut out, &self.joins);
+        out.push_str(",\"divergence\":");
+        match &self.divergence {
+            None => out.push_str("null"),
+            Some(d) => {
+                out.push('{');
+                let _ = write!(out, "\"detector\":\"{}\"", json_escape(&d.detector));
+                let _ = write!(out, ",\"states_seen\":{}", d.states_seen);
+                match d.diverged_stage {
+                    Some(s) => {
+                        let _ = write!(out, ",\"diverged_stage\":{s}");
+                    }
+                    None => out.push_str(",\"diverged_stage\":null"),
+                }
+                match d.period {
+                    Some(p) => {
+                        let _ = write!(out, ",\"period\":{p}");
+                    }
+                    None => out.push_str(",\"period\":null"),
+                }
+                out.push('}');
+            }
+        }
+        let _ = write!(
+            out,
+            ",\"invented\":{},\"loop_iterations\":{},\"interner_symbols\":{}",
+            self.invented, self.loop_iterations, self.interner_symbols
+        );
+        out.push_str(",\"choice_points\":[");
+        for (i, c) in self.choice_points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push_str("],\"notes\":[");
+        for (i, n) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(n));
+        }
+        out.push_str("]}\n");
+
+        for s in &self.stages {
+            let _ = write!(
+                out,
+                "{{\"type\":\"stage\",\"stage\":{},\"wall_nanos\":{},\"facts_added\":{},\
+                 \"facts_removed\":{},\"rules_fired\":{}",
+                s.stage, s.wall_nanos, s.facts_added, s.facts_removed, s.rules_fired
+            );
+            out.push_str(",\"delta\":{");
+            for (i, (pred, n)) in s.delta.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{}\":{}", json_escape(interner.name(*pred)), n);
+            }
+            out.push_str("},\"joins\":");
+            push_joins(&mut out, &s.joins);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Renders the trace as a human-readable statistics table.
+    pub fn render_table(&self, interner: &Interner) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "engine: {}   stages: {}   wall: {}",
+            self.engine,
+            self.stages.len(),
+            fmt_nanos(self.total_wall_nanos)
+        );
+        let _ = writeln!(
+            out,
+            "facts: {} final (peak {})   rules fired: {}   probes: {} ({} tuples)   \
+             index builds: {} ({} tuples)",
+            self.final_facts,
+            self.peak_facts,
+            self.rules_fired,
+            self.joins.probes,
+            self.joins.probe_tuples,
+            self.joins.index_builds,
+            self.joins.indexed_tuples
+        );
+        if self.invented > 0 {
+            let _ = writeln!(out, "invented values: {}", self.invented);
+        }
+        if self.loop_iterations > 0 {
+            let _ = writeln!(out, "loop iterations: {}", self.loop_iterations);
+        }
+        if !self.choice_points.is_empty() {
+            let _ = writeln!(
+                out,
+                "choice points: {} (candidates per step: {})",
+                self.choice_points.len(),
+                self.choice_points
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+        }
+        if let Some(d) = &self.divergence {
+            let verdict = match (d.diverged_stage, d.period) {
+                (Some(s), Some(p)) => format!("cycle at stage {s}, period {p}"),
+                _ => "no cycle".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "divergence detector: {} ({} states seen, {verdict})",
+                d.detector, d.states_seen
+            );
+        }
+        if self.interner_symbols > 0 {
+            let _ = writeln!(out, "interner symbols: {}", self.interner_symbols);
+        }
+        if !self.stages.is_empty() {
+            let _ = writeln!(
+                out,
+                "{:>5} {:>8} {:>8} {:>8} {:>12}  delta",
+                "stage", "added", "removed", "fired", "wall"
+            );
+            for s in &self.stages {
+                let delta = s
+                    .delta
+                    .iter()
+                    .map(|(pred, n)| format!("{}={}", interner.name(*pred), n))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let _ = writeln!(
+                    out,
+                    "{:>5} {:>8} {:>8} {:>8} {:>12}  {}",
+                    s.stage,
+                    s.facts_added,
+                    s.facts_removed,
+                    s.rules_fired,
+                    fmt_nanos(s.wall_nanos),
+                    delta
+                );
+            }
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+}
+
+fn push_joins(out: &mut String, j: &JoinCounters) {
+    let _ = write!(
+        out,
+        "{{\"probes\":{},\"probe_tuples\":{},\"index_builds\":{},\"indexed_tuples\":{}}}",
+        j.probes, j.probe_tuples, j.index_builds, j.indexed_tuples
+    );
+}
+
+fn push_json_str(out: &mut String, key: &str, value: &str) {
+    let _ = write!(out, ",\"{key}\":\"{}\"", json_escape(value));
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds with an adaptive unit.
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// A monotonic timer that only reads the clock when telemetry is on.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch(Option<Instant>);
+
+impl Stopwatch {
+    /// A stopwatch that never reads the clock and reports 0.
+    pub fn disabled() -> Self {
+        Stopwatch(None)
+    }
+
+    /// Nanoseconds elapsed since creation (0 when disabled). Saturates
+    /// at `u64::MAX` (≈ 584 years).
+    pub fn nanos(&self) -> u64 {
+        self.0
+            .map(|t| u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX))
+            .unwrap_or(0)
+    }
+}
+
+/// A cheap, clonable handle to an optional [`EvalTrace`] sink.
+///
+/// Disabled (the default) it is a no-op: every recording method returns
+/// immediately after one `Option` check. Enabled, it shares one trace
+/// cell among all clones, so the handle can be threaded through options
+/// structs by value and read back by whoever created it.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry {
+    sink: Option<Rc<RefCell<EvalTrace>>>,
+}
+
+impl Telemetry {
+    /// The disabled (no-op) handle.
+    pub fn off() -> Self {
+        Telemetry { sink: None }
+    }
+
+    /// An enabled handle with an empty trace.
+    pub fn enabled() -> Self {
+        Telemetry {
+            sink: Some(Rc::new(RefCell::new(EvalTrace::default()))),
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Runs `f` on the trace if enabled; returns its result.
+    pub fn with<R>(&self, f: impl FnOnce(&mut EvalTrace) -> R) -> Option<R> {
+        self.sink.as_ref().map(|cell| f(&mut cell.borrow_mut()))
+    }
+
+    /// Resets the trace and names the engine. Call at run entry.
+    pub fn begin(&self, engine: &str) {
+        self.with(|t| {
+            *t = EvalTrace::default();
+            t.engine = engine.to_string();
+        });
+    }
+
+    /// Renames the engine without clearing the trace (wrapping engines
+    /// such as magic-sets claim the inner engine's trace this way).
+    pub fn rename(&self, engine: &str) {
+        self.with(|t| t.engine = engine.to_string());
+    }
+
+    /// Appends a free-form note.
+    pub fn note(&self, note: impl Into<String>) {
+        self.with(|t| t.notes.push(note.into()));
+    }
+
+    /// A stopwatch that is live only when telemetry is enabled.
+    pub fn stopwatch(&self) -> Stopwatch {
+        if self.sink.is_some() {
+            Stopwatch(Some(Instant::now()))
+        } else {
+            Stopwatch::disabled()
+        }
+    }
+
+    /// Fills the run-level summary (see [`EvalTrace::finish`]).
+    pub fn finish(&self, sw: &Stopwatch, final_facts: usize) {
+        let nanos = sw.nanos();
+        self.with(|t| t.finish(nanos, final_facts));
+    }
+
+    /// Clones the current trace out of the handle, if enabled.
+    pub fn snapshot(&self) -> Option<EvalTrace> {
+        self.with(|t| t.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let tel = Telemetry::off();
+        assert!(!tel.is_enabled());
+        tel.begin("x");
+        tel.note("ignored");
+        assert_eq!(tel.with(|_| ()), None);
+        assert!(tel.snapshot().is_none());
+        assert_eq!(tel.stopwatch().nanos(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_trace() {
+        let tel = Telemetry::enabled();
+        let other = tel.clone();
+        other.begin("seminaive");
+        other.note("hello");
+        let trace = tel.snapshot().unwrap();
+        assert_eq!(trace.engine, "seminaive");
+        assert_eq!(trace.notes, vec!["hello".to_string()]);
+    }
+
+    #[test]
+    fn finish_sums_stages() {
+        let tel = Telemetry::enabled();
+        tel.begin("naive");
+        tel.with(|t| {
+            t.stages.push(StageRecord {
+                stage: 1,
+                facts_added: 3,
+                rules_fired: 5,
+                joins: JoinCounters {
+                    probes: 2,
+                    probe_tuples: 7,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+            t.stages.push(StageRecord {
+                stage: 2,
+                facts_added: 1,
+                rules_fired: 4,
+                joins: JoinCounters {
+                    probes: 1,
+                    probe_tuples: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            });
+        });
+        tel.finish(&Stopwatch::disabled(), 10);
+        let t = tel.snapshot().unwrap();
+        assert_eq!(t.rules_fired, 9);
+        assert_eq!(t.joins.probes, 3);
+        assert_eq!(t.joins.probe_tuples, 8);
+        assert_eq!(t.final_facts, 10);
+        assert_eq!(t.total_facts_added(), 4);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_lines_shape() {
+        let interner = Interner::new();
+        let mut trace = EvalTrace {
+            engine: "naive".into(),
+            ..Default::default()
+        };
+        trace.stages.push(StageRecord {
+            stage: 1,
+            facts_added: 2,
+            ..Default::default()
+        });
+        trace.finish(42, 2);
+        let text = trace.to_json_lines(&interner);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"type\":\"run\""));
+        assert!(lines[0].contains("\"engine\":\"naive\""));
+        assert!(lines[1].starts_with("{\"type\":\"stage\""));
+        assert!(lines[1].contains("\"facts_added\":2"));
+    }
+
+    #[test]
+    fn table_mentions_stages_and_engine() {
+        let mut interner = Interner::new();
+        let t_sym = interner.intern("T");
+        let mut trace = EvalTrace {
+            engine: "seminaive".into(),
+            ..Default::default()
+        };
+        trace.stages.push(StageRecord {
+            stage: 1,
+            facts_added: 4,
+            delta: vec![(t_sym, 4)],
+            ..Default::default()
+        });
+        trace.finish(1_500, 4);
+        let table = trace.render_table(&interner);
+        assert!(table.contains("engine: seminaive"));
+        assert!(table.contains("T=4"));
+        assert!(table.contains("1.5µs"));
+    }
+}

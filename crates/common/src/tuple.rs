@@ -40,7 +40,10 @@ impl Tuple {
 
     /// Renders the tuple for humans, e.g. `('a', 3)`.
     pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayTuple<'a> {
-        DisplayTuple { tuple: self, interner }
+        DisplayTuple {
+            tuple: self,
+            interner,
+        }
     }
 }
 
@@ -111,7 +114,10 @@ mod tests {
     #[test]
     fn projection() {
         let t = Tuple::from([Value::Int(10), Value::Int(20), Value::Int(30)]);
-        assert_eq!(t.project(&[2, 0]), Tuple::from([Value::Int(30), Value::Int(10)]));
+        assert_eq!(
+            t.project(&[2, 0]),
+            Tuple::from([Value::Int(30), Value::Int(10)])
+        );
         assert_eq!(t.project(&[]), Tuple::from([]));
     }
 

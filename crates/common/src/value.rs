@@ -39,7 +39,10 @@ impl Value {
     /// Renders the value for humans; symbols are resolved through the
     /// interner.
     pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayValue<'a> {
-        DisplayValue { value: self, interner }
+        DisplayValue {
+            value: self,
+            interner,
+        }
     }
 }
 

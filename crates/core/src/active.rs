@@ -49,12 +49,18 @@ pub struct Update {
 impl Update {
     /// An update inserting one fact.
     pub fn insert(pred: Symbol, tuple: Tuple) -> Self {
-        Update { insertions: vec![(pred, tuple)], deletions: vec![] }
+        Update {
+            insertions: vec![(pred, tuple)],
+            deletions: vec![],
+        }
     }
 
     /// An update deleting one fact.
     pub fn delete(pred: Symbol, tuple: Tuple) -> Self {
-        Update { insertions: vec![], deletions: vec![(pred, tuple)] }
+        Update {
+            insertions: vec![],
+            deletions: vec![(pred, tuple)],
+        }
     }
 
     /// Adds an insertion (builder style).
@@ -99,7 +105,11 @@ impl ActiveDatabase {
     /// Rejects non-range-restricted rules.
     pub fn new(program: Program, state: Instance) -> Result<Self, EvalError> {
         check_range_restricted(&program, false)?;
-        Ok(ActiveDatabase { program, state, max_rounds: 10_000 })
+        Ok(ActiveDatabase {
+            program,
+            state,
+            max_rounds: 10_000,
+        })
     }
 
     /// Applies `update` and fires triggers until quiescence.
@@ -112,7 +122,11 @@ impl ActiveDatabase {
         interner: &mut Interner,
     ) -> Result<ActiveReport, EvalError> {
         // Apply the external update; effective changes seed the deltas.
-        let mut report = ActiveReport { rounds: 0, inserted: 0, deleted: 0 };
+        let mut report = ActiveReport {
+            rounds: 0,
+            inserted: 0,
+            deleted: 0,
+        };
         let mut delta_ins: Vec<(Symbol, Tuple)> = Vec::new();
         let mut delta_del: Vec<(Symbol, Tuple)> = Vec::new();
         for (pred, tuple) in update.insertions {
@@ -182,15 +196,21 @@ impl ActiveDatabase {
                     HeadLiteral::Neg(a) => (a.pred, &a.args, true),
                     HeadLiteral::Bottom => continue,
                 };
-                let _ = for_each_match(plan, Sources::simple(&view), &adom, &mut cache, &mut |env| {
-                    let tuple = instantiate(args, env);
-                    if negative {
-                        req_del.insert((pred, tuple));
-                    } else {
-                        req_ins.insert((pred, tuple));
-                    }
-                    ControlFlow::Continue(())
-                });
+                let _ = for_each_match(
+                    plan,
+                    Sources::simple(&view),
+                    &adom,
+                    &mut cache,
+                    &mut |env| {
+                        let tuple = instantiate(args, env);
+                        if negative {
+                            req_del.insert((pred, tuple));
+                        } else {
+                            req_ins.insert((pred, tuple));
+                        }
+                        ControlFlow::Continue(())
+                    },
+                );
             }
             // Effective changes (insertion priority on conflicts, as in
             // the paper's Datalog¬¬ semantics).
@@ -283,13 +303,24 @@ mod tests {
         let mut db = ActiveDatabase::new(program, Instance::new()).unwrap();
         let e = sym(&mut i, "eve");
         let d = sym(&mut i, "rnd");
-        let report = db.apply(Update::insert(emp, Tuple::from([e, d])), &mut i).unwrap();
+        let report = db
+            .apply(Update::insert(emp, Tuple::from([e, d])), &mut i)
+            .unwrap();
         assert!(db.state.contains_fact(log, &Tuple::from([e, d])));
         // emp insert + log insert.
         assert_eq!(report.inserted, 2);
         // Re-inserting an existing fact is a no-op: no deltas, no firing.
-        let report = db.apply(Update::insert(emp, Tuple::from([e, d])), &mut i).unwrap();
-        assert_eq!(report, ActiveReport { rounds: 0, inserted: 0, deleted: 0 });
+        let report = db
+            .apply(Update::insert(emp, Tuple::from([e, d])), &mut i)
+            .unwrap();
+        assert_eq!(
+            report,
+            ActiveReport {
+                rounds: 0,
+                inserted: 0,
+                deleted: 0
+            }
+        );
     }
 
     /// Repair trigger: deleting a protected fact re-inserts it
@@ -297,8 +328,8 @@ mod tests {
     #[test]
     fn compensating_trigger_restores_protected_fact() {
         let mut i = Interner::new();
-        let program = parse_program("config(k, v) :- del-config(k, v), protected(k).", &mut i)
-            .unwrap();
+        let program =
+            parse_program("config(k, v) :- del-config(k, v), protected(k).", &mut i).unwrap();
         let config = i.get("config").unwrap();
         let protected = i.get("protected").unwrap();
         let mut state = Instance::new();
@@ -307,7 +338,9 @@ mod tests {
         state.insert_fact(config, Tuple::from([k, v]));
         state.insert_fact(protected, Tuple::from([k]));
         let mut db = ActiveDatabase::new(program, state).unwrap();
-        let report = db.apply(Update::delete(config, Tuple::from([k, v])), &mut i).unwrap();
+        let report = db
+            .apply(Update::delete(config, Tuple::from([k, v])), &mut i)
+            .unwrap();
         assert!(db.state.contains_fact(config, &Tuple::from([k, v])));
         assert_eq!(report.deleted, 1);
         assert_eq!(report.inserted, 1);
@@ -320,8 +353,7 @@ mod tests {
         let mut i = Interner::new();
         // Delete on insert, re-insert on delete: each round undoes the
         // previous one forever.
-        let program =
-            parse_program("!A(x) :- ins-A(x). A(x) :- del-A(x).", &mut i).unwrap();
+        let program = parse_program("!A(x) :- ins-A(x). A(x) :- del-A(x).", &mut i).unwrap();
         let a = i.intern("A");
         let mut db = ActiveDatabase::new(program, Instance::new()).unwrap();
         db.max_rounds = 30;
@@ -334,11 +366,8 @@ mod tests {
     #[test]
     fn mixed_update_seeds_both_deltas() {
         let mut i = Interner::new();
-        let program = parse_program(
-            "sawins(x) :- ins-R(x). sawdel(x) :- del-R(x).",
-            &mut i,
-        )
-        .unwrap();
+        let program =
+            parse_program("sawins(x) :- ins-R(x). sawdel(x) :- del-R(x).", &mut i).unwrap();
         let r = i.intern("R");
         let sawins = i.get("sawins").unwrap();
         let sawdel = i.get("sawdel").unwrap();
@@ -348,7 +377,11 @@ mod tests {
         let update = Update::insert(r, Tuple::from([Value::Int(2)]))
             .and_delete(r, Tuple::from([Value::Int(1)]));
         db.apply(update, &mut i).unwrap();
-        assert!(db.state.contains_fact(sawins, &Tuple::from([Value::Int(2)])));
-        assert!(db.state.contains_fact(sawdel, &Tuple::from([Value::Int(1)])));
+        assert!(db
+            .state
+            .contains_fact(sawins, &Tuple::from([Value::Int(2)])));
+        assert!(db
+            .state
+            .contains_fact(sawdel, &Tuple::from([Value::Int(1)])));
     }
 }

@@ -45,7 +45,10 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::Analysis(e) => write!(f, "{e}"),
-            EvalError::WrongLanguage { engine_accepts, found } => write!(
+            EvalError::WrongLanguage {
+                engine_accepts,
+                found,
+            } => write!(
                 f,
                 "program is in {found}, but this engine accepts at most {engine_accepts}"
             ),
@@ -85,7 +88,10 @@ mod tests {
 
     #[test]
     fn display_mentions_key_facts() {
-        let e = EvalError::Diverged { stage: 7, period: 2 };
+        let e = EvalError::Diverged {
+            stage: 7,
+            period: 2,
+        };
         let s = e.to_string();
         assert!(s.contains('7') && s.contains('2'));
         let e = EvalError::WrongLanguage {

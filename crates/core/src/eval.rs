@@ -17,7 +17,7 @@
 //!    across fixpoint iterations, invalidated by relation version.
 
 use std::ops::ControlFlow;
-use unchained_common::{FxHashMap, Index, Instance, Relation, Symbol, Tuple, Value};
+use unchained_common::{FxHashMap, Index, Instance, JoinCounters, Relation, Symbol, Tuple, Value};
 use unchained_parser::{Literal, Rule, Term, Var};
 
 /// Where a scan reads from: the full relation or the per-iteration delta
@@ -120,24 +120,32 @@ pub fn plan_body(rule: &Rule, literals: &[&Literal], vars_to_bind: &[Var]) -> Pl
             if state[i] == LitState::Done {
                 continue;
             }
-            let ready = lit
-                .vars()
-                .iter()
-                .all(|v| bound[v.index()]);
+            let ready = lit.vars().iter().all(|v| bound[v.index()]);
             if !ready {
                 continue;
             }
             match lit {
                 Literal::Neg(atom) => {
-                    steps.push(Step::CheckNeg { pred: atom.pred, args: atom.args.clone() });
+                    steps.push(Step::CheckNeg {
+                        pred: atom.pred,
+                        args: atom.args.clone(),
+                    });
                     state[i] = LitState::Done;
                 }
                 Literal::Eq(l, r) => {
-                    steps.push(Step::CheckCmp { left: *l, right: *r, equal: true });
+                    steps.push(Step::CheckCmp {
+                        left: *l,
+                        right: *r,
+                        equal: true,
+                    });
                     state[i] = LitState::Done;
                 }
                 Literal::Neq(l, r) => {
-                    steps.push(Step::CheckCmp { left: *l, right: *r, equal: false });
+                    steps.push(Step::CheckCmp {
+                        left: *l,
+                        right: *r,
+                        equal: false,
+                    });
                     state[i] = LitState::Done;
                 }
                 Literal::Pos(_) => {
@@ -190,11 +198,7 @@ pub fn plan_body(rule: &Rule, literals: &[&Literal], vars_to_bind: &[Var]) -> Pl
                 continue;
             }
             if let Literal::Pos(atom) = lit {
-                let known = atom
-                    .args
-                    .iter()
-                    .filter(|t| term_known(t, &bound))
-                    .count();
+                let known = atom.args.iter().filter(|t| term_known(t, &bound)).count();
                 // Prefer more bound columns; tie-break on source order.
                 if best.is_none_or(|(_, k)| known > k) {
                     best = Some((i, known));
@@ -202,7 +206,9 @@ pub fn plan_body(rule: &Rule, literals: &[&Literal], vars_to_bind: &[Var]) -> Pl
             }
         }
         if let Some((i, _)) = best {
-            let Literal::Pos(atom) = literals[i] else { unreachable!() };
+            let Literal::Pos(atom) = literals[i] else {
+                unreachable!()
+            };
             let key: Vec<usize> = atom
                 .args
                 .iter()
@@ -227,10 +233,7 @@ pub fn plan_body(rule: &Rule, literals: &[&Literal], vars_to_bind: &[Var]) -> Pl
 
         // 3. Still-unbound variable that the caller needs: enumerate it
         //    over the active domain.
-        let next_unbound = vars_to_bind
-            .iter()
-            .copied()
-            .find(|v| !bound[v.index()]);
+        let next_unbound = vars_to_bind.iter().copied().find(|v| !bound[v.index()]);
         if let Some(v) = next_unbound {
             steps.push(Step::Domain { var: v });
             bound[v.index()] = true;
@@ -244,7 +247,10 @@ pub fn plan_body(rule: &Rule, literals: &[&Literal], vars_to_bind: &[Var]) -> Pl
         state.iter().all(|s| *s == LitState::Done),
         "planner left literals unscheduled"
     );
-    Plan { steps, var_count: rule.var_count() }
+    Plan {
+        steps,
+        var_count: rule.var_count(),
+    }
 }
 
 /// Plans a rule's full body, requiring all body variables bound.
@@ -285,6 +291,10 @@ type IndexKey = (Symbol, Box<[usize]>, ScanSource);
 #[derive(Default)]
 pub struct IndexCache {
     entries: FxHashMap<IndexKey, (u64, Index)>,
+    /// Join-work counters, incremented unconditionally (plain integer
+    /// adds — the telemetry-off path stays branch-free). Engines
+    /// snapshot and diff this per stage when telemetry is enabled.
+    pub counters: JoinCounters,
 }
 
 impl IndexCache {
@@ -296,7 +306,8 @@ impl IndexCache {
     /// Drops all delta-source entries. Call whenever the delta instance
     /// changes (its relation versions are not comparable across rounds).
     pub fn begin_delta_round(&mut self) {
-        self.entries.retain(|(_, _, source), _| *source == ScanSource::Full);
+        self.entries
+            .retain(|(_, _, source), _| *source == ScanSource::Full);
     }
 
     fn get(
@@ -307,11 +318,15 @@ impl IndexCache {
         relation: &Relation,
     ) -> &Index {
         let key = (pred, cols.to_vec().into_boxed_slice(), source);
-        let entry = self.entries.entry(key).or_insert_with(|| {
+        let counters = &mut self.counters;
+        let mut build = |relation: &Relation| {
+            counters.index_builds += 1;
+            counters.indexed_tuples += relation.len() as u64;
             (relation.version(), Index::build(relation, cols))
-        });
+        };
+        let entry = self.entries.entry(key).or_insert_with(|| build(relation));
         if entry.0 != relation.version() {
-            *entry = (relation.version(), Index::build(relation, cols));
+            *entry = build(relation);
         }
         &entry.1
     }
@@ -356,7 +371,11 @@ pub struct Sources<'a> {
 impl<'a> Sources<'a> {
     /// Sources reading everything from one instance.
     pub fn simple(full: &'a Instance) -> Self {
-        Sources { full, delta: None, neg: None }
+        Sources {
+            full,
+            delta: None,
+            neg: None,
+        }
     }
 }
 
@@ -387,12 +406,17 @@ fn run_steps(
         return on_match(env);
     };
     match step {
-        Step::Scan { pred, args, key, source } => {
+        Step::Scan {
+            pred,
+            args,
+            key,
+            source,
+        } => {
             let instance = match source {
                 ScanSource::Full => sources.full,
-                ScanSource::Delta => {
-                    sources.delta.expect("delta plan run without delta instance")
-                }
+                ScanSource::Delta => sources
+                    .delta
+                    .expect("delta plan run without delta instance"),
             };
             let Some(relation) = instance.relation(*pred) else {
                 return ControlFlow::Continue(()); // absent relation = empty
@@ -402,8 +426,12 @@ fn run_steps(
             // The borrow checker will not let us hold the index across the
             // recursive call (which needs `cache`), so clone the matching
             // tuples. Buckets are typically small.
-            let matches: Vec<Tuple> =
-                cache.get(*pred, key, *source, relation).probe(&probe).to_vec();
+            let matches: Vec<Tuple> = cache
+                .get(*pred, key, *source, relation)
+                .probe(&probe)
+                .to_vec();
+            cache.counters.probes += 1;
+            cache.counters.probe_tuples += matches.len() as u64;
             'tuples: for tuple in matches {
                 // Bind non-key positions, checking repeated variables.
                 let mut newly_bound: Vec<usize> = Vec::new();
@@ -515,10 +543,16 @@ mod tests {
         let mut cache = IndexCache::new();
         let mut out = Vec::new();
         let n_vars = rule.var_count();
-        let _ = for_each_match(&plan, Sources::simple(&instance), &adom, &mut cache, &mut |env| {
-            out.push((0..n_vars).map(|i| env[i].unwrap()).collect::<Vec<_>>());
-            ControlFlow::Continue(())
-        });
+        let _ = for_each_match(
+            &plan,
+            Sources::simple(&instance),
+            &adom,
+            &mut cache,
+            &mut |env| {
+                out.push((0..n_vars).map(|i| env[i].unwrap()).collect::<Vec<_>>());
+                ControlFlow::Continue(())
+            },
+        );
         out.sort();
         (out, program)
     }
@@ -530,16 +564,17 @@ mod tests {
             &[("G", vec![1, 2]), ("G", vec![2, 3])],
         );
         // x=1, y=3, z=2 (vars in first-occurrence order: x, y, z).
-        assert_eq!(matches, vec![vec![Value::Int(1), Value::Int(3), Value::Int(2)]]);
+        assert_eq!(
+            matches,
+            vec![vec![Value::Int(1), Value::Int(3), Value::Int(2)]]
+        );
     }
 
     #[test]
     fn negative_only_rule_ranges_over_adom() {
         // CT(x,y) :- !T(x,y). — x, y enumerate the active domain.
-        let (matches, _) = collect_matches(
-            "CT(x,y) :- !T(x,y).",
-            &[("T", vec![1, 1]), ("E", vec![2])],
-        );
+        let (matches, _) =
+            collect_matches("CT(x,y) :- !T(x,y).", &[("T", vec![1, 1]), ("E", vec![2])]);
         // adom = {1, 2}; all pairs except (1,1).
         assert_eq!(matches.len(), 3);
         assert!(!matches.contains(&vec![Value::Int(1), Value::Int(1)]));
@@ -547,19 +582,15 @@ mod tests {
 
     #[test]
     fn repeated_variables_in_atom() {
-        let (matches, _) = collect_matches(
-            "L(x) :- G(x,x).",
-            &[("G", vec![1, 2]), ("G", vec![3, 3])],
-        );
+        let (matches, _) =
+            collect_matches("L(x) :- G(x,x).", &[("G", vec![1, 2]), ("G", vec![3, 3])]);
         assert_eq!(matches, vec![vec![Value::Int(3)]]);
     }
 
     #[test]
     fn constants_in_atoms() {
-        let (matches, _) = collect_matches(
-            "P(x) :- G(1,x).",
-            &[("G", vec![1, 2]), ("G", vec![2, 3])],
-        );
+        let (matches, _) =
+            collect_matches("P(x) :- G(1,x).", &[("G", vec![1, 2]), ("G", vec![2, 3])]);
         assert_eq!(matches, vec![vec![Value::Int(2)]]);
     }
 
@@ -580,10 +611,7 @@ mod tests {
     #[test]
     fn equality_can_introduce_domain_var() {
         // y bound through equality to x which is scanned.
-        let (matches, _) = collect_matches(
-            "P(y) :- G(x,x), y = x.",
-            &[("G", vec![3, 3])],
-        );
+        let (matches, _) = collect_matches("P(y) :- G(x,x), y = x.", &[("G", vec![3, 3])]);
         assert_eq!(matches, vec![vec![Value::Int(3), Value::Int(3)]]);
     }
 
@@ -612,7 +640,15 @@ mod tests {
         let delta_scans = variants[0]
             .steps
             .iter()
-            .filter(|s| matches!(s, Step::Scan { source: ScanSource::Delta, .. }))
+            .filter(|s| {
+                matches!(
+                    s,
+                    Step::Scan {
+                        source: ScanSource::Delta,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(delta_scans, 1);
         // Non-recursive rule: no variants.
@@ -634,10 +670,16 @@ mod tests {
         let plan = plan_rule(&program.rules[0]);
         let mut cache = IndexCache::new();
         let mut count = 0;
-        let _ = for_each_match(&plan, Sources::simple(&instance), &adom, &mut cache, &mut |_| {
-            count += 1;
-            ControlFlow::Break(())
-        });
+        let _ = for_each_match(
+            &plan,
+            Sources::simple(&instance),
+            &adom,
+            &mut cache,
+            &mut |_| {
+                count += 1;
+                ControlFlow::Break(())
+            },
+        );
         assert_eq!(count, 1);
     }
 
@@ -648,8 +690,20 @@ mod tests {
         let mut rel = Relation::new(1);
         rel.insert(Tuple::from([Value::Int(1)]));
         let mut cache = IndexCache::new();
-        assert_eq!(cache.get(g, &[0], ScanSource::Full, &rel).probe(&[Value::Int(1)]).len(), 1);
+        assert_eq!(
+            cache
+                .get(g, &[0], ScanSource::Full, &rel)
+                .probe(&[Value::Int(1)])
+                .len(),
+            1
+        );
         rel.insert(Tuple::from([Value::Int(2)]));
-        assert_eq!(cache.get(g, &[0], ScanSource::Full, &rel).probe(&[Value::Int(2)]).len(), 1);
+        assert_eq!(
+            cache
+                .get(g, &[0], ScanSource::Full, &rel)
+                .probe(&[Value::Int(2)])
+                .len(),
+            1
+        );
     }
 }

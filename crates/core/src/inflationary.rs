@@ -18,8 +18,31 @@ use crate::eval::{
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::Instance;
+use unchained_common::{Instance, StageRecord, Symbol};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
+
+/// Merges `new_facts` into `instance`, reporting whether anything
+/// changed and (only when `enabled`) the per-predicate delta counts.
+fn merge_new_facts(
+    instance: &mut Instance,
+    new_facts: Vec<(Symbol, unchained_common::Tuple)>,
+    enabled: bool,
+) -> (bool, Vec<(Symbol, usize)>) {
+    let mut changed = false;
+    let mut delta: Vec<(Symbol, usize)> = Vec::new();
+    for (pred, tuple) in new_facts {
+        if instance.insert_fact(pred, tuple) {
+            changed = true;
+            if enabled {
+                match delta.iter_mut().find(|(p, _)| *p == pred) {
+                    Some((_, n)) => *n += 1,
+                    None => delta.push((pred, 1)),
+                }
+            }
+        }
+    }
+    (changed, delta)
+}
 
 /// Evaluates a Datalog¬ program under the inflationary semantics.
 ///
@@ -49,12 +72,19 @@ pub fn eval(
         instance.ensure(pred, schema.arity(pred).expect("idb has arity"));
     }
 
+    let tel = &options.telemetry;
+    tel.begin("inflationary");
+    let run_sw = tel.stopwatch();
+
     let mut stages = 0;
     loop {
         stages += 1;
         if options.max_stages.is_some_and(|m| stages > m) {
             return Err(EvalError::StageLimitExceeded(stages - 1));
         }
+        let stage_sw = tel.stopwatch();
+        let joins_before = cache.counters;
+        let mut fired: u64 = 0;
         // One parallel firing: all rules read the same instance; newly
         // inferred facts only become visible at the next stage.
         let mut new_facts = Vec::new();
@@ -62,25 +92,39 @@ pub fn eval(
             let HeadLiteral::Pos(head) = &rule.head[0] else {
                 unreachable!("Datalog¬ heads are positive")
             };
-            let _ = for_each_match(plan, Sources::simple(&instance), &adom, &mut cache, &mut |env| {
-                let tuple = instantiate(&head.args, env);
-                if !instance.contains_fact(head.pred, &tuple) {
-                    new_facts.push((head.pred, tuple));
-                }
-                ControlFlow::Continue(())
+            let _ = for_each_match(
+                plan,
+                Sources::simple(&instance),
+                &adom,
+                &mut cache,
+                &mut |env| {
+                    fired += 1;
+                    let tuple = instantiate(&head.args, env);
+                    if !instance.contains_fact(head.pred, &tuple) {
+                        new_facts.push((head.pred, tuple));
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
+        }
+        let (changed, delta) = merge_new_facts(&mut instance, new_facts, tel.is_enabled());
+        tel.with(|t| {
+            t.stages.push(StageRecord {
+                stage: stages,
+                wall_nanos: stage_sw.nanos(),
+                facts_added: delta.iter().map(|(_, n)| n).sum(),
+                facts_removed: 0,
+                rules_fired: fired,
+                delta,
+                joins: cache.counters.since(&joins_before),
             });
-        }
-        let mut changed = false;
-        for (pred, tuple) in new_facts {
-            changed |= instance.insert_fact(pred, tuple);
-        }
+            t.peak_facts = t.peak_facts.max(instance.fact_count());
+        });
         if !changed {
+            tel.finish(&run_sw, instance.fact_count());
             return Ok(FixpointRun { instance, stages });
         }
-        if options
-            .max_facts
-            .is_some_and(|m| instance.fact_count() > m)
-        {
+        if options.max_facts.is_some_and(|m| instance.fact_count() > m) {
             return Err(EvalError::FactLimitExceeded(instance.fact_count()));
         }
     }
@@ -118,6 +162,8 @@ pub fn eval_seminaive(
         program.idb().into_iter().collect();
     let rules: Vec<&unchained_parser::Rule> = program.rules.iter().collect();
     let mut cache = IndexCache::new();
+    options.telemetry.begin("inflationary-seminaive");
+    let run_sw = options.telemetry.stopwatch();
     let stages = crate::seminaive::seminaive_fixpoint(
         &rules,
         &mut instance,
@@ -126,6 +172,7 @@ pub fn eval_seminaive(
         &mut cache,
         &options,
     )?;
+    options.telemetry.finish(&run_sw, instance.fact_count());
     Ok(FixpointRun { instance, stages })
 }
 
@@ -140,7 +187,8 @@ pub struct TracedRun {
     pub stages: usize,
     /// `birth[(pred, tuple)]` = stage at which the fact was first
     /// inferred (input facts are not recorded).
-    pub birth: unchained_common::FxHashMap<(unchained_common::Symbol, unchained_common::Tuple), usize>,
+    pub birth:
+        unchained_common::FxHashMap<(unchained_common::Symbol, unchained_common::Tuple), usize>,
 }
 
 impl TracedRun {
@@ -175,39 +223,75 @@ pub fn eval_traced(
     }
     let mut birth = unchained_common::FxHashMap::default();
 
+    let tel = &options.telemetry;
+    tel.begin("inflationary-traced");
+    let run_sw = tel.stopwatch();
+
     let mut stages = 0;
     loop {
         stages += 1;
         if options.max_stages.is_some_and(|m| stages > m) {
             return Err(EvalError::StageLimitExceeded(stages - 1));
         }
+        let stage_sw = tel.stopwatch();
+        let joins_before = cache.counters;
+        let mut fired: u64 = 0;
         let mut new_facts = Vec::new();
         for (rule, plan) in program.rules.iter().zip(&plans) {
             let HeadLiteral::Pos(head) = &rule.head[0] else {
                 unreachable!("Datalog¬ heads are positive")
             };
-            let _ = for_each_match(plan, Sources::simple(&instance), &adom, &mut cache, &mut |env| {
-                let tuple = instantiate(&head.args, env);
-                if !instance.contains_fact(head.pred, &tuple) {
-                    new_facts.push((head.pred, tuple));
-                }
-                ControlFlow::Continue(())
-            });
+            let _ = for_each_match(
+                plan,
+                Sources::simple(&instance),
+                &adom,
+                &mut cache,
+                &mut |env| {
+                    fired += 1;
+                    let tuple = instantiate(&head.args, env);
+                    if !instance.contains_fact(head.pred, &tuple) {
+                        new_facts.push((head.pred, tuple));
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
         }
+        let enabled = tel.is_enabled();
         let mut changed = false;
+        let mut delta: Vec<(Symbol, usize)> = Vec::new();
         for (pred, tuple) in new_facts {
             if instance.insert_fact(pred, tuple.clone()) {
                 changed = true;
                 birth.entry((pred, tuple)).or_insert(stages);
+                if enabled {
+                    match delta.iter_mut().find(|(p, _)| *p == pred) {
+                        Some((_, n)) => *n += 1,
+                        None => delta.push((pred, 1)),
+                    }
+                }
             }
         }
+        tel.with(|t| {
+            t.stages.push(StageRecord {
+                stage: stages,
+                wall_nanos: stage_sw.nanos(),
+                facts_added: delta.iter().map(|(_, n)| n).sum(),
+                facts_removed: 0,
+                rules_fired: fired,
+                delta: std::mem::take(&mut delta),
+                joins: cache.counters.since(&joins_before),
+            });
+            t.peak_facts = t.peak_facts.max(instance.fact_count());
+        });
         if !changed {
-            return Ok(TracedRun { instance, stages, birth });
+            tel.finish(&run_sw, instance.fact_count());
+            return Ok(TracedRun {
+                instance,
+                stages,
+                birth,
+            });
         }
-        if options
-            .max_facts
-            .is_some_and(|m| instance.fact_count() > m)
-        {
+        if options.max_facts.is_some_and(|m| instance.fact_count() > m) {
             return Err(EvalError::FactLimitExceeded(instance.fact_count()));
         }
     }
@@ -265,7 +349,11 @@ mod tests {
         // Exhaustive check against a distance oracle.
         let dist = |a: i64, b: i64| -> i64 {
             // distance in the 3-line (∞ → i64::MAX)
-            if a < b { b - a } else { i64::MAX }
+            if a < b {
+                b - a
+            } else {
+                i64::MAX
+            }
         };
         for x in 0..3i64 {
             for y in 0..3i64 {
@@ -345,12 +433,10 @@ mod tests {
     #[test]
     fn matches_minimum_model_on_pure_datalog() {
         let mut i = Interner::new();
-        let program =
-            parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
+        let program = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
         let input = line(&mut i, 6);
         let inf = eval(&program, &input, EvalOptions::default()).unwrap();
-        let mm = crate::seminaive::minimum_model(&program, &input, EvalOptions::default())
-            .unwrap();
+        let mm = crate::seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
         assert!(inf.instance.same_facts(&mm.instance));
     }
 
@@ -384,7 +470,10 @@ mod tests {
                 let input = line(&mut i, n);
                 let a = eval(&program, &input, EvalOptions::default()).unwrap();
                 let b = eval_seminaive(&program, &input, EvalOptions::default()).unwrap();
-                assert!(a.instance.same_facts(&b.instance), "answers differ (n={n}):\n{src}");
+                assert!(
+                    a.instance.same_facts(&b.instance),
+                    "answers differ (n={n}):\n{src}"
+                );
                 assert_eq!(a.stages, b.stages, "stage counts differ (n={n}):\n{src}");
             }
         }
@@ -401,7 +490,9 @@ mod tests {
             input.ensure(moves, 2);
             let mut s = seed;
             for _ in 0..10 {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s = s
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let a = ((s >> 33) % 7) as i64;
                 let b = ((s >> 13) % 7) as i64;
                 input.insert_fact(moves, Tuple::from([Value::Int(a), Value::Int(b)]));
@@ -418,11 +509,7 @@ mod tests {
         // Example 4.1's insight, directly observable: T(x,y) is born at
         // stage d(x,y).
         let mut i = Interner::new();
-        let program = parse_program(
-            "T(x,y) :- G(x,y). T(x,y) :- T(x,z), G(z,y).",
-            &mut i,
-        )
-        .unwrap();
+        let program = parse_program("T(x,y) :- G(x,y). T(x,y) :- T(x,z), G(z,y).", &mut i).unwrap();
         let input = line(&mut i, 6);
         let t = i.get("T").unwrap();
         let traced = eval_traced(&program, &input, EvalOptions::default()).unwrap();
@@ -438,8 +525,14 @@ mod tests {
         }
         // Input facts and underivable facts have no birth stage.
         let g = i.get("G").unwrap();
-        assert_eq!(traced.birth_stage(g, &Tuple::from([Value::Int(0), Value::Int(1)])), None);
-        assert_eq!(traced.birth_stage(t, &Tuple::from([Value::Int(3), Value::Int(0)])), None);
+        assert_eq!(
+            traced.birth_stage(g, &Tuple::from([Value::Int(0), Value::Int(1)])),
+            None
+        );
+        assert_eq!(
+            traced.birth_stage(t, &Tuple::from([Value::Int(3), Value::Int(0)])),
+            None
+        );
         // Traced and untraced runs agree.
         let plain = eval(&program, &input, EvalOptions::default()).unwrap();
         assert!(plain.instance.same_facts(&traced.instance));

@@ -32,10 +32,8 @@ use crate::eval::{
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::{FxHashSet, Instance, Value};
-use unchained_parser::{
-    check_range_restricted, features, HeadLiteral, Language, Program, Var,
-};
+use unchained_common::{FxHashSet, Instance, StageRecord, Symbol, Value};
+use unchained_parser::{check_range_restricted, features, HeadLiteral, Language, Program, Var};
 
 /// Result of a Datalog¬new run: the fixpoint plus invention statistics.
 #[derive(Clone, Debug)]
@@ -65,7 +63,10 @@ impl InventionRun {
 
     /// Converts to a [`FixpointRun`] (dropping invention stats).
     pub fn into_fixpoint(self) -> FixpointRun {
-        FixpointRun { instance: self.instance, stages: self.stages }
+        FixpointRun {
+            instance: self.instance,
+            stages: self.stages,
+        }
     }
 }
 
@@ -90,8 +91,7 @@ pub fn eval(
     check_range_restricted(program, true)?;
 
     let plans: Vec<Plan> = program.rules.iter().map(plan_rule).collect();
-    let invented_vars: Vec<Vec<Var>> =
-        program.rules.iter().map(|r| r.invented_vars()).collect();
+    let invented_vars: Vec<Vec<Var>> = program.rules.iter().map(|r| r.invented_vars()).collect();
     let body_vars: Vec<Vec<Var>> = program.rules.iter().map(|r| r.body_vars()).collect();
 
     let mut cache = IndexCache::new();
@@ -106,12 +106,19 @@ pub fn eval(
         program.rules.iter().map(|_| FxHashSet::default()).collect();
     let mut next_fresh: u64 = 0;
 
+    let tel = options.telemetry.clone();
+    tel.begin("invention");
+    let run_sw = tel.stopwatch();
     let mut stages = 0;
     loop {
         stages += 1;
         if options.max_stages.is_some_and(|m| stages > m) {
+            tel.finish(&run_sw, instance.fact_count());
             return Err(EvalError::StageLimitExceeded(stages - 1));
         }
+        let stage_sw = tel.stopwatch();
+        let joins_before = cache.counters;
+        let mut rules_fired: u64 = 0;
         // Invented values join the active domain, so recompute per stage.
         let adom = active_domain(program, &instance);
         let mut new_facts = Vec::new();
@@ -122,44 +129,77 @@ pub fn eval(
             let rule_invented = &invented_vars[ridx];
             let rule_body_vars = &body_vars[ridx];
             let fired_rule = &mut fired[ridx];
-            let _ = for_each_match(plan, Sources::simple(&instance), &adom, &mut cache, &mut |env| {
-                if rule_invented.is_empty() {
-                    let tuple = instantiate(&head.args, env);
-                    if !instance.contains_fact(head.pred, &tuple) {
-                        new_facts.push((head.pred, tuple));
+            let _ = for_each_match(
+                plan,
+                Sources::simple(&instance),
+                &adom,
+                &mut cache,
+                &mut |env| {
+                    rules_fired += 1;
+                    if rule_invented.is_empty() {
+                        let tuple = instantiate(&head.args, env);
+                        if !instance.contains_fact(head.pred, &tuple) {
+                            new_facts.push((head.pred, tuple));
+                        }
+                        return ControlFlow::Continue(());
                     }
-                    return ControlFlow::Continue(());
-                }
-                let key: Box<[Value]> = rule_body_vars
-                    .iter()
-                    .map(|v| env[v.index()].expect("body var bound"))
-                    .collect();
-                if fired_rule.contains(&key) {
-                    return ControlFlow::Continue(());
-                }
-                fired_rule.insert(key);
-                // Extend the valuation with distinct fresh values.
-                let mut extended = env.clone();
-                for v in rule_invented {
-                    extended[v.index()] = Some(Value::Invented(next_fresh));
-                    next_fresh += 1;
-                }
-                let tuple = instantiate(&head.args, &extended);
-                new_facts.push((head.pred, tuple));
-                ControlFlow::Continue(())
-            });
+                    let key: Box<[Value]> = rule_body_vars
+                        .iter()
+                        .map(|v| env[v.index()].expect("body var bound"))
+                        .collect();
+                    if fired_rule.contains(&key) {
+                        return ControlFlow::Continue(());
+                    }
+                    fired_rule.insert(key);
+                    // Extend the valuation with distinct fresh values.
+                    let mut extended = env.clone();
+                    for v in rule_invented {
+                        extended[v.index()] = Some(Value::Invented(next_fresh));
+                        next_fresh += 1;
+                    }
+                    let tuple = instantiate(&head.args, &extended);
+                    new_facts.push((head.pred, tuple));
+                    ControlFlow::Continue(())
+                },
+            );
         }
+        let enabled = tel.is_enabled();
+        let mut delta: Vec<(Symbol, usize)> = Vec::new();
         let mut changed = false;
         for (pred, tuple) in new_facts {
-            changed |= instance.insert_fact(pred, tuple);
+            if instance.insert_fact(pred, tuple) {
+                changed = true;
+                if enabled {
+                    match delta.iter_mut().find(|(p, _)| *p == pred) {
+                        Some((_, n)) => *n += 1,
+                        None => delta.push((pred, 1)),
+                    }
+                }
+            }
         }
+        tel.with(|t| {
+            t.stages.push(StageRecord {
+                stage: stages,
+                wall_nanos: stage_sw.nanos(),
+                facts_added: delta.iter().map(|(_, n)| n).sum(),
+                facts_removed: 0,
+                rules_fired,
+                delta: std::mem::take(&mut delta),
+                joins: cache.counters.since(&joins_before),
+            });
+            t.peak_facts = t.peak_facts.max(instance.fact_count());
+            t.invented = next_fresh as usize;
+        });
         if !changed {
-            return Ok(InventionRun { instance, stages, invented: next_fresh });
+            tel.finish(&run_sw, instance.fact_count());
+            return Ok(InventionRun {
+                instance,
+                stages,
+                invented: next_fresh,
+            });
         }
-        if options
-            .max_facts
-            .is_some_and(|m| instance.fact_count() > m)
-        {
+        if options.max_facts.is_some_and(|m| instance.fact_count() > m) {
+            tel.finish(&run_sw, instance.fact_count());
             return Err(EvalError::FactLimitExceeded(instance.fact_count()));
         }
     }
@@ -201,7 +241,12 @@ mod tests {
         let p = i.get("P").unwrap();
         let mut input = Instance::new();
         input.insert_fact(p, Tuple::from([Value::Int(7)]));
-        let run = eval(&program, &input, EvalOptions::default().with_max_stages(100)).unwrap();
+        let run = eval(
+            &program,
+            &input,
+            EvalOptions::default().with_max_stages(100),
+        )
+        .unwrap();
         assert_eq!(run.invented, 1);
         let tag = i.get("Tag").unwrap();
         assert_eq!(run.instance.relation(tag).unwrap().len(), 1);
@@ -241,8 +286,7 @@ mod tests {
             err,
             EvalError::StageLimitExceeded(_) | EvalError::FactLimitExceeded(_)
         ));
-        let err =
-            eval(&program, &input, EvalOptions::default().with_max_facts(40)).unwrap_err();
+        let err = eval(&program, &input, EvalOptions::default().with_max_facts(40)).unwrap_err();
         assert!(matches!(err, EvalError::FactLimitExceeded(_)));
     }
 

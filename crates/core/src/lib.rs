@@ -42,9 +42,9 @@ pub mod error;
 pub mod eval;
 pub mod inflationary;
 pub mod invention;
+pub mod magic;
 pub mod naive;
 pub mod noninflationary;
-pub mod magic;
 pub mod options;
 pub mod provenance;
 pub mod seminaive;
@@ -63,7 +63,10 @@ use unchained_parser::{classify, Language, Program};
 pub(crate) fn require_language(program: &Program, max: Language) -> Result<(), EvalError> {
     let found = classify(program);
     if found > max {
-        return Err(EvalError::WrongLanguage { engine_accepts: max, found });
+        return Err(EvalError::WrongLanguage {
+            engine_accepts: max,
+            found,
+        });
     }
     Ok(())
 }

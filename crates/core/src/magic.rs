@@ -101,7 +101,10 @@ impl std::fmt::Display for MagicError {
                 write!(f, "{s:?} is not an idb predicate of the program")
             }
             MagicError::ArityMismatch { expected, found } => {
-                write!(f, "query pattern arity {found} does not match predicate arity {expected}")
+                write!(
+                    f,
+                    "query pattern arity {found} does not match predicate arity {expected}"
+                )
             }
         }
     }
@@ -157,7 +160,10 @@ pub fn magic_rewrite(
     let schema = program.schema().map_err(|_| MagicError::NotPureDatalog)?;
     let expected = schema.arity(query.pred).unwrap_or(0);
     if expected != query.bindings.len() {
-        return Err(MagicError::ArityMismatch { expected, found: query.bindings.len() });
+        return Err(MagicError::ArityMismatch {
+            expected,
+            found: query.bindings.len(),
+        });
     }
 
     let mut rewritten = Program::new();
@@ -257,7 +263,11 @@ pub fn magic_rewrite(
     let seed: Tuple = query.bindings.iter().flatten().copied().collect();
     seeds.insert_fact(magic_query, seed);
     let answer_pred = adorned_name(interner, &base, &q_adornment);
-    Ok(MagicProgram { program: rewritten, answer_pred, seeds })
+    Ok(MagicProgram {
+        program: rewritten,
+        answer_pred,
+        seeds,
+    })
 }
 
 /// Rewrites, evaluates (semi-naive), and returns the query answer: the
@@ -282,7 +292,17 @@ pub fn answer(
     for (pred, rel) in magic.seeds.iter() {
         seeded.ensure(pred, rel.arity()).union_with(rel);
     }
+    let tel = options.telemetry.clone();
     let run = seminaive::minimum_model(&magic.program, &seeded, options)?;
+    // The inner semi-naive run wrote the stage records; relabel the
+    // trace and note what the rewrite did to the program.
+    tel.rename("magic");
+    tel.note(format!(
+        "rewrite: {} rules from {}, {} magic seed fact(s)",
+        magic.program.rules.len(),
+        program.rules.len(),
+        magic.seeds.fact_count()
+    ));
     let arity = query.bindings.len();
     let mut out = Relation::new(arity);
     if let Some(rel) = run.instance.relation(magic.answer_pred) {
@@ -428,12 +448,10 @@ mod tests {
         let program = parse_program(TC, &mut i).unwrap();
         let t = i.get("T").unwrap();
         let input = line(&mut i, 6);
-        let query =
-            QueryPattern::new(t, vec![Some(Value::Int(1)), Some(Value::Int(4))]);
+        let query = QueryPattern::new(t, vec![Some(Value::Int(1)), Some(Value::Int(4))]);
         let (answer, _) = compare_with_full(&program, &query, &input, &mut i).unwrap();
         assert_eq!(answer.len(), 1);
-        let query =
-            QueryPattern::new(t, vec![Some(Value::Int(4)), Some(Value::Int(1))]);
+        let query = QueryPattern::new(t, vec![Some(Value::Int(4)), Some(Value::Int(1))]);
         let (answer, _) = compare_with_full(&program, &query, &input, &mut i).unwrap();
         assert!(answer.is_empty());
     }
@@ -441,11 +459,8 @@ mod tests {
     #[test]
     fn right_linear_rule_and_bound_second_arg() {
         let mut i = Interner::new();
-        let program = parse_program(
-            "T(x,y) :- G(x,y).\nT(x,y) :- T(x,z), G(z,y).",
-            &mut i,
-        )
-        .unwrap();
+        let program =
+            parse_program("T(x,y) :- G(x,y).\nT(x,y) :- T(x,z), G(z,y).", &mut i).unwrap();
         let t = i.get("T").unwrap();
         let input = forked(&mut i);
         let query = QueryPattern::new(t, vec![None, Some(Value::Int(12))]);
@@ -505,13 +520,15 @@ mod tests {
         let g = i.get("G").unwrap();
         let t = i.get("T").unwrap();
         assert_eq!(
-            magic_rewrite(&program, &QueryPattern::new(g, vec![None, None]), &mut i)
-                .unwrap_err(),
+            magic_rewrite(&program, &QueryPattern::new(g, vec![None, None]), &mut i).unwrap_err(),
             MagicError::NotAnIdbPredicate(g)
         );
         assert_eq!(
             magic_rewrite(&program, &QueryPattern::new(t, vec![None]), &mut i).unwrap_err(),
-            MagicError::ArityMismatch { expected: 2, found: 1 }
+            MagicError::ArityMismatch {
+                expected: 2,
+                found: 1
+            }
         );
         let neg = parse_program("A(x) :- B(x), !C(x).", &mut i).unwrap();
         let a = i.get("A").unwrap();

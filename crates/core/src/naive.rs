@@ -12,7 +12,7 @@ use crate::eval::{active_domain, for_each_match, instantiate, plan_rule, IndexCa
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::Instance;
+use unchained_common::{Instance, StageRecord};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
 /// Computes the minimum model of a positive Datalog program on `input`.
@@ -41,36 +41,70 @@ pub fn minimum_model(
         instance.ensure(pred, schema.arity(pred).expect("idb has arity"));
     }
 
+    let tel = &options.telemetry;
+    tel.begin("naive");
+    let run_sw = tel.stopwatch();
+
     let mut stages = 0;
     loop {
         stages += 1;
         if options.max_stages.is_some_and(|m| stages > m) {
             return Err(EvalError::StageLimitExceeded(stages - 1));
         }
+        let stage_sw = tel.stopwatch();
+        let joins_before = cache.counters;
+        let mut fired: u64 = 0;
         let mut new_facts = Vec::new();
         for (rule, plan) in program.rules.iter().zip(&plans) {
             let HeadLiteral::Pos(head) = &rule.head[0] else {
                 unreachable!("pure Datalog heads are positive")
             };
-            let _ = for_each_match(plan, Sources::simple(&instance), &adom, &mut cache, &mut |env| {
-                let tuple = instantiate(&head.args, env);
-                if !instance.contains_fact(head.pred, &tuple) {
-                    new_facts.push((head.pred, tuple));
-                }
-                ControlFlow::Continue(())
-            });
+            let _ = for_each_match(
+                plan,
+                Sources::simple(&instance),
+                &adom,
+                &mut cache,
+                &mut |env| {
+                    fired += 1;
+                    let tuple = instantiate(&head.args, env);
+                    if !instance.contains_fact(head.pred, &tuple) {
+                        new_facts.push((head.pred, tuple));
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
         }
+        let enabled = tel.is_enabled();
         let mut changed = false;
+        let mut delta: Vec<(unchained_common::Symbol, usize)> = Vec::new();
         for (pred, tuple) in new_facts {
-            changed |= instance.insert_fact(pred, tuple);
+            if instance.insert_fact(pred, tuple) {
+                changed = true;
+                if enabled {
+                    match delta.iter_mut().find(|(p, _)| *p == pred) {
+                        Some((_, n)) => *n += 1,
+                        None => delta.push((pred, 1)),
+                    }
+                }
+            }
         }
+        tel.with(|t| {
+            t.stages.push(StageRecord {
+                stage: stages,
+                wall_nanos: stage_sw.nanos(),
+                facts_added: delta.iter().map(|(_, n)| n).sum(),
+                facts_removed: 0,
+                rules_fired: fired,
+                delta: std::mem::take(&mut delta),
+                joins: cache.counters.since(&joins_before),
+            });
+            t.peak_facts = t.peak_facts.max(instance.fact_count());
+        });
         if !changed {
+            tel.finish(&run_sw, instance.fact_count());
             return Ok(FixpointRun { instance, stages });
         }
-        if options
-            .max_facts
-            .is_some_and(|m| instance.fact_count() > m)
-        {
+        if options.max_facts.is_some_and(|m| instance.fact_count() > m) {
             return Err(EvalError::FactLimitExceeded(instance.fact_count()));
         }
     }

@@ -25,8 +25,85 @@ use crate::options::{DivergenceDetection, EvalOptions, FixpointRun};
 use crate::require_language;
 use std::collections::hash_map::Entry;
 use std::ops::ControlFlow;
-use unchained_common::{FxHashMap, FxHashSet, Instance, Symbol, Tuple};
+use unchained_common::{
+    DivergenceSnapshot, FxHashMap, FxHashSet, Instance, StageRecord, Symbol, Tuple,
+};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
+
+/// Remembered states for divergence detection.
+#[derive(Default)]
+struct Detector {
+    seen_exact: FxHashMap<u64, Vec<(Instance, usize)>>,
+    seen_fp: FxHashMap<u64, usize>,
+}
+
+impl Detector {
+    /// Records `inst` as visited at `stage`; returns the stage of a
+    /// previous visit if this state was seen before.
+    fn record(
+        &mut self,
+        inst: &Instance,
+        stage: usize,
+        mode: DivergenceDetection,
+    ) -> Option<usize> {
+        let fp = inst.fingerprint();
+        match mode {
+            DivergenceDetection::Off => None,
+            DivergenceDetection::Fingerprint => match self.seen_fp.entry(fp) {
+                Entry::Occupied(prev) => Some(*prev.get()),
+                Entry::Vacant(slot) => {
+                    slot.insert(stage);
+                    None
+                }
+            },
+            DivergenceDetection::Exact => {
+                let bucket = self.seen_exact.entry(fp).or_default();
+                if let Some((_, prev)) = bucket.iter().find(|(i, _)| i.same_facts(inst)) {
+                    Some(*prev)
+                } else {
+                    bucket.push((inst.clone(), stage));
+                    None
+                }
+            }
+        }
+    }
+
+    /// Distinct states currently remembered.
+    fn states_seen(&self, mode: DivergenceDetection) -> usize {
+        match mode {
+            DivergenceDetection::Off => 0,
+            DivergenceDetection::Fingerprint => self.seen_fp.len(),
+            DivergenceDetection::Exact => self.seen_exact.values().map(Vec::len).sum(),
+        }
+    }
+}
+
+/// Per-predicate symmetric difference `next ∖ prev` / `prev ∖ next`,
+/// for stage records. Only called when telemetry is enabled.
+fn diff_instances(prev: &Instance, next: &Instance) -> (usize, usize, Vec<(Symbol, usize)>) {
+    let mut added = 0;
+    let mut removed = 0;
+    let mut delta = Vec::new();
+    for (pred, rel) in next.iter() {
+        let before = prev.relation(pred);
+        let new_here = rel
+            .iter()
+            .filter(|t| !before.is_some_and(|b| b.contains(t)))
+            .count();
+        if new_here > 0 {
+            delta.push((pred, new_here));
+            added += new_here;
+        }
+    }
+    for (pred, rel) in prev.iter() {
+        let after = next.relation(pred);
+        removed += rel
+            .iter()
+            .filter(|t| !after.is_some_and(|a| a.contains(t)))
+            .count();
+    }
+    (added, removed, delta)
+}
 
 /// What to do when `A` and `¬A` are inferred in the same firing
 /// (Section 4.2 discusses all four; the languages are equivalent under
@@ -72,31 +149,17 @@ pub fn eval(
     }
 
     // Divergence detection state.
-    let mut seen_exact: FxHashMap<u64, Vec<(Instance, usize)>> = FxHashMap::default();
-    let mut seen_fp: FxHashMap<u64, usize> = FxHashMap::default();
-    let mut record = |inst: &Instance, stage: usize, mode: DivergenceDetection| -> Option<usize> {
-        let fp = inst.fingerprint();
-        match mode {
-            DivergenceDetection::Off => None,
-            DivergenceDetection::Fingerprint => match seen_fp.entry(fp) {
-                Entry::Occupied(prev) => Some(*prev.get()),
-                Entry::Vacant(slot) => {
-                    slot.insert(stage);
-                    None
-                }
-            },
-            DivergenceDetection::Exact => {
-                let bucket = seen_exact.entry(fp).or_default();
-                if let Some((_, prev)) = bucket.iter().find(|(i, _)| i.same_facts(inst)) {
-                    Some(*prev)
-                } else {
-                    bucket.push((inst.clone(), stage));
-                    None
-                }
-            }
-        }
+    let mut detector = Detector::default();
+    detector.record(&instance, 0, options.divergence);
+
+    let tel = options.telemetry.clone();
+    tel.begin("noninflationary");
+    let run_sw = tel.stopwatch();
+    let detector_name = match options.divergence {
+        DivergenceDetection::Exact => "exact",
+        DivergenceDetection::Fingerprint => "fingerprint",
+        DivergenceDetection::Off => "off",
     };
-    record(&instance, 0, options.divergence);
 
     let mut stages = 0;
     loop {
@@ -104,6 +167,9 @@ pub fn eval(
         if options.max_stages.is_some_and(|m| stages > m) {
             return Err(EvalError::StageLimitExceeded(stages - 1));
         }
+        let stage_sw = tel.stopwatch();
+        let joins_before = cache.counters;
+        let mut fired: u64 = 0;
         // One parallel firing: collect asserted and retracted facts.
         let mut inserted: FxHashSet<(Symbol, Tuple)> = FxHashSet::default();
         let mut deleted: FxHashSet<(Symbol, Tuple)> = FxHashSet::default();
@@ -113,15 +179,22 @@ pub fn eval(
                 HeadLiteral::Neg(a) => (a.pred, &a.args, true),
                 HeadLiteral::Bottom => unreachable!("⊥ is nondeterministic-only"),
             };
-            let _ = for_each_match(plan, Sources::simple(&instance), &adom, &mut cache, &mut |env| {
-                let tuple = instantiate(head_args, env);
-                if negative {
-                    deleted.insert((head_pred, tuple));
-                } else {
-                    inserted.insert((head_pred, tuple));
-                }
-                ControlFlow::Continue(())
-            });
+            let _ = for_each_match(
+                plan,
+                Sources::simple(&instance),
+                &adom,
+                &mut cache,
+                &mut |env| {
+                    fired += 1;
+                    let tuple = instantiate(head_args, env);
+                    if negative {
+                        deleted.insert((head_pred, tuple));
+                    } else {
+                        inserted.insert((head_pred, tuple));
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
         }
 
         // Resolve conflicts per the policy and apply.
@@ -180,11 +253,49 @@ pub fn eval(
             }
         }
 
+        tel.with(|t| {
+            let (added, removed, delta) = diff_instances(&instance, &next);
+            t.stages.push(StageRecord {
+                stage: stages,
+                wall_nanos: stage_sw.nanos(),
+                facts_added: added,
+                facts_removed: removed,
+                rules_fired: fired,
+                delta,
+                joins: cache.counters.since(&joins_before),
+            });
+            t.peak_facts = t.peak_facts.max(next.fact_count());
+        });
+
         if next.same_facts(&instance) {
+            tel.with(|t| {
+                t.divergence = Some(DivergenceSnapshot {
+                    detector: detector_name.to_string(),
+                    states_seen: detector.states_seen(options.divergence),
+                    diverged_stage: None,
+                    period: None,
+                });
+            });
+            tel.finish(&run_sw, instance.fact_count());
             return Ok(FixpointRun { instance, stages });
         }
-        if let Some(first) = record(&next, stages, options.divergence) {
-            return Err(EvalError::Diverged { stage: stages, period: stages - first });
+        if let Some(first) = detector.record(&next, stages, options.divergence) {
+            let period = stages - first;
+            tel.with(|t| {
+                t.divergence = Some(DivergenceSnapshot {
+                    detector: detector_name.to_string(),
+                    states_seen: detector.states_seen(options.divergence),
+                    diverged_stage: Some(stages),
+                    period: Some(period),
+                });
+                t.notes
+                    .push(format!("diverged at stage {stages} with period {period}"));
+            });
+            tel.finish(&run_sw, next.fact_count());
+            return Err(EvalError::Diverged {
+                stage: stages,
+                period,
+            });
         }
         if options.max_facts.is_some_and(|m| next.fact_count() > m) {
             return Err(EvalError::FactLimitExceeded(next.fact_count()));
@@ -215,10 +326,21 @@ mod tests {
         let t = i.get("T").unwrap();
         let mut input = Instance::new();
         input.insert_fact(t, Tuple::from([Value::Int(0)]));
-        let err = eval(&program, &input, ConflictPolicy::PreferPositive, EvalOptions::default())
-            .unwrap_err();
+        let err = eval(
+            &program,
+            &input,
+            ConflictPolicy::PreferPositive,
+            EvalOptions::default(),
+        )
+        .unwrap_err();
         // T flip-flops between {⟨0⟩} and {⟨1⟩}: period 2.
-        assert_eq!(err, EvalError::Diverged { stage: 2, period: 2 });
+        assert_eq!(
+            err,
+            EvalError::Diverged {
+                stage: 2,
+                period: 2
+            }
+        );
     }
 
     #[test]
@@ -259,8 +381,13 @@ mod tests {
         for (a, b) in [(1, 2), (2, 1), (2, 3), (3, 2), (4, 5)] {
             input.insert_fact(g, Tuple::from([v(a), v(b)]));
         }
-        let run = eval(&program, &input, ConflictPolicy::PreferPositive, EvalOptions::default())
-            .unwrap();
+        let run = eval(
+            &program,
+            &input,
+            ConflictPolicy::PreferPositive,
+            EvalOptions::default(),
+        )
+        .unwrap();
         let rel = run.instance.relation(g).unwrap();
         // Both 2-cycles removed entirely; (4,5) survives. Note the
         // self-inverse pairs are deleted in one parallel firing.
@@ -278,23 +405,43 @@ mod tests {
         input.insert_fact(a, Tuple::from([Value::Int(1)]));
 
         // PreferPositive: A survives; immediate fixpoint.
-        let run = eval(&program, &input, ConflictPolicy::PreferPositive, EvalOptions::default())
-            .unwrap();
+        let run = eval(
+            &program,
+            &input,
+            ConflictPolicy::PreferPositive,
+            EvalOptions::default(),
+        )
+        .unwrap();
         assert!(run.instance.contains_fact(a, &Tuple::from([Value::Int(1)])));
 
         // PreferNegative: A removed, then stays away.
-        let run = eval(&program, &input, ConflictPolicy::PreferNegative, EvalOptions::default())
-            .unwrap();
+        let run = eval(
+            &program,
+            &input,
+            ConflictPolicy::PreferNegative,
+            EvalOptions::default(),
+        )
+        .unwrap();
         assert!(!run.instance.contains_fact(a, &Tuple::from([Value::Int(1)])));
 
         // NoOp: A's membership is as in the old state: stays.
-        let run =
-            eval(&program, &input, ConflictPolicy::NoOp, EvalOptions::default()).unwrap();
+        let run = eval(
+            &program,
+            &input,
+            ConflictPolicy::NoOp,
+            EvalOptions::default(),
+        )
+        .unwrap();
         assert!(run.instance.contains_fact(a, &Tuple::from([Value::Int(1)])));
 
         // Undefined: contradiction.
         assert!(matches!(
-            eval(&program, &input, ConflictPolicy::Undefined, EvalOptions::default()),
+            eval(
+                &program,
+                &input,
+                ConflictPolicy::Undefined,
+                EvalOptions::default()
+            ),
             Err(EvalError::Contradiction { stage: 1 })
         ));
     }
@@ -307,8 +454,13 @@ mod tests {
         let g = i.get("G").unwrap();
         let mut input = Instance::new();
         input.insert_fact(g, Tuple::from([Value::Int(1), Value::Int(2)]));
-        let run = eval(&program, &input, ConflictPolicy::PreferPositive, EvalOptions::default())
-            .unwrap();
+        let run = eval(
+            &program,
+            &input,
+            ConflictPolicy::PreferPositive,
+            EvalOptions::default(),
+        )
+        .unwrap();
         assert_eq!(run.instance.relation(g).unwrap().len(), 2);
     }
 
@@ -316,18 +468,19 @@ mod tests {
     fn subsumes_inflationary_datalog_neg() {
         // A Datalog¬ program runs identically under Datalog¬¬ semantics.
         let mut i = Interner::new();
-        let program = parse_program(
-            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).",
-            &mut i,
-        )
-        .unwrap();
+        let program = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
         let g = i.get("G").unwrap();
         let mut input = Instance::new();
         for k in 0..4i64 {
             input.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
         }
-        let a = eval(&program, &input, ConflictPolicy::PreferPositive, EvalOptions::default())
-            .unwrap();
+        let a = eval(
+            &program,
+            &input,
+            ConflictPolicy::PreferPositive,
+            EvalOptions::default(),
+        )
+        .unwrap();
         let b = crate::inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
         assert!(a.instance.same_facts(&b.instance));
     }
@@ -339,8 +492,7 @@ mod tests {
         //   answer(x) :- P(x).
         //   !answer(x) :- Q(x,y).
         let mut i = Interner::new();
-        let program = parse_program("answer(x) :- P(x). !answer(x) :- Q(x,y).", &mut i)
-            .unwrap();
+        let program = parse_program("answer(x) :- P(x). !answer(x) :- Q(x,y).", &mut i).unwrap();
         let p = i.get("P").unwrap();
         let q = i.get("Q").unwrap();
         let answer = i.get("answer").unwrap();
@@ -350,8 +502,13 @@ mod tests {
             input.insert_fact(p, Tuple::from([v(k)]));
         }
         input.insert_fact(q, Tuple::from([v(2), v(9)]));
-        let run = eval(&program, &input, ConflictPolicy::PreferNegative, EvalOptions::default())
-            .unwrap();
+        let run = eval(
+            &program,
+            &input,
+            ConflictPolicy::PreferNegative,
+            EvalOptions::default(),
+        )
+        .unwrap();
         let rel = run.instance.relation(answer).unwrap();
         // P − π_A(Q) = {1, 3}.
         assert_eq!(rel.len(), 2);
@@ -364,7 +521,12 @@ mod tests {
         let mut i = Interner::new();
         let program = parse_program("A(x), B(x) :- C(x).", &mut i).unwrap();
         assert!(matches!(
-            eval(&program, &Instance::new(), ConflictPolicy::PreferPositive, EvalOptions::default()),
+            eval(
+                &program,
+                &Instance::new(),
+                ConflictPolicy::PreferPositive,
+                EvalOptions::default()
+            ),
             Err(EvalError::WrongLanguage { .. })
         ));
     }

@@ -1,6 +1,6 @@
 //! Evaluation options and result types shared by the engines.
 
-use unchained_common::Instance;
+use unchained_common::{Instance, Telemetry};
 use unchained_parser::{HeadLiteral, Program};
 
 /// How the noninflationary engines detect that a computation will never
@@ -20,7 +20,7 @@ pub enum DivergenceDetection {
 }
 
 /// Budgets and knobs for an evaluation run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EvalOptions {
     /// Maximum number of stages (applications of the immediate
     /// consequence operator) before giving up with
@@ -33,11 +33,19 @@ pub struct EvalOptions {
     pub max_facts: Option<usize>,
     /// Cycle detection for noninflationary semantics.
     pub divergence: DivergenceDetection,
+    /// Trace sink. Disabled by default; cloning the options clones the
+    /// handle, so all clones feed the same trace.
+    pub telemetry: Telemetry,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
-        EvalOptions { max_stages: None, max_facts: None, divergence: DivergenceDetection::Exact }
+        EvalOptions {
+            max_stages: None,
+            max_facts: None,
+            divergence: DivergenceDetection::Exact,
+            telemetry: Telemetry::off(),
+        }
     }
 }
 
@@ -57,6 +65,12 @@ impl EvalOptions {
     /// Options with the given divergence detector.
     pub fn with_divergence(mut self, d: DivergenceDetection) -> Self {
         self.divergence = d;
+        self
+    }
+
+    /// Options feeding the given telemetry handle.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 }

@@ -114,17 +114,30 @@ pub fn minimum_model_with_provenance(
                 unreachable!("pure Datalog heads are positive")
             };
             let templates = &premise_templates[ridx];
-            let _ = for_each_match(plan, Sources::simple(&instance), &adom, &mut cache, &mut |env| {
-                let tuple = instantiate(&head.args, env);
-                if !instance.contains_fact(head.pred, &tuple) {
-                    let premises = templates
-                        .iter()
-                        .map(|a| (a.pred, instantiate(&a.args, env)))
-                        .collect();
-                    new_facts.push((head.pred, tuple, Derivation { rule: ridx, premises }));
-                }
-                ControlFlow::Continue(())
-            });
+            let _ = for_each_match(
+                plan,
+                Sources::simple(&instance),
+                &adom,
+                &mut cache,
+                &mut |env| {
+                    let tuple = instantiate(&head.args, env);
+                    if !instance.contains_fact(head.pred, &tuple) {
+                        let premises = templates
+                            .iter()
+                            .map(|a| (a.pred, instantiate(&a.args, env)))
+                            .collect();
+                        new_facts.push((
+                            head.pred,
+                            tuple,
+                            Derivation {
+                                rule: ridx,
+                                premises,
+                            },
+                        ));
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
         }
         let mut changed = false;
         for (pred, tuple, derivation) in new_facts {
@@ -134,7 +147,11 @@ pub fn minimum_model_with_provenance(
             }
         }
         if !changed {
-            return Ok(ProvenanceRun { instance, stages, why });
+            return Ok(ProvenanceRun {
+                instance,
+                stages,
+                why,
+            });
         }
     }
 }
@@ -142,12 +159,7 @@ pub fn minimum_model_with_provenance(
 /// Renders the derivation tree of `pred(tuple)` as indented text.
 /// Input facts print as `⊢ fact (given)`; derived facts list their
 /// rule and recurse into the premises.
-pub fn explain(
-    run: &ProvenanceRun,
-    pred: Symbol,
-    tuple: &Tuple,
-    interner: &Interner,
-) -> String {
+pub fn explain(run: &ProvenanceRun, pred: Symbol, tuple: &Tuple, interner: &Interner) -> String {
     fn fact_str(pred: Symbol, tuple: &Tuple, interner: &Interner) -> String {
         if tuple.arity() == 0 {
             interner.name(pred).to_string()
@@ -203,11 +215,8 @@ mod tests {
 
     fn setup() -> (Interner, Program, Instance) {
         let mut i = Interner::new();
-        let program = parse_program(
-            "T(x,y) :- G(x,y).\nT(x,y) :- G(x,z), T(z,y).",
-            &mut i,
-        )
-        .unwrap();
+        let program =
+            parse_program("T(x,y) :- G(x,y).\nT(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
         let g = i.get("G").unwrap();
         let mut input = Instance::new();
         for k in 0..4i64 {
@@ -219,8 +228,7 @@ mod tests {
     #[test]
     fn provenance_agrees_with_plain_evaluation() {
         let (_, program, input) = setup();
-        let prov =
-            minimum_model_with_provenance(&program, &input, EvalOptions::default()).unwrap();
+        let prov = minimum_model_with_provenance(&program, &input, EvalOptions::default()).unwrap();
         let plain =
             crate::seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
         assert!(prov.instance.same_facts(&plain.instance));
@@ -230,12 +238,13 @@ mod tests {
     fn every_derived_fact_has_a_derivation_over_present_facts() {
         let (mut i, program, input) = setup();
         let t = i.intern("T");
-        let prov =
-            minimum_model_with_provenance(&program, &input, EvalOptions::default()).unwrap();
+        let prov = minimum_model_with_provenance(&program, &input, EvalOptions::default()).unwrap();
         let rel = prov.instance.relation(t).unwrap();
         assert_eq!(rel.len(), 10);
         for tuple in rel.iter() {
-            let d = prov.derivation(t, tuple).expect("derived fact has provenance");
+            let d = prov
+                .derivation(t, tuple)
+                .expect("derived fact has provenance");
             for (p, prem) in &d.premises {
                 assert!(prov.instance.contains_fact(*p, prem));
             }
@@ -246,8 +255,7 @@ mod tests {
     fn explain_renders_a_tree_down_to_given_facts() {
         let (i, program, input) = setup();
         let t = i.get("T").unwrap();
-        let prov =
-            minimum_model_with_provenance(&program, &input, EvalOptions::default()).unwrap();
+        let prov = minimum_model_with_provenance(&program, &input, EvalOptions::default()).unwrap();
         let tree = explain(&prov, t, &Tuple::from([Value::Int(0), Value::Int(3)]), &i);
         // The tree bottoms out in given G facts and derives through T.
         assert!(tree.contains("⊢ T(0, 3) (rule 1)"), "{tree}");
@@ -261,8 +269,7 @@ mod tests {
         let (mut i, program, input) = setup();
         let g = i.intern("G");
         let t = i.intern("T");
-        let prov =
-            minimum_model_with_provenance(&program, &input, EvalOptions::default()).unwrap();
+        let prov = minimum_model_with_provenance(&program, &input, EvalOptions::default()).unwrap();
         let given = explain(&prov, g, &Tuple::from([Value::Int(0), Value::Int(1)]), &i);
         assert!(given.contains("(given)"));
         let missing = explain(&prov, t, &Tuple::from([Value::Int(3), Value::Int(0)]), &i);
@@ -276,8 +283,7 @@ mod tests {
         // via rule 0, not a longer one.
         let (mut i, program, input) = setup();
         let t = i.intern("T");
-        let prov =
-            minimum_model_with_provenance(&program, &input, EvalOptions::default()).unwrap();
+        let prov = minimum_model_with_provenance(&program, &input, EvalOptions::default()).unwrap();
         let d = prov
             .derivation(t, &Tuple::from([Value::Int(0), Value::Int(1)]))
             .unwrap();

@@ -20,7 +20,7 @@ use crate::eval::{
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::{FxHashSet, Instance, Symbol};
+use unchained_common::{FxHashSet, Instance, StageRecord, Symbol};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program, Rule};
 
 /// Runs the rules of one (sub)program to fixpoint with semi-naive
@@ -58,17 +58,32 @@ pub(crate) fn seminaive_fixpoint(
         _ => unreachable!("semi-naive engines require positive single heads"),
     };
 
+    // Stage indexes continue from whatever the trace already holds, so
+    // stratified evaluation appends one contiguous stage sequence.
+    let tel = &options.telemetry;
+    let base = tel.with(|t| t.stages.len()).unwrap_or(0);
+
     // Round 1: full evaluation of every rule.
+    let mut stage_sw = tel.stopwatch();
+    let mut joins_before = cache.counters;
+    let mut fired: u64 = 0;
     let mut delta = Instance::new();
     for rp in &compiled {
         let head = head_atom(rp.rule);
-        let _ = for_each_match(&rp.full, Sources::simple(instance), adom, cache, &mut |env| {
-            let tuple = instantiate(&head.args, env);
-            if !instance.contains_fact(head.pred, &tuple) {
-                delta.insert_fact(head.pred, tuple);
-            }
-            ControlFlow::Continue(())
-        });
+        let _ = for_each_match(
+            &rp.full,
+            Sources::simple(instance),
+            adom,
+            cache,
+            &mut |env| {
+                fired += 1;
+                let tuple = instantiate(&head.args, env);
+                if !instance.contains_fact(head.pred, &tuple) {
+                    delta.insert_fact(head.pred, tuple);
+                }
+                ControlFlow::Continue(())
+            },
+        );
     }
     let mut rounds = 1;
     loop {
@@ -79,13 +94,22 @@ pub(crate) fn seminaive_fixpoint(
                 changed |= instance.insert_fact(pred, t.clone());
             }
         }
+        tel.with(|t| {
+            t.stages.push(StageRecord {
+                stage: base + rounds,
+                wall_nanos: stage_sw.nanos(),
+                facts_added: delta.fact_count(),
+                facts_removed: 0,
+                rules_fired: fired,
+                delta: delta.iter().map(|(pred, rel)| (pred, rel.len())).collect(),
+                joins: cache.counters.since(&joins_before),
+            });
+            t.peak_facts = t.peak_facts.max(instance.fact_count());
+        });
         if !changed {
             return Ok(rounds);
         }
-        if options
-            .max_facts
-            .is_some_and(|m| instance.fact_count() > m)
-        {
+        if options.max_facts.is_some_and(|m| instance.fact_count() > m) {
             return Err(EvalError::FactLimitExceeded(instance.fact_count()));
         }
         rounds += 1;
@@ -93,6 +117,9 @@ pub(crate) fn seminaive_fixpoint(
             return Err(EvalError::StageLimitExceeded(rounds - 1));
         }
         // Evaluate the delta variants against (instance, delta).
+        stage_sw = tel.stopwatch();
+        joins_before = cache.counters;
+        fired = 0;
         cache.begin_delta_round();
         let mut next_delta = Instance::new();
         for rp in &compiled {
@@ -100,18 +127,24 @@ pub(crate) fn seminaive_fixpoint(
             for plan in &rp.deltas {
                 let _ = for_each_match(
                     plan,
-                    Sources { full: instance, delta: Some(&delta), neg: None },
+                    Sources {
+                        full: instance,
+                        delta: Some(&delta),
+                        neg: None,
+                    },
                     adom,
                     cache,
                     &mut |env| {
-                    let tuple = instantiate(&head.args, env);
-                    if !instance.contains_fact(head.pred, &tuple)
-                        && !next_delta.contains_fact(head.pred, &tuple)
-                    {
-                        next_delta.insert_fact(head.pred, tuple);
-                    }
-                    ControlFlow::Continue(())
-                });
+                        fired += 1;
+                        let tuple = instantiate(&head.args, env);
+                        if !instance.contains_fact(head.pred, &tuple)
+                            && !next_delta.contains_fact(head.pred, &tuple)
+                        {
+                            next_delta.insert_fact(head.pred, tuple);
+                        }
+                        ControlFlow::Continue(())
+                    },
+                );
             }
         }
         delta = next_delta;
@@ -141,7 +174,17 @@ pub fn minimum_model(
     let recursive: FxHashSet<Symbol> = program.idb().into_iter().collect();
     let rules: Vec<&Rule> = program.rules.iter().collect();
     let mut cache = IndexCache::new();
-    let stages = seminaive_fixpoint(&rules, &mut instance, &adom, &recursive, &mut cache, &options)?;
+    options.telemetry.begin("seminaive");
+    let run_sw = options.telemetry.stopwatch();
+    let stages = seminaive_fixpoint(
+        &rules,
+        &mut instance,
+        &adom,
+        &recursive,
+        &mut cache,
+        &options,
+    )?;
+    options.telemetry.finish(&run_sw, instance.fact_count());
     Ok(FixpointRun { instance, stages })
 }
 
@@ -153,10 +196,7 @@ pub fn eval_to_relation(
     answer_pred: Symbol,
 ) -> Result<unchained_common::Relation, EvalError> {
     let run = minimum_model(program, input, EvalOptions::default())?;
-    let arity = program
-        .schema()?
-        .arity(answer_pred)
-        .unwrap_or(0);
+    let arity = program.schema()?.arity(answer_pred).unwrap_or(0);
     Ok(run
         .instance
         .relation(answer_pred)

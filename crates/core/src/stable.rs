@@ -29,11 +29,11 @@ use crate::eval::{active_domain, IndexCache};
 use crate::options::EvalOptions;
 use crate::require_language;
 use crate::wellfounded;
-use unchained_common::{Instance, Tuple};
+use unchained_common::{Instance, Telemetry, Tuple};
 use unchained_parser::{check_range_restricted, Language, Program};
 
 /// Budget for stable-model enumeration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct StableOptions {
     /// Underlying fixpoint budgets.
     pub eval: EvalOptions,
@@ -45,7 +45,10 @@ pub struct StableOptions {
 
 impl Default for StableOptions {
     fn default() -> Self {
-        StableOptions { eval: EvalOptions::default(), max_unknowns: 20 }
+        StableOptions {
+            eval: EvalOptions::default(),
+            max_unknowns: 20,
+        }
     }
 }
 
@@ -123,7 +126,11 @@ fn reduct_lfp(
             let HeadLiteral::Pos(head) = &rule.head[0] else {
                 unreachable!("Datalog¬ heads are positive")
             };
-            let sources = Sources { full: &instance, delta: None, neg: Some(candidate) };
+            let sources = Sources {
+                full: &instance,
+                delta: None,
+                neg: Some(candidate),
+            };
             let _ = for_each_match(plan, sources, adom, &mut cache, &mut |env| {
                 let tuple = instantiate(&head.args, env);
                 if !instance.contains_fact(head.pred, &tuple) {
@@ -185,7 +192,13 @@ pub fn stable_models(
     require_language(program, Language::DatalogNeg).map_err(StableError::Eval)?;
     check_range_restricted(program, false)
         .map_err(|e| StableError::Eval(EvalError::Analysis(e)))?;
-    let wf = wellfounded::eval(program, input, options.eval)?;
+    // The stable engine owns the trace; inner well-founded and reduct
+    // runs get a muted handle so candidate churn doesn't clobber it.
+    let tel = options.eval.telemetry.clone();
+    tel.begin("stable");
+    let run_sw = tel.stopwatch();
+    let inner = options.eval.clone().with_telemetry(Telemetry::off());
+    let wf = wellfounded::eval(program, input, inner.clone())?;
     let unknowns: Vec<(unchained_common::Symbol, Tuple)> = wf.unknown_facts();
     if unknowns.len() > options.max_unknowns {
         return Err(StableError::TooManyUnknowns(TooManyUnknowns {
@@ -202,12 +215,25 @@ pub fn stable_models(
                 candidate.insert_fact(*pred, tuple.clone());
             }
         }
-        let lfp = reduct_lfp(program, input, &candidate, &adom, &options.eval)?;
+        let lfp = reduct_lfp(program, input, &candidate, &adom, &inner)?;
         if lfp.same_facts(&candidate) {
             models.push(candidate);
         }
     }
     models.sort_by_cached_key(|m| format!("{m:?}"));
+    tel.note(format!(
+        "well-founded interval: {} true facts, {} unknown; {} candidates tested, {} stable",
+        wf.true_facts.fact_count(),
+        unknowns.len(),
+        1u64 << unknowns.len(),
+        models.len()
+    ));
+    tel.finish(
+        &run_sw,
+        models
+            .first()
+            .map_or(wf.true_facts.fact_count(), Instance::fact_count),
+    );
     Ok(models)
 }
 
@@ -231,8 +257,9 @@ mod tests {
             .iter()
             .map(|n| s(&mut i, n))
             .collect();
-        let (a, b, c, d, e, f, g) =
-            (nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[5], nodes[6]);
+        let (a, b, c, d, e, f, g) = (
+            nodes[0], nodes[1], nodes[2], nodes[3], nodes[4], nodes[5], nodes[6],
+        );
         for (x, y) in [(b, c), (c, a), (a, b), (a, d), (d, e), (d, f), (f, g)] {
             input.insert_fact(moves, Tuple::from([x, y]));
         }
@@ -282,8 +309,7 @@ mod tests {
         input.insert_fact(g, Tuple::from([Value::Int(1), Value::Int(2)]));
         let models = stable_models(&program, &input, StableOptions::default()).unwrap();
         assert_eq!(models.len(), 1);
-        let strat =
-            crate::stratified::eval(&program, &input, EvalOptions::default()).unwrap();
+        let strat = crate::stratified::eval(&program, &input, EvalOptions::default()).unwrap();
         assert!(models[0].same_facts(&strat.instance));
     }
 
@@ -292,8 +318,7 @@ mod tests {
         // p :- !q. q :- !p. — two stable models: {p} and {q}.
         let mut i = Interner::new();
         let program = parse_program("p :- !q. q :- !p.", &mut i).unwrap();
-        let models =
-            stable_models(&program, &Instance::new(), StableOptions::default()).unwrap();
+        let models = stable_models(&program, &Instance::new(), StableOptions::default()).unwrap();
         assert_eq!(models.len(), 2);
         let p = i.get("p").unwrap();
         let q = i.get("q").unwrap();
@@ -309,32 +334,32 @@ mod tests {
         // p :- !p. — the canonical incoherent program.
         let mut i = Interner::new();
         let program = parse_program("p :- !p.", &mut i).unwrap();
-        let models =
-            stable_models(&program, &Instance::new(), StableOptions::default()).unwrap();
+        let models = stable_models(&program, &Instance::new(), StableOptions::default()).unwrap();
         assert!(models.is_empty());
     }
 
     #[test]
     fn stable_models_lie_in_wellfounded_interval() {
         let mut i = Interner::new();
-        let program =
-            parse_program("win(x) :- moves(x,y), !win(y).", &mut i).unwrap();
+        let program = parse_program("win(x) :- moves(x,y), !win(y).", &mut i).unwrap();
         let moves = i.get("moves").unwrap();
         let win = i.get("win").unwrap();
         // 4-cycle: two stable models (alternating kernels).
         let mut input = Instance::new();
         for k in 0..4i64 {
-            input.insert_fact(
-                moves,
-                Tuple::from([Value::Int(k), Value::Int((k + 1) % 4)]),
-            );
+            input.insert_fact(moves, Tuple::from([Value::Int(k), Value::Int((k + 1) % 4)]));
         }
         let wf = wellfounded::eval(&program, &input, EvalOptions::default()).unwrap();
         let models = stable_models(&program, &input, StableOptions::default()).unwrap();
         assert_eq!(models.len(), 2);
         for m in &models {
             // WF.true ⊆ M ⊆ WF.possible on the win relation.
-            for t in wf.true_facts.relation(win).into_iter().flat_map(|r| r.iter()) {
+            for t in wf
+                .true_facts
+                .relation(win)
+                .into_iter()
+                .flat_map(|r| r.iter())
+            {
                 assert!(m.contains_fact(win, t));
             }
             for t in m.relation(win).unwrap().iter() {
@@ -351,17 +376,12 @@ mod tests {
         let q = i.get("q").unwrap();
         let mut m_p = Instance::new();
         m_p.insert_fact(p, Tuple::from([]));
-        assert!(is_stable_model(&program, &Instance::new(), &m_p, EvalOptions::default())
-            .unwrap());
+        assert!(is_stable_model(&program, &Instance::new(), &m_p, EvalOptions::default()).unwrap());
         let mut m_both = m_p.clone();
         m_both.insert_fact(q, Tuple::from([]));
-        assert!(!is_stable_model(
-            &program,
-            &Instance::new(),
-            &m_both,
-            EvalOptions::default()
-        )
-        .unwrap());
+        assert!(
+            !is_stable_model(&program, &Instance::new(), &m_both, EvalOptions::default()).unwrap()
+        );
         assert!(!is_stable_model(
             &program,
             &Instance::new(),
@@ -387,7 +407,10 @@ mod tests {
         let err = stable_models(
             &program,
             &input,
-            StableOptions { max_unknowns: 8, ..Default::default() },
+            StableOptions {
+                max_unknowns: 8,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert!(matches!(err, StableError::TooManyUnknowns(_)));

@@ -12,9 +12,7 @@ use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use crate::seminaive::seminaive_fixpoint;
 use unchained_common::{FxHashSet, Instance, Symbol};
-use unchained_parser::{
-    check_range_restricted, DependencyGraph, HeadLiteral, Language, Program,
-};
+use unchained_parser::{check_range_restricted, DependencyGraph, HeadLiteral, Language, Program};
 
 /// Evaluates a stratified Datalog¬ program.
 ///
@@ -43,8 +41,14 @@ pub fn eval(
     }
 
     let mut cache = IndexCache::new();
+    options.telemetry.begin("stratified");
+    let run_sw = options.telemetry.stopwatch();
     let mut stages = 0;
-    for stratum_rules in stratification.partition_rules(program) {
+    for (stratum, stratum_rules) in stratification
+        .partition_rules(program)
+        .into_iter()
+        .enumerate()
+    {
         if stratum_rules.is_empty() {
             continue;
         }
@@ -54,7 +58,7 @@ pub fn eval(
             .filter_map(|r| r.head.first().and_then(HeadLiteral::atom))
             .map(|a| a.pred)
             .collect();
-        stages += seminaive_fixpoint(
+        let rounds = seminaive_fixpoint(
             &stratum_rules,
             &mut instance,
             &adom,
@@ -62,8 +66,17 @@ pub fn eval(
             &mut cache,
             &options,
         )?;
+        stages += rounds;
+        options.telemetry.note(format!(
+            "stratum {stratum}: {} rules, {rounds} rounds",
+            stratum_rules.len()
+        ));
     }
-    Ok(FixpointRun { instance, stages: stages.max(1) })
+    options.telemetry.finish(&run_sw, instance.fact_count());
+    Ok(FixpointRun {
+        instance,
+        stages: stages.max(1),
+    })
 }
 
 #[cfg(test)]
@@ -115,11 +128,7 @@ mod tests {
     #[test]
     fn pure_datalog_agrees_with_seminaive() {
         let mut i = Interner::new();
-        let p = parse_program(
-            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).",
-            &mut i,
-        )
-        .unwrap();
+        let p = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
         let input = line(&mut i, 6);
         let a = eval(&p, &input, EvalOptions::default()).unwrap();
         let b = crate::seminaive::minimum_model(&p, &input, EvalOptions::default()).unwrap();

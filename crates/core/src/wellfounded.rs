@@ -25,7 +25,7 @@ use crate::eval::{
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::{Instance, Symbol, Tuple, Value};
+use unchained_common::{Instance, StageRecord, Stopwatch, Symbol, Telemetry, Tuple, Value};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
 /// The truth value of a fact in a 3-valued model.
@@ -91,6 +91,7 @@ impl WellFoundedModel {
 /// The reduct least-fixpoint `Γ̂(J)`: evaluates the program bottom-up
 /// from `input` with every negative literal checked against the frozen
 /// instance `J`.
+#[allow(clippy::too_many_arguments)]
 fn reduct_lfp(
     program: &Program,
     plans: &[Plan],
@@ -99,6 +100,7 @@ fn reduct_lfp(
     adom: &[Value],
     cache: &mut IndexCache,
     options: &EvalOptions,
+    fired: &mut u64,
 ) -> Result<Instance, EvalError> {
     let mut instance = input.clone();
     let mut stage = 0usize;
@@ -112,8 +114,13 @@ fn reduct_lfp(
             let HeadLiteral::Pos(head) = &rule.head[0] else {
                 unreachable!("Datalog¬ heads are positive")
             };
-            let sources = Sources { full: &instance, delta: None, neg: Some(frozen) };
+            let sources = Sources {
+                full: &instance,
+                delta: None,
+                neg: Some(frozen),
+            };
             let _ = for_each_match(plan, sources, adom, cache, &mut |env| {
+                *fired += 1;
                 let tuple = instantiate(&head.args, env);
                 if !instance.contains_fact(head.pred, &tuple) {
                     new_facts.push((head.pred, tuple));
@@ -129,6 +136,39 @@ fn reduct_lfp(
             return Ok(instance);
         }
     }
+}
+
+/// Records one application of `Γ̂` as a telemetry stage: the iterate's
+/// idb cardinalities are the "delta" (each application recomputes from
+/// the base, so sizes are absolute, not incremental).
+#[allow(clippy::too_many_arguments)]
+fn record_application(
+    tel: &Telemetry,
+    cache: &IndexCache,
+    sw: &Stopwatch,
+    joins_before: unchained_common::JoinCounters,
+    fired: u64,
+    application: usize,
+    iterate: &Instance,
+    base_count: usize,
+    idb: &[Symbol],
+) {
+    tel.with(|t| {
+        t.stages.push(StageRecord {
+            stage: application,
+            wall_nanos: sw.nanos(),
+            facts_added: iterate.fact_count().saturating_sub(base_count),
+            facts_removed: 0,
+            rules_fired: fired,
+            delta: idb
+                .iter()
+                .filter_map(|&p| iterate.relation(p).map(|r| (p, r.len())))
+                .filter(|&(_, n)| n > 0)
+                .collect(),
+            joins: cache.counters.since(&joins_before),
+        });
+        t.peak_facts = t.peak_facts.max(iterate.fact_count());
+    });
 }
 
 /// Computes the well-founded model of a Datalog¬ program on `input`.
@@ -155,17 +195,61 @@ pub fn eval(
         base.ensure(pred, schema.arity(pred).expect("idb has arity"));
     }
 
+    let tel = options.telemetry.clone();
+    tel.begin("wellfounded");
+    let run_sw = tel.stopwatch();
+    let idb: Vec<Symbol> = program.idb().into_iter().collect();
+    let base_count = base.fact_count();
+
     // Alternating sequence: even iterates underestimate, odd iterates
     // overestimate. I₀ = base (idb empty).
     let mut even = base.clone(); // I₀
-    let mut odd = reduct_lfp(program, &plans, &base, &even, &adom, &mut cache, &options)?; // I₁
+    let mut sw = tel.stopwatch();
+    let mut joins_before = cache.counters;
+    let mut fired: u64 = 0;
+    let mut odd = reduct_lfp(
+        program, &plans, &base, &even, &adom, &mut cache, &options, &mut fired,
+    )?; // I₁
     let mut rounds = 1;
+    record_application(
+        &tel,
+        &cache,
+        &sw,
+        joins_before,
+        fired,
+        rounds,
+        &odd,
+        base_count,
+        &idb,
+    );
     loop {
-        let next_even =
-            reduct_lfp(program, &plans, &base, &odd, &adom, &mut cache, &options)?;
+        sw = tel.stopwatch();
+        joins_before = cache.counters;
+        fired = 0;
+        let next_even = reduct_lfp(
+            program, &plans, &base, &odd, &adom, &mut cache, &options, &mut fired,
+        )?;
         rounds += 1;
+        record_application(
+            &tel,
+            &cache,
+            &sw,
+            joins_before,
+            fired,
+            rounds,
+            &next_even,
+            base_count,
+            &idb,
+        );
         if next_even.same_facts(&even) {
             // Simultaneous fixpoint reached: (even, odd) is stable.
+            tel.note(format!(
+                "alternating fixpoint stable after {rounds} reduct applications: \
+                 {} true facts, {} possible facts",
+                even.fact_count(),
+                odd.fact_count()
+            ));
+            tel.finish(&run_sw, even.fact_count());
             return Ok(WellFoundedModel {
                 true_facts: even,
                 possible_facts: odd,
@@ -173,8 +257,24 @@ pub fn eval(
             });
         }
         even = next_even;
-        odd = reduct_lfp(program, &plans, &base, &even, &adom, &mut cache, &options)?;
+        sw = tel.stopwatch();
+        joins_before = cache.counters;
+        fired = 0;
+        odd = reduct_lfp(
+            program, &plans, &base, &even, &adom, &mut cache, &options, &mut fired,
+        )?;
         rounds += 1;
+        record_application(
+            &tel,
+            &cache,
+            &sw,
+            joins_before,
+            fired,
+            rounds,
+            &odd,
+            base_count,
+            &idb,
+        );
     }
 }
 
@@ -186,7 +286,10 @@ pub fn eval_two_valued(
     options: EvalOptions,
 ) -> Result<FixpointRun, EvalError> {
     let model = eval(program, input, options)?;
-    Ok(FixpointRun { instance: model.true_facts, stages: model.rounds })
+    Ok(FixpointRun {
+        instance: model.true_facts,
+        stages: model.rounds,
+    })
 }
 
 #[cfg(test)]
@@ -254,16 +357,14 @@ mod tests {
     #[test]
     fn pure_datalog_is_total_and_minimum_model() {
         let mut i = Interner::new();
-        let program =
-            parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
+        let program = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
         let g = i.get("G").unwrap();
         let mut input = Instance::new();
         input.insert_fact(g, Tuple::from([Value::Int(1), Value::Int(2)]));
         input.insert_fact(g, Tuple::from([Value::Int(2), Value::Int(3)]));
         let model = eval(&program, &input, EvalOptions::default()).unwrap();
         assert!(model.is_total());
-        let mm = crate::seminaive::minimum_model(&program, &input, EvalOptions::default())
-            .unwrap();
+        let mm = crate::seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
         assert!(model.true_facts.same_facts(&mm.instance));
     }
 
@@ -307,9 +408,15 @@ mod tests {
         let model = eval(&program, &input, EvalOptions::default()).unwrap();
         assert!(model.is_total());
         // 3 is lost (no moves), 2 wins, 1 loses, 0 wins.
-        assert_eq!(model.truth(win, &Tuple::from([Value::Int(3)])), Truth::False);
+        assert_eq!(
+            model.truth(win, &Tuple::from([Value::Int(3)])),
+            Truth::False
+        );
         assert_eq!(model.truth(win, &Tuple::from([Value::Int(2)])), Truth::True);
-        assert_eq!(model.truth(win, &Tuple::from([Value::Int(1)])), Truth::False);
+        assert_eq!(
+            model.truth(win, &Tuple::from([Value::Int(1)])),
+            Truth::False
+        );
         assert_eq!(model.truth(win, &Tuple::from([Value::Int(0)])), Truth::True);
     }
 

@@ -65,10 +65,20 @@ fn planner_matches(rule: &Rule, instance: &Instance, adom: &[Value]) -> Vec<Vec<
     let plan = plan_rule(rule);
     let mut cache = IndexCache::new();
     let mut out = Vec::new();
-    let _ = for_each_match(&plan, Sources::simple(instance), adom, &mut cache, &mut |env| {
-        out.push(vars.iter().map(|v| env[v.index()].unwrap()).collect::<Vec<_>>());
-        ControlFlow::Continue(())
-    });
+    let _ = for_each_match(
+        &plan,
+        Sources::simple(instance),
+        adom,
+        &mut cache,
+        &mut |env| {
+            out.push(
+                vars.iter()
+                    .map(|v| env[v.index()].unwrap())
+                    .collect::<Vec<_>>(),
+            );
+            ControlFlow::Continue(())
+        },
+    );
     out.sort();
     out.dedup();
     out
@@ -114,7 +124,10 @@ fn planner_agrees_with_brute_force_on_tricky_bodies() {
         let adom = active_domain(&program, &instance);
         let expected = brute_force(rule, &instance, &adom);
         let got = planner_matches(rule, &instance, &adom);
-        assert_eq!(got, expected, "planner diverges from brute force on:\n{src}");
+        assert_eq!(
+            got, expected,
+            "planner diverges from brute force on:\n{src}"
+        );
     }
 }
 
@@ -135,7 +148,9 @@ fn planner_agrees_on_randomized_bodies() {
     let preds = ["A", "B"];
     let mut seed = 0xD1CEu64;
     let mut next = move || {
-        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (seed >> 33) as usize
     };
     for trial in 0..60 {

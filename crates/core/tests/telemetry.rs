@@ -1,0 +1,279 @@
+//! Integration tests for the telemetry subsystem: stage-by-stage
+//! traces of the engines on the paper's worked fixpoint examples.
+//!
+//! The stage counts asserted here are the machine-checked form of the
+//! paper's hand-worked iterations: transitive closure of an n-chain
+//! saturates in n stages with strictly shrinking deltas, and the
+//! Section 4.2 flip-flop program cycles with period 2.
+
+use unchained_common::{Instance, Interner, Telemetry, Tuple, Value};
+use unchained_core::{naive, noninflationary, seminaive, wellfounded, EvalError, EvalOptions};
+use unchained_parser::parse_program;
+
+const TC: &str = "T(x,y) :- G(x,y).\nT(x,y) :- G(x,z), T(z,y).";
+
+/// A directed chain 1 → 2 → … → n over predicate `G`.
+fn chain(interner: &mut Interner, n: i64) -> Instance {
+    let g = interner.intern("G");
+    let mut db = Instance::new();
+    for k in 1..n {
+        db.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
+    }
+    db
+}
+
+/// A directed cycle 1 → 2 → … → n → 1 over predicate `G`.
+fn cycle(interner: &mut Interner, n: i64) -> Instance {
+    let g = interner.intern("G");
+    let mut db = Instance::new();
+    for k in 1..=n {
+        let next = if k == n { 1 } else { k + 1 };
+        db.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(next)]));
+    }
+    db
+}
+
+#[test]
+fn seminaive_chain_trace_has_shrinking_deltas() {
+    let mut i = Interner::new();
+    let program = parse_program(TC, &mut i).unwrap();
+    let n = 6i64;
+    let input = chain(&mut i, n);
+    let tel = Telemetry::enabled();
+    let run = seminaive::minimum_model(
+        &program,
+        &input,
+        EvalOptions::default().with_telemetry(tel.clone()),
+    )
+    .unwrap();
+    let trace = tel.snapshot().expect("trace");
+    assert_eq!(trace.engine, "seminaive");
+    // Stage k derives the paths of length k+1; the last stage is the
+    // empty one that detects the fixpoint. Chain of n nodes: deltas
+    // n-1, n-2, …, 1, 0 over n stages.
+    assert_eq!(trace.stages.len(), n as usize);
+    let t = i.get("T").unwrap();
+    for (idx, stage) in trace.stages.iter().enumerate() {
+        let expected = n as usize - 1 - idx;
+        assert_eq!(stage.stage, idx + 1);
+        assert_eq!(stage.facts_added, expected, "stage {}", idx + 1);
+        if expected > 0 {
+            assert_eq!(stage.delta, vec![(t, expected)], "stage {}", idx + 1);
+        } else {
+            assert!(stage.delta.is_empty());
+        }
+        assert_eq!(stage.facts_removed, 0);
+    }
+    // T holds all n(n-1)/2 ordered pairs; G's n-1 facts were input.
+    let pairs = (n * (n - 1) / 2) as usize;
+    assert_eq!(trace.total_facts_added(), pairs);
+    assert_eq!(trace.final_facts, run.instance.fact_count());
+    assert_eq!(trace.final_facts, pairs + (n as usize - 1));
+    assert_eq!(trace.peak_facts, trace.final_facts);
+    assert!(trace.joins.probes > 0, "semi-naive TC must probe indexes");
+}
+
+#[test]
+fn seminaive_cycle_trace_adds_n_facts_per_stage() {
+    let mut i = Interner::new();
+    let program = parse_program(TC, &mut i).unwrap();
+    let n = 5i64;
+    let input = cycle(&mut i, n);
+    let tel = Telemetry::enabled();
+    seminaive::minimum_model(
+        &program,
+        &input,
+        EvalOptions::default().with_telemetry(tel.clone()),
+    )
+    .unwrap();
+    let trace = tel.snapshot().expect("trace");
+    // On an n-cycle every stage (but the last two) derives exactly the
+    // n paths one hop longer, until all n² pairs exist.
+    assert_eq!(trace.total_facts_added(), (n * n) as usize);
+    for stage in &trace.stages[..trace.stages.len() - 2] {
+        assert_eq!(stage.facts_added, n as usize, "stage {}", stage.stage);
+    }
+    assert_eq!(trace.stages.last().unwrap().facts_added, 0);
+}
+
+#[test]
+fn naive_and_seminaive_traces_agree_on_totals() {
+    let mut i = Interner::new();
+    let program = parse_program(TC, &mut i).unwrap();
+    let input = chain(&mut i, 7);
+    let ntel = Telemetry::enabled();
+    let nrun = naive::minimum_model(
+        &program,
+        &input,
+        EvalOptions::default().with_telemetry(ntel.clone()),
+    )
+    .unwrap();
+    let stel = Telemetry::enabled();
+    let srun = seminaive::minimum_model(
+        &program,
+        &input,
+        EvalOptions::default().with_telemetry(stel.clone()),
+    )
+    .unwrap();
+    let ntrace = ntel.snapshot().unwrap();
+    let strace = stel.snapshot().unwrap();
+    assert_eq!(ntrace.engine, "naive");
+    assert_eq!(strace.engine, "seminaive");
+    // Same minimum model, hence the same totals…
+    assert_eq!(nrun.instance, srun.instance);
+    assert_eq!(ntrace.total_facts_added(), strace.total_facts_added());
+    assert_eq!(ntrace.final_facts, strace.final_facts);
+    assert_eq!(ntrace.stages.len(), strace.stages.len());
+    // …but naive refires every rule body from scratch each stage, so
+    // the trace exposes the redundant work Section 4.1 warns about.
+    assert!(
+        ntrace.rules_fired > strace.rules_fired,
+        "naive fired {} vs semi-naive {}",
+        ntrace.rules_fired,
+        strace.rules_fired
+    );
+}
+
+#[test]
+fn flip_flop_divergence_is_visible_in_trace() {
+    let mut i = Interner::new();
+    // The Section 4.2 flip-flop program: T alternates {⟨0⟩} / {⟨1⟩}.
+    let program = parse_program(
+        "T(0) :- T(1).\n!T(1) :- T(1).\nT(1) :- T(0).\n!T(0) :- T(0).",
+        &mut i,
+    )
+    .unwrap();
+    let t = i.get("T").unwrap();
+    let mut input = Instance::new();
+    input.insert_fact(t, Tuple::from([Value::Int(0)]));
+    let tel = Telemetry::enabled();
+    let err = noninflationary::eval(
+        &program,
+        &input,
+        noninflationary::ConflictPolicy::PreferPositive,
+        EvalOptions::default().with_telemetry(tel.clone()),
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        EvalError::Diverged {
+            stage: 2,
+            period: 2
+        }
+    );
+    // The engine finishes the trace before reporting divergence, so
+    // the period-2 cycle is machine-checkable from the snapshot.
+    let trace = tel.snapshot().expect("trace survives divergence");
+    assert_eq!(trace.engine, "noninflationary");
+    let d = trace.divergence.expect("divergence snapshot");
+    assert_eq!(d.diverged_stage, Some(2));
+    assert_eq!(d.period, Some(2));
+    assert!(d.states_seen >= 2);
+    // Each stage both adds and retracts one T fact.
+    assert!(trace.stages.iter().any(|s| s.facts_removed > 0));
+}
+
+#[test]
+fn wellfounded_trace_reports_engine_and_work() {
+    let mut i = Interner::new();
+    let program = parse_program("win(x) :- moves(x,y), !win(y).", &mut i).unwrap();
+    let moves = i.get("moves").unwrap();
+    let mut input = Instance::new();
+    for (a, b) in [(1, 2), (2, 1), (2, 3)] {
+        input.insert_fact(moves, Tuple::from([Value::Int(a), Value::Int(b)]));
+    }
+    let tel = Telemetry::enabled();
+    wellfounded::eval(
+        &program,
+        &input,
+        EvalOptions::default().with_telemetry(tel.clone()),
+    )
+    .unwrap();
+    let trace = tel.snapshot().unwrap();
+    assert_eq!(trace.engine, "wellfounded");
+    assert!(trace.stages.len() >= 2, "alternating fixpoint takes rounds");
+}
+
+#[test]
+fn disabled_telemetry_yields_no_snapshot() {
+    let mut i = Interner::new();
+    let program = parse_program(TC, &mut i).unwrap();
+    let input = chain(&mut i, 4);
+    let tel = Telemetry::off();
+    seminaive::minimum_model(
+        &program,
+        &input,
+        EvalOptions::default().with_telemetry(tel.clone()),
+    )
+    .unwrap();
+    assert!(tel.snapshot().is_none());
+    assert!(!tel.is_enabled());
+}
+
+/// A deliberately tiny JSON-lines structure check (no JSON crate in the
+/// sanctioned dependency set): every line must be a flat-ish object
+/// with balanced braces/brackets and correctly quoted strings.
+fn assert_json_object_line(line: &str) {
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in line.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "unbalanced in {line}");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced in {line}");
+    assert!(!in_string, "unterminated string in {line}");
+}
+
+#[test]
+fn trace_json_lines_are_well_formed() {
+    let mut i = Interner::new();
+    let program = parse_program(TC, &mut i).unwrap();
+    let input = chain(&mut i, 5);
+    let tel = Telemetry::enabled();
+    seminaive::minimum_model(
+        &program,
+        &input,
+        EvalOptions::default().with_telemetry(tel.clone()),
+    )
+    .unwrap();
+    let mut trace = tel.snapshot().unwrap();
+    trace.interner_symbols = i.len();
+    trace
+        .notes
+        .push("quote \" backslash \\ newline \n done".to_string());
+    let json = trace.to_json_lines(&i);
+    let lines: Vec<&str> = json.lines().collect();
+    // One run line plus one line per stage.
+    assert_eq!(lines.len(), 1 + trace.stages.len());
+    for line in &lines {
+        assert_json_object_line(line);
+    }
+    assert!(lines[0].contains("\"type\":\"run\""));
+    assert!(lines[0].contains("\"engine\":\"seminaive\""));
+    assert!(lines[0].contains("\\\"")); // the quote in the note survived escaping
+    for (idx, line) in lines[1..].iter().enumerate() {
+        assert!(line.contains("\"type\":\"stage\""), "{line}");
+        assert!(line.contains(&format!("\"stage\":{}", idx + 1)), "{line}");
+    }
+    // Per-predicate deltas are keyed by interned name.
+    assert!(lines[1].contains("\"T\":4"), "{}", lines[1]);
+}

@@ -99,12 +99,21 @@ pub struct Peer {
 impl Peer {
     /// Creates a peer.
     pub fn new(name: impl Into<String>, program: Program, database: Instance) -> Self {
-        Peer { name: name.into(), program, database, exports: Vec::new() }
+        Peer {
+            name: name.into(),
+            program,
+            database,
+            exports: Vec::new(),
+        }
     }
 
     /// Adds an export declaration (builder style).
     pub fn exporting(mut self, local: Symbol, to: impl Into<String>, remote: Symbol) -> Self {
-        self.exports.push(Export { local, to: to.into(), remote });
+        self.exports.push(Export {
+            local,
+            to: to.into(),
+            remote,
+        });
         self
     }
 }
@@ -194,8 +203,12 @@ impl Network {
         let names: Vec<String> = self.peers.keys().cloned().collect();
         for name in &names {
             let peer = self.peers.get_mut(name).expect("listed");
-            let run = inflationary::eval(&peer.program, &peer.database, options)
-                .map_err(|error| ExchangeError::Local { peer: name.clone(), error })?;
+            let run = inflationary::eval(&peer.program, &peer.database, options.clone()).map_err(
+                |error| ExchangeError::Local {
+                    peer: name.clone(),
+                    error,
+                },
+            )?;
             peer.database = run.instance;
             stages += run.stages;
         }
@@ -220,10 +233,7 @@ impl Network {
         let mut delivered = 0;
         for (to, remote, rel) in deliveries {
             let target = self.peers.get_mut(&to).expect("validated");
-            delivered += target
-                .database
-                .ensure(remote, rel.arity())
-                .union_with(&rel);
+            delivered += target.database.ensure(remote, rel.arity()).union_with(&rel);
         }
         Ok((delivered, stages))
     }
@@ -235,13 +245,17 @@ impl Network {
         max_rounds: usize,
     ) -> Result<ExchangeReport, ExchangeError> {
         let options = EvalOptions::default();
-        let mut report = ExchangeReport { rounds: 0, delivered: 0, local_stages: 0 };
+        let mut report = ExchangeReport {
+            rounds: 0,
+            delivered: 0,
+            local_stages: 0,
+        };
         loop {
             report.rounds += 1;
             if report.rounds > max_rounds {
                 return Err(ExchangeError::RoundLimitExceeded(max_rounds));
             }
-            let (delivered, stages) = self.round(options)?;
+            let (delivered, stages) = self.round(options.clone())?;
             report.delivered += delivered;
             report.local_stages += stages;
             if delivered == 0 {
@@ -304,12 +318,8 @@ mod tests {
         }
 
         let mut network = Network::new();
-        network.add_peer(
-            Peer::new("even", program.clone(), even_db).exporting(t, "odd", timp),
-        );
-        network.add_peer(
-            Peer::new("odd", program.clone(), odd_db).exporting(t, "even", timp),
-        );
+        network.add_peer(Peer::new("even", program.clone(), even_db).exporting(t, "odd", timp));
+        network.add_peer(Peer::new("odd", program.clone(), odd_db).exporting(t, "even", timp));
         let report = network.run_to_convergence(100).unwrap();
         assert!(report.rounds > 1, "cross-peer paths need exchange");
 
@@ -319,11 +329,7 @@ mod tests {
             central_db.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
         }
         let central = unchained_core::inflationary::eval(
-            &parse_program(
-                "T(x,y) :- G(x,y). T(x,y) :- T(x,z), T(z,y).",
-                &mut i,
-            )
-            .unwrap(),
+            &parse_program("T(x,y) :- G(x,y). T(x,y) :- T(x,z), T(z,y).", &mut i).unwrap(),
             &central_db,
             EvalOptions::default(),
         )

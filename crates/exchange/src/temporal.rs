@@ -20,13 +20,13 @@
 //! step budget.
 
 use crate::ExchangeError;
+use std::ops::ControlFlow;
 use unchained_common::{FxHashMap, Instance, Symbol, Tuple};
 use unchained_core::eval::{
     active_domain, for_each_match, instantiate, plan_rule, IndexCache, Plan, Sources,
 };
 use unchained_core::{inflationary, EvalError, EvalOptions};
 use unchained_parser::{HeadLiteral, Program};
-use std::ops::ControlFlow;
 
 /// A temporal program: deductive (same-timestep) and inductive
 /// (next-timestep) Datalog¬ rules over one schema.
@@ -106,10 +106,12 @@ pub fn run_temporal(
     max_steps: usize,
 ) -> Result<TemporalRun, ExchangeError> {
     fn local(which: &str) -> impl Fn(EvalError) -> ExchangeError + '_ {
-        move |error| ExchangeError::Local { peer: which.to_string(), error }
+        move |error| ExchangeError::Local {
+            peer: which.to_string(),
+            error,
+        }
     }
-    let inductive_plans: Vec<Plan> =
-        program.inductive.rules.iter().map(plan_rule).collect();
+    let inductive_plans: Vec<Plan> = program.inductive.rules.iter().map(plan_rule).collect();
 
     let mut trace: Vec<Instance> = Vec::new();
     let mut seen: FxHashMap<u64, Vec<(usize, Instance)>> = FxHashMap::default();
@@ -123,9 +125,7 @@ pub fn run_temporal(
         let t = trace.len();
         let fp = closed.fingerprint();
         if let Some(bucket) = seen.get(&fp) {
-            if let Some((first, _)) =
-                bucket.iter().find(|(_, s)| s.same_facts(&closed))
-            {
+            if let Some((first, _)) = bucket.iter().find(|(_, s)| s.same_facts(&closed)) {
                 let period = t - first;
                 trace.push(closed);
                 return Ok(TemporalRun {
@@ -134,7 +134,10 @@ pub fn run_temporal(
                         // Immediate repetition of the previous state.
                         TemporalEnd::Fixpoint { at: *first }
                     } else {
-                        TemporalEnd::Cycle { first: *first, period }
+                        TemporalEnd::Cycle {
+                            first: *first,
+                            period,
+                        }
                     },
                 });
             }
@@ -142,7 +145,10 @@ pub fn run_temporal(
         seen.entry(fp).or_default().push((t, closed.clone()));
         trace.push(closed.clone());
         if t >= max_steps {
-            return Ok(TemporalRun { trace, end: TemporalEnd::BudgetExhausted });
+            return Ok(TemporalRun {
+                trace,
+                end: TemporalEnd::BudgetExhausted,
+            });
         }
         // One parallel inductive firing builds S_{t+1}.
         let adom = active_domain(&program.inductive, &closed);
@@ -203,7 +209,10 @@ mod tests {
             initial.insert_fact(succ, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
         }
         initial.insert_fact(at, Tuple::from([Value::Int(0)]));
-        let program = TemporalProgram { deductive: empty_program(), inductive };
+        let program = TemporalProgram {
+            deductive: empty_program(),
+            inductive,
+        };
         let run = run_temporal(&program, &initial, 100).unwrap();
         // At timestep t the counter is at position t (until it falls
         // off the chain and the at-relation empties → fixpoint).
@@ -227,7 +236,10 @@ mod tests {
         let on = i.get("on").unwrap();
         let mut initial = Instance::new();
         initial.insert_fact(lamp, Tuple::from([Value::Int(1)]));
-        let program = TemporalProgram { deductive: empty_program(), inductive };
+        let program = TemporalProgram {
+            deductive: empty_program(),
+            inductive,
+        };
         let run = run_temporal(&program, &initial, 100).unwrap();
         assert!(matches!(run.end, TemporalEnd::Cycle { period: 2, .. }));
         // Alternating on/off along the trace.
@@ -240,11 +252,8 @@ mod tests {
     #[test]
     fn deductive_closure_within_each_step() {
         let mut i = Interner::new();
-        let deductive = parse_program(
-            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).",
-            &mut i,
-        )
-        .unwrap();
+        let deductive =
+            parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
         // Edges persist, and one new edge appears at every step from a
         // pending queue.
         let inductive = parse_program(
@@ -261,9 +270,15 @@ mod tests {
         let turn = i.get("turn").unwrap();
         let mut initial = Instance::new();
         initial.insert_fact(g, Tuple::from([Value::Int(0), Value::Int(1)]));
-        initial.insert_fact(nextedge, Tuple::from([Value::Int(1), Value::Int(2), Value::Int(0)]));
+        initial.insert_fact(
+            nextedge,
+            Tuple::from([Value::Int(1), Value::Int(2), Value::Int(0)]),
+        );
         initial.insert_fact(turn, Tuple::from([Value::Int(0)]));
-        let program = TemporalProgram { deductive, inductive };
+        let program = TemporalProgram {
+            deductive,
+            inductive,
+        };
         let run = run_temporal(&program, &initial, 50).unwrap();
         // Step 0: only 0→1 closed. Step 1: edge 1→2 arrives; closure
         // includes 0→2.
@@ -282,7 +297,10 @@ mod tests {
         let other = i.get("other").unwrap();
         let mut initial = Instance::new();
         initial.insert_fact(seed, Tuple::from([Value::Int(9)]));
-        let program = TemporalProgram { deductive: empty_program(), inductive };
+        let program = TemporalProgram {
+            deductive: empty_program(),
+            inductive,
+        };
         let run = run_temporal(&program, &initial, 10).unwrap();
         assert!(run.trace[1].contains_fact(other, &Tuple::from([Value::Int(9)])));
         assert!(!run.trace[1].contains_fact(seed, &Tuple::from([Value::Int(9)])));
@@ -297,11 +315,8 @@ mod tests {
         // here simulated with an unbounded queue? Values cannot grow, so
         // use a long chain and a tiny budget instead.
         let mut i = Interner::new();
-        let inductive = parse_program(
-            "succ(x,y) :- succ(x,y). at(y) :- at(x), succ(x,y).",
-            &mut i,
-        )
-        .unwrap();
+        let inductive =
+            parse_program("succ(x,y) :- succ(x,y). at(y) :- at(x), succ(x,y).", &mut i).unwrap();
         let succ = i.get("succ").unwrap();
         let at = i.get("at").unwrap();
         let mut initial = Instance::new();
@@ -309,7 +324,10 @@ mod tests {
             initial.insert_fact(succ, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
         }
         initial.insert_fact(at, Tuple::from([Value::Int(0)]));
-        let program = TemporalProgram { deductive: empty_program(), inductive };
+        let program = TemporalProgram {
+            deductive: empty_program(),
+            inductive,
+        };
         let run = run_temporal(&program, &initial, 5).unwrap();
         assert_eq!(run.trace.len(), 6);
         assert!(matches!(run.end, TemporalEnd::BudgetExhausted));

@@ -172,9 +172,9 @@ pub fn eval(expr: &Expr, instance: &Instance) -> Result<Relation, AlgebraError> 
             }
             let mut out = Relation::new(input.arity());
             for t in input.iter() {
-                let ok = conds.iter().all(|c| {
-                    (operand_value(c.left, t) == operand_value(c.right, t)) == c.equal
-                });
+                let ok = conds
+                    .iter()
+                    .all(|c| (operand_value(c.left, t) == operand_value(c.right, t)) == c.equal);
                 if ok {
                     out.insert(t.clone());
                 }
@@ -186,10 +186,16 @@ pub fn eval(expr: &Expr, instance: &Instance) -> Result<Relation, AlgebraError> 
             let r = eval(right, instance)?;
             for &(i, j) in pairs {
                 if i >= l.arity() {
-                    return Err(AlgebraError::ColumnOutOfRange { column: i, arity: l.arity() });
+                    return Err(AlgebraError::ColumnOutOfRange {
+                        column: i,
+                        arity: l.arity(),
+                    });
                 }
                 if j >= r.arity() {
-                    return Err(AlgebraError::ColumnOutOfRange { column: j, arity: r.arity() });
+                    return Err(AlgebraError::ColumnOutOfRange {
+                        column: j,
+                        arity: r.arity(),
+                    });
                 }
             }
             let mut out = Relation::new(l.arity() + r.arity());
@@ -223,7 +229,10 @@ pub fn eval(expr: &Expr, instance: &Instance) -> Result<Relation, AlgebraError> 
             let mut l = eval(left, instance)?;
             let r = eval(right, instance)?;
             if l.arity() != r.arity() {
-                return Err(AlgebraError::ArityMismatch { left: l.arity(), right: r.arity() });
+                return Err(AlgebraError::ArityMismatch {
+                    left: l.arity(),
+                    right: r.arity(),
+                });
             }
             l.union_with(&r);
             Ok(l)
@@ -232,7 +241,10 @@ pub fn eval(expr: &Expr, instance: &Instance) -> Result<Relation, AlgebraError> 
             let mut l = eval(left, instance)?;
             let r = eval(right, instance)?;
             if l.arity() != r.arity() {
-                return Err(AlgebraError::ArityMismatch { left: l.arity(), right: r.arity() });
+                return Err(AlgebraError::ArityMismatch {
+                    left: l.arity(),
+                    right: r.arity(),
+                });
             }
             l.difference_with(&r);
             Ok(l)

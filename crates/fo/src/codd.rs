@@ -37,26 +37,22 @@ use unchained_common::{Instance, Relation, Tuple, Value};
 /// The resulting expression — evaluated with
 /// [`crate::algebra::eval`] against the same instance — produces
 /// exactly `eval_formula(phi, layout, instance, domain)`.
-pub fn compile_formula(
-    phi: &Formula,
-    layout: &[FoVar],
-    domain: &[Value],
-) -> Result<Expr, FoError> {
+pub fn compile_formula(phi: &Formula, layout: &[FoVar], domain: &[Value]) -> Result<Expr, FoError> {
     for v in phi.free_vars() {
         if !layout.contains(&v) {
             return Err(FoError::UnboundVariable(v));
         }
     }
-    let dom_rel = Relation::from_tuples(
-        1,
-        domain.iter().map(|&v| Tuple::from([v])),
-    );
+    let dom_rel = Relation::from_tuples(1, domain.iter().map(|&v| Tuple::from([v])));
     let max_var = max_var_index(phi)
         .into_iter()
         .chain(layout.iter().map(|v| v.index() as u32))
         .max()
         .map_or(0, |m| m + 1);
-    let ctx = Ctx { domain: dom_rel, next_fresh: std::cell::Cell::new(max_var) };
+    let ctx = Ctx {
+        domain: dom_rel,
+        next_fresh: std::cell::Cell::new(max_var),
+    };
     ctx.compile(phi, layout)
 }
 
@@ -71,11 +67,9 @@ fn max_var_index(phi: &Formula) -> Option<u32> {
         Formula::Eq(l, r) => term(l).max(term(r)),
         Formula::Not(inner) => max_var_index(inner),
         Formula::And(fs) | Formula::Or(fs) => fs.iter().filter_map(max_var_index).max(),
-        Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => vars
-            .iter()
-            .map(|v| v.0)
-            .max()
-            .max(max_var_index(inner)),
+        Formula::Exists(vars, inner) | Formula::Forall(vars, inner) => {
+            vars.iter().map(|v| v.0).max().max(max_var_index(inner))
+        }
     }
 }
 
@@ -184,7 +178,11 @@ impl Ctx {
                 };
                 Ok(Expr::Select(
                     Box::new(base),
-                    vec![Condition { left: operand(l)?, right: operand(r)?, equal: true }],
+                    vec![Condition {
+                        left: operand(l)?,
+                        right: operand(r)?,
+                        equal: true,
+                    }],
                 ))
             }
             Formula::Not(inner) => {

@@ -134,11 +134,7 @@ impl Formula {
         out.into_iter().collect()
     }
 
-    fn collect_free(
-        &self,
-        bound: &mut Vec<FoVar>,
-        out: &mut std::collections::BTreeSet<FoVar>,
-    ) {
+    fn collect_free(&self, bound: &mut Vec<FoVar>, out: &mut std::collections::BTreeSet<FoVar>) {
         match self {
             Formula::True | Formula::False => {}
             Formula::Atom(_, terms) => {
@@ -197,7 +193,11 @@ impl fmt::Display for FoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             FoError::UnknownRelation(s) => write!(f, "unknown relation {s:?}"),
-            FoError::ArityMismatch { relation, expected, found } => write!(
+            FoError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
                 f,
                 "arity mismatch on {relation:?}: instance has {expected}, formula uses {found}"
             ),
@@ -270,10 +270,14 @@ fn satisfies(
             Ok(false)
         }
         Formula::Exists(vars, inner) => {
-            quantify(vars, inner, instance, domain, env, /* universal = */ false)
+            quantify(
+                vars, inner, instance, domain, env, /* universal = */ false,
+            )
         }
         Formula::Forall(vars, inner) => {
-            quantify(vars, inner, instance, domain, env, /* universal = */ true)
+            quantify(
+                vars, inner, instance, domain, env, /* universal = */ true,
+            )
         }
     }
 }
@@ -352,11 +356,7 @@ pub fn eval_formula(
         }
     }
     let mut out = Relation::new(free_vars.len());
-    let env_len = free_vars
-        .iter()
-        .map(|v| v.index() + 1)
-        .max()
-        .unwrap_or(0);
+    let env_len = free_vars.iter().map(|v| v.index() + 1).max().unwrap_or(0);
     let mut env: Env = vec![None; env_len];
     fn rec(
         remaining: &[FoVar],
@@ -384,7 +384,9 @@ pub fn eval_formula(
         env[v.index()] = None;
         Ok(())
     }
-    rec(free_vars, free_vars, formula, instance, domain, &mut env, &mut out)?;
+    rec(
+        free_vars, free_vars, formula, instance, domain, &mut env, &mut out,
+    )?;
     Ok(out)
 }
 
@@ -407,11 +409,7 @@ pub fn display_formula(formula: &Formula, vars: &VarSet, interner: &Interner) ->
                 .collect::<Vec<_>>()
                 .join(", ")
         ),
-        Formula::Eq(s, t) => format!(
-            "{} = {}",
-            term(s, vars, interner),
-            term(t, vars, interner)
-        ),
+        Formula::Eq(s, t) => format!("{} = {}", term(s, vars, interner), term(t, vars, interner)),
         Formula::Not(inner) => format!("¬({})", display_formula(inner, vars, interner)),
         Formula::And(fs) => format!(
             "({})",
@@ -429,12 +427,18 @@ pub fn display_formula(formula: &Formula, vars: &VarSet, interner: &Interner) ->
         ),
         Formula::Exists(vs, inner) => format!(
             "∃{} ({})",
-            vs.iter().map(|v| vars.name(*v)).collect::<Vec<_>>().join(","),
+            vs.iter()
+                .map(|v| vars.name(*v))
+                .collect::<Vec<_>>()
+                .join(","),
             display_formula(inner, vars, interner)
         ),
         Formula::Forall(vs, inner) => format!(
             "∀{} ({})",
-            vs.iter().map(|v| vars.name(*v)).collect::<Vec<_>>().join(","),
+            vs.iter()
+                .map(|v| vars.name(*v))
+                .collect::<Vec<_>>()
+                .join(","),
             display_formula(inner, vars, interner)
         ),
     }
@@ -554,10 +558,7 @@ mod tests {
         let y = vs.var("y");
         let mut i = Interner::new();
         let g = i.intern("G");
-        let phi = Formula::exists(
-            [y],
-            Formula::Atom(g, vec![FoTerm::Var(x), FoTerm::Var(y)]),
-        );
+        let phi = Formula::exists([y], Formula::Atom(g, vec![FoTerm::Var(x), FoTerm::Var(y)]));
         assert_eq!(phi.free_vars(), vec![x]);
     }
 

@@ -18,8 +18,8 @@ pub mod formula;
 pub mod text;
 
 pub use algebra::{eval as eval_algebra, AlgebraError, Condition, Expr, Operand};
+pub use codd::{compile_formula, eval_via_algebra};
 pub use formula::{
     display_formula, eval_formula, eval_sentence, FoError, FoTerm, FoVar, Formula, VarSet,
 };
-pub use codd::{compile_formula, eval_via_algebra};
 pub use text::{parse_formula, TextError};

@@ -319,9 +319,7 @@ pub fn lex(src: &str) -> Result<Vec<(Tok, usize)>, TextError> {
             }
             a if a.is_alphabetic() || a == '_' => {
                 let mut s = String::new();
-                while i < n
-                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '-')
-                {
+                while i < n && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '-') {
                     // Stop before `->`.
                     if bytes[i] == '-' && bytes.get(i + 1) == Some(&'>') {
                         break;
@@ -375,7 +373,12 @@ impl<'a> Cursor<'a> {
         interner: &'a mut Interner,
         vars: &'a mut VarSet,
     ) -> Result<Self, TextError> {
-        Ok(Cursor { toks: lex(src)?, at: 0, interner, vars })
+        Ok(Cursor {
+            toks: lex(src)?,
+            at: 0,
+            interner,
+            vars,
+        })
     }
 
     /// The current token.
@@ -409,7 +412,10 @@ impl<'a> Cursor<'a> {
 
     /// Builds an error at the current position.
     pub fn error(&self, message: String) -> TextError {
-        TextError { message, offset: self.offset() }
+        TextError {
+            message,
+            offset: self.offset(),
+        }
     }
 
     /// True at end of input.
@@ -569,9 +575,7 @@ impl<'a> Cursor<'a> {
                 match self.bump() {
                     Tok::Eq => Ok(Formula::Eq(lhs, self.parse_term()?)),
                     Tok::Neq => Ok(Formula::Eq(lhs, self.parse_term()?).not()),
-                    other => {
-                        Err(self.error(format!("expected `=` or `!=`, found {other}")))
-                    }
+                    other => Err(self.error(format!("expected `=` or `!=`, found {other}"))),
                 }
             }
             other => Err(self.error(format!("expected formula, found {other}"))),

@@ -5,9 +5,7 @@
 //! take an explicit seed), so tests, benches and the Figure 1 harness
 //! are reproducible.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use unchained_common::{Instance, Interner, Symbol, Tuple, Value};
+use unchained_common::{Instance, Interner, Rng, Symbol, Tuple, Value};
 
 /// Inserts the edge `(a, b)` into `rel`.
 fn edge(instance: &mut Instance, rel: Symbol, a: i64, b: i64) {
@@ -53,15 +51,9 @@ pub fn complete_graph(interner: &mut Interner, name: &str, n: i64) -> Instance {
 
 /// A random digraph on `n` nodes where each ordered pair (including
 /// self-loops) is an edge independently with probability `p`.
-pub fn random_digraph(
-    interner: &mut Interner,
-    name: &str,
-    n: i64,
-    p: f64,
-    seed: u64,
-) -> Instance {
+pub fn random_digraph(interner: &mut Interner, name: &str, n: i64, p: f64, seed: u64) -> Instance {
     let rel = interner.intern(name);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seeded(seed);
     let mut instance = Instance::new();
     instance.ensure(rel, 2);
     for a in 0..n {
@@ -85,7 +77,7 @@ pub fn symmetric_pairs(
     seed: u64,
 ) -> Instance {
     let rel = interner.intern(name);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seeded(seed);
     let mut instance = Instance::new();
     instance.ensure(rel, 2);
     let n = 2 * pairs;
@@ -95,10 +87,9 @@ pub fn symmetric_pairs(
     }
     let mut added = 0;
     while added < extra {
-        let a = rng.gen_range(0..n);
-        let b = rng.gen_range(0..n);
-        if a != b && !instance.contains_fact(rel, &Tuple::from([Value::Int(b), Value::Int(a)]))
-        {
+        let a = rng.gen_range_i64(0, n);
+        let b = rng.gen_range_i64(0, n);
+        if a != b && !instance.contains_fact(rel, &Tuple::from([Value::Int(b), Value::Int(a)])) {
             if instance.insert_fact(rel, Tuple::from([Value::Int(a), Value::Int(b)])) {
                 added += 1;
             } else {
@@ -121,13 +112,13 @@ pub fn random_game(
     seed: u64,
 ) -> Instance {
     let rel = interner.intern(name);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seeded(seed);
     let mut instance = Instance::new();
     instance.ensure(rel, 2);
     for a in 0..n {
-        let moves = rng.gen_range(0..=max_moves);
+        let moves = rng.gen_range_i64(0, max_moves + 1);
         for _ in 0..moves {
-            let b = rng.gen_range(0..n);
+            let b = rng.gen_range_i64(0, n);
             edge(&mut instance, rel, a, b);
         }
     }
@@ -166,13 +157,13 @@ pub fn random_unary(
     seed: u64,
 ) -> Instance {
     let rel = interner.intern(name);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seeded(seed);
     let mut instance = Instance::new();
     instance.ensure(rel, 1);
     let mut values: Vec<i64> = (0..universe).collect();
     // Fisher–Yates prefix shuffle.
     for i in 0..k.min(values.len()) {
-        let j = rng.gen_range(i..values.len());
+        let j = i + rng.gen_index(values.len() - i);
         values.swap(i, j);
         instance.insert_fact(rel, Tuple::from([Value::Int(values[i])]));
     }

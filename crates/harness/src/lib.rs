@@ -24,5 +24,7 @@ pub mod ordered;
 pub mod programs;
 pub mod randprog;
 
-pub use equivalence::{compare, relation_of, QueryFn, Verdict};
+pub use equivalence::{
+    compare, compare_traced, relation_of, QueryFn, TracedQueryFn, TracedVerdict, Verdict,
+};
 pub use oracles::GameValue;

@@ -6,10 +6,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use unchained_common::{Instance, Relation, Symbol, Tuple, Value};
 
 /// Extracts a binary relation as an adjacency map (plus the node set).
-fn adjacency(
-    instance: &Instance,
-    rel: Symbol,
-) -> (BTreeSet<Value>, BTreeMap<Value, Vec<Value>>) {
+fn adjacency(instance: &Instance, rel: Symbol) -> (BTreeSet<Value>, BTreeMap<Value, Vec<Value>>) {
     let mut nodes = BTreeSet::new();
     let mut adj: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
     if let Some(r) = instance.relation(rel) {
@@ -28,8 +25,7 @@ pub fn transitive_closure(instance: &Instance, rel: Symbol) -> Relation {
     let (nodes, adj) = adjacency(instance, rel);
     let mut out = Relation::new(2);
     for &start in &nodes {
-        let mut queue: VecDeque<Value> =
-            adj.get(&start).into_iter().flatten().copied().collect();
+        let mut queue: VecDeque<Value> = adj.get(&start).into_iter().flatten().copied().collect();
         let mut seen: BTreeSet<Value> = queue.iter().copied().collect();
         while let Some(v) = queue.pop_front() {
             out.insert(Tuple::from([start, v]));
@@ -141,16 +137,10 @@ pub fn solve_game(instance: &Instance, moves: Symbol) -> BTreeMap<Value, GameVal
             if succs.is_empty() {
                 value.insert(v, GameValue::Lose);
                 changed = true;
-            } else if succs
-                .iter()
-                .any(|s| value.get(s) == Some(&GameValue::Lose))
-            {
+            } else if succs.iter().any(|s| value.get(s) == Some(&GameValue::Lose)) {
                 value.insert(v, GameValue::Win);
                 changed = true;
-            } else if succs
-                .iter()
-                .all(|s| value.get(s) == Some(&GameValue::Win))
-            {
+            } else if succs.iter().all(|s| value.get(s) == Some(&GameValue::Win)) {
                 value.insert(v, GameValue::Lose);
                 changed = true;
             }
@@ -168,7 +158,10 @@ pub fn solve_game(instance: &Instance, moves: Symbol) -> BTreeMap<Value, GameVal
 /// Whether the unary relation `rel` has an even number of elements
 /// (the evenness query of Section 4.4).
 pub fn evenness(instance: &Instance, rel: Symbol) -> bool {
-    instance.relation(rel).map_or(0, Relation::len).is_multiple_of(2)
+    instance
+        .relation(rel)
+        .map_or(0, Relation::len)
+        .is_multiple_of(2)
 }
 
 /// Checks that `oriented` is a valid orientation of `original`: every

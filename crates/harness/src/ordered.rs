@@ -26,7 +26,12 @@ pub struct OrderSchema<'a> {
 
 impl Default for OrderSchema<'_> {
     fn default() -> Self {
-        OrderSchema { succ: "succ", lt: "lt", min: "min", max: "max" }
+        OrderSchema {
+            succ: "succ",
+            lt: "lt",
+            min: "min",
+            max: "max",
+        }
     }
 }
 

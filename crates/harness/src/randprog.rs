@@ -9,9 +9,7 @@
 //!
 //! All generation is deterministic in the seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use unchained_common::{Instance, Interner, Tuple, Value};
+use unchained_common::{Instance, Interner, Rng, Tuple, Value};
 use unchained_parser::{Atom, HeadLiteral, Literal, Program, Rule, Term, Var};
 
 /// Which fragment to generate.
@@ -59,12 +57,8 @@ fn arity_of(index: usize) -> usize {
 
 /// Generates a range-restricted program per `cfg`, deterministically in
 /// `seed`.
-pub fn random_program(
-    interner: &mut Interner,
-    cfg: RandProgConfig,
-    seed: u64,
-) -> Program {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn random_program(interner: &mut Interner, cfg: RandProgConfig, seed: u64) -> Program {
+    let mut rng = Rng::seeded(seed);
     let idb: Vec<_> = (0..cfg.idb_preds)
         .map(|k| (interner.intern(&format!("I{k}")), arity_of(k)))
         .collect();
@@ -75,16 +69,17 @@ pub fn random_program(
 
     let mut rules = Vec::new();
     for _ in 0..cfg.rules {
-        let n_vars = rng.gen_range(1..=var_names.len());
-        let pick_var = |rng: &mut StdRng| Var(rng.gen_range(0..n_vars) as u32);
+        let n_vars = 1 + rng.gen_index(var_names.len());
+        let pick_var = |rng: &mut Rng| Var(rng.gen_index(n_vars) as u32);
 
         // Head over a random idb predicate.
-        let (head_pred, head_arity) = idb[rng.gen_range(0..idb.len())];
-        let head_args: Vec<Term> =
-            (0..head_arity).map(|_| Term::Var(pick_var(&mut rng))).collect();
+        let (head_pred, head_arity) = idb[rng.gen_index(idb.len())];
+        let head_args: Vec<Term> = (0..head_arity)
+            .map(|_| Term::Var(pick_var(&mut rng)))
+            .collect();
 
         // Body literals.
-        let n_body = rng.gen_range(1..=cfg.max_body);
+        let n_body = 1 + rng.gen_index(cfg.max_body);
         let mut body = Vec::new();
         for _ in 0..n_body {
             let negate = match cfg.fragment {
@@ -97,23 +92,24 @@ pub fn random_program(
                 _ => rng.gen_bool(0.5),
             };
             let (pred, arity) = if from_edb {
-                edb[rng.gen_range(0..edb.len())]
+                edb[rng.gen_index(edb.len())]
             } else {
-                idb[rng.gen_range(0..idb.len())]
+                idb[rng.gen_index(idb.len())]
             };
-            let args: Vec<Term> =
-                (0..arity).map(|_| Term::Var(pick_var(&mut rng))).collect();
+            let args: Vec<Term> = (0..arity).map(|_| Term::Var(pick_var(&mut rng))).collect();
             let atom = Atom::new(pred, args);
-            body.push(if negate { Literal::Neg(atom) } else { Literal::Pos(atom) });
+            body.push(if negate {
+                Literal::Neg(atom)
+            } else {
+                Literal::Pos(atom)
+            });
         }
 
         // Range restriction: every head variable must occur in the body
         // (any literal counts under the procedural semantics). Patch
         // missing variables with a positive edb atom.
-        let body_vars: std::collections::BTreeSet<Var> = body
-            .iter()
-            .flat_map(|l| l.vars())
-            .collect();
+        let body_vars: std::collections::BTreeSet<Var> =
+            body.iter().flat_map(|l| l.vars()).collect();
         for arg in &head_args {
             if let Term::Var(v) = arg {
                 if !body_vars.contains(v) {
@@ -144,7 +140,7 @@ pub fn random_edb(
     facts_per_pred: usize,
     seed: u64,
 ) -> Instance {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seeded(seed);
     let mut instance = Instance::new();
     for k in 0..cfg.edb_preds {
         let pred = interner.intern(&format!("E{k}"));
@@ -152,7 +148,7 @@ pub fn random_edb(
         instance.ensure(pred, arity);
         for _ in 0..facts_per_pred {
             let tuple: Tuple = (0..arity)
-                .map(|_| Value::Int(rng.gen_range(0..universe)))
+                .map(|_| Value::Int(rng.gen_range_i64(0, universe)))
                 .collect();
             instance.insert_fact(pred, tuple);
         }
@@ -169,9 +165,15 @@ mod tests {
     fn generated_programs_are_range_restricted_and_in_fragment() {
         let mut i = Interner::new();
         for seed in 0..50u64 {
-            for fragment in [Fragment::Positive, Fragment::Semipositive, Fragment::DatalogNeg]
-            {
-                let cfg = RandProgConfig { fragment, ..Default::default() };
+            for fragment in [
+                Fragment::Positive,
+                Fragment::Semipositive,
+                Fragment::DatalogNeg,
+            ] {
+                let cfg = RandProgConfig {
+                    fragment,
+                    ..Default::default()
+                };
                 let p = random_program(&mut i, cfg, seed);
                 assert_eq!(p.rules.len(), cfg.rules);
                 check_range_restricted(&p, false)

@@ -70,8 +70,7 @@ mod tests {
         let compiled = NondetProgram::compile(&program, false).unwrap();
         for seed in 0..8u64 {
             let mut chooser = RandomChooser::seeded(seed);
-            let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default())
-                .unwrap();
+            let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default()).unwrap();
             let rel = run.instance.relation(advises).unwrap();
             // Exactly one advisor per student.
             assert_eq!(rel.len(), 4, "seed {seed}");
@@ -109,8 +108,7 @@ mod tests {
     fn global_choice_with_empty_key() {
         // choice((),(x)) commits to a single global pick.
         let mut i = Interner::new();
-        let program =
-            parse_program("leader(x) :- node(x), choice((),(x)).", &mut i).unwrap();
+        let program = parse_program("leader(x) :- node(x), choice((),(x)).", &mut i).unwrap();
         let node = i.get("node").unwrap();
         let leader = i.get("leader").unwrap();
         let mut input = Instance::new();
@@ -188,11 +186,8 @@ mod tests {
     #[test]
     fn choice_under_forall_rejected() {
         let mut i = Interner::new();
-        let program = parse_program(
-            "a(x) :- forall y : b(x), !c(y), choice((x),(y)).",
-            &mut i,
-        )
-        .unwrap();
+        let program =
+            parse_program("a(x) :- forall y : b(x), !c(y), choice((x),(y)).", &mut i).unwrap();
         assert!(matches!(
             NondetProgram::compile(&program, false),
             Err(crate::NondetError::ChoiceInUniversalScope { rule: 0 })

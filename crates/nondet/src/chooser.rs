@@ -6,8 +6,7 @@
 //! reproducible runs (seeded random), deterministic traces (first), or
 //! scripted tests (sequence).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use unchained_common::Rng;
 
 /// Supplies the nondeterministic choices of a run.
 pub trait Chooser {
@@ -18,19 +17,21 @@ pub trait Chooser {
 /// Seeded pseudo-random choice — the production-system "conflict
 /// resolution by random selection" regime, reproducible by seed.
 pub struct RandomChooser {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl RandomChooser {
     /// Creates a chooser from a seed.
     pub fn seeded(seed: u64) -> Self {
-        RandomChooser { rng: StdRng::seed_from_u64(seed) }
+        RandomChooser {
+            rng: Rng::seeded(seed),
+        }
     }
 }
 
 impl Chooser for RandomChooser {
     fn choose(&mut self, n: usize) -> usize {
-        self.rng.gen_range(0..n)
+        self.rng.gen_index(n)
     }
 }
 
@@ -55,7 +56,10 @@ pub struct SequenceChooser {
 impl SequenceChooser {
     /// Creates a chooser replaying `script`.
     pub fn new(script: impl Into<Vec<usize>>) -> Self {
-        SequenceChooser { script: script.into(), at: 0 }
+        SequenceChooser {
+            script: script.into(),
+            at: 0,
+        }
     }
 }
 

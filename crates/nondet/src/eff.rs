@@ -19,7 +19,9 @@ pub struct EffOptions {
 
 impl Default for EffOptions {
     fn default() -> Self {
-        EffOptions { max_states: 100_000 }
+        EffOptions {
+            max_states: 100_000,
+        }
     }
 }
 
@@ -133,8 +135,7 @@ mod tests {
     #[test]
     fn deterministic_program_has_single_effect() {
         let mut i = Interner::new();
-        let program =
-            parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
+        let program = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
         let g = i.get("G").unwrap();
         let v = Value::Int;
         let mut input = Instance::new();

@@ -79,7 +79,10 @@ impl fmt::Display for NondetError {
         match self {
             NondetError::Eval(e) => write!(f, "{e}"),
             NondetError::Aborted { steps } => {
-                write!(f, "computation derived ⊥ after {steps} firings and was abandoned")
+                write!(
+                    f,
+                    "computation derived ⊥ after {steps} firings and was abandoned"
+                )
             }
             NondetError::StepLimitExceeded(n) => {
                 write!(f, "run exceeded {n} firings without terminating")

@@ -43,7 +43,11 @@ pub fn poss_cert(
     let effect_count = effects.len();
     let mut iter = effects.into_iter();
     let Some(first) = iter.next() else {
-        return Ok(PossCert { poss: Instance::new(), cert: Instance::new(), effect_count: 0 });
+        return Ok(PossCert {
+            poss: Instance::new(),
+            cert: Instance::new(),
+            effect_count: 0,
+        });
     };
     let mut poss = first.clone();
     let mut cert = first;
@@ -71,7 +75,11 @@ pub fn poss_cert(
             *cert.relation_mut(pred).expect("pred listed") = keep;
         }
     }
-    Ok(PossCert { poss, cert, effect_count })
+    Ok(PossCert {
+        poss,
+        cert,
+        effect_count,
+    })
 }
 
 #[cfg(test)]
@@ -101,8 +109,7 @@ mod tests {
     #[test]
     fn deterministic_program_poss_equals_cert() {
         let mut i = Interner::new();
-        let program =
-            parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
+        let program = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
         let g = i.get("G").unwrap();
         let v = Value::Int;
         let mut input = Instance::new();

@@ -3,10 +3,10 @@
 
 use crate::NondetError;
 use std::ops::ControlFlow;
+use unchained_common::{Instance, Symbol, Tuple, Value};
 use unchained_core::eval::{
     active_domain, for_each_match, instantiate, plan_body, term_value, IndexCache, Plan, Sources,
 };
-use unchained_common::{Instance, Symbol, Tuple, Value};
 use unchained_parser::{check_positively_bound, features, HeadLiteral, Literal, Program, Var};
 
 /// One instantiated head operation of a rule firing.
@@ -37,7 +37,8 @@ pub struct Firing {
 /// `(rule, constraint)` pair, the chosen partial function from key
 /// tuples to value tuples (the LDL choice semantics: once a pair is
 /// chosen it is fixed for the rest of the computation).
-pub type ChoiceMaps = std::collections::BTreeMap<(u32, u32), std::collections::BTreeMap<Tuple, Tuple>>;
+pub type ChoiceMaps =
+    std::collections::BTreeMap<(u32, u32), std::collections::BTreeMap<Tuple, Tuple>>;
 
 /// A state of a nondeterministic computation.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -53,7 +54,11 @@ pub struct State {
 impl State {
     /// Initial state for an input instance.
     pub fn initial(instance: Instance) -> Self {
-        State { instance, bottom: false, choices: ChoiceMaps::new() }
+        State {
+            instance,
+            bottom: false,
+            choices: ChoiceMaps::new(),
+        }
     }
 
     /// Fingerprint for memoization (folds in the bottom flag and the
@@ -123,9 +128,7 @@ impl<'p> NondetProgram<'p> {
             .iter()
             .map(|rule| {
                 let forall: Vec<Var> = rule.forall.clone();
-                let is_universal = |lit: &Literal| {
-                    lit.vars().iter().any(|v| forall.contains(v))
-                };
+                let is_universal = |lit: &Literal| lit.vars().iter().any(|v| forall.contains(v));
                 let planned: Vec<&Literal> = rule
                     .body
                     .iter()
@@ -137,14 +140,14 @@ impl<'p> NondetProgram<'p> {
                     .filter(|l| is_universal(l) && !matches!(l, Literal::Choice(..)))
                     .cloned()
                     .collect();
-                let choices: Vec<(Vec<unchained_parser::Term>, Vec<unchained_parser::Term>)> =
-                    rule.body
-                        .iter()
-                        .filter_map(|l| match l {
-                            Literal::Choice(k, v) => Some((k.clone(), v.clone())),
-                            _ => None,
-                        })
-                        .collect();
+                let choices: Vec<(Vec<unchained_parser::Term>, Vec<unchained_parser::Term>)> = rule
+                    .body
+                    .iter()
+                    .filter_map(|l| match l {
+                        Literal::Choice(k, v) => Some((k.clone(), v.clone())),
+                        _ => None,
+                    })
+                    .collect();
                 // The candidate enumeration must bind every non-forall
                 // body variable plus every (non-invented) head variable.
                 let mut vars: Vec<Var> = rule
@@ -165,7 +168,11 @@ impl<'p> NondetProgram<'p> {
                 }
             })
             .collect();
-        Ok(NondetProgram { program, rules, has_invention: feats.invention })
+        Ok(NondetProgram {
+            program,
+            rules,
+            has_invention: feats.invention,
+        })
     }
 
     /// Enumerates the applicable firings in `state` (Definition 5.1's
@@ -204,10 +211,8 @@ impl<'p> NondetProgram<'p> {
                     // new pairs are recorded by the firing.
                     let mut choice_records: Vec<(u32, u32, Tuple, Tuple)> = Vec::new();
                     for (cidx, (key_terms, val_terms)) in rule.choices.iter().enumerate() {
-                        let key: Tuple =
-                            key_terms.iter().map(|t| term_value(t, env)).collect();
-                        let val: Tuple =
-                            val_terms.iter().map(|t| term_value(t, env)).collect();
+                        let key: Tuple = key_terms.iter().map(|t| term_value(t, env)).collect();
+                        let val: Tuple = val_terms.iter().map(|t| term_value(t, env)).collect();
                         let slot = (ridx as u32, cidx as u32);
                         match state.choices.get(&slot).and_then(|m| m.get(&key)) {
                             Some(committed) if *committed != val => {
@@ -243,9 +248,7 @@ impl<'p> NondetProgram<'p> {
                     ops.sort_unstable();
                     ops.dedup();
                     let consistent = !ops.iter().any(|op| match op {
-                        HeadOp::Insert(p, t) => {
-                            ops.contains(&HeadOp::Delete(*p, t.clone()))
-                        }
+                        HeadOp::Insert(p, t) => ops.contains(&HeadOp::Delete(*p, t.clone())),
                         _ => false,
                     });
                     let dedup_key = (ops.clone(), choice_records.clone());
@@ -253,7 +256,11 @@ impl<'p> NondetProgram<'p> {
                         if !rule.invented.is_empty() {
                             *fresh = pending_fresh;
                         }
-                        out.push(Firing { rule: ridx, ops, choices: choice_records });
+                        out.push(Firing {
+                            rule: ridx,
+                            ops,
+                            choices: choice_records,
+                        });
                     }
                     ControlFlow::Continue(())
                 },
@@ -300,8 +307,7 @@ impl<'p> NondetProgram<'p> {
         let mut out: Vec<State> = Vec::new();
         for firing in self.firings(state, fresh) {
             let next = self.apply(state, &firing);
-            let changed = next.bottom != state.bottom
-                || !next.instance.same_facts(&state.instance);
+            let changed = next.bottom != state.bottom || !next.instance.same_facts(&state.instance);
             if changed && !out.iter().any(|s| states_equal(s, &next)) {
                 out.push(next);
             }
@@ -343,11 +349,15 @@ fn literal_holds(lit: &Literal, instance: &Instance, env: &Vec<Option<Value>>) -
     match lit {
         Literal::Pos(a) => {
             let tuple: Tuple = a.args.iter().map(|t| term_value(t, env)).collect();
-            instance.relation(a.pred).is_some_and(|r| r.contains(&tuple))
+            instance
+                .relation(a.pred)
+                .is_some_and(|r| r.contains(&tuple))
         }
         Literal::Neg(a) => {
             let tuple: Tuple = a.args.iter().map(|t| term_value(t, env)).collect();
-            !instance.relation(a.pred).is_some_and(|r| r.contains(&tuple))
+            !instance
+                .relation(a.pred)
+                .is_some_and(|r| r.contains(&tuple))
         }
         Literal::Eq(l, r) => term_value(l, env) == term_value(r, env),
         Literal::Neq(l, r) => term_value(l, env) != term_value(r, env),
@@ -422,7 +432,9 @@ mod tests {
         input.insert_fact(b, Tuple::from([Value::Int(1)]));
         let compiled = NondetProgram::compile(&program, false).unwrap();
         let mut fresh = 0;
-        assert!(compiled.firings(&State::initial(input), &mut fresh).is_empty());
+        assert!(compiled
+            .firings(&State::initial(input), &mut fresh)
+            .is_empty());
     }
 
     #[test]
@@ -444,8 +456,7 @@ mod tests {
     fn forall_rule_checks_all_extensions() {
         // Example 5.5: answer(x) :- forall y : P(x), !Q(x,y).
         let mut i = Interner::new();
-        let program =
-            parse_program("answer(x) :- forall y : P(x), !Q(x,y).", &mut i).unwrap();
+        let program = parse_program("answer(x) :- forall y : P(x), !Q(x,y).", &mut i).unwrap();
         let p = i.get("P").unwrap();
         let q = i.get("Q").unwrap();
         let v = Value::Int;

@@ -34,11 +34,15 @@ pub fn run_once(
     chooser: &mut dyn Chooser,
     options: EvalOptions,
 ) -> Result<NondetRun, NondetError> {
+    let tel = options.telemetry.clone();
+    tel.begin("nondet");
+    let run_sw = tel.stopwatch();
     let mut state = State::initial(input.clone());
     let mut fresh: u64 = 0;
     let mut steps = 0usize;
     loop {
         if options.max_stages.is_some_and(|m| steps >= m) {
+            tel.finish(&run_sw, state.instance.fact_count());
             return Err(NondetError::StepLimitExceeded(steps));
         }
         // Candidate firings that change the state.
@@ -51,18 +55,28 @@ pub fn run_once(
             })
             .collect();
         if changing.is_empty() {
-            return Ok(NondetRun { instance: state.instance, steps, invented: fresh });
+            tel.with(|t| t.invented = fresh as usize);
+            tel.finish(&run_sw, state.instance.fact_count());
+            return Ok(NondetRun {
+                instance: state.instance,
+                steps,
+                invented: fresh,
+            });
         }
+        // One choice point per firing: how many candidates were live.
+        tel.with(|t| t.choice_points.push(changing.len()));
         let pick = chooser.choose(changing.len());
         state = compiled.apply(&state, changing[pick]);
         steps += 1;
         if state.bottom {
+            tel.finish(&run_sw, state.instance.fact_count());
             return Err(NondetError::Aborted { steps });
         }
         if options
             .max_facts
             .is_some_and(|m| state.instance.fact_count() > m)
         {
+            tel.finish(&run_sw, state.instance.fact_count());
             return Err(NondetError::FactLimitExceeded(state.instance.fact_count()));
         }
     }
@@ -90,8 +104,7 @@ mod tests {
         let compiled = NondetProgram::compile(&program, false).unwrap();
         for seed in 0..10 {
             let mut chooser = RandomChooser::seeded(seed);
-            let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default())
-                .unwrap();
+            let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default()).unwrap();
             let rel = run.instance.relation(g).unwrap();
             // Exactly one edge per 2-cycle survives.
             assert_eq!(rel.len(), 2);
@@ -115,8 +128,7 @@ mod tests {
         let mut outcomes = std::collections::BTreeSet::new();
         for seed in 0..32 {
             let mut chooser = RandomChooser::seeded(seed);
-            let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default())
-                .unwrap();
+            let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default()).unwrap();
             let rel = run.instance.relation(g).unwrap();
             outcomes.insert(rel.sorted().into_iter().cloned().collect::<Vec<_>>());
         }
@@ -128,8 +140,7 @@ mod tests {
         // Without conflicting rules, every chooser converges to the same
         // fixpoint (the minimum model).
         let mut i = Interner::new();
-        let program =
-            parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
+        let program = parse_program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).", &mut i).unwrap();
         let g = i.get("G").unwrap();
         let t = i.get("T").unwrap();
         let v = Value::Int;
@@ -138,16 +149,12 @@ mod tests {
             input.insert_fact(g, Tuple::from([v(k), v(k + 1)]));
         }
         let compiled = NondetProgram::compile(&program, false).unwrap();
-        let expected = unchained_core::seminaive::minimum_model(
-            &program,
-            &input,
-            EvalOptions::default(),
-        )
-        .unwrap();
+        let expected =
+            unchained_core::seminaive::minimum_model(&program, &input, EvalOptions::default())
+                .unwrap();
         for seed in 0..5 {
             let mut chooser = RandomChooser::seeded(seed);
-            let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default())
-                .unwrap();
+            let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default()).unwrap();
             assert!(
                 run.instance
                     .relation(t)
@@ -178,18 +185,19 @@ mod tests {
         // One-at-a-time flip-flop can oscillate forever with an
         // adversarial chooser.
         let mut i = Interner::new();
-        let program = parse_program(
-            "T(1), !T(0) :- T(0). T(0), !T(1) :- T(1).",
-            &mut i,
-        )
-        .unwrap();
+        let program = parse_program("T(1), !T(0) :- T(0). T(0), !T(1) :- T(1).", &mut i).unwrap();
         let t = i.get("T").unwrap();
         let mut input = Instance::new();
         input.insert_fact(t, Tuple::from([Value::Int(0)]));
         let compiled = NondetProgram::compile(&program, false).unwrap();
         let mut chooser = FirstChooser;
         assert!(matches!(
-            run_once(&compiled, &input, &mut chooser, EvalOptions::default().with_max_stages(25)),
+            run_once(
+                &compiled,
+                &input,
+                &mut chooser,
+                EvalOptions::default().with_max_stages(25)
+            ),
             Err(NondetError::StepLimitExceeded(25))
         ));
     }
@@ -208,8 +216,7 @@ mod tests {
         let mut results = Vec::new();
         for script in [vec![0], vec![1]] {
             let mut chooser = SequenceChooser::new(script);
-            let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default())
-                .unwrap();
+            let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default()).unwrap();
             results.push(run.instance.relation(g).unwrap().sorted().len());
         }
         assert_eq!(results, vec![1, 1]);

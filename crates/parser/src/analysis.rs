@@ -219,7 +219,9 @@ impl DependencyGraph {
                 }
             }
             for head in &rule.head {
-                let Some(head_atom) = head.atom() else { continue };
+                let Some(head_atom) = head.atom() else {
+                    continue;
+                };
                 graph.nodes.insert(head_atom.pred);
                 let head_negative = matches!(head, HeadLiteral::Neg(_));
                 for lit in &rule.body {
@@ -258,8 +260,7 @@ impl DependencyGraph {
     /// exceeds the number of predicates (which certifies a negative
     /// cycle).
     pub fn stratify(&self) -> Result<Stratification, AnalysisError> {
-        let mut level: BTreeMap<Symbol, usize> =
-            self.nodes.iter().map(|&n| (n, 0)).collect();
+        let mut level: BTreeMap<Symbol, usize> = self.nodes.iter().map(|&n| (n, 0)).collect();
         let max = self.nodes.len();
         loop {
             let mut changed = false;
@@ -280,7 +281,10 @@ impl DependencyGraph {
             }
         }
         let strata_count = level.values().max().map_or(0, |&m| m + 1);
-        Ok(Stratification { level, strata_count })
+        Ok(Stratification {
+            level,
+            strata_count,
+        })
     }
 }
 
@@ -468,9 +472,7 @@ mod tests {
 
     #[test]
     fn classify_stratified() {
-        let (p, _) = program(
-            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y). CT(x,y) :- !T(x,y).",
-        );
+        let (p, _) = program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y). CT(x,y) :- !T(x,y).");
         assert_eq!(classify(&p), Language::StratifiedDatalogNeg);
     }
 
@@ -521,9 +523,7 @@ mod tests {
 
     #[test]
     fn partition_rules_by_stratum() {
-        let (p, _) = program(
-            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y). CT(x,y) :- !T(x,y).",
-        );
+        let (p, _) = program("T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y). CT(x,y) :- !T(x,y).");
         let strat = DependencyGraph::build(&p).stratify().unwrap();
         let parts = strat.partition_rules(&p);
         assert_eq!(parts.len(), 2);

@@ -304,7 +304,10 @@ impl Program {
 
     /// Renders the program in the concrete syntax accepted by the parser.
     pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayProgram<'a> {
-        DisplayProgram { program: self, interner }
+        DisplayProgram {
+            program: self,
+            interner,
+        }
     }
 }
 
@@ -497,7 +500,10 @@ mod tests {
         let mut i = Interner::new();
         let t = i.intern("T");
         let rule = Rule {
-            head: vec![HeadLiteral::Pos(Atom::new(t, vec![Term::Const(Value::Int(0))]))],
+            head: vec![HeadLiteral::Pos(Atom::new(
+                t,
+                vec![Term::Const(Value::Int(0))],
+            ))],
             body: vec![Literal::Pos(Atom::new(t, vec![Term::Const(Value::Int(1))]))],
             forall: vec![],
             var_names: vec![],

@@ -114,11 +114,18 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(src: &'a str) -> Self {
-        Cursor { chars: src.chars().peekable(), line: 1, col: 1 }
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
     }
 
     fn pos(&self) -> Pos {
-        Pos { line: self.line, col: self.col }
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn peek(&mut self) -> Option<char> {
@@ -195,7 +202,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
         }
         let pos = cur.pos();
         let Some(c) = cur.peek() else {
-            out.push(Token { kind: TokenKind::Eof, pos });
+            out.push(Token {
+                kind: TokenKind::Eof,
+                pos,
+            });
             return Ok(out);
         };
         let kind = match c {
@@ -374,7 +384,10 @@ mod tests {
             kinds("win(x) :- moves(x,y), !win(y).")
         );
         assert_eq!(kinds("⊥ :- A."), kinds("bottom :- A."));
-        assert_eq!(kinds("x ≠ y"), vec![Ident("x".into()), Neq, Ident("y".into()), Eof]);
+        assert_eq!(
+            kinds("x ≠ y"),
+            vec![Ident("x".into()), Neq, Ident("y".into()), Eof]
+        );
     }
 
     #[test]

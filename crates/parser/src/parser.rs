@@ -43,7 +43,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { message: e.message, pos: e.pos }
+        ParseError {
+            message: e.message,
+            pos: e.pos,
+        }
     }
 }
 
@@ -99,7 +102,10 @@ impl<'a> Parser<'a> {
     }
 
     fn error(&self, message: String) -> ParseError {
-        ParseError { message, pos: self.pos() }
+        ParseError {
+            message,
+            pos: self.pos(),
+        }
     }
 
     fn parse_term(&mut self, scope: &mut VarScope) -> Result<Term, ParseError> {
@@ -291,14 +297,23 @@ impl<'a> Parser<'a> {
             }
         }
         self.expect(&TokenKind::Dot)?;
-        Ok(Rule { head, body, forall, var_names: scope.names })
+        Ok(Rule {
+            head,
+            body,
+            forall,
+            var_names: scope.names,
+        })
     }
 }
 
 /// Parses a program from source text.
 pub fn parse_program(src: &str, interner: &mut Interner) -> Result<Program, ParseError> {
     let tokens = lex(src)?;
-    let mut parser = Parser { tokens, at: 0, interner };
+    let mut parser = Parser {
+        tokens,
+        at: 0,
+        interner,
+    };
     let mut rules = Vec::new();
     while parser.peek() != &TokenKind::Eof {
         rules.push(parser.parse_rule()?);
@@ -366,7 +381,10 @@ mod tests {
              T(x,y) :- G(x,z), T(z,y).",
         );
         assert_eq!(p.rules.len(), 2);
-        assert_eq!(p.display(&i).to_string(), "T(x, y) :- G(x, y).\nT(x, y) :- G(x, z), T(z, y).\n");
+        assert_eq!(
+            p.display(&i).to_string(),
+            "T(x, y) :- G(x, y).\nT(x, y) :- G(x, z), T(z, y).\n"
+        );
     }
 
     #[test]

@@ -147,9 +147,7 @@ impl WhileProgram {
                         from_formula(f, out);
                     }
                 }
-                Formula::Exists(_, inner) | Formula::Forall(_, inner) => {
-                    from_formula(inner, out)
-                }
+                Formula::Exists(_, inner) | Formula::Forall(_, inner) => from_formula(inner, out),
             }
         }
         fn walk(stmts: &[Stmt], out: &mut FxHashSet<Value>) {

@@ -20,7 +20,11 @@ pub fn display_program<'a>(
     vars: &'a VarSet,
     interner: &'a Interner,
 ) -> DisplayWhile<'a> {
-    DisplayWhile { program, vars, interner }
+    DisplayWhile {
+        program,
+        vars,
+        interner,
+    }
 }
 
 fn write_stmt(
@@ -32,13 +36,27 @@ fn write_stmt(
 ) -> fmt::Result {
     let pad = "  ".repeat(indent);
     match stmt {
-        Stmt::Assign { target, vars: head, formula, mode }
-        | Stmt::AssignWitness { target, vars: head, formula, mode } => {
+        Stmt::Assign {
+            target,
+            vars: head,
+            formula,
+            mode,
+        }
+        | Stmt::AssignWitness {
+            target,
+            vars: head,
+            formula,
+            mode,
+        } => {
             let op = match mode {
                 Assignment::Replace => ":=",
                 Assignment::Cumulate => "+=",
             };
-            let witness = if matches!(stmt, Stmt::AssignWitness { .. }) { "W " } else { "" };
+            let witness = if matches!(stmt, Stmt::AssignWitness { .. }) {
+                "W "
+            } else {
+                ""
+            };
             let head_vars = head
                 .iter()
                 .map(|v| vars.name(*v).to_string())
@@ -113,8 +131,7 @@ mod tests {
     #[test]
     fn display_is_readable() {
         let mut i = Interner::new();
-        let (p, v) =
-            parse_while_program("while change do T += { x | G(x) }; end", &mut i).unwrap();
+        let (p, v) = parse_while_program("while change do T += { x | G(x) }; end", &mut i).unwrap();
         let shown = display_program(&p, &v, &i).to_string();
         assert_eq!(shown, "while change do\n  T += { x | G(x) };\nend\n");
     }

@@ -2,7 +2,7 @@
 
 use crate::ast::{Assignment, LoopCondition, Stmt, WhileProgram};
 use std::fmt;
-use unchained_common::{FxHashMap, Instance, Relation, Value};
+use unchained_common::{FxHashMap, Instance, Relation, Telemetry, Value};
 use unchained_fo::{eval_formula, eval_sentence, FoError};
 
 /// Supplies the choices of the witness operator `W`.
@@ -55,7 +55,10 @@ impl fmt::Display for WhileError {
                 write!(f, "while-loop revisited a state at iteration {iteration}")
             }
             WhileError::WitnessWithoutChooser => {
-                write!(f, "program uses the witness operator W but no chooser was supplied")
+                write!(
+                    f,
+                    "program uses the witness operator W but no chooser was supplied"
+                )
             }
         }
     }
@@ -83,6 +86,7 @@ struct Interp<'c> {
     max_iterations: usize,
     iterations: usize,
     chooser: Option<&'c mut dyn WitnessChooser>,
+    tel: Telemetry,
 }
 
 impl Interp<'_> {
@@ -96,11 +100,21 @@ impl Interp<'_> {
 
     fn exec(&mut self, stmt: &Stmt, instance: &mut Instance) -> Result<bool, WhileError> {
         match stmt {
-            Stmt::Assign { target, vars, formula, mode } => {
+            Stmt::Assign {
+                target,
+                vars,
+                formula,
+                mode,
+            } => {
                 let rel = eval_formula(formula, vars, instance, &self.domain)?;
                 Ok(apply_assignment(instance, *target, rel, *mode))
             }
-            Stmt::AssignWitness { target, vars, formula, mode } => {
+            Stmt::AssignWitness {
+                target,
+                vars,
+                formula,
+                mode,
+            } => {
                 let rel = eval_formula(formula, vars, instance, &self.domain)?;
                 let chosen = if rel.is_empty() {
                     Relation::new(vars.len())
@@ -110,6 +124,7 @@ impl Interp<'_> {
                         .chooser
                         .as_deref_mut()
                         .ok_or(WhileError::WitnessWithoutChooser)?;
+                    self.tel.with(|t| t.choice_points.push(sorted.len()));
                     let pick = chooser.choose(sorted.len()).min(sorted.len() - 1);
                     Relation::from_tuples(vars.len(), [sorted[pick].clone()])
                 };
@@ -124,9 +139,7 @@ impl Interp<'_> {
                 loop {
                     let proceed = match condition {
                         LoopCondition::Change => true,
-                        LoopCondition::Sentence(f) => {
-                            eval_sentence(f, instance, &self.domain)?
-                        }
+                        LoopCondition::Sentence(f) => eval_sentence(f, instance, &self.domain)?,
                     };
                     if !proceed {
                         return Ok(any_change);
@@ -195,7 +208,21 @@ pub fn run(
     program: &WhileProgram,
     input: &Instance,
     max_iterations: usize,
+    chooser: Option<&mut dyn WitnessChooser>,
+) -> Result<RunResult, WhileError> {
+    run_traced(program, input, max_iterations, chooser, Telemetry::off())
+}
+
+/// Like [`run`], but records loop iterations and witness choice points
+/// into `telemetry` (engine name `"while"`). The trace is finished
+/// even when the run fails, so budget and divergence errors still
+/// carry the partial picture.
+pub fn run_traced(
+    program: &WhileProgram,
+    input: &Instance,
+    max_iterations: usize,
     mut chooser: Option<&mut dyn WitnessChooser>,
+    telemetry: Telemetry,
 ) -> Result<RunResult, WhileError> {
     if program.has_witness() && chooser.is_none() {
         return Err(WhileError::WitnessWithoutChooser);
@@ -212,8 +239,7 @@ pub fn run(
     fn declare(stmts: &[Stmt], instance: &mut Instance) {
         for stmt in stmts {
             match stmt {
-                Stmt::Assign { target, vars, .. }
-                | Stmt::AssignWitness { target, vars, .. } => {
+                Stmt::Assign { target, vars, .. } | Stmt::AssignWitness { target, vars, .. } => {
                     if instance.relation(*target).is_none() {
                         instance.ensure(*target, vars.len());
                     }
@@ -223,14 +249,23 @@ pub fn run(
         }
     }
     declare(&program.stmts, &mut instance);
+    telemetry.begin("while");
+    let run_sw = telemetry.stopwatch();
     let mut interp = Interp {
         domain,
         max_iterations,
         iterations: 0,
         chooser: chooser.take(),
+        tel: telemetry.clone(),
     };
-    interp.exec_block(&program.stmts, &mut instance)?;
-    Ok(RunResult { instance, iterations: interp.iterations })
+    let outcome = interp.exec_block(&program.stmts, &mut instance);
+    telemetry.with(|t| t.loop_iterations = interp.iterations);
+    telemetry.finish(&run_sw, instance.fact_count());
+    outcome?;
+    Ok(RunResult {
+        instance,
+        iterations: interp.iterations,
+    })
 }
 
 #[cfg(test)]
@@ -381,7 +416,7 @@ mod tests {
                 vars: vec![],
                 formula: Formula::False,
                 mode: Assignment::Replace,
-            }]
+            }],
         }]);
         assert!(matches!(
             run(&program, &Instance::new(), 100, None),

@@ -22,6 +22,6 @@ pub mod interp;
 pub mod parse;
 
 pub use ast::{Assignment, LoopCondition, Stmt, WhileProgram};
-pub use interp::{run, RunResult, WhileError, WitnessChooser};
 pub use display::display_program;
+pub use interp::{run, run_traced, RunResult, WhileError, WitnessChooser};
 pub use parse::parse_while_program;

@@ -43,9 +43,7 @@ fn parse_stmt(cursor: &mut Cursor<'_>) -> Result<Stmt, TextError> {
                     LoopCondition::Sentence(phi)
                 }
                 other => {
-                    return Err(
-                        cursor.error(format!("expected `change` or `(φ)`, found {other}"))
-                    )
+                    return Err(cursor.error(format!("expected `change` or `(φ)`, found {other}")))
                 }
             };
             cursor.expect(&Tok::Do)?;
@@ -65,9 +63,7 @@ fn parse_stmt(cursor: &mut Cursor<'_>) -> Result<Stmt, TextError> {
             let mode = match cursor.bump() {
                 Tok::Assign => Assignment::Replace,
                 Tok::CumAssign => Assignment::Cumulate,
-                other => {
-                    return Err(cursor.error(format!("expected `:=` or `+=`, found {other}")))
-                }
+                other => return Err(cursor.error(format!("expected `:=` or `+=`, found {other}"))),
             };
             let witness = if cursor.peek() == &Tok::Witness {
                 cursor.bump();
@@ -88,8 +84,7 @@ fn parse_stmt(cursor: &mut Cursor<'_>) -> Result<Stmt, TextError> {
                         }
                     }
                     other => {
-                        return Err(cursor
-                            .error(format!("expected variable or `|`, found {other}")))
+                        return Err(cursor.error(format!("expected variable or `|`, found {other}")))
                     }
                 }
             }
@@ -98,9 +93,19 @@ fn parse_stmt(cursor: &mut Cursor<'_>) -> Result<Stmt, TextError> {
             cursor.expect(&Tok::RBrace)?;
             cursor.expect(&Tok::Semi)?;
             if witness {
-                Ok(Stmt::AssignWitness { target, vars, formula, mode })
+                Ok(Stmt::AssignWitness {
+                    target,
+                    vars,
+                    formula,
+                    mode,
+                })
             } else {
-                Ok(Stmt::Assign { target, vars, formula, mode })
+                Ok(Stmt::Assign {
+                    target,
+                    vars,
+                    formula,
+                    mode,
+                })
             }
         }
         other => Err(cursor.error(format!("expected statement, found {other}"))),
@@ -183,8 +188,8 @@ mod tests {
         // Repeatedly delete sinks from a working copy of G; the loop
         // drains acyclic graphs completely (a classic while query).
         let mut i = Interner::new();
-        let (program, _) = parse_while_program
-            ("E := { x, y | G(x,y) };\n\
+        let (program, _) = parse_while_program(
+            "E := { x, y | G(x,y) };\n\
               while (exists x, y (E(x,y))) do\n\
                 E := { x, y | E(x,y) & exists z (E(y,z)) };\n\
               end",
@@ -202,11 +207,7 @@ mod tests {
     #[test]
     fn witness_assignment_from_text() {
         let mut i = Interner::new();
-        let (program, _) = parse_while_program(
-            "picked := W { x | R(x) };",
-            &mut i,
-        )
-        .unwrap();
+        let (program, _) = parse_while_program("picked := W { x | R(x) };", &mut i).unwrap();
         assert!(program.has_witness());
         let r = i.get("R").unwrap();
         let mut input = Instance::new();
@@ -224,8 +225,7 @@ mod tests {
     #[test]
     fn zero_ary_assignment() {
         let mut i = Interner::new();
-        let (program, _) =
-            parse_while_program("flag := { | exists x (R(x)) };", &mut i).unwrap();
+        let (program, _) = parse_while_program("flag := { | exists x (R(x)) };", &mut i).unwrap();
         let r = i.intern("R");
         let mut input = Instance::new();
         input.insert_fact(r, Tuple::from([Value::Int(1)]));

@@ -43,7 +43,12 @@ fn main() {
         let v = sym(&mut interner, d);
         input.insert_fact(dept, Tuple::from([v]));
     }
-    for (e, d) in [("ann", "sales"), ("bob", "sales"), ("cyn", "research"), ("dan", "ops")] {
+    for (e, d) in [
+        ("ann", "sales"),
+        ("bob", "sales"),
+        ("cyn", "research"),
+        ("dan", "ops"),
+    ] {
         let (ve, vd) = (sym(&mut interner, e), sym(&mut interner, d));
         input.insert_fact(emp, Tuple::from([ve, vd]));
     }
@@ -65,7 +70,11 @@ fn main() {
     )
     .expect("rules quiesce");
 
-    println!("after {} firing stages:\n{}", run.stages, run.instance.display(&interner));
+    println!(
+        "after {} firing stages:\n{}",
+        run.stages,
+        run.instance.display(&interner)
+    );
 
     // Integrity restored: no employee references a closed department,
     // no assignment references a removed employee.

@@ -66,8 +66,7 @@ fn main() {
         for &b in &dom {
             for &c in &dom {
                 for &e in &dom {
-                    let (Value::Int(a), Value::Int(b), Value::Int(c), Value::Int(e)) =
-                        (a, b, c, e)
+                    let (Value::Int(a), Value::Int(b), Value::Int(c), Value::Int(e)) = (a, b, c, e)
                     else {
                         continue;
                     };

@@ -28,8 +28,8 @@ fn main() {
     )
     .expect("airline rules parse");
     // The hub re-broadcasts everything it hears.
-    let hub_rules = parse_program("alliance(x,y) :- heard(x,y).", &mut interner)
-        .expect("hub rules parse");
+    let hub_rules =
+        parse_program("alliance(x,y) :- heard(x,y).", &mut interner).expect("hub rules parse");
 
     let flight = interner.get("flight").unwrap();
     let reach = interner.get("reach").unwrap();
@@ -49,9 +49,7 @@ fn main() {
             let vb = Value::sym(&mut interner, b);
             db.insert_fact(flight, Tuple::from([va, vb]));
         }
-        network.add_peer(
-            Peer::new(name, airline_rules.clone(), db).exporting(reach, "hub", heard),
-        );
+        network.add_peer(Peer::new(name, airline_rules.clone(), db).exporting(reach, "hub", heard));
     }
     let mut hub = Peer::new("hub", hub_rules, Instance::new());
     for (name, _) in fleets {

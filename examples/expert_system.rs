@@ -62,17 +62,20 @@ fn main() {
 
     // Strategy 1: textual order (OPS5's default-ish determinism).
     let mut first = FirstChooser;
-    let run = run_once(&compiled, &wm, &mut first, EvalOptions::default())
-        .expect("quiesces");
+    let run = run_once(&compiled, &wm, &mut first, EvalOptions::default()).expect("quiesces");
     println!("— recognize–act with textual-order conflict resolution —");
-    println!("{}", run.instance.project_schema([failing, allocate]).display(&interner));
+    println!(
+        "{}",
+        run.instance
+            .project_schema([failing, allocate])
+            .display(&interner)
+    );
 
     // Strategy 2: random conflict resolution, several seeds.
     println!("— random conflict resolution —");
     for seed in 0..3u64 {
         let mut chooser = RandomChooser::seeded(seed);
-        let run = run_once(&compiled, &wm, &mut chooser, EvalOptions::default())
-            .expect("quiesces");
+        let run = run_once(&compiled, &wm, &mut chooser, EvalOptions::default()).expect("quiesces");
         let failing_set = run.instance.relation(failing).unwrap();
         let allocations = run.instance.relation(allocate).unwrap();
         // The *diagnosis* is strategy-independent (monotone rules)...
@@ -93,5 +96,7 @@ fn main() {
                 .join(" ")
         );
     }
-    println!("diagnosis stable across strategies; allocation nondeterministic but always a matching.");
+    println!(
+        "diagnosis stable across strategies; allocation nondeterministic but always a matching."
+    );
 }

@@ -41,7 +41,10 @@ fn main() {
     // Query: T(0, y) — reachability from node 0 only.
     let query = QueryPattern::new(t, vec![Some(Value::Int(0)), None]);
     let rewritten = magic_rewrite(&program, &query, &mut interner).expect("rewrites");
-    println!("\nrewritten program:\n{}", rewritten.program.display(&interner));
+    println!(
+        "\nrewritten program:\n{}",
+        rewritten.program.display(&interner)
+    );
     println!("seed facts:\n{}", rewritten.seeds.display(&interner));
 
     let (answer, stats) =

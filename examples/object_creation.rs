@@ -42,8 +42,14 @@ fn main() {
     let twostep = interner.get("twostep").unwrap();
 
     println!("invented {} object identities", run.invented);
-    println!("edge objects: {}", run.instance.relation(edge_obj).unwrap().len());
-    println!("path objects: {}", run.instance.relation(path_obj).unwrap().len());
+    println!(
+        "edge objects: {}",
+        run.instance.relation(edge_obj).unwrap().len()
+    );
+    println!(
+        "path objects: {}",
+        run.instance.relation(path_obj).unwrap().len()
+    );
     println!("two-step endpoint pairs:");
     print!(
         "{}",

@@ -17,15 +17,12 @@
 use unchained::common::{Instance, Interner, Tuple, Value};
 use unchained::core::EvalOptions;
 use unchained::harness::oracles::is_valid_orientation;
-use unchained::nondet::{
-    effect, poss_cert, run_once, EffOptions, NondetProgram, RandomChooser,
-};
+use unchained::nondet::{effect, poss_cert, run_once, EffOptions, NondetProgram, RandomChooser};
 use unchained::parser::parse_program;
 
 fn main() {
     let mut interner = Interner::new();
-    let program =
-        parse_program("!G(x,y) :- G(x,y), G(y,x).", &mut interner).expect("parses");
+    let program = parse_program("!G(x,y) :- G(x,y), G(y,x).", &mut interner).expect("parses");
     let g = interner.get("G").unwrap();
 
     // A little road network with three two-way streets and one one-way.
@@ -58,7 +55,10 @@ fn main() {
 
     // The whole effect relation: 2 choices per two-way street.
     let effects = effect(&compiled, &input, EffOptions::default()).expect("eff");
-    println!("eff(P) holds {} terminal instances (expected 2^3 = 8)", effects.len());
+    println!(
+        "eff(P) holds {} terminal instances (expected 2^3 = 8)",
+        effects.len()
+    );
 
     // poss = edges kept in SOME orientation; cert = in EVERY one.
     let pc = poss_cert(&compiled, &input, EffOptions::default()).expect("poss/cert");

@@ -25,7 +25,12 @@ fn main() {
     // 3. Build an input instance: a small flight network.
     let g = interner.get("G").expect("G was interned by the parser");
     let mut input = Instance::new();
-    for (from, to) in [("sd", "sfo"), ("sfo", "jfk"), ("jfk", "cdg"), ("cdg", "nce")] {
+    for (from, to) in [
+        ("sd", "sfo"),
+        ("sfo", "jfk"),
+        ("jfk", "cdg"),
+        ("cdg", "nce"),
+    ] {
         let from = Value::sym(&mut interner, from);
         let to = Value::sym(&mut interner, to);
         input.insert_fact(g, Tuple::from([from, to]));

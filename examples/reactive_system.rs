@@ -59,13 +59,21 @@ fn main() {
         let (va, vb) = (name(&mut interner, a), name(&mut interner, b));
         initial.insert_fact(next, Tuple::from([va, vb]));
     }
-    let program = TemporalProgram { deductive, inductive };
+    let program = TemporalProgram {
+        deductive,
+        inductive,
+    };
     let run = run_temporal(&program, &initial, 50).expect("runs");
     println!("free-running controller:");
     for (t, state) in run.trace.iter().enumerate().take(6) {
         let phases: Vec<String> = state
             .relation(phase)
-            .map(|r| r.sorted().iter().map(|t| t.display(&interner).to_string()).collect())
+            .map(|r| {
+                r.sorted()
+                    .iter()
+                    .map(|t| t.display(&interner).to_string())
+                    .collect()
+            })
             .unwrap_or_default();
         println!("  t={t}: phase{}", phases.join(" phase"));
     }

@@ -20,8 +20,7 @@ use unchained::parser::parse_program;
 
 fn main() {
     let mut interner = Interner::new();
-    let program = parse_program("win(x) :- moves(x,y), !win(y).", &mut interner)
-        .expect("parses");
+    let program = parse_program("win(x) :- moves(x,y), !win(y).", &mut interner).expect("parses");
     let win = interner.get("win").unwrap();
     let moves = interner.get("moves").unwrap();
 
@@ -30,8 +29,14 @@ fn main() {
     let wf = wellfounded::eval(&program, &input, EvalOptions::default()).unwrap();
     let models = stable_models(&program, &input, StableOptions::default()).unwrap();
     println!("paper instance K:");
-    println!("  well-founded: {} unknown facts (a, b, c drawn)", wf.unknown_facts().len());
-    println!("  stable models: {} — the program is incoherent here", models.len());
+    println!(
+        "  well-founded: {} unknown facts (a, b, c drawn)",
+        wf.unknown_facts().len()
+    );
+    println!(
+        "  stable models: {} — the program is incoherent here",
+        models.len()
+    );
     assert!(models.is_empty());
 
     // 2. A 4-cycle: two stable models, WF fully unknown.
@@ -42,7 +47,10 @@ fn main() {
     let wf = wellfounded::eval(&program, &cycle, EvalOptions::default()).unwrap();
     let models = stable_models(&program, &cycle, StableOptions::default()).unwrap();
     println!("\n4-cycle:");
-    println!("  well-founded: {} unknown facts (all four)", wf.unknown_facts().len());
+    println!(
+        "  well-founded: {} unknown facts (all four)",
+        wf.unknown_facts().len()
+    );
     println!("  stable models: {}", models.len());
     for (idx, m) in models.iter().enumerate() {
         let wins: Vec<String> = m
@@ -58,7 +66,12 @@ fn main() {
 
     // 3. Every stable model lies between WF-true and WF-possible.
     for m in &models {
-        for t in wf.true_facts.relation(win).into_iter().flat_map(|r| r.iter()) {
+        for t in wf
+            .true_facts
+            .relation(win)
+            .into_iter()
+            .flat_map(|r| r.iter())
+        {
             assert!(m.contains_fact(win, t));
         }
         for t in m.relation(win).unwrap().iter() {

@@ -23,15 +23,14 @@ use unchained::parser::parse_program;
 
 fn main() {
     let mut interner = Interner::new();
-    let program = parse_program("win(x) :- moves(x,y), !win(y).", &mut interner)
-        .expect("program parses");
+    let program =
+        parse_program("win(x) :- moves(x,y), !win(y).", &mut interner).expect("program parses");
     let input = paper_game(&mut interner, "moves");
     let moves = interner.get("moves").unwrap();
     let win = interner.get("win").unwrap();
 
     // Well-founded: 3-valued model via the alternating fixpoint.
-    let model =
-        wellfounded::eval(&program, &input, EvalOptions::default()).expect("wf eval");
+    let model = wellfounded::eval(&program, &input, EvalOptions::default()).expect("wf eval");
     println!("well-founded model ({} alternating rounds):", model.rounds);
     for name in ["a", "b", "c", "d", "e", "f", "g"] {
         let v = Value::sym(&mut interner, name);
@@ -55,8 +54,7 @@ fn main() {
     // The inflationary reading of the same program is 2-valued and
     // different: it *overestimates* win (every state with a move wins at
     // stage 1 unless refuted later — facts are never retracted).
-    let run =
-        inflationary::eval(&program, &input, EvalOptions::default()).expect("infl eval");
+    let run = inflationary::eval(&program, &input, EvalOptions::default()).expect("infl eval");
     let inflationary_wins: Vec<String> = run
         .instance
         .relation(win)
@@ -65,7 +63,10 @@ fn main() {
         .iter()
         .map(|t| t.display(&interner).to_string())
         .collect();
-    println!("inflationary win (overestimate): {}", inflationary_wins.join(" "));
+    println!(
+        "inflationary win (overestimate): {}",
+        inflationary_wins.join(" ")
+    );
 
     let _ = interner;
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# The pre-PR gate: build, test, and check formatting — fully offline.
+# The workspace has no external dependencies (the criterion benches in
+# crates/bench are excluded from the workspace), so everything here
+# must pass without network access.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace"
+cargo build --workspace
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "All checks passed."

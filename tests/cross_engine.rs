@@ -12,9 +12,7 @@ use unchained::harness::generators::{cycle_graph, line_graph, random_digraph};
 use unchained::harness::programs;
 use unchained::nondet::{effect, EffOptions, NondetProgram};
 use unchained::parser::parse_program;
-use unchained::while_lang::{
-    run as run_while, Assignment, LoopCondition, Stmt, WhileProgram,
-};
+use unchained::while_lang::{run as run_while, Assignment, LoopCondition, Stmt, WhileProgram};
 
 fn family(i: &mut Interner) -> Vec<Instance> {
     let mut out = Vec::new();
@@ -39,18 +37,28 @@ fn all_engines_agree_on_pure_datalog() {
     let mut i = Interner::new();
     let program = parse_program(programs::TC, &mut i).unwrap();
     for (idx, input) in family(&mut i).iter().enumerate() {
-        let reference =
-            naive::minimum_model(&program, input, EvalOptions::default()).unwrap();
-        let semi =
-            seminaive::minimum_model(&program, input, EvalOptions::default()).unwrap();
-        assert!(reference.instance.same_facts(&semi.instance), "seminaive #{idx}");
+        let reference = naive::minimum_model(&program, input, EvalOptions::default()).unwrap();
+        let semi = seminaive::minimum_model(&program, input, EvalOptions::default()).unwrap();
+        assert!(
+            reference.instance.same_facts(&semi.instance),
+            "seminaive #{idx}"
+        );
         let strat = stratified::eval(&program, input, EvalOptions::default()).unwrap();
-        assert!(reference.instance.same_facts(&strat.instance), "stratified #{idx}");
+        assert!(
+            reference.instance.same_facts(&strat.instance),
+            "stratified #{idx}"
+        );
         let infl = inflationary::eval(&program, input, EvalOptions::default()).unwrap();
-        assert!(reference.instance.same_facts(&infl.instance), "inflationary #{idx}");
+        assert!(
+            reference.instance.same_facts(&infl.instance),
+            "inflationary #{idx}"
+        );
         let wf = wellfounded::eval(&program, input, EvalOptions::default()).unwrap();
         assert!(wf.is_total(), "wf total #{idx}");
-        assert!(reference.instance.same_facts(&wf.true_facts), "wellfounded #{idx}");
+        assert!(
+            reference.instance.same_facts(&wf.true_facts),
+            "wellfounded #{idx}"
+        );
         let nn = noninflationary::eval(
             &program,
             input,
@@ -58,9 +66,15 @@ fn all_engines_agree_on_pure_datalog() {
             EvalOptions::default(),
         )
         .unwrap();
-        assert!(reference.instance.same_facts(&nn.instance), "datalog¬¬ #{idx}");
+        assert!(
+            reference.instance.same_facts(&nn.instance),
+            "datalog¬¬ #{idx}"
+        );
         let inv = invention::eval(&program, input, EvalOptions::default()).unwrap();
-        assert!(reference.instance.same_facts(&inv.instance), "datalog¬new #{idx}");
+        assert!(
+            reference.instance.same_facts(&inv.instance),
+            "datalog¬new #{idx}"
+        );
         // Exhaustive effect enumeration explores every firing order, so
         // its state space is exponential in the number of derivable
         // facts; only check the smallest inputs.
@@ -68,7 +82,10 @@ fn all_engines_agree_on_pure_datalog() {
             let compiled = NondetProgram::compile(&program, false).unwrap();
             let effects = effect(&compiled, input, EffOptions::default()).unwrap();
             assert_eq!(effects.len(), 1, "deterministic effect #{idx}");
-            assert!(reference.instance.same_facts(&effects[0]), "nondet effect #{idx}");
+            assert!(
+                reference.instance.same_facts(&effects[0]),
+                "nondet effect #{idx}"
+            );
         }
     }
 }
@@ -103,8 +120,12 @@ fn inflationary_needs_the_delay_technique() {
     let infl = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
     // The inflationary run derives CT(0,2) at stage 2 (before T(0,2)
     // appears), which stratified semantics excludes.
-    assert!(infl.instance.contains_fact(ct, &Tuple::from([Value::Int(0), Value::Int(2)])));
-    assert!(!strat.instance.contains_fact(ct, &Tuple::from([Value::Int(0), Value::Int(2)])));
+    assert!(infl
+        .instance
+        .contains_fact(ct, &Tuple::from([Value::Int(0), Value::Int(2)])));
+    assert!(!strat
+        .instance
+        .contains_fact(ct, &Tuple::from([Value::Int(0), Value::Int(2)])));
     assert!(!infl
         .instance
         .relation(ct)
@@ -169,7 +190,9 @@ fn datalog_negneg_equals_while_on_difference_query() {
         input.ensure(q, 2);
         let mut s = seed;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) % 6) as i64
         };
         for _ in 0..5 {
@@ -217,12 +240,12 @@ fn conflict_policies_agree_without_conflicts() {
     // alive(3) is inferred and killed in the same firing — a genuine
     // conflict, so policies diverge; removing node 3 removes it.
     use noninflationary::ConflictPolicy::*;
-    let pp = noninflationary::eval(&program, &input, PreferPositive, EvalOptions::default())
-        .unwrap();
+    let pp =
+        noninflationary::eval(&program, &input, PreferPositive, EvalOptions::default()).unwrap();
     let alive = i.get("alive").unwrap();
     assert_eq!(pp.instance.relation(alive).unwrap().len(), 5); // insert wins
-    let pn = noninflationary::eval(&program, &input, PreferNegative, EvalOptions::default())
-        .unwrap();
+    let pn =
+        noninflationary::eval(&program, &input, PreferNegative, EvalOptions::default()).unwrap();
     assert_eq!(pn.instance.relation(alive).unwrap().len(), 4); // delete wins
 
     // Conflict-free version: node 3 absent.

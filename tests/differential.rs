@@ -3,10 +3,10 @@
 //! program of a fragment, so we compare them on programs nobody
 //! hand-picked (seeded, deterministic).
 
+use unchained::common::Interner;
 use unchained::core::{
     inflationary, naive, noninflationary, seminaive, stratified, wellfounded, EvalOptions,
 };
-use unchained::common::Interner;
 use unchained::harness::randprog::{random_edb, random_program, Fragment, RandProgConfig};
 use unchained::nondet::{effect, EffOptions, NondetProgram};
 
@@ -16,7 +16,10 @@ const SEEDS: std::ops::Range<u64> = 0..40;
 fn naive_equals_seminaive_on_random_positive_programs() {
     for seed in SEEDS {
         let mut i = Interner::new();
-        let cfg = RandProgConfig { fragment: Fragment::Positive, ..Default::default() };
+        let cfg = RandProgConfig {
+            fragment: Fragment::Positive,
+            ..Default::default()
+        };
         let program = random_program(&mut i, cfg, seed);
         let input = random_edb(&mut i, cfg, 5, 6, seed ^ 0xABCD);
         let a = naive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
@@ -29,12 +32,14 @@ fn naive_equals_seminaive_on_random_positive_programs() {
 fn inflationary_naive_equals_seminaive_on_random_datalog_neg() {
     for seed in SEEDS {
         let mut i = Interner::new();
-        let cfg = RandProgConfig { fragment: Fragment::DatalogNeg, ..Default::default() };
+        let cfg = RandProgConfig {
+            fragment: Fragment::DatalogNeg,
+            ..Default::default()
+        };
         let program = random_program(&mut i, cfg, seed);
         let input = random_edb(&mut i, cfg, 5, 6, seed ^ 0x1234);
         let a = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
-        let b = inflationary::eval_seminaive(&program, &input, EvalOptions::default())
-            .unwrap();
+        let b = inflationary::eval_seminaive(&program, &input, EvalOptions::default()).unwrap();
         assert!(a.instance.same_facts(&b.instance), "seed {seed}");
         assert_eq!(a.stages, b.stages, "seed {seed}");
     }
@@ -44,7 +49,10 @@ fn inflationary_naive_equals_seminaive_on_random_datalog_neg() {
 fn stratified_equals_wellfounded_on_random_semipositive_programs() {
     for seed in SEEDS {
         let mut i = Interner::new();
-        let cfg = RandProgConfig { fragment: Fragment::Semipositive, ..Default::default() };
+        let cfg = RandProgConfig {
+            fragment: Fragment::Semipositive,
+            ..Default::default()
+        };
         let program = random_program(&mut i, cfg, seed);
         let input = random_edb(&mut i, cfg, 5, 6, seed ^ 0x77);
         let a = stratified::eval(&program, &input, EvalOptions::default()).unwrap();
@@ -58,7 +66,10 @@ fn stratified_equals_wellfounded_on_random_semipositive_programs() {
 fn datalog_negneg_engine_subsumes_inflationary_on_random_programs() {
     for seed in SEEDS {
         let mut i = Interner::new();
-        let cfg = RandProgConfig { fragment: Fragment::DatalogNeg, ..Default::default() };
+        let cfg = RandProgConfig {
+            fragment: Fragment::DatalogNeg,
+            ..Default::default()
+        };
         let program = random_program(&mut i, cfg, seed);
         let input = random_edb(&mut i, cfg, 5, 6, seed ^ 0xFEED);
         let a = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
@@ -87,8 +98,7 @@ fn nondet_effect_is_singleton_minimum_model_on_random_positive_programs() {
         };
         let program = random_program(&mut i, cfg, seed);
         let input = random_edb(&mut i, cfg, 3, 2, seed ^ 0x5A5A);
-        let expected =
-            seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
+        let expected = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
         let compiled = NondetProgram::compile(&program, false).unwrap();
         let effects = match effect(&compiled, &input, EffOptions { max_states: 20_000 }) {
             Ok(e) => e,
@@ -107,7 +117,10 @@ fn wellfounded_true_facts_subset_of_inflationary_on_random_programs() {
     // the program is semipositive (where both equal stratified).
     for seed in SEEDS {
         let mut i = Interner::new();
-        let cfg = RandProgConfig { fragment: Fragment::Semipositive, ..Default::default() };
+        let cfg = RandProgConfig {
+            fragment: Fragment::Semipositive,
+            ..Default::default()
+        };
         let program = random_program(&mut i, cfg, seed);
         let input = random_edb(&mut i, cfg, 5, 6, seed ^ 0xC0DE);
         let wf = wellfounded::eval(&program, &input, EvalOptions::default()).unwrap();
@@ -137,8 +150,7 @@ fn deep_differential_fuzz() {
         let program = random_program(&mut i, cfg, seed);
         let input = random_edb(&mut i, cfg, 6, 8, seed ^ 0xDEED);
         let a = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
-        let b = inflationary::eval_seminaive(&program, &input, EvalOptions::default())
-            .unwrap();
+        let b = inflationary::eval_seminaive(&program, &input, EvalOptions::default()).unwrap();
         assert!(a.instance.same_facts(&b.instance), "seed {seed}");
         assert_eq!(a.stages, b.stages, "seed {seed}");
         let c = noninflationary::eval(

@@ -115,10 +115,11 @@ fn constants_in_program_extend_active_domain() {
     )
     .unwrap();
     let all = i.get("All").unwrap();
-    let run =
-        inflationary::eval(&program, &Instance::new(), EvalOptions::default()).unwrap();
+    let run = inflationary::eval(&program, &Instance::new(), EvalOptions::default()).unwrap();
     // adom(P, ∅) = {9}; Seen never derived, so All(9) holds.
-    assert!(run.instance.contains_fact(all, &Tuple::from([Value::Int(9)])));
+    assert!(run
+        .instance
+        .contains_fact(all, &Tuple::from([Value::Int(9)])));
 }
 
 #[test]
@@ -184,14 +185,16 @@ fn noninflationary_delete_then_rederive_cycles_are_detected_not_looped() {
         EvalOptions::default(),
     )
     .unwrap_err();
-    assert!(matches!(err, EvalError::Diverged { period: 2, .. }), "{err}");
+    assert!(
+        matches!(err, EvalError::Diverged { period: 2, .. }),
+        "{err}"
+    );
 }
 
 #[test]
 fn large_arity_relations() {
     let mut i = Interner::new();
-    let program =
-        parse_program("Wide(a,b,c,d,e,f) :- In(a,b,c), In(d,e,f).", &mut i).unwrap();
+    let program = parse_program("Wide(a,b,c,d,e,f) :- In(a,b,c), In(d,e,f).", &mut i).unwrap();
     let input_pred = i.get("In").unwrap();
     let wide = i.get("Wide").unwrap();
     let mut input = Instance::new();

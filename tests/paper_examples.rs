@@ -3,8 +3,8 @@
 
 use unchained::common::{Instance, Interner, Relation, Tuple, Value};
 use unchained::core::{
-    inflationary, invention, noninflationary, seminaive, stratified, wellfounded,
-    EvalError, EvalOptions,
+    inflationary, invention, noninflationary, seminaive, stratified, wellfounded, EvalError,
+    EvalOptions,
 };
 use unchained::harness::generators::{line_graph, paper_game};
 use unchained::harness::oracles;
@@ -157,7 +157,13 @@ fn section_4_2_flip_flop() {
         EvalOptions::default(),
     )
     .unwrap_err();
-    assert_eq!(err, EvalError::Diverged { stage: 2, period: 2 });
+    assert_eq!(
+        err,
+        EvalError::Diverged {
+            stage: 2,
+            period: 2
+        }
+    );
 }
 
 /// §4.3 — value invention: object creation per edge, dereferencable by
@@ -197,7 +203,10 @@ fn section_5_1_orientation_effects() {
     let effects = effect(&compiled, &input, EffOptions::default()).unwrap();
     assert_eq!(effects.len(), 4);
     for e in &effects {
-        assert!(oracles::is_valid_orientation(&original, e.relation(g).unwrap()));
+        assert!(oracles::is_valid_orientation(
+            &original,
+            e.relation(g).unwrap()
+        ));
     }
 }
 
@@ -220,7 +229,11 @@ fn examples_5_4_5_5_difference_query() {
         expected.insert(Tuple::from([v(k)]));
     }
 
-    for src in [programs::DIFF_FORALL, programs::DIFF_BOTTOM, programs::DIFF_NNEGNEG] {
+    for src in [
+        programs::DIFF_FORALL,
+        programs::DIFF_BOTTOM,
+        programs::DIFF_NNEGNEG,
+    ] {
         let program = parse_program(src, &mut i).unwrap();
         let answer = i.get("answer").unwrap();
         let compiled = NondetProgram::compile(&program, false).unwrap();
@@ -258,13 +271,20 @@ fn theorem_4_7_evenness_on_ordered_databases() {
     let even = i.get("even").unwrap();
     for k in 0..7usize {
         let members: Vec<i64> = (0..k as i64).map(|x| 3 * x).collect();
-        let input =
-            unchained::harness::ordered::evenness_input(&mut i, "R", 25, &members);
+        let input = unchained::harness::ordered::evenness_input(&mut i, "R", 25, &members);
         let expected = k % 2 == 0;
         let s = stratified::eval(&program, &input, EvalOptions::default()).unwrap();
-        assert_eq!(s.instance.contains_fact(even, &Tuple::from([])), expected, "strat k={k}");
+        assert_eq!(
+            s.instance.contains_fact(even, &Tuple::from([])),
+            expected,
+            "strat k={k}"
+        );
         let f = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
-        assert_eq!(f.instance.contains_fact(even, &Tuple::from([])), expected, "infl k={k}");
+        assert_eq!(
+            f.instance.contains_fact(even, &Tuple::from([])),
+            expected,
+            "infl k={k}"
+        );
         let w = wellfounded::eval(&program, &input, EvalOptions::default()).unwrap();
         assert_eq!(
             w.truth(even, &Tuple::from([])) == wellfounded::Truth::True,

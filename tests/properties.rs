@@ -1,21 +1,32 @@
-//! Property-based tests (proptest) of the core invariants:
-//! oracle agreement on random graphs, monotonicity of Datalog,
-//! inflationary growth, 3-valued model containment, orientation
-//! validity, and parser round-tripping.
+//! Property-style tests of the core invariants: oracle agreement on
+//! random graphs, monotonicity of Datalog, inflationary growth,
+//! 3-valued model containment, orientation validity, and parser
+//! round-tripping.
+//!
+//! Formerly proptest-based; rewritten as seeded deterministic loops so
+//! the suite builds offline with no external dependencies. Each
+//! property samples a fixed number of pseudo-random cases from
+//! [`Rng`], so failures reproduce exactly.
 
-use proptest::prelude::*;
-use unchained::common::{Instance, Interner, Tuple, Value};
-use unchained::core::{
-    inflationary, naive, seminaive, stratified, wellfounded, EvalOptions,
-};
+use unchained::common::{Instance, Interner, Rng, Tuple, Value};
+use unchained::core::{inflationary, naive, seminaive, stratified, wellfounded, EvalOptions};
 use unchained::harness::oracles;
 use unchained::harness::programs;
 use unchained::nondet::{run_once, NondetProgram, RandomChooser};
 use unchained::parser::parse_program;
 
-/// Strategy: a set of edges over a small node universe.
-fn edges(max_node: i64, max_edges: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
-    prop::collection::vec((0..max_node, 0..max_node), 0..max_edges)
+/// A pseudo-random edge set over `0..max_node` with at most
+/// `max_edges` (possibly duplicate) entries.
+fn random_edges(rng: &mut Rng, max_node: i64, max_edges: usize) -> Vec<(i64, i64)> {
+    let count = rng.gen_index(max_edges + 1);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range_i64(0, max_node),
+                rng.gen_range_i64(0, max_node),
+            )
+        })
+        .collect()
 }
 
 fn graph_instance(interner: &mut Interner, edges: &[(i64, i64)]) -> Instance {
@@ -28,39 +39,50 @@ fn graph_instance(interner: &mut Interner, edges: &[(i64, i64)]) -> Instance {
     instance
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Semi-naive and naive evaluation compute the same minimum model.
-    #[test]
-    fn seminaive_equals_naive(es in edges(7, 20)) {
+/// Semi-naive and naive evaluation compute the same minimum model.
+#[test]
+fn seminaive_equals_naive() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seeded(seed);
+        let es = random_edges(&mut rng, 7, 20);
         let mut i = Interner::new();
         let program = parse_program(programs::TC, &mut i).unwrap();
         let input = graph_instance(&mut i, &es);
         let a = naive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
         let b = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
-        prop_assert!(a.instance.same_facts(&b.instance));
+        assert!(a.instance.same_facts(&b.instance), "seed {seed}");
     }
+}
 
-    /// The Datalog TC answer equals the BFS oracle.
-    #[test]
-    fn tc_matches_oracle(es in edges(8, 24)) {
+/// The Datalog TC answer equals the BFS oracle.
+#[test]
+fn tc_matches_oracle() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seeded(seed);
+        let es = random_edges(&mut rng, 8, 24);
         let mut i = Interner::new();
         let program = parse_program(programs::TC, &mut i).unwrap();
         let input = graph_instance(&mut i, &es);
         let g = i.get("G").unwrap();
         let t = i.get("T").unwrap();
         let run = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
-        prop_assert!(run
-            .instance
-            .relation(t)
-            .unwrap()
-            .same_tuples(&oracles::transitive_closure(&input, g)));
+        assert!(
+            run.instance
+                .relation(t)
+                .unwrap()
+                .same_tuples(&oracles::transitive_closure(&input, g)),
+            "seed {seed}"
+        );
     }
+}
 
-    /// Monotonicity of pure Datalog: adding edges never removes answers.
-    #[test]
-    fn datalog_is_monotone(es in edges(6, 15), extra in (0i64..6, 0i64..6)) {
+/// Monotonicity of pure Datalog: adding edges never removes answers.
+#[test]
+fn datalog_is_monotone() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seeded(seed);
+        let es = random_edges(&mut rng, 6, 15);
+        let extra = (rng.gen_range_i64(0, 6), rng.gen_range_i64(0, 6));
         let mut i = Interner::new();
         let program = parse_program(programs::TC, &mut i).unwrap();
         let input = graph_instance(&mut i, &es);
@@ -71,31 +93,39 @@ proptest! {
         let small = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
         let large = seminaive::minimum_model(&program, &bigger, EvalOptions::default()).unwrap();
         for tuple in small.instance.relation(t).unwrap().iter() {
-            prop_assert!(large.instance.contains_fact(t, tuple));
+            assert!(large.instance.contains_fact(t, tuple), "seed {seed}");
         }
     }
+}
 
-    /// Inflationary stages grow monotonically: the final instance
-    /// contains the input, and the answer under a pure-Datalog program
-    /// equals the minimum model.
-    #[test]
-    fn inflationary_contains_input(es in edges(6, 15)) {
+/// Inflationary stages grow monotonically: the final instance contains
+/// the input, and the answer under a pure-Datalog program equals the
+/// minimum model.
+#[test]
+fn inflationary_contains_input() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seeded(seed);
+        let es = random_edges(&mut rng, 6, 15);
         let mut i = Interner::new();
         let program = parse_program(programs::TC, &mut i).unwrap();
         let input = graph_instance(&mut i, &es);
         let g = i.get("G").unwrap();
         let run = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
         for tuple in input.relation(g).unwrap().iter() {
-            prop_assert!(run.instance.contains_fact(g, tuple));
+            assert!(run.instance.contains_fact(g, tuple), "seed {seed}");
         }
         let mm = seminaive::minimum_model(&program, &input, EvalOptions::default()).unwrap();
-        prop_assert!(run.instance.same_facts(&mm.instance));
+        assert!(run.instance.same_facts(&mm.instance), "seed {seed}");
     }
+}
 
-    /// The semi-naive inflationary engine is stage-exact with the
-    /// naive one on random inputs of the win program.
-    #[test]
-    fn inflationary_seminaive_stage_exact(es in edges(6, 14)) {
+/// The semi-naive inflationary engine is stage-exact with the naive
+/// one on random inputs of the win program.
+#[test]
+fn inflationary_seminaive_stage_exact() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seeded(seed);
+        let es = random_edges(&mut rng, 6, 14);
         let mut i = Interner::new();
         let program = parse_program(programs::WIN, &mut i).unwrap();
         let moves = i.intern("moves");
@@ -106,14 +136,18 @@ proptest! {
         }
         let a = inflationary::eval(&program, &input, EvalOptions::default()).unwrap();
         let b = inflationary::eval_seminaive(&program, &input, EvalOptions::default()).unwrap();
-        prop_assert!(a.instance.same_facts(&b.instance));
-        prop_assert_eq!(a.stages, b.stages);
+        assert!(a.instance.same_facts(&b.instance), "seed {seed}");
+        assert_eq!(a.stages, b.stages, "seed {seed}");
     }
+}
 
-    /// 3-valued containment: true facts ⊆ possible facts, and the
-    /// model is consistent with the game oracle on win-move inputs.
-    #[test]
-    fn wellfounded_true_subset_of_possible(es in edges(6, 14)) {
+/// 3-valued containment: true facts ⊆ possible facts, and the model is
+/// consistent with the game oracle on win-move inputs.
+#[test]
+fn wellfounded_true_subset_of_possible() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seeded(seed);
+        let es = random_edges(&mut rng, 6, 14);
         let mut i = Interner::new();
         let program = parse_program(programs::WIN, &mut i).unwrap();
         // Reuse the edge set as a `moves` relation.
@@ -127,7 +161,7 @@ proptest! {
         let win = i.get("win").unwrap();
         if let Some(rel) = model.true_facts.relation(win) {
             for t in rel.iter() {
-                prop_assert!(model.possible_facts.contains_fact(win, t));
+                assert!(model.possible_facts.contains_fact(win, t), "seed {seed}");
             }
         }
         // Consistency with the oracle.
@@ -139,13 +173,17 @@ proptest! {
                 oracles::GameValue::Lose => wellfounded::Truth::False,
                 oracles::GameValue::Draw => wellfounded::Truth::Unknown,
             };
-            prop_assert_eq!(truth, expected);
+            assert_eq!(truth, expected, "seed {seed}");
         }
     }
+}
 
-    /// The stratified CTC answer partitions adom² with the TC answer.
-    #[test]
-    fn ctc_partitions_square(es in edges(6, 14)) {
+/// The stratified CTC answer partitions adom² with the TC answer.
+#[test]
+fn ctc_partitions_square() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seeded(seed);
+        let es = random_edges(&mut rng, 6, 14);
         let mut i = Interner::new();
         let program = parse_program(programs::CTC_STRATIFIED, &mut i).unwrap();
         let input = graph_instance(&mut i, &es);
@@ -155,42 +193,51 @@ proptest! {
         let n = input.adom().len();
         let t_rel = run.instance.relation(t).unwrap();
         let ct_rel = run.instance.relation(ct).unwrap();
-        prop_assert_eq!(t_rel.len() + ct_rel.len(), n * n);
+        assert_eq!(t_rel.len() + ct_rel.len(), n * n, "seed {seed}");
         for tuple in t_rel.iter() {
-            prop_assert!(!ct_rel.contains(tuple));
+            assert!(!ct_rel.contains(tuple), "seed {seed}");
         }
     }
+}
 
-    /// Every nondeterministic orientation run yields a valid
-    /// orientation, for every seed.
-    #[test]
-    fn orientation_runs_always_valid(es in edges(6, 12), seed in 0u64..1000) {
+/// Every nondeterministic orientation run yields a valid orientation,
+/// for every seed.
+#[test]
+fn orientation_runs_always_valid() {
+    for seed in 0..64u64 {
+        let mut rng = Rng::seeded(seed);
+        let es = random_edges(&mut rng, 6, 12);
+        let chooser_seed = rng.next_u64();
         let mut i = Interner::new();
         let program = parse_program(programs::ORIENTATION, &mut i).unwrap();
         let input = graph_instance(&mut i, &es);
         let g = i.get("G").unwrap();
         let original = input.relation(g).unwrap().clone();
         let compiled = NondetProgram::compile(&program, false).unwrap();
-        let mut chooser = RandomChooser::seeded(seed);
+        let mut chooser = RandomChooser::seeded(chooser_seed);
         let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default()).unwrap();
         // Self-loops are their own reverse and cannot be oriented, so
         // exclude graphs with self-loops from the validity check — the
         // program deletes them outright (G(x,x),G(x,x) matches).
         if es.iter().all(|&(a, b)| a != b) {
-            prop_assert!(oracles::is_valid_orientation(&original, run.instance.relation(g).unwrap()));
+            assert!(
+                oracles::is_valid_orientation(&original, run.instance.relation(g).unwrap()),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// Parser round-trip: display of a parsed program reparses to the
-    /// same display.
-    #[test]
-    fn parser_display_roundtrip(n_rules in 1usize..6, seed in 0u64..500) {
-        // Deterministic pseudo-random rule synthesis from the seed.
-        let mut s = seed;
-        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407); (s >> 33) as usize };
+/// Parser round-trip: display of a parsed program reparses to the same
+/// display.
+#[test]
+fn parser_display_roundtrip() {
+    for seed in 0..200u64 {
+        let mut rng = Rng::seeded(seed);
+        let n_rules = 1 + rng.gen_index(5);
         let mut src = String::new();
         for r in 0..n_rules {
-            let head_arity = next() % 3;
+            let head_arity = rng.gen_index(3);
             let vars = ["x", "y", "z"];
             let head_args: Vec<&str> = (0..head_arity).map(|k| vars[k]).collect();
             let mut rule = format!("H{r}");
@@ -201,10 +248,10 @@ proptest! {
             let mut body = Vec::new();
             // Ensure range restriction: one positive atom with all vars.
             body.push(format!("B{r}(x,y,z)"));
-            if next() % 2 == 0 {
+            if rng.gen_bool(0.5) {
                 body.push(format!("!C{r}(x)"));
             }
-            if next() % 2 == 0 {
+            if rng.gen_bool(0.5) {
                 body.push("x != y".to_string());
             }
             rule.push_str(&body.join(", "));
@@ -218,6 +265,6 @@ proptest! {
         let mut i2 = Interner::new();
         let p2 = parse_program(&shown1, &mut i2).unwrap();
         let shown2 = p2.display(&i2).to_string();
-        prop_assert_eq!(shown1, shown2);
+        assert_eq!(shown1, shown2, "seed {seed}");
     }
 }

@@ -1,22 +1,33 @@
-//! Property-based tests for the extension subsystems: magic sets,
-//! stable models, the choice operator, and distributed exchange.
+//! Property-style tests for the extension subsystems: magic sets,
+//! stable models, the choice operator, distributed exchange, and the
+//! FO ↔ algebra translation.
+//!
+//! Formerly proptest-based; rewritten as seeded deterministic loops so
+//! the suite builds offline with no external dependencies.
 
-use proptest::prelude::*;
-use unchained::common::{Instance, Interner, Tuple, Value};
-use unchained::fo::{eval_formula, eval_via_algebra, FoTerm, FoVar, Formula};
+use unchained::common::{Instance, Interner, Rng, Tuple, Value};
 use unchained::core::{inflationary, magic, stable, EvalOptions};
 use unchained::exchange::{Network, Peer};
+use unchained::fo::{eval_formula, eval_via_algebra, FoTerm, FoVar, Formula};
 use unchained::harness::programs;
 use unchained::nondet::{run_once, NondetProgram, RandomChooser};
 use unchained::parser::parse_program;
 
-fn edges(max_node: i64, max_edges: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
-    prop::collection::vec((0..max_node, 0..max_node), 0..max_edges)
+fn random_edges(rng: &mut Rng, max_node: i64, max_edges: usize) -> Vec<(i64, i64)> {
+    let count = rng.gen_index(max_edges + 1);
+    (0..count)
+        .map(|_| {
+            (
+                rng.gen_range_i64(0, max_node),
+                rng.gen_range_i64(0, max_node),
+            )
+        })
+        .collect()
 }
 
 /// A formula skeleton over placeholder predicates (0 = binary G,
 /// 1 = unary P) and variables FoVar(0..3); `resolve_formula` swaps in
-/// the real symbols (proptest strategies cannot capture the interner).
+/// the real symbols.
 #[derive(Clone, Debug)]
 enum Skel {
     G(u32, u32),
@@ -32,29 +43,45 @@ enum Skel {
     Forall(u32, Box<Skel>),
 }
 
-fn arb_formula() -> impl Strategy<Value = Skel> {
-    let leaf = prop_oneof![
-        (0u32..3, 0u32..3).prop_map(|(a, b)| Skel::G(a, b)),
-        (0u32..3).prop_map(Skel::P),
-        (0u32..3, 0u32..3).prop_map(|(a, b)| Skel::EqVars(a, b)),
-        (0u32..3, 0i64..4).prop_map(|(v, c)| Skel::EqConst(v, c)),
-        Just(Skel::True),
-        Just(Skel::False),
-    ];
-    leaf.prop_recursive(3, 16, 4, |inner| {
-        prop_oneof![
-            inner.clone().prop_map(|f| Skel::Not(Box::new(f))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Skel::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Skel::Or(Box::new(a), Box::new(b))),
-            (0u32..3, inner.clone()).prop_map(|(v, f)| Skel::Exists(v, Box::new(f))),
-            (0u32..3, inner).prop_map(|(v, f)| Skel::Forall(v, Box::new(f))),
-        ]
-    })
+/// A random skeleton of connective depth ≤ `depth`.
+fn random_skel(rng: &mut Rng, depth: usize) -> Skel {
+    if depth == 0 || rng.gen_bool(0.35) {
+        match rng.gen_index(6) {
+            0 => Skel::G(rng.gen_index(3) as u32, rng.gen_index(3) as u32),
+            1 => Skel::P(rng.gen_index(3) as u32),
+            2 => Skel::EqVars(rng.gen_index(3) as u32, rng.gen_index(3) as u32),
+            3 => Skel::EqConst(rng.gen_index(3) as u32, rng.gen_range_i64(0, 4)),
+            4 => Skel::True,
+            _ => Skel::False,
+        }
+    } else {
+        match rng.gen_index(5) {
+            0 => Skel::Not(Box::new(random_skel(rng, depth - 1))),
+            1 => Skel::And(
+                Box::new(random_skel(rng, depth - 1)),
+                Box::new(random_skel(rng, depth - 1)),
+            ),
+            2 => Skel::Or(
+                Box::new(random_skel(rng, depth - 1)),
+                Box::new(random_skel(rng, depth - 1)),
+            ),
+            3 => Skel::Exists(
+                rng.gen_index(3) as u32,
+                Box::new(random_skel(rng, depth - 1)),
+            ),
+            _ => Skel::Forall(
+                rng.gen_index(3) as u32,
+                Box::new(random_skel(rng, depth - 1)),
+            ),
+        }
+    }
 }
 
-fn resolve_formula(skel: &Skel, g: unchained::common::Symbol, p: unchained::common::Symbol) -> Formula {
+fn resolve_formula(
+    skel: &Skel,
+    g: unchained::common::Symbol,
+    p: unchained::common::Symbol,
+) -> Formula {
     let var = |v: u32| FoTerm::Var(FoVar(v));
     match skel {
         Skel::G(a, b) => Formula::Atom(g, vec![var(*a), var(*b)]),
@@ -81,13 +108,14 @@ fn graph_instance(interner: &mut Interner, name: &str, es: &[(i64, i64)]) -> Ins
     instance
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Magic-sets single-source TC equals full evaluation filtered to
-    /// the source, on arbitrary graphs and sources.
-    #[test]
-    fn magic_equals_full_on_random_graphs(es in edges(7, 18), source in 0i64..7) {
+/// Magic-sets single-source TC equals full evaluation filtered to the
+/// source, on arbitrary graphs and sources.
+#[test]
+fn magic_equals_full_on_random_graphs() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::seeded(seed);
+        let es = random_edges(&mut rng, 7, 18);
+        let source = rng.gen_range_i64(0, 7);
         let mut i = Interner::new();
         let program = parse_program(programs::TC, &mut i).unwrap();
         let t = i.get("T").unwrap();
@@ -97,40 +125,63 @@ proptest! {
         let (_, stats) = magic::compare_with_full(&program, &query, &input, &mut i).unwrap();
         // Magic never derives more than full (plus its magic facts are
         // counted, so allow equality).
-        prop_assert!(stats.magic_facts <= stats.full_facts + es.len() + 1);
+        assert!(
+            stats.magic_facts <= stats.full_facts + es.len() + 1,
+            "seed {seed}"
+        );
     }
+}
 
-    /// Every stable model of the win-move program on a random game is a
-    /// fixpoint of its own reduct and lies in the well-founded interval.
-    #[test]
-    fn stable_models_are_reduct_fixpoints(es in edges(5, 8)) {
+/// Every stable model of the win-move program on a random game is a
+/// fixpoint of its own reduct and lies in the well-founded interval.
+#[test]
+fn stable_models_are_reduct_fixpoints() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::seeded(seed);
+        let es = random_edges(&mut rng, 5, 8);
         let mut i = Interner::new();
         let program = parse_program(programs::WIN, &mut i).unwrap();
         let input = graph_instance(&mut i, "moves", &es);
         let win = i.get("win").unwrap();
-        let options = stable::StableOptions { max_unknowns: 12, ..Default::default() };
+        let options = stable::StableOptions {
+            max_unknowns: 12,
+            ..Default::default()
+        };
         let Ok(models) = stable::stable_models(&program, &input, options) else {
             // Too many unknowns for this instance: skip.
-            return Ok(());
+            continue;
         };
-        let wf = unchained::core::wellfounded::eval(&program, &input, EvalOptions::default())
-            .unwrap();
+        let wf =
+            unchained::core::wellfounded::eval(&program, &input, EvalOptions::default()).unwrap();
         for m in &models {
-            prop_assert!(stable::is_stable_model(&program, &input, m, EvalOptions::default())
-                .unwrap());
-            for t in wf.true_facts.relation(win).into_iter().flat_map(|r| r.iter()) {
-                prop_assert!(m.contains_fact(win, t));
+            assert!(
+                stable::is_stable_model(&program, &input, m, EvalOptions::default()).unwrap(),
+                "seed {seed}"
+            );
+            for t in wf
+                .true_facts
+                .relation(win)
+                .into_iter()
+                .flat_map(|r| r.iter())
+            {
+                assert!(m.contains_fact(win, t), "seed {seed}");
             }
             for t in m.relation(win).into_iter().flat_map(|r| r.iter()) {
-                prop_assert!(wf.possible_facts.contains_fact(win, t));
+                assert!(wf.possible_facts.contains_fact(win, t), "seed {seed}");
             }
         }
     }
+}
 
-    /// The choice FD holds in every run of the assignment program:
-    /// each student at most one advisor, regardless of seed and sizes.
-    #[test]
-    fn choice_fd_always_holds(students in 1usize..5, profs in 1usize..4, seed in 0u64..500) {
+/// The choice FD holds in every run of the assignment program: each
+/// student at most one advisor, regardless of seed and sizes.
+#[test]
+fn choice_fd_always_holds() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::seeded(seed);
+        let students = 1 + rng.gen_index(4);
+        let profs = 1 + rng.gen_index(3);
+        let chooser_seed = rng.next_u64();
         let mut i = Interner::new();
         let program = parse_program(
             "advises(s, a) :- student(s), prof(a), choice((s),(a)).",
@@ -148,31 +199,33 @@ proptest! {
             input.insert_fact(prof, Tuple::from([Value::Int(100 + a)]));
         }
         let compiled = NondetProgram::compile(&program, false).unwrap();
-        let mut chooser = RandomChooser::seeded(seed);
+        let mut chooser = RandomChooser::seeded(chooser_seed);
         let run = run_once(&compiled, &input, &mut chooser, EvalOptions::default()).unwrap();
         let rel = run.instance.relation(advises).unwrap();
-        prop_assert_eq!(rel.len(), students);
+        assert_eq!(rel.len(), students, "seed {seed}");
         let mut seen = std::collections::BTreeSet::new();
         for t in rel.iter() {
-            prop_assert!(seen.insert(t[0]));
+            assert!(seen.insert(t[0]), "seed {seed}");
         }
     }
+}
 
-    /// Distributed evaluation converges to the centralized answer on
-    /// random edge partitions.
-    #[test]
-    fn exchange_matches_centralized(es in edges(6, 12), split_seed in 0u64..100) {
+/// Distributed evaluation converges to the centralized answer on
+/// random edge partitions.
+#[test]
+fn exchange_matches_centralized() {
+    for seed in 0..48u64 {
+        let mut rng = Rng::seeded(seed);
+        let es = random_edges(&mut rng, 6, 12);
+        let split_seed = rng.next_u64() % 100;
         let mut i = Interner::new();
         let peer_prog = parse_program(
             "T(x,y) :- G(x,y). T(x,y) :- T(x,z), T(z,y). T(x,y) :- Timp(x,y).",
             &mut i,
         )
         .unwrap();
-        let central_prog = parse_program(
-            "T(x,y) :- G(x,y). T(x,y) :- T(x,z), T(z,y).",
-            &mut i,
-        )
-        .unwrap();
+        let central_prog =
+            parse_program("T(x,y) :- G(x,y). T(x,y) :- T(x,z), T(z,y).", &mut i).unwrap();
         let g = i.get("G").unwrap();
         let t = i.get("T").unwrap();
         let timp = i.get("Timp").unwrap();
@@ -183,7 +236,7 @@ proptest! {
         db_b.ensure(g, 2);
         for (idx, &(a, b)) in es.iter().enumerate() {
             let fact = Tuple::from([Value::Int(a), Value::Int(b)]);
-            if (split_seed.wrapping_mul(31).wrapping_add(idx as u64)) % 2 == 0 {
+            if (split_seed.wrapping_mul(31).wrapping_add(idx as u64)).is_multiple_of(2) {
                 db_a.insert_fact(g, fact);
             } else {
                 db_b.insert_fact(g, fact);
@@ -195,20 +248,26 @@ proptest! {
         network.run_to_convergence(200).unwrap();
 
         let central_input = graph_instance(&mut i, "G", &es);
-        let central = inflationary::eval(&central_prog, &central_input, EvalOptions::default())
-            .unwrap();
+        let central =
+            inflationary::eval(&central_prog, &central_input, EvalOptions::default()).unwrap();
         let expected = central.instance.relation(t).unwrap();
         for name in ["a", "b"] {
             let got = network.peer(name).unwrap().database.relation(t).unwrap();
-            prop_assert!(got.same_tuples(expected), "peer {}", name);
+            assert!(got.same_tuples(expected), "seed {seed} peer {name}");
         }
     }
+}
 
-    /// Codd's theorem, randomized: the FO → algebra translation agrees
-    /// with the direct formula evaluator on random formulas over a
-    /// fixed vocabulary.
-    #[test]
-    fn fo_algebra_translation_agrees(phi in arb_formula(), es in edges(4, 8)) {
+/// Codd's theorem, randomized: the FO → algebra translation agrees
+/// with the direct formula evaluator on random formulas over a fixed
+/// vocabulary.
+#[test]
+fn fo_algebra_translation_agrees() {
+    let mut checked = 0;
+    for seed in 0..96u64 {
+        let mut rng = Rng::seeded(seed);
+        let phi = random_skel(&mut rng, 3);
+        let es = random_edges(&mut rng, 4, 8);
         let mut i = Interner::new();
         let g = i.intern("G");
         let p = i.intern("P");
@@ -229,27 +288,52 @@ proptest! {
         let phi = resolve_formula(&phi, g, p);
         let layout = phi.free_vars();
         // The direct evaluator is exponential in |layout|; cap it.
-        prop_assume!(layout.len() <= 3);
+        if layout.len() > 3 {
+            continue;
+        }
         let direct = eval_formula(&phi, &layout, &inst, &dom).unwrap();
         let via_algebra = eval_via_algebra(&phi, &layout, &inst, &dom).unwrap();
-        prop_assert!(direct.same_tuples(&via_algebra));
+        assert!(direct.same_tuples(&via_algebra), "seed {seed}");
+        checked += 1;
     }
+    assert!(checked >= 48, "only {checked} formulas exercised");
+}
 
-    /// While-program display/parse roundtrip on synthesized programs.
-    #[test]
-    fn while_display_roundtrip(n_stmts in 1usize..4, seed in 0u64..300) {
-        let mut s = seed;
-        let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 33) as usize
-        };
+/// Regression: a shrunken counterexample saved by the original
+/// proptest suite — a variable bound by Exists shadowing a free
+/// occurrence of the same variable in a conjoined equality.
+#[test]
+fn fo_algebra_regression_exists_shadowing() {
+    let mut i = Interner::new();
+    let g = i.intern("G");
+    let p = i.intern("P");
+    let mut inst = Instance::new();
+    inst.ensure(g, 2);
+    inst.ensure(p, 1);
+    inst.insert_fact(g, Tuple::from([Value::Int(1), Value::Int(0)]));
+    let dom = inst.adom_sorted();
+    let skel = Skel::And(
+        Box::new(Skel::Exists(0, Box::new(Skel::EqVars(0, 2)))),
+        Box::new(Skel::EqVars(0, 0)),
+    );
+    let phi = resolve_formula(&skel, g, p);
+    let layout = phi.free_vars();
+    let direct = eval_formula(&phi, &layout, &inst, &dom).unwrap();
+    let via_algebra = eval_via_algebra(&phi, &layout, &inst, &dom).unwrap();
+    assert!(direct.same_tuples(&via_algebra));
+}
+
+/// While-program display/parse roundtrip on synthesized programs.
+#[test]
+fn while_display_roundtrip() {
+    for seed in 0..150u64 {
+        let mut rng = Rng::seeded(seed);
+        let n_stmts = 1 + rng.gen_index(3);
         let mut src = String::new();
         for k in 0..n_stmts {
-            match next() % 3 {
+            match rng.gen_index(3) {
                 0 => src.push_str(&format!("R{k} += {{ x, y | G(x,y) & x != y }};\n")),
-                1 => src.push_str(&format!(
-                    "R{k} := {{ x | exists y (G(x,y)) or H(x) }};\n"
-                )),
+                1 => src.push_str(&format!("R{k} := {{ x | exists y (G(x,y)) or H(x) }};\n")),
                 _ => src.push_str(&format!(
                     "while change do\n  R{k} += {{ x | forall y (G(y,x) -> R{k}(y)) }};\nend\n"
                 )),
@@ -261,6 +345,6 @@ proptest! {
         let mut i2 = Interner::new();
         let (p2, v2) = unchained::while_lang::parse_while_program(&shown1, &mut i2).unwrap();
         let shown2 = unchained::while_lang::display_program(&p2, &v2, &i2).to_string();
-        prop_assert_eq!(shown1, shown2);
+        assert_eq!(shown1, shown2, "seed {seed}");
     }
 }
