@@ -67,7 +67,11 @@ fn level_datalog_vs_stratified(report: &mut Report) {
     for inst in &family {
         let run = stratified::eval(&program, inst, EvalOptions::default()).unwrap();
         let expected = oracles::complement_tc(inst, g, &inst.adom_sorted());
-        let got = run.instance.relation(ct).cloned().unwrap_or_else(|| Relation::new(2));
+        let got = run
+            .instance
+            .relation(ct)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(2));
         all_ok &= got.same_tuples(&expected);
     }
     report.check(
@@ -98,7 +102,11 @@ fn level_datalog_vs_stratified(report: &mut Report) {
     report.check(
         "FIG1/strat⊋datalog: CT is non-monotone (Datalog is monotone)",
         lost,
-        format!("|CT| {} → {} after adding an edge", ct_small.len(), ct_big.len()),
+        format!(
+            "|CT| {} → {} after adding an edge",
+            ct_small.len(),
+            ct_big.len()
+        ),
     );
 }
 
@@ -165,7 +173,11 @@ fn level_fixpoint_equivalences(report: &mut Report) {
         }
         let a = inflationary::eval(&delayed, inst, EvalOptions::default()).unwrap();
         let b = stratified::eval(&strat, inst, EvalOptions::default()).unwrap();
-        ok &= a.instance.relation(ct).unwrap().same_tuples(b.instance.relation(ct).unwrap());
+        ok &= a
+            .instance
+            .relation(ct)
+            .unwrap()
+            .same_tuples(b.instance.relation(ct).unwrap());
         checked += 1;
     }
     report.check(
@@ -200,8 +212,16 @@ fn level_fixpoint_equivalences(report: &mut Report) {
         let a = inflationary::eval(&good_dl, inst, EvalOptions::default()).unwrap();
         let b = run_while(&while_prog, inst, 100_000, None).unwrap();
         let expected = oracles::good_nodes(inst, g);
-        let got_dl = a.instance.relation(good).cloned().unwrap_or_else(|| Relation::new(1));
-        let got_w = b.instance.relation(good_w).cloned().unwrap_or_else(|| Relation::new(1));
+        let got_dl = a
+            .instance
+            .relation(good)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(1));
+        let got_w = b
+            .instance
+            .relation(good_w)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(1));
         ok &= got_dl.same_tuples(&expected) && got_w.same_tuples(&expected);
     }
     report.check(
@@ -216,7 +236,11 @@ fn level_fixpoint_equivalences(report: &mut Report) {
     let mut ok = true;
     for inst in &family {
         let run = inflationary::eval(&closer_p, inst, EvalOptions::default()).unwrap();
-        let got = run.instance.relation(closer).cloned().unwrap_or_else(|| Relation::new(4));
+        let got = run
+            .instance
+            .relation(closer)
+            .cloned()
+            .unwrap_or_else(|| Relation::new(4));
         let dist = oracles::distances(inst, g);
         let dom = inst.adom_sorted();
         let d = |a: Value, b: Value| dist.get(&(a, b)).copied().unwrap_or(u64::MAX);
@@ -286,8 +310,7 @@ fn level_while(report: &mut Report) {
     let diff = parse_program(programs::DIFF_NNEGNEG, &mut i).unwrap();
     // Strip the multi-head rule down to the deterministic variant used
     // in Section 5.2's deterministic discussion:
-    let det_diff =
-        parse_program("answer(x) :- P(x). !answer(x) :- Q(x,y).", &mut i).unwrap();
+    let det_diff = parse_program("answer(x) :- P(x). !answer(x) :- Q(x,y).", &mut i).unwrap();
     let _ = diff;
     let p = i.get("P").unwrap();
     let q = i.get("Q").unwrap();
@@ -356,7 +379,11 @@ fn level_invention(report: &mut Report) {
     // exceeds any such bound.
     let budget = 64;
     let escaped = matches!(
-        invention::eval(&chain, &input, EvalOptions::default().with_max_facts(budget)),
+        invention::eval(
+            &chain,
+            &input,
+            EvalOptions::default().with_max_facts(budget)
+        ),
         Err(EvalError::FactLimitExceeded(_))
     );
     report.check(
@@ -366,8 +393,7 @@ fn level_invention(report: &mut Report) {
     );
 
     // Safety: a non-inventing answer relation is invented-value-free.
-    let tagged = parse_program("Obj(o, x, y) :- G(x,y). Src(x) :- Obj(o, x, y).", &mut i)
-        .unwrap();
+    let tagged = parse_program("Obj(o, x, y) :- G(x,y). Src(x) :- Obj(o, x, y).", &mut i).unwrap();
     let g = line_graph(&mut i, "G", 4);
     let run = invention::eval(&tagged, &g, EvalOptions::default()).unwrap();
     let ok = run.is_safe_answer(i.get("Src").unwrap())
@@ -392,9 +418,9 @@ fn level_nondet(report: &mut Report) {
     let original = input.relation(g).unwrap().clone();
     let compiled = NondetProgram::compile(&orientation, false).unwrap();
     let effects = effect(&compiled, &input, EffOptions::default()).unwrap();
-    let all_valid = effects.iter().all(|e| {
-        oracles::is_valid_orientation(&original, e.relation(g).unwrap())
-    });
+    let all_valid = effects
+        .iter()
+        .all(|e| oracles::is_valid_orientation(&original, e.relation(g).unwrap()));
     let ok = effects.len() == 8 && all_valid;
     report.check(
         "FIG1/nondet: §5.1 orientation eff = the 2^k valid orientations",
@@ -530,8 +556,7 @@ fn level_stable(report: &mut Report) {
     );
     let strat_p = parse_program(programs::CTC_STRATIFIED, &mut i).unwrap();
     let input = line_graph(&mut i, "G", 4);
-    let models =
-        stable::stable_models(&strat_p, &input, stable::StableOptions::default()).unwrap();
+    let models = stable::stable_models(&strat_p, &input, stable::StableOptions::default()).unwrap();
     let strat_run = stratified::eval(&strat_p, &input, EvalOptions::default()).unwrap();
     let ok = models.len() == 1 && models[0].same_facts(&strat_run.instance);
     report.check(
@@ -565,7 +590,10 @@ fn level_magic(report: &mut Report) {
     report.check(
         "FIG1/magic: single-source TC — magic answer = full answer, fewer facts",
         ok,
-        format!("full {} vs magic {} derived facts", stats.full_facts, stats.magic_facts),
+        format!(
+            "full {} vs magic {} derived facts",
+            stats.full_facts, stats.magic_facts
+        ),
     );
 }
 
@@ -634,11 +662,7 @@ fn main() -> ExitCode {
         println!("         {detail}");
     }
     println!();
-    println!(
-        "{} checks, {} failures",
-        report.rows.len(),
-        failures
-    );
+    println!("{} checks, {} failures", report.rows.len(), failures);
     if failures == 0 {
         ExitCode::SUCCESS
     } else {

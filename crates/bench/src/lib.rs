@@ -1,71 +1,746 @@
 //! # unchained-bench
 //!
-//! Shared helpers for the Criterion benchmarks and the `fig1` binary
-//! that regenerates the paper's Figure 1 (the relative-expressive-power
-//! hierarchy) as an empirically validated table.
+//! The in-repo benchmark harness: a registry of seeded workload
+//! generators run across every applicable engine, measured by the
+//! zero-dependency kernel in [`unchained_common::bench`] and emitted as
+//! a versioned, machine-readable `BENCH.json` plus a human table.
 //!
-//! One Criterion bench exists per experiment row of DESIGN.md:
+//! Following the self-profiling discipline of production Datalog
+//! engines (Soufflé's profiler, DDlog's `--self-profile`), the harness
+//! has **no external dependencies** — it builds and runs fully offline
+//! and is reachable two ways:
 //!
-//! | bench target | experiment |
-//! |---|---|
-//! | `datalog_tc` | EX-TC (+ naive-vs-semi-naive ablation) |
-//! | `stratified_ctc` | EX-STRAT |
-//! | `wellfounded_win` | EX-WIN |
-//! | `inflationary` | EX-CLOSER, EX-DELAY, EX-TSTAMP |
-//! | `nondet` | EX-ORIENT, EX-DIFF, TH-5.11 |
-//! | `ordered_parity` | TH-4.7 |
-//! | `while_vs_datalog` | TH-4.2, TH-4.8 |
-//! | `parser_throughput` | (infrastructure) |
+//! ```sh
+//! cargo run --release -p unchained-bench -- --quick --json BENCH.json
+//! cargo run --release -p unchained-cli -- bench --quick --json BENCH.json
+//! ```
+//!
+//! `--baseline PRIOR.json` compares against an earlier report and exits
+//! nonzero on regression (median wall time beyond a configurable
+//! threshold, or drift in the deterministic work gauges), so CI can
+//! gate performance PRs.
+//!
+//! | workload | shape | engines |
+//! |---|---|---|
+//! | `chain`  | line-graph TC (§3.1) | naive, seminaive, inflationary, noninflationary, while |
+//! | `cycle`  | cycle-graph TC | naive, seminaive |
+//! | `grid`   | grid-graph TC (high fan-in joins) | naive, seminaive |
+//! | `random` | seeded random-digraph TC | seminaive, inflationary |
+//! | `win`    | win-move game, alternating fixpoint (Ex. 3.2) | wellfounded |
+//! | `ctc`    | complement of TC (§3.2) | stratified, wellfounded |
+//! | `magic`  | single-source TC over disjoint chains (§3.1) | seminaive, magic |
+//! | `invent` | Datalog¬new invention chain (§4.3) | invention |
+//!
+//! Every generator is deterministic in its seed (`common::rng`), so
+//! the work gauges — stages, facts derived, join probes — are exactly
+//! reproducible across runs and machines; only wall times vary.
+//! Telemetry stays enabled while timing (that is how the gauges are
+//! harvested), so timings include the collection overhead uniformly —
+//! comparisons across runs remain apples-to-apples.
 
-use unchained_common::{Instance, Interner};
+use unchained_common::bench::{
+    compare_reports, measure, BenchEntry, BenchReport, Gauges, Repetitions, WallStats,
+    DEFAULT_REGRESSION_THRESHOLD,
+};
+use unchained_common::{Instance, Interner, Telemetry, Tuple, Value};
+use unchained_core::{
+    inflationary, invention, magic, naive, noninflationary, seminaive, stratified, wellfounded,
+    EvalError, EvalOptions,
+};
+use unchained_harness::generators;
+use unchained_harness::programs;
 use unchained_parser::{parse_program, Program};
+use unchained_while::parse_while_program;
 
-/// Parses a program, panicking on error (bench setup).
-pub fn must_parse(src: &str, interner: &mut Interner) -> Program {
-    parse_program(src, interner).expect("bench program parses")
+/// The while-language rendering of transitive closure (Theorem 4.2's
+/// other side of the fixpoint coin).
+const WHILE_TC: &str = "\
+while change do
+  T += { x, y | G(x,y) or exists z (T(x,z) & G(z,y)) };
+end
+";
+
+/// One benchmark case: a workload × engine × size triple plus the
+/// closure that performs a single evaluation and harvests its gauges.
+pub struct Case {
+    /// Workload name (`chain`, `win`, …).
+    pub workload: &'static str,
+    /// Engine name (`naive`, `magic`, `while`, …).
+    pub engine: &'static str,
+    /// Size parameter (nodes, states, or stages — per workload).
+    pub n: u64,
+    runner: Box<dyn FnMut() -> Result<Gauges, String>>,
 }
 
-/// A labelled workload: name + input instance.
-pub struct Workload {
-    /// Display label, e.g. `line/64`.
-    pub label: String,
-    /// The input.
-    pub input: Instance,
+impl Case {
+    /// The label `--filter` matches against (`workload/engine`).
+    pub fn label(&self) -> String {
+        format!("{}/{}", self.workload, self.engine)
+    }
 }
 
-/// Builds the standard graph workloads used by several benches: lines
-/// and seeded random digraphs of the given sizes.
-pub fn graph_workloads(interner: &mut Interner, sizes: &[i64]) -> Vec<Workload> {
-    let mut out = Vec::new();
-    for &n in sizes {
-        out.push(Workload {
-            label: format!("line/{n}"),
-            input: unchained_harness::generators::line_graph(interner, "G", n),
-        });
-        out.push(Workload {
-            label: format!("random/{n}"),
-            input: unchained_harness::generators::random_digraph(
-                interner,
-                "G",
-                n,
-                2.0 / n as f64,
-                0xDA7A + n as u64,
-            ),
+/// Workload sizes for the two fidelity levels.
+struct Sizes {
+    chain: i64,
+    cycle: i64,
+    grid: (i64, i64),
+    random: i64,
+    win: i64,
+    ctc: i64,
+    magic_chains: i64,
+    magic_len: i64,
+    invent_stages: usize,
+}
+
+impl Sizes {
+    fn full() -> Sizes {
+        Sizes {
+            chain: 64,
+            cycle: 48,
+            grid: (8, 8),
+            random: 48,
+            win: 64,
+            ctc: 24,
+            magic_chains: 8,
+            magic_len: 12,
+            invent_stages: 256,
+        }
+    }
+
+    fn quick() -> Sizes {
+        Sizes {
+            chain: 16,
+            cycle: 12,
+            grid: (4, 4),
+            random: 16,
+            win: 16,
+            ctc: 10,
+            magic_chains: 4,
+            magic_len: 6,
+            invent_stages: 32,
+        }
+    }
+}
+
+/// Wraps one deterministic-engine evaluation: enables telemetry, times
+/// nothing itself (the kernel's [`measure`] loop does), and converts
+/// the finished trace into [`Gauges`].
+fn harvest(tel: &Telemetry, interner_symbols: usize, input_facts: usize) -> Result<Gauges, String> {
+    let mut trace = tel.snapshot().ok_or("telemetry produced no trace")?;
+    trace.interner_symbols = interner_symbols;
+    Ok(Gauges::from_trace(&trace, input_facts))
+}
+
+/// A boxed workload-input generator.
+type GraphGen = Box<dyn Fn(&mut Interner) -> Instance>;
+
+/// A boxed single-evaluation closure driven through [`EvalOptions`].
+type EngineRun = Box<dyn FnMut(&Instance, EvalOptions) -> Result<(), String>>;
+
+/// Builds a runner for an engine driven through [`EvalOptions`].
+/// `eval` runs the engine once; it may treat an expected budget error
+/// as success (the invention chain runs against a stage budget).
+fn options_runner(
+    input: Instance,
+    interner_symbols: usize,
+    mut eval: impl FnMut(&Instance, EvalOptions) -> Result<(), String> + 'static,
+) -> Box<dyn FnMut() -> Result<Gauges, String>> {
+    Box::new(move || {
+        let tel = Telemetry::enabled();
+        let options = EvalOptions::default().with_telemetry(tel.clone());
+        eval(&input, options)?;
+        harvest(&tel, interner_symbols, input.fact_count())
+    })
+}
+
+/// The full case registry at the given fidelity.
+pub fn cases(quick: bool) -> Vec<Case> {
+    let sizes = if quick { Sizes::quick() } else { Sizes::full() };
+    let mut out: Vec<Case> = Vec::new();
+
+    let parse = |src: &str, i: &mut Interner| -> Program {
+        parse_program(src, i).expect("registry program parses")
+    };
+
+    // chain / cycle / grid / random — transitive closure under the
+    // positive and fixpoint engines.
+    let tc_graphs: Vec<(&'static str, u64, GraphGen)> = vec![
+        ("chain", sizes.chain as u64, {
+            let n = sizes.chain;
+            Box::new(move |i| generators::line_graph(i, "G", n))
+        }),
+        ("cycle", sizes.cycle as u64, {
+            let n = sizes.cycle;
+            Box::new(move |i| generators::cycle_graph(i, "G", n))
+        }),
+        ("grid", (sizes.grid.0 * sizes.grid.1) as u64, {
+            let (w, h) = sizes.grid;
+            Box::new(move |i| generators::grid_graph(i, "G", w, h))
+        }),
+        ("random", sizes.random as u64, {
+            let n = sizes.random;
+            Box::new(move |i| generators::random_digraph(i, "G", n, 2.0 / n as f64, 0xDA7A))
+        }),
+    ];
+    for (workload, n, gen) in tc_graphs {
+        let engines: &[&str] = match workload {
+            "chain" => &[
+                "naive",
+                "seminaive",
+                "inflationary",
+                "noninflationary",
+                "while",
+            ],
+            "cycle" | "grid" => &["naive", "seminaive"],
+            _ => &["seminaive", "inflationary"],
+        };
+        for &engine in engines {
+            let mut interner = Interner::new();
+            let input = gen(&mut interner);
+            let case = match engine {
+                "while" => {
+                    let (program, _) =
+                        parse_while_program(WHILE_TC, &mut interner).expect("WHILE_TC parses");
+                    let symbols = interner.len();
+                    let facts = input.fact_count();
+                    let input = input.clone();
+                    Case {
+                        workload,
+                        engine,
+                        n,
+                        runner: Box::new(move || {
+                            let tel = Telemetry::enabled();
+                            unchained_while::run_traced(
+                                &program,
+                                &input,
+                                1_000_000,
+                                None,
+                                tel.clone(),
+                            )
+                            .map_err(|e| e.to_string())?;
+                            harvest(&tel, symbols, facts)
+                        }),
+                    }
+                }
+                _ => {
+                    let program = parse(programs::TC, &mut interner);
+                    let symbols = interner.len();
+                    let run: EngineRun = match engine {
+                        "naive" => Box::new(move |inp, o| {
+                            naive::minimum_model(&program, inp, o)
+                                .map(drop)
+                                .map_err(|e| e.to_string())
+                        }),
+                        "seminaive" => Box::new(move |inp, o| {
+                            seminaive::minimum_model(&program, inp, o)
+                                .map(drop)
+                                .map_err(|e| e.to_string())
+                        }),
+                        "inflationary" => Box::new(move |inp, o| {
+                            inflationary::eval(&program, inp, o)
+                                .map(drop)
+                                .map_err(|e| e.to_string())
+                        }),
+                        "noninflationary" => Box::new(move |inp, o| {
+                            noninflationary::eval(
+                                &program,
+                                inp,
+                                noninflationary::ConflictPolicy::PreferPositive,
+                                o,
+                            )
+                            .map(drop)
+                            .map_err(|e| e.to_string())
+                        }),
+                        other => unreachable!("unknown TC engine {other}"),
+                    };
+                    let mut run = run;
+                    Case {
+                        workload,
+                        engine,
+                        n,
+                        runner: options_runner(input, symbols, move |inp, o| run(inp, o)),
+                    }
+                }
+            };
+            out.push(case);
+        }
+    }
+
+    // win — the unstratifiable game program under the alternating
+    // fixpoint (well-founded) engine, on a seeded random board.
+    {
+        let mut interner = Interner::new();
+        let input = generators::random_game(&mut interner, "moves", sizes.win, 3, 0xBEEF);
+        let program = parse(programs::WIN, &mut interner);
+        let symbols = interner.len();
+        out.push(Case {
+            workload: "win",
+            engine: "wellfounded",
+            n: sizes.win as u64,
+            runner: options_runner(input, symbols, move |inp, o| {
+                wellfounded::eval(&program, inp, o)
+                    .map(drop)
+                    .map_err(|e| e.to_string())
+            }),
         });
     }
+
+    // ctc — stratified complement-of-TC, under the stratified engine
+    // and (as a stratified program) the well-founded one.
+    for engine in ["stratified", "wellfounded"] {
+        let mut interner = Interner::new();
+        let input = generators::line_graph(&mut interner, "G", sizes.ctc);
+        let program = parse(programs::CTC_STRATIFIED, &mut interner);
+        let symbols = interner.len();
+        let run: EngineRun = match engine {
+            "stratified" => Box::new(move |inp, o| {
+                stratified::eval(&program, inp, o)
+                    .map(drop)
+                    .map_err(|e| e.to_string())
+            }),
+            _ => Box::new(move |inp, o| {
+                wellfounded::eval(&program, inp, o)
+                    .map(drop)
+                    .map_err(|e| e.to_string())
+            }),
+        };
+        let mut run = run;
+        out.push(Case {
+            workload: "ctc",
+            engine,
+            n: sizes.ctc as u64,
+            runner: options_runner(input, symbols, move |inp, o| run(inp, o)),
+        });
+    }
+
+    // magic — single-source reachability over disjoint chains: full
+    // semi-naive evaluation vs. the magic-sets rewrite of the same
+    // query (the goal-direction ablation of §3.1).
+    {
+        let chains = sizes.magic_chains;
+        let len = sizes.magic_len;
+        let n = (chains * len) as u64;
+        let build = |i: &mut Interner| {
+            let g = i.intern("G");
+            let mut input = Instance::new();
+            input.ensure(g, 2);
+            for c in 0..chains {
+                let base = c * 1000;
+                for k in 0..len {
+                    input.insert_fact(
+                        g,
+                        Tuple::from([Value::Int(base + k), Value::Int(base + k + 1)]),
+                    );
+                }
+            }
+            input
+        };
+        {
+            let mut interner = Interner::new();
+            let input = build(&mut interner);
+            let program = parse(programs::TC, &mut interner);
+            let symbols = interner.len();
+            out.push(Case {
+                workload: "magic",
+                engine: "seminaive",
+                n,
+                runner: options_runner(input, symbols, move |inp, o| {
+                    seminaive::minimum_model(&program, inp, o)
+                        .map(drop)
+                        .map_err(|e| e.to_string())
+                }),
+            });
+        }
+        {
+            let mut interner = Interner::new();
+            let input = build(&mut interner);
+            let program = parse(programs::TC, &mut interner);
+            let t = interner.get("T").expect("TC defines T");
+            let query = magic::QueryPattern::new(t, vec![Some(Value::Int(0)), None]);
+            let facts = input.fact_count();
+            out.push(Case {
+                workload: "magic",
+                engine: "magic",
+                n,
+                runner: Box::new(move || {
+                    let tel = Telemetry::enabled();
+                    let options = EvalOptions::default().with_telemetry(tel.clone());
+                    magic::answer(&program, &query, &input, &mut interner, options)
+                        .map_err(|e| e.to_string())?;
+                    harvest(&tel, interner.len(), facts)
+                }),
+            });
+        }
+    }
+
+    // invent — the Datalog¬new chain that invents a value per stage,
+    // run against a stage budget (it would otherwise run forever; the
+    // budget makes the measured work exactly `invent_stages` stages).
+    {
+        let mut interner = Interner::new();
+        let program = parse(
+            "Chain(n, x) :- Start(x).\nChain(n2, n) :- Chain(n, x).",
+            &mut interner,
+        );
+        let start = interner.get("Start").expect("Start interned");
+        let mut input = Instance::new();
+        input.insert_fact(start, Tuple::from([Value::Int(0)]));
+        let symbols = interner.len();
+        let budget = sizes.invent_stages;
+        out.push(Case {
+            workload: "invent",
+            engine: "invention",
+            n: budget as u64,
+            runner: options_runner(input, symbols, move |inp, o| {
+                match invention::eval(&program, inp, o.with_max_stages(budget)) {
+                    Ok(_) | Err(EvalError::StageLimitExceeded(_)) => Ok(()),
+                    Err(e) => Err(e.to_string()),
+                }
+            }),
+        });
+    }
+
     out
+}
+
+/// Parsed `bench` arguments, shared by `unchained bench …` and the
+/// `unchained-bench` binary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchArgs {
+    /// Substring filter on `workload/engine` labels.
+    pub filter: Option<String>,
+    /// Write the report as `BENCH.json` to this path.
+    pub json: Option<String>,
+    /// Compare against a prior `BENCH.json` at this path.
+    pub baseline: Option<String>,
+    /// Small sizes + fewer repetitions (CI smoke fidelity).
+    pub quick: bool,
+    /// Override the timed repetition count.
+    pub reps: Option<usize>,
+    /// Override the warmup count.
+    pub warmup: Option<usize>,
+    /// Regression threshold for `--baseline` (ratio of medians).
+    pub threshold: f64,
+    /// List the registry without running anything.
+    pub list: bool,
+    /// Print usage and exit 0.
+    pub help: bool,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            filter: None,
+            json: None,
+            baseline: None,
+            quick: false,
+            reps: None,
+            warmup: None,
+            threshold: DEFAULT_REGRESSION_THRESHOLD,
+            list: false,
+            help: false,
+        }
+    }
+}
+
+/// Usage text for the bench harness.
+pub const BENCH_USAGE: &str = "\
+unchained bench — in-repo benchmark harness (BENCH.json)
+
+USAGE:
+  unchained bench [options]
+  cargo run --release -p unchained-bench -- [options]
+
+OPTIONS:
+  --filter <PAT>      run only cases whose workload/engine label
+                      contains PAT (e.g. `chain`, `magic/magic`)
+  --json <PATH>       write the machine-readable BENCH.json report
+  --baseline <PATH>   compare against a prior BENCH.json; exit nonzero
+                      on regression (see --threshold)
+  --quick             small sizes + fewer repetitions (CI smoke)
+  --reps <N>          timed repetitions per case (default 5, quick 3)
+  --warmup <N>        untimed warmup runs per case (default 1)
+  --threshold <X>     regression = median > X × baseline median
+                      (default 2.0; absolute floor 25µs)
+  --list              list the case registry and exit
+  --help              this text
+";
+
+/// Parses bench arguments (everything after the `bench` word).
+pub fn parse_bench_args(argv: &[String]) -> Result<BenchArgs, String> {
+    let mut args = BenchArgs::default();
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--filter" => {
+                args.filter = Some(it.next().ok_or("--filter needs a value")?.clone());
+            }
+            "--json" => {
+                args.json = Some(it.next().ok_or("--json needs a path")?.clone());
+            }
+            "--baseline" => {
+                args.baseline = Some(it.next().ok_or("--baseline needs a path")?.clone());
+            }
+            "--quick" => args.quick = true,
+            "--reps" => {
+                let v = it.next().ok_or("--reps needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --reps `{v}`"))?;
+                if n == 0 {
+                    return Err("--reps must be >= 1".into());
+                }
+                args.reps = Some(n);
+            }
+            "--warmup" => {
+                let v = it.next().ok_or("--warmup needs a value")?;
+                args.warmup = Some(v.parse().map_err(|_| format!("bad --warmup `{v}`"))?);
+            }
+            "--threshold" => {
+                let v = it.next().ok_or("--threshold needs a value")?;
+                let x: f64 = v.parse().map_err(|_| format!("bad --threshold `{v}`"))?;
+                if x.is_nan() || x < 1.0 {
+                    return Err("--threshold must be >= 1.0".into());
+                }
+                args.threshold = x;
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown bench option `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs the (filtered) registry and collects the report. Pure except
+/// for the measurements themselves — no file I/O.
+pub fn run_benchmarks(args: &BenchArgs) -> Result<BenchReport, String> {
+    let mut rep = if args.quick {
+        Repetitions::quick()
+    } else {
+        Repetitions::full()
+    };
+    if let Some(n) = args.reps {
+        rep.reps = n;
+    }
+    if let Some(n) = args.warmup {
+        rep.warmup = n;
+    }
+    let mut report = BenchReport::default();
+    for mut case in cases(args.quick) {
+        if let Some(pat) = &args.filter {
+            if !case.label().contains(pat.as_str()) {
+                continue;
+            }
+        }
+        let (samples, last) = measure(rep, &mut case.runner);
+        let gauges = last.map_err(|e| format!("{}: {e}", case.label()))?;
+        report.entries.push(BenchEntry {
+            workload: case.workload.to_string(),
+            engine: case.engine.to_string(),
+            n: case.n,
+            reps: rep.reps as u64,
+            wall: WallStats::from_samples(&samples),
+            gauges,
+        });
+    }
+    if report.entries.is_empty() {
+        return Err(match &args.filter {
+            Some(pat) => format!("no benchmark case matches filter `{pat}`"),
+            None => "benchmark registry is empty".to_string(),
+        });
+    }
+    Ok(report)
+}
+
+/// The complete bench command: parse, run, print, write `--json`,
+/// compare `--baseline`. Returns the process exit code (0 ok, 1 on
+/// error or regression, 2 on bad usage). Shared by the `unchained`
+/// CLI's `bench` subcommand and the `unchained-bench` binary.
+pub fn main_with_args(argv: &[String]) -> u8 {
+    let args = match parse_bench_args(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{BENCH_USAGE}");
+            return 2;
+        }
+    };
+    if args.help {
+        print!("{BENCH_USAGE}");
+        return 0;
+    }
+    if args.list {
+        for case in cases(args.quick) {
+            println!("{}/{}", case.label(), case.n);
+        }
+        return 0;
+    }
+    let report = match run_benchmarks(&args) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    print!("{}", report.render_table());
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return 1;
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = &args.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return 1;
+            }
+        };
+        let base = match unchained_common::BenchReport::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        };
+        let cmp = compare_reports(&report, &base, args.threshold);
+        print!("{}", cmp.render());
+        if cmp.has_regression() {
+            return 1;
+        }
+    }
+    0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::BTreeSet;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
 
     #[test]
-    fn workloads_built() {
-        let mut i = Interner::new();
-        let w = graph_workloads(&mut i, &[8, 16]);
-        assert_eq!(w.len(), 4);
-        assert!(w[0].label.starts_with("line/"));
-        assert!(w[0].input.fact_count() > 0);
+    fn registry_covers_the_required_matrix() {
+        let cases = cases(true);
+        let workloads: BTreeSet<_> = cases.iter().map(|c| c.workload).collect();
+        let engines: BTreeSet<_> = cases.iter().map(|c| c.engine).collect();
+        assert!(workloads.len() >= 6, "{workloads:?}");
+        assert!(engines.len() >= 5, "{engines:?}");
+        for w in [
+            "chain", "cycle", "grid", "random", "win", "ctc", "magic", "invent",
+        ] {
+            assert!(workloads.contains(w), "missing workload {w}");
+        }
+        for e in [
+            "naive",
+            "seminaive",
+            "stratified",
+            "wellfounded",
+            "inflationary",
+            "noninflationary",
+            "magic",
+            "while",
+            "invention",
+        ] {
+            assert!(engines.contains(e), "missing engine {e}");
+        }
+        // Full and quick fidelities share the same matrix, larger n.
+        let full = super::cases(false);
+        assert_eq!(full.len(), cases.len());
+    }
+
+    #[test]
+    fn arg_parsing_round_trips() {
+        let a = parse_bench_args(&argv(
+            "--filter chain --json out.json --baseline base.json --quick --reps 2 \
+             --warmup 0 --threshold 3.5",
+        ))
+        .unwrap();
+        assert_eq!(a.filter.as_deref(), Some("chain"));
+        assert_eq!(a.json.as_deref(), Some("out.json"));
+        assert_eq!(a.baseline.as_deref(), Some("base.json"));
+        assert!(a.quick);
+        assert_eq!(a.reps, Some(2));
+        assert_eq!(a.warmup, Some(0));
+        assert_eq!(a.threshold, 3.5);
+        assert!(parse_bench_args(&argv("--reps 0")).is_err());
+        assert!(parse_bench_args(&argv("--threshold 0.5")).is_err());
+        assert!(parse_bench_args(&argv("--bogus")).is_err());
+        assert!(parse_bench_args(&argv("--help")).unwrap().help);
+    }
+
+    #[test]
+    fn filtered_quick_run_produces_valid_entries() {
+        let args = BenchArgs {
+            filter: Some("magic".into()),
+            quick: true,
+            reps: Some(1),
+            warmup: Some(0),
+            ..Default::default()
+        };
+        let report = run_benchmarks(&args).unwrap();
+        assert_eq!(report.entries.len(), 2);
+        let magic = report
+            .entries
+            .iter()
+            .find(|e| e.engine == "magic")
+            .expect("magic entry");
+        let full = report
+            .entries
+            .iter()
+            .find(|e| e.engine == "seminaive")
+            .expect("seminaive entry");
+        // Goal direction derives strictly fewer facts than full TC.
+        assert!(magic.gauges.facts_derived < full.gauges.facts_derived);
+        assert!(full.gauges.probes > 0);
+        assert!(full.wall.median > 0);
+        // The emitted JSON parses back to the same report.
+        let round = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(round, report);
+    }
+
+    #[test]
+    fn invention_case_survives_its_stage_budget() {
+        let args = BenchArgs {
+            filter: Some("invent".into()),
+            quick: true,
+            reps: Some(1),
+            warmup: Some(0),
+            ..Default::default()
+        };
+        let report = run_benchmarks(&args).unwrap();
+        assert_eq!(report.entries.len(), 1);
+        let e = &report.entries[0];
+        // The budget bounds the run: one invented fact per stage.
+        assert_eq!(e.gauges.stages, e.n);
+        assert!(e.gauges.facts_derived >= e.n);
+    }
+
+    #[test]
+    fn unknown_filter_is_an_error() {
+        let args = BenchArgs {
+            filter: Some("no-such-case".into()),
+            quick: true,
+            ..Default::default()
+        };
+        assert!(run_benchmarks(&args).unwrap_err().contains("no-such-case"));
+    }
+
+    #[test]
+    fn while_engine_runs_chain_tc() {
+        let args = BenchArgs {
+            filter: Some("chain/while".into()),
+            quick: true,
+            reps: Some(1),
+            warmup: Some(0),
+            ..Default::default()
+        };
+        let report = run_benchmarks(&args).unwrap();
+        assert_eq!(report.entries.len(), 1);
+        // A 16-chain closes in 15 cumulate rounds plus the no-change one.
+        assert!(report.entries[0].gauges.facts_derived > 0);
     }
 }

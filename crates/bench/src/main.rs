@@ -1,0 +1,10 @@
+//! `cargo run --release -p unchained-bench -- [options]` — the
+//! standalone entry point for the benchmark harness. The same driver
+//! is reachable as `unchained bench …` from the main CLI.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(unchained_bench::main_with_args(&argv))
+}

@@ -106,6 +106,12 @@ pub enum Command {
     },
     /// Interactive session.
     Repl,
+    /// Run the benchmark harness (arguments passed through to
+    /// `unchained_bench`).
+    Bench {
+        /// Everything after the `bench` word, verbatim.
+        rest: Vec<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -119,6 +125,8 @@ USAGE:
   unchained run ...            alias for eval
   unchained check <PROGRAM.dl>
   unchained repl
+  unchained bench [options]     in-repo benchmark harness (BENCH.json);
+                               see `unchained bench --help`
   unchained help
 
 SEMANTICS (for --semantics / -s):
@@ -158,6 +166,11 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         }),
         "repl" => Ok(Args {
             command: Command::Repl,
+        }),
+        "bench" => Ok(Args {
+            command: Command::Bench {
+                rest: it.cloned().collect(),
+            },
         }),
         "check" => {
             let program = it.next().ok_or("check: missing program file")?.clone();
@@ -310,6 +323,21 @@ mod tests {
         );
         assert_eq!(parse_args(&argv("help")).unwrap().command, Command::Help);
         assert_eq!(parse_args(&[]).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn parse_bench_passthrough() {
+        let args = parse_args(&argv("bench --quick --filter chain")).unwrap();
+        assert_eq!(
+            args.command,
+            Command::Bench {
+                rest: argv("--quick --filter chain")
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("bench")).unwrap().command,
+            Command::Bench { rest: vec![] }
+        );
     }
 
     #[test]

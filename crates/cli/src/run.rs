@@ -48,6 +48,9 @@ pub fn execute_full(
         Command::Repl => Ok(plain(
             "(interactive mode: run the `unchained` binary with `repl`)".into(),
         )),
+        Command::Bench { .. } => Ok(plain(
+            "(benchmark mode: run the `unchained` binary with `bench`)".into(),
+        )),
         Command::Check { .. } => {
             let mut interner = Interner::new();
             let program = parse_program(program_text, &mut interner).map_err(|e| e.to_string())?;

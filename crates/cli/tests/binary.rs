@@ -4,6 +4,7 @@
 
 use std::io::Write;
 use std::process::{Command, Stdio};
+use unchained_common::{BenchReport, Json, BENCH_SCHEMA_VERSION};
 
 fn bin() -> Command {
     Command::new(env!("CARGO_BIN_EXE_unchained"))
@@ -117,12 +118,119 @@ fn run_stats_prints_table_and_writes_trace_json() {
     assert!(stdout.contains("engine: seminaive"), "{stdout}");
     assert!(stdout.contains("wall:"), "{stdout}");
     assert!(stdout.contains("T=3"), "{stdout}");
-    // The trace file holds one JSON object per line.
+    // The trace file holds one valid JSON object per line: a `run`
+    // header followed by one `stage` record per stage.
     let json = std::fs::read_to_string(&trace).unwrap();
-    let lines: Vec<&str> = json.lines().collect();
+    let lines: Vec<Json> = json
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad trace line {l}: {e}")))
+        .collect();
     assert!(lines.len() >= 2, "{json}");
-    assert!(lines[0].starts_with("{\"type\":\"run\""), "{json}");
-    for line in &lines {
-        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert_eq!(lines[0].get("type").and_then(Json::as_str), Some("run"));
+    assert_eq!(
+        lines[0].get("engine").and_then(Json::as_str),
+        Some("seminaive")
+    );
+    for line in &lines[1..] {
+        assert_eq!(line.get("type").and_then(Json::as_str), Some("stage"));
+        assert!(line.get("wall_nanos").and_then(Json::as_u64).is_some());
     }
+}
+
+#[test]
+fn bench_quick_smoke_writes_valid_bench_json() {
+    let json_path = std::env::temp_dir()
+        .join("unchained-bin-tests")
+        .join("bench_smoke.json");
+    std::fs::create_dir_all(json_path.parent().unwrap()).unwrap();
+    let _ = std::fs::remove_file(&json_path);
+    let out = bin()
+        .args([
+            "bench", "--quick", "--filter", "chain", "--reps", "1", "--warmup", "0", "--json",
+        ])
+        .arg(&json_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("chain/seminaive"), "{stdout}");
+
+    let text = std::fs::read_to_string(&json_path).unwrap();
+    let doc = Json::parse(&text).expect("BENCH.json parses");
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_u64),
+        Some(BENCH_SCHEMA_VERSION)
+    );
+    let entries = doc.get("entries").and_then(Json::as_arr).unwrap();
+    assert!(!entries.is_empty());
+    for e in entries {
+        assert_eq!(e.get("workload").and_then(Json::as_str), Some("chain"));
+        assert!(e.get("wall").and_then(|w| w.get("median")).is_some());
+    }
+    // The typed parser accepts its own emission too.
+    let report = BenchReport::from_json(&text).unwrap();
+    assert_eq!(report.entries.len(), entries.len());
+}
+
+#[test]
+fn bench_baseline_regression_exits_nonzero() {
+    let dir = std::env::temp_dir().join("unchained-bin-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let json_path = dir.join("bench_base.json");
+    let _ = std::fs::remove_file(&json_path);
+    let common = [
+        "--quick",
+        "--filter",
+        "chain/seminaive",
+        "--reps",
+        "1",
+        "--warmup",
+        "0",
+    ];
+    let out = bin()
+        .arg("bench")
+        .args(common)
+        .arg("--json")
+        .arg(&json_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+
+    // Self-comparison with a loose threshold passes.
+    let out = bin()
+        .arg("bench")
+        .args(common)
+        .args(["--threshold", "1000"])
+        .arg("--baseline")
+        .arg(&json_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{:?}", out);
+
+    // An artificial slowdown fixture: doctor the baseline down to 1ns
+    // medians so the fresh run reads as a massive regression.
+    let mut doctored =
+        BenchReport::from_json(&std::fs::read_to_string(&json_path).unwrap()).unwrap();
+    for e in &mut doctored.entries {
+        e.wall.min = 1;
+        e.wall.median = 1;
+        e.wall.p95 = 1;
+        e.wall.total = 1;
+    }
+    let doctored_path = dir.join("bench_doctored.json");
+    std::fs::write(&doctored_path, doctored.to_json()).unwrap();
+    let out = bin()
+        .arg("bench")
+        .args(common)
+        .arg("--baseline")
+        .arg(&doctored_path)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{:?}", out);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // Bad bench usage is distinguishable from a regression.
+    let out = bin().args(["bench", "--bogus"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{:?}", out);
 }

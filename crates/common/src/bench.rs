@@ -1,0 +1,611 @@
+//! The measurement kernel behind the in-repo benchmark harness: a
+//! warmup/repetition loop over a monotonic clock, order statistics, the
+//! versioned `BENCH.json` schema, and the baseline comparator that lets
+//! CI gate performance regressions.
+//!
+//! Soufflé's profiler and DDlog's self-profiling are the reference
+//! points: a production Datalog engine measures itself, with no
+//! external benchmarking dependency, and records machine-readable
+//! artifacts so every performance claim has a before/after trail. The
+//! schema marries wall-time statistics (min/median/p95 over
+//! repetitions) with the work gauges the [`crate::telemetry`] subsystem
+//! already collects — stage counts, facts derived, join probe/build
+//! counters, peak instance size, interner growth — so a "win" can be
+//! separated into *less work* vs. *same work done faster*.
+//!
+//! The workload registry that produces [`BenchEntry`] values lives in
+//! the `unchained-bench` crate (it needs the parser and every engine);
+//! this module is the dependency-free substrate shared with the CLI.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::telemetry::{json_escape, EvalTrace};
+
+/// Version of the `BENCH.json` schema. Bump on any breaking change to
+/// the emitted shape; the parser rejects mismatched files so a stale
+/// baseline fails loudly instead of comparing garbage.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Ignore regressions whose absolute median increase is below this
+/// floor (25 µs): ratios on microsecond-scale cases are dominated by
+/// scheduler noise, and no interesting regression hides under it.
+pub const REGRESSION_MIN_DELTA_NANOS: u64 = 25_000;
+
+/// Default regression threshold: fail when a median is more than 2×
+/// its baseline (and above [`REGRESSION_MIN_DELTA_NANOS`]).
+pub const DEFAULT_REGRESSION_THRESHOLD: f64 = 2.0;
+
+/// Warmup/repetition counts for one benchmark case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Repetitions {
+    /// Untimed runs executed first (cache/allocator warmup).
+    pub warmup: usize,
+    /// Timed runs; must be ≥ 1.
+    pub reps: usize,
+}
+
+impl Repetitions {
+    /// The full-fidelity default: 1 warmup + 5 timed repetitions.
+    pub fn full() -> Self {
+        Repetitions { warmup: 1, reps: 5 }
+    }
+
+    /// The `--quick` smoke setting: 1 warmup + 3 timed repetitions.
+    pub fn quick() -> Self {
+        Repetitions { warmup: 1, reps: 3 }
+    }
+}
+
+/// Runs `f` `warmup + reps` times, timing the last `reps` executions on
+/// the monotonic clock. Returns the timed samples in nanoseconds and
+/// the result of the final execution (so the caller can harvest gauges
+/// from it without an extra run).
+pub fn measure<T>(rep: Repetitions, mut f: impl FnMut() -> T) -> (Vec<u64>, T) {
+    assert!(rep.reps >= 1, "measure requires reps >= 1");
+    for _ in 0..rep.warmup {
+        let _ = f();
+    }
+    let mut samples = Vec::with_capacity(rep.reps);
+    let mut last = None;
+    for _ in 0..rep.reps {
+        let start = Instant::now();
+        let out = f();
+        samples.push(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        last = Some(out);
+    }
+    (samples, last.expect("reps >= 1"))
+}
+
+/// Order statistics over one case's timed samples, in nanoseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WallStats {
+    /// Fastest repetition.
+    pub min: u64,
+    /// Median repetition (lower-median for even counts).
+    pub median: u64,
+    /// 95th-percentile repetition (nearest-rank).
+    pub p95: u64,
+    /// Sum over all repetitions.
+    pub total: u64,
+}
+
+impl WallStats {
+    /// Summarizes a non-empty sample set.
+    pub fn from_samples(samples: &[u64]) -> WallStats {
+        assert!(!samples.is_empty(), "summarize requires samples");
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = |q: f64| {
+            let idx = ((q * sorted.len() as f64).ceil() as usize).max(1) - 1;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        WallStats {
+            min: sorted[0],
+            median: sorted[(sorted.len() - 1) / 2],
+            p95: rank(0.95),
+            total: samples.iter().sum(),
+        }
+    }
+}
+
+/// Work gauges for one case, harvested from the engine's [`EvalTrace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Gauges {
+    /// Stages (immediate-consequence applications or the engine's
+    /// analogue) in one run.
+    pub stages: u64,
+    /// Facts in the final instance beyond the input (saturating).
+    pub facts_derived: u64,
+    /// Largest instance observed at any stage boundary.
+    pub peak_facts: u64,
+    /// Rule-body matches evaluated.
+    pub rules_fired: u64,
+    /// Hash-index probes performed.
+    pub probes: u64,
+    /// Tuples returned by those probes.
+    pub probe_tuples: u64,
+    /// Hash indexes (re)built.
+    pub index_builds: u64,
+    /// Tuples scanned while building indexes.
+    pub indexed_tuples: u64,
+    /// Interner size after the run.
+    pub interner_symbols: u64,
+}
+
+impl Gauges {
+    /// Pulls the gauges out of a finished trace. `input_facts` is the
+    /// size of the input instance (to report *derived* facts).
+    pub fn from_trace(trace: &EvalTrace, input_facts: usize) -> Gauges {
+        Gauges {
+            // Stage-based engines record one `StageRecord` per stage;
+            // the while interpreter counts loop iterations instead.
+            stages: (trace.stages.len() as u64).max(trace.loop_iterations as u64),
+            facts_derived: trace.final_facts.saturating_sub(input_facts) as u64,
+            peak_facts: trace.peak_facts as u64,
+            rules_fired: trace.rules_fired,
+            probes: trace.joins.probes,
+            probe_tuples: trace.joins.probe_tuples,
+            index_builds: trace.joins.index_builds,
+            indexed_tuples: trace.joins.indexed_tuples,
+            interner_symbols: trace.interner_symbols as u64,
+        }
+    }
+}
+
+/// One `workload × engine × size` measurement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchEntry {
+    /// Workload name (`chain`, `win`, `magic`, …).
+    pub workload: String,
+    /// Engine name (`naive`, `seminaive`, `magic`, `while`, …).
+    pub engine: String,
+    /// Workload size parameter (nodes, states, stages — per workload).
+    pub n: u64,
+    /// Timed repetitions behind `wall`.
+    pub reps: u64,
+    /// Wall-time order statistics.
+    pub wall: WallStats,
+    /// Work gauges from the final repetition's trace.
+    pub gauges: Gauges,
+}
+
+impl BenchEntry {
+    /// The comparison key: entries are matched across reports by
+    /// workload, engine, and size.
+    pub fn key(&self) -> String {
+        format!("{}/{}/{}", self.workload, self.engine, self.n)
+    }
+}
+
+/// A full harness run: schema version plus one entry per case.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchReport {
+    /// Entries in registry order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Renders the versioned `BENCH.json` document (one entry per
+    /// line, so diffs of committed snapshots stay reviewable).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{\"schema_version\":{BENCH_SCHEMA_VERSION},");
+        out.push_str("\"entries\":[\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{{\"workload\":\"{}\",\"engine\":\"{}\",\"n\":{},\"reps\":{}",
+                json_escape(&e.workload),
+                json_escape(&e.engine),
+                e.n,
+                e.reps
+            );
+            let _ = write!(
+                out,
+                ",\"wall\":{{\"min\":{},\"median\":{},\"p95\":{},\"total\":{}}}",
+                e.wall.min, e.wall.median, e.wall.p95, e.wall.total
+            );
+            let g = &e.gauges;
+            let _ = write!(
+                out,
+                ",\"stages\":{},\"facts_derived\":{},\"peak_facts\":{},\"rules_fired\":{}",
+                g.stages, g.facts_derived, g.peak_facts, g.rules_fired
+            );
+            let _ = write!(
+                out,
+                ",\"joins\":{{\"probes\":{},\"probe_tuples\":{},\"index_builds\":{},\
+                 \"indexed_tuples\":{}}}",
+                g.probes, g.probe_tuples, g.index_builds, g.indexed_tuples
+            );
+            let _ = write!(out, ",\"interner_symbols\":{}}}", g.interner_symbols);
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parses a `BENCH.json` document, rejecting schema mismatches.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let version = doc
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("BENCH.json: missing schema_version")?;
+        if version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "BENCH.json: schema_version {version} (this build reads \
+                 {BENCH_SCHEMA_VERSION}); regenerate the baseline"
+            ));
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("BENCH.json: missing entries array")?;
+        let field = |j: &Json, name: &str| -> Result<u64, String> {
+            j.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("BENCH.json entry: missing numeric `{name}`"))
+        };
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries {
+            let wall = e.get("wall").ok_or("BENCH.json entry: missing wall")?;
+            let joins = e.get("joins").ok_or("BENCH.json entry: missing joins")?;
+            out.push(BenchEntry {
+                workload: e
+                    .get("workload")
+                    .and_then(Json::as_str)
+                    .ok_or("BENCH.json entry: missing workload")?
+                    .to_string(),
+                engine: e
+                    .get("engine")
+                    .and_then(Json::as_str)
+                    .ok_or("BENCH.json entry: missing engine")?
+                    .to_string(),
+                n: field(e, "n")?,
+                reps: field(e, "reps")?,
+                wall: WallStats {
+                    min: field(wall, "min")?,
+                    median: field(wall, "median")?,
+                    p95: field(wall, "p95")?,
+                    total: field(wall, "total")?,
+                },
+                gauges: Gauges {
+                    stages: field(e, "stages")?,
+                    facts_derived: field(e, "facts_derived")?,
+                    peak_facts: field(e, "peak_facts")?,
+                    rules_fired: field(e, "rules_fired")?,
+                    probes: field(joins, "probes")?,
+                    probe_tuples: field(joins, "probe_tuples")?,
+                    index_builds: field(joins, "index_builds")?,
+                    indexed_tuples: field(joins, "indexed_tuples")?,
+                    interner_symbols: field(e, "interner_symbols")?,
+                },
+            });
+        }
+        Ok(BenchReport { entries: out })
+    }
+
+    /// Renders the human-readable results table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9}",
+            "workload/engine",
+            "n",
+            "reps",
+            "median",
+            "min",
+            "p95",
+            "stages",
+            "facts",
+            "probes",
+            "peak"
+        );
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9}",
+                format!("{}/{}", e.workload, e.engine),
+                e.n,
+                e.reps,
+                fmt_nanos(e.wall.median),
+                fmt_nanos(e.wall.min),
+                fmt_nanos(e.wall.p95),
+                e.gauges.stages,
+                e.gauges.facts_derived,
+                e.gauges.probes,
+                e.gauges.peak_facts
+            );
+        }
+        out
+    }
+}
+
+/// One matched entry pair in a baseline comparison.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EntryDelta {
+    /// The shared key (`workload/engine/n`).
+    pub key: String,
+    /// Baseline median, nanoseconds.
+    pub base_median: u64,
+    /// New median, nanoseconds.
+    pub new_median: u64,
+    /// `new_median / base_median` (∞-safe: a 0 baseline compares as 1).
+    pub ratio: f64,
+    /// Whether the slowdown crosses the threshold *and* the absolute
+    /// floor ([`REGRESSION_MIN_DELTA_NANOS`]).
+    pub time_regressed: bool,
+    /// Whether the deterministic work gauges drifted (facts derived or
+    /// stage count changed for the same workload/engine/size).
+    pub work_drifted: bool,
+}
+
+/// The outcome of comparing a run against a baseline `BENCH.json`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Comparison {
+    /// Matched entries, in the new report's order.
+    pub deltas: Vec<EntryDelta>,
+    /// Keys present only in the baseline (not a failure: quick and full
+    /// runs measure different sizes).
+    pub missing: Vec<String>,
+    /// Keys present only in the new report.
+    pub added: Vec<String>,
+    /// The threshold the comparison ran with.
+    pub threshold: f64,
+}
+
+impl Comparison {
+    /// True when any matched entry regressed (time or work drift).
+    pub fn has_regression(&self) -> bool {
+        self.deltas
+            .iter()
+            .any(|d| d.time_regressed || d.work_drifted)
+    }
+
+    /// Renders the per-entry delta table plus a verdict line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "baseline comparison (regression = median > {:.2}× baseline and \
+             +{} absolute):",
+            self.threshold,
+            fmt_nanos(REGRESSION_MIN_DELTA_NANOS)
+        );
+        for d in &self.deltas {
+            let verdict = if d.work_drifted {
+                "  WORK DRIFT"
+            } else if d.time_regressed {
+                "  REGRESSED"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>10} -> {:>10}  (x{:.2}){verdict}",
+                d.key,
+                fmt_nanos(d.base_median),
+                fmt_nanos(d.new_median),
+                d.ratio
+            );
+        }
+        for k in &self.missing {
+            let _ = writeln!(out, "  {k:<28} only in baseline");
+        }
+        for k in &self.added {
+            let _ = writeln!(out, "  {k:<28} only in this run");
+        }
+        let regressions = self
+            .deltas
+            .iter()
+            .filter(|d| d.time_regressed || d.work_drifted)
+            .count();
+        let _ = writeln!(
+            out,
+            "{} compared, {} regression(s), {} missing, {} added",
+            self.deltas.len(),
+            regressions,
+            self.missing.len(),
+            self.added.len()
+        );
+        out
+    }
+}
+
+/// Compares `new` against `base`, flagging entries whose median wall
+/// time exceeds `threshold × baseline` (beyond the absolute floor) and
+/// entries whose deterministic work gauges changed.
+pub fn compare_reports(new: &BenchReport, base: &BenchReport, threshold: f64) -> Comparison {
+    let mut cmp = Comparison {
+        threshold,
+        ..Default::default()
+    };
+    for e in &new.entries {
+        let key = e.key();
+        match base.entries.iter().find(|b| b.key() == key) {
+            None => cmp.added.push(key),
+            Some(b) => {
+                let ratio = if b.wall.median == 0 {
+                    1.0
+                } else {
+                    e.wall.median as f64 / b.wall.median as f64
+                };
+                let delta = e.wall.median.saturating_sub(b.wall.median);
+                cmp.deltas.push(EntryDelta {
+                    key,
+                    base_median: b.wall.median,
+                    new_median: e.wall.median,
+                    ratio,
+                    time_regressed: ratio > threshold && delta > REGRESSION_MIN_DELTA_NANOS,
+                    work_drifted: e.gauges.facts_derived != b.gauges.facts_derived
+                        || e.gauges.stages != b.gauges.stages,
+                });
+            }
+        }
+    }
+    for b in &base.entries {
+        let key = b.key();
+        if !new.entries.iter().any(|e| e.key() == key) {
+            cmp.missing.push(key);
+        }
+    }
+    cmp
+}
+
+/// Formats nanoseconds with an adaptive unit (shared with telemetry's
+/// table style).
+pub fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(workload: &str, engine: &str, n: u64, median: u64) -> BenchEntry {
+        BenchEntry {
+            workload: workload.into(),
+            engine: engine.into(),
+            n,
+            reps: 3,
+            wall: WallStats {
+                min: median / 2,
+                median,
+                p95: median * 2,
+                total: median * 3,
+            },
+            gauges: Gauges {
+                stages: 4,
+                facts_derived: 10,
+                peak_facts: 12,
+                rules_fired: 20,
+                probes: 30,
+                probe_tuples: 40,
+                index_builds: 2,
+                indexed_tuples: 15,
+                interner_symbols: 5,
+            },
+        }
+    }
+
+    #[test]
+    fn wall_stats_order_statistics() {
+        let s = WallStats::from_samples(&[5, 1, 9, 3, 7]);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.median, 5);
+        assert_eq!(s.p95, 9);
+        assert_eq!(s.total, 25);
+        let one = WallStats::from_samples(&[4]);
+        assert_eq!((one.min, one.median, one.p95, one.total), (4, 4, 4, 4));
+    }
+
+    #[test]
+    fn measure_runs_warmup_plus_reps() {
+        let mut calls = 0;
+        let (samples, last) = measure(Repetitions { warmup: 2, reps: 3 }, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(samples.len(), 3);
+        assert_eq!(calls, 5);
+        assert_eq!(last, 5);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = BenchReport {
+            entries: vec![
+                entry("chain", "naive", 16, 1_000_000),
+                entry("win", "wellfounded", 8, 500),
+            ],
+        };
+        let json = report.to_json();
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn schema_version_mismatch_rejected() {
+        let report = BenchReport {
+            entries: vec![entry("chain", "naive", 16, 100)],
+        };
+        let json = report.to_json().replace(
+            &format!("\"schema_version\":{BENCH_SCHEMA_VERSION}"),
+            "\"schema_version\":999",
+        );
+        let err = BenchReport::from_json(&json).unwrap_err();
+        assert!(err.contains("schema_version 999"), "{err}");
+    }
+
+    #[test]
+    fn comparison_flags_slowdowns_above_floor_and_threshold() {
+        let base = BenchReport {
+            entries: vec![entry("chain", "naive", 16, 1_000_000)],
+        };
+        let slow = BenchReport {
+            entries: vec![entry("chain", "naive", 16, 5_000_000)],
+        };
+        let cmp = compare_reports(&slow, &base, 2.0);
+        assert!(cmp.has_regression());
+        assert!(cmp.deltas[0].time_regressed);
+        // Same medians: no regression.
+        let cmp = compare_reports(&base, &base, 2.0);
+        assert!(!cmp.has_regression());
+        // Big ratio but tiny absolute delta: below the floor, ignored.
+        let tiny_base = BenchReport {
+            entries: vec![entry("chain", "naive", 16, 100)],
+        };
+        let tiny_slow = BenchReport {
+            entries: vec![entry("chain", "naive", 16, 900)],
+        };
+        assert!(!compare_reports(&tiny_slow, &tiny_base, 2.0).has_regression());
+    }
+
+    #[test]
+    fn comparison_flags_work_drift_and_tracks_key_changes() {
+        let base = BenchReport {
+            entries: vec![
+                entry("chain", "naive", 16, 1_000),
+                entry("gone", "naive", 4, 10),
+            ],
+        };
+        let mut drifted = entry("chain", "naive", 16, 1_000);
+        drifted.gauges.facts_derived += 1;
+        let new = BenchReport {
+            entries: vec![drifted, entry("fresh", "magic", 8, 10)],
+        };
+        let cmp = compare_reports(&new, &base, 2.0);
+        assert!(cmp.has_regression());
+        assert!(cmp.deltas[0].work_drifted);
+        assert_eq!(cmp.missing, vec!["gone/naive/4".to_string()]);
+        assert_eq!(cmp.added, vec!["fresh/magic/8".to_string()]);
+        let rendered = cmp.render();
+        assert!(rendered.contains("WORK DRIFT"), "{rendered}");
+        assert!(rendered.contains("only in baseline"), "{rendered}");
+    }
+
+    #[test]
+    fn table_lists_every_entry() {
+        let report = BenchReport {
+            entries: vec![entry("chain", "naive", 16, 42_000)],
+        };
+        let table = report.render_table();
+        assert!(table.contains("chain/naive"), "{table}");
+        assert!(table.contains("42.0µs"), "{table}");
+    }
+}

@@ -19,10 +19,12 @@
 //!
 //! Only finite instances are representable, matching the paper's setting.
 
+pub mod bench;
 pub mod error;
 pub mod hash;
 pub mod instance;
 pub mod interner;
+pub mod json;
 pub mod relation;
 pub mod rng;
 pub mod schema;
@@ -30,10 +32,15 @@ pub mod telemetry;
 pub mod tuple;
 pub mod value;
 
+pub use bench::{
+    compare_reports, measure, BenchEntry, BenchReport, Comparison, Gauges, Repetitions, WallStats,
+    BENCH_SCHEMA_VERSION,
+};
 pub use error::CommonError;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use instance::Instance;
 pub use interner::{Interner, Symbol};
+pub use json::{Json, JsonError};
 pub use relation::{Index, Relation};
 pub use rng::Rng;
 pub use schema::{RelationSchema, Schema};

@@ -49,6 +49,28 @@ pub fn complete_graph(interner: &mut Interner, name: &str, n: i64) -> Instance {
     instance
 }
 
+/// A `w × h` grid digraph in relation `name`: node `(x, y)` is the
+/// integer `y·w + x`, with edges rightward and downward. Transitive
+/// closure over a grid exercises joins with high fan-in (many distinct
+/// paths reach each node) without the quadratic blowup of a clique.
+pub fn grid_graph(interner: &mut Interner, name: &str, w: i64, h: i64) -> Instance {
+    let rel = interner.intern(name);
+    let mut instance = Instance::new();
+    instance.ensure(rel, 2);
+    for y in 0..h {
+        for x in 0..w {
+            let node = y * w + x;
+            if x + 1 < w {
+                edge(&mut instance, rel, node, node + 1);
+            }
+            if y + 1 < h {
+                edge(&mut instance, rel, node, node + w);
+            }
+        }
+    }
+    instance
+}
+
 /// A random digraph on `n` nodes where each ordered pair (including
 /// self-loops) is an edge independently with probability `p`.
 pub fn random_digraph(interner: &mut Interner, name: &str, n: i64, p: f64, seed: u64) -> Instance {
@@ -195,6 +217,16 @@ mod tests {
         assert_eq!(c.fact_count(), 5);
         let k = complete_graph(&mut i, "G", 4);
         assert_eq!(k.fact_count(), 12);
+    }
+
+    #[test]
+    fn grid_graph_edge_count() {
+        let mut i = Interner::new();
+        // w·(h−1) downward + h·(w−1) rightward edges.
+        let g = grid_graph(&mut i, "G", 4, 3);
+        assert_eq!(g.fact_count(), (4 * 2 + 3 * 3) as usize);
+        let line = grid_graph(&mut i, "G", 5, 1);
+        assert_eq!(line.fact_count(), 4);
     }
 
     #[test]

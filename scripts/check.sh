@@ -1,8 +1,7 @@
 #!/usr/bin/env sh
-# The pre-PR gate: build, test, and check formatting — fully offline.
-# The workspace has no external dependencies (the criterion benches in
-# crates/bench are excluded from the workspace), so everything here
-# must pass without network access.
+# The pre-PR gate: build, test, formatting, and a benchmark-harness
+# smoke — fully offline. The workspace has no external dependencies,
+# so everything here must pass without network access.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -15,5 +14,15 @@ cargo test --workspace -q
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+# Benchmark harness smoke: a quick run must produce a valid BENCH.json,
+# and comparing a second run against it must exit 0. The threshold is
+# deliberately loose (10x) — this gates the harness and the
+# deterministic work gauges, not machine-dependent wall times.
+echo "==> bench --quick smoke + baseline self-comparison"
+mkdir -p target
+cargo run -q --release -p unchained-bench -- --quick --json target/bench-smoke.json >/dev/null
+cargo run -q --release -p unchained-bench -- --quick --baseline target/bench-smoke.json \
+    --threshold 10 >/dev/null
 
 echo "All checks passed."

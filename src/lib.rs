@@ -17,6 +17,9 @@
 //! * [`exchange`] — peer-to-peer data exchange with forward-chaining
 //!   rules (Webdamlog-style, Section 6)
 //! * [`harness`] — workload generators, oracles and the equivalence harness
+//! * [`bench`] — the in-repo benchmark harness (workload registry,
+//!   BENCH.json emitter, baseline comparator)
+pub use unchained_bench as bench;
 pub use unchained_common as common;
 pub use unchained_core as core;
 pub use unchained_exchange as exchange;
