@@ -481,6 +481,10 @@ mod tests {
         assert!(out.text.contains("T=3"), "{}", out.text);
         assert!(out.text.contains("T=1"), "{}", out.text);
         assert!(out.text.contains("wall:"), "{}", out.text);
+        // The index-maintenance gauges and storage shape ride along.
+        assert!(out.text.contains("index cache:"), "{}", out.text);
+        assert!(out.text.contains("reuse:"), "{}", out.text);
+        assert!(out.text.contains("note: storage:"), "{}", out.text);
         // No --trace-json requested → no JSON payload.
         assert!(out.trace_json.is_none());
     }

@@ -26,7 +26,10 @@ use crate::telemetry::{json_escape, EvalTrace};
 /// Version of the `BENCH.json` schema. Bump on any breaking change to
 /// the emitted shape; the parser rejects mismatched files so a stale
 /// baseline fails loudly instead of comparing garbage.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added the index-maintenance gauges (`index_hits`, `index_appends`,
+/// `appended_tuples`, `index_rebuilds`) to the `joins` object.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Ignore regressions whose absolute median increase is below this
 /// floor (25 µs): ratios on microsecond-scale cases are dominated by
@@ -126,10 +129,19 @@ pub struct Gauges {
     pub probes: u64,
     /// Tuples returned by those probes.
     pub probe_tuples: u64,
-    /// Hash indexes (re)built.
+    /// Hash indexes built fresh (includes per-round delta indexes).
     pub index_builds: u64,
-    /// Tuples scanned while building indexes.
+    /// Tuples scanned while building or rebuilding indexes.
     pub indexed_tuples: u64,
+    /// Index-cache probes answered by an already-current index.
+    pub index_hits: u64,
+    /// Stale indexes refreshed incrementally by absorbing new tuples.
+    pub index_appends: u64,
+    /// Tuples appended by those incremental absorbs.
+    pub appended_tuples: u64,
+    /// Stale indexes rebuilt from scratch (lineage breaks only; bounded
+    /// by relation count — not round count — on append-only fixpoints).
+    pub index_rebuilds: u64,
     /// Interner size after the run.
     pub interner_symbols: u64,
 }
@@ -149,6 +161,10 @@ impl Gauges {
             probe_tuples: trace.joins.probe_tuples,
             index_builds: trace.joins.index_builds,
             indexed_tuples: trace.joins.indexed_tuples,
+            index_hits: trace.joins.index_hits,
+            index_appends: trace.joins.index_appends,
+            appended_tuples: trace.joins.appended_tuples,
+            index_rebuilds: trace.joins.index_rebuilds,
             interner_symbols: trace.interner_symbols as u64,
         }
     }
@@ -216,8 +232,16 @@ impl BenchReport {
             let _ = write!(
                 out,
                 ",\"joins\":{{\"probes\":{},\"probe_tuples\":{},\"index_builds\":{},\
-                 \"indexed_tuples\":{}}}",
-                g.probes, g.probe_tuples, g.index_builds, g.indexed_tuples
+                 \"indexed_tuples\":{},\"index_hits\":{},\"index_appends\":{},\
+                 \"appended_tuples\":{},\"index_rebuilds\":{}}}",
+                g.probes,
+                g.probe_tuples,
+                g.index_builds,
+                g.indexed_tuples,
+                g.index_hits,
+                g.index_appends,
+                g.appended_tuples,
+                g.index_rebuilds
             );
             let _ = write!(out, ",\"interner_symbols\":{}}}", g.interner_symbols);
             out.push_str(if i + 1 < self.entries.len() {
@@ -284,6 +308,10 @@ impl BenchReport {
                     probe_tuples: field(joins, "probe_tuples")?,
                     index_builds: field(joins, "index_builds")?,
                     indexed_tuples: field(joins, "indexed_tuples")?,
+                    index_hits: field(joins, "index_hits")?,
+                    index_appends: field(joins, "index_appends")?,
+                    appended_tuples: field(joins, "appended_tuples")?,
+                    index_rebuilds: field(joins, "index_rebuilds")?,
                     interner_symbols: field(e, "interner_symbols")?,
                 },
             });
@@ -296,7 +324,7 @@ impl BenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9}",
+            "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9} {:>8} {:>9}",
             "workload/engine",
             "n",
             "reps",
@@ -306,12 +334,14 @@ impl BenchReport {
             "stages",
             "facts",
             "probes",
-            "peak"
+            "peak",
+            "appends",
+            "rebuilds"
         );
         for e in &self.entries {
             let _ = writeln!(
                 out,
-                "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9}",
+                "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9} {:>8} {:>9}",
                 format!("{}/{}", e.workload, e.engine),
                 e.n,
                 e.reps,
@@ -321,7 +351,9 @@ impl BenchReport {
                 e.gauges.stages,
                 e.gauges.facts_derived,
                 e.gauges.probes,
-                e.gauges.peak_facts
+                e.gauges.peak_facts,
+                e.gauges.index_appends,
+                e.gauges.index_rebuilds
             );
         }
         out
@@ -342,8 +374,9 @@ pub struct EntryDelta {
     /// Whether the slowdown crosses the threshold *and* the absolute
     /// floor ([`REGRESSION_MIN_DELTA_NANOS`]).
     pub time_regressed: bool,
-    /// Whether the deterministic work gauges drifted (facts derived or
-    /// stage count changed for the same workload/engine/size).
+    /// Whether the deterministic work gauges drifted (facts derived,
+    /// stage count, or index-maintenance work changed for the same
+    /// workload/engine/size).
     pub work_drifted: bool,
 }
 
@@ -445,7 +478,9 @@ pub fn compare_reports(new: &BenchReport, base: &BenchReport, threshold: f64) ->
                     ratio,
                     time_regressed: ratio > threshold && delta > REGRESSION_MIN_DELTA_NANOS,
                     work_drifted: e.gauges.facts_derived != b.gauges.facts_derived
-                        || e.gauges.stages != b.gauges.stages,
+                        || e.gauges.stages != b.gauges.stages
+                        || e.gauges.index_rebuilds != b.gauges.index_rebuilds
+                        || e.gauges.index_appends != b.gauges.index_appends,
                 });
             }
         }
@@ -498,6 +533,10 @@ mod tests {
                 probe_tuples: 40,
                 index_builds: 2,
                 indexed_tuples: 15,
+                index_hits: 6,
+                index_appends: 3,
+                appended_tuples: 9,
+                index_rebuilds: 1,
                 interner_symbols: 5,
             },
         }

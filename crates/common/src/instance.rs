@@ -1,8 +1,8 @@
 //! Database instances.
 
-use crate::hash::{hash_one, FxHashSet};
+use crate::hash::{hash_one, FxHashMap, FxHashSet};
 use crate::interner::{Interner, Symbol};
-use crate::relation::Relation;
+use crate::relation::{Generation, Relation};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -162,12 +162,59 @@ impl Instance {
         nonempty(self) == nonempty(other)
     }
 
+    /// Commits every relation's recent tail into a frozen stable segment
+    /// (see [`Relation::commit`]); returns how many relations had anything
+    /// to commit. Engines call this at round boundaries so the tuples of a
+    /// round form whole segments and delta marks stay exact.
+    pub fn commit_all(&mut self) -> usize {
+        self.relations
+            .values_mut()
+            .map(|r| usize::from(r.commit()))
+            .sum()
+    }
+
+    /// Total `(stable segments, uncommitted recent tuples)` across all
+    /// relations — the storage-shape gauge surfaced by `--stats`.
+    pub fn storage_stats(&self) -> (usize, usize) {
+        self.relations.values().fold((0, 0), |(s, r), rel| {
+            (s + rel.segment_count(), r + rel.recent_len())
+        })
+    }
+
     /// Renders the instance for humans (sorted, one fact per line).
     pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayInstance<'a> {
         DisplayInstance {
             instance: self,
             interner,
         }
+    }
+}
+
+/// A snapshot of every relation's [`Generation`] at a point in time — the
+/// first-class delta mark that replaces threading an ad-hoc delta `Instance`
+/// through the semi-naive engines.
+///
+/// Capture a handle *before* merging a round's new facts; afterwards,
+/// `relation.iter_since(handle.mark(sym))` enumerates exactly that round's
+/// delta. Relations that did not exist at capture time report the default
+/// generation, which conservatively marks all their tuples as new.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaHandle {
+    marks: FxHashMap<Symbol, Generation>,
+}
+
+impl DeltaHandle {
+    /// Captures the current generation of every relation in `instance`.
+    pub fn capture(instance: &Instance) -> Self {
+        DeltaHandle {
+            marks: instance.iter().map(|(s, r)| (s, r.generation())).collect(),
+        }
+    }
+
+    /// The captured mark for `name` (default generation if the relation was
+    /// not present at capture time, meaning "everything is new").
+    pub fn mark(&self, name: Symbol) -> Generation {
+        self.marks.get(&name).copied().unwrap_or_default()
     }
 }
 
@@ -180,7 +227,7 @@ pub struct DisplayInstance<'a> {
 impl fmt::Display for DisplayInstance<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (name, rel) in self.instance.iter() {
-            for t in rel.sorted() {
+            for t in rel.sorted().iter() {
                 if rel.arity() == 0 {
                     writeln!(f, "{}", self.interner.name(name))?;
                 } else {

@@ -38,10 +38,10 @@ pub use bench::{
 };
 pub use error::CommonError;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use instance::Instance;
+pub use instance::{DeltaHandle, Instance};
 pub use interner::{Interner, Symbol};
 pub use json::{Json, JsonError};
-pub use relation::{Index, Relation};
+pub use relation::{Generation, Index, Relation};
 pub use rng::Rng;
 pub use schema::{RelationSchema, Schema};
 pub use telemetry::{

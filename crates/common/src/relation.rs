@@ -1,19 +1,82 @@
 //! Relations (finite sets of constant tuples) and hash indexes over them.
+//!
+//! Storage is *generational*: a relation keeps an immutable list of frozen,
+//! internally sorted **stable segments** plus a mutable, insertion-ordered
+//! **recent tail**. [`Relation::commit`] promotes the tail into a new frozen
+//! segment. A [`Generation`] is a cheap copyable cursor `(epoch, segments,
+//! recent)` into that layout; [`Relation::iter_since`] enumerates exactly the
+//! tuples added after a captured generation, which is what semi-naive
+//! evaluation needs for its per-round deltas, and what [`Index::absorb_from`]
+//! needs to maintain hash indexes incrementally instead of rebuilding them
+//! from scratch on every version bump.
 
 use crate::hash::{hash_one, FxHashMap, FxHashSet};
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Global source of epoch identifiers. Epochs are unique across all
+/// relations in the process, so a generation captured from one relation can
+/// never be mistaken for a generation of an unrelated (or diverged) one.
+static EPOCH_SOURCE: AtomicU64 = AtomicU64::new(1);
+
+fn next_epoch() -> u64 {
+    EPOCH_SOURCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A cursor into a relation's generational storage.
+///
+/// `epoch` identifies the append-only lineage the cursor belongs to: any
+/// non-append mutation (remove, clear, difference) — and the first mutation
+/// after the relation was cloned while the clone is still alive — moves the
+/// relation to a fresh, globally unique epoch. Within one epoch, storage
+/// only grows, so `(segments, recent)` prefix counts fully describe a past
+/// state and the suffix beyond them is exactly "what was added since".
+///
+/// The default generation (`epoch == 0`) matches no real relation; treating
+/// it as a delta mark means "everything is new", which is the correct
+/// behaviour for relations that did not exist when the mark was captured.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Generation {
+    /// Lineage stamp; `0` only in [`Generation::default`].
+    pub epoch: u64,
+    /// Number of frozen segments at capture time.
+    pub segments: usize,
+    /// Length of the recent tail at capture time.
+    pub recent: usize,
+}
 
 /// A finite relation instance: a set of same-arity tuples.
 ///
-/// Mutations bump a `version` counter; evaluators use `(name, version)`
-/// pairs to cache [`Index`]es across fixpoint iterations and invalidate
-/// them precisely when the underlying relation changed.
+/// Alongside the generational segment storage, the relation keeps a flat
+/// hash set of all tuples for O(1) membership, a `version` counter bumped on
+/// every content change (used to invalidate the cached [`fingerprint`] and
+/// [`sorted`] views), and the epoch stamp described on [`Generation`].
+///
+/// [`fingerprint`]: Relation::fingerprint
+/// [`sorted`]: Relation::sorted
 #[derive(Clone, Debug)]
 pub struct Relation {
     arity: usize,
-    tuples: FxHashSet<Tuple>,
+    /// Membership set over segments ∪ recent (each tuple stored once there).
+    set: FxHashSet<Tuple>,
+    /// Frozen, internally sorted runs; shared by clones via `Arc`.
+    segments: Vec<Arc<Vec<Tuple>>>,
+    /// Uncommitted tail in insertion order, already deduplicated.
+    recent: Vec<Tuple>,
+    /// Lineage stamp; see [`Generation`].
+    epoch: u64,
+    /// Shared token used to detect live clones: a mutation observed while
+    /// the token is shared forks the epoch so sibling clones (and any index
+    /// postings absorbed from them) can never alias this relation's storage.
+    epoch_token: Arc<()>,
     version: u64,
+    /// `(version, fingerprint)` memo for [`Relation::fingerprint`].
+    fingerprint_cache: Cell<Option<(u64, u64)>>,
+    /// `(version, sorted view)` memo for [`Relation::sorted`].
+    sorted_cache: RefCell<Option<(u64, Arc<Vec<Tuple>>)>>,
 }
 
 impl Relation {
@@ -21,8 +84,14 @@ impl Relation {
     pub fn new(arity: usize) -> Self {
         Relation {
             arity,
-            tuples: FxHashSet::default(),
+            set: FxHashSet::default(),
+            segments: Vec::new(),
+            recent: Vec::new(),
+            epoch: next_epoch(),
+            epoch_token: Arc::new(()),
             version: 0,
+            fingerprint_cache: Cell::new(None),
+            sorted_cache: RefCell::new(None),
         }
     }
 
@@ -45,23 +114,54 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.set.len()
     }
 
     /// Whether the relation is empty.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.set.is_empty()
     }
 
     /// The mutation counter. Two calls returning the same value guarantee
-    /// the contents did not change in between.
+    /// the contents did not change in between. [`Relation::commit`] does not
+    /// bump it: committing reshapes storage without changing contents.
     pub fn version(&self) -> u64 {
         self.version
     }
 
+    /// The current generation cursor; capture before a batch of appends to
+    /// later enumerate exactly that batch with [`Relation::iter_since`].
+    pub fn generation(&self) -> Generation {
+        Generation {
+            epoch: self.epoch,
+            segments: self.segments.len(),
+            recent: self.recent.len(),
+        }
+    }
+
+    /// Number of frozen stable segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Length of the uncommitted recent tail.
+    pub fn recent_len(&self) -> usize {
+        self.recent.len()
+    }
+
+    /// Moves this relation to a fresh epoch if a live clone might still
+    /// share the current one. Must be called before any mutation so that
+    /// generations captured from sibling clones stop matching this storage.
+    fn fork_epoch_if_shared(&mut self) {
+        if Arc::strong_count(&self.epoch_token) > 1 {
+            self.epoch_token = Arc::new(());
+            self.epoch = next_epoch();
+        }
+    }
+
     /// Membership test.
     pub fn contains(&self, tuple: &Tuple) -> bool {
-        self.tuples.contains(tuple)
+        self.set.contains(tuple)
     }
 
     /// Inserts a tuple, returning `true` if it was new.
@@ -76,40 +176,165 @@ impl Relation {
             self.arity,
             tuple.arity()
         );
-        let added = self.tuples.insert(tuple);
-        if added {
-            self.version += 1;
+        if self.set.contains(&tuple) {
+            return false;
         }
-        added
+        self.fork_epoch_if_shared();
+        self.set.insert(tuple.clone());
+        self.recent.push(tuple);
+        self.version += 1;
+        true
     }
 
     /// Removes a tuple, returning `true` if it was present.
+    ///
+    /// A removal breaks the append-only lineage (a hole invalidates every
+    /// previously captured prefix cursor), so the relation moves to a fresh
+    /// epoch and generational consumers fall back to full rebuilds.
     pub fn remove(&mut self, tuple: &Tuple) -> bool {
-        let removed = self.tuples.remove(tuple);
-        if removed {
-            self.version += 1;
+        if !self.set.remove(tuple) {
+            return false;
         }
-        removed
+        self.version += 1;
+        self.epoch = next_epoch();
+        self.epoch_token = Arc::new(());
+        if let Some(pos) = self.recent.iter().position(|t| t == tuple) {
+            self.recent.remove(pos);
+        } else {
+            self.collapse_to_set();
+        }
+        true
+    }
+
+    /// Rebuilds storage as a single recent tail holding exactly the members
+    /// of `set`, preserving the previous storage order. Used after removals
+    /// that punched holes into frozen segments.
+    fn collapse_to_set(&mut self) {
+        let mut all: Vec<Tuple> = Vec::with_capacity(self.set.len());
+        for seg in &self.segments {
+            for t in seg.iter() {
+                if self.set.contains(t) {
+                    all.push(t.clone());
+                }
+            }
+        }
+        for t in self.recent.drain(..) {
+            if self.set.contains(&t) {
+                all.push(t);
+            }
+        }
+        self.segments.clear();
+        self.recent = all;
     }
 
     /// Removes all tuples.
     pub fn clear(&mut self) {
-        if !self.tuples.is_empty() {
-            self.tuples.clear();
-            self.version += 1;
+        if self.set.is_empty() {
+            return;
         }
+        self.set.clear();
+        self.segments.clear();
+        self.recent.clear();
+        self.version += 1;
+        self.epoch = next_epoch();
+        self.epoch_token = Arc::new(());
+    }
+
+    /// Freezes the recent tail into a new stable segment (sorted), returning
+    /// `true` if anything was committed. Contents are unchanged, so the
+    /// version does not move — only the generation shape does.
+    pub fn commit(&mut self) -> bool {
+        if self.recent.is_empty() {
+            return false;
+        }
+        let mut seg = std::mem::take(&mut self.recent);
+        seg.sort_unstable();
+        self.segments.push(Arc::new(seg));
+        true
     }
 
     /// Iterates over the tuples in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = &Tuple> + Clone {
-        self.tuples.iter()
+        self.set.iter()
     }
 
-    /// Returns the tuples in sorted order (for deterministic output).
-    pub fn sorted(&self) -> Vec<&Tuple> {
-        let mut v: Vec<&Tuple> = self.tuples.iter().collect();
-        v.sort_unstable();
-        v
+    /// Iterates in storage order: frozen segments first (each internally
+    /// sorted), then the recent tail in insertion order. Every tuple appears
+    /// exactly once.
+    pub fn iter_stored(&self) -> impl Iterator<Item = &Tuple> + Clone {
+        self.segments
+            .iter()
+            .flat_map(|s| s.iter())
+            .chain(self.recent.iter())
+    }
+
+    /// The tuples added since `gen` was captured from this relation.
+    ///
+    /// If `gen` does not describe a prefix of this relation's storage (it
+    /// came from a different epoch, from a diverged clone, or was captured
+    /// mid-tail before a later [`commit`](Relation::commit) folded the tail
+    /// into a segment), the iterator conservatively yields a superset of the
+    /// true delta — up to the whole relation. Semi-naive evaluation stays
+    /// correct under a superset delta (it can only re-derive known facts);
+    /// exact-delta consumers should use [`Relation::delta_bounds`] instead.
+    pub fn iter_since(&self, gen: Generation) -> impl Iterator<Item = &Tuple> {
+        let (seg_from, rec_from) = self.delta_bounds(gen).unwrap_or((0, 0));
+        self.segments[seg_from..]
+            .iter()
+            .flat_map(|s| s.iter())
+            .chain(self.recent[rec_from..].iter())
+    }
+
+    /// Exact delta bounds `(first new segment, first new recent index)` for
+    /// a generation, or `None` when `gen` is not a storage prefix and the
+    /// delta cannot be reconstructed exactly.
+    pub fn delta_bounds(&self, gen: Generation) -> Option<(usize, usize)> {
+        if gen.epoch != self.epoch {
+            return None;
+        }
+        if gen.segments > self.segments.len()
+            || (gen.segments == self.segments.len() && gen.recent > self.recent.len())
+        {
+            return None; // cursor is ahead of us: a diverged sibling's mark
+        }
+        if gen.segments == self.segments.len() {
+            Some((gen.segments, gen.recent))
+        } else if gen.recent == 0 {
+            Some((gen.segments, 0))
+        } else {
+            None // captured mid-tail; that tail has since been committed
+        }
+    }
+
+    /// Returns the tuples in sorted order as shared owned storage.
+    ///
+    /// The view is cached per version: repeated calls between mutations
+    /// return the same `Arc` without re-sorting, and a fully committed
+    /// single-segment relation shares the segment's storage directly.
+    pub fn sorted(&self) -> Arc<Vec<Tuple>> {
+        if let Some((v, cached)) = self.sorted_cache.borrow().as_ref() {
+            if *v == self.version {
+                return Arc::clone(cached);
+            }
+        }
+        let view = if self.recent.is_empty() && self.segments.len() == 1 {
+            Arc::clone(&self.segments[0])
+        } else {
+            let mut acc: Vec<Tuple> = Vec::new();
+            for seg in &self.segments {
+                acc = merge_sorted(&acc, seg);
+            }
+            let mut tail: Vec<Tuple> = self.recent.clone();
+            tail.sort_unstable();
+            if acc.is_empty() {
+                acc = tail;
+            } else if !tail.is_empty() {
+                acc = merge_sorted(&acc, &tail);
+            }
+            Arc::new(acc)
+        };
+        *self.sorted_cache.borrow_mut() = Some((self.version, Arc::clone(&view)));
+        view
     }
 
     /// Inserts every tuple of `other`; returns the number actually added.
@@ -120,7 +345,12 @@ impl Relation {
         assert_eq!(self.arity, other.arity, "arity mismatch in union");
         let mut added = 0;
         for t in other.iter() {
-            if self.tuples.insert(t.clone()) {
+            if !self.set.contains(t) {
+                if added == 0 {
+                    self.fork_epoch_if_shared();
+                }
+                self.set.insert(t.clone());
+                self.recent.push(t.clone());
                 added += 1;
             }
         }
@@ -133,20 +363,24 @@ impl Relation {
     /// Set-difference in place; returns the number removed.
     pub fn difference_with(&mut self, other: &Relation) -> usize {
         assert_eq!(self.arity, other.arity, "arity mismatch in difference");
-        let before = self.tuples.len();
+        let mut removed = 0;
         for t in other.iter() {
-            self.tuples.remove(t);
+            if self.set.remove(t) {
+                removed += 1;
+            }
         }
-        let removed = before - self.tuples.len();
         if removed > 0 {
             self.version += 1;
+            self.epoch = next_epoch();
+            self.epoch_token = Arc::new(());
+            self.collapse_to_set();
         }
         removed
     }
 
     /// True iff both relations hold exactly the same tuples.
     pub fn same_tuples(&self, other: &Relation) -> bool {
-        self.arity == other.arity && self.tuples == other.tuples
+        self.arity == other.arity && self.set == other.set
     }
 
     /// Collects the values occurring in the relation into `out`.
@@ -161,11 +395,39 @@ impl Relation {
     /// Computed as the wrapping sum of per-tuple hashes, so it does not
     /// depend on hash-set iteration order. Used (together with relation
     /// names) for instance-level state fingerprints in cycle detection.
+    /// Cached per version: convergence loops that fingerprint an unchanged
+    /// relation every round pay for one full pass, not one per round.
     pub fn fingerprint(&self) -> u64 {
-        self.tuples
+        if let Some((v, fp)) = self.fingerprint_cache.get() {
+            if v == self.version {
+                return fp;
+            }
+        }
+        let fp = self
+            .set
             .iter()
-            .fold(0u64, |acc, t| acc.wrapping_add(hash_one(t)))
+            .fold(0u64, |acc, t| acc.wrapping_add(hash_one(t)));
+        self.fingerprint_cache.set(Some((self.version, fp)));
+        fp
     }
+}
+
+/// Merges two sorted runs into a new sorted vector.
+fn merge_sorted(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i].clone());
+            i += 1;
+        } else {
+            out.push(b[j].clone());
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 impl PartialEq for Relation {
@@ -179,29 +441,71 @@ impl Eq for Relation {}
 /// A hash index over a relation: tuples grouped by their values at a
 /// fixed set of key columns.
 ///
-/// Built once per (relation version, key columns) by evaluators and used
+/// Built once per (relation generation, key columns) by evaluators and used
 /// to drive index-nested-loop joins: `probe` returns exactly the tuples
-/// whose key columns equal the probe key.
+/// whose key columns equal the probe key. When the underlying relation only
+/// grew since the index was built, [`Index::absorb_from`] appends the new
+/// postings instead of rebuilding.
 #[derive(Debug)]
 pub struct Index {
     key_columns: Vec<usize>,
     buckets: FxHashMap<Box<[Value]>, Vec<Tuple>>,
+    tuples: usize,
     empty: Vec<Tuple>,
 }
 
 impl Index {
-    /// Builds the index. `key_columns` must be valid positions.
-    pub fn build(relation: &Relation, key_columns: &[usize]) -> Self {
-        let mut buckets: FxHashMap<Box<[Value]>, Vec<Tuple>> = FxHashMap::default();
-        for t in relation.iter() {
-            let key: Box<[Value]> = key_columns.iter().map(|&c| t[c]).collect();
-            buckets.entry(key).or_default().push(t.clone());
-        }
+    fn empty(key_columns: &[usize]) -> Self {
         Index {
             key_columns: key_columns.to_vec(),
-            buckets,
+            buckets: FxHashMap::default(),
+            tuples: 0,
             empty: Vec::new(),
         }
+    }
+
+    /// Builds the index. `key_columns` must be valid positions.
+    pub fn build(relation: &Relation, key_columns: &[usize]) -> Self {
+        let mut idx = Index::empty(key_columns);
+        for t in relation.iter_stored() {
+            idx.append(t);
+        }
+        idx
+    }
+
+    /// Builds an index over only the tuples added since `gen` — the shape
+    /// semi-naive evaluation uses for its per-round delta scans.
+    pub fn build_delta(relation: &Relation, key_columns: &[usize], gen: Generation) -> Self {
+        let mut idx = Index::empty(key_columns);
+        for t in relation.iter_since(gen) {
+            idx.append(t);
+        }
+        idx
+    }
+
+    fn append(&mut self, t: &Tuple) {
+        let key: Box<[Value]> = self.key_columns.iter().map(|&c| t[c]).collect();
+        self.buckets.entry(key).or_default().push(t.clone());
+        self.tuples += 1;
+    }
+
+    /// Number of tuples indexed (postings across all buckets).
+    pub fn tuple_count(&self) -> usize {
+        self.tuples
+    }
+
+    /// Absorbs the tuples `relation` gained since `gen` (the generation this
+    /// index is current for) by appending postings. Returns the number of
+    /// tuples appended, or `None` when the delta cannot be reconstructed
+    /// exactly and the caller must rebuild.
+    pub fn absorb_from(&mut self, relation: &Relation, gen: Generation) -> Option<usize> {
+        relation.delta_bounds(gen)?;
+        let mut appended = 0;
+        for t in relation.iter_since(gen) {
+            self.append(t);
+            appended += 1;
+        }
+        Some(appended)
     }
 
     /// The key columns this index was built on.
@@ -269,6 +573,18 @@ mod tests {
     }
 
     #[test]
+    fn fingerprint_cache_invalidates_on_mutation() {
+        let mut r = Relation::from_tuples(2, vec![t2(1, 2)]);
+        let fp0 = r.fingerprint();
+        assert_eq!(r.fingerprint(), fp0, "cached value must be stable");
+        r.insert(t2(3, 4));
+        let fp1 = r.fingerprint();
+        assert_ne!(fp0, fp1);
+        r.remove(&t2(3, 4));
+        assert_eq!(r.fingerprint(), fp0);
+    }
+
+    #[test]
     fn index_probe() {
         let r = Relation::from_tuples(2, vec![t2(1, 10), t2(1, 20), t2(2, 30)]);
         let idx = Index::build(&r, &[0]);
@@ -289,7 +605,24 @@ mod tests {
     fn sorted_is_deterministic() {
         let r = Relation::from_tuples(2, vec![t2(3, 4), t2(1, 2)]);
         let sorted = r.sorted();
-        assert_eq!(sorted, vec![&t2(1, 2), &t2(3, 4)]);
+        assert_eq!(*sorted, vec![t2(1, 2), t2(3, 4)]);
+    }
+
+    #[test]
+    fn sorted_is_cached_and_reuses_committed_segment() {
+        let mut r = Relation::from_tuples(2, vec![t2(3, 4), t2(1, 2)]);
+        r.commit();
+        let a = r.sorted();
+        let b = r.sorted();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "unchanged relation must reuse the view"
+        );
+        assert_eq!(*a, vec![t2(1, 2), t2(3, 4)]);
+        r.insert(t2(0, 0));
+        let c = r.sorted();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(*c, vec![t2(0, 0), t2(1, 2), t2(3, 4)]);
     }
 
     #[test]
@@ -301,5 +634,119 @@ mod tests {
         let v = r.version();
         r.clear();
         assert_eq!(r.version(), v);
+    }
+
+    #[test]
+    fn commit_freezes_tail_without_changing_contents() {
+        let mut r = Relation::from_tuples(2, vec![t2(3, 4), t2(1, 2)]);
+        let v = r.version();
+        let fp = r.fingerprint();
+        assert_eq!(r.segment_count(), 0);
+        assert_eq!(r.recent_len(), 2);
+        assert!(r.commit());
+        assert!(!r.commit(), "empty tail commits nothing");
+        assert_eq!(r.segment_count(), 1);
+        assert_eq!(r.recent_len(), 0);
+        assert_eq!(r.version(), v, "commit must not bump the version");
+        assert_eq!(r.fingerprint(), fp);
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&t2(1, 2)));
+    }
+
+    #[test]
+    fn iter_since_sees_exactly_the_new_tuples() {
+        let mut r = Relation::from_tuples(2, vec![t2(1, 2)]);
+        r.commit();
+        let mark = r.generation();
+        // Empty delta: nothing new since the mark.
+        assert_eq!(r.iter_since(mark).count(), 0);
+        // Tail appends are visible…
+        r.insert(t2(3, 4));
+        r.insert(t2(5, 6));
+        let delta: Vec<_> = r.iter_since(mark).cloned().collect();
+        assert_eq!(delta, vec![t2(3, 4), t2(5, 6)]);
+        // …duplicate inserts are not (they add nothing).
+        r.insert(t2(1, 2));
+        assert_eq!(r.iter_since(mark).count(), 2);
+        // …and so is a committed segment made from them.
+        r.commit();
+        let delta: Vec<_> = r.iter_since(mark).cloned().collect();
+        assert_eq!(delta, vec![t2(3, 4), t2(5, 6)]);
+        // A fresh mark after the commit sees nothing.
+        assert_eq!(r.iter_since(r.generation()).count(), 0);
+    }
+
+    #[test]
+    fn iter_since_falls_back_to_superset_on_epoch_change() {
+        let mut r = Relation::from_tuples(2, vec![t2(1, 2)]);
+        let mark = r.generation();
+        r.insert(t2(3, 4));
+        r.remove(&t2(3, 4)); // non-append mutation: epoch moves
+        assert!(r.delta_bounds(mark).is_none());
+        // The conservative fallback yields the whole relation.
+        assert_eq!(r.iter_since(mark).count(), r.len());
+    }
+
+    #[test]
+    fn mutation_after_clone_forks_the_epoch() {
+        let mut a = Relation::from_tuples(2, vec![t2(1, 2)]);
+        let mark = a.generation();
+        let b = a.clone();
+        assert_eq!(b.generation(), mark, "clones share the generation");
+        a.insert(t2(3, 4));
+        assert_ne!(
+            a.generation().epoch,
+            mark.epoch,
+            "mutating a shared relation must fork its epoch"
+        );
+        // The untouched clone still answers exact deltas for the old mark.
+        assert_eq!(b.delta_bounds(mark), Some((0, 1)));
+        // The mutated one conservatively reports everything.
+        assert_eq!(a.iter_since(mark).count(), a.len());
+    }
+
+    #[test]
+    fn index_absorbs_tail_appends_and_committed_segments() {
+        let mut r = Relation::from_tuples(2, vec![t2(1, 10)]);
+        r.commit();
+        let mut idx = Index::build(&r, &[0]);
+        let gen0 = r.generation();
+
+        // Empty delta absorbs zero tuples.
+        assert_eq!(idx.absorb_from(&r, gen0), Some(0));
+
+        // Tail growth absorbs incrementally.
+        r.insert(t2(1, 20));
+        assert_eq!(idx.absorb_from(&r, gen0), Some(1));
+        assert_eq!(idx.probe(&[Value::Int(1)]).len(), 2);
+
+        // A boundary mark (taken right after a commit) still yields an
+        // exact delta even when the new tuples are committed before the
+        // absorb — the engines always mark on segment boundaries.
+        r.commit();
+        let gen1 = r.generation();
+        r.insert(t2(2, 30));
+        r.commit();
+        assert_eq!(idx.absorb_from(&r, gen1), Some(1));
+        assert_eq!(idx.probe(&[Value::Int(2)]).len(), 1);
+        assert_eq!(idx.probe(&[Value::Int(1)]).len(), 2);
+
+        // Removal breaks the lineage: absorb must refuse.
+        r.remove(&t2(2, 30));
+        assert_eq!(idx.absorb_from(&r, r.generation()), Some(0));
+        let stale = gen1;
+        assert_eq!(idx.absorb_from(&r, stale), None);
+    }
+
+    #[test]
+    fn absorb_refuses_mid_tail_marks_after_commit() {
+        let mut r = Relation::from_tuples(2, vec![t2(1, 10)]);
+        let mid_tail = r.generation(); // recent == 1, nothing committed yet
+        r.insert(t2(2, 20));
+        r.commit(); // the marked prefix is now inside the segment
+        let mut idx = Index::build(&r, &[0]);
+        assert_eq!(idx.absorb_from(&r, mid_tail), None);
+        // iter_since degrades to a superset instead of losing tuples.
+        assert_eq!(r.iter_since(mid_tail).count(), 2);
     }
 }

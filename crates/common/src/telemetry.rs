@@ -27,10 +27,23 @@ pub struct JoinCounters {
     pub probes: u64,
     /// Total tuples returned by those probes.
     pub probe_tuples: u64,
-    /// Number of hash indexes (re)built.
+    /// Number of hash indexes built from scratch for a fresh cache entry
+    /// (includes the per-round delta indexes, which are built fresh by
+    /// design and stay proportional to the round's delta).
     pub index_builds: u64,
-    /// Total tuples scanned while building indexes.
+    /// Total tuples scanned while building or rebuilding indexes.
     pub indexed_tuples: u64,
+    /// Cache probes answered by an index that was already current.
+    pub index_hits: u64,
+    /// Stale indexes refreshed incrementally by absorbing new tuples.
+    pub index_appends: u64,
+    /// Total tuples appended by those incremental absorbs.
+    pub appended_tuples: u64,
+    /// Stale indexes that had to be rebuilt from scratch (the generation
+    /// delta could not be reconstructed — removals, clears, diverged
+    /// clones). On append-only fixpoints this stays bounded by the number
+    /// of relations, not the number of rounds.
+    pub index_rebuilds: u64,
 }
 
 impl JoinCounters {
@@ -42,6 +55,10 @@ impl JoinCounters {
             probe_tuples: self.probe_tuples - earlier.probe_tuples,
             index_builds: self.index_builds - earlier.index_builds,
             indexed_tuples: self.indexed_tuples - earlier.indexed_tuples,
+            index_hits: self.index_hits - earlier.index_hits,
+            index_appends: self.index_appends - earlier.index_appends,
+            appended_tuples: self.appended_tuples - earlier.appended_tuples,
+            index_rebuilds: self.index_rebuilds - earlier.index_rebuilds,
         }
     }
 
@@ -51,6 +68,10 @@ impl JoinCounters {
         self.probe_tuples += other.probe_tuples;
         self.index_builds += other.index_builds;
         self.indexed_tuples += other.indexed_tuples;
+        self.index_hits += other.index_hits;
+        self.index_appends += other.index_appends;
+        self.appended_tuples += other.appended_tuples;
+        self.index_rebuilds += other.index_rebuilds;
     }
 }
 
@@ -243,6 +264,22 @@ impl EvalTrace {
             self.joins.index_builds,
             self.joins.indexed_tuples
         );
+        let lookups = self.joins.index_hits
+            + self.joins.index_appends
+            + self.joins.index_builds
+            + self.joins.index_rebuilds;
+        if lookups > 0 {
+            let reused = self.joins.index_hits + self.joins.index_appends;
+            let _ = writeln!(
+                out,
+                "index cache: {} hits, {} appends ({} tuples), {} rebuilds   reuse: {:.1}%",
+                self.joins.index_hits,
+                self.joins.index_appends,
+                self.joins.appended_tuples,
+                self.joins.index_rebuilds,
+                100.0 * reused as f64 / lookups as f64
+            );
+        }
         if self.invented > 0 {
             let _ = writeln!(out, "invented values: {}", self.invented);
         }
@@ -310,8 +347,16 @@ impl EvalTrace {
 fn push_joins(out: &mut String, j: &JoinCounters) {
     let _ = write!(
         out,
-        "{{\"probes\":{},\"probe_tuples\":{},\"index_builds\":{},\"indexed_tuples\":{}}}",
-        j.probes, j.probe_tuples, j.index_builds, j.indexed_tuples
+        "{{\"probes\":{},\"probe_tuples\":{},\"index_builds\":{},\"indexed_tuples\":{},\
+         \"index_hits\":{},\"index_appends\":{},\"appended_tuples\":{},\"index_rebuilds\":{}}}",
+        j.probes,
+        j.probe_tuples,
+        j.index_builds,
+        j.indexed_tuples,
+        j.index_hits,
+        j.index_appends,
+        j.appended_tuples,
+        j.index_rebuilds
     );
 }
 

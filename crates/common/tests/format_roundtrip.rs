@@ -27,6 +27,10 @@ fn sample_trace(interner: &mut Interner) -> EvalTrace {
         probe_tuples: 70,
         index_builds: 3,
         indexed_tuples: 30,
+        index_hits: 11,
+        index_appends: 2,
+        appended_tuples: 8,
+        index_rebuilds: 1,
     };
     trace.divergence = Some(DivergenceSnapshot {
         detector: "fingerprint".into(),
@@ -51,6 +55,10 @@ fn sample_trace(interner: &mut Interner) -> EvalTrace {
             probe_tuples: 40,
             index_builds: 2,
             indexed_tuples: 20,
+            index_hits: 3,
+            index_appends: 1,
+            appended_tuples: 4,
+            index_rebuilds: 0,
         },
     });
     trace.stages.push(StageRecord {
@@ -103,6 +111,10 @@ fn trace_json_lines_round_trip() {
     assert_eq!(u(joins, "probe_tuples"), trace.joins.probe_tuples);
     assert_eq!(u(joins, "index_builds"), trace.joins.index_builds);
     assert_eq!(u(joins, "indexed_tuples"), trace.joins.indexed_tuples);
+    assert_eq!(u(joins, "index_hits"), trace.joins.index_hits);
+    assert_eq!(u(joins, "index_appends"), trace.joins.index_appends);
+    assert_eq!(u(joins, "appended_tuples"), trace.joins.appended_tuples);
+    assert_eq!(u(joins, "index_rebuilds"), trace.joins.index_rebuilds);
 
     let div = run.get("divergence").expect("run has divergence");
     let snap = trace.divergence.as_ref().unwrap();
@@ -180,6 +192,10 @@ fn sample_report() -> BenchReport {
                 probe_tuples: 80,
                 index_builds: 2,
                 indexed_tuples: 20,
+                index_hits: 5,
+                index_appends: 3,
+                appended_tuples: 12,
+                index_rebuilds: 1,
                 interner_symbols: 2,
             },
         });

@@ -14,19 +14,25 @@
 //! 2. an **executor** runs the plan against an instance, invoking a
 //!    callback once per satisfying valuation;
 //! 3. an **index cache** memoizes per-(relation, columns) hash indexes
-//!    across fixpoint iterations, invalidated by relation version.
+//!    across fixpoint iterations, tracked by relation [`Generation`]:
+//!    when a relation only grew, the cached index absorbs the new tuples
+//!    incrementally instead of being rebuilt from scratch.
 
+use std::collections::hash_map::Entry as MapEntry;
 use std::ops::ControlFlow;
-use unchained_common::{FxHashMap, Index, Instance, JoinCounters, Relation, Symbol, Tuple, Value};
+use unchained_common::{
+    DeltaHandle, FxHashMap, Generation, Index, Instance, JoinCounters, Relation, Symbol, Tuple,
+    Value,
+};
 use unchained_parser::{Literal, Rule, Term, Var};
 
-/// Where a scan reads from: the full relation or the per-iteration delta
-/// (semi-naive evaluation).
+/// Where a scan reads from: the full relation or the per-round delta
+/// slice (semi-naive evaluation).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum ScanSource {
     /// The full current relation.
     Full,
-    /// The delta instance supplied by the caller.
+    /// The tuples added since the caller's [`DeltaHandle`] mark.
     Delta,
 }
 
@@ -281,16 +287,30 @@ pub fn seminaive_variants(plan: &Plan, recursive: &dyn Fn(Symbol) -> bool) -> Ve
 }
 
 /// A per-run cache of relation indexes, keyed by
-/// `(relation, key columns, source)` and invalidated by relation version.
+/// `(relation, key columns, source)` and tracked by relation generation.
 ///
-/// Delta relations are rebuilt every iteration, so their entries are
-/// cleared by [`IndexCache::begin_delta_round`].
+/// A full-source entry whose relation only grew since the index was built
+/// absorbs the new tuples by appending postings ([`Index::absorb_from`]);
+/// only lineage breaks (removals, clears, diverged clones) force a rebuild,
+/// so on append-only fixpoints rebuilds stay bounded by the number of
+/// relations instead of scaling with the number of rounds. Delta-source
+/// entries index one round's `iter_since` slice; they are built fresh each
+/// round — work proportional to the round's delta — and dropped by
+/// [`IndexCache::begin_delta_round`].
 /// Cache key: relation, index columns, scan source.
 type IndexKey = (Symbol, Box<[usize]>, ScanSource);
 
+struct CacheEntry {
+    /// Generation of the relation the index is current for.
+    gen: Generation,
+    /// For delta-source entries, the mark the slice was taken from.
+    mark: Option<Generation>,
+    index: Index,
+}
+
 #[derive(Default)]
 pub struct IndexCache {
-    entries: FxHashMap<IndexKey, (u64, Index)>,
+    entries: FxHashMap<IndexKey, CacheEntry>,
     /// Join-work counters, incremented unconditionally (plain integer
     /// adds — the telemetry-off path stays branch-free). Engines
     /// snapshot and diff this per stage when telemetry is enabled.
@@ -303,8 +323,9 @@ impl IndexCache {
         Self::default()
     }
 
-    /// Drops all delta-source entries. Call whenever the delta instance
-    /// changes (its relation versions are not comparable across rounds).
+    /// Drops all delta-source entries. Call at the start of each
+    /// semi-naive round: delta indexes cover one round's slice and are
+    /// never carried across rounds.
     pub fn begin_delta_round(&mut self) {
         self.entries
             .retain(|(_, _, source), _| *source == ScanSource::Full);
@@ -316,19 +337,47 @@ impl IndexCache {
         cols: &[usize],
         source: ScanSource,
         relation: &Relation,
+        mark: Option<Generation>,
     ) -> &Index {
         let key = (pred, cols.to_vec().into_boxed_slice(), source);
+        let gen_now = relation.generation();
         let counters = &mut self.counters;
-        let mut build = |relation: &Relation| {
+        let fresh = |counters: &mut JoinCounters| {
+            let index = match mark {
+                Some(m) => Index::build_delta(relation, cols, m),
+                None => Index::build(relation, cols),
+            };
             counters.index_builds += 1;
-            counters.indexed_tuples += relation.len() as u64;
-            (relation.version(), Index::build(relation, cols))
+            counters.indexed_tuples += index.tuple_count() as u64;
+            CacheEntry {
+                gen: gen_now,
+                mark,
+                index,
+            }
         };
-        let entry = self.entries.entry(key).or_insert_with(|| build(relation));
-        if entry.0 != relation.version() {
-            *entry = build(relation);
+        match self.entries.entry(key) {
+            MapEntry::Vacant(slot) => &slot.insert(fresh(counters)).index,
+            MapEntry::Occupied(slot) => {
+                let entry = slot.into_mut();
+                if entry.gen == gen_now && entry.mark == mark {
+                    counters.index_hits += 1;
+                } else if mark.is_some() {
+                    // Delta indexes are rebuilt per round, never absorbed.
+                    *entry = fresh(counters);
+                } else if let Some(appended) = entry.index.absorb_from(relation, entry.gen) {
+                    counters.index_appends += 1;
+                    counters.appended_tuples += appended as u64;
+                    entry.gen = gen_now;
+                } else {
+                    counters.index_rebuilds += 1;
+                    counters.indexed_tuples += relation.len() as u64;
+                    entry.index = Index::build(relation, cols);
+                    entry.gen = gen_now;
+                    entry.mark = None;
+                }
+                &entry.index
+            }
         }
-        &entry.1
     }
 }
 
@@ -351,8 +400,10 @@ pub fn term_value(term: &Term, env: &Env) -> Value {
 /// The instances a plan reads from.
 ///
 /// * `full` — the current instance, read by [`ScanSource::Full`] scans.
-/// * `delta` — the per-round delta, read by [`ScanSource::Delta`] scans
-///   of semi-naive plan variants.
+/// * `delta` — the generation marks captured at the previous round
+///   boundary; [`ScanSource::Delta`] scans of semi-naive plan variants
+///   read `full`'s relations restricted to the tuples added since the
+///   mark (`Relation::iter_since`). No separate delta instance exists.
 /// * `neg` — when set, negative literals are checked against this
 ///   instance instead of `full`. The well-founded engine uses this for
 ///   the Gelfond–Lifschitz-style reduct of the alternating fixpoint,
@@ -362,8 +413,8 @@ pub fn term_value(term: &Term, env: &Env) -> Value {
 pub struct Sources<'a> {
     /// Current instance.
     pub full: &'a Instance,
-    /// Semi-naive delta, if running a delta variant.
-    pub delta: Option<&'a Instance>,
+    /// Delta marks, if running a semi-naive delta variant.
+    pub delta: Option<&'a DeltaHandle>,
     /// Override instance for negative checks.
     pub neg: Option<&'a Instance>,
 }
@@ -412,13 +463,16 @@ fn run_steps(
             key,
             source,
         } => {
-            let instance = match source {
-                ScanSource::Full => sources.full,
-                ScanSource::Delta => sources
-                    .delta
-                    .expect("delta plan run without delta instance"),
+            let mark = match source {
+                ScanSource::Full => None,
+                ScanSource::Delta => Some(
+                    sources
+                        .delta
+                        .expect("delta plan run without delta marks")
+                        .mark(*pred),
+                ),
             };
-            let Some(relation) = instance.relation(*pred) else {
+            let Some(relation) = sources.full.relation(*pred) else {
                 return ControlFlow::Continue(()); // absent relation = empty
             };
             // Build the probe key from the bound positions.
@@ -427,7 +481,7 @@ fn run_steps(
             // recursive call (which needs `cache`), so clone the matching
             // tuples. Buckets are typically small.
             let matches: Vec<Tuple> = cache
-                .get(*pred, key, *source, relation)
+                .get(*pred, key, *source, relation, mark)
                 .probe(&probe)
                 .to_vec();
             cache.counters.probes += 1;
@@ -684,26 +738,61 @@ mod tests {
     }
 
     #[test]
-    fn index_cache_invalidates_on_version_change() {
+    fn index_cache_absorbs_growth_instead_of_rebuilding() {
         let mut interner = Interner::new();
         let g = interner.intern("G");
         let mut rel = Relation::new(1);
         rel.insert(Tuple::from([Value::Int(1)]));
+        rel.commit();
         let mut cache = IndexCache::new();
         assert_eq!(
             cache
-                .get(g, &[0], ScanSource::Full, &rel)
+                .get(g, &[0], ScanSource::Full, &rel, None)
                 .probe(&[Value::Int(1)])
                 .len(),
             1
         );
+        assert_eq!(cache.counters.index_builds, 1);
+        // Unchanged relation: a cache hit, no index work.
+        let _ = cache.get(g, &[0], ScanSource::Full, &rel, None);
+        assert_eq!(cache.counters.index_hits, 1);
+        // Growth (including across a commit) is absorbed incrementally.
         rel.insert(Tuple::from([Value::Int(2)]));
+        rel.commit();
         assert_eq!(
             cache
-                .get(g, &[0], ScanSource::Full, &rel)
+                .get(g, &[0], ScanSource::Full, &rel, None)
                 .probe(&[Value::Int(2)])
                 .len(),
             1
         );
+        assert_eq!(cache.counters.index_appends, 1);
+        assert_eq!(cache.counters.appended_tuples, 1);
+        assert_eq!(cache.counters.index_rebuilds, 0);
+        // A removal breaks the lineage and forces a rebuild.
+        rel.remove(&Tuple::from([Value::Int(1)]));
+        assert!(cache
+            .get(g, &[0], ScanSource::Full, &rel, None)
+            .probe(&[Value::Int(1)])
+            .is_empty());
+        assert_eq!(cache.counters.index_rebuilds, 1);
+    }
+
+    #[test]
+    fn delta_index_covers_only_the_slice_since_the_mark() {
+        let mut interner = Interner::new();
+        let g = interner.intern("G");
+        let mut rel = Relation::new(1);
+        rel.insert(Tuple::from([Value::Int(1)]));
+        rel.commit();
+        let mark = rel.generation();
+        rel.insert(Tuple::from([Value::Int(2)]));
+        rel.commit();
+        let mut cache = IndexCache::new();
+        let idx = cache.get(g, &[0], ScanSource::Delta, &rel, Some(mark));
+        assert!(idx.probe(&[Value::Int(1)]).is_empty());
+        assert_eq!(idx.probe(&[Value::Int(2)]).len(), 1);
+        assert_eq!(cache.counters.index_builds, 1);
+        assert_eq!(cache.counters.indexed_tuples, 1);
     }
 }

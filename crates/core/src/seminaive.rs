@@ -20,7 +20,7 @@ use crate::eval::{
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::{FxHashSet, Instance, StageRecord, Symbol};
+use unchained_common::{DeltaHandle, FxHashSet, Instance, StageRecord, Symbol};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program, Rule};
 
 /// Runs the rules of one (sub)program to fixpoint with semi-naive
@@ -63,11 +63,16 @@ pub(crate) fn seminaive_fixpoint(
     let tel = &options.telemetry;
     let base = tel.with(|t| t.stages.len()).unwrap_or(0);
 
-    // Round 1: full evaluation of every rule.
+    // Freeze the input facts into stable segments: every later round then
+    // adds exactly one segment per touched relation, so delta marks stay
+    // exact and full indexes absorb each round as a single segment append.
+    instance.commit_all();
+
+    // Round 1: full evaluation of every rule into a pending buffer.
     let mut stage_sw = tel.stopwatch();
     let mut joins_before = cache.counters;
     let mut fired: u64 = 0;
-    let mut delta = Instance::new();
+    let mut pending = Instance::new();
     for rp in &compiled {
         let head = head_atom(rp.rule);
         let _ = for_each_match(
@@ -79,7 +84,7 @@ pub(crate) fn seminaive_fixpoint(
                 fired += 1;
                 let tuple = instantiate(&head.args, env);
                 if !instance.contains_fact(head.pred, &tuple) {
-                    delta.insert_fact(head.pred, tuple);
+                    pending.insert_fact(head.pred, tuple);
                 }
                 ControlFlow::Continue(())
             },
@@ -87,9 +92,11 @@ pub(crate) fn seminaive_fixpoint(
     }
     let mut rounds = 1;
     loop {
-        // Merge the delta into the instance.
+        // Capture generation marks, then merge: afterwards,
+        // `iter_since(mark)` enumerates exactly this round's delta.
+        let mark = DeltaHandle::capture(instance);
         let mut changed = false;
-        for (pred, rel) in delta.iter() {
+        for (pred, rel) in pending.iter() {
             for t in rel.iter() {
                 changed |= instance.insert_fact(pred, t.clone());
             }
@@ -98,10 +105,13 @@ pub(crate) fn seminaive_fixpoint(
             t.stages.push(StageRecord {
                 stage: base + rounds,
                 wall_nanos: stage_sw.nanos(),
-                facts_added: delta.fact_count(),
+                facts_added: pending.fact_count(),
                 facts_removed: 0,
                 rules_fired: fired,
-                delta: delta.iter().map(|(pred, rel)| (pred, rel.len())).collect(),
+                delta: pending
+                    .iter()
+                    .map(|(pred, rel)| (pred, rel.len()))
+                    .collect(),
                 joins: cache.counters.since(&joins_before),
             });
             t.peak_facts = t.peak_facts.max(instance.fact_count());
@@ -116,12 +126,14 @@ pub(crate) fn seminaive_fixpoint(
         if options.max_stages.is_some_and(|m| rounds > m) {
             return Err(EvalError::StageLimitExceeded(rounds - 1));
         }
-        // Evaluate the delta variants against (instance, delta).
+        // Promote the merged round to frozen segments and evaluate the
+        // delta variants against the marks captured before the merge.
+        instance.commit_all();
         stage_sw = tel.stopwatch();
         joins_before = cache.counters;
         fired = 0;
         cache.begin_delta_round();
-        let mut next_delta = Instance::new();
+        let mut next_pending = Instance::new();
         for rp in &compiled {
             let head = head_atom(rp.rule);
             for plan in &rp.deltas {
@@ -129,7 +141,7 @@ pub(crate) fn seminaive_fixpoint(
                     plan,
                     Sources {
                         full: instance,
-                        delta: Some(&delta),
+                        delta: Some(&mark),
                         neg: None,
                     },
                     adom,
@@ -138,16 +150,16 @@ pub(crate) fn seminaive_fixpoint(
                         fired += 1;
                         let tuple = instantiate(&head.args, env);
                         if !instance.contains_fact(head.pred, &tuple)
-                            && !next_delta.contains_fact(head.pred, &tuple)
+                            && !next_pending.contains_fact(head.pred, &tuple)
                         {
-                            next_delta.insert_fact(head.pred, tuple);
+                            next_pending.insert_fact(head.pred, tuple);
                         }
                         ControlFlow::Continue(())
                     },
                 );
             }
         }
-        delta = next_delta;
+        pending = next_pending;
     }
 }
 
@@ -184,6 +196,10 @@ pub fn minimum_model(
         &mut cache,
         &options,
     )?;
+    let (segments, recent) = instance.storage_stats();
+    options.telemetry.note(format!(
+        "storage: {segments} segments, {recent} uncommitted"
+    ));
     options.telemetry.finish(&run_sw, instance.fact_count());
     Ok(FixpointRun { instance, stages })
 }

@@ -72,6 +72,10 @@ pub fn eval(
             stratum_rules.len()
         ));
     }
+    let (segments, recent) = instance.storage_stats();
+    options.telemetry.note(format!(
+        "storage: {segments} segments, {recent} uncommitted"
+    ));
     options.telemetry.finish(&run_sw, instance.fact_count());
     Ok(FixpointRun {
         instance,

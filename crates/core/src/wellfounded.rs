@@ -67,7 +67,7 @@ impl WellFoundedModel {
     pub fn unknown_facts(&self) -> Vec<(Symbol, Tuple)> {
         let mut out = Vec::new();
         for (pred, rel) in self.possible_facts.iter() {
-            for t in rel.sorted() {
+            for t in rel.sorted().iter() {
                 if !self.true_facts.contains_fact(pred, t) {
                     out.push((pred, t.clone()));
                 }

@@ -96,7 +96,7 @@ pub(crate) fn instance_sort_key(instance: &Instance) -> Vec<u8> {
             continue;
         }
         key.extend_from_slice(&(sym.index() as u64).to_be_bytes());
-        for t in rel.sorted() {
+        for t in rel.sorted().iter() {
             for v in t.values() {
                 key.extend_from_slice(format!("{v:?}|").as_bytes());
             }

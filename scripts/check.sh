@@ -15,6 +15,9 @@ cargo test --workspace -q
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -q -- -D warnings
+
 # Benchmark harness smoke: a quick run must produce a valid BENCH.json,
 # and comparing a second run against it must exit 0. The threshold is
 # deliberately loose (10x) — this gates the harness and the
@@ -24,5 +27,21 @@ mkdir -p target
 cargo run -q --release -p unchained-bench -- --quick --json target/bench-smoke.json >/dev/null
 cargo run -q --release -p unchained-bench -- --quick --baseline target/bench-smoke.json \
     --threshold 10 >/dev/null
+
+# Index-maintenance invariant: on chain TC the semi-naive engine must
+# absorb each round's committed segment instead of rebuilding, so the
+# committed BENCH.json's chain/seminaive entry keeps index_rebuilds
+# bounded by the relation count (2: G and T), not the round count (64).
+echo "==> BENCH.json index_rebuilds bounded on chain TC"
+rebuilds=$(grep '"workload":"chain","engine":"seminaive"' BENCH.json \
+    | sed 's/.*"index_rebuilds":\([0-9]*\).*/\1/')
+if [ -z "$rebuilds" ]; then
+    echo "chain/seminaive entry missing from BENCH.json" >&2
+    exit 1
+fi
+if [ "$rebuilds" -gt 2 ]; then
+    echo "chain/seminaive index_rebuilds=$rebuilds scales with rounds (want <= 2)" >&2
+    exit 1
+fi
 
 echo "All checks passed."
