@@ -67,15 +67,22 @@ pub struct Case {
     pub workload: &'static str,
     /// Engine name (`naive`, `magic`, `while`, …).
     pub engine: &'static str,
+    /// Worker threads requested for this case (1 = sequential).
+    pub threads: usize,
     /// Size parameter (nodes, states, or stages — per workload).
     pub n: u64,
-    runner: Box<dyn FnMut() -> Result<Gauges, String>>,
+    runner: Box<dyn FnMut() -> Result<(Gauges, u64), String>>,
 }
 
 impl Case {
-    /// The label `--filter` matches against (`workload/engine`).
+    /// The label `--filter` matches against (`workload/engine`, with an
+    /// `@threads` suffix on parallel cases).
     pub fn label(&self) -> String {
-        format!("{}/{}", self.workload, self.engine)
+        if self.threads > 1 {
+            format!("{}/{}@{}", self.workload, self.engine, self.threads)
+        } else {
+            format!("{}/{}", self.workload, self.engine)
+        }
     }
 }
 
@@ -124,11 +131,18 @@ impl Sizes {
 
 /// Wraps one deterministic-engine evaluation: enables telemetry, times
 /// nothing itself (the kernel's [`measure`] loop does), and converts
-/// the finished trace into [`Gauges`].
-fn harvest(tel: &Telemetry, interner_symbols: usize, input_facts: usize) -> Result<Gauges, String> {
+/// the finished trace into [`Gauges`] plus the worker-thread count the
+/// engine actually ran with (`1` when the engine has no parallel path,
+/// so such entries stay keyed as sequential rows).
+fn harvest(
+    tel: &Telemetry,
+    interner_symbols: usize,
+    input_facts: usize,
+) -> Result<(Gauges, u64), String> {
     let mut trace = tel.snapshot().ok_or("telemetry produced no trace")?;
     trace.interner_symbols = interner_symbols;
-    Ok(Gauges::from_trace(&trace, input_facts))
+    let threads = (trace.threads as u64).max(1);
+    Ok((Gauges::from_trace(&trace, input_facts), threads))
 }
 
 /// A boxed workload-input generator.
@@ -143,18 +157,25 @@ type EngineRun = Box<dyn FnMut(&Instance, EvalOptions) -> Result<(), String>>;
 fn options_runner(
     input: Instance,
     interner_symbols: usize,
+    threads: usize,
     mut eval: impl FnMut(&Instance, EvalOptions) -> Result<(), String> + 'static,
-) -> Box<dyn FnMut() -> Result<Gauges, String>> {
+) -> Box<dyn FnMut() -> Result<(Gauges, u64), String>> {
     Box::new(move || {
         let tel = Telemetry::enabled();
-        let options = EvalOptions::default().with_telemetry(tel.clone());
+        let options = EvalOptions::default()
+            .with_telemetry(tel.clone())
+            .with_threads(threads);
         eval(&input, options)?;
         harvest(&tel, interner_symbols, input.fact_count())
     })
 }
 
-/// The full case registry at the given fidelity.
-pub fn cases(quick: bool) -> Vec<Case> {
+/// The full case registry at the given fidelity. `threads` is the
+/// worker count every options-driven case is asked to run with; when it
+/// is 1 (the default), a dedicated `chain/seminaive@4` thread-scaling
+/// row is appended so the committed baseline always tracks the parallel
+/// path.
+pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
     let sizes = if quick { Sizes::quick() } else { Sizes::full() };
     let mut out: Vec<Case> = Vec::new();
 
@@ -207,6 +228,7 @@ pub fn cases(quick: bool) -> Vec<Case> {
                     Case {
                         workload,
                         engine,
+                        threads: 1,
                         n,
                         runner: Box::new(move || {
                             let tel = Telemetry::enabled();
@@ -257,13 +279,36 @@ pub fn cases(quick: bool) -> Vec<Case> {
                     Case {
                         workload,
                         engine,
+                        threads,
                         n,
-                        runner: options_runner(input, symbols, move |inp, o| run(inp, o)),
+                        runner: options_runner(input, symbols, threads, move |inp, o| run(inp, o)),
                     }
                 }
             };
             out.push(case);
         }
+    }
+
+    // chain/seminaive thread-scaling row: the same workload with 4
+    // workers. The work gauges (stages, facts, fired) must equal the
+    // sequential row's; the entry is keyed apart as `chain/seminaive@4`.
+    if threads == 1 {
+        let mut interner = Interner::new();
+        let n = sizes.chain;
+        let input = generators::line_graph(&mut interner, "G", n);
+        let program = parse(programs::TC, &mut interner);
+        let symbols = interner.len();
+        out.push(Case {
+            workload: "chain",
+            engine: "seminaive",
+            threads: 4,
+            n: n as u64,
+            runner: options_runner(input, symbols, 4, move |inp, o| {
+                seminaive::minimum_model(&program, inp, o)
+                    .map(drop)
+                    .map_err(|e| e.to_string())
+            }),
+        });
     }
 
     // win — the unstratifiable game program under the alternating
@@ -276,8 +321,9 @@ pub fn cases(quick: bool) -> Vec<Case> {
         out.push(Case {
             workload: "win",
             engine: "wellfounded",
+            threads,
             n: sizes.win as u64,
-            runner: options_runner(input, symbols, move |inp, o| {
+            runner: options_runner(input, symbols, threads, move |inp, o| {
                 wellfounded::eval(&program, inp, o)
                     .map(drop)
                     .map_err(|e| e.to_string())
@@ -308,8 +354,9 @@ pub fn cases(quick: bool) -> Vec<Case> {
         out.push(Case {
             workload: "ctc",
             engine,
+            threads,
             n: sizes.ctc as u64,
-            runner: options_runner(input, symbols, move |inp, o| run(inp, o)),
+            runner: options_runner(input, symbols, threads, move |inp, o| run(inp, o)),
         });
     }
 
@@ -343,8 +390,9 @@ pub fn cases(quick: bool) -> Vec<Case> {
             out.push(Case {
                 workload: "magic",
                 engine: "seminaive",
+                threads,
                 n,
-                runner: options_runner(input, symbols, move |inp, o| {
+                runner: options_runner(input, symbols, threads, move |inp, o| {
                     seminaive::minimum_model(&program, inp, o)
                         .map(drop)
                         .map_err(|e| e.to_string())
@@ -361,10 +409,13 @@ pub fn cases(quick: bool) -> Vec<Case> {
             out.push(Case {
                 workload: "magic",
                 engine: "magic",
+                threads,
                 n,
                 runner: Box::new(move || {
                     let tel = Telemetry::enabled();
-                    let options = EvalOptions::default().with_telemetry(tel.clone());
+                    let options = EvalOptions::default()
+                        .with_telemetry(tel.clone())
+                        .with_threads(threads);
                     magic::answer(&program, &query, &input, &mut interner, options)
                         .map_err(|e| e.to_string())?;
                     harvest(&tel, interner.len(), facts)
@@ -390,13 +441,17 @@ pub fn cases(quick: bool) -> Vec<Case> {
         out.push(Case {
             workload: "invent",
             engine: "invention",
+            threads,
             n: budget as u64,
-            runner: options_runner(input, symbols, move |inp, o| {
-                match invention::eval(&program, inp, o.with_max_stages(budget)) {
+            runner: options_runner(
+                input,
+                symbols,
+                threads,
+                move |inp, o| match invention::eval(&program, inp, o.with_max_stages(budget)) {
                     Ok(_) | Err(EvalError::StageLimitExceeded(_)) => Ok(()),
                     Err(e) => Err(e.to_string()),
-                }
-            }),
+                },
+            ),
         });
     }
 
@@ -421,6 +476,9 @@ pub struct BenchArgs {
     pub warmup: Option<usize>,
     /// Regression threshold for `--baseline` (ratio of medians).
     pub threshold: f64,
+    /// Worker threads for every options-driven case (default 1; the
+    /// default registry also carries a fixed `chain/seminaive@4` row).
+    pub threads: usize,
     /// List the registry without running anything.
     pub list: bool,
     /// Print usage and exit 0.
@@ -437,6 +495,7 @@ impl Default for BenchArgs {
             reps: None,
             warmup: None,
             threshold: DEFAULT_REGRESSION_THRESHOLD,
+            threads: 1,
             list: false,
             help: false,
         }
@@ -462,6 +521,9 @@ OPTIONS:
   --warmup <N>        untimed warmup runs per case (default 1)
   --threshold <X>     regression = median > X × baseline median
                       (default 2.0; absolute floor 25µs)
+  --threads <N>       worker threads for every engine case (default 1;
+                      entries record the count the engine actually used,
+                      and parallel rows are keyed `workload/engine@N/n`)
   --list              list the case registry and exit
   --help              this text
 ";
@@ -502,6 +564,14 @@ pub fn parse_bench_args(argv: &[String]) -> Result<BenchArgs, String> {
                 }
                 args.threshold = x;
             }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be >= 1".into());
+                }
+                args.threads = n;
+            }
             "--list" => args.list = true,
             "--help" | "-h" => args.help = true,
             other => return Err(format!("unknown bench option `{other}`")),
@@ -525,17 +595,18 @@ pub fn run_benchmarks(args: &BenchArgs) -> Result<BenchReport, String> {
         rep.warmup = n;
     }
     let mut report = BenchReport::default();
-    for mut case in cases(args.quick) {
+    for mut case in cases(args.quick, args.threads) {
         if let Some(pat) = &args.filter {
             if !case.label().contains(pat.as_str()) {
                 continue;
             }
         }
         let (samples, last) = measure(rep, &mut case.runner);
-        let gauges = last.map_err(|e| format!("{}: {e}", case.label()))?;
+        let (gauges, threads) = last.map_err(|e| format!("{}: {e}", case.label()))?;
         report.entries.push(BenchEntry {
             workload: case.workload.to_string(),
             engine: case.engine.to_string(),
+            threads,
             n: case.n,
             reps: rep.reps as u64,
             wall: WallStats::from_samples(&samples),
@@ -569,7 +640,7 @@ pub fn main_with_args(argv: &[String]) -> u8 {
         return 0;
     }
     if args.list {
-        for case in cases(args.quick) {
+        for case in cases(args.quick, args.threads) {
             println!("{}/{}", case.label(), case.n);
         }
         return 0;
@@ -624,7 +695,7 @@ mod tests {
 
     #[test]
     fn registry_covers_the_required_matrix() {
-        let cases = cases(true);
+        let cases = cases(true, 1);
         let workloads: BTreeSet<_> = cases.iter().map(|c| c.workload).collect();
         let engines: BTreeSet<_> = cases.iter().map(|c| c.engine).collect();
         assert!(workloads.len() >= 6, "{workloads:?}");
@@ -648,8 +719,17 @@ mod tests {
             assert!(engines.contains(e), "missing engine {e}");
         }
         // Full and quick fidelities share the same matrix, larger n.
-        let full = super::cases(false);
+        let full = super::cases(false, 1);
         assert_eq!(full.len(), cases.len());
+        // The default registry carries the thread-scaling row…
+        assert!(
+            cases.iter().any(|c| c.label() == "chain/seminaive@4"),
+            "missing thread-scaling row"
+        );
+        // …which is dropped when the whole run is already parallel.
+        let par = super::cases(true, 4);
+        assert_eq!(par.len(), cases.len() - 1);
+        assert!(par.iter().all(|c| c.threads == 4 || c.engine == "while"));
     }
 
     #[test]
@@ -670,6 +750,52 @@ mod tests {
         assert!(parse_bench_args(&argv("--threshold 0.5")).is_err());
         assert!(parse_bench_args(&argv("--bogus")).is_err());
         assert!(parse_bench_args(&argv("--help")).unwrap().help);
+        assert_eq!(parse_bench_args(&argv("--threads 4")).unwrap().threads, 4);
+        assert_eq!(parse_bench_args(&argv("")).unwrap().threads, 1);
+        assert!(parse_bench_args(&argv("--threads 0")).is_err());
+    }
+
+    #[test]
+    fn parallel_chain_case_reports_identical_work() {
+        let run = |filter: &str| {
+            run_benchmarks(&BenchArgs {
+                filter: Some(filter.into()),
+                quick: true,
+                reps: Some(1),
+                warmup: Some(0),
+                ..Default::default()
+            })
+            .unwrap()
+        };
+        let report = run("chain/seminaive");
+        // The filter matches both the sequential row and the @4 row.
+        assert_eq!(report.entries.len(), 2);
+        let seq = &report.entries[0];
+        let par = &report.entries[1];
+        assert_eq!((seq.threads, par.threads), (1, 4));
+        assert_eq!(seq.gauges.stages, par.gauges.stages);
+        assert_eq!(seq.gauges.facts_derived, par.gauges.facts_derived);
+        assert_eq!(seq.gauges.rules_fired, par.gauges.rules_fired);
+        // A --threads 4 run records what the engine actually used: 4 for
+        // the seminaive fixpoint, 1 for engines without a parallel path.
+        let report = run_benchmarks(&BenchArgs {
+            filter: Some("chain/".into()),
+            quick: true,
+            reps: Some(1),
+            warmup: Some(0),
+            threads: 4,
+            ..Default::default()
+        })
+        .unwrap();
+        let by_engine = |name: &str| {
+            report
+                .entries
+                .iter()
+                .find(|e| e.engine == name)
+                .unwrap_or_else(|| panic!("{name} entry"))
+        };
+        assert_eq!(by_engine("seminaive").threads, 4);
+        assert_eq!(by_engine("while").threads, 1);
     }
 
     #[test]

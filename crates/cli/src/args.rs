@@ -97,6 +97,9 @@ pub enum Command {
         stats: bool,
         /// Write the evaluation trace as JSON lines to this path.
         trace_json: Option<String>,
+        /// Worker threads for the semi-naive hot path (None = engine
+        /// default, which honors `UNCHAINED_THREADS`).
+        threads: Option<usize>,
     },
     /// Parse and analyze a program: language class, edb/idb,
     /// stratification.
@@ -150,6 +153,9 @@ OPTIONS:
   --stats                      print per-stage evaluation statistics
                                (delta sizes, rules fired, join work, timing)
   --trace-json <PATH>          write the evaluation trace as JSON lines
+  --threads <N>                worker threads for semi-naive rounds
+                               (default 1, or the UNCHAINED_THREADS env var;
+                               output is identical for every thread count)
 ";
 
 /// Parses a command line (without the binary name).
@@ -188,6 +194,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             let mut policy = "positive".to_string();
             let mut stats = false;
             let mut trace_json = None;
+            let mut threads = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--semantics" | "-s" => {
@@ -218,6 +225,14 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "--trace-json" => {
                         trace_json = Some(it.next().ok_or("--trace-json needs a path")?.clone());
                     }
+                    "--threads" => {
+                        let v = it.next().ok_or("--threads needs a value")?;
+                        let n: usize = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
+                        if n == 0 {
+                            return Err("--threads must be at least 1".to_string());
+                        }
+                        threads = Some(n);
+                    }
                     other if other.starts_with('-') => {
                         return Err(format!("unknown option `{other}`"));
                     }
@@ -243,6 +258,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     policy,
                     stats,
                     trace_json,
+                    threads,
                 },
             })
         }
@@ -311,6 +327,24 @@ mod tests {
         assert!(!stats);
         assert!(trace_json.is_none());
         assert!(parse_args(&argv("eval -s naive p.dl --trace-json")).is_err());
+    }
+
+    #[test]
+    fn parse_threads_flag() {
+        let args = parse_args(&argv("eval -s seminaive p.dl --threads 4")).unwrap();
+        let Command::Eval { threads, .. } = args.command else {
+            panic!("expected eval");
+        };
+        assert_eq!(threads, Some(4));
+        // Default is None (engine default / UNCHAINED_THREADS).
+        let args = parse_args(&argv("eval -s seminaive p.dl")).unwrap();
+        let Command::Eval { threads, .. } = args.command else {
+            panic!("expected eval");
+        };
+        assert_eq!(threads, None);
+        assert!(parse_args(&argv("eval -s seminaive p.dl --threads 0")).is_err());
+        assert!(parse_args(&argv("eval -s seminaive p.dl --threads nope")).is_err());
+        assert!(parse_args(&argv("eval -s seminaive p.dl --threads")).is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub struct Repl {
     semantics: Semantics,
     max_stages: Option<usize>,
     seed: u64,
+    threads: Option<usize>,
 }
 
 impl Default for Repl {
@@ -47,6 +48,7 @@ Enter Datalog statements (terminated by `.`) or commands:
                               invention, nondet, effect)
   .seed <n>                   RNG seed for nondeterministic runs
   .max-stages <n>             stage budget
+  .threads <n>                worker threads for semi-naive rounds
   .explain <fact>.            derivation tree of a fact (Datalog only)
   .stats [relation]           evaluate with per-stage statistics
   .program                    show the accumulated rules
@@ -77,6 +79,7 @@ impl Repl {
             semantics: Semantics::Seminaive,
             max_stages: None,
             seed: 0,
+            threads: None,
         }
     }
 
@@ -125,6 +128,13 @@ impl Repl {
                     format!("max stages: {n}\n")
                 }
                 Err(_) => format!("bad stage budget `{arg}`\n"),
+            },
+            "threads" => match arg.parse::<usize>() {
+                Ok(n) if n >= 1 => {
+                    self.threads = Some(n);
+                    format!("threads: {n}\n")
+                }
+                _ => format!("bad thread count `{arg}`\n"),
             },
             "explain" => self.explain(arg),
             "stats" => self.query(arg.trim_end_matches('.'), true),
@@ -264,6 +274,7 @@ impl Repl {
             policy: "positive".to_string(),
             stats,
             trace_json: None,
+            threads: self.threads,
         };
         let program_text = self.program.display(&self.interner).to_string();
         // Instance display prints bare facts; the fact-file parser wants
@@ -296,6 +307,9 @@ impl Repl {
         let mut o = EvalOptions::default();
         if let Some(m) = self.max_stages {
             o = o.with_max_stages(m);
+        }
+        if let Some(n) = self.threads {
+            o = o.with_threads(n);
         }
         o
     }
@@ -443,6 +457,25 @@ mod tests {
         assert_eq!(feed_ok(&mut repl, ".seed 42"), "seed: 42\n");
         assert!(feed_ok(&mut repl, ".max-stages x").contains("bad"));
         assert_eq!(repl.options().max_stages, Some(5));
+    }
+
+    #[test]
+    fn threads_setting_and_query_agreement() {
+        let mut repl = Repl::new();
+        assert_eq!(feed_ok(&mut repl, ".threads 4"), "threads: 4\n");
+        assert_eq!(repl.options().threads.get(), 4);
+        assert!(feed_ok(&mut repl, ".threads 0").contains("bad"));
+        assert!(feed_ok(&mut repl, ".threads x").contains("bad"));
+        // Queries through the parallel path match a sequential session.
+        feed_ok(&mut repl, "G(1,2). G(2,3). G(3,4).");
+        feed_ok(&mut repl, "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).");
+        let par = feed_ok(&mut repl, "? T");
+        let mut seq = Repl::new();
+        feed_ok(&mut seq, ".threads 1");
+        feed_ok(&mut seq, "G(1,2). G(2,3). G(3,4).");
+        feed_ok(&mut seq, "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).");
+        assert_eq!(par, feed_ok(&mut seq, "? T"));
+        assert!(par.contains("T(1, 4)"), "{par}");
     }
 
     #[test]

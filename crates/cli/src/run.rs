@@ -64,6 +64,7 @@ pub fn execute_full(
             policy,
             stats,
             trace_json,
+            threads,
             ..
         } => {
             let mut interner = Interner::new();
@@ -93,6 +94,9 @@ pub fn execute_full(
                 let mut options = EvalOptions::default().with_telemetry(tel.clone());
                 if let Some(m) = max_stages {
                     options = options.with_max_stages(*m);
+                }
+                if let Some(n) = threads {
+                    options = options.with_threads(*n);
                 }
                 evaluate(
                     *semantics,
@@ -524,6 +528,34 @@ mod tests {
         assert!(err.contains("diverge"), "{err}");
         assert!(err.contains("engine: noninflationary"), "{err}");
         assert!(err.contains("period 2"), "{err}");
+    }
+
+    #[test]
+    fn threads_flag_output_byte_identical_to_sequential() {
+        let prog = "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).";
+        let facts = "G(1,2). G(2,3). G(3,4). G(4,5). G(5,6).";
+        let seq = execute(
+            &eval_cmd_with("seminaive", "--threads 1"),
+            prog,
+            Some(facts),
+        )
+        .unwrap();
+        let par = execute(
+            &eval_cmd_with("seminaive", "--threads 4"),
+            prog,
+            Some(facts),
+        )
+        .unwrap();
+        assert_eq!(seq, par);
+        assert!(par.contains("T(1, 6)"));
+        // The parallel run surfaces its thread count in the stats table.
+        let out = execute_full(
+            &eval_cmd_with("seminaive", "--threads 4 --stats"),
+            prog,
+            Some(facts),
+        )
+        .unwrap();
+        assert!(out.text.contains("threads: 4"), "{}", out.text);
     }
 
     #[test]

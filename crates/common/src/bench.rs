@@ -28,8 +28,10 @@ use crate::telemetry::{json_escape, EvalTrace};
 /// baseline fails loudly instead of comparing garbage.
 ///
 /// v2 added the index-maintenance gauges (`index_hits`, `index_appends`,
-/// `appended_tuples`, `index_rebuilds`) to the `joins` object.
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// `appended_tuples`, `index_rebuilds`) to the `joins` object. v3 added
+/// the per-entry `threads` field (worker threads the case ran with) so
+/// thread-scaling rows are first-class, separately-keyed entries.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Ignore regressions whose absolute median increase is below this
 /// floor (25 µs): ratios on microsecond-scale cases are dominated by
@@ -177,6 +179,8 @@ pub struct BenchEntry {
     pub workload: String,
     /// Engine name (`naive`, `seminaive`, `magic`, `while`, …).
     pub engine: String,
+    /// Worker threads the case ran with (1 = sequential).
+    pub threads: u64,
     /// Workload size parameter (nodes, states, stages — per workload).
     pub n: u64,
     /// Timed repetitions behind `wall`.
@@ -189,9 +193,18 @@ pub struct BenchEntry {
 
 impl BenchEntry {
     /// The comparison key: entries are matched across reports by
-    /// workload, engine, and size.
+    /// workload, engine, thread count, and size. Sequential entries keep
+    /// the historical `workload/engine/n` spelling; parallel entries are
+    /// keyed apart with an `@threads` marker.
     pub fn key(&self) -> String {
-        format!("{}/{}/{}", self.workload, self.engine, self.n)
+        if self.threads > 1 {
+            format!(
+                "{}/{}@{}/{}",
+                self.workload, self.engine, self.threads, self.n
+            )
+        } else {
+            format!("{}/{}/{}", self.workload, self.engine, self.n)
+        }
     }
 }
 
@@ -212,9 +225,10 @@ impl BenchReport {
         for (i, e) in self.entries.iter().enumerate() {
             let _ = write!(
                 out,
-                "{{\"workload\":\"{}\",\"engine\":\"{}\",\"n\":{},\"reps\":{}",
+                "{{\"workload\":\"{}\",\"engine\":\"{}\",\"threads\":{},\"n\":{},\"reps\":{}",
                 json_escape(&e.workload),
                 json_escape(&e.engine),
+                e.threads,
                 e.n,
                 e.reps
             );
@@ -291,6 +305,7 @@ impl BenchReport {
                     .and_then(Json::as_str)
                     .ok_or("BENCH.json entry: missing engine")?
                     .to_string(),
+                threads: field(e, "threads")?,
                 n: field(e, "n")?,
                 reps: field(e, "reps")?,
                 wall: WallStats {
@@ -342,7 +357,11 @@ impl BenchReport {
             let _ = writeln!(
                 out,
                 "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9} {:>8} {:>9}",
-                format!("{}/{}", e.workload, e.engine),
+                if e.threads > 1 {
+                    format!("{}/{}@{}", e.workload, e.engine, e.threads)
+                } else {
+                    format!("{}/{}", e.workload, e.engine)
+                },
                 e.n,
                 e.reps,
                 fmt_nanos(e.wall.median),
@@ -516,6 +535,7 @@ mod tests {
         BenchEntry {
             workload: workload.into(),
             engine: engine.into(),
+            threads: 1,
             n,
             reps: 3,
             wall: WallStats {
@@ -576,6 +596,34 @@ mod tests {
         let json = report.to_json();
         let parsed = BenchReport::from_json(&json).unwrap();
         assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn threads_field_round_trips_and_keys_entries_apart() {
+        let mut seq = entry("chain", "seminaive", 64, 1_000);
+        let mut par = entry("chain", "seminaive", 64, 700);
+        par.threads = 4;
+        assert_eq!(seq.key(), "chain/seminaive/64");
+        assert_eq!(par.key(), "chain/seminaive@4/64");
+        seq.threads = 1;
+        let report = BenchReport {
+            entries: vec![seq, par],
+        };
+        let json = report.to_json();
+        // `threads` sits between engine and n so line-oriented consumers
+        // (scripts/check.sh) can pin a row by prefix.
+        assert!(
+            json.contains("\"engine\":\"seminaive\",\"threads\":1,\"n\":64"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"engine\":\"seminaive\",\"threads\":4,\"n\":64"),
+            "{json}"
+        );
+        let parsed = BenchReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+        let table = report.render_table();
+        assert!(table.contains("chain/seminaive@4"), "{table}");
     }
 
     #[test]

@@ -259,6 +259,15 @@ mod tests {
         Tuple::from([Value::Int(a), Value::Int(b)])
     }
 
+    /// Compile-time guard: parallel workers share the instance (and the
+    /// round's delta marks) read-only across threads.
+    #[test]
+    fn instance_is_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<Instance>();
+        assert_sync::<DeltaHandle>();
+    }
+
     #[test]
     fn insert_and_contains() {
         let (_, g, _) = setup();

@@ -13,9 +13,8 @@
 use crate::hash::{hash_one, FxHashMap, FxHashSet};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Global source of epoch identifiers. Epochs are unique across all
 /// relations in the process, so a generation captured from one relation can
@@ -48,6 +47,48 @@ pub struct Generation {
     pub recent: usize,
 }
 
+/// A `Sync`-safe single-slot memo keyed by `(epoch, version)`.
+///
+/// Replaces the former `Cell`/`RefCell` caches so `Relation` (and thus
+/// `Instance`) is `Sync` and can be shared read-only across worker
+/// threads. The key includes the epoch, not the version alone: two
+/// diverged clones can independently mutate their way to the *same*
+/// version number with different contents, and each clone deep-copies
+/// the memo on `Clone`, so a version-only key could alias a stale view
+/// after clone → diverge. The lock is uncontended in practice (one
+/// writer thread between parallel rounds) and poison-tolerant: a
+/// panicking reader cannot corrupt a cache slot, so we just take the
+/// inner value.
+#[derive(Debug, Default)]
+struct Memo<T> {
+    slot: Mutex<Option<((u64, u64), T)>>,
+}
+
+impl<T: Clone> Memo<T> {
+    /// The cached value if it was stored under exactly `key`.
+    fn get(&self, key: (u64, u64)) -> Option<T> {
+        let slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        slot.as_ref()
+            .filter(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone())
+    }
+
+    /// Stores `value` under `key`, displacing any previous entry.
+    fn set(&self, key: (u64, u64), value: T) {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        *slot = Some((key, value));
+    }
+}
+
+impl<T: Clone> Clone for Memo<T> {
+    fn clone(&self) -> Self {
+        let slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        Memo {
+            slot: Mutex::new(slot.clone()),
+        }
+    }
+}
+
 /// A finite relation instance: a set of same-arity tuples.
 ///
 /// Alongside the generational segment storage, the relation keeps a flat
@@ -73,10 +114,10 @@ pub struct Relation {
     /// postings absorbed from them) can never alias this relation's storage.
     epoch_token: Arc<()>,
     version: u64,
-    /// `(version, fingerprint)` memo for [`Relation::fingerprint`].
-    fingerprint_cache: Cell<Option<(u64, u64)>>,
-    /// `(version, sorted view)` memo for [`Relation::sorted`].
-    sorted_cache: RefCell<Option<(u64, Arc<Vec<Tuple>>)>>,
+    /// `(epoch, version)`-keyed memo for [`Relation::fingerprint`].
+    fingerprint_cache: Memo<u64>,
+    /// `(epoch, version)`-keyed memo for [`Relation::sorted`].
+    sorted_cache: Memo<Arc<Vec<Tuple>>>,
 }
 
 impl Relation {
@@ -90,8 +131,8 @@ impl Relation {
             epoch: next_epoch(),
             epoch_token: Arc::new(()),
             version: 0,
-            fingerprint_cache: Cell::new(None),
-            sorted_cache: RefCell::new(None),
+            fingerprint_cache: Memo::default(),
+            sorted_cache: Memo::default(),
         }
     }
 
@@ -306,16 +347,28 @@ impl Relation {
         }
     }
 
+    /// Number of tuples [`Relation::iter_since`] would yield for `gen`
+    /// (including the conservative whole-relation fallback). Lets parallel
+    /// workers split a delta scan into equal contiguous chunks without
+    /// first materializing it.
+    pub fn delta_len(&self, gen: Generation) -> usize {
+        let (seg_from, rec_from) = self.delta_bounds(gen).unwrap_or((0, 0));
+        self.segments[seg_from..]
+            .iter()
+            .map(|s| s.len())
+            .sum::<usize>()
+            + (self.recent.len() - rec_from)
+    }
+
     /// Returns the tuples in sorted order as shared owned storage.
     ///
     /// The view is cached per version: repeated calls between mutations
     /// return the same `Arc` without re-sorting, and a fully committed
     /// single-segment relation shares the segment's storage directly.
     pub fn sorted(&self) -> Arc<Vec<Tuple>> {
-        if let Some((v, cached)) = self.sorted_cache.borrow().as_ref() {
-            if *v == self.version {
-                return Arc::clone(cached);
-            }
+        let key = (self.epoch, self.version);
+        if let Some(cached) = self.sorted_cache.get(key) {
+            return cached;
         }
         let view = if self.recent.is_empty() && self.segments.len() == 1 {
             Arc::clone(&self.segments[0])
@@ -333,7 +386,7 @@ impl Relation {
             }
             Arc::new(acc)
         };
-        *self.sorted_cache.borrow_mut() = Some((self.version, Arc::clone(&view)));
+        self.sorted_cache.set(key, Arc::clone(&view));
         view
     }
 
@@ -398,16 +451,15 @@ impl Relation {
     /// Cached per version: convergence loops that fingerprint an unchanged
     /// relation every round pay for one full pass, not one per round.
     pub fn fingerprint(&self) -> u64 {
-        if let Some((v, fp)) = self.fingerprint_cache.get() {
-            if v == self.version {
-                return fp;
-            }
+        let key = (self.epoch, self.version);
+        if let Some(fp) = self.fingerprint_cache.get(key) {
+            return fp;
         }
         let fp = self
             .set
             .iter()
             .fold(0u64, |acc, t| acc.wrapping_add(hash_one(t)));
-        self.fingerprint_cache.set(Some((self.version, fp)));
+        self.fingerprint_cache.set(key, fp);
         fp
     }
 }
@@ -478,6 +530,33 @@ impl Index {
     pub fn build_delta(relation: &Relation, key_columns: &[usize], gen: Generation) -> Self {
         let mut idx = Index::empty(key_columns);
         for t in relation.iter_since(gen) {
+            idx.append(t);
+        }
+        idx
+    }
+
+    /// Builds an index over worker `part`'s contiguous chunk of the delta
+    /// enumeration (chunk boundaries `⌊part·len/parts⌋ .. ⌊(part+1)·len/parts⌋`
+    /// over [`Relation::iter_since`]'s order). The chunks of all `parts`
+    /// workers partition the delta exactly, which is what makes the
+    /// parallel semi-naive round's union of per-worker matches equal the
+    /// sequential round's matches.
+    ///
+    /// # Panics
+    /// Panics if `part >= parts` or `parts == 0`.
+    pub fn build_delta_part(
+        relation: &Relation,
+        key_columns: &[usize],
+        gen: Generation,
+        part: usize,
+        parts: usize,
+    ) -> Self {
+        assert!(part < parts, "partition {part} out of {parts}");
+        let total = relation.delta_len(gen);
+        let lo = part * total / parts;
+        let hi = (part + 1) * total / parts;
+        let mut idx = Index::empty(key_columns);
+        for t in relation.iter_since(gen).skip(lo).take(hi - lo) {
             idx.append(t);
         }
         idx
@@ -736,6 +815,95 @@ mod tests {
         assert_eq!(idx.absorb_from(&r, r.generation()), Some(0));
         let stale = gen1;
         assert_eq!(idx.absorb_from(&r, stale), None);
+    }
+
+    /// Compile-time guard: shared-read parallel evaluation requires the
+    /// storage types to be `Send + Sync`; this fails to build if a memo
+    /// regresses to `Cell`/`RefCell`.
+    #[test]
+    fn storage_types_are_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<Relation>();
+        assert_sync::<Index>();
+        assert_sync::<Generation>();
+        assert_sync::<Memo<u64>>();
+    }
+
+    /// Two clones can diverge and then reach the *same* version number
+    /// with different contents. The memos are deep-copied per clone and
+    /// keyed by `(epoch, version)`, so neither clone may serve the other's
+    /// (or its own stale pre-divergence) sorted view or fingerprint.
+    #[test]
+    fn diverged_clones_never_alias_cached_views() {
+        let mut a = Relation::from_tuples(2, vec![t2(1, 2)]);
+        a.commit();
+        let _ = a.sorted(); // warm the memo before cloning
+        let _ = a.fingerprint();
+        let mut b = a.clone();
+        // Both clones mutate once: same version counter, different facts.
+        a.insert(t2(3, 4));
+        b.insert(t2(5, 6));
+        assert_eq!(a.version(), b.version());
+        assert_eq!(*a.sorted(), vec![t2(1, 2), t2(3, 4)]);
+        assert_eq!(*b.sorted(), vec![t2(1, 2), t2(5, 6)]);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Divergence through removal (epoch fork) re-sorts too.
+        b.remove(&t2(5, 6));
+        b.insert(t2(7, 8));
+        assert_eq!(*b.sorted(), vec![t2(1, 2), t2(7, 8)]);
+    }
+
+    #[test]
+    fn delta_len_matches_iter_since() {
+        let mut r = Relation::from_tuples(2, vec![t2(1, 2)]);
+        r.commit();
+        let mark = r.generation();
+        assert_eq!(r.delta_len(mark), 0);
+        r.insert(t2(3, 4));
+        r.insert(t2(5, 6));
+        assert_eq!(r.delta_len(mark), r.iter_since(mark).count());
+        r.commit();
+        r.insert(t2(7, 8));
+        assert_eq!(r.delta_len(mark), 3);
+        // Stale mark: conservative fallback counts the whole relation.
+        r.remove(&t2(7, 8));
+        assert_eq!(r.delta_len(mark), r.len());
+    }
+
+    /// The per-worker delta chunks partition the delta exactly: their
+    /// union over all parts equals the full delta index, bucket for
+    /// bucket, for any worker count (including more workers than tuples).
+    #[test]
+    fn build_delta_part_partitions_the_delta_exactly() {
+        let mut r = Relation::from_tuples(2, vec![t2(0, 0)]);
+        r.commit();
+        let mark = r.generation();
+        // A delta spanning a committed segment and a live tail.
+        for k in 1..=7 {
+            r.insert(t2(k % 3, k));
+        }
+        r.commit();
+        for k in 8..=10 {
+            r.insert(t2(k % 3, k));
+        }
+        let full = Index::build_delta(&r, &[0], mark);
+        for parts in [1usize, 2, 3, 4, 16] {
+            let chunks: Vec<Index> = (0..parts)
+                .map(|p| Index::build_delta_part(&r, &[0], mark, p, parts))
+                .collect();
+            let total: usize = chunks.iter().map(Index::tuple_count).sum();
+            assert_eq!(total, full.tuple_count(), "parts={parts}");
+            for key in 0..3i64 {
+                let mut merged: Vec<Tuple> = chunks
+                    .iter()
+                    .flat_map(|c| c.probe(&[Value::Int(key)]).iter().cloned())
+                    .collect();
+                let mut expect: Vec<Tuple> = full.probe(&[Value::Int(key)]).to_vec();
+                merged.sort_unstable();
+                expect.sort_unstable();
+                assert_eq!(merged, expect, "parts={parts} key={key}");
+            }
+        }
     }
 
     #[test]

@@ -13,9 +13,8 @@
 //! Nothing here depends on `serde`/`tracing` — the offline build cannot
 //! fetch them, so the JSON emitter and table renderer are hand-rolled.
 
-use std::cell::RefCell;
 use std::fmt::Write as _;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 use crate::{Interner, Symbol};
@@ -136,6 +135,9 @@ pub struct EvalTrace {
     pub loop_iterations: usize,
     /// Interner size after the run (set by the frontend, which owns it).
     pub interner_symbols: usize,
+    /// Worker threads the evaluation ran with (`0` = the engine does not
+    /// support the option; `1` = sequential; `>1` = parallel rounds).
+    pub threads: usize,
     /// Free-form annotations (strata, rewrites, candidate models…).
     pub notes: Vec<String>,
 }
@@ -202,8 +204,8 @@ impl EvalTrace {
         }
         let _ = write!(
             out,
-            ",\"invented\":{},\"loop_iterations\":{},\"interner_symbols\":{}",
-            self.invented, self.loop_iterations, self.interner_symbols
+            ",\"invented\":{},\"loop_iterations\":{},\"interner_symbols\":{},\"threads\":{}",
+            self.invented, self.loop_iterations, self.interner_symbols, self.threads
         );
         out.push_str(",\"choice_points\":[");
         for (i, c) in self.choice_points.iter().enumerate() {
@@ -247,10 +249,15 @@ impl EvalTrace {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "engine: {}   stages: {}   wall: {}",
+            "engine: {}   stages: {}   wall: {}{}",
             self.engine,
             self.stages.len(),
-            fmt_nanos(self.total_wall_nanos)
+            fmt_nanos(self.total_wall_nanos),
+            if self.threads > 1 {
+                format!("   threads: {}", self.threads)
+            } else {
+                String::new()
+            }
         );
         let _ = writeln!(
             out,
@@ -418,12 +425,15 @@ impl Stopwatch {
 /// A cheap, clonable handle to an optional [`EvalTrace`] sink.
 ///
 /// Disabled (the default) it is a no-op: every recording method returns
-/// immediately after one `Option` check. Enabled, it shares one trace
-/// cell among all clones, so the handle can be threaded through options
-/// structs by value and read back by whoever created it.
+/// immediately after one `Option` check — no lock is ever touched.
+/// Enabled, it shares one mutex-guarded trace among all clones (the
+/// handle is `Send + Sync`, so options structs carrying it can cross
+/// into scoped worker threads), and it can be read back by whoever
+/// created it. The lock is poison-tolerant: a panicking recorder leaves
+/// a readable trace behind.
 #[derive(Clone, Debug, Default)]
 pub struct Telemetry {
-    sink: Option<Rc<RefCell<EvalTrace>>>,
+    sink: Option<Arc<Mutex<EvalTrace>>>,
 }
 
 impl Telemetry {
@@ -435,7 +445,7 @@ impl Telemetry {
     /// An enabled handle with an empty trace.
     pub fn enabled() -> Self {
         Telemetry {
-            sink: Some(Rc::new(RefCell::new(EvalTrace::default()))),
+            sink: Some(Arc::new(Mutex::new(EvalTrace::default()))),
         }
     }
 
@@ -446,7 +456,9 @@ impl Telemetry {
 
     /// Runs `f` on the trace if enabled; returns its result.
     pub fn with<R>(&self, f: impl FnOnce(&mut EvalTrace) -> R) -> Option<R> {
-        self.sink.as_ref().map(|cell| f(&mut cell.borrow_mut()))
+        self.sink
+            .as_ref()
+            .map(|cell| f(&mut cell.lock().unwrap_or_else(PoisonError::into_inner)))
     }
 
     /// Resets the trace and names the engine. Call at run entry.
@@ -492,6 +504,15 @@ impl Telemetry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Compile-time guard: the handle must stay shareable across worker
+    /// threads (it rides inside `EvalOptions` into `thread::scope`).
+    #[test]
+    fn telemetry_is_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<Telemetry>();
+        assert_sync::<EvalTrace>();
+    }
 
     #[test]
     fn disabled_handle_records_nothing() {

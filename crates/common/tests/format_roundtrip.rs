@@ -175,6 +175,7 @@ fn sample_report() -> BenchReport {
         report.entries.push(BenchEntry {
             workload: workload.into(),
             engine: engine.into(),
+            threads: 1,
             n: 16,
             reps: 3,
             wall: WallStats {

@@ -315,12 +315,30 @@ pub struct IndexCache {
     /// adds — the telemetry-off path stays branch-free). Engines
     /// snapshot and diff this per stage when telemetry is enabled.
     pub counters: JoinCounters,
+    /// When set to `(part, parts)`, delta indexes cover only worker
+    /// `part`'s contiguous chunk of each delta enumeration
+    /// ([`Index::build_delta_part`]). Since every delta-variant match
+    /// consumes exactly one delta tuple, restricting the delta index
+    /// restricts the worker to its share of the round's matches — the
+    /// partitioning primitive of the parallel executor. Full-source
+    /// entries are unaffected.
+    delta_part: Option<(usize, usize)>,
 }
 
 impl IndexCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a worker-shard cache whose delta indexes cover chunk
+    /// `part` of `parts` (see the `delta_part` field).
+    pub fn with_delta_part(part: usize, parts: usize) -> Self {
+        assert!(part < parts, "partition {part} out of {parts}");
+        IndexCache {
+            delta_part: Some((part, parts)),
+            ..Self::default()
+        }
     }
 
     /// Drops all delta-source entries. Call at the start of each
@@ -342,10 +360,14 @@ impl IndexCache {
         let key = (pred, cols.to_vec().into_boxed_slice(), source);
         let gen_now = relation.generation();
         let counters = &mut self.counters;
+        let delta_part = self.delta_part;
         let fresh = |counters: &mut JoinCounters| {
-            let index = match mark {
-                Some(m) => Index::build_delta(relation, cols, m),
-                None => Index::build(relation, cols),
+            let index = match (mark, delta_part) {
+                (Some(m), Some((part, parts))) => {
+                    Index::build_delta_part(relation, cols, m, part, parts)
+                }
+                (Some(m), None) => Index::build_delta(relation, cols, m),
+                (None, _) => Index::build(relation, cols),
             };
             counters.index_builds += 1;
             counters.indexed_tuples += index.tuple_count() as u64;

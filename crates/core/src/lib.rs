@@ -46,6 +46,7 @@ pub mod magic;
 pub mod naive;
 pub mod noninflationary;
 pub mod options;
+mod parallel;
 pub mod provenance;
 pub mod seminaive;
 pub mod stable;

@@ -1,7 +1,24 @@
 //! Evaluation options and result types shared by the engines.
 
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
 use unchained_common::{Instance, Telemetry};
 use unchained_parser::{HeadLiteral, Program};
+
+/// Default worker-thread count: `UNCHAINED_THREADS` from the environment
+/// (read once per process), else 1. Letting the env var steer the default
+/// means `UNCHAINED_THREADS=4 cargo test` exercises the parallel rounds
+/// across the whole suite without touching any call site.
+fn default_threads() -> NonZeroUsize {
+    static DEFAULT: OnceLock<NonZeroUsize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("UNCHAINED_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(NonZeroUsize::MIN)
+    })
+}
 
 /// How the noninflationary engines detect that a computation will never
 /// reach a fixpoint (Section 4.2: e.g. the flip-flop program).
@@ -36,6 +53,11 @@ pub struct EvalOptions {
     /// Trace sink. Disabled by default; cloning the options clones the
     /// handle, so all clones feed the same trace.
     pub telemetry: Telemetry,
+    /// Worker threads for the semi-naive hot path (and the engines built
+    /// on it). 1 (the default, unless `UNCHAINED_THREADS` overrides it)
+    /// keeps evaluation strictly sequential; output is byte-identical for
+    /// every value.
+    pub threads: NonZeroUsize,
 }
 
 impl Default for EvalOptions {
@@ -45,6 +67,7 @@ impl Default for EvalOptions {
             max_facts: None,
             divergence: DivergenceDetection::Exact,
             telemetry: Telemetry::off(),
+            threads: default_threads(),
         }
     }
 }
@@ -71,6 +94,13 @@ impl EvalOptions {
     /// Options feeding the given telemetry handle.
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Options with the given worker-thread count (`n == 0` is clamped
+    /// to 1, i.e. sequential).
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = NonZeroUsize::new(n).unwrap_or(NonZeroUsize::MIN);
         self
     }
 }
@@ -122,5 +152,19 @@ mod tests {
         let o = EvalOptions::default();
         assert!(o.max_stages.is_none() && o.max_facts.is_none());
         assert_eq!(o.divergence, DivergenceDetection::Exact);
+    }
+
+    #[test]
+    fn thread_builder_clamps_zero_to_sequential() {
+        assert_eq!(EvalOptions::default().with_threads(4).threads.get(), 4);
+        assert_eq!(EvalOptions::default().with_threads(0).threads.get(), 1);
+    }
+
+    /// `EvalOptions` must be shareable by reference across scoped worker
+    /// threads (it carries the telemetry handle into them).
+    #[test]
+    fn options_are_send_and_sync() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<EvalOptions>();
     }
 }

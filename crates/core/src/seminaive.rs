@@ -18,6 +18,7 @@ use crate::eval::{
     Sources,
 };
 use crate::options::{EvalOptions, FixpointRun};
+use crate::parallel::{run_round, PlanTask};
 use crate::require_language;
 use std::ops::ControlFlow;
 use unchained_common::{DeltaHandle, FxHashSet, Instance, StageRecord, Symbol};
@@ -63,33 +64,88 @@ pub(crate) fn seminaive_fixpoint(
     let tel = &options.telemetry;
     let base = tel.with(|t| t.stages.len()).unwrap_or(0);
 
+    // Parallel executor state. Each worker owns a cache shard that lives
+    // across rounds (so full indexes absorb committed segments just like
+    // the sequential cache) and whose delta indexes cover only that
+    // worker's chunk of each delta enumeration. The shared `cache` stays
+    // the single source of truth for counters: after every parallel
+    // round its counters are rewritten as entry snapshot + the sum over
+    // worker shards, which keeps the per-stage `since` diffs below exact.
+    let threads = options.threads.get();
+    tel.with(|t| t.threads = threads);
+    let mut worker_caches: Vec<IndexCache> = if threads > 1 {
+        (0..threads)
+            .map(|w| IndexCache::with_delta_part(w, threads))
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let entry_counters = cache.counters;
+    let roll_up = |cache: &mut IndexCache, worker_caches: &[IndexCache]| {
+        let mut total = entry_counters;
+        for wc in worker_caches {
+            total.absorb(&wc.counters);
+        }
+        cache.counters = total;
+    };
+
     // Freeze the input facts into stable segments: every later round then
     // adds exactly one segment per touched relation, so delta marks stay
     // exact and full indexes absorb each round as a single segment append.
     instance.commit_all();
 
-    // Round 1: full evaluation of every rule into a pending buffer.
+    // Round 1: full evaluation of every rule into a pending buffer —
+    // rules striped across workers when parallel.
     let mut stage_sw = tel.stopwatch();
     let mut joins_before = cache.counters;
     let mut fired: u64 = 0;
-    let mut pending = Instance::new();
-    for rp in &compiled {
-        let head = head_atom(rp.rule);
-        let _ = for_each_match(
-            &rp.full,
-            Sources::simple(instance),
-            adom,
-            cache,
-            &mut |env| {
-                fired += 1;
-                let tuple = instantiate(&head.args, env);
-                if !instance.contains_fact(head.pred, &tuple) {
-                    pending.insert_fact(head.pred, tuple);
-                }
-                ControlFlow::Continue(())
-            },
-        );
+    let mut pending;
+    if threads > 1 {
+        let tasks: Vec<PlanTask> = compiled
+            .iter()
+            .map(|rp| PlanTask {
+                head: head_atom(rp.rule),
+                plan: &rp.full,
+            })
+            .collect();
+        let (p, f) = run_round(&tasks, instance, None, adom, &mut worker_caches, true);
+        pending = p;
+        fired = f;
+        roll_up(cache, &worker_caches);
+    } else {
+        pending = Instance::new();
+        for rp in &compiled {
+            let head = head_atom(rp.rule);
+            let _ = for_each_match(
+                &rp.full,
+                Sources::simple(instance),
+                adom,
+                cache,
+                &mut |env| {
+                    fired += 1;
+                    let tuple = instantiate(&head.args, env);
+                    if !instance.contains_fact(head.pred, &tuple) {
+                        pending.insert_fact(head.pred, tuple);
+                    }
+                    ControlFlow::Continue(())
+                },
+            );
+        }
     }
+    // Delta-variant tasks are the same every round; build them once.
+    let delta_tasks: Vec<PlanTask> = if threads > 1 {
+        compiled
+            .iter()
+            .flat_map(|rp| {
+                rp.deltas.iter().map(|plan| PlanTask {
+                    head: head_atom(rp.rule),
+                    plan,
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
     let mut rounds = 1;
     loop {
         // Capture generation marks, then merge: afterwards,
@@ -117,6 +173,18 @@ pub(crate) fn seminaive_fixpoint(
             t.peak_facts = t.peak_facts.max(instance.fact_count());
         });
         if !changed {
+            if threads > 1 {
+                tel.with(|t| {
+                    let per_worker: Vec<String> = worker_caches
+                        .iter()
+                        .map(|wc| wc.counters.probes.to_string())
+                        .collect();
+                    t.notes.push(format!(
+                        "parallel: {threads} workers, probes per worker: [{}]",
+                        per_worker.join(", ")
+                    ));
+                });
+            }
             return Ok(rounds);
         }
         if options.max_facts.is_some_and(|m| instance.fact_count() > m) {
@@ -132,6 +200,23 @@ pub(crate) fn seminaive_fixpoint(
         stage_sw = tel.stopwatch();
         joins_before = cache.counters;
         fired = 0;
+        if threads > 1 {
+            for wc in &mut worker_caches {
+                wc.begin_delta_round();
+            }
+            let (p, f) = run_round(
+                &delta_tasks,
+                instance,
+                Some(&mark),
+                adom,
+                &mut worker_caches,
+                false,
+            );
+            pending = p;
+            fired = f;
+            roll_up(cache, &worker_caches);
+            continue;
+        }
         cache.begin_delta_round();
         let mut next_pending = Instance::new();
         for rp in &compiled {

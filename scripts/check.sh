@@ -12,6 +12,11 @@ cargo build --workspace
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# Second pass with the parallel executor as the suite-wide default:
+# every engine test must produce identical results at 4 workers.
+echo "==> cargo test --workspace -q (UNCHAINED_THREADS=4)"
+UNCHAINED_THREADS=4 cargo test --workspace -q
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -30,17 +35,52 @@ cargo run -q --release -p unchained-bench -- --quick --baseline target/bench-smo
 
 # Index-maintenance invariant: on chain TC the semi-naive engine must
 # absorb each round's committed segment instead of rebuilding, so the
-# committed BENCH.json's chain/seminaive entry keeps index_rebuilds
-# bounded by the relation count (2: G and T), not the round count (64).
+# committed BENCH.json's sequential chain/seminaive entry keeps
+# index_rebuilds bounded by the relation count (2: G and T), not the
+# round count (64).
 echo "==> BENCH.json index_rebuilds bounded on chain TC"
-rebuilds=$(grep '"workload":"chain","engine":"seminaive"' BENCH.json \
+rebuilds=$(grep '"workload":"chain","engine":"seminaive","threads":1' BENCH.json \
     | sed 's/.*"index_rebuilds":\([0-9]*\).*/\1/')
 if [ -z "$rebuilds" ]; then
-    echo "chain/seminaive entry missing from BENCH.json" >&2
+    echo "chain/seminaive (threads:1) entry missing from BENCH.json" >&2
     exit 1
 fi
 if [ "$rebuilds" -gt 2 ]; then
     echo "chain/seminaive index_rebuilds=$rebuilds scales with rounds (want <= 2)" >&2
+    exit 1
+fi
+
+# Parallel-path invariant on the bench smoke just produced: the
+# chain/seminaive@4 thread-scaling row must actually run parallel
+# ("threads":4), derive exactly the facts and stages of the sequential
+# row, and stay within an order of magnitude of its wall time (thread
+# spawn/merge overhead at smoke sizes; a pathological slowdown or a
+# fallback to sequential fails here).
+echo "==> bench smoke parallel row: enabled, identical work, sane wall time"
+seq_row=$(grep '"workload":"chain","engine":"seminaive","threads":1' target/bench-smoke.json)
+par_row=$(grep '"workload":"chain","engine":"seminaive","threads":4' target/bench-smoke.json)
+if [ -z "$par_row" ]; then
+    echo "chain/seminaive threads:4 row missing from bench smoke (parallel path not enabled)" >&2
+    exit 1
+fi
+pick() { printf '%s' "$1" | sed "s/.*\"$2\":\([0-9]*\).*/\1/"; }
+if [ "$(pick "$seq_row" facts_derived)" != "$(pick "$par_row" facts_derived)" ] \
+    || [ "$(pick "$seq_row" stages)" != "$(pick "$par_row" stages)" ] \
+    || [ "$(pick "$seq_row" rules_fired)" != "$(pick "$par_row" rules_fired)" ]; then
+    echo "parallel chain/seminaive row drifted from sequential work gauges" >&2
+    echo "  seq: $seq_row" >&2
+    echo "  par: $par_row" >&2
+    exit 1
+fi
+seq_median=$(printf '%s' "$seq_row" | sed 's/.*"median":\([0-9]*\).*/\1/')
+par_median=$(printf '%s' "$par_row" | sed 's/.*"median":\([0-9]*\).*/\1/')
+# 5ms of absolute slack on top of the 10x ratio: smoke-size rounds are
+# microseconds, so per-round thread spawn/join overhead (~1-2ms across a
+# 16-round chain) dominates the parallel median. The gate exists to
+# catch pathological blowups (tens of ms), not spawn overhead.
+if [ "$par_median" -gt $(( seq_median * 10 + 5000000 )) ]; then
+    echo "parallel chain/seminaive pathologically slower than sequential" >&2
+    echo "  seq median: ${seq_median}ns, par median: ${par_median}ns" >&2
     exit 1
 fi
 
