@@ -115,6 +115,12 @@ pub enum Command {
         /// Everything after the `bench` word, verbatim.
         rest: Vec<String>,
     },
+    /// Run the differential fuzzer (arguments passed through to
+    /// `unchained_fuzz`).
+    Fuzz {
+        /// Everything after the `fuzz` word, verbatim.
+        rest: Vec<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -130,6 +136,8 @@ USAGE:
   unchained repl
   unchained bench [options]     in-repo benchmark harness (BENCH.json);
                                see `unchained bench --help`
+  unchained fuzz [options]      deterministic differential fuzzer (FUZZ.json,
+                               repro corpus); see `unchained fuzz --help`
   unchained help
 
 SEMANTICS (for --semantics / -s):
@@ -175,6 +183,11 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         }),
         "bench" => Ok(Args {
             command: Command::Bench {
+                rest: it.cloned().collect(),
+            },
+        }),
+        "fuzz" => Ok(Args {
+            command: Command::Fuzz {
                 rest: it.cloned().collect(),
             },
         }),

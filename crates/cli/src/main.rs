@@ -17,6 +17,9 @@ fn main() -> ExitCode {
     if let Command::Bench { rest } = &args.command {
         return ExitCode::from(unchained_bench::main_with_args(rest));
     }
+    if let Command::Fuzz { rest } = &args.command {
+        return ExitCode::from(unchained_fuzz::main_with_args(rest));
+    }
     if matches!(args.command, Command::Repl) {
         return match unchained_cli::run_repl() {
             Ok(()) => ExitCode::SUCCESS,
@@ -29,7 +32,9 @@ fn main() -> ExitCode {
     let (program_path, facts_path) = match &args.command {
         Command::Eval { program, facts, .. } => (Some(program.clone()), facts.clone()),
         Command::Check { program } => (Some(program.clone()), None),
-        Command::Repl | Command::Bench { .. } | Command::Help => (None, None),
+        Command::Repl | Command::Bench { .. } | Command::Fuzz { .. } | Command::Help => {
+            (None, None)
+        }
     };
     let program_text = match &program_path {
         Some(p) => match std::fs::read_to_string(p) {

@@ -51,6 +51,9 @@ pub fn execute_full(
         Command::Bench { .. } => Ok(plain(
             "(benchmark mode: run the `unchained` binary with `bench`)".into(),
         )),
+        Command::Fuzz { .. } => Ok(plain(
+            "(fuzzing mode: run the `unchained` binary with `fuzz`)".into(),
+        )),
         Command::Check { .. } => {
             let mut interner = Interner::new();
             let program = parse_program(program_text, &mut interner).map_err(|e| e.to_string())?;

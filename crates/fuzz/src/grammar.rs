@@ -1,0 +1,354 @@
+//! Grammar-based program and instance generation, one campaign per
+//! language fragment.
+//!
+//! Every generated program is **safe by construction** for its
+//! campaign's engine matrix: range-restricted, stratifiable where the
+//! matrix requires it, positively bound for the nondeterministic
+//! engines, and free of invention feedback loops (invented-value heads
+//! never reappear in bodies, so Datalog¬new evaluation terminates).
+//! Programs come out [normalized](unchained_parser::Program::normalized),
+//! so `parse(print(p)) == p` holds for each — the shrinker and the
+//! corpus writer depend on that round trip.
+//!
+//! Generation is fully deterministic in the seed; no wall clock, no
+//! global state.
+
+use unchained_common::{Instance, Interner, Rng, Tuple, Value};
+use unchained_parser::{Atom, HeadLiteral, Literal, Program, Rule, Term, Var};
+
+/// A fuzzing campaign: which language fragment to generate and which
+/// oracle matrix to run (see [`crate::oracle`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Campaign {
+    /// Pure positive Datalog — the widest matrix: naive, semi-naive,
+    /// stratified, magic, parallel, while-translation, monotonicity.
+    Positive,
+    /// Stratified Datalog¬ (negation layered by construction):
+    /// stratified sequential/parallel, well-founded, while-translation.
+    Negation,
+    /// Datalog¬new with non-recursive invention: determinism and
+    /// thread-invariance of the invention engine.
+    Invention,
+    /// N-Datalog with `choice`: seeded-run determinism and poss/cert
+    /// containment.
+    Nondet,
+}
+
+impl Campaign {
+    /// Parses a campaign name as spelled on the CLI.
+    pub fn parse(name: &str) -> Option<Campaign> {
+        Some(match name {
+            "positive" | "datalog" => Campaign::Positive,
+            "negation" | "stratified" => Campaign::Negation,
+            "invention" | "datalog-new" => Campaign::Invention,
+            "nondet" => Campaign::Nondet,
+            _ => return None,
+        })
+    }
+
+    /// The canonical name (used in FUZZ.json and corpus file names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Campaign::Positive => "positive",
+            Campaign::Negation => "negation",
+            Campaign::Invention => "invention",
+            Campaign::Nondet => "nondet",
+        }
+    }
+
+    /// All campaigns, in documentation order.
+    pub fn all() -> [Campaign; 4] {
+        [
+            Campaign::Positive,
+            Campaign::Negation,
+            Campaign::Invention,
+            Campaign::Nondet,
+        ]
+    }
+}
+
+/// Size knobs for one generated (program, instance) pair. The defaults
+/// keep every oracle run well under a millisecond so a 200-program
+/// smoke budget stays interactive.
+#[derive(Clone, Copy, Debug)]
+pub struct GrammarConfig {
+    /// Maximum rules per program (actual count varies 1..=max by seed).
+    pub max_rules: usize,
+    /// Number of idb predicates (`I0`, `I1`, …; arities 1–2).
+    pub idb_preds: usize,
+    /// Number of edb predicates (`E0`, `E1`, …; arities 1–2).
+    pub edb_preds: usize,
+    /// Maximum body literals per rule (before safety patching).
+    pub max_body: usize,
+    /// Domain values are `Int(0..universe)`.
+    pub universe: i64,
+    /// Facts generated per edb predicate (duplicates collapse).
+    pub facts_per_pred: usize,
+}
+
+impl Default for GrammarConfig {
+    fn default() -> Self {
+        GrammarConfig {
+            max_rules: 5,
+            idb_preds: 3,
+            edb_preds: 2,
+            max_body: 3,
+            universe: 4,
+            facts_per_pred: 5,
+        }
+    }
+}
+
+fn arity_of(index: usize) -> usize {
+    1 + index % 2
+}
+
+const VAR_NAMES: [&str; 6] = ["x", "y", "z", "w", "u", "v"];
+
+/// Generates one safe program plus a matching edb instance,
+/// deterministically in `seed`.
+pub fn generate(
+    interner: &mut Interner,
+    campaign: Campaign,
+    cfg: GrammarConfig,
+    seed: u64,
+) -> (Program, Instance) {
+    let mut rng = Rng::seeded(seed);
+    let idb: Vec<_> = (0..cfg.idb_preds)
+        .map(|k| (interner.intern(&format!("I{k}")), arity_of(k), k))
+        .collect();
+    let edb: Vec<_> = (0..cfg.edb_preds)
+        .map(|k| (interner.intern(&format!("E{k}")), arity_of(k)))
+        .collect();
+    // Invention targets live outside the body pool: a `Vk` head may
+    // invent values, and because `Vk` never occurs in any body the
+    // invention cannot feed back — evaluation always terminates.
+    let invent: Vec<_> = (0..2)
+        .map(|k| (interner.intern(&format!("V{k}")), 2usize))
+        .collect();
+
+    let n_rules = 1 + rng.gen_index(cfg.max_rules);
+    let mut rules = Vec::new();
+    for _ in 0..n_rules {
+        let n_vars = 1 + rng.gen_index(VAR_NAMES.len() - 2);
+        let pick_term = |rng: &mut Rng| {
+            if rng.gen_bool(0.12) {
+                Term::Const(Value::Int(rng.gen_range_i64(0, cfg.universe)))
+            } else {
+                Term::Var(Var(rng.gen_index(n_vars) as u32))
+            }
+        };
+
+        // Head: usually a plain idb atom; in the invention campaign,
+        // sometimes an invention target with a fresh head variable.
+        let inventing = campaign == Campaign::Invention && rng.gen_bool(0.35);
+        let (head_pred, head_arity, head_level) = if inventing {
+            let (p, a) = invent[rng.gen_index(invent.len())];
+            (p, a, usize::MAX)
+        } else {
+            idb[rng.gen_index(idb.len())]
+        };
+        let head_args: Vec<Term> = if inventing {
+            // `Vk(x, n)`: first column bound by the body, second invented.
+            vec![
+                Term::Var(Var(rng.gen_index(n_vars) as u32)),
+                Term::Var(Var(n_vars as u32)),
+            ]
+        } else {
+            (0..head_arity).map(|_| pick_term(&mut rng)).collect()
+        };
+
+        // Body literals. Negation discipline guarantees stratifiability:
+        // a rule for the idb predicate at level L may use idb atoms of
+        // level ≤ L positively and idb atoms of level < L negatively
+        // (edb atoms freely, either sign). Every negative dependency
+        // edge then strictly increases the level, so no cycle can pass
+        // through a negation — the textbook sufficient condition.
+        let n_body = 1 + rng.gen_index(cfg.max_body);
+        let mut body = Vec::new();
+        for _ in 0..n_body {
+            let negate = campaign == Campaign::Negation && rng.gen_bool(0.3);
+            let layered = campaign == Campaign::Negation;
+            let pos_pool = if layered {
+                (head_level + 1).min(idb.len())
+            } else {
+                idb.len()
+            };
+            let neg_pool = head_level.min(idb.len());
+            let from_edb = if negate {
+                neg_pool == 0 || rng.gen_bool(0.5)
+            } else {
+                rng.gen_bool(0.5)
+            };
+            let (pred, arity) = if from_edb {
+                edb[rng.gen_index(edb.len())]
+            } else if negate {
+                let (p, a, _) = idb[rng.gen_index(neg_pool)];
+                (p, a)
+            } else {
+                let (p, a, _) = idb[rng.gen_index(pos_pool)];
+                (p, a)
+            };
+            let args: Vec<Term> = (0..arity).map(|_| pick_term(&mut rng)).collect();
+            let atom = Atom::new(pred, args);
+            body.push(if negate {
+                Literal::Neg(atom)
+            } else {
+                Literal::Pos(atom)
+            });
+        }
+        // Occasionally a comparison literal in the nondet campaign
+        // (equalities are part of Definition 5.1's rule syntax).
+        if campaign == Campaign::Nondet && rng.gen_bool(0.25) {
+            let s = Term::Var(Var(rng.gen_index(n_vars) as u32));
+            let t = pick_term(&mut rng);
+            body.push(if rng.gen_bool(0.5) {
+                Literal::Eq(s, t)
+            } else {
+                Literal::Neq(s, t)
+            });
+        }
+
+        // Safety patching. The nondeterministic engines require every
+        // variable positively bound; the deterministic ones only need
+        // head variables range-restricted (a negative occurrence binds
+        // a variable to the active domain there, which the oracle
+        // deliberately leaves exercised in the negation campaign).
+        let needs_positive: Vec<Var> = {
+            let positively_bound: std::collections::BTreeSet<Var> = body
+                .iter()
+                .filter_map(|l| match l {
+                    Literal::Pos(a) => Some(a.vars().collect::<Vec<_>>()),
+                    _ => None,
+                })
+                .flatten()
+                .collect();
+            let mut pending: Vec<Var> = if campaign == Campaign::Nondet {
+                let mut all: Vec<Var> = body.iter().flat_map(|l| l.vars()).collect();
+                all.extend(head_args.iter().filter_map(|t| t.as_var()));
+                all
+            } else {
+                let body_vars: std::collections::BTreeSet<Var> =
+                    body.iter().flat_map(|l| l.vars()).collect();
+                head_args
+                    .iter()
+                    .filter_map(|t| t.as_var())
+                    .filter(|v| !body_vars.contains(v))
+                    .collect()
+            };
+            if inventing {
+                // The invented variable stays unbound by design.
+                pending.retain(|v| v.index() < n_vars);
+            }
+            pending.sort_unstable();
+            pending.dedup();
+            pending.retain(|v| !positively_bound.contains(v));
+            pending
+        };
+        for v in needs_positive {
+            let (pred, arity) = edb[0];
+            let args: Vec<Term> = (0..arity).map(|_| Term::Var(v)).collect();
+            body.push(Literal::Pos(Atom::new(pred, args)));
+        }
+
+        // Choice constraints ride on already-bound variables.
+        if campaign == Campaign::Nondet && n_vars >= 2 && rng.gen_bool(0.3) {
+            let left = Term::Var(Var(0));
+            let right = Term::Var(Var(1));
+            body.push(Literal::Choice(vec![left], vec![right]));
+        }
+
+        let max_var = n_vars + usize::from(inventing);
+        rules.push(Rule {
+            head: vec![HeadLiteral::Pos(Atom::new(head_pred, head_args))],
+            body,
+            forall: vec![],
+            var_names: VAR_NAMES[..max_var].iter().map(|s| s.to_string()).collect(),
+        });
+    }
+    let program = Program { rules }.normalized();
+
+    let mut instance = Instance::new();
+    for (pred, arity) in &edb {
+        instance.ensure(*pred, *arity);
+        for _ in 0..cfg.facts_per_pred {
+            let tuple: Tuple = (0..*arity)
+                .map(|_| Value::Int(rng.gen_range_i64(0, cfg.universe)))
+                .collect();
+            instance.insert_fact(*pred, tuple);
+        }
+    }
+    (program, instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unchained_parser::{
+        check_positively_bound, check_range_restricted, classify, parse_program, DependencyGraph,
+        Language,
+    };
+
+    #[test]
+    fn generated_programs_are_safe_for_their_campaign() {
+        for campaign in Campaign::all() {
+            for seed in 0..80u64 {
+                let mut i = Interner::new();
+                let (p, _) = generate(&mut i, campaign, GrammarConfig::default(), seed);
+                let allow_invention = campaign == Campaign::Invention;
+                check_range_restricted(&p, allow_invention)
+                    .unwrap_or_else(|e| panic!("{campaign:?} seed {seed}: {e}"));
+                match campaign {
+                    Campaign::Positive => assert_eq!(classify(&p), Language::Datalog),
+                    Campaign::Negation => {
+                        DependencyGraph::build(&p)
+                            .stratify()
+                            .unwrap_or_else(|e| panic!("seed {seed} not stratifiable: {e}"));
+                    }
+                    Campaign::Invention => {
+                        assert!(classify(&p) <= Language::DatalogNegNew, "seed {seed}");
+                        // No invention feedback: invented-head predicates
+                        // never occur in bodies.
+                        for rule in &p.rules {
+                            for lit in &rule.body {
+                                if let Some(a) = lit.atom() {
+                                    assert!(!i.name(a.pred).starts_with('V'), "seed {seed}");
+                                }
+                            }
+                        }
+                    }
+                    Campaign::Nondet => {
+                        check_positively_bound(&p, false)
+                            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generated_programs_round_trip_through_the_printer() {
+        for campaign in Campaign::all() {
+            for seed in 0..80u64 {
+                let mut i = Interner::new();
+                let (p, _) = generate(&mut i, campaign, GrammarConfig::default(), seed);
+                let text = p.display(&i).to_string();
+                let reparsed = parse_program(&text, &mut i)
+                    .unwrap_or_else(|e| panic!("{campaign:?} seed {seed}: {e}\n{text}"));
+                assert_eq!(reparsed, p, "{campaign:?} seed {seed} round trip:\n{text}");
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        let (pa, ia) = generate(&mut a, Campaign::Negation, GrammarConfig::default(), 7);
+        let (pb, ib) = generate(&mut b, Campaign::Negation, GrammarConfig::default(), 7);
+        assert_eq!(pa, pb);
+        assert!(ia.same_facts(&ib));
+        let (pc, _) = generate(&mut a, Campaign::Negation, GrammarConfig::default(), 8);
+        assert_ne!(pa, pc);
+    }
+}

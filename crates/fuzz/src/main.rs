@@ -1,0 +1,8 @@
+//! Standalone fuzzing binary: `cargo run --release -p unchained-fuzz`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(unchained_fuzz::main_with_args(&argv))
+}

@@ -1,0 +1,569 @@
+//! The differential oracle: one program, every applicable engine, all
+//! answers compared.
+//!
+//! Per campaign the matrix is:
+//!
+//! | campaign | engines | metamorphic checks |
+//! |---|---|---|
+//! | positive | naive, semi-naive, stratified, magic, semi-naive@{2,4,8}, while-translation | edb-monotonicity, rule permutation |
+//! | negation | stratified, well-founded, stratified@{2,4,8}, while-translation | rule/stratum permutation |
+//! | invention | invention ×2 (determinism), invention@4 | — |
+//! | nondet | seeded run ×2 (determinism), poss/cert containment | — |
+//!
+//! A `Fault` injects a deliberate wrong answer into one extra matrix
+//! entry — the shrinker's self-test: with the fault enabled the oracle
+//! must diverge on any program that derives at least one idb fact, and
+//! the shrinker must walk that divergence down to a ≤ 3-rule repro.
+
+use unchained_common::{Instance, Interner, Symbol, Tuple, Value};
+use unchained_core::{invention, magic, naive, seminaive, stratified, wellfounded, EvalOptions};
+use unchained_nondet::{poss_cert, run_once, EffOptions, NondetProgram, RandomChooser};
+use unchained_parser::Program;
+
+use crate::grammar::Campaign;
+use crate::translate::to_while;
+
+/// Deliberate engine fault for the shrinker self-test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// All engines honest.
+    None,
+    /// One extra matrix entry drops the largest derived idb fact —
+    /// wrong on every program whose answer is nonempty.
+    DropMaxFact,
+}
+
+/// A detected disagreement between two oracle legs.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Name of the reference leg.
+    pub left: &'static str,
+    /// Name of the disagreeing leg.
+    pub right: &'static str,
+    /// Human-readable detail (fact counts, stage counts, …).
+    pub detail: String,
+}
+
+/// What one oracle invocation did.
+#[derive(Clone, Debug, Default)]
+pub struct Outcome {
+    /// Engine invocations performed.
+    pub oracle_runs: usize,
+    /// Pairwise comparisons / property checks performed.
+    pub comparisons: usize,
+    /// First disagreement found, if any.
+    pub divergence: Option<Divergence>,
+    /// True if the reference engine could not evaluate the program
+    /// (budget); the program is skipped, not counted as divergent.
+    pub skipped: bool,
+}
+
+impl Outcome {
+    fn diverge(&mut self, left: &'static str, right: &'static str, detail: String) {
+        if self.divergence.is_none() {
+            self.divergence = Some(Divergence {
+                left,
+                right,
+                detail,
+            });
+        }
+    }
+}
+
+fn opts(threads: usize) -> EvalOptions {
+    // Thread count is always set explicitly so FUZZ output is identical
+    // whether or not UNCHAINED_THREADS is exported.
+    EvalOptions::default()
+        .with_max_stages(500)
+        .with_max_facts(100_000)
+        .with_threads(threads)
+}
+
+/// The input instance with every program relation present (empty where
+/// the generator produced no facts), so all engines and the while
+/// interpreter see the same schema.
+fn prepared(program: &Program, input: &Instance) -> Instance {
+    let mut out = input.clone();
+    if let Ok(schema) = program.schema() {
+        for pred in program.edb() {
+            if let Some(arity) = schema.arity(pred) {
+                out.ensure(pred, arity);
+            }
+        }
+    }
+    out
+}
+
+/// All facts of `instance`, in deterministic (symbol, tuple) order.
+pub(crate) fn fact_list(instance: &Instance) -> Vec<(Symbol, Tuple)> {
+    let mut out = Vec::new();
+    for (sym, rel) in instance.iter() {
+        for t in rel.sorted().iter() {
+            out.push((sym, t.clone()));
+        }
+    }
+    out
+}
+
+/// Rebuilds `instance` without the facts selected by `drop`.
+pub(crate) fn without_facts(instance: &Instance, drop: impl Fn(usize) -> bool) -> Instance {
+    let mut out = Instance::new();
+    for (sym, rel) in instance.iter() {
+        out.ensure(sym, rel.arity());
+    }
+    for (i, (sym, tuple)) in fact_list(instance).into_iter().enumerate() {
+        if !drop(i) {
+            out.insert_fact(sym, tuple);
+        }
+    }
+    out
+}
+
+/// The faulty leg: the reference answer minus its largest fact.
+fn drop_max_fact(answer: &Instance) -> Instance {
+    let n = fact_list(answer).len();
+    if n == 0 {
+        return answer.clone();
+    }
+    without_facts(answer, |i| i == n - 1)
+}
+
+fn compare(
+    outcome: &mut Outcome,
+    left: &'static str,
+    right: &'static str,
+    a: &Instance,
+    b: &Instance,
+) {
+    outcome.comparisons += 1;
+    if !a.same_facts(b) {
+        outcome.diverge(
+            left,
+            right,
+            format!("{} vs {} idb facts", a.fact_count(), b.fact_count()),
+        );
+    }
+}
+
+/// Runs the full oracle matrix for `campaign` on one program/instance
+/// pair. `interner` must be the one the program was built against
+/// (magic rewriting interns adorned predicate names); `run_seed` drives
+/// the nondeterministic campaign's seeded choosers.
+pub fn check(
+    campaign: Campaign,
+    program: &Program,
+    input: &Instance,
+    interner: &mut Interner,
+    run_seed: u64,
+    fault: Fault,
+) -> Outcome {
+    let input = prepared(program, input);
+    match campaign {
+        Campaign::Positive => positive(program, &input, interner, fault),
+        Campaign::Negation => negation(program, &input, fault),
+        Campaign::Invention => invention_campaign(program, &input, fault),
+        Campaign::Nondet => nondet(program, &input, run_seed, fault),
+    }
+}
+
+fn positive(program: &Program, input: &Instance, interner: &mut Interner, fault: Fault) -> Outcome {
+    let mut out = Outcome::default();
+    out.oracle_runs += 1;
+    let Ok(reference) = seminaive::minimum_model(program, input, opts(1)) else {
+        out.skipped = true;
+        return out;
+    };
+    let answer = reference.answer(program);
+
+    // Naive fixpoint: same minimum model, stage counts may differ.
+    out.oracle_runs += 1;
+    match naive::minimum_model(program, input, opts(1)) {
+        Ok(run) => compare(
+            &mut out,
+            "seminaive",
+            "naive",
+            &answer,
+            &run.answer(program),
+        ),
+        Err(e) => out.diverge("seminaive", "naive", format!("naive failed: {e}")),
+    }
+
+    // Stratified evaluation degenerates to semi-naive on one stratum.
+    out.oracle_runs += 1;
+    match stratified::eval(program, input, opts(1)) {
+        Ok(run) => compare(
+            &mut out,
+            "seminaive",
+            "stratified",
+            &answer,
+            &run.answer(program),
+        ),
+        Err(e) => out.diverge("seminaive", "stratified", format!("stratified failed: {e}")),
+    }
+
+    // Parallel legs promise byte-identical answers *and* stage counts.
+    for threads in [2usize, 4, 8] {
+        out.oracle_runs += 1;
+        match seminaive::minimum_model(program, input, opts(threads)) {
+            Ok(run) => {
+                compare(
+                    &mut out,
+                    "seminaive",
+                    "seminaive-parallel",
+                    &answer,
+                    &run.answer(program),
+                );
+                out.comparisons += 1;
+                if run.stages != reference.stages {
+                    out.diverge(
+                        "seminaive",
+                        "seminaive-parallel",
+                        format!(
+                            "stages {} at 1 thread vs {} at {threads}",
+                            reference.stages, run.stages
+                        ),
+                    );
+                }
+            }
+            Err(e) => out.diverge(
+                "seminaive",
+                "seminaive-parallel",
+                format!("threads={threads} failed: {e}"),
+            ),
+        }
+    }
+
+    // Magic rewriting on a single-binding query over the first idb
+    // predicate: the rewritten program must report exactly the
+    // reference tuples that match the binding.
+    let idb = program.idb();
+    let mut adom: Vec<Value> = input.adom_sorted();
+    adom.extend(program.adom());
+    adom.sort_unstable();
+    adom.dedup();
+    if let (Some(&query_pred), Some(&bind)) = (idb.first(), adom.first()) {
+        if let Ok(schema) = program.schema() {
+            let arity = schema.arity(query_pred).unwrap_or(0);
+            let mut bindings = vec![None; arity];
+            if arity > 0 {
+                bindings[0] = Some(bind);
+            }
+            let query = magic::QueryPattern::new(query_pred, bindings.clone());
+            out.oracle_runs += 1;
+            match magic::answer(program, &query, input, interner, opts(1)) {
+                Ok(rel) => {
+                    let mut expected = Instance::new();
+                    expected.ensure(query_pred, arity);
+                    if let Some(full) = answer.relation(query_pred) {
+                        for t in full.sorted().iter() {
+                            let matches = bindings
+                                .iter()
+                                .zip(t.values())
+                                .all(|(b, v)| b.is_none_or(|c| c == *v));
+                            if matches {
+                                expected.insert_fact(query_pred, t.clone());
+                            }
+                        }
+                    }
+                    let mut got = Instance::new();
+                    got.ensure(query_pred, arity);
+                    for t in rel.iter() {
+                        got.insert_fact(query_pred, t.clone());
+                    }
+                    compare(&mut out, "seminaive", "magic", &expected, &got);
+                }
+                Err(e) => out.diverge("seminaive", "magic", format!("magic failed: {e}")),
+            }
+        }
+    }
+
+    // Independent reference: the fixpoint-language translation.
+    while_leg(&mut out, program, input, &answer, "seminaive");
+
+    // Metamorphic: positive programs are monotone in the edb.
+    out.oracle_runs += 1;
+    let sub = without_facts(input, |i| i % 3 == 0);
+    match seminaive::minimum_model(program, &sub, opts(1)) {
+        Ok(run) => {
+            out.comparisons += 1;
+            let sub_answer = run.answer(program);
+            let missing = fact_list(&sub_answer)
+                .into_iter()
+                .find(|(sym, t)| !answer.contains_fact(*sym, t));
+            if missing.is_some() {
+                out.diverge(
+                    "seminaive",
+                    "monotonicity",
+                    "shrinking the edb grew the answer".to_string(),
+                );
+            }
+        }
+        Err(e) => out.diverge("seminaive", "monotonicity", format!("sub-edb failed: {e}")),
+    }
+
+    rule_permutation_leg(&mut out, program, input, &answer, Campaign::Positive);
+    fault_leg(&mut out, &answer, fault);
+    out
+}
+
+fn negation(program: &Program, input: &Instance, fault: Fault) -> Outcome {
+    let mut out = Outcome::default();
+    out.oracle_runs += 1;
+    let Ok(reference) = stratified::eval(program, input, opts(1)) else {
+        out.skipped = true;
+        return out;
+    };
+    let answer = reference.answer(program);
+
+    for threads in [2usize, 4, 8] {
+        out.oracle_runs += 1;
+        match stratified::eval(program, input, opts(threads)) {
+            Ok(run) => {
+                compare(
+                    &mut out,
+                    "stratified",
+                    "stratified-parallel",
+                    &answer,
+                    &run.answer(program),
+                );
+                out.comparisons += 1;
+                if run.stages != reference.stages {
+                    out.diverge(
+                        "stratified",
+                        "stratified-parallel",
+                        format!(
+                            "stages {} at 1 thread vs {} at {threads}",
+                            reference.stages, run.stages
+                        ),
+                    );
+                }
+            }
+            Err(e) => out.diverge(
+                "stratified",
+                "stratified-parallel",
+                format!("threads={threads} failed: {e}"),
+            ),
+        }
+    }
+
+    // On stratifiable programs the well-founded model is total and
+    // coincides with the stratified model (§3.3).
+    out.oracle_runs += 1;
+    match wellfounded::eval(program, input, opts(1)) {
+        Ok(model) => {
+            let idb = program.idb();
+            compare(
+                &mut out,
+                "stratified",
+                "wellfounded-true",
+                &answer,
+                &model.true_facts.project_schema(idb.iter().copied()),
+            );
+            compare(
+                &mut out,
+                "stratified",
+                "wellfounded-possible",
+                &answer,
+                &model.possible_facts.project_schema(idb),
+            );
+        }
+        Err(e) => out.diverge(
+            "stratified",
+            "wellfounded",
+            format!("wellfounded failed: {e}"),
+        ),
+    }
+
+    while_leg(&mut out, program, input, &answer, "stratified");
+    rule_permutation_leg(&mut out, program, input, &answer, Campaign::Negation);
+    fault_leg(&mut out, &answer, fault);
+    out
+}
+
+fn invention_campaign(program: &Program, input: &Instance, fault: Fault) -> Outcome {
+    let mut out = Outcome::default();
+    out.oracle_runs += 1;
+    let Ok(first) = invention::eval(program, input, opts(1)) else {
+        out.skipped = true;
+        return out;
+    };
+    let answer = first.answer(program);
+
+    // Invention is deterministic: a second run reproduces the instance,
+    // the stage count, and the invented-value budget exactly.
+    out.oracle_runs += 1;
+    match invention::eval(program, input, opts(1)) {
+        Ok(second) => {
+            compare(
+                &mut out,
+                "invention",
+                "invention-rerun",
+                &answer,
+                &second.answer(program),
+            );
+            out.comparisons += 1;
+            if (second.stages, second.invented) != (first.stages, first.invented) {
+                out.diverge(
+                    "invention",
+                    "invention-rerun",
+                    format!(
+                        "stages/invented ({}, {}) vs ({}, {})",
+                        first.stages, first.invented, second.stages, second.invented
+                    ),
+                );
+            }
+        }
+        Err(e) => out.diverge("invention", "invention-rerun", format!("rerun failed: {e}")),
+    }
+
+    // Thread invariance of the shared semi-naive substrate.
+    out.oracle_runs += 1;
+    match invention::eval(program, input, opts(4)) {
+        Ok(par) => compare(
+            &mut out,
+            "invention",
+            "invention-parallel",
+            &answer,
+            &par.answer(program),
+        ),
+        Err(e) => out.diverge(
+            "invention",
+            "invention-parallel",
+            format!("threads=4 failed: {e}"),
+        ),
+    }
+
+    fault_leg(&mut out, &answer, fault);
+    out
+}
+
+fn nondet(program: &Program, input: &Instance, run_seed: u64, fault: Fault) -> Outcome {
+    let mut out = Outcome::default();
+    let Ok(compiled) = NondetProgram::compile(program, false) else {
+        out.skipped = true;
+        return out;
+    };
+    out.oracle_runs += 1;
+    let mut chooser = RandomChooser::seeded(run_seed);
+    let Ok(first) = run_once(&compiled, input, &mut chooser, opts(1)) else {
+        out.skipped = true;
+        return out;
+    };
+    let idb = program.idb();
+    let answer = first.instance.project_schema(idb.iter().copied());
+
+    // Same seed, same run: the seeded chooser makes one computation
+    // fully reproducible.
+    out.oracle_runs += 1;
+    let mut chooser = RandomChooser::seeded(run_seed);
+    match run_once(&compiled, input, &mut chooser, opts(1)) {
+        Ok(second) => {
+            let mut replay = second.instance.project_schema(idb.iter().copied());
+            if fault == Fault::DropMaxFact {
+                replay = drop_max_fact(&replay);
+            }
+            compare(&mut out, "nondet", "nondet-replay", &answer, &replay);
+            out.comparisons += 1;
+            if second.steps != first.steps && fault == Fault::None {
+                out.diverge(
+                    "nondet",
+                    "nondet-replay",
+                    format!("steps {} vs {}", first.steps, second.steps),
+                );
+            }
+        }
+        Err(e) => out.diverge("nondet", "nondet-replay", format!("replay failed: {e}")),
+    }
+
+    // Effect-space containment: cert ⊆ every run ⊆ poss. Skipped (not
+    // failed) when the state space exceeds the enumeration budget.
+    out.oracle_runs += 1;
+    if let Ok(pc) = poss_cert(&compiled, input, EffOptions { max_states: 2_000 }) {
+        let poss = pc.poss.project_schema(idb.iter().copied());
+        let cert = pc.cert.project_schema(idb.iter().copied());
+        out.comparisons += 1;
+        if let Some((sym, _)) = fact_list(&cert)
+            .into_iter()
+            .find(|(sym, t)| !poss.contains_fact(*sym, t))
+        {
+            out.diverge("poss", "cert", format!("cert fact outside poss: {sym:?}"));
+        }
+        out.comparisons += 1;
+        if fact_list(&answer)
+            .into_iter()
+            .any(|(sym, t)| !poss.contains_fact(sym, &t))
+        {
+            out.diverge("poss", "nondet", "run derived a fact outside poss".into());
+        }
+        out.comparisons += 1;
+        if fact_list(&cert)
+            .into_iter()
+            .any(|(sym, t)| !answer.contains_fact(sym, &t))
+        {
+            out.diverge("cert", "nondet", "run missed a certain fact".into());
+        }
+    }
+    out
+}
+
+/// The while-translation leg shared by the deterministic campaigns.
+fn while_leg(
+    out: &mut Outcome,
+    program: &Program,
+    input: &Instance,
+    answer: &Instance,
+    reference: &'static str,
+) {
+    let Some(wp) = to_while(program) else {
+        return;
+    };
+    out.oracle_runs += 1;
+    match unchained_while::run(&wp, input, 100_000, None) {
+        Ok(run) => compare(
+            out,
+            reference,
+            "while-translation",
+            answer,
+            &run.instance.project_schema(program.idb()),
+        ),
+        Err(e) => out.diverge(reference, "while-translation", format!("while failed: {e}")),
+    }
+}
+
+/// Rule-order (and hence stratum-discovery-order) invariance: the
+/// reversed program must compute the same model.
+fn rule_permutation_leg(
+    out: &mut Outcome,
+    program: &Program,
+    input: &Instance,
+    answer: &Instance,
+    campaign: Campaign,
+) {
+    let mut reversed = program.clone();
+    reversed.rules.reverse();
+    out.oracle_runs += 1;
+    let run = match campaign {
+        Campaign::Positive => seminaive::minimum_model(&reversed, input, opts(1)),
+        _ => stratified::eval(&reversed, input, opts(1)),
+    };
+    match run {
+        Ok(run) => compare(
+            out,
+            "original-order",
+            "reversed-order",
+            answer,
+            &run.answer(&reversed),
+        ),
+        Err(e) => out.diverge("original-order", "reversed-order", format!("failed: {e}")),
+    }
+}
+
+/// The injected-fault leg: an extra matrix entry that is the reference
+/// answer minus its largest fact.
+fn fault_leg(out: &mut Outcome, answer: &Instance, fault: Fault) {
+    if fault == Fault::DropMaxFact {
+        out.oracle_runs += 1;
+        let faulty = drop_max_fact(answer);
+        compare(out, "reference", "injected-fault", answer, &faulty);
+    }
+}

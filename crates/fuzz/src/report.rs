@@ -1,0 +1,166 @@
+//! The `FUZZ.json` campaign summary — the fuzzing counterpart of
+//! `BENCH.json`, and deliberately free of wall-clock fields so two runs
+//! of the same campaign produce byte-identical reports.
+
+use unchained_common::{telemetry::json_escape, Json};
+
+/// Format version of `FUZZ.json`.
+pub const FUZZ_SCHEMA_VERSION: u64 = 1;
+
+/// Everything one campaign run counted. All fields are deterministic
+/// in (campaign, seed, budget, fault) — no timestamps, no durations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FuzzReport {
+    /// Campaign name (`positive`, `negation`, `invention`, `nondet`).
+    pub campaign: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Requested number of programs.
+    pub budget: usize,
+    /// Programs actually generated (== budget).
+    pub programs: usize,
+    /// Programs the reference engine could not evaluate (budgets).
+    pub skipped: usize,
+    /// Engine invocations across all oracle legs.
+    pub oracle_runs: usize,
+    /// Pairwise comparisons and metamorphic property checks.
+    pub comparisons: usize,
+    /// Programs on which some oracle leg disagreed.
+    pub divergences: usize,
+    /// Candidate evaluations spent shrinking divergences.
+    pub shrink_steps: usize,
+    /// Whether the deliberate fault leg was enabled.
+    pub fault_injected: bool,
+    /// Corpus stems written for shrunk repros.
+    pub repros: Vec<String>,
+}
+
+impl FuzzReport {
+    /// Serializes to the versioned JSON format.
+    pub fn to_json(&self) -> String {
+        let repros: Vec<String> = self
+            .repros
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect();
+        format!(
+            concat!(
+                "{{\"schema_version\":{},\"campaign\":\"{}\",\"seed\":{},",
+                "\"budget\":{},\"programs\":{},\"skipped\":{},",
+                "\"oracle_runs\":{},\"comparisons\":{},\"divergences\":{},",
+                "\"shrink_steps\":{},\"fault_injected\":{},\"repros\":[{}]}}\n"
+            ),
+            FUZZ_SCHEMA_VERSION,
+            json_escape(&self.campaign),
+            self.seed,
+            self.budget,
+            self.programs,
+            self.skipped,
+            self.oracle_runs,
+            self.comparisons,
+            self.divergences,
+            self.shrink_steps,
+            self.fault_injected,
+            repros.join(",")
+        )
+    }
+
+    /// Parses a report back (tests and tooling).
+    pub fn from_json(src: &str) -> Result<FuzzReport, String> {
+        let json = Json::parse(src).map_err(|e| e.to_string())?;
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != FUZZ_SCHEMA_VERSION {
+            return Err(format!("unsupported FUZZ.json schema version {version}"));
+        }
+        let field = |name: &str| -> Result<u64, String> {
+            json.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing field {name}"))
+        };
+        Ok(FuzzReport {
+            campaign: json
+                .get("campaign")
+                .and_then(Json::as_str)
+                .ok_or("missing campaign")?
+                .to_string(),
+            seed: field("seed")?,
+            budget: field("budget")? as usize,
+            programs: field("programs")? as usize,
+            skipped: field("skipped")? as usize,
+            oracle_runs: field("oracle_runs")? as usize,
+            comparisons: field("comparisons")? as usize,
+            divergences: field("divergences")? as usize,
+            shrink_steps: field("shrink_steps")? as usize,
+            fault_injected: json
+                .get("fault_injected")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            repros: json
+                .get("repros")
+                .and_then(Json::as_arr)
+                .map(|arr| {
+                    arr.iter()
+                        .filter_map(|j| j.as_str().map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default(),
+        })
+    }
+
+    /// The human summary printed after a campaign.
+    pub fn render_summary(&self) -> String {
+        let mut out = format!(
+            "fuzz: campaign={} seed={} budget={}\n\
+             \x20 programs={} skipped={} oracle_runs={} comparisons={}\n\
+             \x20 divergences={} shrink_steps={}\n",
+            self.campaign,
+            self.seed,
+            self.budget,
+            self.programs,
+            self.skipped,
+            self.oracle_runs,
+            self.comparisons,
+            self.divergences,
+            self.shrink_steps,
+        );
+        for stem in &self.repros {
+            out.push_str(&format!("  repro: {stem}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips() {
+        let report = FuzzReport {
+            campaign: "positive".into(),
+            seed: 42,
+            budget: 200,
+            programs: 200,
+            skipped: 1,
+            oracle_runs: 1800,
+            comparisons: 2400,
+            divergences: 2,
+            shrink_steps: 91,
+            fault_injected: true,
+            repros: vec!["positive-s42-p7".into(), "positive-s42-p13".into()],
+        };
+        let json = report.to_json();
+        assert_eq!(FuzzReport::from_json(&json).unwrap(), report);
+    }
+
+    #[test]
+    fn report_json_has_no_wall_clock_fields() {
+        let json = FuzzReport::default().to_json();
+        for banned in ["nanos", "millis", "time", "date"] {
+            assert!(!json.contains(banned), "{banned} leaked into FUZZ.json");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Integration tests for the differential fuzzer: every campaign runs
+//! clean at a small budget, and a full run is bit-for-bit deterministic.
+
+use unchained_fuzz::{run_campaign, Campaign, Fault, FuzzOptions};
+
+fn options(campaign: Campaign, seed: u64, budget: usize) -> FuzzOptions {
+    FuzzOptions {
+        campaign,
+        seed,
+        budget,
+        fault: Fault::None,
+        corpus_dir: None,
+        ..FuzzOptions::default()
+    }
+}
+
+#[test]
+fn every_campaign_runs_clean_at_small_budget() {
+    for campaign in Campaign::all() {
+        let (report, repros) = run_campaign(&options(campaign, 7, 15)).expect("campaign runs");
+        assert_eq!(
+            report.divergences,
+            0,
+            "campaign {} diverged: {}",
+            campaign.name(),
+            report.to_json()
+        );
+        assert!(repros.is_empty());
+        assert_eq!(report.programs + report.skipped, 15);
+        assert!(report.oracle_runs > 0, "oracle must actually run");
+        assert!(report.comparisons >= report.oracle_runs - report.programs * 2);
+    }
+}
+
+#[test]
+fn identical_options_give_identical_reports() {
+    for campaign in [Campaign::Positive, Campaign::Negation] {
+        let a = run_campaign(&options(campaign, 42, 25)).expect("first run");
+        let b = run_campaign(&options(campaign, 42, 25)).expect("second run");
+        assert_eq!(a.0.to_json(), b.0.to_json());
+        assert_eq!(a.1.len(), b.1.len());
+    }
+}
+
+#[test]
+fn fault_injection_produces_divergences_and_minimal_repros() {
+    let opts = FuzzOptions {
+        fault: Fault::DropMaxFact,
+        ..options(Campaign::Positive, 7, 20)
+    };
+    let (report, repros) = run_campaign(&opts).expect("faulted run");
+    assert!(report.divergences > 0, "fault must be observable");
+    assert!(report.fault_injected);
+    assert_eq!(repros.len(), report.divergences);
+    assert!(report.shrink_steps > 0, "shrinker must have reduced repros");
+    for repro in &repros {
+        assert!(
+            repro.program.rules.len() <= 3,
+            "repro not minimal: {} rules",
+            repro.program.rules.len()
+        );
+    }
+}

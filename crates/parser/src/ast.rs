@@ -198,6 +198,89 @@ impl Rule {
             .collect()
     }
 
+    /// Visits every term of the rule in *parse order*: head literals,
+    /// then the `forall` prefix, then body literals. This is the order
+    /// in which [`crate::parse_program`] first encounters variables, so
+    /// it defines the canonical variable numbering.
+    fn visit_terms(&self, mut f: impl FnMut(&Term)) {
+        for h in &self.head {
+            if let Some(a) = h.atom() {
+                a.args.iter().for_each(&mut f);
+            }
+        }
+        for v in &self.forall {
+            f(&Term::Var(*v));
+        }
+        for l in &self.body {
+            match l {
+                Literal::Pos(a) | Literal::Neg(a) => a.args.iter().for_each(&mut f),
+                Literal::Eq(s, t) | Literal::Neq(s, t) => {
+                    f(s);
+                    f(t);
+                }
+                Literal::Choice(left, right) => left.iter().chain(right).for_each(&mut f),
+            }
+        }
+    }
+
+    /// The rule with variables renumbered to first-occurrence order
+    /// (head, then `forall` prefix, then body) and unused names dropped
+    /// — exactly the numbering [`crate::parse_program`] produces, so a
+    /// normalized rule survives a print/parse round trip *structurally*
+    /// unchanged (`parse(print(r)) == r`), not merely textually.
+    ///
+    /// Distinct variables sharing a name cannot be normalized (the
+    /// parser would unify them); such rules only arise from programmatic
+    /// construction and keep their distinct identities here, without a
+    /// round-trip guarantee.
+    pub fn normalized(&self) -> Rule {
+        let mut order: Vec<Var> = Vec::new();
+        let mut map: std::collections::BTreeMap<Var, Var> = std::collections::BTreeMap::new();
+        self.visit_terms(|t| {
+            if let Term::Var(v) = t {
+                if !map.contains_key(v) {
+                    map.insert(*v, Var(order.len() as u32));
+                    order.push(*v);
+                }
+            }
+        });
+        let remap = |t: &Term| match t {
+            Term::Var(v) => Term::Var(map[v]),
+            Term::Const(c) => Term::Const(*c),
+        };
+        let remap_atom = |a: &Atom| Atom::new(a.pred, a.args.iter().map(remap).collect());
+        Rule {
+            head: self
+                .head
+                .iter()
+                .map(|h| match h {
+                    HeadLiteral::Pos(a) => HeadLiteral::Pos(remap_atom(a)),
+                    HeadLiteral::Neg(a) => HeadLiteral::Neg(remap_atom(a)),
+                    HeadLiteral::Bottom => HeadLiteral::Bottom,
+                })
+                .collect(),
+            body: self
+                .body
+                .iter()
+                .map(|l| match l {
+                    Literal::Pos(a) => Literal::Pos(remap_atom(a)),
+                    Literal::Neg(a) => Literal::Neg(remap_atom(a)),
+                    Literal::Eq(s, t) => Literal::Eq(remap(s), remap(t)),
+                    Literal::Neq(s, t) => Literal::Neq(remap(s), remap(t)),
+                    Literal::Choice(left, right) => Literal::Choice(
+                        left.iter().map(remap).collect(),
+                        right.iter().map(remap).collect(),
+                    ),
+                })
+                .collect(),
+            forall: self.forall.iter().map(|v| map[v]).collect(),
+            var_names: order
+                .iter()
+                .map(|v| self.var_names[v.index()].clone())
+                .collect(),
+        }
+    }
+
     /// All constants in the rule.
     pub fn consts(&self) -> Vec<Value> {
         let mut out = Vec::new();
@@ -300,6 +383,16 @@ impl Program {
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// The program with every rule [normalized](Rule::normalized) to the
+    /// parser's canonical variable numbering. A normalized program is
+    /// the fixed point of print-then-parse: for any normalized `p`,
+    /// `parse_program(&p.display(i).to_string(), i) == Ok(p)`.
+    pub fn normalized(&self) -> Program {
+        Program {
+            rules: self.rules.iter().map(Rule::normalized).collect(),
+        }
     }
 
     /// Renders the program in the concrete syntax accepted by the parser.

@@ -495,4 +495,63 @@ mod tests {
         let p2 = parse_program(&shown, &mut i2).unwrap();
         assert_eq!(p2.display(&i2).to_string(), shown);
     }
+
+    /// `parse(print(p)) == p` structurally, across the whole surface
+    /// syntax. Any parsed program is in the parser's canonical variable
+    /// numbering, so printing and reparsing must reproduce it exactly
+    /// — the invariant the fuzzer's shrinker leans on when it writes
+    /// repro files.
+    #[test]
+    fn parse_print_parse_is_identity() {
+        let sources = [
+            "T(x, y) :- G(x, z), T(z, y).",
+            "CT(x, y) :- V(x), V(y), !T(x, y).",
+            "R(0) :- E(0, x), x != -7.",
+            "S(x) :- E(x, 'a'), x = 'b'.",
+            "P.\nQ(x) :- P, E(x).",
+            "bottom :- Conflict(x, x).",
+            "!Old(x), New(x) :- Update(x).",
+            "Win(x) :- Move(x, y), !Win(y).",
+            "Ans(x) :- forall y : E(x), !G(x, y).",
+            "Pick(x, y) :- E(x, y), choice((x), (y)).",
+            "Fact(3, -4, 'q').",
+        ];
+        for src in sources {
+            let mut i = Interner::new();
+            let p = parse_program(src, &mut i).unwrap();
+            let reparsed = parse_program(&p.display(&i).to_string(), &mut i)
+                .unwrap_or_else(|e| panic!("printed form of {src:?} does not reparse: {e}"));
+            assert_eq!(reparsed, p, "round trip changed {src:?}");
+        }
+    }
+
+    /// A programmatically built rule with unused variable names and
+    /// non-canonical numbering round-trips only after normalization.
+    #[test]
+    fn normalized_rule_roundtrips() {
+        use crate::ast::{Atom, HeadLiteral, Literal, Program, Rule, Term, Var};
+        let mut i = Interner::new();
+        let e = i.intern("E");
+        let r = i.intern("R");
+        // R(z, x) :- E(z), E(x) — numbered z=2, x=0, with an unused y=1.
+        let rule = Rule {
+            head: vec![HeadLiteral::Pos(Atom::new(
+                r,
+                vec![Term::Var(Var(2)), Term::Var(Var(0))],
+            ))],
+            body: vec![
+                Literal::Pos(Atom::new(e, vec![Term::Var(Var(2))])),
+                Literal::Pos(Atom::new(e, vec![Term::Var(Var(0))])),
+            ],
+            forall: vec![],
+            var_names: vec!["x".into(), "y".into(), "z".into()],
+        };
+        let raw = Program { rules: vec![rule] };
+        let reparsed = parse_program(&raw.display(&i).to_string(), &mut i).unwrap();
+        assert_ne!(reparsed, raw, "denormalized program cannot round-trip");
+        let normal = raw.normalized();
+        assert_eq!(reparsed, normal);
+        let again = parse_program(&normal.display(&i).to_string(), &mut i).unwrap();
+        assert_eq!(again, normal);
+    }
 }

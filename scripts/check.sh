@@ -84,4 +84,49 @@ if [ "$par_median" -gt $(( seq_median * 10 + 5000000 )) ]; then
     exit 1
 fi
 
+# Differential-fuzzer smoke: the fixed CI triple (positive/42/200) must
+# run every oracle leg with zero divergences and an empty corpus, and
+# the run must be deterministic enough to gate (same seed, same
+# FUZZ.json on every machine — see EXPERIMENTS.md, Fuzzing campaigns).
+echo "==> fuzz smoke: positive/42/200, zero divergences"
+rm -rf target/fuzz-corpus
+cargo run -q --release -p unchained-fuzz -- --seed 42 --budget 200 \
+    --json target/fuzz-smoke.json --corpus target/fuzz-corpus >/dev/null
+if ! grep -q '"divergences":0' target/fuzz-smoke.json; then
+    echo "fuzz smoke found divergences:" >&2
+    cat target/fuzz-smoke.json >&2
+    exit 1
+fi
+if [ -d target/fuzz-corpus ] && [ -n "$(ls target/fuzz-corpus 2>/dev/null)" ]; then
+    echo "fuzz smoke wrote repros despite divergences:0" >&2
+    exit 1
+fi
+
+# Shrinker self-test: with a deliberately wrong oracle leg injected,
+# the campaign must (a) detect divergences (exit 1) and (b) delta-debug
+# every witness down to a repro of at most 3 rules.
+echo "==> fuzz shrinker self-test: injected fault shrinks to <= 3 rules"
+rm -rf target/fuzz-fault-corpus
+set +e
+cargo run -q --release -p unchained-fuzz -- --seed 7 --budget 20 --inject-fault \
+    --json target/fuzz-fault.json --corpus target/fuzz-fault-corpus >/dev/null
+fault_status=$?
+set -e
+if [ "$fault_status" != 1 ]; then
+    echo "fault-injected fuzz run exited $fault_status (want 1: divergences found)" >&2
+    exit 1
+fi
+repros=$(ls target/fuzz-fault-corpus/*.dl 2>/dev/null || true)
+if [ -z "$repros" ]; then
+    echo "fault-injected fuzz run wrote no repros" >&2
+    exit 1
+fi
+for dl in $repros; do
+    rules=$(grep -c -v '^%' "$dl")
+    if [ "$rules" -gt 3 ]; then
+        echo "repro $dl has $rules rules after shrinking (want <= 3)" >&2
+        exit 1
+    fi
+done
+
 echo "All checks passed."

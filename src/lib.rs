@@ -19,11 +19,14 @@
 //! * [`harness`] — workload generators, oracles and the equivalence harness
 //! * [`bench`] — the in-repo benchmark harness (workload registry,
 //!   BENCH.json emitter, baseline comparator)
+//! * [`fuzz`] — deterministic differential fuzzing (campaign oracle
+//!   matrix, delta-debugging shrinker, repro corpus, FUZZ.json)
 pub use unchained_bench as bench;
 pub use unchained_common as common;
 pub use unchained_core as core;
 pub use unchained_exchange as exchange;
 pub use unchained_fo as fo;
+pub use unchained_fuzz as fuzz;
 pub use unchained_harness as harness;
 pub use unchained_nondet as nondet;
 pub use unchained_parser as parser;

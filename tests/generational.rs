@@ -290,6 +290,135 @@ fn parallel_stratified_byte_identical_on_random_negation_programs() {
     }
 }
 
+/// The 1-vs-4 check above only exercises power-of-two worker pools; odd
+/// and oversubscribed pools chunk the rule/delta work differently (uneven
+/// chunk sizes, workers with no work at all). Sweep threads 2, 3 and 8
+/// against the sequential reference on the same seeded TC inputs.
+#[test]
+fn parallel_seminaive_matches_across_thread_counts() {
+    for seed in 0..10u64 {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let edges = 4 + (seed as usize % 3) * 10;
+        let input = random_graph(&mut i, 10, edges, seed);
+        let tel_seq = Telemetry::enabled();
+        let seq = seminaive::minimum_model(
+            &p,
+            &input,
+            EvalOptions::default()
+                .with_threads(1)
+                .with_telemetry(tel_seq.clone()),
+        )
+        .unwrap();
+        let ref_trace = tel_seq.snapshot().unwrap();
+        for threads in [2usize, 3, 8] {
+            let tel = Telemetry::enabled();
+            let par = seminaive::minimum_model(
+                &p,
+                &input,
+                EvalOptions::default()
+                    .with_threads(threads)
+                    .with_telemetry(tel.clone()),
+            )
+            .unwrap();
+            assert_eq!(
+                seq.instance.display(&i).to_string(),
+                par.instance.display(&i).to_string(),
+                "threads=1 vs threads={threads}, seed {seed}"
+            );
+            let trace = tel.snapshot().unwrap();
+            assert_eq!(
+                trace.stages.len(),
+                ref_trace.stages.len(),
+                "stage count at threads={threads}, seed {seed}"
+            );
+            assert_eq!(
+                trace.total_facts_added(),
+                ref_trace.total_facts_added(),
+                "facts derived at threads={threads}, seed {seed}"
+            );
+        }
+    }
+}
+
+/// Same sweep through the stratified engine on seeded semipositive
+/// programs: stratum scheduling must be invisible at any worker count.
+#[test]
+fn parallel_stratified_matches_across_thread_counts() {
+    for seed in 0..10u64 {
+        let mut i = Interner::new();
+        let cfg = RandProgConfig {
+            fragment: Fragment::Semipositive,
+            ..Default::default()
+        };
+        let program = random_program(&mut i, cfg, seed);
+        let input = random_edb(&mut i, cfg, 5, 6, seed ^ 0xBEEF);
+        let seq =
+            stratified::eval(&program, &input, EvalOptions::default().with_threads(1)).unwrap();
+        for threads in [2usize, 3, 8] {
+            let par = stratified::eval(
+                &program,
+                &input,
+                EvalOptions::default().with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(
+                seq.instance.display(&i).to_string(),
+                par.instance.display(&i).to_string(),
+                "threads=1 vs threads={threads}, seed {seed}"
+            );
+        }
+    }
+}
+
+/// Chunking edge case: a 7-edge chain at threads=3 splits neither the
+/// rule set nor any round's delta evenly, and the side predicate `S`
+/// saturates in round one — every later round evaluates its rule against
+/// an *empty* delta. The empty chunks and uneven remainders must not
+/// perturb the fixpoint or derive duplicate facts.
+#[test]
+fn odd_thread_count_with_empty_delta_round_is_exact() {
+    let mut i = Interner::new();
+    let p = parse_program(
+        "T(x,y) :- G(x,y).\n\
+         T(x,y) :- G(x,z), T(z,y).\n\
+         S(x) :- G(x, x).",
+        &mut i,
+    )
+    .unwrap();
+    let g = i.get("G").unwrap();
+    let mut input = Instance::new();
+    for k in 0..7i64 {
+        input.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
+    }
+    // One self-loop feeds S exactly once, in the very first round.
+    input.insert_fact(g, Tuple::from([Value::Int(3), Value::Int(3)]));
+    let tel = Telemetry::enabled();
+    let run = seminaive::minimum_model(
+        &p,
+        &input,
+        EvalOptions::default()
+            .with_threads(3)
+            .with_telemetry(tel.clone()),
+    )
+    .unwrap();
+    let seq = seminaive::minimum_model(&p, &input, EvalOptions::default().with_threads(1)).unwrap();
+    assert_eq!(
+        run.instance.display(&i).to_string(),
+        seq.instance.display(&i).to_string(),
+        "threads=3 vs threads=1"
+    );
+    // S holds exactly the one self-loop node; the chain closure includes
+    // the loop-augmented pairs, and no fact is derived twice.
+    assert_eq!(run.instance.relation(i.get("S").unwrap()).unwrap().len(), 1);
+    let trace = tel.snapshot().unwrap();
+    assert!(
+        trace.stages.len() >= 5,
+        "chain TC must run several rounds after S's delta goes empty"
+    );
+    assert_eq!(trace.threads, 3);
+}
+
 /// Mutating one clone of an instance must not poison delta marks taken
 /// on the other: epoch forking downgrades the stale mark to a superset
 /// scan instead of silently missing tuples.
