@@ -42,7 +42,7 @@ use unchained_common::bench::{
     compare_reports, measure, BenchEntry, BenchReport, Gauges, Repetitions, WallStats,
     DEFAULT_REGRESSION_THRESHOLD,
 };
-use unchained_common::{Instance, Interner, Telemetry, Tuple, Value};
+use unchained_common::{hottest_rules, Instance, Interner, Telemetry, Tracer, Tuple, Value};
 use unchained_core::{
     inflationary, invention, magic, naive, noninflationary, seminaive, stratified, wellfounded,
     EvalError, EvalOptions,
@@ -62,6 +62,11 @@ end
 
 /// One benchmark case: a workload × engine × size triple plus the
 /// closure that performs a single evaluation and harvests its gauges.
+///
+/// The runner takes the [`Tracer`] to evaluate under: the timing loop
+/// passes a disabled one (zero overhead), the `--profile` pass an
+/// enabled one — in which case the runner also returns its
+/// hottest-rules table, rendered against the case's own interner.
 pub struct Case {
     /// Workload name (`chain`, `win`, …).
     pub workload: &'static str,
@@ -71,8 +76,14 @@ pub struct Case {
     pub threads: usize,
     /// Size parameter (nodes, states, or stages — per workload).
     pub n: u64,
-    runner: Box<dyn FnMut() -> Result<(Gauges, u64), String>>,
+    runner: CaseRunner,
 }
+
+/// A boxed single-case runner (see [`Case`]).
+type CaseRunner = Box<dyn FnMut(&Tracer) -> Result<(Gauges, u64, Option<String>), String>>;
+
+/// How many rules the per-case `--profile` table shows.
+const PROFILE_TOP_N: usize = 5;
 
 impl Case {
     /// The label `--filter` matches against (`workload/engine`, with an
@@ -153,20 +164,26 @@ type EngineRun = Box<dyn FnMut(&Instance, EvalOptions) -> Result<(), String>>;
 
 /// Builds a runner for an engine driven through [`EvalOptions`].
 /// `eval` runs the engine once; it may treat an expected budget error
-/// as success (the invention chain runs against a stage budget).
+/// as success (the invention chain runs against a stage budget). The
+/// case's interner is captured whole so a profiling pass can render
+/// rule names and head predicates.
 fn options_runner(
     input: Instance,
-    interner_symbols: usize,
+    interner: Interner,
     threads: usize,
     mut eval: impl FnMut(&Instance, EvalOptions) -> Result<(), String> + 'static,
-) -> Box<dyn FnMut() -> Result<(Gauges, u64), String>> {
-    Box::new(move || {
-        let tel = Telemetry::enabled();
+) -> CaseRunner {
+    Box::new(move |tracer| {
+        let tel = Telemetry::enabled().with_tracer(tracer.clone());
         let options = EvalOptions::default()
             .with_telemetry(tel.clone())
             .with_threads(threads);
         eval(&input, options)?;
-        harvest(&tel, interner_symbols, input.fact_count())
+        let profile = tracer
+            .is_enabled()
+            .then(|| hottest_rules(&tracer.finish(), &interner, PROFILE_TOP_N));
+        let (gauges, threads) = harvest(&tel, interner.len(), input.fact_count())?;
+        Ok((gauges, threads, profile))
     })
 }
 
@@ -222,7 +239,6 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
                 "while" => {
                     let (program, _) =
                         parse_while_program(WHILE_TC, &mut interner).expect("WHILE_TC parses");
-                    let symbols = interner.len();
                     let facts = input.fact_count();
                     let input = input.clone();
                     Case {
@@ -230,8 +246,8 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
                         engine,
                         threads: 1,
                         n,
-                        runner: Box::new(move || {
-                            let tel = Telemetry::enabled();
+                        runner: Box::new(move |tracer| {
+                            let tel = Telemetry::enabled().with_tracer(tracer.clone());
                             unchained_while::run_traced(
                                 &program,
                                 &input,
@@ -240,13 +256,16 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
                                 tel.clone(),
                             )
                             .map_err(|e| e.to_string())?;
-                            harvest(&tel, symbols, facts)
+                            let profile = tracer
+                                .is_enabled()
+                                .then(|| hottest_rules(&tracer.finish(), &interner, PROFILE_TOP_N));
+                            let (gauges, threads) = harvest(&tel, interner.len(), facts)?;
+                            Ok((gauges, threads, profile))
                         }),
                     }
                 }
                 _ => {
                     let program = parse(programs::TC, &mut interner);
-                    let symbols = interner.len();
                     let run: EngineRun = match engine {
                         "naive" => Box::new(move |inp, o| {
                             naive::minimum_model(&program, inp, o)
@@ -281,7 +300,7 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
                         engine,
                         threads,
                         n,
-                        runner: options_runner(input, symbols, threads, move |inp, o| run(inp, o)),
+                        runner: options_runner(input, interner, threads, move |inp, o| run(inp, o)),
                     }
                 }
             };
@@ -297,13 +316,12 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
         let n = sizes.chain;
         let input = generators::line_graph(&mut interner, "G", n);
         let program = parse(programs::TC, &mut interner);
-        let symbols = interner.len();
         out.push(Case {
             workload: "chain",
             engine: "seminaive",
             threads: 4,
             n: n as u64,
-            runner: options_runner(input, symbols, 4, move |inp, o| {
+            runner: options_runner(input, interner, 4, move |inp, o| {
                 seminaive::minimum_model(&program, inp, o)
                     .map(drop)
                     .map_err(|e| e.to_string())
@@ -317,13 +335,12 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
         let mut interner = Interner::new();
         let input = generators::random_game(&mut interner, "moves", sizes.win, 3, 0xBEEF);
         let program = parse(programs::WIN, &mut interner);
-        let symbols = interner.len();
         out.push(Case {
             workload: "win",
             engine: "wellfounded",
             threads,
             n: sizes.win as u64,
-            runner: options_runner(input, symbols, threads, move |inp, o| {
+            runner: options_runner(input, interner, threads, move |inp, o| {
                 wellfounded::eval(&program, inp, o)
                     .map(drop)
                     .map_err(|e| e.to_string())
@@ -337,7 +354,6 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
         let mut interner = Interner::new();
         let input = generators::line_graph(&mut interner, "G", sizes.ctc);
         let program = parse(programs::CTC_STRATIFIED, &mut interner);
-        let symbols = interner.len();
         let run: EngineRun = match engine {
             "stratified" => Box::new(move |inp, o| {
                 stratified::eval(&program, inp, o)
@@ -356,7 +372,7 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
             engine,
             threads,
             n: sizes.ctc as u64,
-            runner: options_runner(input, symbols, threads, move |inp, o| run(inp, o)),
+            runner: options_runner(input, interner, threads, move |inp, o| run(inp, o)),
         });
     }
 
@@ -386,13 +402,12 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
             let mut interner = Interner::new();
             let input = build(&mut interner);
             let program = parse(programs::TC, &mut interner);
-            let symbols = interner.len();
             out.push(Case {
                 workload: "magic",
                 engine: "seminaive",
                 threads,
                 n,
-                runner: options_runner(input, symbols, threads, move |inp, o| {
+                runner: options_runner(input, interner, threads, move |inp, o| {
                     seminaive::minimum_model(&program, inp, o)
                         .map(drop)
                         .map_err(|e| e.to_string())
@@ -411,14 +426,18 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
                 engine: "magic",
                 threads,
                 n,
-                runner: Box::new(move || {
-                    let tel = Telemetry::enabled();
+                runner: Box::new(move |tracer| {
+                    let tel = Telemetry::enabled().with_tracer(tracer.clone());
                     let options = EvalOptions::default()
                         .with_telemetry(tel.clone())
                         .with_threads(threads);
                     magic::answer(&program, &query, &input, &mut interner, options)
                         .map_err(|e| e.to_string())?;
-                    harvest(&tel, interner.len(), facts)
+                    let profile = tracer
+                        .is_enabled()
+                        .then(|| hottest_rules(&tracer.finish(), &interner, PROFILE_TOP_N));
+                    let (gauges, threads) = harvest(&tel, interner.len(), facts)?;
+                    Ok((gauges, threads, profile))
                 }),
             });
         }
@@ -436,7 +455,6 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
         let start = interner.get("Start").expect("Start interned");
         let mut input = Instance::new();
         input.insert_fact(start, Tuple::from([Value::Int(0)]));
-        let symbols = interner.len();
         let budget = sizes.invent_stages;
         out.push(Case {
             workload: "invent",
@@ -445,7 +463,7 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
             n: budget as u64,
             runner: options_runner(
                 input,
-                symbols,
+                interner,
                 threads,
                 move |inp, o| match invention::eval(&program, inp, o.with_max_stages(budget)) {
                     Ok(_) | Err(EvalError::StageLimitExceeded(_)) => Ok(()),
@@ -479,6 +497,9 @@ pub struct BenchArgs {
     /// Worker threads for every options-driven case (default 1; the
     /// default registry also carries a fixed `chain/seminaive@4` row).
     pub threads: usize,
+    /// After timing, re-run each case once under the hierarchical
+    /// tracer and print its hottest-rules table.
+    pub profile: bool,
     /// List the registry without running anything.
     pub list: bool,
     /// Print usage and exit 0.
@@ -496,6 +517,7 @@ impl Default for BenchArgs {
             warmup: None,
             threshold: DEFAULT_REGRESSION_THRESHOLD,
             threads: 1,
+            profile: false,
             list: false,
             help: false,
         }
@@ -524,6 +546,9 @@ OPTIONS:
   --threads <N>       worker threads for every engine case (default 1;
                       entries record the count the engine actually used,
                       and parallel rows are keyed `workload/engine@N/n`)
+  --profile           after timing, re-run each case once under the
+                      hierarchical tracer and print its hottest-rules
+                      table (wall time, firings, rounds per rule)
   --list              list the case registry and exit
   --help              this text
 ";
@@ -572,6 +597,7 @@ pub fn parse_bench_args(argv: &[String]) -> Result<BenchArgs, String> {
                 }
                 args.threads = n;
             }
+            "--profile" => args.profile = true,
             "--list" => args.list = true,
             "--help" | "-h" => args.help = true,
             other => return Err(format!("unknown bench option `{other}`")),
@@ -601,8 +627,9 @@ pub fn run_benchmarks(args: &BenchArgs) -> Result<BenchReport, String> {
                 continue;
             }
         }
-        let (samples, last) = measure(rep, &mut case.runner);
-        let (gauges, threads) = last.map_err(|e| format!("{}: {e}", case.label()))?;
+        let off = Tracer::off();
+        let (samples, last) = measure(rep, || (case.runner)(&off));
+        let (gauges, threads, _) = last.map_err(|e| format!("{}: {e}", case.label()))?;
         report.entries.push(BenchEntry {
             workload: case.workload.to_string(),
             engine: case.engine.to_string(),
@@ -620,6 +647,34 @@ pub fn run_benchmarks(args: &BenchArgs) -> Result<BenchReport, String> {
         });
     }
     Ok(report)
+}
+
+/// Runs each (filtered) case once under an enabled [`Tracer`] and
+/// renders a per-case hottest-rules table (the `--profile` pass). Pure
+/// except for the evaluations — no file I/O.
+pub fn profile_benchmarks(args: &BenchArgs) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for mut case in cases(args.quick, args.threads) {
+        if let Some(pat) = &args.filter {
+            if !case.label().contains(pat.as_str()) {
+                continue;
+            }
+        }
+        let tracer = Tracer::enabled();
+        let (_, _, profile) =
+            (case.runner)(&tracer).map_err(|e| format!("{}: {e}", case.label()))?;
+        let _ = writeln!(out, "profile {} (n={})", case.label(), case.n);
+        out.push_str(profile.as_deref().unwrap_or("no rule spans recorded\n"));
+        out.push('\n');
+    }
+    if out.is_empty() {
+        return Err(match &args.filter {
+            Some(pat) => format!("no benchmark case matches filter `{pat}`"),
+            None => "benchmark registry is empty".to_string(),
+        });
+    }
+    Ok(out)
 }
 
 /// The complete bench command: parse, run, print, write `--json`,
@@ -653,6 +708,15 @@ pub fn main_with_args(argv: &[String]) -> u8 {
         }
     };
     print!("{}", report.render_table());
+    if args.profile {
+        match profile_benchmarks(&args) {
+            Ok(tables) => print!("{tables}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    }
     if let Some(path) = &args.json {
         if let Err(e) = std::fs::write(path, report.to_json()) {
             eprintln!("error: cannot write {path}: {e}");
@@ -750,6 +814,8 @@ mod tests {
         assert!(parse_bench_args(&argv("--threshold 0.5")).is_err());
         assert!(parse_bench_args(&argv("--bogus")).is_err());
         assert!(parse_bench_args(&argv("--help")).unwrap().help);
+        assert!(parse_bench_args(&argv("--profile")).unwrap().profile);
+        assert!(!parse_bench_args(&argv("")).unwrap().profile);
         assert_eq!(parse_bench_args(&argv("--threads 4")).unwrap().threads, 4);
         assert_eq!(parse_bench_args(&argv("")).unwrap().threads, 1);
         assert!(parse_bench_args(&argv("--threads 0")).is_err());
@@ -843,6 +909,34 @@ mod tests {
         // The budget bounds the run: one invented fact per stage.
         assert_eq!(e.gauges.stages, e.n);
         assert!(e.gauges.facts_derived >= e.n);
+    }
+
+    #[test]
+    fn profile_pass_prints_hottest_rules_per_case() {
+        let args = BenchArgs {
+            filter: Some("chain/seminaive".into()),
+            quick: true,
+            ..Default::default()
+        };
+        let tables = profile_benchmarks(&args).unwrap();
+        // Both the sequential and the @4 thread-scaling row profile.
+        assert!(
+            tables.contains("profile chain/seminaive (n=16)"),
+            "{tables}"
+        );
+        assert!(
+            tables.contains("profile chain/seminaive@4 (n=16)"),
+            "{tables}"
+        );
+        assert!(tables.contains("hottest rules"), "{tables}");
+        assert!(tables.contains("[T]"), "{tables}");
+        // An unmatched filter is an error here too.
+        let args = BenchArgs {
+            filter: Some("no-such-case".into()),
+            quick: true,
+            ..Default::default()
+        };
+        assert!(profile_benchmarks(&args).is_err());
     }
 
     #[test]

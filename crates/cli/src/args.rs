@@ -100,12 +100,36 @@ pub enum Command {
         /// Worker threads for the semi-naive hot path (None = engine
         /// default, which honors `UNCHAINED_THREADS`).
         threads: Option<usize>,
+        /// Write a Chrome-trace-event profile (Perfetto-loadable) of
+        /// the run's span tree to this path.
+        profile: Option<String>,
+        /// Write the process metrics registry (Prometheus text format)
+        /// to this path after the run.
+        metrics: Option<String>,
     },
     /// Parse and analyze a program: language class, edb/idb,
     /// stratification.
     Check {
         /// Path to the program file.
         program: String,
+    },
+    /// Explain why a fact holds: derivation tree from the provenance
+    /// engine.
+    Explain {
+        /// Path to the program file.
+        program: String,
+        /// Path to the facts file (optional; empty input otherwise).
+        facts: Option<String>,
+        /// The goal fact, e.g. `T(1,3)`.
+        goal: String,
+    },
+    /// Validate a Chrome-trace-event JSON profile written by
+    /// `--profile` (schema + optionally required span kinds).
+    TraceCheck {
+        /// Path to the trace JSON file.
+        file: String,
+        /// Span kinds that must be present (`--expect eval,round,...`).
+        expect: Vec<String>,
     },
     /// Interactive session.
     Repl,
@@ -133,6 +157,11 @@ USAGE:
   unchained eval --semantics <SEM> <PROGRAM.dl> [FACTS.dl] [options]
   unchained run ...            alias for eval
   unchained check <PROGRAM.dl>
+  unchained explain <PROGRAM.dl> [FACTS.dl] <FACT>
+                               derivation tree for a fact, e.g.
+                               `unchained explain tc.dl tc_facts.dl \"T(1,3)\"`
+  unchained trace-check <TRACE.json> [--expect k1,k2,…]
+                               validate a --profile trace file
   unchained repl
   unchained bench [options]     in-repo benchmark harness (BENCH.json);
                                see `unchained bench --help`
@@ -164,6 +193,10 @@ OPTIONS:
   --threads <N>                worker threads for semi-naive rounds
                                (default 1, or the UNCHAINED_THREADS env var;
                                output is identical for every thread count)
+  --profile <PATH>             write a Chrome-trace-event profile of the run
+                               (open in Perfetto / chrome://tracing; one
+                               timeline lane per worker with --threads)
+  --metrics <PATH>             write process metrics (Prometheus text format)
 ";
 
 /// Parses a command line (without the binary name).
@@ -197,6 +230,54 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                 command: Command::Check { program },
             })
         }
+        "explain" | "why" => {
+            let positional: Vec<String> = it.cloned().collect();
+            match positional.len() {
+                2 => Ok(Args {
+                    command: Command::Explain {
+                        program: positional[0].clone(),
+                        facts: None,
+                        goal: positional[1].clone(),
+                    },
+                }),
+                3 => Ok(Args {
+                    command: Command::Explain {
+                        program: positional[0].clone(),
+                        facts: Some(positional[1].clone()),
+                        goal: positional[2].clone(),
+                    },
+                }),
+                _ => Err("explain: expected <PROGRAM> [FACTS] <FACT>".to_string()),
+            }
+        }
+        "trace-check" => {
+            let mut file = None;
+            let mut expect = Vec::new();
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--expect" => {
+                        let v = it.next().ok_or("--expect needs a value")?;
+                        expect.extend(v.split(',').map(|s| s.trim().to_string()));
+                    }
+                    other if other.starts_with('-') => {
+                        return Err(format!("unknown option `{other}`"));
+                    }
+                    path => {
+                        if file.is_none() {
+                            file = Some(path.to_string());
+                        } else {
+                            return Err(format!("unexpected argument `{path}`"));
+                        }
+                    }
+                }
+            }
+            Ok(Args {
+                command: Command::TraceCheck {
+                    file: file.ok_or("trace-check: missing trace file")?,
+                    expect,
+                },
+            })
+        }
         "eval" | "run" => {
             let mut program = None;
             let mut facts = None;
@@ -208,6 +289,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             let mut stats = false;
             let mut trace_json = None;
             let mut threads = None;
+            let mut profile = None;
+            let mut metrics = None;
             while let Some(arg) = it.next() {
                 match arg.as_str() {
                     "--semantics" | "-s" => {
@@ -237,6 +320,12 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     }
                     "--trace-json" => {
                         trace_json = Some(it.next().ok_or("--trace-json needs a path")?.clone());
+                    }
+                    "--profile" => {
+                        profile = Some(it.next().ok_or("--profile needs a path")?.clone());
+                    }
+                    "--metrics" => {
+                        metrics = Some(it.next().ok_or("--metrics needs a path")?.clone());
                     }
                     "--threads" => {
                         let v = it.next().ok_or("--threads needs a value")?;
@@ -272,6 +361,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     stats,
                     trace_json,
                     threads,
+                    profile,
+                    metrics,
                 },
             })
         }
@@ -358,6 +449,76 @@ mod tests {
         assert!(parse_args(&argv("eval -s seminaive p.dl --threads 0")).is_err());
         assert!(parse_args(&argv("eval -s seminaive p.dl --threads nope")).is_err());
         assert!(parse_args(&argv("eval -s seminaive p.dl --threads")).is_err());
+    }
+
+    #[test]
+    fn parse_profile_and_metrics_flags() {
+        let args = parse_args(&argv(
+            "run -s seminaive p.dl --profile out.trace.json --metrics out.prom",
+        ))
+        .unwrap();
+        let Command::Eval {
+            profile, metrics, ..
+        } = args.command
+        else {
+            panic!("expected eval");
+        };
+        assert_eq!(profile.as_deref(), Some("out.trace.json"));
+        assert_eq!(metrics.as_deref(), Some("out.prom"));
+        // Default off; a bare flag is an error.
+        let args = parse_args(&argv("eval -s naive p.dl")).unwrap();
+        let Command::Eval {
+            profile, metrics, ..
+        } = args.command
+        else {
+            panic!("expected eval");
+        };
+        assert!(profile.is_none() && metrics.is_none());
+        assert!(parse_args(&argv("eval -s naive p.dl --profile")).is_err());
+    }
+
+    #[test]
+    fn parse_explain() {
+        assert_eq!(
+            parse_args(&argv("explain p.dl f.dl T(1,3)"))
+                .unwrap()
+                .command,
+            Command::Explain {
+                program: "p.dl".into(),
+                facts: Some("f.dl".into()),
+                goal: "T(1,3)".into(),
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("why p.dl T(1,3)")).unwrap().command,
+            Command::Explain {
+                program: "p.dl".into(),
+                facts: None,
+                goal: "T(1,3)".into(),
+            }
+        );
+        assert!(parse_args(&argv("explain p.dl")).is_err());
+    }
+
+    #[test]
+    fn parse_trace_check() {
+        assert_eq!(
+            parse_args(&argv("trace-check out.json --expect eval,round,rule"))
+                .unwrap()
+                .command,
+            Command::TraceCheck {
+                file: "out.json".into(),
+                expect: vec!["eval".into(), "round".into(), "rule".into()],
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("trace-check out.json")).unwrap().command,
+            Command::TraceCheck {
+                file: "out.json".into(),
+                expect: vec![],
+            }
+        );
+        assert!(parse_args(&argv("trace-check")).is_err());
     }
 
     #[test]

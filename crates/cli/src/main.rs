@@ -32,6 +32,10 @@ fn main() -> ExitCode {
     let (program_path, facts_path) = match &args.command {
         Command::Eval { program, facts, .. } => (Some(program.clone()), facts.clone()),
         Command::Check { program } => (Some(program.clone()), None),
+        Command::Explain { program, facts, .. } => (Some(program.clone()), facts.clone()),
+        // The trace file rides in the "program text" slot; run.rs
+        // validates its contents directly.
+        Command::TraceCheck { file, .. } => (Some(file.clone()), None),
         Command::Repl | Command::Bench { .. } | Command::Fuzz { .. } | Command::Help => {
             (None, None)
         }
@@ -56,16 +60,28 @@ fn main() -> ExitCode {
         },
         None => None,
     };
-    let trace_path = match &args.command {
-        Command::Eval { trace_json, .. } => trace_json.clone(),
-        _ => None,
+    let (trace_path, profile_path, metrics_path) = match &args.command {
+        Command::Eval {
+            trace_json,
+            profile,
+            metrics,
+            ..
+        } => (trace_json.clone(), profile.clone(), metrics.clone()),
+        _ => (None, None, None),
     };
     match execute_full(&args.command, &program_text, facts_text.as_deref()) {
         Ok(out) => {
-            if let (Some(path), Some(json)) = (&trace_path, &out.trace_json) {
-                if let Err(e) = std::fs::write(path, json) {
-                    eprintln!("error: cannot write {path}: {e}");
-                    return ExitCode::FAILURE;
+            let payloads = [
+                (&trace_path, &out.trace_json),
+                (&profile_path, &out.profile_json),
+                (&metrics_path, &out.metrics_text),
+            ];
+            for (path, content) in payloads {
+                if let (Some(path), Some(content)) = (path, content) {
+                    if let Err(e) = std::fs::write(path, content) {
+                        eprintln!("error: cannot write {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
                 }
             }
             print!("{}", out.text);

@@ -50,7 +50,12 @@ Enter Datalog statements (terminated by `.`) or commands:
   .max-stages <n>             stage budget
   .threads <n>                worker threads for semi-naive rounds
   .explain <fact>.            derivation tree of a fact (Datalog only)
+  .why <fact>.                alias of .explain
   .stats [relation]           evaluate with per-stage statistics
+  .profile [relation]         evaluate under the hierarchical tracer and
+                              print the hottest-rules table
+  .metrics                    print the process metrics registry
+                              (Prometheus text format)
   .program                    show the accumulated rules
   .facts                      show the database
   .check                      classify the program
@@ -136,8 +141,17 @@ impl Repl {
                 }
                 _ => format!("bad thread count `{arg}`\n"),
             },
-            "explain" => self.explain(arg),
+            "explain" | "why" => self.explain(arg),
             "stats" => self.query(arg.trim_end_matches('.'), true),
+            "profile" => self.profile(arg.trim_end_matches('.')),
+            "metrics" => {
+                let rendered = unchained_common::metrics().render();
+                if rendered.is_empty() {
+                    "no metrics recorded yet (run a query first)\n".to_string()
+                } else {
+                    rendered
+                }
+            }
             "program" => self.program.display(&self.interner).to_string(),
             "facts" => self.database.display(&self.interner).to_string(),
             "check" => {
@@ -260,6 +274,16 @@ impl Repl {
     /// Evaluates the program and prints `target` (or all idb
     /// relations); with `stats`, appends the per-stage statistics table.
     fn query(&mut self, target: &str, stats: bool) -> String {
+        self.run_eval(target, stats, false)
+    }
+
+    /// Evaluates under the hierarchical tracer and appends the
+    /// hottest-rules table to the answer.
+    fn profile(&mut self, target: &str) -> String {
+        self.run_eval(target, false, true)
+    }
+
+    fn run_eval(&mut self, target: &str, stats: bool, profile: bool) -> String {
         let cmd = crate::args::Command::Eval {
             program: String::new(),
             facts: None,
@@ -275,6 +299,10 @@ impl Repl {
             stats,
             trace_json: None,
             threads: self.threads,
+            // The path is a placeholder: the REPL prints the profiling
+            // table inline and discards the Chrome JSON payload.
+            profile: profile.then(|| "(repl)".to_string()),
+            metrics: None,
         };
         let program_text = self.program.display(&self.interner).to_string();
         // Instance display prints bare facts; the fact-file parser wants
@@ -291,8 +319,8 @@ impl Repl {
                 )
             })
             .collect();
-        match crate::run::execute(&cmd, &program_text, Some(&facts_text)) {
-            Ok(out) => out,
+        match crate::run::execute_full(&cmd, &program_text, Some(&facts_text)) {
+            Ok(out) => out.text,
             Err(e) => format!("error: {e}\n"),
         }
     }
@@ -431,6 +459,39 @@ mod tests {
         assert!(out.contains("usage"), "{out}");
         let out = feed_ok(&mut repl, ".explain T(x,y)");
         assert!(out.contains("ground"), "{out}");
+    }
+
+    #[test]
+    fn why_is_an_alias_of_explain() {
+        let mut repl = Repl::new();
+        feed_ok(&mut repl, "G(1,2).");
+        feed_ok(&mut repl, "T(x,y) :- G(x,y).");
+        let out = feed_ok(&mut repl, ".why T(1,2).");
+        assert!(out.contains("⊢ T(1, 2)"), "{out}");
+    }
+
+    #[test]
+    fn profile_command_prints_hottest_rules() {
+        let mut repl = Repl::new();
+        feed_ok(&mut repl, "G(1,2). G(2,3). G(3,4).");
+        feed_ok(&mut repl, "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).");
+        let out = feed_ok(&mut repl, ".profile T");
+        assert!(out.contains("T(1, 4)"), "{out}");
+        assert!(out.contains("hottest rules"), "{out}");
+        // Plain queries stay profile-free.
+        let out = feed_ok(&mut repl, "? T");
+        assert!(!out.contains("hottest rules"), "{out}");
+    }
+
+    #[test]
+    fn metrics_command_scrapes_the_registry() {
+        let mut repl = Repl::new();
+        feed_ok(&mut repl, "G(1,2).");
+        feed_ok(&mut repl, "T(x,y) :- G(x,y).");
+        feed_ok(&mut repl, "? T");
+        let out = feed_ok(&mut repl, ".metrics");
+        assert!(out.contains("unchained_eval_runs_total"), "{out}");
+        assert!(out.contains("unchained_eval_wall_seconds"), "{out}");
     }
 
     #[test]

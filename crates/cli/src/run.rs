@@ -1,24 +1,33 @@
 //! Command execution: load, evaluate, render.
 
 use crate::args::{Command, Semantics};
-use unchained_common::{Instance, Interner, Telemetry};
+use unchained_common::{
+    hottest_rules, to_chrome_json, validate_chrome_trace, Instance, Interner, Telemetry, Tracer,
+    Tuple, TIME_BUCKETS,
+};
 use unchained_core::{
-    inflationary, invention, naive, noninflationary, seminaive, stratified, wellfounded,
-    EvalOptions,
+    inflationary, invention, naive, noninflationary, provenance, seminaive, stratified,
+    wellfounded, EvalOptions,
 };
 use unchained_nondet::{effect, poss_cert, EffOptions, NondetProgram, RandomChooser};
-use unchained_parser::{classify, parse_facts, parse_program, DependencyGraph, Program};
+use unchained_parser::{
+    classify, parse_facts, parse_program, DependencyGraph, HeadLiteral, Program, Term,
+};
 use unchained_while::parse_while_program;
 
-/// The outcome of a command: the text to print plus, when
-/// `--trace-json` was requested, the JSON-lines trace content for the
-/// caller to write to the requested path (this module stays I/O-free).
+/// The outcome of a command: the text to print plus any side-channel
+/// payloads (`--trace-json`, `--profile`, `--metrics`) for the caller
+/// to write to the requested paths (this module stays I/O-free).
 #[derive(Clone, Debug)]
 pub struct ExecOutput {
     /// The text to print to stdout.
     pub text: String,
     /// JSON-lines trace content, when `--trace-json` was given.
     pub trace_json: Option<String>,
+    /// Chrome-trace-event profile JSON, when `--profile` was given.
+    pub profile_json: Option<String>,
+    /// Prometheus text exposition, when `--metrics` was given.
+    pub metrics_text: Option<String>,
 }
 
 /// Executes a parsed command against file contents already read by the
@@ -42,6 +51,8 @@ pub fn execute_full(
     let plain = |text: String| ExecOutput {
         text,
         trace_json: None,
+        profile_json: None,
+        metrics_text: None,
     };
     match command {
         Command::Help => Ok(plain(crate::args::USAGE.to_string())),
@@ -68,15 +79,21 @@ pub fn execute_full(
             stats,
             trace_json,
             threads,
+            profile,
+            metrics,
             ..
         } => {
             let mut interner = Interner::new();
             let want_trace = *stats || trace_json.is_some();
-            let tel = if want_trace {
+            let mut tel = if want_trace {
                 Telemetry::enabled()
             } else {
                 Telemetry::off()
             };
+            if profile.is_some() {
+                tel = tel.with_tracer(Tracer::enabled());
+            }
+            let wall = std::time::Instant::now();
             let evaluated = if *semantics == Semantics::WhileLang {
                 eval_while(
                     program_text,
@@ -113,6 +130,16 @@ pub fn execute_full(
                 .map(|answer| render_answer(&answer, output.as_deref(), &program, &interner))
             };
             tel.with(|t| t.interner_symbols = interner.len());
+            // Process-wide metrics: every run counts, errors separately.
+            let engine = semantics.to_string();
+            let registry = unchained_common::metrics();
+            registry.counter_add("unchained_eval_runs_total", &[("engine", &engine)], 1);
+            registry.histogram_observe(
+                "unchained_eval_wall_seconds",
+                &[("engine", &engine)],
+                wall.elapsed().as_secs_f64(),
+                &TIME_BUCKETS,
+            );
             match evaluated {
                 Ok(mut text) => {
                     if *stats {
@@ -124,12 +151,26 @@ pub fn execute_full(
                         Some(_) => tel.snapshot().map(|t| t.to_json_lines(&interner)),
                         None => None,
                     };
+                    let profile_json = profile.as_ref().map(|_| {
+                        let roots = tel.tracer().finish();
+                        registry.gauge_set(
+                            "unchained_trace_spans",
+                            &[("engine", &engine)],
+                            span_count(&roots) as f64,
+                        );
+                        text.push_str(&hottest_rules(&roots, &interner, 10));
+                        to_chrome_json(&roots, &interner)
+                    });
+                    let metrics_text = metrics.as_ref().map(|_| registry.render());
                     Ok(ExecOutput {
                         text,
                         trace_json: json,
+                        profile_json,
+                        metrics_text,
                     })
                 }
                 Err(mut message) => {
+                    registry.counter_add("unchained_eval_errors_total", &[("engine", &engine)], 1);
                     // Engines finish their trace even on divergence or
                     // budget errors; surface it with the failure.
                     if *stats {
@@ -144,7 +185,58 @@ pub fn execute_full(
                 }
             }
         }
+        Command::Explain { goal, .. } => {
+            let mut interner = Interner::new();
+            let program = parse_program(program_text, &mut interner).map_err(|e| e.to_string())?;
+            let input = match facts_text {
+                Some(text) => parse_facts(text, &mut interner).map_err(|e| e.to_string())?,
+                None => Instance::new(),
+            };
+            let (pred, tuple) = parse_goal_fact(goal, &mut interner)?;
+            let run =
+                provenance::minimum_model_with_provenance(&program, &input, EvalOptions::default())
+                    .map_err(|e| format!("{e} (explain requires pure Datalog)"))?;
+            Ok(plain(provenance::explain(&run, pred, &tuple, &interner)))
+        }
+        Command::TraceCheck { expect, .. } => {
+            let kinds: Vec<&str> = expect.iter().map(String::as_str).collect();
+            let mut summary = validate_chrome_trace(program_text, &kinds)?;
+            if !summary.ends_with('\n') {
+                summary.push('\n');
+            }
+            Ok(plain(summary))
+        }
     }
+}
+
+/// Parses a ground goal fact like `T(1,3)` into its predicate and tuple.
+fn parse_goal_fact(
+    goal: &str,
+    interner: &mut Interner,
+) -> Result<(unchained_common::Symbol, Tuple), String> {
+    let text = goal.trim().trim_end_matches('.');
+    let parsed = parse_program(&format!("{text}."), interner).map_err(|e| e.to_string())?;
+    let atom = parsed
+        .rules
+        .first()
+        .filter(|r| r.body.is_empty() && r.head.len() == 1)
+        .and_then(|r| r.head.first())
+        .and_then(HeadLiteral::atom)
+        .ok_or_else(|| format!("explain: `{text}` is not a single fact"))?;
+    let mut values = Vec::new();
+    for term in &atom.args {
+        match term {
+            Term::Const(v) => values.push(*v),
+            Term::Var(_) => return Err("explain needs a ground fact".to_string()),
+        }
+    }
+    Ok((atom.pred, Tuple::from(values)))
+}
+
+/// Total number of spans in a forest (for the `unchained_trace_spans`
+/// gauge).
+fn span_count(roots: &[unchained_common::Span]) -> usize {
+    roots.iter().map(|s| 1 + span_count(&s.children)).sum()
 }
 
 /// Evaluates a while-language program file.
@@ -567,6 +659,96 @@ mod tests {
             execute_full(&eval_cmd("seminaive"), "T(x,y) :- G(x,y).", Some("G(1,2).")).unwrap();
         assert!(!out.text.contains("engine:"));
         assert!(out.trace_json.is_none());
+    }
+
+    #[test]
+    fn profile_flag_yields_chrome_trace() {
+        let out = execute_full(
+            &eval_cmd_with("seminaive", "--profile out.trace.json"),
+            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).",
+            Some("G(1,2). G(2,3). G(3,4)."),
+        )
+        .unwrap();
+        // The answer text gains the hottest-rules table…
+        assert!(out.text.contains("hottest rules"), "{}", out.text);
+        // …and the payload is a valid Chrome trace with the core kinds.
+        let json = out.profile_json.expect("profile json");
+        let summary = validate_chrome_trace(&json, &["eval", "stratum", "round", "rule"]).unwrap();
+        assert!(summary.contains("eval"), "{summary}");
+        assert!(out.trace_json.is_none());
+        assert!(out.metrics_text.is_none());
+    }
+
+    #[test]
+    fn metrics_flag_renders_prometheus_text() {
+        let out = execute_full(
+            &eval_cmd_with("naive", "--metrics out.prom"),
+            "T(x) :- G(x).",
+            Some("G(1)."),
+        )
+        .unwrap();
+        let prom = out.metrics_text.expect("metrics text");
+        assert!(
+            prom.contains("unchained_eval_runs_total{engine=\"naive\"}"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("# TYPE unchained_eval_wall_seconds histogram"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("unchained_eval_wall_seconds_bucket"),
+            "{prom}"
+        );
+    }
+
+    #[test]
+    fn explain_command_prints_derivation_tree() {
+        let cmd = parse_args(&["explain", "p.dl", "f.dl", "T(1,3)"].map(String::from))
+            .unwrap()
+            .command;
+        let out = execute(
+            &cmd,
+            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).",
+            Some("G(1,2). G(2,3)."),
+        )
+        .unwrap();
+        assert!(out.contains("⊢ T(1, 3)"), "{out}");
+        assert!(out.contains("(given)"), "{out}");
+        // Non-facts and non-ground goals are rejected.
+        let cmd = parse_args(&["why", "p.dl", "T(x,y)"].map(String::from))
+            .unwrap()
+            .command;
+        let err = execute(&cmd, "T(x,y) :- G(x,y).", None).unwrap_err();
+        assert!(err.contains("ground"), "{err}");
+    }
+
+    #[test]
+    fn trace_check_validates_profile_output() {
+        let out = execute_full(
+            &eval_cmd_with("seminaive", "--profile p.json"),
+            "T(x,y) :- G(x,y).",
+            Some("G(1,2)."),
+        )
+        .unwrap();
+        let json = out.profile_json.unwrap();
+        let cmd =
+            parse_args(&["trace-check", "t.json", "--expect", "eval,round"].map(String::from))
+                .unwrap()
+                .command;
+        // The trace file content travels in the program-text slot.
+        let summary = execute(&cmd, &json, None).unwrap();
+        assert!(summary.contains("kinds:"), "{summary}");
+        // A missing kind or broken JSON is an error (seminaive emits no
+        // Phase spans).
+        let cmd = parse_args(&["trace-check", "t.json", "--expect", "phase"].map(String::from))
+            .unwrap()
+            .command;
+        assert!(execute(&cmd, &json, None).is_err());
+        let cmd = parse_args(&["trace-check", "t.json"].map(String::from))
+            .unwrap()
+            .command;
+        assert!(execute(&cmd, "not json", None).is_err());
     }
 
     #[test]

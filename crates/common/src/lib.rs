@@ -25,10 +25,12 @@ pub mod hash;
 pub mod instance;
 pub mod interner;
 pub mod json;
+pub mod metrics;
 pub mod relation;
 pub mod rng;
 pub mod schema;
 pub mod telemetry;
+pub mod trace;
 pub mod tuple;
 pub mod value;
 
@@ -41,11 +43,16 @@ pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use instance::{DeltaHandle, Instance};
 pub use interner::{Interner, Symbol};
 pub use json::{Json, JsonError};
+pub use metrics::{metrics, Registry, TIME_BUCKETS};
 pub use relation::{Generation, Index, Relation};
 pub use rng::Rng;
 pub use schema::{RelationSchema, Schema};
 pub use telemetry::{
     DivergenceSnapshot, EvalTrace, JoinCounters, StageRecord, Stopwatch, Telemetry,
+};
+pub use trace::{
+    gauge_tree, hottest_rules, sum_gauge, to_chrome_json, validate_chrome_trace, Span, SpanGuard,
+    SpanKind, Tracer,
 };
 pub use tuple::Tuple;
 pub use value::Value;

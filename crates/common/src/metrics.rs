@@ -1,0 +1,344 @@
+//! A process-wide metrics registry with Prometheus-style text
+//! exposition — the hook a future server daemon scrapes.
+//!
+//! Three instrument kinds, all zero-dependency and thread-safe:
+//! counters (monotonic `u64`), gauges (last-write `f64`), and
+//! histograms (cumulative buckets + sum + count). Series are keyed by
+//! metric name plus a sorted label set; [`render`] emits the standard
+//! text format (`# TYPE` headers, `name{label="v"} value`, histogram
+//! `_bucket`/`_sum`/`_count` series) deterministically sorted, so tests
+//! and `scripts/check.sh` can scrape it with plain `grep`.
+//!
+//! Naming convention (see DESIGN.md, Observability): every series is
+//! `unchained_<subsystem>_<quantity>[_<unit>]`, counters end in
+//! `_total`, and histograms carry their unit (`_seconds`).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use crate::telemetry::json_escape;
+
+/// Default histogram buckets for wall-clock seconds: exponential from
+/// 100µs to ~100s, fitting everything from REPL one-liners to the
+/// largest bench workloads.
+pub const TIME_BUCKETS: [f64; 10] = [
+    0.0001, 0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 30.0, 100.0,
+];
+
+#[derive(Clone, Debug)]
+enum Series {
+    Counter(u64),
+    Gauge(f64),
+    Histogram {
+        bounds: Vec<f64>,
+        counts: Vec<u64>,
+        sum: f64,
+        count: u64,
+    },
+}
+
+impl Series {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Series::Counter(_) => "counter",
+            Series::Gauge(_) => "gauge",
+            Series::Histogram { .. } => "histogram",
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryState {
+    // metric name → (label-set rendering → series)
+    metrics: BTreeMap<String, BTreeMap<String, Series>>,
+}
+
+/// The process-wide registry behind [`metrics`].
+pub struct Registry {
+    state: Mutex<RegistryState>,
+}
+
+/// The global registry (created on first use).
+pub fn metrics() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        state: Mutex::new(RegistryState::default()),
+    })
+}
+
+/// Renders a label set as `{k="v",…}` with keys sorted (empty string
+/// for no labels), which doubles as the series key.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    let mut out = String::from("{");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", json_escape(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Inserts `extra` (e.g. an `le` bucket bound) into an already-rendered
+/// label key.
+fn with_extra_label(key: &str, extra: &str) -> String {
+    if key.is_empty() {
+        format!("{{{extra}}}")
+    } else {
+        format!("{},{extra}}}", &key[..key.len() - 1])
+    }
+}
+
+fn fmt_bound(b: f64) -> String {
+    if b == f64::INFINITY {
+        "+Inf".to_string()
+    } else if b == b.trunc() && b.abs() < 1e15 {
+        format!("{b:.1}")
+    } else {
+        format!("{b}")
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    fn with_series<R>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Series,
+        update: impl FnOnce(&mut Series) -> R,
+    ) -> R {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let series = state
+            .metrics
+            .entry(name.to_string())
+            .or_default()
+            .entry(label_key(labels))
+            .or_insert_with(make);
+        update(series)
+    }
+
+    /// Adds to a monotonic counter (created at 0 on first use).
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        self.with_series(
+            name,
+            labels,
+            || Series::Counter(0),
+            |s| {
+                if let Series::Counter(v) = s {
+                    *v += delta;
+                }
+            },
+        );
+    }
+
+    /// Sets a gauge to the given value.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.with_series(
+            name,
+            labels,
+            || Series::Gauge(0.0),
+            |s| {
+                if let Series::Gauge(v) = s {
+                    *v = value;
+                }
+            },
+        );
+    }
+
+    /// Records an observation into a histogram. `bounds` fixes the
+    /// bucket upper bounds on first use (later calls may pass the same
+    /// or an empty slice; an implicit `+Inf` bucket always exists).
+    pub fn histogram_observe(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: f64,
+        bounds: &[f64],
+    ) {
+        self.with_series(
+            name,
+            labels,
+            || Series::Histogram {
+                bounds: bounds.to_vec(),
+                counts: vec![0; bounds.len() + 1],
+                sum: 0.0,
+                count: 0,
+            },
+            |s| {
+                if let Series::Histogram {
+                    bounds,
+                    counts,
+                    sum,
+                    count,
+                } = s
+                {
+                    let idx = bounds
+                        .iter()
+                        .position(|b| value <= *b)
+                        .unwrap_or(bounds.len());
+                    counts[idx] += 1;
+                    *sum += value;
+                    *count += 1;
+                }
+            },
+        );
+    }
+
+    /// Renders every series in the Prometheus text exposition format.
+    pub fn render(&self) -> String {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out = String::new();
+        for (name, series_map) in &state.metrics {
+            let Some(first) = series_map.values().next() else {
+                continue;
+            };
+            let _ = writeln!(out, "# TYPE {name} {}", first.type_name());
+            for (labels, series) in series_map {
+                match series {
+                    Series::Counter(v) => {
+                        let _ = writeln!(out, "{name}{labels} {v}");
+                    }
+                    Series::Gauge(v) => {
+                        let _ = writeln!(out, "{name}{labels} {}", fmt_value(*v));
+                    }
+                    Series::Histogram {
+                        bounds,
+                        counts,
+                        sum,
+                        count,
+                    } => {
+                        let mut cumulative = 0u64;
+                        for (i, c) in counts.iter().enumerate() {
+                            cumulative += c;
+                            let bound = bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                            let le = format!("le=\"{}\"", fmt_bound(bound));
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cumulative}",
+                                with_extra_label(labels, &le)
+                            );
+                        }
+                        let _ = writeln!(out, "{name}_sum{labels} {}", fmt_value(*sum));
+                        let _ = writeln!(out, "{name}_count{labels} {count}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Clears every series (tests only — metrics are process-global).
+    pub fn reset(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .metrics
+            .clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One registry instance private to the test (the global one is
+    /// shared with every other test in the process).
+    fn fresh() -> Registry {
+        Registry {
+            state: Mutex::new(RegistryState::default()),
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let r = fresh();
+        r.counter_add("unchained_eval_runs_total", &[("engine", "naive")], 1);
+        r.counter_add("unchained_eval_runs_total", &[("engine", "naive")], 2);
+        r.counter_add("unchained_eval_runs_total", &[("engine", "magic")], 1);
+        let text = r.render();
+        assert!(
+            text.contains("# TYPE unchained_eval_runs_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("unchained_eval_runs_total{engine=\"naive\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("unchained_eval_runs_total{engine=\"magic\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn gauges_take_last_value_and_labels_sort() {
+        let r = fresh();
+        r.gauge_set("g", &[("b", "2"), ("a", "1")], 5.0);
+        r.gauge_set("g", &[("a", "1"), ("b", "2")], 7.5);
+        let text = r.render();
+        assert!(text.contains("g{a=\"1\",b=\"2\"} 7.5"), "{text}");
+        // Unlabelled series render bare.
+        r.gauge_set("h", &[], 3.0);
+        assert!(r.render().contains("\nh 3\n"), "{}", r.render());
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = fresh();
+        for v in [0.0005, 0.002, 0.002, 50.0] {
+            r.histogram_observe("wall_seconds", &[("engine", "x")], v, &[0.001, 0.01, 1.0]);
+        }
+        let text = r.render();
+        assert!(text.contains("# TYPE wall_seconds histogram"), "{text}");
+        assert!(
+            text.contains("wall_seconds_bucket{engine=\"x\",le=\"0.001\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wall_seconds_bucket{engine=\"x\",le=\"0.01\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wall_seconds_bucket{engine=\"x\",le=\"1.0\"} 3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wall_seconds_bucket{engine=\"x\",le=\"+Inf\"} 4"),
+            "{text}"
+        );
+        assert!(
+            text.contains("wall_seconds_count{engine=\"x\"} 4"),
+            "{text}"
+        );
+        assert!(text.contains("wall_seconds_sum{engine=\"x\"} "), "{text}");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        metrics().counter_add("unchained_test_shared_total", &[], 1);
+        assert!(metrics().render().contains("unchained_test_shared_total"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let r = fresh();
+        r.counter_add("c", &[], 1);
+        r.reset();
+        assert_eq!(r.render(), "");
+    }
+}

@@ -17,6 +17,8 @@ use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
+use crate::json::Json;
+use crate::trace::Tracer;
 use crate::{Interner, Symbol};
 
 /// Join-work counters, accumulated branch-free on the index cache.
@@ -77,7 +79,7 @@ impl JoinCounters {
 /// One application of the immediate consequence operator (or the
 /// engine's closest analogue: a semi-naive round, an alternating-fixpoint
 /// iterate, a nondeterministic firing step…).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StageRecord {
     /// 1-based stage index within the run.
     pub stage: usize,
@@ -96,7 +98,7 @@ pub struct StageRecord {
 }
 
 /// Snapshot of the noninflationary divergence detector at run end.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DivergenceSnapshot {
     /// Detector kind: `"exact"`, `"fingerprint"`, or `"off"`.
     pub detector: String,
@@ -109,7 +111,7 @@ pub struct DivergenceSnapshot {
 }
 
 /// A full evaluation trace: per-stage records plus run-level summary.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EvalTrace {
     /// Engine that produced the trace (`"naive"`, `"seminaive"`, …).
     pub engine: String,
@@ -231,17 +233,177 @@ impl EvalTrace {
                 s.stage, s.wall_nanos, s.facts_added, s.facts_removed, s.rules_fired
             );
             out.push_str(",\"delta\":{");
-            for (i, (pred, n)) in s.delta.iter().enumerate() {
+            // Name order, matching the object normalization applied by
+            // `from_json_lines` — keeps the round-trip exact.
+            let mut delta: Vec<(&str, usize)> = s
+                .delta
+                .iter()
+                .map(|(pred, n)| (interner.name(*pred), *n))
+                .collect();
+            delta.sort_unstable();
+            for (i, (pred, n)) in delta.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
-                let _ = write!(out, "\"{}\":{}", json_escape(interner.name(*pred)), n);
+                let _ = write!(out, "\"{}\":{}", json_escape(pred), n);
             }
             out.push_str("},\"joins\":");
             push_joins(&mut out, &s.joins);
             out.push_str("}\n");
         }
         out
+    }
+
+    /// Parses a trace back from its [`to_json_lines`](Self::to_json_lines)
+    /// rendering. Predicate names re-intern through `interner`; the
+    /// result compares equal (`PartialEq`) to the emitted trace whenever
+    /// the same interner produced the names, so the round-trip drift
+    /// test in `crates/common/tests/format_roundtrip.rs` can hold the
+    /// emitter and this parser to one schema.
+    pub fn from_json_lines(text: &str, interner: &mut Interner) -> Result<EvalTrace, String> {
+        let joins_of = |v: &Json, what: &str| -> Result<JoinCounters, String> {
+            let field = |key: &str| {
+                v.get(key)
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{what}: missing joins.{key}"))
+            };
+            Ok(JoinCounters {
+                probes: field("probes")?,
+                probe_tuples: field("probe_tuples")?,
+                index_builds: field("index_builds")?,
+                indexed_tuples: field("indexed_tuples")?,
+                index_hits: field("index_hits")?,
+                index_appends: field("index_appends")?,
+                appended_tuples: field("appended_tuples")?,
+                index_rebuilds: field("index_rebuilds")?,
+            })
+        };
+
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let run_line = lines.next().ok_or("empty trace")?;
+        let run = Json::parse(run_line).map_err(|e| format!("run line: {e}"))?;
+        if run.get("type").and_then(Json::as_str) != Some("run") {
+            return Err("first line is not a `run` object".into());
+        }
+        let req_u64 = |key: &str| {
+            run.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("run: missing `{key}`"))
+        };
+        let req_usize = |key: &str| {
+            run.get(key)
+                .and_then(Json::as_usize)
+                .ok_or_else(|| format!("run: missing `{key}`"))
+        };
+        let mut trace = EvalTrace {
+            engine: run
+                .get("engine")
+                .and_then(Json::as_str)
+                .ok_or("run: missing `engine`")?
+                .to_string(),
+            total_wall_nanos: req_u64("total_wall_nanos")?,
+            peak_facts: req_usize("peak_facts")?,
+            final_facts: req_usize("final_facts")?,
+            rules_fired: req_u64("rules_fired")?,
+            joins: joins_of(run.get("joins").ok_or("run: missing `joins`")?, "run")?,
+            invented: req_usize("invented")?,
+            loop_iterations: req_usize("loop_iterations")?,
+            interner_symbols: req_usize("interner_symbols")?,
+            threads: req_usize("threads")?,
+            ..EvalTrace::default()
+        };
+        trace.divergence = match run.get("divergence").ok_or("run: missing `divergence`")? {
+            Json::Null => None,
+            d => Some(DivergenceSnapshot {
+                detector: d
+                    .get("detector")
+                    .and_then(Json::as_str)
+                    .ok_or("divergence: missing `detector`")?
+                    .to_string(),
+                states_seen: d
+                    .get("states_seen")
+                    .and_then(Json::as_usize)
+                    .ok_or("divergence: missing `states_seen`")?,
+                diverged_stage: d.get("diverged_stage").and_then(Json::as_usize),
+                period: d.get("period").and_then(Json::as_usize),
+            }),
+        };
+        for c in run
+            .get("choice_points")
+            .and_then(Json::as_arr)
+            .ok_or("run: missing `choice_points`")?
+        {
+            trace
+                .choice_points
+                .push(c.as_usize().ok_or("choice_points: non-integer entry")?);
+        }
+        for n in run
+            .get("notes")
+            .and_then(Json::as_arr)
+            .ok_or("run: missing `notes`")?
+        {
+            trace
+                .notes
+                .push(n.as_str().ok_or("notes: non-string entry")?.to_string());
+        }
+        let declared_stages = req_usize("stages")?;
+
+        for line in lines {
+            let what = "stage line";
+            let stage = Json::parse(line).map_err(|e| format!("{what}: {e}"))?;
+            if stage.get("type").and_then(Json::as_str) != Some("stage") {
+                return Err(format!("{what}: not a `stage` object"));
+            }
+            let mut record = StageRecord {
+                stage: stage
+                    .get("stage")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| format!("{what}: missing `stage`"))?,
+                wall_nanos: stage
+                    .get("wall_nanos")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{what}: missing `wall_nanos`"))?,
+                facts_added: stage
+                    .get("facts_added")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| format!("{what}: missing `facts_added`"))?,
+                facts_removed: stage
+                    .get("facts_removed")
+                    .and_then(Json::as_usize)
+                    .ok_or_else(|| format!("{what}: missing `facts_removed`"))?,
+                rules_fired: stage
+                    .get("rules_fired")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{what}: missing `rules_fired`"))?,
+                joins: joins_of(
+                    stage
+                        .get("joins")
+                        .ok_or_else(|| format!("{what}: missing `joins`"))?,
+                    what,
+                )?,
+                ..StageRecord::default()
+            };
+            match stage.get("delta") {
+                Some(Json::Obj(members)) => {
+                    for (pred, n) in members {
+                        record.delta.push((
+                            interner.intern(pred),
+                            n.as_usize()
+                                .ok_or_else(|| format!("{what}: non-integer delta"))?,
+                        ));
+                    }
+                }
+                _ => return Err(format!("{what}: missing `delta` object")),
+            }
+            trace.stages.push(record);
+        }
+        if trace.stages.len() != declared_stages {
+            return Err(format!(
+                "run declares {declared_stages} stages but {} stage lines follow",
+                trace.stages.len()
+            ));
+        }
+        Ok(trace)
     }
 
     /// Renders the trace as a human-readable statistics table.
@@ -434,19 +596,39 @@ impl Stopwatch {
 #[derive(Clone, Debug, Default)]
 pub struct Telemetry {
     sink: Option<Arc<Mutex<EvalTrace>>>,
+    tracer: Tracer,
 }
 
 impl Telemetry {
     /// The disabled (no-op) handle.
     pub fn off() -> Self {
-        Telemetry { sink: None }
+        Telemetry {
+            sink: None,
+            tracer: Tracer::off(),
+        }
     }
 
-    /// An enabled handle with an empty trace.
+    /// An enabled handle with an empty trace (span tracing stays off —
+    /// see [`with_tracer`](Self::with_tracer)).
     pub fn enabled() -> Self {
         Telemetry {
             sink: Some(Arc::new(Mutex::new(EvalTrace::default()))),
+            tracer: Tracer::off(),
         }
+    }
+
+    /// This handle with the given span tracer attached. The tracer
+    /// rides inside the telemetry handle through `EvalOptions` into
+    /// every engine, so span emission needs no signature changes.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached span tracer (disabled unless one was attached).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Whether this handle records anything.

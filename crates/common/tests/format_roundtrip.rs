@@ -166,6 +166,23 @@ fn trace_json_lines_round_trip() {
     }
 }
 
+#[test]
+fn trace_parses_back_via_from_json_lines() {
+    let mut interner = Interner::new();
+    let trace = sample_trace(&mut interner);
+    let text = trace.to_json_lines(&interner);
+    // Emitter → parser: the structures compare equal…
+    let parsed = EvalTrace::from_json_lines(&text, &mut interner).unwrap();
+    assert_eq!(parsed, trace);
+    // …and re-emission is byte-identical, so any schema drift between
+    // the writer and the reader breaks this test.
+    assert_eq!(parsed.to_json_lines(&interner), text);
+    // Malformed inputs are rejected with messages, not panics.
+    assert!(EvalTrace::from_json_lines("", &mut interner).is_err());
+    assert!(EvalTrace::from_json_lines("{\"type\":\"stage\"}", &mut interner).is_err());
+    assert!(EvalTrace::from_json_lines("not json", &mut interner).is_err());
+}
+
 fn sample_report() -> BenchReport {
     let mut report = BenchReport::default();
     for (workload, engine, median) in [

@@ -18,7 +18,7 @@ use crate::eval::{
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::{Instance, StageRecord, Symbol};
+use unchained_common::{Instance, SpanKind, StageRecord, Symbol};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
 /// Merges `new_facts` into `instance`, reporting whether anything
@@ -75,6 +75,8 @@ pub fn eval(
     let tel = &options.telemetry;
     tel.begin("inflationary");
     let run_sw = tel.stopwatch();
+    let tracer = tel.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "inflationary");
 
     let mut stages = 0;
     loop {
@@ -82,6 +84,7 @@ pub fn eval(
         if options.max_stages.is_some_and(|m| stages > m) {
             return Err(EvalError::StageLimitExceeded(stages - 1));
         }
+        let round_guard = tracer.span(SpanKind::Round, format!("round {stages}"));
         let stage_sw = tel.stopwatch();
         let joins_before = cache.counters;
         let mut fired: u64 = 0;
@@ -107,12 +110,20 @@ pub fn eval(
                 },
             );
         }
-        let (changed, delta) = merge_new_facts(&mut instance, new_facts, tel.is_enabled());
+        let (changed, delta) = merge_new_facts(
+            &mut instance,
+            new_facts,
+            tel.is_enabled() || tracer.is_enabled(),
+        );
+        let added: usize = delta.iter().map(|(_, n)| n).sum();
+        tracer.gauge("facts_added", added as u64);
+        tracer.gauge("rules_fired", fired);
+        drop(round_guard);
         tel.with(|t| {
             t.stages.push(StageRecord {
                 stage: stages,
                 wall_nanos: stage_sw.nanos(),
-                facts_added: delta.iter().map(|(_, n)| n).sum(),
+                facts_added: added,
                 facts_removed: 0,
                 rules_fired: fired,
                 delta,
@@ -121,6 +132,9 @@ pub fn eval(
             t.peak_facts = t.peak_facts.max(instance.fact_count());
         });
         if !changed {
+            tracer.gauge("rounds", stages as u64);
+            tracer.gauge("final_facts", instance.fact_count() as u64);
+            drop(eval_guard);
             tel.finish(&run_sw, instance.fact_count());
             return Ok(FixpointRun { instance, stages });
         }
@@ -164,6 +178,9 @@ pub fn eval_seminaive(
     let mut cache = IndexCache::new();
     options.telemetry.begin("inflationary-seminaive");
     let run_sw = options.telemetry.stopwatch();
+    let tracer = options.telemetry.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "inflationary-seminaive");
+    let stratum_guard = tracer.span(SpanKind::Stratum, "stratum 0");
     let stages = crate::seminaive::seminaive_fixpoint(
         &rules,
         &mut instance,
@@ -172,6 +189,11 @@ pub fn eval_seminaive(
         &mut cache,
         &options,
     )?;
+    tracer.gauge("rounds", stages as u64);
+    tracer.gauge("rules", rules.len() as u64);
+    drop(stratum_guard);
+    tracer.gauge("final_facts", instance.fact_count() as u64);
+    drop(eval_guard);
     options.telemetry.finish(&run_sw, instance.fact_count());
     Ok(FixpointRun { instance, stages })
 }
@@ -226,6 +248,8 @@ pub fn eval_traced(
     let tel = &options.telemetry;
     tel.begin("inflationary-traced");
     let run_sw = tel.stopwatch();
+    let tracer = tel.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "inflationary-traced");
 
     let mut stages = 0;
     loop {
@@ -233,6 +257,7 @@ pub fn eval_traced(
         if options.max_stages.is_some_and(|m| stages > m) {
             return Err(EvalError::StageLimitExceeded(stages - 1));
         }
+        let round_guard = tracer.span(SpanKind::Round, format!("round {stages}"));
         let stage_sw = tel.stopwatch();
         let joins_before = cache.counters;
         let mut fired: u64 = 0;
@@ -256,7 +281,7 @@ pub fn eval_traced(
                 },
             );
         }
-        let enabled = tel.is_enabled();
+        let enabled = tel.is_enabled() || tracer.is_enabled();
         let mut changed = false;
         let mut delta: Vec<(Symbol, usize)> = Vec::new();
         for (pred, tuple) in new_facts {
@@ -271,11 +296,15 @@ pub fn eval_traced(
                 }
             }
         }
+        let added: usize = delta.iter().map(|(_, n)| n).sum();
+        tracer.gauge("facts_added", added as u64);
+        tracer.gauge("rules_fired", fired);
+        drop(round_guard);
         tel.with(|t| {
             t.stages.push(StageRecord {
                 stage: stages,
                 wall_nanos: stage_sw.nanos(),
-                facts_added: delta.iter().map(|(_, n)| n).sum(),
+                facts_added: added,
                 facts_removed: 0,
                 rules_fired: fired,
                 delta: std::mem::take(&mut delta),
@@ -284,6 +313,9 @@ pub fn eval_traced(
             t.peak_facts = t.peak_facts.max(instance.fact_count());
         });
         if !changed {
+            tracer.gauge("rounds", stages as u64);
+            tracer.gauge("final_facts", instance.fact_count() as u64);
+            drop(eval_guard);
             tel.finish(&run_sw, instance.fact_count());
             return Ok(TracedRun {
                 instance,

@@ -32,7 +32,7 @@ use crate::eval::{
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::{FxHashSet, Instance, StageRecord, Symbol, Value};
+use unchained_common::{FxHashSet, Instance, SpanKind, StageRecord, Symbol, Value};
 use unchained_parser::{check_range_restricted, features, HeadLiteral, Language, Program, Var};
 
 /// Result of a Datalog¬new run: the fixpoint plus invention statistics.
@@ -109,6 +109,8 @@ pub fn eval(
     let tel = options.telemetry.clone();
     tel.begin("invention");
     let run_sw = tel.stopwatch();
+    let tracer = tel.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "invention");
     let mut stages = 0;
     loop {
         stages += 1;
@@ -116,6 +118,7 @@ pub fn eval(
             tel.finish(&run_sw, instance.fact_count());
             return Err(EvalError::StageLimitExceeded(stages - 1));
         }
+        let round_guard = tracer.span(SpanKind::Round, format!("round {stages}"));
         let stage_sw = tel.stopwatch();
         let joins_before = cache.counters;
         let mut rules_fired: u64 = 0;
@@ -163,7 +166,7 @@ pub fn eval(
                 },
             );
         }
-        let enabled = tel.is_enabled();
+        let enabled = tel.is_enabled() || tracer.is_enabled();
         let mut delta: Vec<(Symbol, usize)> = Vec::new();
         let mut changed = false;
         for (pred, tuple) in new_facts {
@@ -177,11 +180,15 @@ pub fn eval(
                 }
             }
         }
+        let added: usize = delta.iter().map(|(_, n)| n).sum();
+        tracer.gauge("facts_added", added as u64);
+        tracer.gauge("rules_fired", rules_fired);
+        drop(round_guard);
         tel.with(|t| {
             t.stages.push(StageRecord {
                 stage: stages,
                 wall_nanos: stage_sw.nanos(),
-                facts_added: delta.iter().map(|(_, n)| n).sum(),
+                facts_added: added,
                 facts_removed: 0,
                 rules_fired,
                 delta: std::mem::take(&mut delta),
@@ -191,6 +198,10 @@ pub fn eval(
             t.invented = next_fresh as usize;
         });
         if !changed {
+            tracer.gauge("rounds", stages as u64);
+            tracer.gauge("invented", next_fresh);
+            tracer.gauge("final_facts", instance.fact_count() as u64);
+            drop(eval_guard);
             tel.finish(&run_sw, instance.fact_count());
             return Ok(InventionRun {
                 instance,

@@ -30,7 +30,7 @@ use crate::options::EvalOptions;
 use crate::require_language;
 use crate::seminaive;
 use std::collections::{BTreeSet, VecDeque};
-use unchained_common::{Instance, Interner, Relation, Symbol, Tuple, Value};
+use unchained_common::{Instance, Interner, Relation, Span, SpanKind, Symbol, Tuple, Value};
 use unchained_parser::{
     check_range_restricted, Atom, HeadLiteral, Language, Literal, Program, Rule, Term,
 };
@@ -281,6 +281,10 @@ pub fn answer(
 ) -> Result<Relation, EvalError> {
     require_language(program, Language::Datalog)?;
     check_range_restricted(program, false)?;
+    let tel = options.telemetry.clone();
+    let tracer = tel.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "magic");
+    let rewrite_start = tracer.now_nanos();
     let magic = magic_rewrite(program, query, interner).map_err(|e| {
         // Surface rewrite problems as analysis errors.
         EvalError::Analysis(unchained_parser::AnalysisError::UnrestrictedHeadVar {
@@ -288,12 +292,25 @@ pub fn answer(
             var: e.to_string(),
         })
     })?;
+    if tracer.is_enabled() {
+        let mut rewrite = Span::leaf(SpanKind::Phase, "rewrite");
+        rewrite.start_nanos = rewrite_start;
+        rewrite.dur_nanos = tracer.now_nanos().saturating_sub(rewrite_start);
+        rewrite
+            .gauges
+            .push(("rules", magic.program.rules.len() as u64));
+        rewrite
+            .gauges
+            .push(("seeds", magic.seeds.fact_count() as u64));
+        tracer.leaf(rewrite);
+    }
     let mut seeded = input.clone();
     for (pred, rel) in magic.seeds.iter() {
         seeded.ensure(pred, rel.arity()).union_with(rel);
     }
-    let tel = options.telemetry.clone();
     let run = seminaive::minimum_model(&magic.program, &seeded, options)?;
+    tracer.gauge("final_facts", run.instance.fact_count() as u64);
+    drop(eval_guard);
     // The inner semi-naive run wrote the stage records; relabel the
     // trace and note what the rewrite did to the program.
     tel.rename("magic");

@@ -12,7 +12,7 @@ use crate::eval::{active_domain, for_each_match, instantiate, plan_rule, IndexCa
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::{Instance, StageRecord};
+use unchained_common::{Instance, SpanKind, StageRecord};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
 /// Computes the minimum model of a positive Datalog program on `input`.
@@ -44,6 +44,8 @@ pub fn minimum_model(
     let tel = &options.telemetry;
     tel.begin("naive");
     let run_sw = tel.stopwatch();
+    let tracer = tel.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "naive");
 
     let mut stages = 0;
     loop {
@@ -51,6 +53,7 @@ pub fn minimum_model(
         if options.max_stages.is_some_and(|m| stages > m) {
             return Err(EvalError::StageLimitExceeded(stages - 1));
         }
+        let round_guard = tracer.span(SpanKind::Round, format!("round {stages}"));
         let stage_sw = tel.stopwatch();
         let joins_before = cache.counters;
         let mut fired: u64 = 0;
@@ -74,7 +77,7 @@ pub fn minimum_model(
                 },
             );
         }
-        let enabled = tel.is_enabled();
+        let enabled = tel.is_enabled() || tracer.is_enabled();
         let mut changed = false;
         let mut delta: Vec<(unchained_common::Symbol, usize)> = Vec::new();
         for (pred, tuple) in new_facts {
@@ -88,11 +91,15 @@ pub fn minimum_model(
                 }
             }
         }
+        let added: usize = delta.iter().map(|(_, n)| n).sum();
+        tracer.gauge("facts_added", added as u64);
+        tracer.gauge("rules_fired", fired);
+        drop(round_guard);
         tel.with(|t| {
             t.stages.push(StageRecord {
                 stage: stages,
                 wall_nanos: stage_sw.nanos(),
-                facts_added: delta.iter().map(|(_, n)| n).sum(),
+                facts_added: added,
                 facts_removed: 0,
                 rules_fired: fired,
                 delta: std::mem::take(&mut delta),
@@ -101,6 +108,9 @@ pub fn minimum_model(
             t.peak_facts = t.peak_facts.max(instance.fact_count());
         });
         if !changed {
+            tracer.gauge("rounds", stages as u64);
+            tracer.gauge("final_facts", instance.fact_count() as u64);
+            drop(eval_guard);
             tel.finish(&run_sw, instance.fact_count());
             return Ok(FixpointRun { instance, stages });
         }

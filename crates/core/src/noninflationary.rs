@@ -26,7 +26,7 @@ use crate::require_language;
 use std::collections::hash_map::Entry;
 use std::ops::ControlFlow;
 use unchained_common::{
-    DivergenceSnapshot, FxHashMap, FxHashSet, Instance, StageRecord, Symbol, Tuple,
+    DivergenceSnapshot, FxHashMap, FxHashSet, Instance, SpanKind, StageRecord, Symbol, Tuple,
 };
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
@@ -155,6 +155,8 @@ pub fn eval(
     let tel = options.telemetry.clone();
     tel.begin("noninflationary");
     let run_sw = tel.stopwatch();
+    let tracer = tel.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "noninflationary");
     let detector_name = match options.divergence {
         DivergenceDetection::Exact => "exact",
         DivergenceDetection::Fingerprint => "fingerprint",
@@ -167,6 +169,7 @@ pub fn eval(
         if options.max_stages.is_some_and(|m| stages > m) {
             return Err(EvalError::StageLimitExceeded(stages - 1));
         }
+        let round_guard = tracer.span(SpanKind::Round, format!("round {stages}"));
         let stage_sw = tel.stopwatch();
         let joins_before = cache.counters;
         let mut fired: u64 = 0;
@@ -253,6 +256,13 @@ pub fn eval(
             }
         }
 
+        if tracer.is_enabled() {
+            let (added, removed, _) = diff_instances(&instance, &next);
+            tracer.gauge("facts_added", added as u64);
+            tracer.gauge("facts_removed", removed as u64);
+            tracer.gauge("rules_fired", fired);
+        }
+        drop(round_guard);
         tel.with(|t| {
             let (added, removed, delta) = diff_instances(&instance, &next);
             t.stages.push(StageRecord {
@@ -268,6 +278,9 @@ pub fn eval(
         });
 
         if next.same_facts(&instance) {
+            tracer.gauge("rounds", stages as u64);
+            tracer.gauge("final_facts", instance.fact_count() as u64);
+            drop(eval_guard);
             tel.with(|t| {
                 t.divergence = Some(DivergenceSnapshot {
                     detector: detector_name.to_string(),

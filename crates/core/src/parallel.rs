@@ -27,24 +27,46 @@
 
 use crate::eval::{for_each_match, instantiate, IndexCache, Plan, Sources};
 use std::ops::ControlFlow;
+use std::time::Instant;
 use unchained_common::{DeltaHandle, Instance, Value};
 use unchained_parser::Atom;
 
 /// One unit of round work: a compiled plan and the head it derives into.
 pub(crate) struct PlanTask<'p> {
+    /// Index of the source rule (several delta-variant tasks can share
+    /// one rule); attributes fired counts to rule spans.
+    pub rule: usize,
     /// Head atom instantiated on each match.
     pub head: Atom,
     /// The compiled body (full plan in round 1, a delta variant after).
     pub plan: &'p Plan,
 }
 
+/// Per-round attribution data returned by [`run_round`] alongside the
+/// merged pending instance.
+pub(crate) struct RoundStats {
+    /// Total rule-body matches fired across all tasks and workers.
+    pub fired_total: u64,
+    /// Matches fired per source rule (summed over that rule's tasks and
+    /// all workers). Deterministic for every worker count: round-1
+    /// striping runs each task exactly once, and the chunked delta
+    /// indexes partition each delta enumeration exactly.
+    pub fired_per_rule: Vec<u64>,
+    /// Per-worker `(start_offset_nanos, dur_nanos)` relative to round
+    /// entry — the worker-lane timeline. Empty when `timed` was false.
+    pub workers: Vec<(u64, u64)>,
+}
+
 /// Runs one round's `tasks` across `worker_caches.len()` scoped threads
 /// and merges the per-worker derived-tuple buffers in worker order.
 /// `stripe_tasks` selects round-1 mode (each task runs on exactly one
 /// worker); otherwise every worker runs every task and the workers'
-/// chunked delta indexes partition the matches. Returns the merged
-/// pending instance (deduplicated against `instance` by the workers) and
-/// the total number of rule-body matches fired.
+/// chunked delta indexes partition the matches. `rules` bounds the rule
+/// indexes in `tasks`; `timed` additionally records per-worker wall
+/// offsets (for worker-lane spans). Returns the merged pending instance
+/// (deduplicated against `instance` by the workers) and the round's
+/// attribution stats.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_round(
     tasks: &[PlanTask<'_>],
     instance: &Instance,
@@ -52,20 +74,30 @@ pub(crate) fn run_round(
     adom: &[Value],
     worker_caches: &mut [IndexCache],
     stripe_tasks: bool,
-) -> (Instance, u64) {
+    rules: usize,
+    timed: bool,
+) -> (Instance, RoundStats) {
     let workers = worker_caches.len();
-    let results: Vec<(Instance, u64)> = std::thread::scope(|scope| {
+    let round_start = Instant::now();
+    type WorkerResult = (Instance, Vec<u64>, (u64, u64));
+    let results: Vec<WorkerResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = worker_caches
             .iter_mut()
             .enumerate()
             .map(|(w, cache)| {
                 scope.spawn(move || {
-                    let mut fired: u64 = 0;
+                    let started = if timed {
+                        u64::try_from(round_start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+                    } else {
+                        0
+                    };
+                    let mut fired_per_rule = vec![0u64; rules];
                     let mut pending = Instance::new();
                     for (i, task) in tasks.iter().enumerate() {
                         if stripe_tasks && i % workers != w {
                             continue;
                         }
+                        let mut fired: u64 = 0;
                         let _ = for_each_match(
                             task.plan,
                             Sources {
@@ -86,8 +118,16 @@ pub(crate) fn run_round(
                                 ControlFlow::Continue(())
                             },
                         );
+                        fired_per_rule[task.rule] += fired;
                     }
-                    (pending, fired)
+                    let timing = if timed {
+                        let ended =
+                            u64::try_from(round_start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        (started, ended.saturating_sub(started))
+                    } else {
+                        (0, 0)
+                    };
+                    (pending, fired_per_rule, timing)
                 })
             })
             .collect();
@@ -97,22 +137,34 @@ pub(crate) fn run_round(
             .collect()
     });
 
-    let mut fired: u64 = 0;
-    let mut merged_iter = results.into_iter();
+    let mut stats = RoundStats {
+        fired_total: 0,
+        fired_per_rule: vec![0u64; rules],
+        workers: Vec::new(),
+    };
+    let mut merged = Instance::new();
     // Reuse the first worker's buffer as the merge target: with one
     // worker this is exactly the sequential pending set, and with more
     // the remaining (typically small) buffers fold into it in order.
-    let (mut merged, f) = merged_iter.next().unwrap_or_default();
-    fired += f;
-    for (pending, f) in merged_iter {
-        fired += f;
-        for (pred, rel) in pending.iter() {
-            for t in rel.iter() {
-                merged.insert_fact(pred, t.clone());
+    for (w, (pending, fired_per_rule, timing)) in results.into_iter().enumerate() {
+        for (rule, f) in fired_per_rule.into_iter().enumerate() {
+            stats.fired_per_rule[rule] += f;
+            stats.fired_total += f;
+        }
+        if timed {
+            stats.workers.push(timing);
+        }
+        if w == 0 {
+            merged = pending;
+        } else {
+            for (pred, rel) in pending.iter() {
+                for t in rel.iter() {
+                    merged.insert_fact(pred, t.clone());
+                }
             }
         }
     }
-    (merged, fired)
+    (merged, stats)
 }
 
 #[cfg(test)]
@@ -152,17 +204,25 @@ mod tests {
             .rules
             .iter()
             .zip(&plans)
-            .map(|(r, plan)| PlanTask {
+            .enumerate()
+            .map(|(i, (r, plan))| PlanTask {
+                rule: i,
                 head: head(r),
                 plan,
             })
             .collect();
+        let rules = p.rules.len();
         let mut one = vec![IndexCache::new()];
-        let (seq, seq_fired) = run_round(&tasks, &inst, None, &adom, &mut one, true);
+        let (seq, seq_stats) = run_round(&tasks, &inst, None, &adom, &mut one, true, rules, false);
         let mut four: Vec<IndexCache> = (0..4).map(|_| IndexCache::new()).collect();
-        let (par, par_fired) = run_round(&tasks, &inst, None, &adom, &mut four, true);
+        let (par, par_stats) = run_round(&tasks, &inst, None, &adom, &mut four, true, rules, true);
         assert!(seq.same_facts(&par));
-        assert_eq!(seq_fired, par_fired);
+        assert_eq!(seq_stats.fired_total, par_stats.fired_total);
+        // Per-rule attribution is worker-count invariant; worker
+        // timings appear only on the timed run.
+        assert_eq!(seq_stats.fired_per_rule, par_stats.fired_per_rule);
+        assert!(seq_stats.workers.is_empty());
+        assert_eq!(par_stats.workers.len(), 4);
     }
 
     /// Delta mode: chunked per-worker delta indexes partition the round's
@@ -189,31 +249,51 @@ mod tests {
             .rules
             .iter()
             .zip(&plans)
-            .flat_map(|(r, variants)| {
+            .enumerate()
+            .flat_map(|(i, (r, variants))| {
                 variants.iter().map(move |plan| PlanTask {
+                    rule: i,
                     head: head(r),
                     plan,
                 })
             })
             .collect();
         assert!(!tasks.is_empty());
+        let rules = p.rules.len();
         let mut one = vec![IndexCache::new()];
-        let (seq, seq_fired) =
-            run_round(&tasks, &inst, Some(&mark), &adom_of(&inst), &mut one, false);
+        let (seq, seq_stats) = run_round(
+            &tasks,
+            &inst,
+            Some(&mark),
+            &adom_of(&inst),
+            &mut one,
+            false,
+            rules,
+            false,
+        );
         for workers in [2usize, 3, 4] {
             let mut caches: Vec<IndexCache> = (0..workers)
                 .map(|w| IndexCache::with_delta_part(w, workers))
                 .collect();
-            let (par, par_fired) = run_round(
+            let (par, par_stats) = run_round(
                 &tasks,
                 &inst,
                 Some(&mark),
                 &adom_of(&inst),
                 &mut caches,
                 false,
+                rules,
+                false,
             );
             assert!(seq.same_facts(&par), "workers={workers}");
-            assert_eq!(seq_fired, par_fired, "workers={workers}");
+            assert_eq!(
+                seq_stats.fired_total, par_stats.fired_total,
+                "workers={workers}"
+            );
+            assert_eq!(
+                seq_stats.fired_per_rule, par_stats.fired_per_rule,
+                "workers={workers}"
+            );
         }
     }
 

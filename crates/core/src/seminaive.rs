@@ -21,8 +21,56 @@ use crate::options::{EvalOptions, FixpointRun};
 use crate::parallel::{run_round, PlanTask};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::{DeltaHandle, FxHashSet, Instance, StageRecord, Symbol};
+use unchained_common::{
+    DeltaHandle, FxHashSet, Instance, JoinCounters, Span, SpanKind, StageRecord, Symbol, Tracer,
+};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program, Rule};
+
+/// Per-rule attribution collected during one round: match count plus
+/// wall-clock placement of the rule's evaluation.
+#[derive(Clone, Copy, Default)]
+struct RuleStat {
+    fired: u64,
+    start_nanos: u64,
+    dur_nanos: u64,
+}
+
+/// Attaches one round's attribution leaves to the currently open round
+/// span: per-rule spans (deterministic `fired` gauges), per-worker lane
+/// spans (parallel rounds), and a join-counter summary.
+fn emit_round_leaves(
+    tracer: &Tracer,
+    head_preds: &[Symbol],
+    rule_stats: &[RuleStat],
+    worker_lanes: &mut Vec<(u64, u64)>,
+    joins: &JoinCounters,
+) {
+    for (ri, rs) in rule_stats.iter().enumerate() {
+        let mut span = Span::leaf(SpanKind::Rule, format!("rule {ri}"));
+        span.pred = Some(head_preds[ri]);
+        span.start_nanos = rs.start_nanos;
+        span.dur_nanos = rs.dur_nanos;
+        span.gauges.push(("fired", rs.fired));
+        tracer.leaf(span);
+    }
+    for (w, (start, dur)) in worker_lanes.drain(..).enumerate() {
+        let mut span = Span::leaf(SpanKind::Worker, format!("worker {w}"));
+        span.lane = Some(w);
+        span.start_nanos = start;
+        span.dur_nanos = dur;
+        tracer.leaf(span);
+    }
+    let mut join = Span::leaf(SpanKind::Join, "joins");
+    join.gauges = vec![
+        ("probes", joins.probes),
+        ("probe_tuples", joins.probe_tuples),
+        ("index_builds", joins.index_builds),
+        ("index_hits", joins.index_hits),
+        ("index_appends", joins.index_appends),
+        ("index_rebuilds", joins.index_rebuilds),
+    ];
+    tracer.leaf(join);
+}
 
 /// Runs the rules of one (sub)program to fixpoint with semi-naive
 /// deltas, mutating `instance` in place. Negative literals are checked
@@ -63,6 +111,9 @@ pub(crate) fn seminaive_fixpoint(
     // stratified evaluation appends one contiguous stage sequence.
     let tel = &options.telemetry;
     let base = tel.with(|t| t.stages.len()).unwrap_or(0);
+    let tracer = tel.tracer().clone();
+    let traced = tracer.is_enabled();
+    let head_preds: Vec<Symbol> = compiled.iter().map(|rp| head_atom(rp.rule).pred).collect();
 
     // Parallel executor state. Each worker owns a cache shard that lives
     // across rounds (so full indexes absorb committed segments just like
@@ -98,31 +149,62 @@ pub(crate) fn seminaive_fixpoint(
     // rules striped across workers when parallel.
     let mut stage_sw = tel.stopwatch();
     let mut joins_before = cache.counters;
+    let mut round_guard = tracer.span(SpanKind::Round, format!("round {}", base + 1));
+    let mut rule_stats: Vec<RuleStat> = vec![RuleStat::default(); compiled.len()];
+    let mut worker_lanes: Vec<(u64, u64)> = Vec::new();
     let mut fired: u64 = 0;
     let mut pending;
     if threads > 1 {
         let tasks: Vec<PlanTask> = compiled
             .iter()
-            .map(|rp| PlanTask {
+            .enumerate()
+            .map(|(i, rp)| PlanTask {
+                rule: i,
                 head: head_atom(rp.rule),
                 plan: &rp.full,
             })
             .collect();
-        let (p, f) = run_round(&tasks, instance, None, adom, &mut worker_caches, true);
+        let round_base = tracer.now_nanos();
+        let (p, stats) = run_round(
+            &tasks,
+            instance,
+            None,
+            adom,
+            &mut worker_caches,
+            true,
+            compiled.len(),
+            traced,
+        );
         pending = p;
-        fired = f;
+        fired = stats.fired_total;
+        if traced {
+            for (ri, f) in stats.fired_per_rule.iter().enumerate() {
+                rule_stats[ri] = RuleStat {
+                    fired: *f,
+                    start_nanos: round_base,
+                    dur_nanos: 0,
+                };
+            }
+            worker_lanes = stats
+                .workers
+                .iter()
+                .map(|(s, d)| (round_base + s, *d))
+                .collect();
+        }
         roll_up(cache, &worker_caches);
     } else {
         pending = Instance::new();
-        for rp in &compiled {
+        for (ri, rp) in compiled.iter().enumerate() {
             let head = head_atom(rp.rule);
+            let rule_start = tracer.now_nanos();
+            let mut rule_fired: u64 = 0;
             let _ = for_each_match(
                 &rp.full,
                 Sources::simple(instance),
                 adom,
                 cache,
                 &mut |env| {
-                    fired += 1;
+                    rule_fired += 1;
                     let tuple = instantiate(&head.args, env);
                     if !instance.contains_fact(head.pred, &tuple) {
                         pending.insert_fact(head.pred, tuple);
@@ -130,14 +212,24 @@ pub(crate) fn seminaive_fixpoint(
                     ControlFlow::Continue(())
                 },
             );
+            fired += rule_fired;
+            if traced {
+                rule_stats[ri] = RuleStat {
+                    fired: rule_fired,
+                    start_nanos: rule_start,
+                    dur_nanos: tracer.now_nanos().saturating_sub(rule_start),
+                };
+            }
         }
     }
     // Delta-variant tasks are the same every round; build them once.
     let delta_tasks: Vec<PlanTask> = if threads > 1 {
         compiled
             .iter()
-            .flat_map(|rp| {
-                rp.deltas.iter().map(|plan| PlanTask {
+            .enumerate()
+            .flat_map(|(i, rp)| {
+                rp.deltas.iter().map(move |plan| PlanTask {
+                    rule: i,
                     head: head_atom(rp.rule),
                     plan,
                 })
@@ -151,6 +243,7 @@ pub(crate) fn seminaive_fixpoint(
         // Capture generation marks, then merge: afterwards,
         // `iter_since(mark)` enumerates exactly this round's delta.
         let mark = DeltaHandle::capture(instance);
+        let absorb_start = tracer.now_nanos();
         let mut changed = false;
         for (pred, rel) in pending.iter() {
             for t in rel.iter() {
@@ -172,6 +265,25 @@ pub(crate) fn seminaive_fixpoint(
             });
             t.peak_facts = t.peak_facts.max(instance.fact_count());
         });
+        if traced {
+            // Deterministic round gauges first (thread-invariant), then
+            // the attribution leaves, then close the round span.
+            tracer.gauge("facts_added", pending.fact_count() as u64);
+            tracer.gauge("rules_fired", fired);
+            let mut absorb = Span::leaf(SpanKind::Absorb, "merge");
+            absorb.start_nanos = absorb_start;
+            absorb.dur_nanos = tracer.now_nanos().saturating_sub(absorb_start);
+            absorb.gauges.push(("facts", pending.fact_count() as u64));
+            tracer.leaf(absorb);
+            emit_round_leaves(
+                &tracer,
+                &head_preds,
+                &rule_stats,
+                &mut worker_lanes,
+                &cache.counters.since(&joins_before),
+            );
+        }
+        drop(round_guard);
         if !changed {
             if threads > 1 {
                 tel.with(|t| {
@@ -199,28 +311,51 @@ pub(crate) fn seminaive_fixpoint(
         instance.commit_all();
         stage_sw = tel.stopwatch();
         joins_before = cache.counters;
+        round_guard = tracer.span(SpanKind::Round, format!("round {}", base + rounds));
+        if traced {
+            rule_stats = vec![RuleStat::default(); compiled.len()];
+        }
         fired = 0;
         if threads > 1 {
             for wc in &mut worker_caches {
                 wc.begin_delta_round();
             }
-            let (p, f) = run_round(
+            let round_base = tracer.now_nanos();
+            let (p, stats) = run_round(
                 &delta_tasks,
                 instance,
                 Some(&mark),
                 adom,
                 &mut worker_caches,
                 false,
+                compiled.len(),
+                traced,
             );
             pending = p;
-            fired = f;
+            fired = stats.fired_total;
+            if traced {
+                for (ri, f) in stats.fired_per_rule.iter().enumerate() {
+                    rule_stats[ri] = RuleStat {
+                        fired: *f,
+                        start_nanos: round_base,
+                        dur_nanos: 0,
+                    };
+                }
+                worker_lanes = stats
+                    .workers
+                    .iter()
+                    .map(|(s, d)| (round_base + s, *d))
+                    .collect();
+            }
             roll_up(cache, &worker_caches);
             continue;
         }
         cache.begin_delta_round();
         let mut next_pending = Instance::new();
-        for rp in &compiled {
+        for (ri, rp) in compiled.iter().enumerate() {
             let head = head_atom(rp.rule);
+            let rule_start = tracer.now_nanos();
+            let mut rule_fired: u64 = 0;
             for plan in &rp.deltas {
                 let _ = for_each_match(
                     plan,
@@ -232,7 +367,7 @@ pub(crate) fn seminaive_fixpoint(
                     adom,
                     cache,
                     &mut |env| {
-                        fired += 1;
+                        rule_fired += 1;
                         let tuple = instantiate(&head.args, env);
                         if !instance.contains_fact(head.pred, &tuple)
                             && !next_pending.contains_fact(head.pred, &tuple)
@@ -242,6 +377,14 @@ pub(crate) fn seminaive_fixpoint(
                         ControlFlow::Continue(())
                     },
                 );
+            }
+            fired += rule_fired;
+            if traced {
+                rule_stats[ri] = RuleStat {
+                    fired: rule_fired,
+                    start_nanos: rule_start,
+                    dur_nanos: tracer.now_nanos().saturating_sub(rule_start),
+                };
             }
         }
         pending = next_pending;
@@ -273,6 +416,9 @@ pub fn minimum_model(
     let mut cache = IndexCache::new();
     options.telemetry.begin("seminaive");
     let run_sw = options.telemetry.stopwatch();
+    let tracer = options.telemetry.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "seminaive");
+    let stratum_guard = tracer.span(SpanKind::Stratum, "stratum 0");
     let stages = seminaive_fixpoint(
         &rules,
         &mut instance,
@@ -281,6 +427,11 @@ pub fn minimum_model(
         &mut cache,
         &options,
     )?;
+    tracer.gauge("rounds", stages as u64);
+    tracer.gauge("rules", rules.len() as u64);
+    drop(stratum_guard);
+    tracer.gauge("final_facts", instance.fact_count() as u64);
+    drop(eval_guard);
     let (segments, recent) = instance.storage_stats();
     options.telemetry.note(format!(
         "storage: {segments} segments, {recent} uncommitted"

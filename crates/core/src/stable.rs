@@ -29,7 +29,7 @@ use crate::eval::{active_domain, IndexCache};
 use crate::options::EvalOptions;
 use crate::require_language;
 use crate::wellfounded;
-use unchained_common::{Instance, Telemetry, Tuple};
+use unchained_common::{Instance, Span, SpanKind, Telemetry, Tuple};
 use unchained_parser::{check_range_restricted, Language, Program};
 
 /// Budget for stable-model enumeration.
@@ -197,9 +197,15 @@ pub fn stable_models(
     let tel = options.eval.telemetry.clone();
     tel.begin("stable");
     let run_sw = tel.stopwatch();
+    let tracer = tel.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "stable");
     let inner = options.eval.clone().with_telemetry(Telemetry::off());
+    let wf_phase = tracer.span(SpanKind::Phase, "wellfounded interval");
     let wf = wellfounded::eval(program, input, inner.clone())?;
     let unknowns: Vec<(unchained_common::Symbol, Tuple)> = wf.unknown_facts();
+    tracer.gauge("true_facts", wf.true_facts.fact_count() as u64);
+    tracer.gauge("unknowns", unknowns.len() as u64);
+    drop(wf_phase);
     if unknowns.len() > options.max_unknowns {
         return Err(StableError::TooManyUnknowns(TooManyUnknowns {
             unknowns: unknowns.len(),
@@ -215,12 +221,23 @@ pub fn stable_models(
                 candidate.insert_fact(*pred, tuple.clone());
             }
         }
+        let candidate_start = tracer.now_nanos();
         let lfp = reduct_lfp(program, input, &candidate, &adom, &inner)?;
-        if lfp.same_facts(&candidate) {
+        let stable = lfp.same_facts(&candidate);
+        if tracer.is_enabled() {
+            let mut leaf = Span::leaf(SpanKind::Phase, format!("candidate {mask}"));
+            leaf.start_nanos = candidate_start;
+            leaf.dur_nanos = tracer.now_nanos().saturating_sub(candidate_start);
+            leaf.gauges.push(("stable", u64::from(stable)));
+            tracer.leaf(leaf);
+        }
+        if stable {
             models.push(candidate);
         }
     }
     models.sort_by_cached_key(|m| format!("{m:?}"));
+    tracer.gauge("models", models.len() as u64);
+    drop(eval_guard);
     tel.note(format!(
         "well-founded interval: {} true facts, {} unknown; {} candidates tested, {} stable",
         wf.true_facts.fact_count(),

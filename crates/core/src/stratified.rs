@@ -11,7 +11,7 @@ use crate::eval::{active_domain, IndexCache};
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use crate::seminaive::seminaive_fixpoint;
-use unchained_common::{FxHashSet, Instance, Symbol};
+use unchained_common::{FxHashSet, Instance, SpanKind, Symbol};
 use unchained_parser::{check_range_restricted, DependencyGraph, HeadLiteral, Language, Program};
 
 /// Evaluates a stratified Datalog¬ program.
@@ -43,6 +43,8 @@ pub fn eval(
     let mut cache = IndexCache::new();
     options.telemetry.begin("stratified");
     let run_sw = options.telemetry.stopwatch();
+    let tracer = options.telemetry.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "stratified");
     let mut stages = 0;
     for (stratum, stratum_rules) in stratification
         .partition_rules(program)
@@ -58,6 +60,7 @@ pub fn eval(
             .filter_map(|r| r.head.first().and_then(HeadLiteral::atom))
             .map(|a| a.pred)
             .collect();
+        let stratum_guard = tracer.span(SpanKind::Stratum, format!("stratum {stratum}"));
         let rounds = seminaive_fixpoint(
             &stratum_rules,
             &mut instance,
@@ -66,12 +69,17 @@ pub fn eval(
             &mut cache,
             &options,
         )?;
+        tracer.gauge("rounds", rounds as u64);
+        tracer.gauge("rules", stratum_rules.len() as u64);
+        drop(stratum_guard);
         stages += rounds;
         options.telemetry.note(format!(
             "stratum {stratum}: {} rules, {rounds} rounds",
             stratum_rules.len()
         ));
     }
+    tracer.gauge("final_facts", instance.fact_count() as u64);
+    drop(eval_guard);
     let (segments, recent) = instance.storage_stats();
     options.telemetry.note(format!(
         "storage: {segments} segments, {recent} uncommitted"

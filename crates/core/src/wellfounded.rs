@@ -25,7 +25,9 @@ use crate::eval::{
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::{Instance, StageRecord, Stopwatch, Symbol, Telemetry, Tuple, Value};
+use unchained_common::{
+    Instance, SpanKind, StageRecord, Stopwatch, Symbol, Telemetry, Tuple, Value,
+};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
 /// The truth value of a fact in a 3-valued model.
@@ -203,14 +205,23 @@ pub fn eval(
 
     // Alternating sequence: even iterates underestimate, odd iterates
     // overestimate. I₀ = base (idb empty).
+    let tracer = tel.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "wellfounded");
     let mut even = base.clone(); // I₀
     let mut sw = tel.stopwatch();
     let mut joins_before = cache.counters;
     let mut fired: u64 = 0;
+    let mut phase = tracer.span(SpanKind::Phase, "reduct 1");
     let mut odd = reduct_lfp(
         program, &plans, &base, &even, &adom, &mut cache, &options, &mut fired,
     )?; // I₁
     let mut rounds = 1;
+    tracer.gauge(
+        "facts_added",
+        odd.fact_count().saturating_sub(base_count) as u64,
+    );
+    tracer.gauge("rules_fired", fired);
+    drop(phase);
     record_application(
         &tel,
         &cache,
@@ -226,10 +237,17 @@ pub fn eval(
         sw = tel.stopwatch();
         joins_before = cache.counters;
         fired = 0;
+        phase = tracer.span(SpanKind::Phase, format!("reduct {}", rounds + 1));
         let next_even = reduct_lfp(
             program, &plans, &base, &odd, &adom, &mut cache, &options, &mut fired,
         )?;
         rounds += 1;
+        tracer.gauge(
+            "facts_added",
+            next_even.fact_count().saturating_sub(base_count) as u64,
+        );
+        tracer.gauge("rules_fired", fired);
+        drop(phase);
         record_application(
             &tel,
             &cache,
@@ -243,6 +261,9 @@ pub fn eval(
         );
         if next_even.same_facts(&even) {
             // Simultaneous fixpoint reached: (even, odd) is stable.
+            tracer.gauge("rounds", rounds as u64);
+            tracer.gauge("final_facts", even.fact_count() as u64);
+            drop(eval_guard);
             tel.note(format!(
                 "alternating fixpoint stable after {rounds} reduct applications: \
                  {} true facts, {} possible facts",
@@ -260,10 +281,17 @@ pub fn eval(
         sw = tel.stopwatch();
         joins_before = cache.counters;
         fired = 0;
+        phase = tracer.span(SpanKind::Phase, format!("reduct {}", rounds + 1));
         odd = reduct_lfp(
             program, &plans, &base, &even, &adom, &mut cache, &options, &mut fired,
         )?;
         rounds += 1;
+        tracer.gauge(
+            "facts_added",
+            odd.fact_count().saturating_sub(base_count) as u64,
+        );
+        tracer.gauge("rules_fired", fired);
+        drop(phase);
         record_application(
             &tel,
             &cache,

@@ -1,0 +1,188 @@
+//! Span-tree invariants for the hierarchical tracer: deterministic
+//! work-gauge projections are byte-identical across thread counts,
+//! children's gauges account exactly for their parents', and the
+//! Chrome-trace-event export validates against its own schema checker.
+
+use unchained_common::{
+    gauge_tree, sum_gauge, to_chrome_json, validate_chrome_trace, Instance, Interner, Span,
+    SpanKind, Telemetry, Tracer, Tuple, Value,
+};
+use unchained_core::{seminaive, stratified, wellfounded, EvalOptions};
+use unchained_parser::parse_program;
+
+const TC: &str = "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).";
+
+fn chain(interner: &mut Interner, n: i64) -> Instance {
+    let g = interner.intern("G");
+    let mut input = Instance::new();
+    for k in 0..n {
+        input.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
+    }
+    input
+}
+
+/// Runs semi-naive TC over a seeded chain and returns the finished
+/// span forest plus the interner that names it.
+fn traced_tc(n: i64, threads: usize) -> (Vec<Span>, Interner) {
+    let mut interner = Interner::new();
+    let program = parse_program(TC, &mut interner).unwrap();
+    let input = chain(&mut interner, n);
+    let tracer = Tracer::enabled();
+    let tel = Telemetry::off().with_tracer(tracer.clone());
+    let options = EvalOptions::default()
+        .with_telemetry(tel)
+        .with_threads(threads);
+    seminaive::minimum_model(&program, &input, options).unwrap();
+    (tracer.finish(), interner)
+}
+
+fn walk<'s>(roots: &'s [Span], out: &mut Vec<&'s Span>) {
+    for span in roots {
+        out.push(span);
+        walk(&span.children, out);
+    }
+}
+
+#[test]
+fn gauge_tree_is_byte_identical_across_thread_counts() {
+    let (seq, interner_seq) = traced_tc(24, 1);
+    let (par, interner_par) = traced_tc(24, 4);
+    let seq_tree = gauge_tree(&seq, &interner_seq);
+    let par_tree = gauge_tree(&par, &interner_par);
+    assert!(!seq_tree.is_empty());
+    assert_eq!(
+        seq_tree, par_tree,
+        "deterministic projection must not depend on the schedule"
+    );
+    // The projection carries the work gauges…
+    assert!(seq_tree.contains("facts_added"), "{seq_tree}");
+    assert!(seq_tree.contains("fired"), "{seq_tree}");
+    // …but no schedule-dependent worker/join lanes.
+    assert!(!seq_tree.contains("worker"), "{seq_tree}");
+    assert!(!seq_tree.contains("joins"), "{seq_tree}");
+}
+
+#[test]
+fn children_gauges_account_for_their_parents() {
+    let (roots, _) = traced_tc(16, 1);
+    assert_eq!(roots.len(), 1, "one eval root");
+    let eval = &roots[0];
+    assert_eq!(eval.kind, SpanKind::Eval);
+
+    let mut all = Vec::new();
+    walk(&roots, &mut all);
+    // Every round's `rules_fired` equals the sum of its rule children's
+    // `fired` gauges.
+    let mut rounds = 0;
+    for round in all.iter().filter(|s| s.kind == SpanKind::Round) {
+        rounds += 1;
+        let fired: u64 = round
+            .children
+            .iter()
+            .filter(|c| c.kind == SpanKind::Rule)
+            .map(|c| c.gauge("fired").unwrap_or(0))
+            .sum();
+        assert_eq!(round.gauge("rules_fired"), Some(fired), "{}", round.name);
+    }
+    assert!(rounds >= 2);
+    // The same identity holds forest-wide through `sum_gauge`.
+    assert_eq!(
+        sum_gauge(&roots, SpanKind::Round, "rules_fired"),
+        sum_gauge(&roots, SpanKind::Rule, "fired"),
+    );
+    // The stratum span's round count matches the tree shape, and the
+    // total facts added over rounds bounds the final instance size.
+    let stratum = eval
+        .children
+        .iter()
+        .find(|s| s.kind == SpanKind::Stratum)
+        .expect("eval wraps a stratum");
+    assert_eq!(stratum.gauge("rounds"), Some(rounds));
+    let added = sum_gauge(&roots, SpanKind::Round, "facts_added");
+    assert!(eval.gauge("final_facts").unwrap() >= added);
+    // Wall-clock nesting: timed children start within their parent
+    // (gauge-only leaves like the join summary carry no timing).
+    for parent in &all {
+        for child in parent.children.iter().filter(|c| c.start_nanos > 0) {
+            assert!(child.start_nanos >= parent.start_nanos);
+        }
+    }
+}
+
+#[test]
+fn parallel_run_has_one_worker_lane_per_thread() {
+    let (roots, _) = traced_tc(32, 4);
+    let mut all = Vec::new();
+    walk(&roots, &mut all);
+    let lanes: std::collections::BTreeSet<usize> = all
+        .iter()
+        .filter(|s| s.kind == SpanKind::Worker)
+        .map(|s| s.lane.expect("worker spans carry a lane"))
+        .collect();
+    assert_eq!(
+        lanes.into_iter().collect::<Vec<_>>(),
+        vec![0, 1, 2, 3],
+        "one timeline lane per worker at threads=4"
+    );
+    // The sequential run has none.
+    let (roots, _) = traced_tc(32, 1);
+    let mut all = Vec::new();
+    walk(&roots, &mut all);
+    assert!(all.iter().all(|s| s.kind != SpanKind::Worker));
+}
+
+#[test]
+fn chrome_export_validates_for_every_engine_shape() {
+    // Semi-naive (parallel): eval → stratum → round → rule/worker/join.
+    let (roots, interner) = traced_tc(24, 4);
+    let json = to_chrome_json(&roots, &interner);
+    let summary = validate_chrome_trace(
+        &json,
+        &["eval", "stratum", "round", "rule", "worker", "join"],
+    )
+    .unwrap();
+    assert!(summary.contains("events"), "{summary}");
+
+    // Stratified negation: one stratum span per stratum.
+    let mut interner = Interner::new();
+    let program = parse_program(
+        "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y). V(x) :- G(x,y). V(y) :- G(x,y). \
+         CT(x,y) :- V(x), V(y), !T(x,y).",
+        &mut interner,
+    )
+    .unwrap();
+    let input = chain(&mut interner, 6);
+    let tracer = Tracer::enabled();
+    let tel = Telemetry::off().with_tracer(tracer.clone());
+    stratified::eval(&program, &input, EvalOptions::default().with_telemetry(tel)).unwrap();
+    let roots = tracer.finish();
+    let strata = roots[0]
+        .children
+        .iter()
+        .filter(|s| s.kind == SpanKind::Stratum)
+        .count();
+    assert!(strata >= 2, "negation splits the program into strata");
+    validate_chrome_trace(
+        &to_chrome_json(&roots, &interner),
+        &["eval", "stratum", "round", "rule"],
+    )
+    .unwrap();
+
+    // Well-founded: alternating-fixpoint phases.
+    let mut interner = Interner::new();
+    let program = parse_program("win(x) :- moves(x,y), !win(y).", &mut interner).unwrap();
+    let moves = interner.intern("moves");
+    let mut input = Instance::new();
+    for (a, b) in [(1, 2), (2, 1), (2, 3)] {
+        input.insert_fact(moves, Tuple::from([Value::Int(a), Value::Int(b)]));
+    }
+    let tracer = Tracer::enabled();
+    let tel = Telemetry::off().with_tracer(tracer.clone());
+    wellfounded::eval(&program, &input, EvalOptions::default().with_telemetry(tel)).unwrap();
+    let roots = tracer.finish();
+    validate_chrome_trace(&to_chrome_json(&roots, &interner), &["eval", "phase"]).unwrap();
+
+    // A kind the forest lacks is an error, as is junk input.
+    assert!(validate_chrome_trace(&to_chrome_json(&roots, &interner), &["worker"]).is_err());
+    assert!(validate_chrome_trace("[1,2,3]", &[]).is_err());
+}

@@ -5,7 +5,7 @@
 use crate::chooser::Chooser;
 use crate::program::{states_equal, NondetProgram, State};
 use crate::NondetError;
-use unchained_common::Instance;
+use unchained_common::{Instance, SpanKind};
 use unchained_core::EvalOptions;
 
 /// Statistics and result of one nondeterministic run.
@@ -37,6 +37,8 @@ pub fn run_once(
     let tel = options.telemetry.clone();
     tel.begin("nondet");
     let run_sw = tel.stopwatch();
+    let tracer = tel.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "nondet");
     let mut state = State::initial(input.clone());
     let mut fresh: u64 = 0;
     let mut steps = 0usize;
@@ -45,6 +47,7 @@ pub fn run_once(
             tel.finish(&run_sw, state.instance.fact_count());
             return Err(NondetError::StepLimitExceeded(steps));
         }
+        let round_guard = tracer.span(SpanKind::Round, format!("step {}", steps + 1));
         // Candidate firings that change the state.
         let firings = compiled.firings(&state, &mut fresh);
         let changing: Vec<_> = firings
@@ -55,6 +58,11 @@ pub fn run_once(
             })
             .collect();
         if changing.is_empty() {
+            drop(round_guard);
+            tracer.gauge("steps", steps as u64);
+            tracer.gauge("invented", fresh);
+            tracer.gauge("final_facts", state.instance.fact_count() as u64);
+            drop(eval_guard);
             tel.with(|t| t.invented = fresh as usize);
             tel.finish(&run_sw, state.instance.fact_count());
             return Ok(NondetRun {
@@ -65,9 +73,11 @@ pub fn run_once(
         }
         // One choice point per firing: how many candidates were live.
         tel.with(|t| t.choice_points.push(changing.len()));
+        tracer.gauge("choices", changing.len() as u64);
         let pick = chooser.choose(changing.len());
         state = compiled.apply(&state, changing[pick]);
         steps += 1;
+        drop(round_guard);
         if state.bottom {
             tel.finish(&run_sw, state.instance.fact_count());
             return Err(NondetError::Aborted { steps });

@@ -2,7 +2,7 @@
 
 use crate::ast::{Assignment, LoopCondition, Stmt, WhileProgram};
 use std::fmt;
-use unchained_common::{FxHashMap, Instance, Relation, Telemetry, Value};
+use unchained_common::{FxHashMap, Instance, Relation, SpanKind, Telemetry, Value};
 use unchained_fo::{eval_formula, eval_sentence, FoError};
 
 /// Supplies the choices of the witness operator `W`.
@@ -148,7 +148,13 @@ impl Interp<'_> {
                     if self.iterations > self.max_iterations {
                         return Err(WhileError::IterationLimitExceeded(self.max_iterations));
                     }
+                    let tracer = self.tel.tracer().clone();
+                    let round_guard =
+                        tracer.span(SpanKind::Round, format!("iteration {}", self.iterations));
                     let changed = self.exec_block(body, instance)?;
+                    tracer.gauge("facts", instance.fact_count() as u64);
+                    tracer.gauge("changed", u64::from(changed));
+                    drop(round_guard);
                     any_change |= changed;
                     match condition {
                         LoopCondition::Change => {
@@ -251,6 +257,8 @@ pub fn run_traced(
     declare(&program.stmts, &mut instance);
     telemetry.begin("while");
     let run_sw = telemetry.stopwatch();
+    let tracer = telemetry.tracer().clone();
+    let eval_guard = tracer.span(SpanKind::Eval, "while");
     let mut interp = Interp {
         domain,
         max_iterations,
@@ -259,6 +267,9 @@ pub fn run_traced(
         tel: telemetry.clone(),
     };
     let outcome = interp.exec_block(&program.stmts, &mut instance);
+    tracer.gauge("iterations", interp.iterations as u64);
+    tracer.gauge("final_facts", instance.fact_count() as u64);
+    drop(eval_guard);
     telemetry.with(|t| t.loop_iterations = interp.iterations);
     telemetry.finish(&run_sw, instance.fact_count());
     outcome?;

@@ -84,6 +84,32 @@ if [ "$par_median" -gt $(( seq_median * 10 + 5000000 )) ]; then
     exit 1
 fi
 
+# Observability gate: a seeded 4-worker profile run must emit a valid
+# Chrome trace-event file containing the full span taxonomy (validated
+# by `unchained trace-check`, which parses the JSON and checks kinds),
+# print the hottest-rules table, and the metrics scrape must expose the
+# required series in the Prometheus text format.
+echo "==> profile smoke: span kinds, hottest rules, metrics series"
+profile_out=$(cargo run -q --release -p unchained-cli -- run -s seminaive \
+    examples/programs/tc.dl examples/programs/tc_facts.dl \
+    --threads 4 --profile target/profile-smoke.trace.json \
+    --metrics target/profile-smoke.prom)
+if ! printf '%s' "$profile_out" | grep -q "hottest rules"; then
+    echo "profile run printed no hottest-rules table" >&2
+    exit 1
+fi
+cargo run -q --release -p unchained-cli -- trace-check \
+    target/profile-smoke.trace.json \
+    --expect eval,stratum,round,rule,worker,join >/dev/null
+for series in 'unchained_eval_runs_total{engine="seminaive"}' \
+    unchained_eval_wall_seconds_bucket unchained_trace_spans; do
+    if ! grep -q "$series" target/profile-smoke.prom; then
+        echo "metrics scrape is missing series $series" >&2
+        cat target/profile-smoke.prom >&2
+        exit 1
+    fi
+done
+
 # Differential-fuzzer smoke: the fixed CI triple (positive/42/200) must
 # run every oracle leg with zero divergences and an empty corpus, and
 # the run must be deterministic enough to gate (same seed, same
