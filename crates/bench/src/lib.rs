@@ -39,9 +39,10 @@
 //! comparisons across runs remain apples-to-apples.
 
 use unchained_common::bench::{
-    compare_reports, measure, BenchEntry, BenchReport, Gauges, Repetitions, WallStats,
-    DEFAULT_REGRESSION_THRESHOLD,
+    compare_reports, compare_with_history, measure, BenchEntry, BenchHistory, BenchReport, Gauges,
+    HistoryRun, Repetitions, WallStats, DEFAULT_REGRESSION_THRESHOLD,
 };
+use unchained_common::fmt_bytes;
 use unchained_common::{hottest_rules, Instance, Interner, Telemetry, Tracer, Tuple, Value};
 use unchained_core::{
     inflationary, invention, magic, naive, noninflationary, seminaive, stratified, wellfounded,
@@ -476,10 +477,23 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
     out
 }
 
+/// Which bench subcommand to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BenchMode {
+    /// Measure the registry (the default).
+    Run,
+    /// Print the committed `BENCH_HISTORY.json` trajectory.
+    History,
+    /// Gate an existing report against the history (no measurement).
+    Compare,
+}
+
 /// Parsed `bench` arguments, shared by `unchained bench …` and the
 /// `unchained-bench` binary.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchArgs {
+    /// Subcommand (`bench`, `bench history`, `bench compare`).
+    pub mode: BenchMode,
     /// Substring filter on `workload/engine` labels.
     pub filter: Option<String>,
     /// Write the report as `BENCH.json` to this path.
@@ -500,6 +514,20 @@ pub struct BenchArgs {
     /// After timing, re-run each case once under the hierarchical
     /// tracer and print its hottest-rules table.
     pub profile: bool,
+    /// Print the per-entry space table (peak/final bytes, tuples/s).
+    pub memstats: bool,
+    /// The append-only `BENCH_HISTORY.json` path: run mode appends one
+    /// line per run, history mode prints it, compare mode gates
+    /// against its last run.
+    pub history: Option<String>,
+    /// Revision label stamped on a new history line (pass the git rev).
+    pub rev: String,
+    /// Date label stamped on a new history line (passed in, never read
+    /// from the clock, so history files stay reproducible).
+    pub date: String,
+    /// Compare mode: the `BENCH.json` report to check (positional;
+    /// default `BENCH.json`).
+    pub report: Option<String>,
     /// List the registry without running anything.
     pub list: bool,
     /// Print usage and exit 0.
@@ -509,6 +537,7 @@ pub struct BenchArgs {
 impl Default for BenchArgs {
     fn default() -> Self {
         BenchArgs {
+            mode: BenchMode::Run,
             filter: None,
             json: None,
             baseline: None,
@@ -518,6 +547,11 @@ impl Default for BenchArgs {
             threshold: DEFAULT_REGRESSION_THRESHOLD,
             threads: 1,
             profile: false,
+            memstats: false,
+            history: None,
+            rev: "local".to_string(),
+            date: "undated".to_string(),
+            report: None,
             list: false,
             help: false,
         }
@@ -529,7 +563,12 @@ pub const BENCH_USAGE: &str = "\
 unchained bench — in-repo benchmark harness (BENCH.json)
 
 USAGE:
-  unchained bench [options]
+  unchained bench [options]             measure the registry
+  unchained bench history [options]     print the BENCH_HISTORY.json trajectory
+  unchained bench compare [REPORT.json] --history BENCH_HISTORY.json
+                                        gate a report against the last
+                                        history run (bytes growth, work
+                                        drift — never wall time)
   cargo run --release -p unchained-bench -- [options]
 
 OPTIONS:
@@ -549,6 +588,15 @@ OPTIONS:
   --profile           after timing, re-run each case once under the
                       hierarchical tracer and print its hottest-rules
                       table (wall time, firings, rounds per rule)
+  --memstats          print the per-entry space table (peak/final
+                      logical bytes, derived tuples per second)
+  --history <PATH>    run mode: append this run (medians, bytes, facts)
+                      as one line to the append-only history file;
+                      history/compare modes: the file to read
+  --rev <REV>         revision label for the appended history line
+                      (pass `git rev-parse --short HEAD`; default `local`)
+  --date <DATE>       date label for the appended history line (passed
+                      in, never read from the clock; default `undated`)
   --list              list the case registry and exit
   --help              this text
 ";
@@ -559,6 +607,8 @@ pub fn parse_bench_args(argv: &[String]) -> Result<BenchArgs, String> {
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "history" if args.mode == BenchMode::Run => args.mode = BenchMode::History,
+            "compare" if args.mode == BenchMode::Run => args.mode = BenchMode::Compare,
             "--filter" => {
                 args.filter = Some(it.next().ok_or("--filter needs a value")?.clone());
             }
@@ -598,12 +648,61 @@ pub fn parse_bench_args(argv: &[String]) -> Result<BenchArgs, String> {
                 args.threads = n;
             }
             "--profile" => args.profile = true,
+            "--memstats" => args.memstats = true,
+            "--history" => {
+                args.history = Some(it.next().ok_or("--history needs a path")?.clone());
+            }
+            "--rev" => {
+                args.rev = it.next().ok_or("--rev needs a value")?.clone();
+            }
+            "--date" => {
+                args.date = it.next().ok_or("--date needs a value")?.clone();
+            }
             "--list" => args.list = true,
             "--help" | "-h" => args.help = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown bench option `{other}`"));
+            }
+            path if args.mode == BenchMode::Compare && args.report.is_none() => {
+                args.report = Some(path.to_string());
+            }
             other => return Err(format!("unknown bench option `{other}`")),
         }
     }
+    if args.mode != BenchMode::Run && args.history.is_none() {
+        return Err(format!(
+            "bench {}: --history <PATH> is required",
+            if args.mode == BenchMode::History {
+                "history"
+            } else {
+                "compare"
+            }
+        ));
+    }
     Ok(args)
+}
+
+/// Renders the per-entry space table (`--memstats`): the v4 byte gauges
+/// and the derived throughput rate, one row per entry.
+pub fn render_space_table(report: &BenchReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>12} {:>12}",
+        "bench space", "bytes_peak", "bytes_final", "tuples/s"
+    );
+    for e in &report.entries {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12} {:>12} {:>12}",
+            e.key(),
+            fmt_bytes(e.gauges.bytes_peak),
+            fmt_bytes(e.gauges.bytes_final),
+            e.tuples_per_sec()
+        );
+    }
+    out
 }
 
 /// Runs the (filtered) registry and collects the report. Pure except
@@ -694,6 +793,47 @@ pub fn main_with_args(argv: &[String]) -> u8 {
         print!("{BENCH_USAGE}");
         return 0;
     }
+    let read_history = |path: &str| -> Result<BenchHistory, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchHistory::parse(&text)
+    };
+    match args.mode {
+        BenchMode::Run => {}
+        BenchMode::History => {
+            let path = args.history.as_deref().expect("checked by the parser");
+            match read_history(path) {
+                Ok(history) => {
+                    print!("{}", history.render_trajectory());
+                    return 0;
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            }
+        }
+        BenchMode::Compare => {
+            let report_path = args.report.as_deref().unwrap_or("BENCH.json");
+            let history_path = args.history.as_deref().expect("checked by the parser");
+            let gate = || -> Result<bool, String> {
+                let text = std::fs::read_to_string(report_path)
+                    .map_err(|e| format!("cannot read {report_path}: {e}"))?;
+                let report = BenchReport::from_json(&text)?;
+                let history = read_history(history_path)?;
+                let cmp = compare_with_history(&report, &history)?;
+                print!("{}", cmp.render());
+                Ok(cmp.passed())
+            };
+            return match gate() {
+                Ok(true) => 0,
+                Ok(false) => 1,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    1
+                }
+            };
+        }
+    }
     if args.list {
         for case in cases(args.quick, args.threads) {
             println!("{}/{}", case.label(), case.n);
@@ -708,6 +848,9 @@ pub fn main_with_args(argv: &[String]) -> u8 {
         }
     };
     print!("{}", report.render_table());
+    if args.memstats {
+        print!("{}", render_space_table(&report));
+    }
     if args.profile {
         match profile_benchmarks(&args) {
             Ok(tables) => print!("{tables}"),
@@ -744,6 +887,22 @@ pub fn main_with_args(argv: &[String]) -> u8 {
         if cmp.has_regression() {
             return 1;
         }
+    }
+    if let Some(path) = &args.history {
+        let line = HistoryRun::from_report(&report, &args.rev, &args.date).to_json_line();
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| {
+                use std::io::Write as _;
+                writeln!(f, "{}", line.trim_end())
+            });
+        if let Err(e) = appended {
+            eprintln!("error: cannot append to {path}: {e}");
+            return 1;
+        }
+        println!("appended history line to {path}");
     }
     0
 }
@@ -819,6 +978,79 @@ mod tests {
         assert_eq!(parse_bench_args(&argv("--threads 4")).unwrap().threads, 4);
         assert_eq!(parse_bench_args(&argv("")).unwrap().threads, 1);
         assert!(parse_bench_args(&argv("--threads 0")).is_err());
+    }
+
+    #[test]
+    fn history_and_compare_modes_parse() {
+        let a = parse_bench_args(&argv("history --history BENCH_HISTORY.json")).unwrap();
+        assert_eq!(a.mode, BenchMode::History);
+        assert_eq!(a.history.as_deref(), Some("BENCH_HISTORY.json"));
+        let a = parse_bench_args(&argv("compare BENCH.json --history BENCH_HISTORY.json")).unwrap();
+        assert_eq!(a.mode, BenchMode::Compare);
+        assert_eq!(a.report.as_deref(), Some("BENCH.json"));
+        // Both modes refuse to guess a history path.
+        assert!(parse_bench_args(&argv("history")).is_err());
+        assert!(parse_bench_args(&argv("compare BENCH.json")).is_err());
+        // Run mode accepts the stamping options.
+        let a = parse_bench_args(&argv(
+            "--quick --history h.json --rev abc1234 --date 2026-08-07",
+        ))
+        .unwrap();
+        assert_eq!(a.mode, BenchMode::Run);
+        assert_eq!(a.rev, "abc1234");
+        assert_eq!(a.date, "2026-08-07");
+        assert!(parse_bench_args(&argv("--memstats")).unwrap().memstats);
+        // A stray positional outside compare mode is still an error.
+        assert!(parse_bench_args(&argv("BENCH.json")).is_err());
+    }
+
+    #[test]
+    fn memstats_table_shows_byte_gauges_per_entry() {
+        let report = run_benchmarks(&BenchArgs {
+            filter: Some("chain/seminaive".into()),
+            quick: true,
+            reps: Some(1),
+            warmup: Some(0),
+            ..Default::default()
+        })
+        .unwrap();
+        let table = render_space_table(&report);
+        assert!(table.contains("bench space"), "{table}");
+        assert!(table.contains("chain/seminaive/16"), "{table}");
+        assert!(table.contains("chain/seminaive@4/16"), "{table}");
+        for e in &report.entries {
+            assert!(e.gauges.bytes_peak > 0, "{}", e.key());
+            assert!(e.gauges.bytes_final > 0, "{}", e.key());
+            assert!(e.gauges.bytes_peak >= e.gauges.bytes_final, "{}", e.key());
+        }
+        // Byte gauges are thread-invariant: the @4 row matches row 1.
+        assert_eq!(
+            report.entries[0].gauges.bytes_peak,
+            report.entries[1].gauges.bytes_peak
+        );
+        assert_eq!(
+            report.entries[0].gauges.bytes_final,
+            report.entries[1].gauges.bytes_final
+        );
+    }
+
+    #[test]
+    fn measured_report_survives_the_history_gate() {
+        let report = run_benchmarks(&BenchArgs {
+            filter: Some("chain/".into()),
+            quick: true,
+            reps: Some(1),
+            warmup: Some(0),
+            ..Default::default()
+        })
+        .unwrap();
+        let line = HistoryRun::from_report(&report, "abc1234", "2026-08-07").to_json_line();
+        let history = BenchHistory::parse(&line).unwrap();
+        assert!(history.render_trajectory().contains("abc1234 2026-08-07"));
+        // A report gates cleanly against its own history line.
+        let cmp = compare_with_history(&report, &history).unwrap();
+        assert!(cmp.passed(), "{}", cmp.render());
+        assert_eq!(cmp.checked, report.entries.len());
     }
 
     #[test]

@@ -95,6 +95,9 @@ pub enum Command {
         policy: String,
         /// Print a per-stage evaluation statistics table.
         stats: bool,
+        /// Print the per-relation space report (logical byte
+        /// breakdown, fattest relations/deltas) after the run.
+        memstats: bool,
         /// Write the evaluation trace as JSON lines to this path.
         trace_json: Option<String>,
         /// Worker threads for the semi-naive hot path (None = engine
@@ -189,6 +192,10 @@ OPTIONS:
                                positive (default) | negative | noop | undefined
   --stats                      print per-stage evaluation statistics
                                (delta sizes, rules fired, join work, timing)
+  --memstats                   print the space report: per-relation /
+                               per-segment logical bytes, fattest relations
+                               and rule deltas (identical for every
+                               --threads count)
   --trace-json <PATH>          write the evaluation trace as JSON lines
   --threads <N>                worker threads for semi-naive rounds
                                (default 1, or the UNCHAINED_THREADS env var;
@@ -287,6 +294,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             let mut seed = 0u64;
             let mut policy = "positive".to_string();
             let mut stats = false;
+            let mut memstats = false;
             let mut trace_json = None;
             let mut threads = None;
             let mut profile = None;
@@ -317,6 +325,9 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     }
                     "--stats" => {
                         stats = true;
+                    }
+                    "--memstats" => {
+                        memstats = true;
                     }
                     "--trace-json" => {
                         trace_json = Some(it.next().ok_or("--trace-json needs a path")?.clone());
@@ -359,6 +370,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     seed,
                     policy,
                     stats,
+                    memstats,
                     trace_json,
                     threads,
                     profile,
@@ -431,6 +443,20 @@ mod tests {
         assert!(!stats);
         assert!(trace_json.is_none());
         assert!(parse_args(&argv("eval -s naive p.dl --trace-json")).is_err());
+    }
+
+    #[test]
+    fn parse_memstats_flag() {
+        let args = parse_args(&argv("run -s seminaive p.dl --memstats")).unwrap();
+        let Command::Eval { memstats, .. } = args.command else {
+            panic!("expected eval");
+        };
+        assert!(memstats);
+        let args = parse_args(&argv("eval -s naive p.dl")).unwrap();
+        let Command::Eval { memstats, .. } = args.command else {
+            panic!("expected eval");
+        };
+        assert!(!memstats);
     }
 
     #[test]

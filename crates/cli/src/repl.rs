@@ -52,6 +52,9 @@ Enter Datalog statements (terminated by `.`) or commands:
   .explain <fact>.            derivation tree of a fact (Datalog only)
   .why <fact>.                alias of .explain
   .stats [relation]           evaluate with per-stage statistics
+  .mem [relation]             evaluate and print the space report
+                              (per-relation logical bytes, fattest
+                              relations and rule deltas)
   .profile [relation]         evaluate under the hierarchical tracer and
                               print the hottest-rules table
   .metrics                    print the process metrics registry
@@ -143,6 +146,7 @@ impl Repl {
             },
             "explain" | "why" => self.explain(arg),
             "stats" => self.query(arg.trim_end_matches('.'), true),
+            "mem" | "memstats" => self.memstats(arg.trim_end_matches('.')),
             "profile" => self.profile(arg.trim_end_matches('.')),
             "metrics" => {
                 let rendered = unchained_common::metrics().render();
@@ -274,16 +278,21 @@ impl Repl {
     /// Evaluates the program and prints `target` (or all idb
     /// relations); with `stats`, appends the per-stage statistics table.
     fn query(&mut self, target: &str, stats: bool) -> String {
-        self.run_eval(target, stats, false)
+        self.run_eval(target, stats, false, false)
+    }
+
+    /// Evaluates and appends the space report to the answer.
+    fn memstats(&mut self, target: &str) -> String {
+        self.run_eval(target, false, true, false)
     }
 
     /// Evaluates under the hierarchical tracer and appends the
     /// hottest-rules table to the answer.
     fn profile(&mut self, target: &str) -> String {
-        self.run_eval(target, false, true)
+        self.run_eval(target, false, false, true)
     }
 
-    fn run_eval(&mut self, target: &str, stats: bool, profile: bool) -> String {
+    fn run_eval(&mut self, target: &str, stats: bool, memstats: bool, profile: bool) -> String {
         let cmd = crate::args::Command::Eval {
             program: String::new(),
             facts: None,
@@ -297,6 +306,7 @@ impl Repl {
             seed: self.seed,
             policy: "positive".to_string(),
             stats,
+            memstats,
             trace_json: None,
             threads: self.threads,
             // The path is a placeholder: the REPL prints the profiling
@@ -443,6 +453,23 @@ mod tests {
         // Plain queries stay stats-free.
         let out = feed_ok(&mut repl, "? T");
         assert!(!out.contains("engine:"), "{out}");
+    }
+
+    #[test]
+    fn mem_command_prints_space_report() {
+        let mut repl = Repl::new();
+        feed_ok(&mut repl, "G(1,2). G(2,3). G(3,4).");
+        feed_ok(&mut repl, "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).");
+        let out = feed_ok(&mut repl, ".mem T");
+        assert!(out.contains("T(1, 4)"), "{out}");
+        assert!(out.contains("space breakdown"), "{out}");
+        assert!(out.contains("additive: ok"), "{out}");
+        assert!(out.contains("fattest relations"), "{out}");
+        // `.memstats` is an alias; plain queries stay report-free.
+        let out = feed_ok(&mut repl, ".memstats");
+        assert!(out.contains("space breakdown"), "{out}");
+        let out = feed_ok(&mut repl, "? T");
+        assert!(!out.contains("space breakdown"), "{out}");
     }
 
     #[test]

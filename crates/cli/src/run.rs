@@ -2,8 +2,8 @@
 
 use crate::args::{Command, Semantics};
 use unchained_common::{
-    hottest_rules, to_chrome_json, validate_chrome_trace, Instance, Interner, Telemetry, Tracer,
-    Tuple, TIME_BUCKETS,
+    hottest_rules, to_chrome_json, validate_chrome_trace, Instance, Interner, SpaceReport,
+    Telemetry, Tracer, Tuple, TIME_BUCKETS,
 };
 use unchained_core::{
     inflationary, invention, naive, noninflationary, provenance, seminaive, stratified,
@@ -77,6 +77,7 @@ pub fn execute_full(
             seed,
             policy,
             stats,
+            memstats,
             trace_json,
             threads,
             profile,
@@ -84,7 +85,7 @@ pub fn execute_full(
             ..
         } => {
             let mut interner = Interner::new();
-            let want_trace = *stats || trace_json.is_some();
+            let want_trace = *stats || *memstats || trace_json.is_some();
             let mut tel = if want_trace {
                 Telemetry::enabled()
             } else {
@@ -94,6 +95,9 @@ pub fn execute_full(
                 tel = tel.with_tracer(Tracer::enabled());
             }
             let wall = std::time::Instant::now();
+            // Rendered space report plus its relation-bytes gauge,
+            // captured before the answer is rendered away.
+            let mut space: Option<(String, u64)> = None;
             let evaluated = if *semantics == Semantics::WhileLang {
                 eval_while(
                     program_text,
@@ -127,7 +131,12 @@ pub fn execute_full(
                     policy,
                     &mut interner,
                 )
-                .map(|answer| render_answer(&answer, output.as_deref(), &program, &interner))
+                .map(|answer| {
+                    if *memstats {
+                        space = Some(render_memstats(&answer, &interner));
+                    }
+                    render_answer(&answer, output.as_deref(), &program, &interner)
+                })
             };
             tel.with(|t| t.interner_symbols = interner.len());
             // Process-wide metrics: every run counts, errors separately.
@@ -145,6 +154,34 @@ pub fn execute_full(
                     if *stats {
                         if let Some(trace) = tel.snapshot() {
                             text.push_str(&trace.render_table(&interner));
+                        }
+                    }
+                    if *memstats {
+                        if let Some((report, relation_bytes)) = &space {
+                            text.push_str(report);
+                            registry.gauge_set(
+                                "unchained_relation_bytes",
+                                &[("engine", &engine)],
+                                *relation_bytes as f64,
+                            );
+                        }
+                        if let Some(trace) = tel.snapshot() {
+                            text.push_str(&trace.fattest_deltas(&interner, 8));
+                            registry.gauge_set(
+                                "unchained_peak_bytes",
+                                &[("engine", &engine)],
+                                trace.bytes_peak as f64,
+                            );
+                            let delta_tuples: usize = trace
+                                .stages
+                                .iter()
+                                .flat_map(|s| s.delta.iter().map(|(_, n)| n))
+                                .sum();
+                            registry.gauge_set(
+                                "unchained_delta_tuples",
+                                &[("engine", &engine)],
+                                delta_tuples as f64,
+                            );
                         }
                     }
                     let json = match trace_json {
@@ -237,6 +274,22 @@ fn parse_goal_fact(
 /// gauge).
 fn span_count(roots: &[unchained_common::Span]) -> usize {
     roots.iter().map(|s| 1 + span_count(&s.children)).sum()
+}
+
+/// Renders the `--memstats` space report for an answer and returns it
+/// with its relation-bytes total (the `unchained_relation_bytes` gauge).
+/// Three-valued answers report on the true facts, effect enumerations
+/// on the possibility instance.
+fn render_memstats(answer: &Answer, interner: &Interner) -> (String, u64) {
+    let instance = match answer {
+        Answer::Instance(instance, _) => instance,
+        Answer::ThreeValued(model) => &model.true_facts,
+        Answer::Effects { poss, .. } => poss,
+    };
+    let report = SpaceReport::for_instance(instance, interner);
+    let mut out = report.render();
+    out.push_str(&report.fattest_relations(8));
+    (out, report.relation_bytes())
 }
 
 /// Evaluates a while-language program file.
@@ -651,6 +704,71 @@ mod tests {
         )
         .unwrap();
         assert!(out.text.contains("threads: 4"), "{}", out.text);
+    }
+
+    #[test]
+    fn memstats_flag_appends_space_report() {
+        let out = execute_full(
+            &eval_cmd_with("seminaive", "--memstats --metrics out.prom"),
+            "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).",
+            Some("G(1,2). G(2,3). G(3,4)."),
+        )
+        .unwrap();
+        assert!(out.text.contains("space breakdown"), "{}", out.text);
+        assert!(out.text.contains("additive: ok"), "{}", out.text);
+        assert!(out.text.contains("T/2"), "{}", out.text);
+        assert!(out.text.contains("fattest relations"), "{}", out.text);
+        assert!(out.text.contains("fattest deltas"), "{}", out.text);
+        // The space gauges land in the Prometheus registry.
+        let prom = out.metrics_text.expect("metrics text");
+        assert!(
+            prom.contains("unchained_relation_bytes{engine=\"seminaive\"}"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("unchained_peak_bytes{engine=\"seminaive\"}"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("unchained_delta_tuples{engine=\"seminaive\"}"),
+            "{prom}"
+        );
+        // Without the flag the report stays out of the output.
+        let out =
+            execute_full(&eval_cmd("seminaive"), "T(x,y) :- G(x,y).", Some("G(1,2).")).unwrap();
+        assert!(!out.text.contains("space breakdown"));
+    }
+
+    #[test]
+    fn memstats_report_identical_at_threads_1_and_4() {
+        let prog = "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).";
+        let facts = "G(1,2). G(2,3). G(3,4). G(4,5). G(5,1). G(2,5).";
+        let seq = execute_full(
+            &eval_cmd_with("seminaive", "--memstats --threads 1"),
+            prog,
+            Some(facts),
+        )
+        .unwrap();
+        let par = execute_full(
+            &eval_cmd_with("seminaive", "--memstats --threads 4"),
+            prog,
+            Some(facts),
+        )
+        .unwrap();
+        assert_eq!(seq.text, par.text);
+        assert!(seq.text.contains("additive: ok"), "{}", seq.text);
+    }
+
+    #[test]
+    fn memstats_covers_three_valued_answers() {
+        let out = execute_full(
+            &eval_cmd_with("wellfounded", "--memstats"),
+            "win(x) :- moves(x,y), !win(y).",
+            Some("moves('a','b'). moves('b','a')."),
+        )
+        .unwrap();
+        assert!(out.text.contains("space breakdown"), "{}", out.text);
+        assert!(out.text.contains("additive: ok"), "{}", out.text);
     }
 
     #[test]

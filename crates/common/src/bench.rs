@@ -21,6 +21,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use crate::json::Json;
+use crate::space::fmt_bytes;
 use crate::telemetry::{json_escape, EvalTrace};
 
 /// Version of the `BENCH.json` schema. Bump on any breaking change to
@@ -30,8 +31,10 @@ use crate::telemetry::{json_escape, EvalTrace};
 /// v2 added the index-maintenance gauges (`index_hits`, `index_appends`,
 /// `appended_tuples`, `index_rebuilds`) to the `joins` object. v3 added
 /// the per-entry `threads` field (worker threads the case ran with) so
-/// thread-scaling rows are first-class, separately-keyed entries.
-pub const BENCH_SCHEMA_VERSION: u64 = 3;
+/// thread-scaling rows are first-class, separately-keyed entries. v4
+/// added the space gauges `bytes_peak`/`bytes_final` (logical instance
+/// bytes, see `crate::space`) and the derived `tuples_per_sec` rate.
+pub const BENCH_SCHEMA_VERSION: u64 = 4;
 
 /// Ignore regressions whose absolute median increase is below this
 /// floor (25 µs): ratios on microsecond-scale cases are dominated by
@@ -41,6 +44,13 @@ pub const REGRESSION_MIN_DELTA_NANOS: u64 = 25_000;
 /// Default regression threshold: fail when a median is more than 2×
 /// its baseline (and above [`REGRESSION_MIN_DELTA_NANOS`]).
 pub const DEFAULT_REGRESSION_THRESHOLD: f64 = 2.0;
+
+/// Byte-growth gate: an entry's `bytes_peak` more than this factor over
+/// its baseline counts as a space regression. Logical bytes are
+/// deterministic (counts × fixed widths, see `crate::space`), so unlike
+/// wall time this gate is machine-independent and needs no noise floor
+/// beyond requiring a non-zero baseline.
+pub const BYTES_REGRESSION_FACTOR: f64 = 2.0;
 
 /// Warmup/repetition counts for one benchmark case.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -146,6 +156,11 @@ pub struct Gauges {
     pub index_rebuilds: u64,
     /// Interner size after the run.
     pub interner_symbols: u64,
+    /// Logical-byte high-water mark of the instance (plus any pending
+    /// delta buffer) across the run; 0 when the engine does not account.
+    pub bytes_peak: u64,
+    /// Logical bytes of the final instance.
+    pub bytes_final: u64,
 }
 
 impl Gauges {
@@ -168,6 +183,8 @@ impl Gauges {
             appended_tuples: trace.joins.appended_tuples,
             index_rebuilds: trace.joins.index_rebuilds,
             interner_symbols: trace.interner_symbols as u64,
+            bytes_peak: trace.bytes_peak,
+            bytes_final: trace.bytes_final,
         }
     }
 }
@@ -205,6 +222,17 @@ impl BenchEntry {
         } else {
             format!("{}/{}/{}", self.workload, self.engine, self.n)
         }
+    }
+
+    /// Derived throughput: facts derived per second of median wall time
+    /// (0 when the median rounds to zero). Emitted into `BENCH.json`
+    /// for dashboards but never parsed back — it is a pure function of
+    /// two stored fields.
+    pub fn tuples_per_sec(&self) -> u64 {
+        if self.wall.median == 0 {
+            return 0;
+        }
+        (self.gauges.facts_derived as f64 * 1e9 / self.wall.median as f64) as u64
     }
 }
 
@@ -257,7 +285,15 @@ impl BenchReport {
                 g.appended_tuples,
                 g.index_rebuilds
             );
-            let _ = write!(out, ",\"interner_symbols\":{}}}", g.interner_symbols);
+            let _ = write!(
+                out,
+                ",\"interner_symbols\":{},\"bytes_peak\":{},\"bytes_final\":{},\
+                 \"tuples_per_sec\":{}}}",
+                g.interner_symbols,
+                g.bytes_peak,
+                g.bytes_final,
+                e.tuples_per_sec()
+            );
             out.push_str(if i + 1 < self.entries.len() {
                 ",\n"
             } else {
@@ -328,6 +364,8 @@ impl BenchReport {
                     appended_tuples: field(joins, "appended_tuples")?,
                     index_rebuilds: field(joins, "index_rebuilds")?,
                     interner_symbols: field(e, "interner_symbols")?,
+                    bytes_peak: field(e, "bytes_peak")?,
+                    bytes_final: field(e, "bytes_final")?,
                 },
             });
         }
@@ -339,7 +377,7 @@ impl BenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9} {:>8} {:>9}",
+            "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9} {:>8} {:>9} {:>10}",
             "workload/engine",
             "n",
             "reps",
@@ -351,12 +389,13 @@ impl BenchReport {
             "probes",
             "peak",
             "appends",
-            "rebuilds"
+            "rebuilds",
+            "bytes"
         );
         for e in &self.entries {
             let _ = writeln!(
                 out,
-                "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9} {:>8} {:>9}",
+                "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9} {:>8} {:>9} {:>10}",
                 if e.threads > 1 {
                     format!("{}/{}@{}", e.workload, e.engine, e.threads)
                 } else {
@@ -372,7 +411,8 @@ impl BenchReport {
                 e.gauges.probes,
                 e.gauges.peak_facts,
                 e.gauges.index_appends,
-                e.gauges.index_rebuilds
+                e.gauges.index_rebuilds,
+                fmt_bytes(e.gauges.bytes_peak)
             );
         }
         out
@@ -397,6 +437,9 @@ pub struct EntryDelta {
     /// stage count, or index-maintenance work changed for the same
     /// workload/engine/size).
     pub work_drifted: bool,
+    /// Whether `bytes_peak` grew past [`BYTES_REGRESSION_FACTOR`] ×
+    /// baseline (only checked when the baseline accounted bytes at all).
+    pub bytes_regressed: bool,
 }
 
 /// The outcome of comparing a run against a baseline `BENCH.json`.
@@ -414,11 +457,12 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// True when any matched entry regressed (time or work drift).
+    /// True when any matched entry regressed (time, work drift, or
+    /// byte growth).
     pub fn has_regression(&self) -> bool {
         self.deltas
             .iter()
-            .any(|d| d.time_regressed || d.work_drifted)
+            .any(|d| d.time_regressed || d.work_drifted || d.bytes_regressed)
     }
 
     /// Renders the per-entry delta table plus a verdict line.
@@ -434,6 +478,8 @@ impl Comparison {
         for d in &self.deltas {
             let verdict = if d.work_drifted {
                 "  WORK DRIFT"
+            } else if d.bytes_regressed {
+                "  BYTES GREW"
             } else if d.time_regressed {
                 "  REGRESSED"
             } else {
@@ -457,7 +503,7 @@ impl Comparison {
         let regressions = self
             .deltas
             .iter()
-            .filter(|d| d.time_regressed || d.work_drifted)
+            .filter(|d| d.time_regressed || d.work_drifted || d.bytes_regressed)
             .count();
         let _ = writeln!(
             out,
@@ -500,6 +546,9 @@ pub fn compare_reports(new: &BenchReport, base: &BenchReport, threshold: f64) ->
                         || e.gauges.stages != b.gauges.stages
                         || e.gauges.index_rebuilds != b.gauges.index_rebuilds
                         || e.gauges.index_appends != b.gauges.index_appends,
+                    bytes_regressed: b.gauges.bytes_peak > 0
+                        && e.gauges.bytes_peak as f64
+                            > b.gauges.bytes_peak as f64 * BYTES_REGRESSION_FACTOR,
                 });
             }
         }
@@ -511,6 +560,258 @@ pub fn compare_reports(new: &BenchReport, base: &BenchReport, threshold: f64) ->
         }
     }
     cmp
+}
+
+/// One per-entry data point carried into a history line: just the
+/// fields that stay comparable across commits — the median (for eyes,
+/// never gated), plus the two deterministic gauges the history gate
+/// checks (`bytes_peak` growth and `facts_derived` drift).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryPoint {
+    /// The entry key (`workload/engine[@threads]/n`).
+    pub key: String,
+    /// Median wall nanoseconds of that run.
+    pub median: u64,
+    /// Logical-byte high-water mark of that run.
+    pub bytes_peak: u64,
+    /// Facts derived beyond the input.
+    pub facts_derived: u64,
+}
+
+/// One benchmark run recorded into `BENCH_HISTORY.json`: a git
+/// revision, a date (both passed in by the caller — this module never
+/// reads the clock or the repo), and one [`HistoryPoint`] per entry.
+/// Serialized as exactly one JSON line so the file is append-only and
+/// its diffs are one line per run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistoryRun {
+    /// Git revision the run was taken at.
+    pub rev: String,
+    /// ISO date of the run.
+    pub date: String,
+    /// One point per report entry, in report order.
+    pub points: Vec<HistoryPoint>,
+}
+
+impl HistoryRun {
+    /// Distills a report into a history line.
+    pub fn from_report(report: &BenchReport, rev: &str, date: &str) -> HistoryRun {
+        HistoryRun {
+            rev: rev.to_string(),
+            date: date.to_string(),
+            points: report
+                .entries
+                .iter()
+                .map(|e| HistoryPoint {
+                    key: e.key(),
+                    median: e.wall.median,
+                    bytes_peak: e.gauges.bytes_peak,
+                    facts_derived: e.gauges.facts_derived,
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the run as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"rev\":\"{}\",\"date\":\"{}\",\"points\":[",
+            json_escape(&self.rev),
+            json_escape(&self.date)
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"key\":\"{}\",\"median\":{},\"bytes_peak\":{},\"facts_derived\":{}}}",
+                json_escape(&p.key),
+                p.median,
+                p.bytes_peak,
+                p.facts_derived
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses one history line (strict: every field required).
+    pub fn from_json_line(line: &str) -> Result<HistoryRun, String> {
+        let doc = Json::parse(line).map_err(|e| format!("BENCH_HISTORY.json: {e}"))?;
+        let s = |j: &Json, name: &str| -> Result<String, String> {
+            j.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("BENCH_HISTORY.json run: missing string `{name}`"))
+        };
+        let u = |j: &Json, name: &str| -> Result<u64, String> {
+            j.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("BENCH_HISTORY.json point: missing numeric `{name}`"))
+        };
+        let points = doc
+            .get("points")
+            .and_then(Json::as_arr)
+            .ok_or("BENCH_HISTORY.json run: missing points array")?
+            .iter()
+            .map(|p| {
+                Ok(HistoryPoint {
+                    key: p
+                        .get("key")
+                        .and_then(Json::as_str)
+                        .ok_or("BENCH_HISTORY.json point: missing `key`")?
+                        .to_string(),
+                    median: u(p, "median")?,
+                    bytes_peak: u(p, "bytes_peak")?,
+                    facts_derived: u(p, "facts_derived")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(HistoryRun {
+            rev: s(&doc, "rev")?,
+            date: s(&doc, "date")?,
+            points,
+        })
+    }
+}
+
+/// The whole `BENCH_HISTORY.json` trajectory: one [`HistoryRun`] per
+/// line, oldest first.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BenchHistory {
+    /// Runs in file (= chronological append) order.
+    pub runs: Vec<HistoryRun>,
+}
+
+impl BenchHistory {
+    /// Parses the line-oriented history file (blank lines ignored).
+    pub fn parse(text: &str) -> Result<BenchHistory, String> {
+        let runs = text
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(HistoryRun::from_json_line)
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(BenchHistory { runs })
+    }
+
+    /// Renders the history back to its file form (one line per run).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.runs {
+            out.push_str(&r.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the trajectory for humans: the run list, then one line
+    /// per key showing its median/byte series oldest → newest.
+    pub fn render_trajectory(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "bench history: {} run(s)", self.runs.len());
+        for r in &self.runs {
+            let _ = writeln!(out, "  {} {} ({} workloads)", r.rev, r.date, r.points.len());
+        }
+        let mut keys: Vec<&str> = Vec::new();
+        for r in &self.runs {
+            for p in &r.points {
+                if !keys.contains(&p.key.as_str()) {
+                    keys.push(&p.key);
+                }
+            }
+        }
+        keys.sort_unstable();
+        for key in keys {
+            let series: Vec<String> = self
+                .runs
+                .iter()
+                .filter_map(|r| r.points.iter().find(|p| p.key == key))
+                .map(|p| format!("{} {}", fmt_nanos(p.median), fmt_bytes(p.bytes_peak)))
+                .collect();
+            let _ = writeln!(out, "  {:<28} {}", key, series.join(" -> "));
+        }
+        out
+    }
+}
+
+/// The outcome of gating a report against the latest history line.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistoryComparison {
+    /// Revision of the history line compared against.
+    pub baseline_rev: String,
+    /// How many report entries had a matching history point.
+    pub checked: usize,
+    /// One human-readable line per violated gate.
+    pub failures: Vec<String>,
+}
+
+impl HistoryComparison {
+    /// True when no gate fired.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Renders the verdict.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "history comparison vs {}: {} checked, {} failure(s)",
+            self.baseline_rev,
+            self.checked,
+            self.failures.len()
+        );
+        for f in &self.failures {
+            let _ = writeln!(out, "  {f}");
+        }
+        out
+    }
+}
+
+/// Gates `report` against the most recent run in `history`. Only the
+/// deterministic gauges are gated — `bytes_peak` growth beyond
+/// [`BYTES_REGRESSION_FACTOR`] and any `facts_derived` drift — never
+/// wall time, so a committed history validates on any machine. Keys
+/// present on only one side are skipped (quick and full runs measure
+/// different sizes). Errs on an empty history.
+pub fn compare_with_history(
+    report: &BenchReport,
+    history: &BenchHistory,
+) -> Result<HistoryComparison, String> {
+    let last = history
+        .runs
+        .last()
+        .ok_or("BENCH_HISTORY.json has no runs to compare against")?;
+    let mut cmp = HistoryComparison {
+        baseline_rev: last.rev.clone(),
+        ..Default::default()
+    };
+    for e in &report.entries {
+        let key = e.key();
+        let Some(p) = last.points.iter().find(|p| p.key == key) else {
+            continue;
+        };
+        cmp.checked += 1;
+        if p.bytes_peak > 0
+            && e.gauges.bytes_peak as f64 > p.bytes_peak as f64 * BYTES_REGRESSION_FACTOR
+        {
+            cmp.failures.push(format!(
+                "{key}: bytes_peak {} -> {} (> {BYTES_REGRESSION_FACTOR}x)",
+                fmt_bytes(p.bytes_peak),
+                fmt_bytes(e.gauges.bytes_peak)
+            ));
+        }
+        if e.gauges.facts_derived != p.facts_derived {
+            cmp.failures.push(format!(
+                "{key}: facts_derived drifted {} -> {}",
+                p.facts_derived, e.gauges.facts_derived
+            ));
+        }
+    }
+    Ok(cmp)
 }
 
 /// Formats nanoseconds with an adaptive unit (shared with telemetry's
@@ -558,6 +859,8 @@ mod tests {
                 appended_tuples: 9,
                 index_rebuilds: 1,
                 interner_symbols: 5,
+                bytes_peak: 4096,
+                bytes_final: 2048,
             },
         }
     }
@@ -684,6 +987,118 @@ mod tests {
         let rendered = cmp.render();
         assert!(rendered.contains("WORK DRIFT"), "{rendered}");
         assert!(rendered.contains("only in baseline"), "{rendered}");
+    }
+
+    #[test]
+    fn bytes_gauges_round_trip_and_gate_growth() {
+        let report = BenchReport {
+            entries: vec![entry("chain", "seminaive", 64, 1_000)],
+        };
+        let json = report.to_json();
+        // The v4 fields land after interner_symbols, preserving the
+        // line-prefix contract scripts/check.sh relies on.
+        assert!(
+            json.contains("\"bytes_peak\":4096,\"bytes_final\":2048"),
+            "{json}"
+        );
+        assert!(json.contains("\"tuples_per_sec\":"), "{json}");
+        assert_eq!(BenchReport::from_json(&json).unwrap(), report);
+
+        let mut fat = entry("chain", "seminaive", 64, 1_000);
+        fat.gauges.bytes_peak = 4096 * 3; // > 2x
+        let cmp = compare_reports(
+            &BenchReport {
+                entries: vec![fat.clone()],
+            },
+            &report,
+            2.0,
+        );
+        assert!(cmp.has_regression());
+        assert!(cmp.deltas[0].bytes_regressed);
+        assert!(cmp.render().contains("BYTES GREW"), "{}", cmp.render());
+        // A zero-byte baseline (engine without accounting) never gates.
+        let mut unaccounted = report.clone();
+        unaccounted.entries[0].gauges.bytes_peak = 0;
+        let cmp = compare_reports(&BenchReport { entries: vec![fat] }, &unaccounted, 2.0);
+        assert!(!cmp.deltas[0].bytes_regressed);
+    }
+
+    #[test]
+    fn tuples_per_sec_is_derived_from_median() {
+        let e = entry("chain", "seminaive", 64, 1_000_000); // 1 ms, 10 facts
+        assert_eq!(e.tuples_per_sec(), 10_000);
+        let mut zero = entry("chain", "seminaive", 64, 1);
+        zero.wall.median = 0;
+        assert_eq!(zero.tuples_per_sec(), 0);
+    }
+
+    #[test]
+    fn history_lines_round_trip_and_render_a_trajectory() {
+        let report = BenchReport {
+            entries: vec![
+                entry("chain", "seminaive", 64, 1_000),
+                entry("win", "wellfounded", 8, 500),
+            ],
+        };
+        let run = HistoryRun::from_report(&report, "abc1234", "2026-08-07");
+        let line = run.to_json_line();
+        assert!(!line.contains('\n'), "one run = one line: {line}");
+        assert_eq!(HistoryRun::from_json_line(&line).unwrap(), run);
+
+        let mut newer = run.clone();
+        newer.rev = "def5678".into();
+        newer.points[0].median = 900;
+        let history = BenchHistory {
+            runs: vec![run, newer],
+        };
+        let parsed = BenchHistory::parse(&history.to_text()).unwrap();
+        assert_eq!(parsed, history);
+        let shown = history.render_trajectory();
+        assert!(shown.contains("bench history: 2 run(s)"), "{shown}");
+        assert!(shown.contains("abc1234"), "{shown}");
+        assert!(shown.contains("chain/seminaive/64"), "{shown}");
+        assert!(shown.contains("->"), "{shown}");
+
+        assert!(HistoryRun::from_json_line("{}").is_err());
+        assert!(BenchHistory::parse("not json").is_err());
+        assert!(BenchHistory::parse("").unwrap().runs.is_empty());
+    }
+
+    #[test]
+    fn history_gate_checks_bytes_and_work_but_never_time() {
+        let base = BenchReport {
+            entries: vec![entry("chain", "seminaive", 64, 1_000)],
+        };
+        let history = BenchHistory {
+            runs: vec![HistoryRun::from_report(&base, "abc1234", "2026-08-07")],
+        };
+        // Identical work, wildly slower wall time: passes.
+        let mut slow = base.clone();
+        slow.entries[0].wall.median = 1_000_000_000;
+        let cmp = compare_with_history(&slow, &history).unwrap();
+        assert_eq!(cmp.checked, 1);
+        assert!(cmp.passed(), "{}", cmp.render());
+        assert_eq!(cmp.baseline_rev, "abc1234");
+        // Byte growth past the factor: fails.
+        let mut fat = base.clone();
+        fat.entries[0].gauges.bytes_peak *= 3;
+        let cmp = compare_with_history(&fat, &history).unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp.render().contains("bytes_peak"), "{}", cmp.render());
+        // Derived-fact drift: fails.
+        let mut drift = base.clone();
+        drift.entries[0].gauges.facts_derived += 1;
+        let cmp = compare_with_history(&drift, &history).unwrap();
+        assert!(!cmp.passed());
+        assert!(cmp.render().contains("facts_derived"), "{}", cmp.render());
+        // Unmatched keys are skipped, empty history errs.
+        let other = BenchReport {
+            entries: vec![entry("grid", "seminaive", 8, 10)],
+        };
+        let cmp = compare_with_history(&other, &history).unwrap();
+        assert_eq!(cmp.checked, 0);
+        assert!(cmp.passed());
+        assert!(compare_with_history(&base, &BenchHistory::default()).is_err());
     }
 
     #[test]

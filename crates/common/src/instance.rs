@@ -190,6 +190,17 @@ impl Instance {
     }
 }
 
+impl crate::space::HeapSize for Instance {
+    /// Sum over the relations; cheap enough (counts only, no tuple
+    /// walk) for engines to sample as a per-rule high-water mark.
+    fn heap_bytes(&self) -> usize {
+        self.relations
+            .values()
+            .map(crate::space::HeapSize::heap_bytes)
+            .sum()
+    }
+}
+
 /// A snapshot of every relation's [`Generation`] at a point in time — the
 /// first-class delta mark that replaces threading an ad-hoc delta `Instance`
 /// through the semi-naive engines.

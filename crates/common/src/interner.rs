@@ -89,6 +89,18 @@ impl Interner {
     }
 }
 
+impl crate::space::HeapSize for Interner {
+    /// Every name is stored twice (the id-to-name vector and the
+    /// lookup-map key), each behind a `Box<str>` handle, plus one
+    /// symbol id per lookup entry.
+    fn heap_bytes(&self) -> usize {
+        self.names
+            .iter()
+            .map(|n| 2 * (crate::space::STR_HEADER_BYTES + n.len()) + crate::space::SYMBOL_BYTES)
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

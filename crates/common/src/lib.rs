@@ -29,13 +29,15 @@ pub mod metrics;
 pub mod relation;
 pub mod rng;
 pub mod schema;
+pub mod space;
 pub mod telemetry;
 pub mod trace;
 pub mod tuple;
 pub mod value;
 
 pub use bench::{
-    compare_reports, measure, BenchEntry, BenchReport, Comparison, Gauges, Repetitions, WallStats,
+    compare_reports, compare_with_history, measure, BenchEntry, BenchHistory, BenchReport,
+    Comparison, Gauges, HistoryComparison, HistoryPoint, HistoryRun, Repetitions, WallStats,
     BENCH_SCHEMA_VERSION,
 };
 pub use error::CommonError;
@@ -47,6 +49,7 @@ pub use metrics::{metrics, Registry, TIME_BUCKETS};
 pub use relation::{Generation, Index, Relation};
 pub use rng::Rng;
 pub use schema::{RelationSchema, Schema};
+pub use space::{fmt_bytes, tuple_bytes, HeapSize, SpaceNode, SpaceReport};
 pub use telemetry::{
     DivergenceSnapshot, EvalTrace, JoinCounters, StageRecord, Stopwatch, Telemetry,
 };

@@ -17,8 +17,6 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::{Mutex, OnceLock, PoisonError};
 
-use crate::telemetry::json_escape;
-
 /// Default histogram buckets for wall-clock seconds: exponential from
 /// 100µs to ~100s, fitting everything from REPL one-liners to the
 /// largest bench workloads.
@@ -67,6 +65,26 @@ pub fn metrics() -> &'static Registry {
     })
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// exactly backslash, double-quote, and line feed are escaped (as
+/// `\\`, `\"`, `\n`). Everything else — tabs, carriage returns, other
+/// control characters, Unicode — passes through verbatim; the format
+/// defines no `\t`/`\uXXXX` escapes, so emitting them (as the previous
+/// JSON escaper did) produced literal backslash sequences scrapers
+/// would mis-read.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders a label set as `{k="v",…}` with keys sorted (empty string
 /// for no labels), which doubles as the series key.
 fn label_key(labels: &[(&str, &str)]) -> String {
@@ -80,7 +98,7 @@ fn label_key(labels: &[(&str, &str)]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "{k}=\"{}\"", json_escape(v));
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
     }
     out.push('}');
     out
@@ -326,6 +344,41 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("wall_seconds_sum{engine=\"x\"} "), "{text}");
+    }
+
+    /// Conformance against the exposition-format spec's escaping
+    /// example (`msdos_file_access_time_seconds{path="C:\\DIR\\FILE.TXT",
+    /// error="Cannot find file:\n\"FILE.TXT\""}`): backslash, newline and
+    /// double-quote are escaped, and *nothing else* is — a tab must pass
+    /// through verbatim, not become `\t`.
+    #[test]
+    fn label_values_escape_per_exposition_format() {
+        let r = fresh();
+        r.gauge_set(
+            "msdos_file_access_time_seconds",
+            &[
+                ("path", "C:\\DIR\\FILE.TXT"),
+                ("error", "Cannot find file:\n\"FILE.TXT\""),
+            ],
+            1.458255915e9,
+        );
+        let text = r.render();
+        assert!(
+            text.contains(
+                "msdos_file_access_time_seconds{error=\"Cannot find file:\\n\\\"FILE.TXT\\\"\",path=\"C:\\\\DIR\\\\FILE.TXT\"} 1458255915"
+            ),
+            "{text}"
+        );
+
+        r.reset();
+        r.counter_add("c_total", &[("k", "a\tb\rc")], 1);
+        let text = r.render();
+        assert!(
+            text.contains("c_total{k=\"a\tb\rc\"} 1"),
+            "tab and carriage return must pass through unescaped: {text}"
+        );
+        assert!(!text.contains("\\t"), "{text}");
+        assert!(!text.contains("\\r"), "{text}");
     }
 
     #[test]

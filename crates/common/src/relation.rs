@@ -11,6 +11,7 @@
 //! from scratch on every version bump.
 
 use crate::hash::{hash_one, FxHashMap, FxHashSet};
+use crate::space::{tuple_bytes, HeapSize, SpaceNode, TUPLE_HEADER_BYTES, VALUE_BYTES};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -188,6 +189,43 @@ impl Relation {
     /// Length of the uncommitted recent tail.
     pub fn recent_len(&self) -> usize {
         self.recent.len()
+    }
+
+    /// Tuple counts of the frozen stable segments, in storage order.
+    pub fn segment_lens(&self) -> Vec<usize> {
+        self.segments.iter().map(|s| s.len()).collect()
+    }
+
+    /// The relation's [`SpaceNode`]: one child per frozen segment, one
+    /// for the recent tail, one for the membership set (which owns its
+    /// own clone of every tuple). `items` on the branch is the logical
+    /// cardinality, not the child sum — see the invariant note on
+    /// [`SpaceNode`].
+    pub fn space_node(&self, name: &str) -> SpaceNode {
+        let per_tuple = tuple_bytes(self.arity) as u64;
+        let mut children = Vec::with_capacity(self.segments.len() + 2);
+        for (i, seg) in self.segments.iter().enumerate() {
+            children.push(SpaceNode::leaf(
+                format!("segment {i}"),
+                seg.len() as u64,
+                seg.len() as u64 * per_tuple,
+            ));
+        }
+        children.push(SpaceNode::leaf(
+            "recent tail",
+            self.recent.len() as u64,
+            self.recent.len() as u64 * per_tuple,
+        ));
+        children.push(SpaceNode::leaf(
+            "membership set",
+            self.set.len() as u64,
+            self.set.len() as u64 * per_tuple,
+        ));
+        SpaceNode::branch(
+            format!("{name}/{}", self.arity),
+            self.set.len() as u64,
+            children,
+        )
     }
 
     /// Moves this relation to a fresh epoch if a live clone might still
@@ -482,6 +520,18 @@ fn merge_sorted(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
     out
 }
 
+impl HeapSize for Relation {
+    /// One stored-tuple copy per segment posting, recent-tail posting,
+    /// and membership-set entry. Computed from counts only (O(#segments)),
+    /// so engines can sample it after every rule application.
+    fn heap_bytes(&self) -> usize {
+        let stored = self.segments.iter().map(|s| s.len()).sum::<usize>()
+            + self.recent.len()
+            + self.set.len();
+        stored * tuple_bytes(self.arity)
+    }
+}
+
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
         self.same_tuples(other)
@@ -601,6 +651,25 @@ impl Index {
     /// Number of distinct keys.
     pub fn distinct_keys(&self) -> usize {
         self.buckets.len()
+    }
+}
+
+impl HeapSize for Index {
+    /// One boxed key per bucket plus one stored-tuple copy per posting.
+    /// Summed over buckets, so the result is independent of hash-map
+    /// iteration order.
+    fn heap_bytes(&self) -> usize {
+        let key_width = TUPLE_HEADER_BYTES + self.key_columns.len() * VALUE_BYTES;
+        self.buckets
+            .values()
+            .map(|postings| {
+                key_width
+                    + postings
+                        .iter()
+                        .map(|t| tuple_bytes(t.arity()))
+                        .sum::<usize>()
+            })
+            .sum()
     }
 }
 

@@ -95,6 +95,9 @@ pub struct StageRecord {
     pub delta: Vec<(Symbol, usize)>,
     /// Join work performed during this stage.
     pub joins: JoinCounters,
+    /// Logical instance bytes at the stage boundary (the
+    /// [`crate::space`] model; `0` when the engine does not account).
+    pub bytes: u64,
 }
 
 /// Snapshot of the noninflationary divergence detector at run end.
@@ -119,10 +122,18 @@ pub struct EvalTrace {
     pub stages: Vec<StageRecord>,
     /// Total wall time of the run, in nanoseconds.
     pub total_wall_nanos: u64,
-    /// Largest instance size observed at any stage boundary.
+    /// Largest number of live facts observed, sampled after every rule
+    /// application (instance plus any pending delta buffer), so the
+    /// value is a true high-water mark rather than a stage-boundary
+    /// sample.
     pub peak_facts: usize,
     /// Instance size at run end.
     pub final_facts: usize,
+    /// High-water mark of live logical bytes (the [`crate::space`]
+    /// model), sampled alongside `peak_facts`.
+    pub bytes_peak: u64,
+    /// Logical instance bytes at run end.
+    pub bytes_final: u64,
     /// Total rule-body matches across stages.
     pub rules_fired: u64,
     /// Total join work across stages.
@@ -157,6 +168,7 @@ impl EvalTrace {
         self.total_wall_nanos = total_wall_nanos;
         self.final_facts = final_facts;
         self.peak_facts = self.peak_facts.max(final_facts);
+        self.bytes_peak = self.bytes_peak.max(self.bytes_final);
         self.rules_fired = self.stages.iter().map(|s| s.rules_fired).sum();
         let mut joins = JoinCounters::default();
         for s in &self.stages {
@@ -178,6 +190,11 @@ impl EvalTrace {
             self.total_wall_nanos,
             self.peak_facts,
             self.final_facts
+        );
+        let _ = write!(
+            out,
+            ",\"bytes_peak\":{},\"bytes_final\":{}",
+            self.bytes_peak, self.bytes_final
         );
         let _ = write!(out, ",\"rules_fired\":{}", self.rules_fired);
         out.push_str(",\"joins\":");
@@ -229,8 +246,8 @@ impl EvalTrace {
             let _ = write!(
                 out,
                 "{{\"type\":\"stage\",\"stage\":{},\"wall_nanos\":{},\"facts_added\":{},\
-                 \"facts_removed\":{},\"rules_fired\":{}",
-                s.stage, s.wall_nanos, s.facts_added, s.facts_removed, s.rules_fired
+                 \"facts_removed\":{},\"rules_fired\":{},\"bytes\":{}",
+                s.stage, s.wall_nanos, s.facts_added, s.facts_removed, s.rules_fired, s.bytes
             );
             out.push_str(",\"delta\":{");
             // Name order, matching the object normalization applied by
@@ -305,6 +322,8 @@ impl EvalTrace {
             peak_facts: req_usize("peak_facts")?,
             final_facts: req_usize("final_facts")?,
             rules_fired: req_u64("rules_fired")?,
+            bytes_peak: req_u64("bytes_peak")?,
+            bytes_final: req_u64("bytes_final")?,
             joins: joins_of(run.get("joins").ok_or("run: missing `joins`")?, "run")?,
             invented: req_usize("invented")?,
             loop_iterations: req_usize("loop_iterations")?,
@@ -375,6 +394,10 @@ impl EvalTrace {
                     .get("rules_fired")
                     .and_then(Json::as_u64)
                     .ok_or_else(|| format!("{what}: missing `rules_fired`"))?,
+                bytes: stage
+                    .get("bytes")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("{what}: missing `bytes`"))?,
                 joins: joins_of(
                     stage
                         .get("joins")
@@ -433,6 +456,14 @@ impl EvalTrace {
             self.joins.index_builds,
             self.joins.indexed_tuples
         );
+        if self.bytes_final > 0 || self.bytes_peak > 0 {
+            let _ = writeln!(
+                out,
+                "space: {} final (peak {})",
+                crate::space::fmt_bytes(self.bytes_final),
+                crate::space::fmt_bytes(self.bytes_peak)
+            );
+        }
         let lookups = self.joins.index_hits
             + self.joins.index_appends
             + self.joins.index_builds
@@ -508,6 +539,33 @@ impl EvalTrace {
         }
         for n in &self.notes {
             let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// The top-`n` relations by cumulative delta tuples across stages —
+    /// the cardinality-growth companion to the tracer's hottest-rules
+    /// table: which relations' deltas dominated the run.
+    pub fn fattest_deltas(&self, interner: &Interner, n: usize) -> String {
+        let mut per: std::collections::BTreeMap<&str, (usize, usize)> = Default::default();
+        for s in &self.stages {
+            for (pred, added) in &s.delta {
+                let e = per.entry(interner.name(*pred)).or_insert((0, 0));
+                e.0 += added;
+                e.1 += 1;
+            }
+        }
+        let mut rows: Vec<(&str, usize, usize)> =
+            per.into_iter().map(|(k, (t, r))| (k, t, r)).collect();
+        rows.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<24} {:>12} {:>10}",
+            "fattest deltas", "tuples", "stages"
+        );
+        for (name, tuples, stages) in rows.into_iter().take(n) {
+            let _ = writeln!(out, "{name:<24} {tuples:>12} {stages:>10}");
         }
         out
     }
@@ -660,6 +718,19 @@ impl Telemetry {
     /// Appends a free-form note.
     pub fn note(&self, note: impl Into<String>) {
         self.with(|t| t.notes.push(note.into()));
+    }
+
+    /// Raises the live-size high-water marks (facts and logical bytes).
+    /// Engines call this after every rule application with the total
+    /// live footprint — instance plus any pending delta buffers — so
+    /// `peak_facts`/`bytes_peak` are true peaks, not stage-boundary
+    /// samples. Guard the (cheap) argument computation behind
+    /// [`is_enabled`](Self::is_enabled) on hot paths.
+    pub fn sample_peak(&self, live_facts: usize, live_bytes: usize) {
+        self.with(|t| {
+            t.peak_facts = t.peak_facts.max(live_facts);
+            t.bytes_peak = t.bytes_peak.max(live_bytes as u64);
+        });
     }
 
     /// A stopwatch that is live only when telemetry is enabled.

@@ -55,6 +55,14 @@ impl Deref for Tuple {
     }
 }
 
+impl crate::space::HeapSize for Tuple {
+    /// The inline `Box<[Value]>` handle plus one value slot per column
+    /// (see [`crate::space::tuple_bytes`]).
+    fn heap_bytes(&self) -> usize {
+        crate::space::tuple_bytes(self.arity())
+    }
+}
+
 impl FromIterator<Value> for Tuple {
     fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
         Tuple(iter.into_iter().collect())

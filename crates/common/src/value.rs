@@ -52,6 +52,14 @@ impl From<i64> for Value {
     }
 }
 
+impl crate::space::HeapSize for Value {
+    /// One logical value slot ([`crate::space::VALUE_BYTES`]); the enum
+    /// is `Copy` and owns no heap storage.
+    fn heap_bytes(&self) -> usize {
+        crate::space::VALUE_BYTES
+    }
+}
+
 /// Helper returned by [`Value::display`].
 pub struct DisplayValue<'a> {
     value: &'a Value,

@@ -21,6 +21,8 @@ fn sample_trace(interner: &mut Interner) -> EvalTrace {
     trace.total_wall_nanos = 123_456;
     trace.peak_facts = 42;
     trace.final_facts = 40;
+    trace.bytes_peak = 2048;
+    trace.bytes_final = 1920;
     trace.rules_fired = 99;
     trace.joins = JoinCounters {
         probes: 7,
@@ -49,6 +51,7 @@ fn sample_trace(interner: &mut Interner) -> EvalTrace {
         facts_added: 2,
         facts_removed: 1,
         rules_fired: 10,
+        bytes: 1024,
         delta: vec![(t, 2), (weird, 1)],
         joins: JoinCounters {
             probes: 4,
@@ -67,6 +70,7 @@ fn sample_trace(interner: &mut Interner) -> EvalTrace {
         facts_added: 0,
         facts_removed: 0,
         rules_fired: 5,
+        bytes: 1920,
         delta: vec![],
         joins: JoinCounters::default(),
     });
@@ -101,6 +105,8 @@ fn trace_json_lines_round_trip() {
     assert_eq!(u(run, "total_wall_nanos"), trace.total_wall_nanos);
     assert_eq!(u(run, "peak_facts"), trace.peak_facts as u64);
     assert_eq!(u(run, "final_facts"), trace.final_facts as u64);
+    assert_eq!(u(run, "bytes_peak"), trace.bytes_peak);
+    assert_eq!(u(run, "bytes_final"), trace.bytes_final);
     assert_eq!(u(run, "rules_fired"), trace.rules_fired);
     assert_eq!(u(run, "invented"), trace.invented as u64);
     assert_eq!(u(run, "loop_iterations"), trace.loop_iterations as u64);
@@ -153,6 +159,7 @@ fn trace_json_lines_round_trip() {
         assert_eq!(u(line, "facts_added"), rec.facts_added as u64);
         assert_eq!(u(line, "facts_removed"), rec.facts_removed as u64);
         assert_eq!(u(line, "rules_fired"), rec.rules_fired);
+        assert_eq!(u(line, "bytes"), rec.bytes);
         let delta = line.get("delta").expect("stage has delta");
         for (pred, n) in &rec.delta {
             // The escaped predicate name parses back to the interned one.
@@ -215,6 +222,8 @@ fn sample_report() -> BenchReport {
                 appended_tuples: 12,
                 index_rebuilds: 1,
                 interner_symbols: 2,
+                bytes_peak: 8192,
+                bytes_final: 4096,
             },
         });
     }

@@ -21,8 +21,8 @@
 use std::collections::hash_map::Entry as MapEntry;
 use std::ops::ControlFlow;
 use unchained_common::{
-    DeltaHandle, FxHashMap, Generation, Index, Instance, JoinCounters, Relation, Symbol, Tuple,
-    Value,
+    DeltaHandle, FxHashMap, Generation, HeapSize, Index, Instance, JoinCounters, Relation, Symbol,
+    Tuple, Value,
 };
 use unchained_parser::{Literal, Rule, Term, Var};
 
@@ -347,6 +347,20 @@ impl IndexCache {
     pub fn begin_delta_round(&mut self) {
         self.entries
             .retain(|(_, _, source), _| *source == ScanSource::Full);
+    }
+
+    /// Logical bytes held by every cached index (see
+    /// [`unchained_common::space`]). Reported as a telemetry note, not
+    /// part of the `--memstats` tree: live cache contents depend on the
+    /// worker-shard layout, so unlike relation bytes they are not
+    /// invariant across thread counts.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.index.heap_bytes()).sum()
+    }
+
+    /// Number of cached indexes.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
     }
 
     fn get(

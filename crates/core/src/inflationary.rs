@@ -18,7 +18,7 @@ use crate::eval::{
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::{Instance, SpanKind, StageRecord, Symbol};
+use unchained_common::{HeapSize, Instance, SpanKind, StageRecord, Symbol};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
 /// Merges `new_facts` into `instance`, reporting whether anything
@@ -127,14 +127,17 @@ pub fn eval(
                 facts_removed: 0,
                 rules_fired: fired,
                 delta,
+                bytes: instance.heap_bytes() as u64,
                 joins: cache.counters.since(&joins_before),
             });
             t.peak_facts = t.peak_facts.max(instance.fact_count());
+            t.bytes_peak = t.bytes_peak.max(instance.heap_bytes() as u64);
         });
         if !changed {
             tracer.gauge("rounds", stages as u64);
             tracer.gauge("final_facts", instance.fact_count() as u64);
             drop(eval_guard);
+            tel.with(|t| t.bytes_final = instance.heap_bytes() as u64);
             tel.finish(&run_sw, instance.fact_count());
             return Ok(FixpointRun { instance, stages });
         }
@@ -194,6 +197,9 @@ pub fn eval_seminaive(
     drop(stratum_guard);
     tracer.gauge("final_facts", instance.fact_count() as u64);
     drop(eval_guard);
+    options
+        .telemetry
+        .with(|t| t.bytes_final = instance.heap_bytes() as u64);
     options.telemetry.finish(&run_sw, instance.fact_count());
     Ok(FixpointRun { instance, stages })
 }
@@ -308,14 +314,17 @@ pub fn eval_traced(
                 facts_removed: 0,
                 rules_fired: fired,
                 delta: std::mem::take(&mut delta),
+                bytes: instance.heap_bytes() as u64,
                 joins: cache.counters.since(&joins_before),
             });
             t.peak_facts = t.peak_facts.max(instance.fact_count());
+            t.bytes_peak = t.bytes_peak.max(instance.heap_bytes() as u64);
         });
         if !changed {
             tracer.gauge("rounds", stages as u64);
             tracer.gauge("final_facts", instance.fact_count() as u64);
             drop(eval_guard);
+            tel.with(|t| t.bytes_final = instance.heap_bytes() as u64);
             tel.finish(&run_sw, instance.fact_count());
             return Ok(TracedRun {
                 instance,

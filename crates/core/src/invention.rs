@@ -32,7 +32,7 @@ use crate::eval::{
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::{FxHashSet, Instance, SpanKind, StageRecord, Symbol, Value};
+use unchained_common::{FxHashSet, HeapSize, Instance, SpanKind, StageRecord, Symbol, Value};
 use unchained_parser::{check_range_restricted, features, HeadLiteral, Language, Program, Var};
 
 /// Result of a Datalog¬new run: the fixpoint plus invention statistics.
@@ -192,9 +192,11 @@ pub fn eval(
                 facts_removed: 0,
                 rules_fired,
                 delta: std::mem::take(&mut delta),
+                bytes: instance.heap_bytes() as u64,
                 joins: cache.counters.since(&joins_before),
             });
             t.peak_facts = t.peak_facts.max(instance.fact_count());
+            t.bytes_peak = t.bytes_peak.max(instance.heap_bytes() as u64);
             t.invented = next_fresh as usize;
         });
         if !changed {
@@ -202,6 +204,7 @@ pub fn eval(
             tracer.gauge("invented", next_fresh);
             tracer.gauge("final_facts", instance.fact_count() as u64);
             drop(eval_guard);
+            tel.with(|t| t.bytes_final = instance.heap_bytes() as u64);
             tel.finish(&run_sw, instance.fact_count());
             return Ok(InventionRun {
                 instance,

@@ -12,7 +12,7 @@ use crate::eval::{active_domain, for_each_match, instantiate, plan_rule, IndexCa
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
-use unchained_common::{Instance, SpanKind, StageRecord};
+use unchained_common::{HeapSize, Instance, SpanKind, StageRecord};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
 /// Computes the minimum model of a positive Datalog program on `input`.
@@ -103,14 +103,17 @@ pub fn minimum_model(
                 facts_removed: 0,
                 rules_fired: fired,
                 delta: std::mem::take(&mut delta),
+                bytes: instance.heap_bytes() as u64,
                 joins: cache.counters.since(&joins_before),
             });
             t.peak_facts = t.peak_facts.max(instance.fact_count());
+            t.bytes_peak = t.bytes_peak.max(instance.heap_bytes() as u64);
         });
         if !changed {
             tracer.gauge("rounds", stages as u64);
             tracer.gauge("final_facts", instance.fact_count() as u64);
             drop(eval_guard);
+            tel.with(|t| t.bytes_final = instance.heap_bytes() as u64);
             tel.finish(&run_sw, instance.fact_count());
             return Ok(FixpointRun { instance, stages });
         }

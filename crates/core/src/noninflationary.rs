@@ -26,7 +26,8 @@ use crate::require_language;
 use std::collections::hash_map::Entry;
 use std::ops::ControlFlow;
 use unchained_common::{
-    DivergenceSnapshot, FxHashMap, FxHashSet, Instance, SpanKind, StageRecord, Symbol, Tuple,
+    DivergenceSnapshot, FxHashMap, FxHashSet, HeapSize, Instance, SpanKind, StageRecord, Symbol,
+    Tuple,
 };
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
@@ -256,11 +257,22 @@ pub fn eval(
             }
         }
 
+        // Mid-stage, the previous state and its successor are both live
+        // (the firing reads `instance` while `next` materializes). That
+        // is the true high-water mark — on a shrinking program it
+        // strictly exceeds every stage-end count.
+        if tel.is_enabled() {
+            tel.sample_peak(
+                instance.fact_count() + next.fact_count(),
+                instance.heap_bytes() + next.heap_bytes(),
+            );
+        }
         if tracer.is_enabled() {
             let (added, removed, _) = diff_instances(&instance, &next);
             tracer.gauge("facts_added", added as u64);
             tracer.gauge("facts_removed", removed as u64);
             tracer.gauge("rules_fired", fired);
+            tracer.gauge("bytes", next.heap_bytes() as u64);
         }
         drop(round_guard);
         tel.with(|t| {
@@ -272,6 +284,7 @@ pub fn eval(
                 facts_removed: removed,
                 rules_fired: fired,
                 delta,
+                bytes: next.heap_bytes() as u64,
                 joins: cache.counters.since(&joins_before),
             });
             t.peak_facts = t.peak_facts.max(next.fact_count());
@@ -288,6 +301,7 @@ pub fn eval(
                     diverged_stage: None,
                     period: None,
                 });
+                t.bytes_final = instance.heap_bytes() as u64;
             });
             tel.finish(&run_sw, instance.fact_count());
             return Ok(FixpointRun { instance, stages });
@@ -303,6 +317,7 @@ pub fn eval(
                 });
                 t.notes
                     .push(format!("diverged at stage {stages} with period {period}"));
+                t.bytes_final = next.heap_bytes() as u64;
             });
             tel.finish(&run_sw, next.fact_count());
             return Err(EvalError::Diverged {

@@ -22,7 +22,8 @@ use crate::parallel::{run_round, PlanTask};
 use crate::require_language;
 use std::ops::ControlFlow;
 use unchained_common::{
-    DeltaHandle, FxHashSet, Instance, JoinCounters, Span, SpanKind, StageRecord, Symbol, Tracer,
+    DeltaHandle, FxHashSet, HeapSize, Instance, JoinCounters, Span, SpanKind, StageRecord, Symbol,
+    Tracer,
 };
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program, Rule};
 
@@ -192,6 +193,15 @@ pub(crate) fn seminaive_fixpoint(
                 .collect();
         }
         roll_up(cache, &worker_caches);
+        // Parallel rounds sample the high-water mark on the merged
+        // pending buffer, which is what the sequential per-rule samples
+        // below converge to — so both paths report identical peaks.
+        if tel.is_enabled() {
+            tel.sample_peak(
+                instance.fact_count() + pending.fact_count(),
+                instance.heap_bytes() + pending.heap_bytes(),
+            );
+        }
     } else {
         pending = Instance::new();
         for (ri, rp) in compiled.iter().enumerate() {
@@ -213,6 +223,15 @@ pub(crate) fn seminaive_fixpoint(
                 },
             );
             fired += rule_fired;
+            // Live facts right now = instance + the pending buffer: the
+            // true high-water mark, sampled after every rule application
+            // rather than only at round boundaries.
+            if tel.is_enabled() {
+                tel.sample_peak(
+                    instance.fact_count() + pending.fact_count(),
+                    instance.heap_bytes() + pending.heap_bytes(),
+                );
+            }
             if traced {
                 rule_stats[ri] = RuleStat {
                     fired: rule_fired,
@@ -261,15 +280,20 @@ pub(crate) fn seminaive_fixpoint(
                     .iter()
                     .map(|(pred, rel)| (pred, rel.len()))
                     .collect(),
+                bytes: instance.heap_bytes() as u64,
                 joins: cache.counters.since(&joins_before),
             });
             t.peak_facts = t.peak_facts.max(instance.fact_count());
+            t.bytes_peak = t.bytes_peak.max(instance.heap_bytes() as u64);
         });
         if traced {
             // Deterministic round gauges first (thread-invariant), then
-            // the attribution leaves, then close the round span.
+            // the attribution leaves, then close the round span. Logical
+            // bytes are counts x fixed widths, so the lane is identical
+            // at any thread count.
             tracer.gauge("facts_added", pending.fact_count() as u64);
             tracer.gauge("rules_fired", fired);
+            tracer.gauge("bytes", instance.heap_bytes() as u64);
             let mut absorb = Span::leaf(SpanKind::Absorb, "merge");
             absorb.start_nanos = absorb_start;
             absorb.dur_nanos = tracer.now_nanos().saturating_sub(absorb_start);
@@ -348,6 +372,12 @@ pub(crate) fn seminaive_fixpoint(
                     .collect();
             }
             roll_up(cache, &worker_caches);
+            if tel.is_enabled() {
+                tel.sample_peak(
+                    instance.fact_count() + pending.fact_count(),
+                    instance.heap_bytes() + pending.heap_bytes(),
+                );
+            }
             continue;
         }
         cache.begin_delta_round();
@@ -379,6 +409,12 @@ pub(crate) fn seminaive_fixpoint(
                 );
             }
             fired += rule_fired;
+            if tel.is_enabled() {
+                tel.sample_peak(
+                    instance.fact_count() + next_pending.fact_count(),
+                    instance.heap_bytes() + next_pending.heap_bytes(),
+                );
+            }
             if traced {
                 rule_stats[ri] = RuleStat {
                     fired: rule_fired,
@@ -436,6 +472,14 @@ pub fn minimum_model(
     options.telemetry.note(format!(
         "storage: {segments} segments, {recent} uncommitted"
     ));
+    options.telemetry.note(format!(
+        "index cache: {} indexes, {}",
+        cache.entry_count(),
+        unchained_common::fmt_bytes(cache.heap_bytes() as u64)
+    ));
+    options
+        .telemetry
+        .with(|t| t.bytes_final = instance.heap_bytes() as u64);
     options.telemetry.finish(&run_sw, instance.fact_count());
     Ok(FixpointRun { instance, stages })
 }

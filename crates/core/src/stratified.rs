@@ -11,7 +11,7 @@ use crate::eval::{active_domain, IndexCache};
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use crate::seminaive::seminaive_fixpoint;
-use unchained_common::{FxHashSet, Instance, SpanKind, Symbol};
+use unchained_common::{FxHashSet, HeapSize, Instance, SpanKind, Symbol};
 use unchained_parser::{check_range_restricted, DependencyGraph, HeadLiteral, Language, Program};
 
 /// Evaluates a stratified Datalog¬ program.
@@ -84,6 +84,9 @@ pub fn eval(
     options.telemetry.note(format!(
         "storage: {segments} segments, {recent} uncommitted"
     ));
+    options
+        .telemetry
+        .with(|t| t.bytes_final = instance.heap_bytes() as u64);
     options.telemetry.finish(&run_sw, instance.fact_count());
     Ok(FixpointRun {
         instance,

@@ -26,7 +26,7 @@ use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use std::ops::ControlFlow;
 use unchained_common::{
-    Instance, SpanKind, StageRecord, Stopwatch, Symbol, Telemetry, Tuple, Value,
+    HeapSize, Instance, SpanKind, StageRecord, Stopwatch, Symbol, Telemetry, Tuple, Value,
 };
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
@@ -167,9 +167,11 @@ fn record_application(
                 .filter_map(|&p| iterate.relation(p).map(|r| (p, r.len())))
                 .filter(|&(_, n)| n > 0)
                 .collect(),
+            bytes: iterate.heap_bytes() as u64,
             joins: cache.counters.since(&joins_before),
         });
         t.peak_facts = t.peak_facts.max(iterate.fact_count());
+        t.bytes_peak = t.bytes_peak.max(iterate.heap_bytes() as u64);
     });
 }
 
@@ -270,6 +272,7 @@ pub fn eval(
                 even.fact_count(),
                 odd.fact_count()
             ));
+            tel.with(|t| t.bytes_final = even.heap_bytes() as u64);
             tel.finish(&run_sw, even.fact_count());
             return Ok(WellFoundedModel {
                 true_facts: even,

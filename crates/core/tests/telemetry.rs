@@ -6,7 +6,7 @@
 //! saturates in n stages with strictly shrinking deltas, and the
 //! Section 4.2 flip-flop program cycles with period 2.
 
-use unchained_common::{Instance, Interner, Telemetry, Tuple, Value};
+use unchained_common::{Instance, Interner, SpaceReport, Telemetry, Tuple, Value};
 use unchained_core::{naive, noninflationary, seminaive, wellfounded, EvalError, EvalOptions};
 use unchained_parser::parse_program;
 
@@ -171,6 +171,141 @@ fn flip_flop_divergence_is_visible_in_trace() {
     assert!(d.states_seen >= 2);
     // Each stage both adds and retracts one T fact.
     assert!(trace.stages.iter().any(|s| s.facts_removed > 0));
+}
+
+/// The `peak_facts` fix: the gauge is a true high-water mark over *live*
+/// facts, sampled while both the old state and its successor are in
+/// memory — not a max over stage-end counts. On a shrinking
+/// noninflationary program the mid-stage peak strictly exceeds every
+/// stage-end count, which the old boundary-only sampling missed.
+#[test]
+fn peak_facts_sees_the_mid_stage_high_water_mark() {
+    let mut i = Interner::new();
+    // Removes both 2-cycles in one parallel firing: 5 G facts drop to 1.
+    let program = parse_program("!G(x,y) :- G(x,y), G(y,x).", &mut i).unwrap();
+    let g = i.get("G").unwrap();
+    let mut input = Instance::new();
+    for (a, b) in [(1, 2), (2, 1), (2, 3), (3, 2), (4, 5)] {
+        input.insert_fact(g, Tuple::from([Value::Int(a), Value::Int(b)]));
+    }
+    let tel = Telemetry::enabled();
+    let run = noninflationary::eval(
+        &program,
+        &input,
+        noninflationary::ConflictPolicy::PreferPositive,
+        EvalOptions::default().with_telemetry(tel.clone()),
+    )
+    .unwrap();
+    assert_eq!(run.instance.fact_count(), 1);
+    let trace = tel.snapshot().unwrap();
+    // Stage 1 materializes next = {(4,5)} while the 5-fact input is
+    // still live: peak = 5 + 1 = 6, above every stage-end count.
+    let max_stage_end = trace
+        .stages
+        .iter()
+        .map(|s| s.bytes) // stage-end bytes track stage-end facts
+        .max()
+        .unwrap_or(0);
+    assert_eq!(trace.peak_facts, 6);
+    assert!(
+        trace.peak_facts > trace.final_facts,
+        "peak {} vs final {}",
+        trace.peak_facts,
+        trace.final_facts
+    );
+    assert!(
+        trace.bytes_peak > max_stage_end,
+        "bytes peak {} vs max stage-end {max_stage_end}",
+        trace.bytes_peak
+    );
+    assert!(trace.bytes_final > 0);
+    assert!(trace.bytes_peak > trace.bytes_final);
+}
+
+/// Space gauges are logical (counts × fixed widths), so they are
+/// byte-identical however many worker threads derived the facts.
+#[test]
+fn space_accounting_is_identical_at_threads_1_and_4() {
+    let mut i = Interner::new();
+    let program = parse_program(TC, &mut i).unwrap();
+    let input = {
+        // Seeded pseudo-random graph (same generator as the seminaive
+        // unit tests): two out-edges per node.
+        let g = i.get("G").unwrap();
+        let n = 17i64;
+        let mut inst = Instance::new();
+        for k in 0..n {
+            inst.insert_fact(g, Tuple::from([Value::Int(k), Value::Int((k * 7 + 3) % n)]));
+            inst.insert_fact(g, Tuple::from([Value::Int(k), Value::Int((k * 5 + 1) % n)]));
+        }
+        inst
+    };
+    let run_with = |threads: usize| {
+        let tel = Telemetry::enabled();
+        let run = seminaive::minimum_model(
+            &program,
+            &input,
+            EvalOptions::default()
+                .with_telemetry(tel.clone())
+                .with_threads(threads),
+        )
+        .unwrap();
+        (run, tel.snapshot().unwrap())
+    };
+    let (run1, trace1) = run_with(1);
+    let (run4, trace4) = run_with(4);
+    assert_eq!(trace1.bytes_peak, trace4.bytes_peak);
+    assert_eq!(trace1.bytes_final, trace4.bytes_final);
+    assert_eq!(
+        trace1.stages.iter().map(|s| s.bytes).collect::<Vec<_>>(),
+        trace4.stages.iter().map(|s| s.bytes).collect::<Vec<_>>()
+    );
+    // The full rendered report (the `--memstats` tree) is byte-identical.
+    let report1 = SpaceReport::for_instance(&run1.instance, &i);
+    let report4 = SpaceReport::for_instance(&run4.instance, &i);
+    report1.check_additive().unwrap();
+    assert_eq!(report1.render(), report4.render());
+    assert!(report1.relation_bytes() > 0);
+}
+
+/// Same determinism check on a stratified program with negation.
+#[test]
+fn space_accounting_is_thread_invariant_under_negation() {
+    let mut i = Interner::new();
+    let program = parse_program(
+        "T(x,y) :- G(x,y).\n\
+         T(x,y) :- G(x,z), T(z,y).\n\
+         unreach(x,y) :- node(x), node(y), !T(x,y).",
+        &mut i,
+    )
+    .unwrap();
+    let g = i.get("G").unwrap();
+    let node = i.get("node").unwrap();
+    let n = 9i64;
+    let mut input = Instance::new();
+    for k in 0..n {
+        input.insert_fact(node, Tuple::from([Value::Int(k)]));
+        input.insert_fact(g, Tuple::from([Value::Int(k), Value::Int((k * 3 + 2) % n)]));
+    }
+    let run_with = |threads: usize| {
+        let tel = Telemetry::enabled();
+        let run = unchained_core::stratified::eval(
+            &program,
+            &input,
+            EvalOptions::default()
+                .with_telemetry(tel.clone())
+                .with_threads(threads),
+        )
+        .unwrap();
+        (run, tel.snapshot().unwrap())
+    };
+    let (run1, trace1) = run_with(1);
+    let (run4, trace4) = run_with(4);
+    assert_eq!(trace1.bytes_final, trace4.bytes_final);
+    assert_eq!(trace1.bytes_peak, trace4.bytes_peak);
+    let report1 = SpaceReport::for_instance(&run1.instance, &i);
+    let report4 = SpaceReport::for_instance(&run4.instance, &i);
+    assert_eq!(report1.render(), report4.render());
 }
 
 #[test]

@@ -2,7 +2,7 @@
 
 use crate::ast::{Assignment, LoopCondition, Stmt, WhileProgram};
 use std::fmt;
-use unchained_common::{FxHashMap, Instance, Relation, SpanKind, Telemetry, Value};
+use unchained_common::{FxHashMap, HeapSize, Instance, Relation, SpanKind, Telemetry, Value};
 use unchained_fo::{eval_formula, eval_sentence, FoError};
 
 /// Supplies the choices of the witness operator `W`.
@@ -107,6 +107,14 @@ impl Interp<'_> {
                 mode,
             } => {
                 let rel = eval_formula(formula, vars, instance, &self.domain)?;
+                // Mid-assignment, the evaluated comprehension and the
+                // instance are both live — that is the space peak.
+                if self.tel.is_enabled() {
+                    self.tel.sample_peak(
+                        instance.fact_count() + rel.len(),
+                        instance.heap_bytes() + rel.heap_bytes(),
+                    );
+                }
                 Ok(apply_assignment(instance, *target, rel, *mode))
             }
             Stmt::AssignWitness {
@@ -271,6 +279,7 @@ pub fn run_traced(
     tracer.gauge("final_facts", instance.fact_count() as u64);
     drop(eval_guard);
     telemetry.with(|t| t.loop_iterations = interp.iterations);
+    telemetry.with(|t| t.bytes_final = instance.heap_bytes() as u64);
     telemetry.finish(&run_sw, instance.fact_count());
     outcome?;
     Ok(RunResult {

@@ -110,6 +110,37 @@ for series in 'unchained_eval_runs_total{engine="seminaive"}' \
     fi
 done
 
+# Space-accounting gate: a --memstats run must print a per-relation
+# byte tree with a non-zero relation line and the additivity verdict
+# (every branch's bytes equal to the sum of its children), and the
+# report must be byte-identical at 1 and 4 workers.
+echo "==> memstats smoke: non-zero relation bytes, additive, thread-invariant"
+mem1=$(cargo run -q --release -p unchained-cli -- run -s seminaive \
+    examples/programs/tc.dl examples/programs/tc_facts.dl --memstats --threads 1)
+mem4=$(cargo run -q --release -p unchained-cli -- run -s seminaive \
+    examples/programs/tc.dl examples/programs/tc_facts.dl --memstats --threads 4)
+if ! printf '%s' "$mem1" | grep -q 'additive: ok'; then
+    echo "memstats run failed the additivity check:" >&2
+    printf '%s\n' "$mem1" >&2
+    exit 1
+fi
+if printf '%s' "$mem1" | grep -q 'T/2  *0B'; then
+    echo "memstats reports zero bytes for the derived relation T" >&2
+    exit 1
+fi
+if [ "$mem1" != "$mem4" ]; then
+    echo "memstats output differs between --threads 1 and --threads 4" >&2
+    exit 1
+fi
+
+# Bench-history gate: the committed BENCH.json must validate against
+# the last run of the committed append-only BENCH_HISTORY.json. The
+# comparison checks only deterministic gauges (bytes growth, facts
+# drift) — never wall time — so it passes on any machine.
+echo "==> bench compare --history self-comparison on committed artifacts"
+cargo run -q --release -p unchained-bench -- compare BENCH.json \
+    --history BENCH_HISTORY.json >/dev/null
+
 # Differential-fuzzer smoke: the fixed CI triple (positive/42/200) must
 # run every oracle leg with zero divergences and an empty corpus, and
 # the run must be deterministic enough to gate (same seed, same
