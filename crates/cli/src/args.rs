@@ -116,6 +116,18 @@ pub enum Command {
         /// Path to the program file.
         program: String,
     },
+    /// Show each rule's compiled query plan (and its semi-naive delta
+    /// variants) without evaluating.
+    Plan {
+        /// Path to the program file.
+        program: String,
+        /// Path to the facts file (optional; the catalog that drives
+        /// the cost-based join order is empty otherwise).
+        facts: Option<String>,
+        /// Use the most-bound-first reference ordering instead of the
+        /// cost-based one.
+        syntactic: bool,
+    },
     /// Explain why a fact holds: derivation tree from the provenance
     /// engine.
     Explain {
@@ -160,6 +172,11 @@ USAGE:
   unchained eval --semantics <SEM> <PROGRAM.dl> [FACTS.dl] [options]
   unchained run ...            alias for eval
   unchained check <PROGRAM.dl>
+  unchained plan <PROGRAM.dl> [FACTS.dl] [--syntactic]
+                               show each rule's compiled query plan and
+                               Δ variants; join order is costed from the
+                               facts (--syntactic: most-bound-first
+                               reference ordering)
   unchained explain <PROGRAM.dl> [FACTS.dl] <FACT>
                                derivation tree for a fact, e.g.
                                `unchained explain tc.dl tc_facts.dl \"T(1,3)\"`
@@ -235,6 +252,35 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             let program = it.next().ok_or("check: missing program file")?.clone();
             Ok(Args {
                 command: Command::Check { program },
+            })
+        }
+        "plan" => {
+            let mut program = None;
+            let mut facts = None;
+            let mut syntactic = false;
+            for arg in it {
+                match arg.as_str() {
+                    "--syntactic" => syntactic = true,
+                    other if other.starts_with('-') => {
+                        return Err(format!("unknown option `{other}`"));
+                    }
+                    path => {
+                        if program.is_none() {
+                            program = Some(path.to_string());
+                        } else if facts.is_none() {
+                            facts = Some(path.to_string());
+                        } else {
+                            return Err(format!("unexpected argument `{path}`"));
+                        }
+                    }
+                }
+            }
+            Ok(Args {
+                command: Command::Plan {
+                    program: program.ok_or("plan: missing program file")?,
+                    facts,
+                    syntactic,
+                },
             })
         }
         "explain" | "why" => {
@@ -545,6 +591,29 @@ mod tests {
             }
         );
         assert!(parse_args(&argv("trace-check")).is_err());
+    }
+
+    #[test]
+    fn parse_plan() {
+        assert_eq!(
+            parse_args(&argv("plan p.dl f.dl")).unwrap().command,
+            Command::Plan {
+                program: "p.dl".into(),
+                facts: Some("f.dl".into()),
+                syntactic: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("plan p.dl --syntactic")).unwrap().command,
+            Command::Plan {
+                program: "p.dl".into(),
+                facts: None,
+                syntactic: true,
+            }
+        );
+        assert!(parse_args(&argv("plan")).is_err());
+        assert!(parse_args(&argv("plan p.dl --bogus")).is_err());
+        assert!(parse_args(&argv("plan a b c")).is_err());
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn main() -> ExitCode {
     let (program_path, facts_path) = match &args.command {
         Command::Eval { program, facts, .. } => (Some(program.clone()), facts.clone()),
         Command::Check { program } => (Some(program.clone()), None),
+        Command::Plan { program, facts, .. } => (Some(program.clone()), facts.clone()),
         Command::Explain { program, facts, .. } => (Some(program.clone()), facts.clone()),
         // The trace file rides in the "program text" slot; run.rs
         // validates its contents directly.

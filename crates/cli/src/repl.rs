@@ -62,6 +62,9 @@ Enter Datalog statements (terminated by `.`) or commands:
   .program                    show the accumulated rules
   .facts                      show the database
   .check                      classify the program
+  .plan                       show each rule's compiled query plan and
+                              Δ variants (join order costed from the
+                              current database)
   .clear                      drop program and database
   .help                       this text
   .quit                       leave
@@ -163,6 +166,13 @@ impl Repl {
                     "no rules yet\n".to_string()
                 } else {
                     format!("language: {}\n", classify(&self.program))
+                }
+            }
+            "plan" => {
+                if self.program.rules.is_empty() {
+                    "no rules yet\n".to_string()
+                } else {
+                    self.plan()
                 }
             }
             "clear" => {
@@ -292,6 +302,33 @@ impl Repl {
         self.run_eval(target, false, false, true)
     }
 
+    /// Renders each rule's compiled query plan, costing the join order
+    /// from the current database's cardinalities.
+    fn plan(&self) -> String {
+        let cmd = crate::args::Command::Plan {
+            program: String::new(),
+            facts: None,
+            syntactic: false,
+        };
+        let program_text = self.program.display(&self.interner).to_string();
+        let facts_text = self.facts_text();
+        match crate::run::execute_full(&cmd, &program_text, Some(&facts_text)) {
+            Ok(out) => out.text,
+            Err(e) => format!("error: {e}\n"),
+        }
+    }
+
+    /// The database rendered as a fact file: instance display prints
+    /// bare facts, and the fact-file parser wants statement terminators.
+    fn facts_text(&self) -> String {
+        self.database
+            .display(&self.interner)
+            .to_string()
+            .lines()
+            .map(|l| format!("{l}.\n"))
+            .collect()
+    }
+
     fn run_eval(&mut self, target: &str, stats: bool, memstats: bool, profile: bool) -> String {
         let cmd = crate::args::Command::Eval {
             program: String::new(),
@@ -315,20 +352,7 @@ impl Repl {
             metrics: None,
         };
         let program_text = self.program.display(&self.interner).to_string();
-        // Instance display prints bare facts; the fact-file parser wants
-        // statement terminators.
-        let facts_text: String = self
-            .database
-            .display(&self.interner)
-            .to_string()
-            .lines()
-            .map(|l| {
-                format!(
-                    "{l}.
-"
-                )
-            })
-            .collect();
+        let facts_text = self.facts_text();
         match crate::run::execute_full(&cmd, &program_text, Some(&facts_text)) {
             Ok(out) => out.text,
             Err(e) => format!("error: {e}\n"),
@@ -436,6 +460,20 @@ mod tests {
         assert!(feed_ok(&mut repl, ".bogus").contains("unknown command"));
         assert!(feed_ok(&mut repl, ".semantics bogus").contains("unknown semantics"));
         assert_eq!(repl.feed(".quit"), ReplOutcome::Quit);
+    }
+
+    #[test]
+    fn plan_command_renders_rule_plans() {
+        let mut repl = Repl::new();
+        assert_eq!(feed_ok(&mut repl, ".plan"), "no rules yet\n");
+        feed_ok(&mut repl, "G(1,2). G(2,3). G(3,4).");
+        feed_ok(&mut repl, "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).");
+        let out = feed_ok(&mut repl, ".plan");
+        assert!(out.contains("% mode: cost"), "{out}");
+        assert!(out.contains("rule 1: T(x, y) :- G(x, y)."), "{out}");
+        assert!(out.contains("scan G("), "{out}");
+        assert!(out.contains("Δ variant:"), "{out}");
+        assert!(out.contains("% planner:"), "{out}");
     }
 
     #[test]

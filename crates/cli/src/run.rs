@@ -70,6 +70,15 @@ pub fn execute_full(
             let program = parse_program(program_text, &mut interner).map_err(|e| e.to_string())?;
             Ok(plain(render_check(&program, &interner)))
         }
+        Command::Plan { syntactic, .. } => {
+            let mut interner = Interner::new();
+            let program = parse_program(program_text, &mut interner).map_err(|e| e.to_string())?;
+            let input = match facts_text {
+                Some(text) => parse_facts(text, &mut interner).map_err(|e| e.to_string())?,
+                None => Instance::new(),
+            };
+            Ok(plain(render_plans(&program, &input, *syntactic, &interner)))
+        }
         Command::Eval {
             semantics,
             output,
@@ -340,6 +349,71 @@ fn eval_while(
     Ok(out)
 }
 
+/// Renders every rule's compiled plan (and its semi-naive Δ variants)
+/// without evaluating: the same [`Planner`] call the engines make, so
+/// what prints is exactly what would run. The catalog comes from the
+/// facts file (empty without one, which degenerates cost ordering to
+/// most-bound-first).
+fn render_plans(
+    program: &Program,
+    input: &Instance,
+    syntactic: bool,
+    interner: &Interner,
+) -> String {
+    use std::fmt::Write as _;
+    use unchained_core::planner::{Catalog, Planner};
+    let mode = if syntactic {
+        unchained_core::PlanMode::Syntactic
+    } else {
+        unchained_core::PlanMode::Cost
+    };
+    let catalog = Catalog::from_instance(input);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "% mode: {}  catalog: {} fact(s)",
+        if syntactic { "syntactic" } else { "cost" },
+        catalog.total()
+    );
+    let mut planner = Planner::new(catalog, mode);
+    let idb: unchained_common::FxHashSet<unchained_common::Symbol> =
+        program.idb().into_iter().collect();
+    planner.inflate(idb.iter().copied());
+    // Plan the whole program before rendering so the sharing gauges
+    // reflect cross-rule arena hits.
+    let plans: Vec<_> = program
+        .rules
+        .iter()
+        .map(|r| {
+            (
+                planner.plan_rule(r),
+                planner.seminaive_variants(r, &|p| idb.contains(&p)),
+            )
+        })
+        .collect();
+    for (i, (rule, (full, deltas))) in program.rules.iter().zip(&plans).enumerate() {
+        let _ = writeln!(out, "rule {}: {}.", i + 1, rule.display(interner));
+        for line in planner.arena().render(full.root, interner).lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+        for delta in deltas {
+            let _ = writeln!(out, "  Δ variant:");
+            for line in planner.arena().render(delta.root, interner).lines() {
+                let _ = writeln!(out, "    {line}");
+            }
+        }
+    }
+    let stats = planner.stats();
+    let _ = writeln!(
+        out,
+        "% planner: {} join(s) pruned to index probes, {} subplan(s) shared, {} arena node(s)",
+        stats.joins_pruned,
+        stats.subplans_shared,
+        planner.arena().node_count()
+    );
+    out
+}
+
 fn render_check(program: &Program, interner: &Interner) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -581,6 +655,45 @@ mod tests {
         assert!(out.contains("language: stratified Datalog¬"));
         assert!(out.contains("strata:   2"));
         assert!(out.contains("edb:      G"));
+    }
+
+    #[test]
+    fn plan_command_renders_cost_ordered_plans() {
+        let cmd = parse_args(&["plan", "p.dl", "f.dl"].map(String::from))
+            .unwrap()
+            .command;
+        // B is much bigger than A: cost mode scans A first even though
+        // the rule text names B first.
+        let facts: String = (0..40)
+            .map(|k| format!("B({k},{}).", k + 1))
+            .chain(["A(1,2).".to_string()])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let out = execute(
+            &cmd,
+            "T(x,z) :- B(x,y), A(y,z). T(x,y) :- B(x,z), T(z,y).",
+            Some(&facts),
+        )
+        .unwrap();
+        assert!(out.contains("% mode: cost"), "{out}");
+        assert!(
+            out.contains("rule 1: T(x, z) :- B(x, y), A(y, z)."),
+            "{out}"
+        );
+        assert!(out.contains("scan A("), "{out}");
+        assert!(out.contains("join B("), "{out}");
+        // The recursive rule shows its semi-naive delta variant.
+        assert!(out.contains("Δ variant:"), "{out}");
+        assert!(out.contains("Δ\n"), "{out}");
+        assert!(out.contains("% planner:"), "{out}");
+        // The syntactic reference leg keeps the textual order.
+        let cmd = parse_args(&["plan", "p.dl", "f.dl", "--syntactic"].map(String::from))
+            .unwrap()
+            .command;
+        let out = execute(&cmd, "T(x,z) :- B(x,y), A(y,z).", Some(&facts)).unwrap();
+        assert!(out.contains("% mode: syntactic"), "{out}");
+        assert!(out.contains("scan B("), "{out}");
+        assert!(out.contains("join A("), "{out}");
     }
 
     #[test]

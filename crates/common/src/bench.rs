@@ -34,7 +34,9 @@ use crate::telemetry::{json_escape, EvalTrace};
 /// thread-scaling rows are first-class, separately-keyed entries. v4
 /// added the space gauges `bytes_peak`/`bytes_final` (logical instance
 /// bytes, see `crate::space`) and the derived `tuples_per_sec` rate.
-pub const BENCH_SCHEMA_VERSION: u64 = 4;
+/// v5 added the `planner` object (`joins_pruned`, `subplans_shared`)
+/// recording the cost-based planner's deterministic effect on each run.
+pub const BENCH_SCHEMA_VERSION: u64 = 5;
 
 /// Ignore regressions whose absolute median increase is below this
 /// floor (25 µs): ratios on microsecond-scale cases are dominated by
@@ -154,6 +156,13 @@ pub struct Gauges {
     /// Stale indexes rebuilt from scratch (lineage breaks only; bounded
     /// by relation count — not round count — on append-only fixpoints).
     pub index_rebuilds: u64,
+    /// Join steps the planner turned into index probes by pushing an
+    /// already-bound literal ahead of unbound ones (deterministic:
+    /// a pure function of program + catalog, never of the schedule).
+    pub plan_joins_pruned: u64,
+    /// Hash-consed subplan arena hits — body prefixes shared across
+    /// rules or Δ-variants instead of being replanned (deterministic).
+    pub subplans_shared: u64,
     /// Interner size after the run.
     pub interner_symbols: u64,
     /// Logical-byte high-water mark of the instance (plus any pending
@@ -182,6 +191,8 @@ impl Gauges {
             index_appends: trace.joins.index_appends,
             appended_tuples: trace.joins.appended_tuples,
             index_rebuilds: trace.joins.index_rebuilds,
+            plan_joins_pruned: trace.plan_joins_pruned,
+            subplans_shared: trace.subplans_shared,
             interner_symbols: trace.interner_symbols as u64,
             bytes_peak: trace.bytes_peak,
             bytes_final: trace.bytes_final,
@@ -287,6 +298,11 @@ impl BenchReport {
             );
             let _ = write!(
                 out,
+                ",\"planner\":{{\"joins_pruned\":{},\"subplans_shared\":{}}}",
+                g.plan_joins_pruned, g.subplans_shared
+            );
+            let _ = write!(
+                out,
                 ",\"interner_symbols\":{},\"bytes_peak\":{},\"bytes_final\":{},\
                  \"tuples_per_sec\":{}}}",
                 g.interner_symbols,
@@ -330,6 +346,9 @@ impl BenchReport {
         for e in entries {
             let wall = e.get("wall").ok_or("BENCH.json entry: missing wall")?;
             let joins = e.get("joins").ok_or("BENCH.json entry: missing joins")?;
+            let planner = e
+                .get("planner")
+                .ok_or("BENCH.json entry: missing planner")?;
             out.push(BenchEntry {
                 workload: e
                     .get("workload")
@@ -363,6 +382,8 @@ impl BenchReport {
                     index_appends: field(joins, "index_appends")?,
                     appended_tuples: field(joins, "appended_tuples")?,
                     index_rebuilds: field(joins, "index_rebuilds")?,
+                    plan_joins_pruned: field(planner, "joins_pruned")?,
+                    subplans_shared: field(planner, "subplans_shared")?,
                     interner_symbols: field(e, "interner_symbols")?,
                     bytes_peak: field(e, "bytes_peak")?,
                     bytes_final: field(e, "bytes_final")?,
@@ -377,7 +398,7 @@ impl BenchReport {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9} {:>8} {:>9} {:>10}",
+            "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9} {:>8} {:>9} {:>7} {:>10}",
             "workload/engine",
             "n",
             "reps",
@@ -390,12 +411,13 @@ impl BenchReport {
             "peak",
             "appends",
             "rebuilds",
+            "pruned",
             "bytes"
         );
         for e in &self.entries {
             let _ = writeln!(
                 out,
-                "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9} {:>8} {:>9} {:>10}",
+                "{:<24} {:>6} {:>4} {:>10} {:>10} {:>10} {:>7} {:>9} {:>10} {:>9} {:>8} {:>9} {:>7} {:>10}",
                 if e.threads > 1 {
                     format!("{}/{}@{}", e.workload, e.engine, e.threads)
                 } else {
@@ -412,6 +434,7 @@ impl BenchReport {
                 e.gauges.peak_facts,
                 e.gauges.index_appends,
                 e.gauges.index_rebuilds,
+                e.gauges.plan_joins_pruned,
                 fmt_bytes(e.gauges.bytes_peak)
             );
         }
@@ -858,6 +881,8 @@ mod tests {
                 index_appends: 3,
                 appended_tuples: 9,
                 index_rebuilds: 1,
+                plan_joins_pruned: 2,
+                subplans_shared: 1,
                 interner_symbols: 5,
                 bytes_peak: 4096,
                 bytes_final: 2048,

@@ -138,6 +138,13 @@ pub struct EvalTrace {
     pub rules_fired: u64,
     /// Total join work across stages.
     pub joins: JoinCounters,
+    /// Scans the planner narrowed to index probes via
+    /// sideways-information-passing (summed across strata). A plan
+    /// property, so deterministic at any thread count.
+    pub plan_joins_pruned: u64,
+    /// Plan-arena subplan nodes shared between rules (summed across
+    /// strata). Deterministic, like `plan_joins_pruned`.
+    pub subplans_shared: u64,
     /// Divergence-detector snapshot (noninflationary runs).
     pub divergence: Option<DivergenceSnapshot>,
     /// Values invented by the Datalog¬new engine.
@@ -197,6 +204,11 @@ impl EvalTrace {
             self.bytes_peak, self.bytes_final
         );
         let _ = write!(out, ",\"rules_fired\":{}", self.rules_fired);
+        let _ = write!(
+            out,
+            ",\"plan_joins_pruned\":{},\"subplans_shared\":{}",
+            self.plan_joins_pruned, self.subplans_shared
+        );
         out.push_str(",\"joins\":");
         push_joins(&mut out, &self.joins);
         out.push_str(",\"divergence\":");
@@ -322,6 +334,8 @@ impl EvalTrace {
             peak_facts: req_usize("peak_facts")?,
             final_facts: req_usize("final_facts")?,
             rules_fired: req_u64("rules_fired")?,
+            plan_joins_pruned: req_u64("plan_joins_pruned")?,
+            subplans_shared: req_u64("subplans_shared")?,
             bytes_peak: req_u64("bytes_peak")?,
             bytes_final: req_u64("bytes_final")?,
             joins: joins_of(run.get("joins").ok_or("run: missing `joins`")?, "run")?,
@@ -478,6 +492,13 @@ impl EvalTrace {
                 self.joins.appended_tuples,
                 self.joins.index_rebuilds,
                 100.0 * reused as f64 / lookups as f64
+            );
+        }
+        if self.plan_joins_pruned > 0 || self.subplans_shared > 0 {
+            let _ = writeln!(
+                out,
+                "planner: {} joins pruned to index probes, {} subplans shared",
+                self.plan_joins_pruned, self.subplans_shared
             );
         }
         if self.invented > 0 {

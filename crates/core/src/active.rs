@@ -25,9 +25,10 @@
 //! divergence).
 
 use crate::error::EvalError;
-use crate::eval::{
-    active_domain, for_each_match, instantiate, plan_rule, IndexCache, Plan, Sources,
-};
+use crate::exec::{for_each_match, IndexCache, Sources};
+use crate::ir::Plan;
+use crate::planner::plan_rule;
+use crate::subst::{active_domain, instantiate};
 use std::ops::ControlFlow;
 use unchained_common::{FxHashSet, Instance, Interner, Symbol, Tuple};
 use unchained_parser::{check_range_restricted, HeadLiteral, Program};

@@ -1,0 +1,401 @@
+//! The shared plan executor: one tuple-at-a-time interpreter over the
+//! existing [`Relation`]/[`IndexCache`] storage, driven by every
+//! engine.
+//!
+//! The interpreter walks a compiled [`Plan`]'s steps
+//! ([`crate::ir::Step`]) depth-first, invoking a callback once per
+//! satisfying valuation, and memoizes per-(relation, columns) hash
+//! indexes across fixpoint iterations in an [`IndexCache`] tracked by
+//! relation [`Generation`]: when a relation only grew, the cached index
+//! absorbs the new tuples incrementally instead of being rebuilt from
+//! scratch. Join-work telemetry ([`JoinCounters`]) is emitted here, in
+//! one place, for all engines.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::ops::ControlFlow;
+use unchained_common::{
+    DeltaHandle, FxHashMap, Generation, HeapSize, Index, Instance, JoinCounters, Relation, Symbol,
+    Tuple, Value,
+};
+use unchained_parser::Term;
+
+use crate::ir::{Plan, ScanSource, Step};
+use crate::subst::{instantiate, term_value, Env};
+
+/// Cache key: relation, index columns, scan source.
+type IndexKey = (Symbol, Box<[usize]>, ScanSource);
+
+struct CacheEntry {
+    /// Generation of the relation the index is current for.
+    gen: Generation,
+    /// For delta-source entries, the mark the slice was taken from.
+    mark: Option<Generation>,
+    index: Index,
+}
+
+/// A per-run cache of relation indexes, keyed by
+/// `(relation, key columns, source)` and tracked by relation generation.
+///
+/// A full-source entry whose relation only grew since the index was built
+/// absorbs the new tuples by appending postings ([`Index::absorb_from`]);
+/// only lineage breaks (removals, clears, diverged clones) force a rebuild,
+/// so on append-only fixpoints rebuilds stay bounded by the number of
+/// relations instead of scaling with the number of rounds. Delta-source
+/// entries index one round's `iter_since` slice; they are built fresh each
+/// round — work proportional to the round's delta — and dropped by
+/// [`IndexCache::begin_delta_round`].
+#[derive(Default)]
+pub struct IndexCache {
+    entries: FxHashMap<IndexKey, CacheEntry>,
+    /// Join-work counters, incremented unconditionally (plain integer
+    /// adds — the telemetry-off path stays branch-free). Engines
+    /// snapshot and diff this per stage when telemetry is enabled.
+    pub counters: JoinCounters,
+    /// When set to `(part, parts)`, delta indexes cover only worker
+    /// `part`'s contiguous chunk of each delta enumeration
+    /// ([`Index::build_delta_part`]). Since every delta-variant match
+    /// consumes exactly one delta tuple, restricting the delta index
+    /// restricts the worker to its share of the round's matches — the
+    /// partitioning primitive of the parallel executor. Full-source
+    /// entries are unaffected.
+    delta_part: Option<(usize, usize)>,
+}
+
+impl IndexCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a worker-shard cache whose delta indexes cover chunk
+    /// `part` of `parts` (see the `delta_part` field).
+    pub fn with_delta_part(part: usize, parts: usize) -> Self {
+        assert!(part < parts, "partition {part} out of {parts}");
+        IndexCache {
+            delta_part: Some((part, parts)),
+            ..Self::default()
+        }
+    }
+
+    /// Drops all delta-source entries. Call at the start of each
+    /// semi-naive round: delta indexes cover one round's slice and are
+    /// never carried across rounds.
+    pub fn begin_delta_round(&mut self) {
+        self.entries
+            .retain(|(_, _, source), _| *source == ScanSource::Full);
+    }
+
+    /// Logical bytes held by every cached index (see
+    /// [`unchained_common::space`]). Reported as a telemetry note, not
+    /// part of the `--memstats` tree: live cache contents depend on the
+    /// worker-shard layout, so unlike relation bytes they are not
+    /// invariant across thread counts.
+    pub fn heap_bytes(&self) -> usize {
+        self.entries.values().map(|e| e.index.heap_bytes()).sum()
+    }
+
+    /// Number of cached indexes.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn get(
+        &mut self,
+        pred: Symbol,
+        cols: &[usize],
+        source: ScanSource,
+        relation: &Relation,
+        mark: Option<Generation>,
+    ) -> &Index {
+        let key = (pred, cols.to_vec().into_boxed_slice(), source);
+        let gen_now = relation.generation();
+        let counters = &mut self.counters;
+        let delta_part = self.delta_part;
+        let fresh = |counters: &mut JoinCounters| {
+            let index = match (mark, delta_part) {
+                (Some(m), Some((part, parts))) => {
+                    Index::build_delta_part(relation, cols, m, part, parts)
+                }
+                (Some(m), None) => Index::build_delta(relation, cols, m),
+                (None, _) => Index::build(relation, cols),
+            };
+            counters.index_builds += 1;
+            counters.indexed_tuples += index.tuple_count() as u64;
+            CacheEntry {
+                gen: gen_now,
+                mark,
+                index,
+            }
+        };
+        match self.entries.entry(key) {
+            MapEntry::Vacant(slot) => &slot.insert(fresh(counters)).index,
+            MapEntry::Occupied(slot) => {
+                let entry = slot.into_mut();
+                if entry.gen == gen_now && entry.mark == mark {
+                    counters.index_hits += 1;
+                } else if mark.is_some() {
+                    // Delta indexes are rebuilt per round, never absorbed.
+                    *entry = fresh(counters);
+                } else if let Some(appended) = entry.index.absorb_from(relation, entry.gen) {
+                    counters.index_appends += 1;
+                    counters.appended_tuples += appended as u64;
+                    entry.gen = gen_now;
+                } else {
+                    counters.index_rebuilds += 1;
+                    counters.indexed_tuples += relation.len() as u64;
+                    entry.index = Index::build(relation, cols);
+                    entry.gen = gen_now;
+                    entry.mark = None;
+                }
+                &entry.index
+            }
+        }
+    }
+}
+
+/// The instances a plan reads from.
+///
+/// * `full` — the current instance, read by [`ScanSource::Full`] scans.
+/// * `delta` — the generation marks captured at the previous round
+///   boundary; [`ScanSource::Delta`] scans of semi-naive plan variants
+///   read `full`'s relations restricted to the tuples added since the
+///   mark (`Relation::iter_since`). No separate delta instance exists.
+/// * `neg` — when set, negative literals are checked against this
+///   instance instead of `full`. The well-founded engine uses this for
+///   the Gelfond–Lifschitz-style reduct of the alternating fixpoint,
+///   where negation reads the *previous* iterate while positive facts
+///   accumulate in the current one.
+#[derive(Clone, Copy)]
+pub struct Sources<'a> {
+    /// Current instance.
+    pub full: &'a Instance,
+    /// Delta marks, if running a semi-naive delta variant.
+    pub delta: Option<&'a DeltaHandle>,
+    /// Override instance for negative checks.
+    pub neg: Option<&'a Instance>,
+}
+
+impl<'a> Sources<'a> {
+    /// Sources reading everything from one instance.
+    pub fn simple(full: &'a Instance) -> Self {
+        Sources {
+            full,
+            delta: None,
+            neg: None,
+        }
+    }
+}
+
+/// Runs `plan` against `sources`, with domain steps enumerating `adom`,
+/// invoking `on_match` for every satisfying valuation. `on_match` may
+/// stop the enumeration early by returning [`ControlFlow::Break`].
+#[allow(clippy::type_complexity)]
+pub fn for_each_match(
+    plan: &Plan,
+    sources: Sources<'_>,
+    adom: &[Value],
+    cache: &mut IndexCache,
+    on_match: &mut dyn FnMut(&Env) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let mut env: Env = vec![None; plan.var_count];
+    run_steps(&plan.steps, sources, adom, cache, &mut env, on_match)
+}
+
+/// Runs `plan` and instantiates `head_args` once per match, invoking
+/// `on_tuple` with each head tuple. Returns the number of body matches
+/// (the engines' `rules_fired` gauge, which is join-order invariant:
+/// it counts satisfying valuations, not tuples).
+pub fn for_each_head(
+    plan: &Plan,
+    head_args: &[Term],
+    sources: Sources<'_>,
+    adom: &[Value],
+    cache: &mut IndexCache,
+    on_tuple: &mut dyn FnMut(Tuple),
+) -> u64 {
+    let mut fired = 0u64;
+    let _ = for_each_match(plan, sources, adom, cache, &mut |env| {
+        fired += 1;
+        on_tuple(instantiate(head_args, env));
+        ControlFlow::Continue(())
+    });
+    fired
+}
+
+fn run_steps(
+    steps: &[Step],
+    sources: Sources<'_>,
+    adom: &[Value],
+    cache: &mut IndexCache,
+    env: &mut Env,
+    on_match: &mut dyn FnMut(&Env) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let Some((step, rest)) = steps.split_first() else {
+        return on_match(env);
+    };
+    match step {
+        Step::Scan {
+            pred,
+            args,
+            key,
+            source,
+        } => {
+            let mark = match source {
+                ScanSource::Full => None,
+                ScanSource::Delta => Some(
+                    sources
+                        .delta
+                        .expect("delta plan run without delta marks")
+                        .mark(*pred),
+                ),
+            };
+            let Some(relation) = sources.full.relation(*pred) else {
+                return ControlFlow::Continue(()); // absent relation = empty
+            };
+            // Build the probe key from the bound positions.
+            let probe: Vec<Value> = key.iter().map(|&p| term_value(&args[p], env)).collect();
+            // The borrow checker will not let us hold the index across the
+            // recursive call (which needs `cache`), so clone the matching
+            // tuples. Buckets are typically small.
+            let matches: Vec<Tuple> = cache
+                .get(*pred, key, *source, relation, mark)
+                .probe(&probe)
+                .to_vec();
+            cache.counters.probes += 1;
+            cache.counters.probe_tuples += matches.len() as u64;
+            'tuples: for tuple in matches {
+                // Bind non-key positions, checking repeated variables.
+                let mut newly_bound: Vec<usize> = Vec::new();
+                for (p, term) in args.iter().enumerate() {
+                    if key.contains(&p) {
+                        continue;
+                    }
+                    let Term::Var(v) = term else {
+                        unreachable!("constant positions are always key positions")
+                    };
+                    match env[v.index()] {
+                        Some(existing) => {
+                            if existing != tuple[p] {
+                                // Repeated variable mismatch.
+                                for &b in &newly_bound {
+                                    env[b] = None;
+                                }
+                                continue 'tuples;
+                            }
+                        }
+                        None => {
+                            env[v.index()] = Some(tuple[p]);
+                            newly_bound.push(v.index());
+                        }
+                    }
+                }
+                let flow = run_steps(rest, sources, adom, cache, env, on_match);
+                for &b in &newly_bound {
+                    env[b] = None;
+                }
+                flow?;
+            }
+            ControlFlow::Continue(())
+        }
+        Step::BindEq { var, term } => {
+            let value = term_value(term, env);
+            let prev = env[var.index()];
+            env[var.index()] = Some(value);
+            let flow = run_steps(rest, sources, adom, cache, env, on_match);
+            env[var.index()] = prev;
+            flow
+        }
+        Step::Domain { var } => {
+            for &value in adom {
+                env[var.index()] = Some(value);
+                run_steps(rest, sources, adom, cache, env, on_match)?;
+            }
+            env[var.index()] = None;
+            ControlFlow::Continue(())
+        }
+        Step::CheckNeg { pred, args } => {
+            let tuple: Tuple = args.iter().map(|t| term_value(t, env)).collect();
+            let neg_instance = sources.neg.unwrap_or(sources.full);
+            let present = neg_instance
+                .relation(*pred)
+                .is_some_and(|r| r.contains(&tuple));
+            if present {
+                ControlFlow::Continue(())
+            } else {
+                run_steps(rest, sources, adom, cache, env, on_match)
+            }
+        }
+        Step::CheckCmp { left, right, equal } => {
+            if (term_value(left, env) == term_value(right, env)) == *equal {
+                run_steps(rest, sources, adom, cache, env, on_match)
+            } else {
+                ControlFlow::Continue(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unchained_common::Interner;
+
+    #[test]
+    fn index_cache_absorbs_growth_instead_of_rebuilding() {
+        let mut interner = Interner::new();
+        let g = interner.intern("G");
+        let mut rel = Relation::new(1);
+        rel.insert(Tuple::from([Value::Int(1)]));
+        rel.commit();
+        let mut cache = IndexCache::new();
+        assert_eq!(
+            cache
+                .get(g, &[0], ScanSource::Full, &rel, None)
+                .probe(&[Value::Int(1)])
+                .len(),
+            1
+        );
+        assert_eq!(cache.counters.index_builds, 1);
+        // Unchanged relation: a cache hit, no index work.
+        let _ = cache.get(g, &[0], ScanSource::Full, &rel, None);
+        assert_eq!(cache.counters.index_hits, 1);
+        // Growth (including across a commit) is absorbed incrementally.
+        rel.insert(Tuple::from([Value::Int(2)]));
+        rel.commit();
+        assert_eq!(
+            cache
+                .get(g, &[0], ScanSource::Full, &rel, None)
+                .probe(&[Value::Int(2)])
+                .len(),
+            1
+        );
+        assert_eq!(cache.counters.index_appends, 1);
+        assert_eq!(cache.counters.appended_tuples, 1);
+        assert_eq!(cache.counters.index_rebuilds, 0);
+        // A removal breaks the lineage and forces a rebuild.
+        rel.remove(&Tuple::from([Value::Int(1)]));
+        assert!(cache
+            .get(g, &[0], ScanSource::Full, &rel, None)
+            .probe(&[Value::Int(1)])
+            .is_empty());
+        assert_eq!(cache.counters.index_rebuilds, 1);
+    }
+
+    #[test]
+    fn delta_index_covers_only_the_slice_since_the_mark() {
+        let mut interner = Interner::new();
+        let g = interner.intern("G");
+        let mut rel = Relation::new(1);
+        rel.insert(Tuple::from([Value::Int(1)]));
+        rel.commit();
+        let mark = rel.generation();
+        rel.insert(Tuple::from([Value::Int(2)]));
+        rel.commit();
+        let mut cache = IndexCache::new();
+        let idx = cache.get(g, &[0], ScanSource::Delta, &rel, Some(mark));
+        assert!(idx.probe(&[Value::Int(1)]).is_empty());
+        assert_eq!(idx.probe(&[Value::Int(2)]).len(), 1);
+        assert_eq!(cache.counters.index_builds, 1);
+        assert_eq!(cache.counters.indexed_tuples, 1);
+    }
+}

@@ -12,36 +12,20 @@
 //! queries**.
 
 use crate::error::EvalError;
-use crate::eval::{
-    active_domain, for_each_match, instantiate, plan_rule, IndexCache, Plan, Sources,
-};
+use crate::exec::{for_each_head, IndexCache, Sources};
+use crate::ir::Plan;
 use crate::options::{EvalOptions, FixpointRun};
+use crate::planner::{Catalog, Planner};
 use crate::require_language;
-use std::ops::ControlFlow;
-use unchained_common::{HeapSize, Instance, SpanKind, StageRecord, Symbol};
+use crate::subst::{active_domain, merge_new_facts, merge_new_facts_with, record_births};
+use unchained_common::{HeapSize, Instance, SpanKind, StageRecord};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
-/// Merges `new_facts` into `instance`, reporting whether anything
-/// changed and (only when `enabled`) the per-predicate delta counts.
-fn merge_new_facts(
-    instance: &mut Instance,
-    new_facts: Vec<(Symbol, unchained_common::Tuple)>,
-    enabled: bool,
-) -> (bool, Vec<(Symbol, usize)>) {
-    let mut changed = false;
-    let mut delta: Vec<(Symbol, usize)> = Vec::new();
-    for (pred, tuple) in new_facts {
-        if instance.insert_fact(pred, tuple) {
-            changed = true;
-            if enabled {
-                match delta.iter_mut().find(|(p, _)| *p == pred) {
-                    Some((_, n)) => *n += 1,
-                    None => delta.push((pred, 1)),
-                }
-            }
-        }
-    }
-    (changed, delta)
+/// Plans every rule with a catalog snapshotted from the input.
+fn plan_rules(program: &Program, input: &Instance, options: &EvalOptions) -> Vec<Plan> {
+    let mut planner = Planner::new(Catalog::from_instance(input), options.plan_mode);
+    planner.inflate(program.idb());
+    program.rules.iter().map(|r| planner.plan_rule(r)).collect()
 }
 
 /// Evaluates a Datalog¬ program under the inflationary semantics.
@@ -64,7 +48,7 @@ pub fn eval(
     check_range_restricted(program, false)?;
 
     let adom = active_domain(program, input);
-    let plans: Vec<Plan> = program.rules.iter().map(plan_rule).collect();
+    let plans = plan_rules(program, input, &options);
     let mut cache = IndexCache::new();
     let mut instance = input.clone();
     let schema = program.schema()?;
@@ -95,18 +79,16 @@ pub fn eval(
             let HeadLiteral::Pos(head) = &rule.head[0] else {
                 unreachable!("Datalog¬ heads are positive")
             };
-            let _ = for_each_match(
+            fired += for_each_head(
                 plan,
+                &head.args,
                 Sources::simple(&instance),
                 &adom,
                 &mut cache,
-                &mut |env| {
-                    fired += 1;
-                    let tuple = instantiate(&head.args, env);
+                &mut |tuple| {
                     if !instance.contains_fact(head.pred, &tuple) {
                         new_facts.push((head.pred, tuple));
                     }
-                    ControlFlow::Continue(())
                 },
             );
         }
@@ -242,7 +224,7 @@ pub fn eval_traced(
     check_range_restricted(program, false)?;
 
     let adom = active_domain(program, input);
-    let plans: Vec<Plan> = program.rules.iter().map(plan_rule).collect();
+    let plans = plan_rules(program, input, &options);
     let mut cache = IndexCache::new();
     let mut instance = input.clone();
     let schema = program.schema()?;
@@ -272,36 +254,26 @@ pub fn eval_traced(
             let HeadLiteral::Pos(head) = &rule.head[0] else {
                 unreachable!("Datalog¬ heads are positive")
             };
-            let _ = for_each_match(
+            fired += for_each_head(
                 plan,
+                &head.args,
                 Sources::simple(&instance),
                 &adom,
                 &mut cache,
-                &mut |env| {
-                    fired += 1;
-                    let tuple = instantiate(&head.args, env);
+                &mut |tuple| {
                     if !instance.contains_fact(head.pred, &tuple) {
                         new_facts.push((head.pred, tuple));
                     }
-                    ControlFlow::Continue(())
                 },
             );
         }
         let enabled = tel.is_enabled() || tracer.is_enabled();
-        let mut changed = false;
-        let mut delta: Vec<(Symbol, usize)> = Vec::new();
-        for (pred, tuple) in new_facts {
-            if instance.insert_fact(pred, tuple.clone()) {
-                changed = true;
-                birth.entry((pred, tuple)).or_insert(stages);
-                if enabled {
-                    match delta.iter_mut().find(|(p, _)| *p == pred) {
-                        Some((_, n)) => *n += 1,
-                        None => delta.push((pred, 1)),
-                    }
-                }
-            }
-        }
+        let (changed, mut delta) = merge_new_facts_with(
+            &mut instance,
+            new_facts,
+            enabled,
+            &mut record_births(&mut birth, stages),
+        );
         let added: usize = delta.iter().map(|(_, n)| n).sum();
         tracer.gauge("facts_added", added as u64);
         tracer.gauge("rules_fired", fired);

@@ -26,11 +26,12 @@
 //! `max_stages` / `max_facts` budgets bound such runs.
 
 use crate::error::EvalError;
-use crate::eval::{
-    active_domain, for_each_match, instantiate, plan_rule, IndexCache, Plan, Sources,
-};
+use crate::exec::{for_each_match, IndexCache, Sources};
+use crate::ir::Plan;
 use crate::options::{EvalOptions, FixpointRun};
+use crate::planner::plan_rule;
 use crate::require_language;
+use crate::subst::{active_domain, instantiate};
 use std::ops::ControlFlow;
 use unchained_common::{FxHashSet, HeapSize, Instance, SpanKind, StageRecord, Symbol, Value};
 use unchained_parser::{check_range_restricted, features, HeadLiteral, Language, Program, Var};

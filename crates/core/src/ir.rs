@@ -1,0 +1,451 @@
+//! The shared relational-algebra IR every engine's rule bodies compile
+//! to.
+//!
+//! A rule body lowers (see [`crate::planner`]) into two coupled forms:
+//!
+//! * an **IR chain** of algebra nodes ([`Node`]) — scan / join /
+//!   antijoin / select / bind / domain / project / distinct — held in a
+//!   hash-consing [`PlanArena`] so that structurally identical subplans
+//!   across the rules of a program intern to the same [`NodeId`]. The
+//!   chain names values by **plan slots** (`s0, s1, …`) assigned in
+//!   first-bind order, which makes the representation canonical: two
+//!   rules whose body prefixes are alphabetic variants of each other
+//!   share their prefix nodes. The chain is what `unchained plan`
+//!   renders and what the plan-shape tests count;
+//! * a flat **step list** ([`Step`]) in the owning rule's variable
+//!   space, interpreted by the executor ([`crate::exec`]). Both forms
+//!   are derived from the same planning decisions, so the rendered plan
+//!   is exactly what runs.
+//!
+//! Delta-scan variants for semi-naive evaluation are ordinary chains
+//! whose recursive scan reads [`ScanSource::Delta`].
+
+use unchained_common::{FxHashMap, Interner, Symbol, Value};
+use unchained_parser::{Term, Var};
+
+/// Where a scan reads from: the full relation or the per-round delta
+/// slice (semi-naive evaluation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ScanSource {
+    /// The full current relation.
+    Full,
+    /// The tuples added since the caller's
+    /// [`DeltaHandle`](unchained_common::DeltaHandle) mark.
+    Delta,
+}
+
+/// A plan-space term: a slot bound earlier in the chain, or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PTerm {
+    /// A plan slot (first-bind order along the chain).
+    Slot(u32),
+    /// A constant from the rule text.
+    Const(Value),
+}
+
+/// What a join does with one column of the scanned relation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ColOp {
+    /// The column's value is known before the probe; it is part of the
+    /// index key (sideways information passing: bound values are pushed
+    /// *into* the scan instead of filtered after it).
+    Key(PTerm),
+    /// The column binds a fresh slot.
+    Load(u32),
+    /// The column must equal an earlier column of the *same* atom (a
+    /// repeated variable first bound at that column's `Load`).
+    Check(u32),
+}
+
+/// Reference to an interned node in a [`PlanArena`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Index into the arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One relational-algebra operator. Plans are chains: every node has at
+/// most one input, and the deepest node is [`Node::Unit`] (the nullary
+/// relation containing the empty valuation — an empty body matches
+/// once).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Node {
+    /// The unit relation: one empty valuation.
+    Unit,
+    /// Index-nested-loop join of the input with `pred`: probe on the
+    /// `Key` columns, bind `Load` columns, test `Check` columns. A join
+    /// whose input is [`Node::Unit`] is a plain scan.
+    Join {
+        /// Upstream chain.
+        input: NodeId,
+        /// The relation scanned.
+        pred: Symbol,
+        /// Full or delta relation.
+        source: ScanSource,
+        /// Per-column operation, in column order.
+        cols: Box<[ColOp]>,
+    },
+    /// Keep valuations for which `pred(args)` is **absent**.
+    Antijoin {
+        /// Upstream chain.
+        input: NodeId,
+        /// The negated relation.
+        pred: Symbol,
+        /// Fully bound argument terms.
+        args: Box<[PTerm]>,
+    },
+    /// Keep valuations for which `(left = right) == equal`.
+    Select {
+        /// Upstream chain.
+        input: NodeId,
+        /// Left term.
+        left: PTerm,
+        /// Right term.
+        right: PTerm,
+        /// Equality (`true`) or inequality (`false`).
+        equal: bool,
+    },
+    /// Bind a fresh slot to the value of `term`.
+    Bind {
+        /// Upstream chain.
+        input: NodeId,
+        /// The slot bound.
+        slot: u32,
+        /// Its defining term.
+        term: PTerm,
+    },
+    /// Bind a fresh slot to each value of the active domain in turn.
+    Domain {
+        /// Upstream chain.
+        input: NodeId,
+        /// The slot enumerated.
+        slot: u32,
+    },
+    /// Emit the head tuple `pred(args)` for every input valuation.
+    Project {
+        /// Upstream chain.
+        input: NodeId,
+        /// The head relation.
+        pred: Symbol,
+        /// Head argument terms (all resolvable from the chain).
+        args: Box<[PTerm]>,
+    },
+    /// Set semantics: duplicate output tuples collapse (fixpoint engines
+    /// realize this at the instance merge).
+    Distinct {
+        /// Upstream chain.
+        input: NodeId,
+    },
+}
+
+impl Node {
+    /// The node's input, if any (`Unit` has none).
+    pub fn input(&self) -> Option<NodeId> {
+        match self {
+            Node::Unit => None,
+            Node::Join { input, .. }
+            | Node::Antijoin { input, .. }
+            | Node::Select { input, .. }
+            | Node::Bind { input, .. }
+            | Node::Domain { input, .. }
+            | Node::Project { input, .. }
+            | Node::Distinct { input } => Some(*input),
+        }
+    }
+}
+
+/// A hash-consing arena of plan nodes. Interning the same node twice
+/// returns the same [`NodeId`]; the planner uses the hit count as its
+/// `subplans_shared` gauge.
+#[derive(Default)]
+pub struct PlanArena {
+    nodes: Vec<Node>,
+    dedup: FxHashMap<Node, NodeId>,
+}
+
+impl PlanArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `node`, returning its id and whether it was already
+    /// present (a shared subplan).
+    pub fn intern(&mut self, node: Node) -> (NodeId, bool) {
+        if let Some(&id) = self.dedup.get(&node) {
+            return (id, true);
+        }
+        let id = NodeId(u32::try_from(self.nodes.len()).expect("plan arena overflow"));
+        self.nodes.push(node.clone());
+        self.dedup.insert(node, id);
+        (id, false)
+    }
+
+    /// The node behind an id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Total distinct nodes interned (shared nodes count once).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Length of the chain from `root` down to (and excluding)
+    /// [`Node::Unit`].
+    pub fn chain_len(&self, root: NodeId) -> usize {
+        let mut n = 0;
+        let mut at = root;
+        while let Some(input) = self.node(at).input() {
+            n += 1;
+            at = input;
+        }
+        n
+    }
+
+    /// Renders the chain under `root` as indented text, root first.
+    pub fn render(&self, root: NodeId, interner: &Interner) -> String {
+        let mut chain = Vec::new();
+        let mut at = Some(root);
+        while let Some(id) = at {
+            let node = self.node(id);
+            if matches!(node, Node::Unit) {
+                break;
+            }
+            chain.push(node);
+            at = node.input();
+        }
+        let mut out = String::new();
+        for (depth, node) in chain.iter().enumerate() {
+            for _ in 0..depth {
+                out.push_str(". ");
+            }
+            out.push_str(&render_node(node, self, interner));
+            out.push('\n');
+        }
+        if chain.is_empty() {
+            out.push_str("unit\n");
+        }
+        out
+    }
+}
+
+fn render_pterm(t: &PTerm, interner: &Interner) -> String {
+    match t {
+        PTerm::Slot(s) => format!("s{s}"),
+        PTerm::Const(v) => format!("{}", v.display(interner)),
+    }
+}
+
+fn render_node(node: &Node, arena: &PlanArena, interner: &Interner) -> String {
+    match node {
+        Node::Unit => "unit".into(),
+        Node::Join {
+            input,
+            pred,
+            source,
+            cols,
+        } => {
+            let verb = if matches!(arena.node(*input), Node::Unit) {
+                "scan"
+            } else {
+                "join"
+            };
+            let cols: Vec<String> = cols
+                .iter()
+                .map(|c| match c {
+                    ColOp::Key(t) => format!("={}", render_pterm(t, interner)),
+                    ColOp::Load(s) => format!("s{s}"),
+                    ColOp::Check(s) => format!("?s{s}"),
+                })
+                .collect();
+            let delta = if *source == ScanSource::Delta {
+                " Δ"
+            } else {
+                ""
+            };
+            format!(
+                "{verb} {}({}){delta}",
+                interner.name(*pred),
+                cols.join(", ")
+            )
+        }
+        Node::Antijoin { pred, args, .. } => {
+            let args: Vec<String> = args.iter().map(|t| render_pterm(t, interner)).collect();
+            format!("antijoin !{}({})", interner.name(*pred), args.join(", "))
+        }
+        Node::Select {
+            left, right, equal, ..
+        } => format!(
+            "select {} {} {}",
+            render_pterm(left, interner),
+            if *equal { "=" } else { "!=" },
+            render_pterm(right, interner)
+        ),
+        Node::Bind { slot, term, .. } => {
+            format!("bind s{slot} := {}", render_pterm(term, interner))
+        }
+        Node::Domain { slot, .. } => format!("domain s{slot}"),
+        Node::Project { pred, args, .. } => {
+            let args: Vec<String> = args.iter().map(|t| render_pterm(t, interner)).collect();
+            format!("project {}({})", interner.name(*pred), args.join(", "))
+        }
+        Node::Distinct { .. } => "distinct".into(),
+    }
+}
+
+/// One step of a compiled rule body, in the owning rule's variable
+/// space. This is the executable mirror of the IR chain: the planner
+/// derives both from the same decisions.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Probe `pred` (via an index on `key` positions) and bind the
+    /// remaining positions.
+    Scan {
+        /// The relation scanned.
+        pred: Symbol,
+        /// The atom's argument terms.
+        args: Vec<Term>,
+        /// Positions whose value is known before the scan (constants and
+        /// already-bound variables). The index is built on these.
+        key: Vec<usize>,
+        /// Full or delta relation.
+        source: ScanSource,
+    },
+    /// Bind `var` to the value of `term` (which the plan guarantees is
+    /// evaluable here).
+    BindEq {
+        /// The variable being bound.
+        var: Var,
+        /// Its defining term.
+        term: Term,
+    },
+    /// Enumerate `var` over the active domain.
+    Domain {
+        /// The variable enumerated.
+        var: Var,
+    },
+    /// Check that `pred(args)` is absent.
+    CheckNeg {
+        /// The negated relation.
+        pred: Symbol,
+        /// Argument terms (all bound here).
+        args: Vec<Term>,
+    },
+    /// Check `(left = right) == equal`.
+    CheckCmp {
+        /// Left term.
+        left: Term,
+        /// Right term.
+        right: Term,
+        /// Equality (`true`) or inequality (`false`).
+        equal: bool,
+    },
+}
+
+/// A compiled rule body: the executable steps plus the IR chain they
+/// were derived from.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Ordered steps.
+    pub steps: Vec<Step>,
+    /// Number of variables in the owning rule (environment size).
+    pub var_count: usize,
+    /// IR chain for the body alone (deepest: `Unit`).
+    pub body_root: NodeId,
+    /// Full IR chain: `Distinct(Project(body))` when the owning rule has
+    /// a single positive head whose variables the body binds, else the
+    /// body chain.
+    pub root: NodeId,
+}
+
+impl Plan {
+    /// Nodes in this plan's full chain (shared or not).
+    pub fn node_count(&self, arena: &PlanArena) -> usize {
+        arena.chain_len(self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_structurally_equal_nodes() {
+        let mut arena = PlanArena::new();
+        let (unit, hit) = arena.intern(Node::Unit);
+        assert!(!hit);
+        let (unit2, hit) = arena.intern(Node::Unit);
+        assert!(hit);
+        assert_eq!(unit, unit2);
+        let mut interner = Interner::new();
+        let g = interner.intern("G");
+        let join = |arena: &mut PlanArena| {
+            arena.intern(Node::Join {
+                input: unit,
+                pred: g,
+                source: ScanSource::Full,
+                cols: vec![ColOp::Load(0), ColOp::Load(1)].into_boxed_slice(),
+            })
+        };
+        let (a, hit_a) = join(&mut arena);
+        let (b, hit_b) = join(&mut arena);
+        assert!(!hit_a && hit_b);
+        assert_eq!(a, b);
+        assert_eq!(arena.node_count(), 2);
+    }
+
+    #[test]
+    fn chain_len_counts_to_unit() {
+        let mut arena = PlanArena::new();
+        let (unit, _) = arena.intern(Node::Unit);
+        let mut interner = Interner::new();
+        let g = interner.intern("G");
+        let (scan, _) = arena.intern(Node::Join {
+            input: unit,
+            pred: g,
+            source: ScanSource::Full,
+            cols: vec![ColOp::Load(0)].into_boxed_slice(),
+        });
+        let (dist, _) = arena.intern(Node::Distinct { input: scan });
+        assert_eq!(arena.chain_len(unit), 0);
+        assert_eq!(arena.chain_len(scan), 1);
+        assert_eq!(arena.chain_len(dist), 2);
+    }
+
+    #[test]
+    fn render_shows_scan_join_and_delta() {
+        let mut arena = PlanArena::new();
+        let mut interner = Interner::new();
+        let g = interner.intern("G");
+        let t = interner.intern("T");
+        let (unit, _) = arena.intern(Node::Unit);
+        let (scan, _) = arena.intern(Node::Join {
+            input: unit,
+            pred: g,
+            source: ScanSource::Full,
+            cols: vec![ColOp::Load(0), ColOp::Load(1)].into_boxed_slice(),
+        });
+        let (join, _) = arena.intern(Node::Join {
+            input: scan,
+            pred: t,
+            source: ScanSource::Delta,
+            cols: vec![ColOp::Key(PTerm::Slot(1)), ColOp::Load(2)].into_boxed_slice(),
+        });
+        let (proj, _) = arena.intern(Node::Project {
+            input: join,
+            pred: t,
+            args: vec![PTerm::Slot(0), PTerm::Slot(2)].into_boxed_slice(),
+        });
+        let (root, _) = arena.intern(Node::Distinct { input: proj });
+        let text = arena.render(root, &interner);
+        assert!(text.starts_with("distinct\n"), "{text}");
+        assert!(text.contains("project T(s0, s2)"), "{text}");
+        assert!(text.contains("join T(=s1, s2) Δ"), "{text}");
+        assert!(text.contains("scan G(s0, s1)"), "{text}");
+    }
+}

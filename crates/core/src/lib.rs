@@ -39,22 +39,26 @@
 
 pub mod active;
 pub mod error;
-pub mod eval;
+pub mod exec;
 pub mod inflationary;
 pub mod invention;
+pub mod ir;
 pub mod magic;
 pub mod naive;
 pub mod noninflationary;
 pub mod options;
 mod parallel;
+pub mod planner;
 pub mod provenance;
 pub mod seminaive;
 pub mod stable;
 pub mod stratified;
+pub mod subst;
 pub mod wellfounded;
 
 pub use error::EvalError;
 pub use options::{DivergenceDetection, EvalOptions, FixpointRun};
+pub use planner::PlanMode;
 
 use unchained_parser::{classify, Language, Program};
 

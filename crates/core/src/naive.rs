@@ -8,10 +8,11 @@
 //! the baseline for the `naive_vs_seminaive` benchmark.
 
 use crate::error::EvalError;
-use crate::eval::{active_domain, for_each_match, instantiate, plan_rule, IndexCache, Sources};
+use crate::exec::{for_each_head, IndexCache, Sources};
 use crate::options::{EvalOptions, FixpointRun};
+use crate::planner::{Catalog, Planner};
 use crate::require_language;
-use std::ops::ControlFlow;
+use crate::subst::{active_domain, merge_new_facts};
 use unchained_common::{HeapSize, Instance, SpanKind, StageRecord};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
@@ -32,7 +33,10 @@ pub fn minimum_model(
     check_range_restricted(program, false)?;
 
     let adom = active_domain(program, input);
-    let plans: Vec<_> = program.rules.iter().map(plan_rule).collect();
+    let mut planner = Planner::new(Catalog::from_instance(input), options.plan_mode);
+    planner.inflate(program.idb());
+    let plans: Vec<_> = program.rules.iter().map(|r| planner.plan_rule(r)).collect();
+    let plan_stats = planner.stats();
     let mut cache = IndexCache::new();
     let mut instance = input.clone();
     // Make sure every idb relation exists, even if it stays empty.
@@ -62,35 +66,21 @@ pub fn minimum_model(
             let HeadLiteral::Pos(head) = &rule.head[0] else {
                 unreachable!("pure Datalog heads are positive")
             };
-            let _ = for_each_match(
+            fired += for_each_head(
                 plan,
+                &head.args,
                 Sources::simple(&instance),
                 &adom,
                 &mut cache,
-                &mut |env| {
-                    fired += 1;
-                    let tuple = instantiate(&head.args, env);
+                &mut |tuple| {
                     if !instance.contains_fact(head.pred, &tuple) {
                         new_facts.push((head.pred, tuple));
                     }
-                    ControlFlow::Continue(())
                 },
             );
         }
         let enabled = tel.is_enabled() || tracer.is_enabled();
-        let mut changed = false;
-        let mut delta: Vec<(unchained_common::Symbol, usize)> = Vec::new();
-        for (pred, tuple) in new_facts {
-            if instance.insert_fact(pred, tuple) {
-                changed = true;
-                if enabled {
-                    match delta.iter_mut().find(|(p, _)| *p == pred) {
-                        Some((_, n)) => *n += 1,
-                        None => delta.push((pred, 1)),
-                    }
-                }
-            }
-        }
+        let (changed, mut delta) = merge_new_facts(&mut instance, new_facts, enabled);
         let added: usize = delta.iter().map(|(_, n)| n).sum();
         tracer.gauge("facts_added", added as u64);
         tracer.gauge("rules_fired", fired);
@@ -112,8 +102,14 @@ pub fn minimum_model(
         if !changed {
             tracer.gauge("rounds", stages as u64);
             tracer.gauge("final_facts", instance.fact_count() as u64);
+            tracer.gauge("plan_joins_pruned", plan_stats.joins_pruned);
+            tracer.gauge("subplans_shared", plan_stats.subplans_shared);
             drop(eval_guard);
-            tel.with(|t| t.bytes_final = instance.heap_bytes() as u64);
+            tel.with(|t| {
+                t.bytes_final = instance.heap_bytes() as u64;
+                t.plan_joins_pruned = plan_stats.joins_pruned;
+                t.subplans_shared = plan_stats.subplans_shared;
+            });
             tel.finish(&run_sw, instance.fact_count());
             return Ok(FixpointRun { instance, stages });
         }

@@ -6,6 +6,8 @@ use std::sync::OnceLock;
 use unchained_common::{Instance, Telemetry};
 use unchained_parser::{HeadLiteral, Program};
 
+use crate::planner::PlanMode;
+
 /// Default worker-thread count: `UNCHAINED_THREADS` from the environment
 /// (read once per process), else 1. Letting the env var steer the default
 /// means `UNCHAINED_THREADS=4 cargo test` exercises the parallel rounds
@@ -58,6 +60,11 @@ pub struct EvalOptions {
     /// keeps evaluation strictly sequential; output is byte-identical for
     /// every value.
     pub threads: NonZeroUsize,
+    /// How rule bodies are ordered by the planner. [`PlanMode::Cost`]
+    /// (the default) orders joins by catalog cardinalities;
+    /// [`PlanMode::Syntactic`] keeps the historical most-bound-first
+    /// order and exists as the differential-fuzzing reference leg.
+    pub plan_mode: PlanMode,
 }
 
 impl Default for EvalOptions {
@@ -68,6 +75,7 @@ impl Default for EvalOptions {
             divergence: DivergenceDetection::Exact,
             telemetry: Telemetry::off(),
             threads: default_threads(),
+            plan_mode: PlanMode::default(),
         }
     }
 }
@@ -101,6 +109,12 @@ impl EvalOptions {
     /// to 1, i.e. sequential).
     pub fn with_threads(mut self, n: usize) -> Self {
         self.threads = NonZeroUsize::new(n).unwrap_or(NonZeroUsize::MIN);
+        self
+    }
+
+    /// Options with the given planning mode.
+    pub fn with_plan_mode(mut self, mode: PlanMode) -> Self {
+        self.plan_mode = mode;
         self
     }
 }

@@ -25,8 +25,8 @@
 //! subsequent round, the final instance, and its display — is
 //! byte-identical to the sequential evaluation for any thread count.
 
-use crate::eval::{for_each_match, instantiate, IndexCache, Plan, Sources};
-use std::ops::ControlFlow;
+use crate::exec::{for_each_head, IndexCache, Sources};
+use crate::ir::Plan;
 use std::time::Instant;
 use unchained_common::{DeltaHandle, Instance, Value};
 use unchained_parser::Atom;
@@ -97,9 +97,9 @@ pub(crate) fn run_round(
                         if stripe_tasks && i % workers != w {
                             continue;
                         }
-                        let mut fired: u64 = 0;
-                        let _ = for_each_match(
+                        let fired = for_each_head(
                             task.plan,
+                            &task.head.args,
                             Sources {
                                 full: instance,
                                 delta,
@@ -107,15 +107,12 @@ pub(crate) fn run_round(
                             },
                             adom,
                             cache,
-                            &mut |env| {
-                                fired += 1;
-                                let tuple = instantiate(&task.head.args, env);
+                            &mut |tuple| {
                                 if !instance.contains_fact(task.head.pred, &tuple)
                                     && !pending.contains_fact(task.head.pred, &tuple)
                                 {
                                     pending.insert_fact(task.head.pred, tuple);
                                 }
-                                ControlFlow::Continue(())
                             },
                         );
                         fired_per_rule[task.rule] += fired;
@@ -170,7 +167,8 @@ pub(crate) fn run_round(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eval::{active_domain, plan_rule, seminaive_variants};
+    use crate::planner::{plan_rule, Catalog, PlanMode, Planner};
+    use crate::subst::active_domain;
     use unchained_common::{FxHashSet, Interner, Symbol, Tuple};
     use unchained_parser::{parse_program, HeadLiteral};
 
@@ -240,10 +238,11 @@ mod tests {
             inst.insert_fact(t, e);
         }
         inst.commit_all();
+        let mut planner = Planner::new(Catalog::empty(), PlanMode::Cost);
         let plans: Vec<Vec<Plan>> = p
             .rules
             .iter()
-            .map(|r| seminaive_variants(&plan_rule(r), &|s| recursive.contains(&s)))
+            .map(|r| planner.seminaive_variants(r, &|s| recursive.contains(&s)))
             .collect();
         let tasks: Vec<PlanTask> = p
             .rules

@@ -1,0 +1,942 @@
+//! The rule planner: lowers parser-AST rule bodies into the shared
+//! relational-algebra IR ([`crate::ir`]) with cost-based join ordering,
+//! sideways-information-passing filter pushdown, and common-subplan
+//! sharing.
+//!
+//! Planning decisions, in order, per rule body:
+//!
+//! 1. **Join order** — positive atoms are scheduled greedily. Under
+//!    [`PlanMode::Cost`] the next atom is the one with the smallest
+//!    estimated probe cost `card(pred) / 4^bound_positions`, using
+//!    relation cardinalities snapshotted from the input [`Instance`]
+//!    into a [`Catalog`] (recursive predicates, whose relations grow
+//!    during the fixpoint, are estimated at no less than the total fact
+//!    count). Under [`PlanMode::Syntactic`] the next atom is simply the
+//!    one with the most bound argument positions, tie-broken by source
+//!    order — the historical ordering, kept as the differential-fuzzing
+//!    counterpart. Ties in cost fall back to bound positions, then
+//!    source order, so plans are deterministic.
+//! 2. **SIP pushdown** — every argument position whose value is known
+//!    when an atom is scheduled (constants, variables bound by earlier
+//!    atoms or equalities) becomes part of the scan's index key: the
+//!    filter is pushed *into* the probe rather than applied after
+//!    enumeration. Negative literals and comparisons are checked at the
+//!    earliest point where their variables are bound.
+//! 3. **Delta variants** — semi-naive evaluation needs, per recursive
+//!    scan, a variant reading that scan from the round's delta. Under
+//!    cost mode the delta scan is forced first (a delta is presumed
+//!    smaller than anything else); under syntactic mode the variant
+//!    keeps the full plan's order with the one source flipped.
+//! 4. **Sharing** — all nodes are interned into one [`PlanArena`] with
+//!    canonical slot names, so identical body prefixes across the rules
+//!    of a program become the same nodes. The planner reports
+//!    [`PlanStats`]: `joins_pruned` (scans whose probe key is
+//!    non-empty, i.e. joins the SIP pushdown narrowed) and
+//!    `subplans_shared` (arena intern hits).
+//!
+//! The plan is computed once, from a deterministic catalog snapshot —
+//! never from runtime state — so the same program and input produce the
+//! same plan at any thread count: the *plan* is deterministic, the
+//! schedule need not be.
+
+use unchained_common::{FxHashMap, FxHashSet, Instance, Symbol};
+use unchained_parser::{HeadLiteral, Literal, Rule, Term, Var};
+
+use crate::ir::{ColOp, Node, NodeId, PTerm, Plan, PlanArena, ScanSource, Step};
+
+/// How rule bodies are ordered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PlanMode {
+    /// Cost-based greedy ordering from catalog cardinalities (the
+    /// default).
+    #[default]
+    Cost,
+    /// Most-bound-first ordering, ignoring cardinalities. This is the
+    /// pre-IR planner's behavior, kept as the reference leg for
+    /// planned-vs-unplanned differential fuzzing.
+    Syntactic,
+}
+
+/// Relation cardinalities snapshotted at plan time.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    cards: FxHashMap<Symbol, u64>,
+    total: u64,
+}
+
+impl Catalog {
+    /// A catalog with no information: every relation estimates to 0, so
+    /// cost mode degenerates to most-bound-first ordering.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Snapshots the cardinality of every relation in `instance`.
+    pub fn from_instance(instance: &Instance) -> Self {
+        let mut cards = FxHashMap::default();
+        let mut total = 0u64;
+        for pred in instance.symbols() {
+            let len = instance.relation(pred).map_or(0, |r| r.len()) as u64;
+            cards.insert(pred, len);
+            total += len;
+        }
+        Catalog { cards, total }
+    }
+
+    /// The snapshotted cardinality of `pred` (0 when unknown).
+    pub fn card(&self, pred: Symbol) -> u64 {
+        self.cards.get(&pred).copied().unwrap_or(0)
+    }
+
+    /// Total facts in the snapshot.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Deterministic gauges describing what planning achieved.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PlanStats {
+    /// Scans whose probe key is non-empty: joins the SIP pushdown
+    /// narrowed from full enumeration to an index probe.
+    pub joins_pruned: u64,
+    /// Arena intern hits (excluding the unit leaf): subplan nodes
+    /// shared with an earlier compilation in the same batch.
+    pub subplans_shared: u64,
+}
+
+/// Compiles the rules of one program into plans sharing one arena.
+pub struct Planner {
+    arena: PlanArena,
+    catalog: Catalog,
+    mode: PlanMode,
+    inflated: FxHashSet<Symbol>,
+    stats: PlanStats,
+}
+
+impl Planner {
+    /// A planner over `catalog` in `mode`.
+    pub fn new(catalog: Catalog, mode: PlanMode) -> Self {
+        Planner {
+            arena: PlanArena::new(),
+            catalog,
+            mode,
+            inflated: FxHashSet::default(),
+            stats: PlanStats::default(),
+        }
+    }
+
+    /// Marks predicates whose relations grow during the fixpoint (idb /
+    /// recursive predicates): their cost estimate is raised to at least
+    /// the catalog's total fact count, so an initially-empty recursive
+    /// relation is not mistaken for a free scan.
+    pub fn inflate(&mut self, preds: impl IntoIterator<Item = Symbol>) {
+        self.inflated.extend(preds);
+    }
+
+    /// Gauges accumulated so far.
+    pub fn stats(&self) -> PlanStats {
+        self.stats
+    }
+
+    /// The shared node arena (for rendering and plan-shape tests).
+    pub fn arena(&self) -> &PlanArena {
+        &self.arena
+    }
+
+    /// Consumes the planner, returning the arena and final gauges.
+    pub fn finish(self) -> (PlanArena, PlanStats) {
+        (self.arena, self.stats)
+    }
+
+    /// Plans a rule's full body, requiring all body variables bound.
+    pub fn plan_rule(&mut self, rule: &Rule) -> Plan {
+        let literals: Vec<&Literal> = rule.body.iter().collect();
+        let vars = rule.body_vars();
+        self.compile(rule, &literals, &vars, None)
+    }
+
+    /// Plans the given body literals of `rule`.
+    ///
+    /// `vars_to_bind` lists the variables the plan must have bound when
+    /// the callback fires (normally all body variables; the
+    /// nondeterministic `forall` engine plans only the non-universal
+    /// part of the body). Variables not bound by scans or equalities get
+    /// [`Step::Domain`] steps.
+    pub fn plan_body(&mut self, rule: &Rule, literals: &[&Literal], vars_to_bind: &[Var]) -> Plan {
+        self.compile(rule, literals, vars_to_bind, None)
+    }
+
+    /// Produces the semi-naive variants of a rule: for each positive
+    /// body atom over a predicate in `recursive`, a plan where that
+    /// atom (and only that one) reads the delta. Returns an empty
+    /// vector if the body scans no recursive predicate (such rules only
+    /// fire in the first iteration).
+    pub fn seminaive_variants(
+        &mut self,
+        rule: &Rule,
+        recursive: &dyn Fn(Symbol) -> bool,
+    ) -> Vec<Plan> {
+        let literals: Vec<&Literal> = rule.body.iter().collect();
+        let vars = rule.body_vars();
+        let mut variants = Vec::new();
+        for (i, lit) in rule.body.iter().enumerate() {
+            if let Literal::Pos(atom) = lit {
+                if recursive(atom.pred) {
+                    variants.push(self.compile(rule, &literals, &vars, Some(i)));
+                }
+            }
+        }
+        variants
+    }
+
+    /// Estimated tuples enumerated by scanning `pred` with `known`
+    /// bound positions: `card / 4^known`, never below the raw count's
+    /// usefulness for ordering. Inflated (growing) predicates estimate
+    /// at no less than the snapshot's total.
+    fn estimate(&self, pred: Symbol, known: usize) -> u64 {
+        let card = self.catalog.card(pred);
+        let card = if self.inflated.contains(&pred) {
+            card.max(self.catalog.total).max(1)
+        } else {
+            card
+        };
+        card >> (2 * known).min(63)
+    }
+
+    /// Orders the body into steps (the join-ordering loop). When
+    /// `delta_lit` names a literal, its scan reads the delta; under
+    /// cost mode it is additionally forced to the front.
+    fn order_steps(
+        &self,
+        rule: &Rule,
+        literals: &[&Literal],
+        vars_to_bind: &[Var],
+        delta_lit: Option<usize>,
+    ) -> Vec<Step> {
+        #[derive(PartialEq)]
+        enum LitState {
+            Pending,
+            Done,
+        }
+        let mut state: Vec<LitState> = literals.iter().map(|_| LitState::Pending).collect();
+        let mut bound = vec![false; rule.var_count()];
+        let mut steps = Vec::new();
+
+        let term_known = |t: &Term, bound: &[bool]| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound[v.index()],
+        };
+
+        // Flush every pending check whose variables are now all bound.
+        // Negative literals and comparisons never bind variables
+        // (matching the paper: negation tests absence under a full
+        // valuation).
+        fn flush_checks(
+            literals: &[&Literal],
+            state: &mut [LitState],
+            bound: &[bool],
+            steps: &mut Vec<Step>,
+        ) {
+            for (i, lit) in literals.iter().enumerate() {
+                if state[i] == LitState::Done {
+                    continue;
+                }
+                let ready = lit.vars().iter().all(|v| bound[v.index()]);
+                if !ready {
+                    continue;
+                }
+                match lit {
+                    Literal::Neg(atom) => {
+                        steps.push(Step::CheckNeg {
+                            pred: atom.pred,
+                            args: atom.args.clone(),
+                        });
+                        state[i] = LitState::Done;
+                    }
+                    Literal::Eq(l, r) => {
+                        steps.push(Step::CheckCmp {
+                            left: *l,
+                            right: *r,
+                            equal: true,
+                        });
+                        state[i] = LitState::Done;
+                    }
+                    Literal::Neq(l, r) => {
+                        steps.push(Step::CheckCmp {
+                            left: *l,
+                            right: *r,
+                            equal: false,
+                        });
+                        state[i] = LitState::Done;
+                    }
+                    Literal::Pos(_) => {
+                        // Positive atoms are handled by scans below; even
+                        // when fully bound we emit a scan (a cheap point
+                        // lookup).
+                    }
+                    Literal::Choice(..) => {
+                        unreachable!(
+                            "choice constraints are stripped before planning (nondet engine only)"
+                        )
+                    }
+                }
+            }
+        }
+
+        loop {
+            flush_checks(literals, &mut state, &bound, &mut steps);
+
+            // 1. Equality that can bind a variable?
+            let mut progressed = false;
+            for (i, lit) in literals.iter().enumerate() {
+                if state[i] == LitState::Done {
+                    continue;
+                }
+                if let Literal::Eq(l, r) = lit {
+                    let (lk, rk) = (term_known(l, &bound), term_known(r, &bound));
+                    let bind = match (lk, rk) {
+                        (true, false) => r.as_var().map(|v| (v, *l)),
+                        (false, true) => l.as_var().map(|v| (v, *r)),
+                        _ => None,
+                    };
+                    if let Some((var, term)) = bind {
+                        steps.push(Step::BindEq { var, term });
+                        bound[var.index()] = true;
+                        state[i] = LitState::Done;
+                        progressed = true;
+                        break;
+                    }
+                }
+            }
+            if progressed {
+                continue;
+            }
+
+            // 2. Positive atom: pick the next scan. The selection key is
+            //    (cost, fewest-unbound, source order), minimized; under
+            //    syntactic mode cost is constant so the key degenerates
+            //    to most-bound-first with source-order tie-break. A
+            //    forced delta literal always wins (deltas are presumed
+            //    small).
+            let mut best: Option<((u64, u64, u64), usize)> = None;
+            for (i, lit) in literals.iter().enumerate() {
+                if state[i] == LitState::Done {
+                    continue;
+                }
+                if let Literal::Pos(atom) = lit {
+                    let known = atom.args.iter().filter(|t| term_known(t, &bound)).count();
+                    let key = if self.mode == PlanMode::Cost && delta_lit == Some(i) {
+                        (0, 0, 0)
+                    } else {
+                        let cost = match self.mode {
+                            PlanMode::Cost => self.estimate(atom.pred, known),
+                            PlanMode::Syntactic => 0,
+                        };
+                        (cost, (usize::MAX - known) as u64, i as u64)
+                    };
+                    if best.is_none_or(|(k, _)| key < k) {
+                        best = Some((key, i));
+                    }
+                }
+            }
+            if let Some((_, i)) = best {
+                let Literal::Pos(atom) = literals[i] else {
+                    unreachable!()
+                };
+                let key: Vec<usize> = atom
+                    .args
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| term_known(t, &bound))
+                    .map(|(p, _)| p)
+                    .collect();
+                for t in &atom.args {
+                    if let Term::Var(v) = t {
+                        bound[v.index()] = true;
+                    }
+                }
+                steps.push(Step::Scan {
+                    pred: atom.pred,
+                    args: atom.args.clone(),
+                    key,
+                    source: if delta_lit == Some(i) {
+                        ScanSource::Delta
+                    } else {
+                        ScanSource::Full
+                    },
+                });
+                state[i] = LitState::Done;
+                continue;
+            }
+
+            // 3. Still-unbound variable that the caller needs: enumerate
+            //    it over the active domain.
+            let next_unbound = vars_to_bind.iter().copied().find(|v| !bound[v.index()]);
+            if let Some(v) = next_unbound {
+                steps.push(Step::Domain { var: v });
+                bound[v.index()] = true;
+                continue;
+            }
+
+            break;
+        }
+        flush_checks(literals, &mut state, &bound, &mut steps);
+        debug_assert!(
+            state.iter().all(|s| *s == LitState::Done),
+            "planner left literals unscheduled"
+        );
+        steps
+    }
+
+    fn intern(&mut self, node: Node) -> NodeId {
+        let is_unit = matches!(node, Node::Unit);
+        let (id, hit) = self.arena.intern(node);
+        if hit && !is_unit {
+            self.stats.subplans_shared += 1;
+        }
+        id
+    }
+
+    /// Lowers ordered steps into the canonical IR chain: plan slots are
+    /// assigned in first-bind order, so alphabetic-variant prefixes of
+    /// different rules intern to the same nodes.
+    fn compile(
+        &mut self,
+        rule: &Rule,
+        literals: &[&Literal],
+        vars_to_bind: &[Var],
+        delta_lit: Option<usize>,
+    ) -> Plan {
+        let steps = self.order_steps(rule, literals, vars_to_bind, delta_lit);
+
+        let mut slot_of: Vec<Option<u32>> = vec![None; rule.var_count()];
+        let mut next_slot = 0u32;
+        let mut assign = |v: Var, slot_of: &mut Vec<Option<u32>>| {
+            debug_assert!(slot_of[v.index()].is_none(), "slot assigned twice");
+            let s = next_slot;
+            slot_of[v.index()] = Some(s);
+            next_slot += 1;
+            s
+        };
+        fn pterm(t: &Term, slot_of: &[Option<u32>]) -> PTerm {
+            match t {
+                Term::Const(v) => PTerm::Const(*v),
+                Term::Var(v) => {
+                    PTerm::Slot(slot_of[v.index()].expect("plan term over unbound variable"))
+                }
+            }
+        }
+
+        let mut node = self.intern(Node::Unit);
+        for step in &steps {
+            node = match step {
+                Step::Scan {
+                    pred,
+                    args,
+                    key,
+                    source,
+                } => {
+                    if !key.is_empty() {
+                        self.stats.joins_pruned += 1;
+                    }
+                    let mut cols = Vec::with_capacity(args.len());
+                    for (p, t) in args.iter().enumerate() {
+                        if key.contains(&p) {
+                            cols.push(ColOp::Key(pterm(t, &slot_of)));
+                        } else {
+                            let Term::Var(v) = t else {
+                                unreachable!("constant positions are always key positions")
+                            };
+                            match slot_of[v.index()] {
+                                // Bound earlier in this same atom: a
+                                // repeated-variable check.
+                                Some(s) => cols.push(ColOp::Check(s)),
+                                None => cols.push(ColOp::Load(assign(*v, &mut slot_of))),
+                            }
+                        }
+                    }
+                    self.intern(Node::Join {
+                        input: node,
+                        pred: *pred,
+                        source: *source,
+                        cols: cols.into_boxed_slice(),
+                    })
+                }
+                Step::BindEq { var, term } => {
+                    let term = pterm(term, &slot_of);
+                    let slot = assign(*var, &mut slot_of);
+                    self.intern(Node::Bind {
+                        input: node,
+                        slot,
+                        term,
+                    })
+                }
+                Step::Domain { var } => {
+                    let slot = assign(*var, &mut slot_of);
+                    self.intern(Node::Domain { input: node, slot })
+                }
+                Step::CheckNeg { pred, args } => {
+                    let args: Box<[PTerm]> = args.iter().map(|t| pterm(t, &slot_of)).collect();
+                    self.intern(Node::Antijoin {
+                        input: node,
+                        pred: *pred,
+                        args,
+                    })
+                }
+                Step::CheckCmp { left, right, equal } => self.intern(Node::Select {
+                    input: node,
+                    left: pterm(left, &slot_of),
+                    right: pterm(right, &slot_of),
+                    equal: *equal,
+                }),
+            };
+        }
+        let body_root = node;
+
+        // Head projection: only when the rule has the single-positive
+        // head shape and the body binds every head variable (rules with
+        // invented head variables keep a bare body chain — their engines
+        // extend the valuation themselves).
+        let mut root = body_root;
+        if let [HeadLiteral::Pos(head)] = &rule.head[..] {
+            let resolvable = head.args.iter().all(|t| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => slot_of[v.index()].is_some(),
+            });
+            if resolvable {
+                let args: Box<[PTerm]> = head.args.iter().map(|t| pterm(t, &slot_of)).collect();
+                let project = self.intern(Node::Project {
+                    input: body_root,
+                    pred: head.pred,
+                    args,
+                });
+                root = self.intern(Node::Distinct { input: project });
+            }
+        }
+
+        Plan {
+            steps,
+            var_count: rule.var_count(),
+            body_root,
+            root,
+        }
+    }
+}
+
+/// Plans a rule's full body with an empty catalog (cost ordering
+/// degenerates to most-bound-first). Engines that plan against a real
+/// input should use a [`Planner`] with [`Catalog::from_instance`].
+pub fn plan_rule(rule: &Rule) -> Plan {
+    Planner::new(Catalog::empty(), PlanMode::Cost).plan_rule(rule)
+}
+
+/// Plans the given body literals with an empty catalog (see
+/// [`Planner::plan_body`]).
+pub fn plan_body(rule: &Rule, literals: &[&Literal], vars_to_bind: &[Var]) -> Plan {
+    Planner::new(Catalog::empty(), PlanMode::Cost).plan_body(rule, literals, vars_to_bind)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{for_each_match, IndexCache, Sources};
+    use crate::subst::active_domain;
+    use std::ops::ControlFlow;
+    use unchained_common::{Instance, Interner, Tuple, Value};
+    use unchained_parser::parse_program;
+
+    fn collect_matches(
+        src: &str,
+        facts: &[(&str, Vec<i64>)],
+    ) -> (Vec<Vec<Value>>, unchained_parser::Program) {
+        let mut interner = Interner::new();
+        let program = parse_program(src, &mut interner).unwrap();
+        let mut instance = Instance::new();
+        for (name, vals) in facts {
+            let sym = interner.intern(name);
+            let tuple: Tuple = vals.iter().map(|&v| Value::Int(v)).collect();
+            instance.insert_fact(sym, tuple);
+        }
+        let adom = active_domain(&program, &instance);
+        let rule = &program.rules[0];
+        let plan = plan_rule(rule);
+        let mut cache = IndexCache::new();
+        let mut out = Vec::new();
+        let n_vars = rule.var_count();
+        let _ = for_each_match(
+            &plan,
+            Sources::simple(&instance),
+            &adom,
+            &mut cache,
+            &mut |env| {
+                out.push((0..n_vars).map(|i| env[i].unwrap()).collect::<Vec<_>>());
+                ControlFlow::Continue(())
+            },
+        );
+        out.sort();
+        (out, program)
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        let (matches, _) = collect_matches(
+            "P(x,y) :- G(x,z), G(z,y).",
+            &[("G", vec![1, 2]), ("G", vec![2, 3])],
+        );
+        // x=1, y=3, z=2 (vars in first-occurrence order: x, y, z).
+        assert_eq!(
+            matches,
+            vec![vec![Value::Int(1), Value::Int(3), Value::Int(2)]]
+        );
+    }
+
+    #[test]
+    fn negative_only_rule_ranges_over_adom() {
+        // CT(x,y) :- !T(x,y). — x, y enumerate the active domain.
+        let (matches, _) =
+            collect_matches("CT(x,y) :- !T(x,y).", &[("T", vec![1, 1]), ("E", vec![2])]);
+        // adom = {1, 2}; all pairs except (1,1).
+        assert_eq!(matches.len(), 3);
+        assert!(!matches.contains(&vec![Value::Int(1), Value::Int(1)]));
+    }
+
+    #[test]
+    fn repeated_variables_in_atom() {
+        let (matches, _) =
+            collect_matches("L(x) :- G(x,x).", &[("G", vec![1, 2]), ("G", vec![3, 3])]);
+        assert_eq!(matches, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn constants_in_atoms() {
+        let (matches, _) =
+            collect_matches("P(x) :- G(1,x).", &[("G", vec![1, 2]), ("G", vec![2, 3])]);
+        assert_eq!(matches, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn equality_binding_and_checks() {
+        let (matches, _) = collect_matches(
+            "P(x,y) :- G(x,y), y = 2.",
+            &[("G", vec![1, 2]), ("G", vec![2, 3])],
+        );
+        assert_eq!(matches, vec![vec![Value::Int(1), Value::Int(2)]]);
+        let (matches, _) = collect_matches(
+            "P(x,y) :- G(x,y), x != y.",
+            &[("G", vec![1, 1]), ("G", vec![1, 2])],
+        );
+        assert_eq!(matches, vec![vec![Value::Int(1), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn equality_can_introduce_domain_var() {
+        // y bound through equality to x which is scanned.
+        let (matches, _) = collect_matches("P(y) :- G(x,x), y = x.", &[("G", vec![3, 3])]);
+        assert_eq!(matches, vec![vec![Value::Int(3), Value::Int(3)]]);
+    }
+
+    #[test]
+    fn empty_body_matches_once() {
+        let (matches, _) = collect_matches("delay :- .", &[("G", vec![1, 2])]);
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn missing_relation_is_empty_for_scan_and_true_for_negation() {
+        let (matches, _) = collect_matches("P(x) :- M(x).", &[("G", vec![1, 2])]);
+        assert!(matches.is_empty());
+        let (matches, _) = collect_matches("P(x) :- G(x,y), !M(x).", &[("G", vec![1, 2])]);
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn early_exit_stops_enumeration() {
+        let mut interner = Interner::new();
+        let program = parse_program("P(x) :- G(x,y).", &mut interner).unwrap();
+        let g = interner.get("G").unwrap();
+        let mut instance = Instance::new();
+        for k in 0..10 {
+            instance.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
+        }
+        let adom = active_domain(&program, &instance);
+        let plan = plan_rule(&program.rules[0]);
+        let mut cache = IndexCache::new();
+        let mut count = 0;
+        let _ = for_each_match(
+            &plan,
+            Sources::simple(&instance),
+            &adom,
+            &mut cache,
+            &mut |_| {
+                count += 1;
+                ControlFlow::Break(())
+            },
+        );
+        assert_eq!(count, 1);
+    }
+
+    fn scan_preds(plan: &Plan) -> Vec<Symbol> {
+        plan.steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Scan { pred, .. } => Some(*pred),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn instance_with(interner: &mut Interner, rels: &[(&str, usize, usize)]) -> Instance {
+        // rels: (name, arity, cardinality); tuples are distinct ints.
+        let mut instance = Instance::new();
+        for (name, arity, card) in rels {
+            let sym = interner.intern(name);
+            instance.ensure(sym, *arity);
+            for k in 0..*card {
+                let tuple: Tuple = (0..*arity)
+                    .map(|c| Value::Int((k * 7 + c) as i64))
+                    .collect();
+                instance.insert_fact(sym, tuple);
+            }
+        }
+        instance
+    }
+
+    #[test]
+    fn seminaive_variant_generation() {
+        let mut interner = Interner::new();
+        let program = parse_program("T(x,y) :- G(x,z), T(z,y).", &mut interner).unwrap();
+        let t = interner.get("T").unwrap();
+        let mut planner = Planner::new(Catalog::empty(), PlanMode::Cost);
+        let variants = planner.seminaive_variants(&program.rules[0], &|p| p == t);
+        assert_eq!(variants.len(), 1);
+        let delta_scans = variants[0]
+            .steps
+            .iter()
+            .filter(|s| {
+                matches!(
+                    s,
+                    Step::Scan {
+                        source: ScanSource::Delta,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(delta_scans, 1);
+        // Non-recursive rule: no variants.
+        let program2 = parse_program("T(x,y) :- G(x,y).", &mut interner).unwrap();
+        assert!(planner
+            .seminaive_variants(&program2.rules[0], &|p| p == t)
+            .is_empty());
+    }
+
+    #[test]
+    fn cost_mode_forces_delta_scan_first() {
+        let mut interner = Interner::new();
+        let program = parse_program("T(x,y) :- G(x,z), T(z,y).", &mut interner).unwrap();
+        let g = interner.get("G").unwrap();
+        let t = interner.get("T").unwrap();
+        let instance = instance_with(&mut interner, &[("G", 2, 8)]);
+        let mut planner = Planner::new(Catalog::from_instance(&instance), PlanMode::Cost);
+        planner.inflate([t]);
+        let variants = planner.seminaive_variants(&program.rules[0], &|p| p == t);
+        assert_eq!(scan_preds(&variants[0]), vec![t, g]);
+        // Syntactic mode keeps the full plan's order (G first) and only
+        // flips the source.
+        let mut planner = Planner::new(Catalog::from_instance(&instance), PlanMode::Syntactic);
+        let variants = planner.seminaive_variants(&program.rules[0], &|p| p == t);
+        assert_eq!(scan_preds(&variants[0]), vec![g, t]);
+        assert!(matches!(
+            variants[0].steps[1],
+            Step::Scan {
+                source: ScanSource::Delta,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn chain_join_order_tracks_cardinalities() {
+        // A chain body: the cheapest relation leads, then the join
+        // frontier follows the bindings.
+        let mut interner = Interner::new();
+        let program = parse_program("P(x,w) :- A(x,y), B(y,z), C(z,w).", &mut interner).unwrap();
+        let (a, b, c) = (
+            interner.get("A").unwrap(),
+            interner.get("B").unwrap(),
+            interner.get("C").unwrap(),
+        );
+        let instance = instance_with(&mut interner, &[("A", 2, 64), ("B", 2, 16), ("C", 2, 1)]);
+        let mut planner = Planner::new(Catalog::from_instance(&instance), PlanMode::Cost);
+        let plan = planner.plan_rule(&program.rules[0]);
+        // C (card 1) first; B joins on z (16/16 = 1) before A (64/16 = 4).
+        assert_eq!(scan_preds(&plan), vec![c, b, a]);
+        // Syntactic mode ignores cardinalities: source order on the
+        // all-unbound tie.
+        let mut planner = Planner::new(Catalog::from_instance(&instance), PlanMode::Syntactic);
+        let plan = planner.plan_rule(&program.rules[0]);
+        assert_eq!(scan_preds(&plan), vec![a, b, c]);
+    }
+
+    #[test]
+    fn star_join_order_tracks_cardinalities() {
+        let mut interner = Interner::new();
+        let program = parse_program("P(x) :- R(x,a), S(x,b), U(x,c).", &mut interner).unwrap();
+        let (r, s, u) = (
+            interner.get("R").unwrap(),
+            interner.get("S").unwrap(),
+            interner.get("U").unwrap(),
+        );
+        let instance = instance_with(&mut interner, &[("R", 2, 40), ("S", 2, 1), ("U", 2, 12)]);
+        let mut planner = Planner::new(Catalog::from_instance(&instance), PlanMode::Cost);
+        let plan = planner.plan_rule(&program.rules[0]);
+        // S (card 1) binds the hub x; then U (12/4 = 3) before R (40/4 = 10).
+        assert_eq!(scan_preds(&plan), vec![s, u, r]);
+    }
+
+    #[test]
+    fn triangle_join_order_tracks_cardinalities() {
+        let mut interner = Interner::new();
+        let program =
+            parse_program("P(x,y,z) :- E1(x,y), E2(y,z), E3(z,x).", &mut interner).unwrap();
+        let (e1, e2, e3) = (
+            interner.get("E1").unwrap(),
+            interner.get("E2").unwrap(),
+            interner.get("E3").unwrap(),
+        );
+        let instance = instance_with(&mut interner, &[("E1", 2, 2), ("E2", 2, 50), ("E3", 2, 50)]);
+        let mut planner = Planner::new(Catalog::from_instance(&instance), PlanMode::Cost);
+        let plan = planner.plan_rule(&program.rules[0]);
+        // E1 (card 2) first; E2/E3 tie at one bound position → source
+        // order; the last scan is fully bound.
+        assert_eq!(scan_preds(&plan), vec![e1, e2, e3]);
+        let Step::Scan { key, .. } = plan.steps.last().unwrap() else {
+            panic!("last step must be the closing scan");
+        };
+        assert_eq!(key, &[0, 1], "closing triangle scan is a point lookup");
+    }
+
+    #[test]
+    fn sip_filters_only_push_into_bound_positions() {
+        let mut interner = Interner::new();
+        let program = parse_program("T(x,y) :- G(x,z), T(z,y).", &mut interner).unwrap();
+        let instance = instance_with(&mut interner, &[("G", 2, 8)]);
+        let t = interner.get("T").unwrap();
+        let mut planner = Planner::new(Catalog::from_instance(&instance), PlanMode::Cost);
+        planner.inflate([t]);
+        let plan = planner.plan_rule(&program.rules[0]);
+        // First scan (G) has nothing bound: empty key. Second scan (T)
+        // probes exactly on column 0 (z is bound, y is not).
+        let keys: Vec<&Vec<usize>> = plan
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Scan { key, .. } => Some(key),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(keys, vec![&vec![], &vec![0]]);
+        // The same fact is visible on the IR: one pruned join.
+        assert_eq!(planner.stats().joins_pruned, 1);
+        // And the join node keys only the bound column.
+        let Node::Join { cols, .. } = planner.arena().node(plan.body_root) else {
+            panic!("body root must be the T join");
+        };
+        assert!(matches!(cols[0], ColOp::Key(PTerm::Slot(_))));
+        assert!(matches!(cols[1], ColOp::Load(_)));
+    }
+
+    #[test]
+    fn common_subplan_sharing_dedupes_identical_body_prefixes() {
+        let mut interner = Interner::new();
+        let program = parse_program(
+            "P(x,y) :- G(x,z), H(z,y).\nQ(u,v) :- G(u,w), H(w,v).",
+            &mut interner,
+        )
+        .unwrap();
+        let mut planner = Planner::new(Catalog::empty(), PlanMode::Cost);
+        let p1 = planner.plan_rule(&program.rules[0]);
+        let p2 = planner.plan_rule(&program.rules[1]);
+        // Canonical slots make the alphabetic-variant bodies identical:
+        // both scan G then join H, so the second rule's body chain is
+        // fully shared (2 nodes), while project/distinct differ.
+        assert_eq!(planner.stats().subplans_shared, 2);
+        assert_eq!(p1.body_root, p2.body_root);
+        assert_eq!(p1.node_count(planner.arena()), 4); // scan, join, project, distinct
+        assert!(
+            planner.arena().node_count()
+                < p1.node_count(planner.arena()) + p2.node_count(planner.arena()) + 1
+        );
+        // A rule with a different body shares nothing.
+        let other = parse_program("R(x,y) :- H(x,z), G(z,y).", &mut interner).unwrap();
+        let before = planner.stats().subplans_shared;
+        planner.plan_rule(&other.rules[0]);
+        assert_eq!(planner.stats().subplans_shared, before);
+    }
+
+    #[test]
+    fn cost_ordering_never_changes_answers() {
+        // The same tricky bodies under both modes: answers agree.
+        let sources = [
+            "H(x,y) :- A(x,z), !B(z), A(y,w).",
+            "H(x) :- A(x,x), B(x), A(x,y), !B(y).",
+            "H(x) :- A(1,x), !A(x,2), x != 1.",
+            "H(x,y) :- B(z), x = z, y = x, !A(x,y).",
+            "H(x) :- B(x), A(x,x).",
+        ];
+        let mut interner = Interner::new();
+        let a = interner.intern("A");
+        let b = interner.intern("B");
+        let mut instance = Instance::new();
+        for (p, q) in [(1i64, 2), (2, 2), (2, 3), (3, 1)] {
+            instance.insert_fact(a, Tuple::from([Value::Int(p), Value::Int(q)]));
+        }
+        for v in [1i64, 3] {
+            instance.insert_fact(b, Tuple::from([Value::Int(v)]));
+        }
+        for src in sources {
+            let program = parse_program(src, &mut interner).unwrap();
+            let rule = &program.rules[0];
+            let adom = active_domain(&program, &instance);
+            let mut answers: Vec<Vec<Vec<Value>>> = Vec::new();
+            for mode in [PlanMode::Cost, PlanMode::Syntactic] {
+                let mut planner = Planner::new(Catalog::from_instance(&instance), mode);
+                let plan = planner.plan_rule(rule);
+                let mut cache = IndexCache::new();
+                let mut out: Vec<Vec<Value>> = Vec::new();
+                let vars = rule.body_vars();
+                let _ = for_each_match(
+                    &plan,
+                    Sources::simple(&instance),
+                    &adom,
+                    &mut cache,
+                    &mut |env| {
+                        out.push(vars.iter().map(|v| env[v.index()].unwrap()).collect());
+                        ControlFlow::Continue(())
+                    },
+                );
+                out.sort();
+                out.dedup();
+                answers.push(out);
+            }
+            assert_eq!(answers[0], answers[1], "modes disagree on:\n{src}");
+        }
+    }
+
+    #[test]
+    fn plans_render_through_the_arena() {
+        let mut interner = Interner::new();
+        let program = parse_program("T(x,y) :- G(x,z), T(z,y).", &mut interner).unwrap();
+        let t = interner.get("T").unwrap();
+        let instance = instance_with(&mut interner, &[("G", 2, 4)]);
+        let mut planner = Planner::new(Catalog::from_instance(&instance), PlanMode::Cost);
+        planner.inflate([t]);
+        let plan = planner.plan_rule(&program.rules[0]);
+        let text = planner.arena().render(plan.root, &interner);
+        assert!(text.contains("distinct"), "{text}");
+        assert!(text.contains("project T(s0, s2)"), "{text}");
+        assert!(text.contains("join T(=s1, s2)"), "{text}");
+        assert!(text.contains("scan G(s0, s1)"), "{text}");
+    }
+}

@@ -10,11 +10,12 @@
 //! and [`explain`] always terminates.
 
 use crate::error::EvalError;
-use crate::eval::{
-    active_domain, for_each_match, instantiate, plan_rule, IndexCache, Plan, Sources,
-};
+use crate::exec::{for_each_match, IndexCache, Sources};
+use crate::ir::Plan;
 use crate::options::EvalOptions;
+use crate::planner::plan_rule;
 use crate::require_language;
+use crate::subst::{active_domain, instantiate};
 use std::ops::ControlFlow;
 use unchained_common::{FxHashMap, Instance, Interner, Symbol, Tuple};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Literal, Program};

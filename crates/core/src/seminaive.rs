@@ -13,14 +13,13 @@
 //! same computation with negation frozen against completed strata.
 
 use crate::error::EvalError;
-use crate::eval::{
-    active_domain, for_each_match, instantiate, plan_rule, seminaive_variants, IndexCache, Plan,
-    Sources,
-};
+use crate::exec::{for_each_head, IndexCache, Sources};
+use crate::ir::Plan;
 use crate::options::{EvalOptions, FixpointRun};
 use crate::parallel::{run_round, PlanTask};
+use crate::planner::{Catalog, Planner};
 use crate::require_language;
-use std::ops::ControlFlow;
+use crate::subst::active_domain;
 use unchained_common::{
     DeltaHandle, FxHashSet, HeapSize, Instance, JoinCounters, Span, SpanKind, StageRecord, Symbol,
     Tracer,
@@ -94,14 +93,21 @@ pub(crate) fn seminaive_fixpoint(
         full: Plan,
         deltas: Vec<Plan>,
     }
+    // Plan against a cardinality snapshot of the instance as it stands
+    // on entry (for stratified evaluation: with all lower strata
+    // already computed). Recursive predicates are inflated so their
+    // initially-small relations are not mistaken for cheap scans.
+    let mut planner = Planner::new(Catalog::from_instance(instance), options.plan_mode);
+    planner.inflate(recursive.iter().copied());
     let compiled: Vec<RulePlans> = rules
         .iter()
         .map(|rule| {
-            let full = plan_rule(rule);
-            let deltas = seminaive_variants(&full, &|p| recursive.contains(&p));
+            let full = planner.plan_rule(rule);
+            let deltas = planner.seminaive_variants(rule, &|p| recursive.contains(&p));
             RulePlans { rule, full, deltas }
         })
         .collect();
+    let plan_stats = planner.stats();
 
     let head_atom = |rule: &Rule| match &rule.head[0] {
         HeadLiteral::Pos(a) => a.clone(),
@@ -115,6 +121,15 @@ pub(crate) fn seminaive_fixpoint(
     let tracer = tel.tracer().clone();
     let traced = tracer.is_enabled();
     let head_preds: Vec<Symbol> = compiled.iter().map(|rp| head_atom(rp.rule).pred).collect();
+    // Planner-effect gauges are deterministic (plans never depend on
+    // the schedule), so they are safe in the thread-invariant lane.
+    // Accumulated across strata when called repeatedly.
+    tel.with(|t| {
+        t.plan_joins_pruned += plan_stats.joins_pruned;
+        t.subplans_shared += plan_stats.subplans_shared;
+    });
+    tracer.gauge("plan_joins_pruned", plan_stats.joins_pruned);
+    tracer.gauge("subplans_shared", plan_stats.subplans_shared);
 
     // Parallel executor state. Each worker owns a cache shard that lives
     // across rounds (so full indexes absorb committed segments just like
@@ -207,19 +222,16 @@ pub(crate) fn seminaive_fixpoint(
         for (ri, rp) in compiled.iter().enumerate() {
             let head = head_atom(rp.rule);
             let rule_start = tracer.now_nanos();
-            let mut rule_fired: u64 = 0;
-            let _ = for_each_match(
+            let rule_fired = for_each_head(
                 &rp.full,
+                &head.args,
                 Sources::simple(instance),
                 adom,
                 cache,
-                &mut |env| {
-                    rule_fired += 1;
-                    let tuple = instantiate(&head.args, env);
+                &mut |tuple| {
                     if !instance.contains_fact(head.pred, &tuple) {
                         pending.insert_fact(head.pred, tuple);
                     }
-                    ControlFlow::Continue(())
                 },
             );
             fired += rule_fired;
@@ -387,8 +399,9 @@ pub(crate) fn seminaive_fixpoint(
             let rule_start = tracer.now_nanos();
             let mut rule_fired: u64 = 0;
             for plan in &rp.deltas {
-                let _ = for_each_match(
+                rule_fired += for_each_head(
                     plan,
+                    &head.args,
                     Sources {
                         full: instance,
                         delta: Some(&mark),
@@ -396,15 +409,12 @@ pub(crate) fn seminaive_fixpoint(
                     },
                     adom,
                     cache,
-                    &mut |env| {
-                        rule_fired += 1;
-                        let tuple = instantiate(&head.args, env);
+                    &mut |tuple| {
                         if !instance.contains_fact(head.pred, &tuple)
                             && !next_pending.contains_fact(head.pred, &tuple)
                         {
                             next_pending.insert_fact(head.pred, tuple);
                         }
-                        ControlFlow::Continue(())
                     },
                 );
             }

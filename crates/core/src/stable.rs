@@ -25,9 +25,10 @@
 //! semantics still answers — with unknowns.
 
 use crate::error::EvalError;
-use crate::eval::{active_domain, IndexCache};
+use crate::exec::IndexCache;
 use crate::options::EvalOptions;
 use crate::require_language;
+use crate::subst::active_domain;
 use crate::wellfounded;
 use unchained_common::{Instance, Span, SpanKind, Telemetry, Tuple};
 use unchained_parser::{check_range_restricted, Language, Program};
@@ -109,7 +110,9 @@ fn reduct_lfp(
     adom: &[unchained_common::Value],
     options: &EvalOptions,
 ) -> Result<Instance, EvalError> {
-    use crate::eval::{for_each_match, instantiate, plan_rule, Sources};
+    use crate::exec::{for_each_match, Sources};
+    use crate::planner::plan_rule;
+    use crate::subst::instantiate;
     use std::ops::ControlFlow;
     use unchained_parser::HeadLiteral;
     let plans: Vec<_> = program.rules.iter().map(plan_rule).collect();

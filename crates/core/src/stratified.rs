@@ -7,10 +7,11 @@
 //! "the portion of P defining R comes before the negation of R is used".
 
 use crate::error::EvalError;
-use crate::eval::{active_domain, IndexCache};
+use crate::exec::IndexCache;
 use crate::options::{EvalOptions, FixpointRun};
 use crate::require_language;
 use crate::seminaive::seminaive_fixpoint;
+use crate::subst::active_domain;
 use unchained_common::{FxHashSet, HeapSize, Instance, SpanKind, Symbol};
 use unchained_parser::{check_range_restricted, DependencyGraph, HeadLiteral, Language, Program};
 

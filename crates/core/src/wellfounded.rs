@@ -19,11 +19,12 @@
 //! **unknown**, and everything else is **false**.
 
 use crate::error::EvalError;
-use crate::eval::{
-    active_domain, for_each_match, instantiate, plan_rule, IndexCache, Plan, Sources,
-};
+use crate::exec::{for_each_match, IndexCache, Sources};
+use crate::ir::Plan;
 use crate::options::{EvalOptions, FixpointRun};
+use crate::planner::plan_rule;
 use crate::require_language;
+use crate::subst::{active_domain, instantiate};
 use std::ops::ControlFlow;
 use unchained_common::{
     HeapSize, Instance, SpanKind, StageRecord, Stopwatch, Symbol, Telemetry, Tuple, Value,

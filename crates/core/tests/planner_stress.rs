@@ -5,7 +5,9 @@
 
 use std::ops::ControlFlow;
 use unchained_common::{Instance, Interner, Tuple, Value};
-use unchained_core::eval::{active_domain, for_each_match, plan_rule, IndexCache, Sources};
+use unchained_core::exec::{for_each_match, IndexCache, Sources};
+use unchained_core::planner::plan_rule;
+use unchained_core::subst::active_domain;
 use unchained_parser::{parse_program, Literal, Rule, Term};
 
 /// Brute force: enumerate all valuations of the rule's body variables

@@ -57,9 +57,13 @@ fn gauge_tree_is_byte_identical_across_thread_counts() {
     // The projection carries the work gauges…
     assert!(seq_tree.contains("facts_added"), "{seq_tree}");
     assert!(seq_tree.contains("fired"), "{seq_tree}");
-    // …but no schedule-dependent worker/join lanes.
+    // …including the deterministic planner-effect gauges…
+    assert!(seq_tree.contains("plan_joins_pruned"), "{seq_tree}");
+    assert!(seq_tree.contains("subplans_shared"), "{seq_tree}");
+    // …but no schedule-dependent worker lanes or join-counter leaves
+    // (probe counts depend on the per-worker index chunking).
     assert!(!seq_tree.contains("worker"), "{seq_tree}");
-    assert!(!seq_tree.contains("joins"), "{seq_tree}");
+    assert!(!seq_tree.contains("probes"), "{seq_tree}");
 }
 
 #[test]

@@ -22,9 +22,10 @@
 use crate::ExchangeError;
 use std::ops::ControlFlow;
 use unchained_common::{FxHashMap, Instance, Symbol, Tuple};
-use unchained_core::eval::{
-    active_domain, for_each_match, instantiate, plan_rule, IndexCache, Plan, Sources,
-};
+use unchained_core::exec::{for_each_match, IndexCache, Sources};
+use unchained_core::ir::Plan;
+use unchained_core::planner::plan_rule;
+use unchained_core::subst::{active_domain, instantiate};
 use unchained_core::{inflationary, EvalError, EvalOptions};
 use unchained_parser::{HeadLiteral, Program};
 

@@ -32,6 +32,11 @@ pub enum Campaign {
     /// N-Datalog with `choice`: seeded-run determinism and poss/cert
     /// containment.
     Nondet,
+    /// Planned-vs-unplanned: stratified Datalog¬ over deliberately
+    /// skewed edb cardinalities, comparing the cost-based join ordering
+    /// against the syntactic (most-bound-first) reference ordering,
+    /// sequentially and in parallel.
+    Planner,
 }
 
 impl Campaign {
@@ -42,6 +47,7 @@ impl Campaign {
             "negation" | "stratified" => Campaign::Negation,
             "invention" | "datalog-new" => Campaign::Invention,
             "nondet" => Campaign::Nondet,
+            "planner" | "plan" => Campaign::Planner,
             _ => return None,
         })
     }
@@ -53,16 +59,18 @@ impl Campaign {
             Campaign::Negation => "negation",
             Campaign::Invention => "invention",
             Campaign::Nondet => "nondet",
+            Campaign::Planner => "planner",
         }
     }
 
     /// All campaigns, in documentation order.
-    pub fn all() -> [Campaign; 4] {
+    pub fn all() -> [Campaign; 5] {
         [
             Campaign::Positive,
             Campaign::Negation,
             Campaign::Invention,
             Campaign::Nondet,
+            Campaign::Planner,
         ]
     }
 }
@@ -166,9 +174,10 @@ pub fn generate(
         // through a negation — the textbook sufficient condition.
         let n_body = 1 + rng.gen_index(cfg.max_body);
         let mut body = Vec::new();
+        let stratified = matches!(campaign, Campaign::Negation | Campaign::Planner);
         for _ in 0..n_body {
-            let negate = campaign == Campaign::Negation && rng.gen_bool(0.3);
-            let layered = campaign == Campaign::Negation;
+            let negate = stratified && rng.gen_bool(0.3);
+            let layered = stratified;
             let pos_pool = if layered {
                 (head_level + 1).min(idb.len())
             } else {
@@ -269,11 +278,23 @@ pub fn generate(
     let program = Program { rules }.normalized();
 
     let mut instance = Instance::new();
-    for (pred, arity) in &edb {
+    for (k, (pred, arity)) in edb.iter().enumerate() {
         instance.ensure(*pred, *arity);
-        for _ in 0..cfg.facts_per_pred {
+        // The planner campaign skews cardinalities hard (E1 ≫ E0) so
+        // the cost-based ordering genuinely disagrees with the
+        // syntactic one — otherwise the two legs would pick the same
+        // plans and the differential test would be vacuous.
+        let (facts, universe) = if campaign == Campaign::Planner {
+            (
+                cfg.facts_per_pred * (1 + 8 * k),
+                cfg.universe * (1 + k as i64),
+            )
+        } else {
+            (cfg.facts_per_pred, cfg.universe)
+        };
+        for _ in 0..facts {
             let tuple: Tuple = (0..*arity)
-                .map(|_| Value::Int(rng.gen_range_i64(0, cfg.universe)))
+                .map(|_| Value::Int(rng.gen_range_i64(0, universe)))
                 .collect();
             instance.insert_fact(*pred, tuple);
         }
@@ -300,7 +321,7 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{campaign:?} seed {seed}: {e}"));
                 match campaign {
                     Campaign::Positive => assert_eq!(classify(&p), Language::Datalog),
-                    Campaign::Negation => {
+                    Campaign::Negation | Campaign::Planner => {
                         DependencyGraph::build(&p)
                             .stratify()
                             .unwrap_or_else(|e| panic!("seed {seed} not stratifiable: {e}"));

@@ -165,7 +165,7 @@ USAGE:
   unchained fuzz [options]
 
 OPTIONS:
-  --campaign <C>     positive (default) | negation | invention | nondet
+  --campaign <C>     positive (default) | negation | invention | nondet | planner
   --seed <N>         master seed (default 0); same seed, same run, bit for bit
   --budget <N>       programs to generate (default 100)
   --json <PATH>      write the campaign summary (default FUZZ.json)

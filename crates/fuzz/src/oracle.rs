@@ -9,6 +9,7 @@
 //! | negation | stratified, well-founded, stratified@{2,4,8}, while-translation | rule/stratum permutation |
 //! | invention | invention ×2 (determinism), invention@4 | — |
 //! | nondet | seeded run ×2 (determinism), poss/cert containment | — |
+//! | planner | stratified syntactic-plan vs cost-plan, cost-plan@{2,4,8}, syntactic-plan@4 | stage-count equality |
 //!
 //! A `Fault` injects a deliberate wrong answer into one extra matrix
 //! entry — the shrinker's self-test: with the fault enabled the oracle
@@ -16,7 +17,9 @@
 //! the shrinker must walk that divergence down to a ≤ 3-rule repro.
 
 use unchained_common::{Instance, Interner, Symbol, Tuple, Value};
-use unchained_core::{invention, magic, naive, seminaive, stratified, wellfounded, EvalOptions};
+use unchained_core::{
+    invention, magic, naive, seminaive, stratified, wellfounded, EvalOptions, PlanMode,
+};
 use unchained_nondet::{poss_cert, run_once, EffOptions, NondetProgram, RandomChooser};
 use unchained_parser::Program;
 
@@ -163,7 +166,91 @@ pub fn check(
         Campaign::Negation => negation(program, &input, fault),
         Campaign::Invention => invention_campaign(program, &input, fault),
         Campaign::Nondet => nondet(program, &input, run_seed, fault),
+        Campaign::Planner => planner(program, &input, fault),
     }
+}
+
+/// Planned-vs-unplanned: the cost-based join ordering must be a pure
+/// optimization. The syntactic (most-bound-first) reference ordering
+/// and the cost-based ordering must agree on the model *and* the stage
+/// count, sequentially and at every thread count.
+fn planner(program: &Program, input: &Instance, fault: Fault) -> Outcome {
+    let mut out = Outcome::default();
+    out.oracle_runs += 1;
+    let syntactic = |threads| opts(threads).with_plan_mode(PlanMode::Syntactic);
+    let costed = |threads| opts(threads).with_plan_mode(PlanMode::Cost);
+    let Ok(reference) = stratified::eval(program, input, syntactic(1)) else {
+        out.skipped = true;
+        return out;
+    };
+    let answer = reference.answer(program);
+
+    // Cost-planned leg, sequential: same model, same stage count.
+    out.oracle_runs += 1;
+    match stratified::eval(program, input, costed(1)) {
+        Ok(run) => {
+            compare(
+                &mut out,
+                "syntactic-plan",
+                "cost-plan",
+                &answer,
+                &run.answer(program),
+            );
+            out.comparisons += 1;
+            if run.stages != reference.stages {
+                out.diverge(
+                    "syntactic-plan",
+                    "cost-plan",
+                    format!("stages {} vs {}", reference.stages, run.stages),
+                );
+            }
+        }
+        Err(e) => out.diverge(
+            "syntactic-plan",
+            "cost-plan",
+            format!("cost plan failed: {e}"),
+        ),
+    }
+
+    // Cost-planned parallel legs: delta-first plans still partition the
+    // per-round matches exactly, so the model stays byte-identical.
+    for threads in [2usize, 4, 8] {
+        out.oracle_runs += 1;
+        match stratified::eval(program, input, costed(threads)) {
+            Ok(run) => compare(
+                &mut out,
+                "syntactic-plan",
+                "cost-plan-parallel",
+                &answer,
+                &run.answer(program),
+            ),
+            Err(e) => out.diverge(
+                "syntactic-plan",
+                "cost-plan-parallel",
+                format!("threads={threads} failed: {e}"),
+            ),
+        }
+    }
+
+    // The syntactic ordering is itself thread-invariant.
+    out.oracle_runs += 1;
+    match stratified::eval(program, input, syntactic(4)) {
+        Ok(run) => compare(
+            &mut out,
+            "syntactic-plan",
+            "syntactic-plan-parallel",
+            &answer,
+            &run.answer(program),
+        ),
+        Err(e) => out.diverge(
+            "syntactic-plan",
+            "syntactic-plan-parallel",
+            format!("threads=4 failed: {e}"),
+        ),
+    }
+
+    fault_leg(&mut out, &answer, fault);
+    out
 }
 
 fn positive(program: &Program, input: &Instance, interner: &mut Interner, fault: Fault) -> Outcome {

@@ -35,7 +35,9 @@ fn valid(campaign: Campaign, program: &Program) -> bool {
         return false;
     }
     match campaign {
-        Campaign::Negation => DependencyGraph::build(program).stratify().is_ok(),
+        Campaign::Negation | Campaign::Planner => {
+            DependencyGraph::build(program).stratify().is_ok()
+        }
         Campaign::Nondet => check_positively_bound(program, false).is_ok(),
         Campaign::Positive | Campaign::Invention => true,
     }

@@ -13,8 +13,9 @@
 //! exactly the engines' active domain — so the fixpoint program is an
 //! *independent* implementation of the same query, sharing none of the
 //! rule-planning/join machinery the engine family is built on. That
-//! makes it the fuzzer's reference oracle: a bug in `core::eval` has no
-//! counterpart here.
+//! makes it the fuzzer's reference oracle: a bug in the planner
+//! (`core::planner`) or executor (`core::exec`) has no counterpart
+//! here.
 
 use unchained_common::Symbol;
 use unchained_fo::{FoTerm, FoVar, Formula};

@@ -4,9 +4,10 @@
 use crate::NondetError;
 use std::ops::ControlFlow;
 use unchained_common::{Instance, Symbol, Tuple, Value};
-use unchained_core::eval::{
-    active_domain, for_each_match, instantiate, plan_body, term_value, IndexCache, Plan, Sources,
-};
+use unchained_core::exec::{for_each_match, IndexCache, Sources};
+use unchained_core::ir::Plan;
+use unchained_core::planner::plan_body;
+use unchained_core::subst::{active_domain, instantiate, term_value};
 use unchained_parser::{check_positively_bound, features, HeadLiteral, Literal, Program, Var};
 
 /// One instantiated head operation of a rule firing.

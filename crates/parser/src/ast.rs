@@ -410,6 +410,29 @@ pub struct DisplayProgram<'a> {
     interner: &'a Interner,
 }
 
+impl Rule {
+    /// Renders one rule in the concrete syntax (without the trailing
+    /// `.`), for plan listings and diagnostics.
+    pub fn display<'a>(&'a self, interner: &'a Interner) -> DisplayRule<'a> {
+        DisplayRule {
+            rule: self,
+            interner,
+        }
+    }
+}
+
+/// Helper returned by [`Rule::display`].
+pub struct DisplayRule<'a> {
+    rule: &'a Rule,
+    interner: &'a Interner,
+}
+
+impl fmt::Display for DisplayRule<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_rule(f, self.rule, self.interner)
+    }
+}
+
 fn fmt_term(
     f: &mut fmt::Formatter<'_>,
     term: &Term,
@@ -442,74 +465,79 @@ fn fmt_atom(
     Ok(())
 }
 
-impl fmt::Display for DisplayProgram<'_> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for rule in &self.program.rules {
-            for (i, h) in rule.head.iter().enumerate() {
+fn fmt_rule(f: &mut fmt::Formatter<'_>, rule: &Rule, interner: &Interner) -> fmt::Result {
+    for (i, h) in rule.head.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        match h {
+            HeadLiteral::Pos(a) => fmt_atom(f, a, rule, interner)?,
+            HeadLiteral::Neg(a) => {
+                write!(f, "!")?;
+                fmt_atom(f, a, rule, interner)?;
+            }
+            HeadLiteral::Bottom => write!(f, "bottom")?,
+        }
+    }
+    if !rule.body.is_empty() || !rule.forall.is_empty() {
+        write!(f, " :- ")?;
+        if !rule.forall.is_empty() {
+            write!(f, "forall ")?;
+            for (i, v) in rule.forall.iter().enumerate() {
                 if i > 0 {
                     write!(f, ", ")?;
                 }
-                match h {
-                    HeadLiteral::Pos(a) => fmt_atom(f, a, rule, self.interner)?,
-                    HeadLiteral::Neg(a) => {
-                        write!(f, "!")?;
-                        fmt_atom(f, a, rule, self.interner)?;
-                    }
-                    HeadLiteral::Bottom => write!(f, "bottom")?,
-                }
+                write!(f, "{}", rule.var_names[v.index()])?;
             }
-            if !rule.body.is_empty() || !rule.forall.is_empty() {
-                write!(f, " :- ")?;
-                if !rule.forall.is_empty() {
-                    write!(f, "forall ")?;
-                    for (i, v) in rule.forall.iter().enumerate() {
+            write!(f, " : ")?;
+        }
+        for (i, l) in rule.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match l {
+                Literal::Pos(a) => fmt_atom(f, a, rule, interner)?,
+                Literal::Neg(a) => {
+                    write!(f, "!")?;
+                    fmt_atom(f, a, rule, interner)?;
+                }
+                Literal::Eq(s, t) => {
+                    fmt_term(f, s, rule, interner)?;
+                    write!(f, " = ")?;
+                    fmt_term(f, t, rule, interner)?;
+                }
+                Literal::Neq(s, t) => {
+                    fmt_term(f, s, rule, interner)?;
+                    write!(f, " != ")?;
+                    fmt_term(f, t, rule, interner)?;
+                }
+                Literal::Choice(left, right) => {
+                    write!(f, "choice((")?;
+                    for (i, t) in left.iter().enumerate() {
                         if i > 0 {
                             write!(f, ", ")?;
                         }
-                        write!(f, "{}", rule.var_names[v.index()])?;
+                        fmt_term(f, t, rule, interner)?;
                     }
-                    write!(f, " : ")?;
-                }
-                for (i, l) in rule.body.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
+                    write!(f, "), (")?;
+                    for (i, t) in right.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        fmt_term(f, t, rule, interner)?;
                     }
-                    match l {
-                        Literal::Pos(a) => fmt_atom(f, a, rule, self.interner)?,
-                        Literal::Neg(a) => {
-                            write!(f, "!")?;
-                            fmt_atom(f, a, rule, self.interner)?;
-                        }
-                        Literal::Eq(s, t) => {
-                            fmt_term(f, s, rule, self.interner)?;
-                            write!(f, " = ")?;
-                            fmt_term(f, t, rule, self.interner)?;
-                        }
-                        Literal::Neq(s, t) => {
-                            fmt_term(f, s, rule, self.interner)?;
-                            write!(f, " != ")?;
-                            fmt_term(f, t, rule, self.interner)?;
-                        }
-                        Literal::Choice(left, right) => {
-                            write!(f, "choice((")?;
-                            for (i, t) in left.iter().enumerate() {
-                                if i > 0 {
-                                    write!(f, ", ")?;
-                                }
-                                fmt_term(f, t, rule, self.interner)?;
-                            }
-                            write!(f, "), (")?;
-                            for (i, t) in right.iter().enumerate() {
-                                if i > 0 {
-                                    write!(f, ", ")?;
-                                }
-                                fmt_term(f, t, rule, self.interner)?;
-                            }
-                            write!(f, "))")?;
-                        }
-                    }
+                    write!(f, "))")?;
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for DisplayProgram<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.program.rules {
+            fmt_rule(f, rule, self.interner)?;
             writeln!(f, ".")?;
         }
         Ok(())

@@ -141,6 +141,36 @@ echo "==> bench compare --history self-comparison on committed artifacts"
 cargo run -q --release -p unchained-bench -- compare BENCH.json \
     --history BENCH_HISTORY.json >/dev/null
 
+# Planner gate 1: `unchained plan` on the chain-TC example must render
+# a cost-mode plan for every rule — a scan/join chain per rule, at
+# least one Δ variant for the recursive rule, and the planner footer
+# with the pruning/sharing gauges.
+echo "==> plan smoke: cost-mode plans render for chain TC"
+plan_out=$(cargo run -q --release -p unchained-cli -- plan \
+    examples/programs/tc.dl examples/programs/tc_facts.dl)
+for needle in '% mode: cost' 'rule 1:' 'scan ' 'join ' 'Δ variant:' '% planner:'; do
+    if ! printf '%s' "$plan_out" | grep -qF "$needle"; then
+        echo "plan output is missing \`$needle\`:" >&2
+        printf '%s\n' "$plan_out" >&2
+        exit 1
+    fi
+done
+
+# Planner gate 2: the planner campaign differentially runs cost-based
+# plans against the syntactic reference (sequential and parallel legs)
+# on skewed-cardinality instances. A fixed seed keeps it deterministic;
+# any divergence means plan choice leaked into semantics.
+echo "==> fuzz smoke: planner/42/100, zero divergences"
+rm -rf target/fuzz-planner-corpus
+cargo run -q --release -p unchained-fuzz -- --campaign planner --seed 42 \
+    --budget 100 --json target/fuzz-planner.json --corpus target/fuzz-planner-corpus \
+    >/dev/null
+if ! grep -q '"divergences":0' target/fuzz-planner.json; then
+    echo "planner fuzz smoke found divergences:" >&2
+    cat target/fuzz-planner.json >&2
+    exit 1
+fi
+
 # Differential-fuzzer smoke: the fixed CI triple (positive/42/200) must
 # run every oracle leg with zero divergences and an empty corpus, and
 # the run must be deterministic enough to gate (same seed, same
