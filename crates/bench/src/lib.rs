@@ -46,7 +46,7 @@ use unchained_common::fmt_bytes;
 use unchained_common::{hottest_rules, Instance, Interner, Telemetry, Tracer, Tuple, Value};
 use unchained_core::{
     inflationary, invention, magic, naive, noninflationary, seminaive, stratified, wellfounded,
-    EvalError, EvalOptions,
+    EvalError, EvalOptions, IncrementalSession,
 };
 use unchained_harness::generators;
 use unchained_harness::programs;
@@ -471,6 +471,58 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
                     Err(e) => Err(e.to_string()),
                 },
             ),
+        });
+    }
+
+    // ivm — incremental maintenance on chain TC: build the session
+    // (initial fixpoint), retract the last edge, poll, and check the
+    // maintained instance against a from-scratch evaluation of the
+    // edited edb. The runner doubles as the CI smoke for the poll-vs-
+    // recompute invariant: a divergence (the poll keeping facts the
+    // from-scratch run no longer derives, or losing ones it still does)
+    // fails the case outright. Gauges carry the poll's overdelete and
+    // rederive counters alongside its join work.
+    {
+        let n = sizes.chain;
+        out.push(Case {
+            workload: "ivm",
+            engine: "incremental",
+            threads,
+            n: n as u64,
+            runner: Box::new(move |tracer| {
+                let mut interner = Interner::new();
+                let input = generators::line_graph(&mut interner, "G", n);
+                let program =
+                    parse_program(programs::TC, &mut interner).expect("registry program parses");
+                let g = interner.get("G").expect("line graph interns G");
+                let facts = input.fact_count();
+                let tel = Telemetry::enabled().with_tracer(tracer.clone());
+                let sw = tel.stopwatch();
+                let options = EvalOptions::default()
+                    .with_telemetry(tel.clone())
+                    .with_threads(threads);
+                let mut session =
+                    IncrementalSession::new(program, &input, options).map_err(|e| e.to_string())?;
+                session
+                    .retract(g, Tuple::from([Value::Int(n - 2), Value::Int(n - 1)]))
+                    .map_err(|e| e.to_string())?;
+                let stats = session.poll().map_err(|e| e.to_string())?;
+                if stats.overdeleted == 0 {
+                    return Err("ivm case retracted a chain edge but overdeleted nothing".into());
+                }
+                let scratch =
+                    stratified::eval(session.program(), session.edb(), EvalOptions::default())
+                        .map_err(|e| e.to_string())?;
+                if !session.instance().same_facts(&scratch.instance) {
+                    return Err("ivm poll diverged from a from-scratch evaluation".into());
+                }
+                tel.finish(&sw, session.instance().fact_count());
+                let profile = tracer
+                    .is_enabled()
+                    .then(|| hottest_rules(&tracer.finish(), &interner, PROFILE_TOP_N));
+                let (gauges, threads) = harvest(&tel, interner.len(), facts)?;
+                Ok((gauges, threads, profile))
+            }),
         });
     }
 
@@ -924,7 +976,7 @@ mod tests {
         assert!(workloads.len() >= 6, "{workloads:?}");
         assert!(engines.len() >= 5, "{engines:?}");
         for w in [
-            "chain", "cycle", "grid", "random", "win", "ctc", "magic", "invent",
+            "chain", "cycle", "grid", "random", "win", "ctc", "magic", "invent", "ivm",
         ] {
             assert!(workloads.contains(w), "missing workload {w}");
         }
@@ -938,6 +990,7 @@ mod tests {
             "magic",
             "while",
             "invention",
+            "incremental",
         ] {
             assert!(engines.contains(e), "missing engine {e}");
         }
@@ -1141,6 +1194,36 @@ mod tests {
         // The budget bounds the run: one invented fact per stage.
         assert_eq!(e.gauges.stages, e.n);
         assert!(e.gauges.facts_derived >= e.n);
+    }
+
+    #[test]
+    fn ivm_case_reports_maintenance_gauges() {
+        let args = BenchArgs {
+            filter: Some("ivm".into()),
+            quick: true,
+            reps: Some(1),
+            warmup: Some(0),
+            ..Default::default()
+        };
+        let report = run_benchmarks(&args).unwrap();
+        assert_eq!(report.entries.len(), 1);
+        let e = &report.entries[0];
+        assert_eq!(e.workload, "ivm");
+        assert_eq!(e.engine, "incremental");
+        // Retracting the last chain edge deletes the n-1 closure facts
+        // that route through it, and none of them rederives.
+        assert!(e.gauges.ivm_overdeleted > 0, "{:?}", e.gauges);
+        assert!(
+            e.gauges.ivm_rederived <= e.gauges.ivm_overdeleted,
+            "{:?}",
+            e.gauges
+        );
+        // The gauges cover both the initial fixpoint and the poll.
+        assert!(e.gauges.rules_fired > 0);
+        assert!(e.gauges.probes > 0);
+        // The emitted JSON (v6: carries the ivm object) round-trips.
+        let round = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(round, report);
     }
 
     #[test]

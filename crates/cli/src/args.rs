@@ -146,6 +146,25 @@ pub enum Command {
         /// Span kinds that must be present (`--expect eval,round,...`).
         expect: Vec<String>,
     },
+    /// Drive an incremental maintenance session from an edit script:
+    /// compute the initial fixpoint, then apply `+Fact.` / `-Fact.`
+    /// batches and re-stabilize at every `poll` line.
+    Ivm {
+        /// Path to the program file.
+        program: String,
+        /// Path to the edit script (`+Fact.`, `-Fact.`, `poll` lines).
+        edits: String,
+        /// Path to the initial facts file (optional; empty otherwise).
+        facts: Option<String>,
+        /// Print only this relation after the final poll.
+        output: Option<String>,
+        /// Stage budget per poll.
+        max_stages: Option<usize>,
+        /// Worker threads for the semi-naive substrate.
+        threads: Option<usize>,
+        /// Print per-poll maintenance statistics.
+        stats: bool,
+    },
     /// Interactive session.
     Repl,
     /// Run the benchmark harness (arguments passed through to
@@ -182,6 +201,12 @@ USAGE:
                                `unchained explain tc.dl tc_facts.dl \"T(1,3)\"`
   unchained trace-check <TRACE.json> [--expect k1,k2,…]
                                validate a --profile trace file
+  unchained ivm <PROGRAM.dl> <EDITS> [FACTS.dl] [options]
+                               incremental maintenance: compute the
+                               fixpoint, then replay an edit script of
+                               `+Fact.` (insert), `-Fact.` (retract) and
+                               `poll` (apply batch, re-stabilize) lines;
+                               --stats prints per-poll maintenance work
   unchained repl
   unchained bench [options]     in-repo benchmark harness (BENCH.json);
                                see `unchained bench --help`
@@ -328,6 +353,52 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                 command: Command::TraceCheck {
                     file: file.ok_or("trace-check: missing trace file")?,
                     expect,
+                },
+            })
+        }
+        "ivm" => {
+            let mut positional = Vec::new();
+            let mut output = None;
+            let mut max_stages = None;
+            let mut threads = None;
+            let mut stats = false;
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--output" | "-o" => {
+                        output = Some(it.next().ok_or("--output needs a value")?.clone());
+                    }
+                    "--max-stages" => {
+                        let v = it.next().ok_or("--max-stages needs a value")?;
+                        max_stages =
+                            Some(v.parse().map_err(|_| format!("bad --max-stages `{v}`"))?);
+                    }
+                    "--threads" => {
+                        let v = it.next().ok_or("--threads needs a value")?;
+                        let n: usize = v.parse().map_err(|_| format!("bad --threads `{v}`"))?;
+                        if n == 0 {
+                            return Err("--threads must be at least 1".to_string());
+                        }
+                        threads = Some(n);
+                    }
+                    "--stats" => stats = true,
+                    other if other.starts_with('-') => {
+                        return Err(format!("unknown option `{other}`"));
+                    }
+                    path => positional.push(path.to_string()),
+                }
+            }
+            if positional.len() < 2 || positional.len() > 3 {
+                return Err("ivm: expected <PROGRAM> <EDITS> [FACTS]".to_string());
+            }
+            Ok(Args {
+                command: Command::Ivm {
+                    program: positional[0].clone(),
+                    edits: positional[1].clone(),
+                    facts: positional.get(2).cloned(),
+                    output,
+                    max_stages,
+                    threads,
+                    stats,
                 },
             })
         }
@@ -626,6 +697,35 @@ mod tests {
         );
         assert_eq!(parse_args(&argv("help")).unwrap().command, Command::Help);
         assert_eq!(parse_args(&[]).unwrap().command, Command::Help);
+    }
+
+    #[test]
+    fn parse_ivm() {
+        let args = parse_args(&argv(
+            "ivm tc.dl edits.txt facts.dl --stats --threads 4 --output T",
+        ))
+        .unwrap();
+        assert_eq!(
+            args.command,
+            Command::Ivm {
+                program: "tc.dl".into(),
+                edits: "edits.txt".into(),
+                facts: Some("facts.dl".into()),
+                output: Some("T".into()),
+                max_stages: None,
+                threads: Some(4),
+                stats: true,
+            }
+        );
+        let args = parse_args(&argv("ivm tc.dl edits.txt")).unwrap();
+        let Command::Ivm { facts, stats, .. } = args.command else {
+            panic!("expected ivm");
+        };
+        assert!(facts.is_none() && !stats);
+        assert!(parse_args(&argv("ivm tc.dl")).is_err());
+        assert!(parse_args(&argv("ivm a b c d")).is_err());
+        assert!(parse_args(&argv("ivm a b --threads 0")).is_err());
+        assert!(parse_args(&argv("ivm a b --bogus")).is_err());
     }
 
     #[test]

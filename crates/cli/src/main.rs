@@ -3,7 +3,7 @@
 
 use std::process::ExitCode;
 use unchained_cli::args::{parse_args, Command};
-use unchained_cli::run::execute_full;
+use unchained_cli::run::{execute_full, execute_ivm};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -19,6 +19,46 @@ fn main() -> ExitCode {
     }
     if let Command::Fuzz { rest } = &args.command {
         return ExitCode::from(unchained_fuzz::main_with_args(rest));
+    }
+    // `ivm` reads a third file (the edit script), so it bypasses the
+    // two-slot program/facts plumbing below.
+    if let Command::Ivm {
+        program,
+        edits,
+        facts,
+        output,
+        max_stages,
+        threads,
+        stats,
+    } = &args.command
+    {
+        let read = |path: &str| {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+        };
+        let run = || -> Result<String, String> {
+            let program_text = read(program)?;
+            let edits_text = read(edits)?;
+            let facts_text = facts.as_deref().map(read).transpose()?;
+            execute_ivm(
+                &program_text,
+                facts_text.as_deref(),
+                &edits_text,
+                output.as_deref(),
+                *max_stages,
+                *threads,
+                *stats,
+            )
+        };
+        return match run() {
+            Ok(text) => {
+                print!("{text}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     if matches!(args.command, Command::Repl) {
         return match unchained_cli::run_repl() {
@@ -37,9 +77,11 @@ fn main() -> ExitCode {
         // The trace file rides in the "program text" slot; run.rs
         // validates its contents directly.
         Command::TraceCheck { file, .. } => (Some(file.clone()), None),
-        Command::Repl | Command::Bench { .. } | Command::Fuzz { .. } | Command::Help => {
-            (None, None)
-        }
+        Command::Repl
+        | Command::Bench { .. }
+        | Command::Fuzz { .. }
+        | Command::Ivm { .. }
+        | Command::Help => (None, None),
     };
     let program_text = match &program_path {
         Some(p) => match std::fs::read_to_string(p) {

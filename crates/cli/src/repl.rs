@@ -15,8 +15,8 @@
 //! ```
 
 use crate::args::Semantics;
-use unchained_common::{Instance, Interner, Tuple, Value};
-use unchained_core::EvalOptions;
+use unchained_common::{Instance, Interner, Symbol, Tuple, Value};
+use unchained_core::{EvalOptions, IncrementalSession};
 use unchained_parser::{classify, parse_program, HeadLiteral, Program, Term};
 
 /// REPL state.
@@ -28,6 +28,11 @@ pub struct Repl {
     max_stages: Option<usize>,
     seed: u64,
     threads: Option<usize>,
+    /// The live incremental session behind `.insert`/`.retract`/`.poll`.
+    /// Created lazily from the current program and database; dropped
+    /// whenever either changes (the session would be maintaining a
+    /// stale fixpoint).
+    session: Option<IncrementalSession>,
 }
 
 impl Default for Repl {
@@ -51,6 +56,14 @@ Enter Datalog statements (terminated by `.`) or commands:
   .threads <n>                worker threads for semi-naive rounds
   .explain <fact>.            derivation tree of a fact (Datalog only)
   .why <fact>.                alias of .explain
+  .insert <fact>.             queue an edb insertion on the live
+                              incremental session (started on first use
+                              from the current program and database)
+  .retract <fact>.            queue an edb retraction
+  .poll                       apply queued edits, re-stabilize the idb
+                              incrementally, and report the maintenance
+                              work (overdeletions, rederivations, strata
+                              skipped); the database reflects the edits
   .stats [relation]           evaluate with per-stage statistics
   .mem [relation]             evaluate and print the space report
                               (per-relation logical bytes, fattest
@@ -91,6 +104,7 @@ impl Repl {
             max_stages: None,
             seed: 0,
             threads: None,
+            session: None,
         }
     }
 
@@ -148,6 +162,9 @@ impl Repl {
                 _ => format!("bad thread count `{arg}`\n"),
             },
             "explain" | "why" => self.explain(arg),
+            "insert" => self.ivm_edit(arg, true),
+            "retract" => self.ivm_edit(arg, false),
+            "poll" => self.ivm_poll(),
             "stats" => self.query(arg.trim_end_matches('.'), true),
             "mem" | "memstats" => self.memstats(arg.trim_end_matches('.')),
             "profile" => self.profile(arg.trim_end_matches('.')),
@@ -178,6 +195,7 @@ impl Repl {
             "clear" => {
                 self.program = Program::new();
                 self.database = Instance::new();
+                self.session = None;
                 "cleared\n".to_string()
             }
             other => format!("unknown command `.{other}` (try `.help`)\n"),
@@ -219,12 +237,112 @@ impl Repl {
                 added_rules += 1;
             }
         }
+        if added_facts + added_rules > 0 {
+            // The session's fixpoint no longer matches the inputs.
+            self.session = None;
+        }
         match (added_facts, added_rules) {
             (0, 0) => String::new(),
             (f, 0) => format!("added {f} fact(s)\n"),
             (0, r) => format!("added {r} rule(s)\n"),
             (f, r) => format!("added {f} fact(s), {r} rule(s)\n"),
         }
+    }
+
+    /// Parses `text` as a single ground fact against the session
+    /// interner.
+    fn ground_fact(&mut self, text: &str) -> Result<(Symbol, Tuple), String> {
+        let parsed =
+            parse_program(&format!("{text}."), &mut self.interner).map_err(|e| format!("{e}\n"))?;
+        let atom = parsed
+            .rules
+            .first()
+            .filter(|r| r.body.is_empty() && r.head.len() == 1)
+            .and_then(|r| r.head.first())
+            .and_then(HeadLiteral::atom)
+            .ok_or_else(|| format!("`{text}` is not a single fact\n"))?;
+        let mut values = Vec::new();
+        for term in &atom.args {
+            match term {
+                Term::Const(v) => values.push(*v),
+                Term::Var(_) => return Err("edits need a ground fact\n".to_string()),
+            }
+        }
+        Ok((atom.pred, Tuple::from(values)))
+    }
+
+    /// The live incremental session, started lazily from the current
+    /// program and database.
+    fn ivm_session(&mut self) -> Result<&mut IncrementalSession, String> {
+        if self.session.is_none() {
+            let session =
+                IncrementalSession::new(self.program.clone(), &self.database, self.options())
+                    .map_err(|e| format!("cannot start incremental session: {e}\n"))?;
+            self.session = Some(session);
+        }
+        Ok(self.session.as_mut().expect("just created"))
+    }
+
+    /// Queues one edb edit (`.insert` / `.retract`) on the session.
+    fn ivm_edit(&mut self, arg: &str, insert: bool) -> String {
+        let verb = if insert { "insert" } else { "retract" };
+        let arg = arg.trim().trim_end_matches('.');
+        if arg.is_empty() {
+            return format!("usage: .{verb} T(1,2).\n");
+        }
+        let (pred, tuple) = match self.ground_fact(arg) {
+            Ok(edit) => edit,
+            Err(e) => return e,
+        };
+        let fact = format!(
+            "{}{}",
+            self.interner.name(pred),
+            tuple.display(&self.interner)
+        );
+        let session = match self.ivm_session() {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let queued = if insert {
+            session.insert(pred, tuple)
+        } else {
+            session.retract(pred, tuple)
+        };
+        match queued {
+            Ok(()) => format!(
+                "queued {verb} {fact} ({} pending; `.poll` applies)\n",
+                session.pending_edits()
+            ),
+            Err(e) => format!("error: {e}\n"),
+        }
+    }
+
+    /// Applies queued edits and reports the maintenance work.
+    fn ivm_poll(&mut self) -> String {
+        let stats = match self.ivm_session().map(IncrementalSession::poll) {
+            Ok(Ok(stats)) => stats,
+            Ok(Err(e)) => {
+                // A failed poll leaves the session in an unusable state.
+                self.session = None;
+                return format!("error: {e}\n");
+            }
+            Err(e) => return e,
+        };
+        let session = self.session.as_ref().expect("session polled");
+        // Queries and `.facts` see the edited database from here on.
+        self.database = session.edb().clone();
+        format!(
+            "applied {} edit(s): +{} −{} facts (overdeleted {}, rederived {}, \
+             strata {} skipped / {} recomputed); {} facts total\n",
+            stats.applied,
+            stats.facts_added,
+            stats.facts_removed,
+            stats.overdeleted,
+            stats.rederived,
+            stats.strata_skipped,
+            stats.strata_recomputed,
+            session.instance().fact_count()
+        )
     }
 
     /// Explains the derivation of a ground fact via why-provenance
@@ -508,6 +626,44 @@ mod tests {
         assert!(out.contains("space breakdown"), "{out}");
         let out = feed_ok(&mut repl, "? T");
         assert!(!out.contains("space breakdown"), "{out}");
+    }
+
+    #[test]
+    fn incremental_session_commands() {
+        let mut repl = Repl::new();
+        feed_ok(&mut repl, "G(1,2). G(2,3).");
+        feed_ok(&mut repl, "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).");
+        // Edits queue until `.poll` applies them in one batch.
+        let out = feed_ok(&mut repl, ".insert G(3,4).");
+        assert!(out.contains("queued insert G(3, 4)"), "{out}");
+        assert!(out.contains("1 pending"), "{out}");
+        let out = feed_ok(&mut repl, ".poll");
+        assert!(out.contains("applied 1 edit(s)"), "{out}");
+        let out = feed_ok(&mut repl, "? T");
+        assert!(out.contains("T(1, 4)"), "{out}");
+        // Retraction overdeletes downstream facts, rederiving survivors.
+        feed_ok(&mut repl, ".retract G(1,2).");
+        let out = feed_ok(&mut repl, ".poll");
+        assert!(out.contains("overdeleted"), "{out}");
+        let out = feed_ok(&mut repl, "? T");
+        assert!(!out.contains("T(1, 2)"), "{out}");
+        assert!(out.contains("T(2, 4)"), "{out}");
+        // Edits must be validated: idb target, non-ground, empty arg.
+        let out = feed_ok(&mut repl, ".insert T(9,9).");
+        assert!(out.contains("error"), "{out}");
+        let out = feed_ok(&mut repl, ".insert");
+        assert!(out.contains("usage"), "{out}");
+        let out = feed_ok(&mut repl, ".retract G(x,1).");
+        assert!(out.contains("ground"), "{out}");
+        // Adding a rule invalidates the session; the next edit restarts
+        // it against the maintained database.
+        feed_ok(&mut repl, "S(x) :- G(x,y).");
+        let out = feed_ok(&mut repl, ".insert G(4,5).");
+        assert!(out.contains("1 pending"), "{out}");
+        let out = feed_ok(&mut repl, ".poll");
+        assert!(out.contains("applied 1 edit(s)"), "{out}");
+        let out = feed_ok(&mut repl, "? S");
+        assert!(out.contains("S(4)"), "{out}");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use unchained_common::{
 };
 use unchained_core::{
     inflationary, invention, naive, noninflationary, provenance, seminaive, stratified,
-    wellfounded, EvalOptions,
+    wellfounded, EvalOptions, IncrementalSession,
 };
 use unchained_nondet::{effect, poss_cert, EffOptions, NondetProgram, RandomChooser};
 use unchained_parser::{
@@ -64,6 +64,9 @@ pub fn execute_full(
         )),
         Command::Fuzz { .. } => Ok(plain(
             "(fuzzing mode: run the `unchained` binary with `fuzz`)".into(),
+        )),
+        Command::Ivm { .. } => Ok(plain(
+            "(incremental mode: run the `unchained` binary with `ivm`)".into(),
         )),
         Command::Check { .. } => {
             let mut interner = Interner::new();
@@ -260,7 +263,17 @@ fn parse_goal_fact(
     goal: &str,
     interner: &mut Interner,
 ) -> Result<(unchained_common::Symbol, Tuple), String> {
-    let text = goal.trim().trim_end_matches('.');
+    parse_ground_fact(goal, "explain", interner)
+}
+
+/// Parses a ground fact like `T(1,3)` into its predicate and tuple;
+/// `context` names the caller (`explain` goals, `ivm` edits) in errors.
+fn parse_ground_fact(
+    text: &str,
+    context: &str,
+    interner: &mut Interner,
+) -> Result<(unchained_common::Symbol, Tuple), String> {
+    let text = text.trim().trim_end_matches('.');
     let parsed = parse_program(&format!("{text}."), interner).map_err(|e| e.to_string())?;
     let atom = parsed
         .rules
@@ -268,15 +281,113 @@ fn parse_goal_fact(
         .filter(|r| r.body.is_empty() && r.head.len() == 1)
         .and_then(|r| r.head.first())
         .and_then(HeadLiteral::atom)
-        .ok_or_else(|| format!("explain: `{text}` is not a single fact"))?;
+        .ok_or_else(|| format!("{context}: `{text}` is not a single fact"))?;
     let mut values = Vec::new();
     for term in &atom.args {
         match term {
             Term::Const(v) => values.push(*v),
-            Term::Var(_) => return Err("explain needs a ground fact".to_string()),
+            Term::Var(_) => return Err(format!("{context} needs a ground fact")),
         }
     }
     Ok((atom.pred, Tuple::from(values)))
+}
+
+/// Runs an edit script against an [`IncrementalSession`] and renders the
+/// maintained answer (the `unchained ivm` batch driver).
+///
+/// Script syntax, one directive per line: `+Fact.` queues an insert,
+/// `-Fact.` queues a retract, `poll` applies everything queued.
+/// `%`-comments and blank lines are skipped. Edits still pending at
+/// end-of-script are applied by one final implicit poll, so a script
+/// with no `poll` lines still maintains the answer.
+pub fn execute_ivm(
+    program_text: &str,
+    facts_text: Option<&str>,
+    edits_text: &str,
+    output: Option<&str>,
+    max_stages: Option<usize>,
+    threads: Option<usize>,
+    stats: bool,
+) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut interner = Interner::new();
+    let program = parse_program(program_text, &mut interner).map_err(|e| e.to_string())?;
+    let input = match facts_text {
+        Some(text) => parse_facts(text, &mut interner).map_err(|e| e.to_string())?,
+        None => Instance::new(),
+    };
+    let mut options = EvalOptions::default();
+    if let Some(max) = max_stages {
+        options = options.with_max_stages(max);
+    }
+    if let Some(threads) = threads {
+        options = options.with_threads(threads);
+    }
+    let mut session =
+        IncrementalSession::new(program, &input, options).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let mut polls = 0usize;
+    let mut poll = |session: &mut IncrementalSession, out: &mut String| -> Result<(), String> {
+        let st = session.poll().map_err(|e| e.to_string())?;
+        polls += 1;
+        let _ = write!(
+            out,
+            "% poll {polls}: applied {} edit(s): +{} \u{2212}{} facts",
+            st.applied, st.facts_added, st.facts_removed
+        );
+        if stats {
+            let _ = write!(
+                out,
+                " (overdeleted {}, rederived {}, strata {} skipped / {} recomputed, \
+                 {} rules fired)",
+                st.overdeleted,
+                st.rederived,
+                st.strata_skipped,
+                st.strata_recomputed,
+                st.rules_fired
+            );
+        }
+        out.push('\n');
+        Ok(())
+    };
+    for (idx, raw) in edits_text.lines().enumerate() {
+        let line = raw.split('%').next().unwrap_or("").trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = idx + 1;
+        let located = |msg: String| format!("edit script line {lineno}: {msg}");
+        if line == "poll" || line == ".poll" {
+            poll(&mut session, &mut out).map_err(located)?;
+            continue;
+        }
+        let (insert, fact) = if let Some(rest) = line.strip_prefix('+') {
+            (true, rest)
+        } else if let Some(rest) = line.strip_prefix('-') {
+            (false, rest)
+        } else {
+            return Err(located(format!(
+                "expected `+Fact.`, `-Fact.`, or `poll`, got `{line}`"
+            )));
+        };
+        let (pred, tuple) = parse_ground_fact(fact, "edit", &mut interner).map_err(located)?;
+        let queued = if insert {
+            session.insert(pred, tuple)
+        } else {
+            session.retract(pred, tuple)
+        };
+        queued.map_err(|e| located(e.to_string()))?;
+    }
+    if session.pending_edits() > 0 {
+        poll(&mut session, &mut out)?;
+    }
+    out.push_str(&render_instance(
+        session.instance(),
+        output,
+        session.program(),
+        &interner,
+    ));
+    Ok(out)
 }
 
 /// Total number of spans in a forest (for the `unchained_trace_spans`
@@ -615,6 +726,58 @@ mod tests {
         .unwrap();
         assert!(out.contains("T(1, 3)"));
         assert!(out.contains("% stages:"));
+    }
+
+    const TC: &str = "T(x,y) :- G(x,y). T(x,y) :- G(x,z), T(z,y).";
+
+    #[test]
+    fn ivm_script_polls_and_renders_maintained_answer() {
+        let script = "\
+% grow the chain, then cut it
++G(3,4).
+poll
+-G(1,2).   % severs 1 from the rest
+poll
++G(4,5).   % left pending: the implicit final poll applies it
+";
+        let out = execute_ivm(TC, Some("G(1,2). G(2,3)."), script, None, None, None, true).unwrap();
+        assert!(out.contains("% poll 1: applied 1 edit(s): +"), "{out}");
+        assert!(out.contains("% poll 2:"), "{out}");
+        assert!(out.contains("% poll 3:"), "{out}");
+        assert!(out.contains("overdeleted"), "{out}");
+        // After -G(1,2): no path from 1; after +G(3,4), +G(4,5): 2..5 chain.
+        assert!(!out.contains("T(1, 2)"), "{out}");
+        assert!(out.contains("T(2, 5)"), "{out}");
+    }
+
+    #[test]
+    fn ivm_script_errors_carry_line_numbers() {
+        let err =
+            execute_ivm(TC, None, "+G(1,2).\nG(2,3).\n", None, None, None, false).unwrap_err();
+        assert!(err.contains("edit script line 2"), "{err}");
+        assert!(err.contains("expected `+Fact.`"), "{err}");
+        // Edits must target edb relations, located to their line.
+        let err = execute_ivm(TC, None, "\n+T(1,2).\n", None, None, None, false).unwrap_err();
+        assert!(err.contains("edit script line 2"), "{err}");
+        // A non-ground edit names the ivm context, not `explain`.
+        let err = execute_ivm(TC, None, "-G(x,1).", None, None, None, false).unwrap_err();
+        assert!(err.contains("edit needs a ground fact"), "{err}");
+    }
+
+    #[test]
+    fn ivm_output_filter_projects_one_relation() {
+        let out = execute_ivm(
+            TC,
+            Some("G(1,2)."),
+            "+G(2,3).",
+            Some("T"),
+            None,
+            None,
+            false,
+        )
+        .unwrap();
+        assert!(out.contains("T(1, 3)"), "{out}");
+        assert!(!out.contains("G(1, 2)"), "{out}");
     }
 
     #[test]

@@ -36,7 +36,16 @@ use crate::telemetry::{json_escape, EvalTrace};
 /// bytes, see `crate::space`) and the derived `tuples_per_sec` rate.
 /// v5 added the `planner` object (`joins_pruned`, `subplans_shared`)
 /// recording the cost-based planner's deterministic effect on each run.
-pub const BENCH_SCHEMA_VERSION: u64 = 5;
+/// v6 added the `ivm` object (`overdeleted`, `rederived`) for the
+/// incremental-maintenance workloads, and relaxed the reader to accept
+/// v4/v5 baselines (sub-objects introduced later parse as zeroes) so an
+/// old committed baseline still compares instead of failing outright.
+pub const BENCH_SCHEMA_VERSION: u64 = 6;
+
+/// Oldest `BENCH.json` schema the reader still accepts. Versions below
+/// this renamed or re-shaped existing fields; v4 onward only *added*
+/// fields, which parse as zero when absent.
+pub const BENCH_SCHEMA_OLDEST_READABLE: u64 = 4;
 
 /// Ignore regressions whose absolute median increase is below this
 /// floor (25 µs): ratios on microsecond-scale cases are dominated by
@@ -170,6 +179,12 @@ pub struct Gauges {
     pub bytes_peak: u64,
     /// Logical bytes of the final instance.
     pub bytes_final: u64,
+    /// Tuples withdrawn by the incremental engine's overdelete pass
+    /// (zero for batch engines).
+    pub ivm_overdeleted: u64,
+    /// Withdrawn tuples the incremental engine restored from
+    /// alternative support (zero for batch engines).
+    pub ivm_rederived: u64,
 }
 
 impl Gauges {
@@ -196,6 +211,8 @@ impl Gauges {
             interner_symbols: trace.interner_symbols as u64,
             bytes_peak: trace.bytes_peak,
             bytes_final: trace.bytes_final,
+            ivm_overdeleted: trace.ivm_overdeleted,
+            ivm_rederived: trace.ivm_rederived,
         }
     }
 }
@@ -303,6 +320,11 @@ impl BenchReport {
             );
             let _ = write!(
                 out,
+                ",\"ivm\":{{\"overdeleted\":{},\"rederived\":{}}}",
+                g.ivm_overdeleted, g.ivm_rederived
+            );
+            let _ = write!(
+                out,
                 ",\"interner_symbols\":{},\"bytes_peak\":{},\"bytes_final\":{},\
                  \"tuples_per_sec\":{}}}",
                 g.interner_symbols,
@@ -320,17 +342,23 @@ impl BenchReport {
         out
     }
 
-    /// Parses a `BENCH.json` document, rejecting schema mismatches.
+    /// Parses a `BENCH.json` document. Versions
+    /// [`BENCH_SCHEMA_OLDEST_READABLE`]`..=`[`BENCH_SCHEMA_VERSION`]
+    /// are accepted — later versions only added sub-objects (`planner`
+    /// in v5, `ivm` in v6), which parse as zeroes when absent so an old
+    /// committed baseline still compares. Anything outside the window
+    /// is rejected loudly.
     pub fn from_json(text: &str) -> Result<BenchReport, String> {
         let doc = Json::parse(text).map_err(|e| e.to_string())?;
         let version = doc
             .get("schema_version")
             .and_then(Json::as_u64)
             .ok_or("BENCH.json: missing schema_version")?;
-        if version != BENCH_SCHEMA_VERSION {
+        if !(BENCH_SCHEMA_OLDEST_READABLE..=BENCH_SCHEMA_VERSION).contains(&version) {
             return Err(format!(
                 "BENCH.json: schema_version {version} (this build reads \
-                 {BENCH_SCHEMA_VERSION}); regenerate the baseline"
+                 {BENCH_SCHEMA_OLDEST_READABLE}..={BENCH_SCHEMA_VERSION}); \
+                 regenerate the baseline"
             ));
         }
         let entries = doc
@@ -343,12 +371,19 @@ impl BenchReport {
                 .ok_or_else(|| format!("BENCH.json entry: missing numeric `{name}`"))
         };
         let mut out = Vec::with_capacity(entries.len());
+        // Sub-objects introduced after v4 are optional: absent (a pre-v5
+        // or pre-v6 baseline) means every gauge inside is zero.
+        let opt = |obj: Option<&Json>, name: &str| -> Result<u64, String> {
+            match obj {
+                None => Ok(0),
+                Some(j) => field(j, name),
+            }
+        };
         for e in entries {
             let wall = e.get("wall").ok_or("BENCH.json entry: missing wall")?;
             let joins = e.get("joins").ok_or("BENCH.json entry: missing joins")?;
-            let planner = e
-                .get("planner")
-                .ok_or("BENCH.json entry: missing planner")?;
+            let planner = e.get("planner");
+            let ivm = e.get("ivm");
             out.push(BenchEntry {
                 workload: e
                     .get("workload")
@@ -382,11 +417,13 @@ impl BenchReport {
                     index_appends: field(joins, "index_appends")?,
                     appended_tuples: field(joins, "appended_tuples")?,
                     index_rebuilds: field(joins, "index_rebuilds")?,
-                    plan_joins_pruned: field(planner, "joins_pruned")?,
-                    subplans_shared: field(planner, "subplans_shared")?,
+                    plan_joins_pruned: opt(planner, "joins_pruned")?,
+                    subplans_shared: opt(planner, "subplans_shared")?,
                     interner_symbols: field(e, "interner_symbols")?,
                     bytes_peak: field(e, "bytes_peak")?,
                     bytes_final: field(e, "bytes_final")?,
+                    ivm_overdeleted: opt(ivm, "overdeleted")?,
+                    ivm_rederived: opt(ivm, "rederived")?,
                 },
             });
         }
@@ -886,6 +923,8 @@ mod tests {
                 interner_symbols: 5,
                 bytes_peak: 4096,
                 bytes_final: 2048,
+                ivm_overdeleted: 7,
+                ivm_rederived: 4,
             },
         }
     }
@@ -959,12 +998,60 @@ mod tests {
         let report = BenchReport {
             entries: vec![entry("chain", "naive", 16, 100)],
         };
-        let json = report.to_json().replace(
-            &format!("\"schema_version\":{BENCH_SCHEMA_VERSION}"),
-            "\"schema_version\":999",
-        );
-        let err = BenchReport::from_json(&json).unwrap_err();
-        assert!(err.contains("schema_version 999"), "{err}");
+        for bad in [
+            999,
+            BENCH_SCHEMA_VERSION + 1,
+            BENCH_SCHEMA_OLDEST_READABLE - 1,
+        ] {
+            let json = report.to_json().replace(
+                &format!("\"schema_version\":{BENCH_SCHEMA_VERSION}"),
+                &format!("\"schema_version\":{bad}"),
+            );
+            let err = BenchReport::from_json(&json).unwrap_err();
+            assert!(err.contains(&format!("schema_version {bad}")), "{err}");
+        }
+    }
+
+    /// Backward compatibility: a committed v4 baseline (no `planner`,
+    /// no `ivm` sub-object) and a v5 one (no `ivm`) still parse — the
+    /// absent gauges read as zero — so `bench compare` keeps working
+    /// across the v5 and v6 schema bumps without a forced regeneration.
+    #[test]
+    fn pre_v6_baselines_parse_with_zeroed_late_gauges() {
+        let report = BenchReport {
+            entries: vec![entry("chain", "naive", 16, 1_000)],
+        };
+        let v6 = report.to_json();
+
+        // A v5 file: no ivm object.
+        let v5 = v6
+            .replace(
+                &format!("\"schema_version\":{BENCH_SCHEMA_VERSION}"),
+                "\"schema_version\":5",
+            )
+            .replace(",\"ivm\":{\"overdeleted\":7,\"rederived\":4}", "");
+        let parsed = BenchReport::from_json(&v5).unwrap();
+        assert_eq!(parsed.entries[0].gauges.ivm_overdeleted, 0);
+        assert_eq!(parsed.entries[0].gauges.ivm_rederived, 0);
+        assert_eq!(parsed.entries[0].gauges.plan_joins_pruned, 2);
+
+        // A v4 file: neither planner nor ivm.
+        let v4 = v5
+            .replace("\"schema_version\":5", "\"schema_version\":4")
+            .replace(
+                ",\"planner\":{\"joins_pruned\":2,\"subplans_shared\":1}",
+                "",
+            );
+        let parsed = BenchReport::from_json(&v4).unwrap();
+        assert_eq!(parsed.entries[0].gauges.plan_joins_pruned, 0);
+        assert_eq!(parsed.entries[0].gauges.subplans_shared, 0);
+        assert_eq!(parsed.entries[0].gauges.ivm_overdeleted, 0);
+        // Everything present still round-trips exactly.
+        assert_eq!(parsed.entries[0].gauges.probes, 30);
+        assert_eq!(parsed.entries[0].wall.median, 1_000);
+        // And comparing a v6 run against the v4 baseline works.
+        let cmp = compare_reports(&report, &parsed, 2.0);
+        assert_eq!(cmp.deltas.len(), 1);
     }
 
     #[test]

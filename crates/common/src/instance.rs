@@ -69,6 +69,15 @@ impl Instance {
         self.ensure(name, arity).insert(tuple)
     }
 
+    /// Retracts a fact as a tombstone on its relation's generational
+    /// storage (see [`Relation::retract`]). Returns `false` if the fact
+    /// (or its relation) is absent.
+    pub fn retract_fact(&mut self, name: Symbol, tuple: &Tuple) -> bool {
+        self.relations
+            .get_mut(&name)
+            .is_some_and(|r| r.retract(tuple))
+    }
+
     /// True iff the fact is present.
     pub fn contains_fact(&self, name: Symbol, tuple: &Tuple) -> bool {
         self.relations.get(&name).is_some_and(|r| r.contains(tuple))
@@ -288,6 +297,20 @@ mod tests {
         assert!(inst.contains_fact(g, &t2(1, 2)));
         assert!(!inst.contains_fact(g, &t2(2, 1)));
         assert_eq!(inst.fact_count(), 1);
+    }
+
+    #[test]
+    fn retract_fact_tombstones_without_dropping_the_relation() {
+        let (_, g, _) = setup();
+        let mut inst = Instance::new();
+        inst.insert_fact(g, t2(1, 2));
+        inst.insert_fact(g, t2(3, 4));
+        assert!(inst.retract_fact(g, &t2(1, 2)));
+        assert!(!inst.retract_fact(g, &t2(1, 2)), "already gone");
+        assert!(!inst.retract_fact(g, &t2(9, 9)), "never present");
+        assert!(!inst.contains_fact(g, &t2(1, 2)));
+        assert_eq!(inst.fact_count(), 1);
+        assert!(inst.relation(g).is_some(), "relation survives emptying");
     }
 
     #[test]

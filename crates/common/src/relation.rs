@@ -46,6 +46,9 @@ pub struct Generation {
     pub segments: usize,
     /// Length of the recent tail at capture time.
     pub recent: usize,
+    /// Length of the tombstone log at capture time; see
+    /// [`Relation::retract`].
+    pub retracted: usize,
 }
 
 /// A `Sync`-safe single-slot memo keyed by `(epoch, version)`.
@@ -108,6 +111,13 @@ pub struct Relation {
     segments: Vec<Arc<Vec<Tuple>>>,
     /// Uncommitted tail in insertion order, already deduplicated.
     recent: Vec<Tuple>,
+    /// Tombstone log: tuples retracted from this lineage, in retraction
+    /// order. Their physical copies stay in `segments`/`recent` (so
+    /// generation cursors remain storage prefixes) but they are absent
+    /// from `set`, and every iterator filters them out. Append-only
+    /// within an epoch, which is what lets [`Relation::retracted_since`]
+    /// enumerate exactly the tombstones added after a mark.
+    retracted: Vec<Tuple>,
     /// Lineage stamp; see [`Generation`].
     epoch: u64,
     /// Shared token used to detect live clones: a mutation observed while
@@ -129,6 +139,7 @@ impl Relation {
             set: FxHashSet::default(),
             segments: Vec::new(),
             recent: Vec::new(),
+            retracted: Vec::new(),
             epoch: next_epoch(),
             epoch_token: Arc::new(()),
             version: 0,
@@ -178,7 +189,13 @@ impl Relation {
             epoch: self.epoch,
             segments: self.segments.len(),
             recent: self.recent.len(),
+            retracted: self.retracted.len(),
         }
+    }
+
+    /// Number of live tombstones in the retraction log.
+    pub fn tombstone_count(&self) -> usize {
+        self.retracted.len()
     }
 
     /// Number of frozen stable segments.
@@ -221,6 +238,13 @@ impl Relation {
             self.set.len() as u64,
             self.set.len() as u64 * per_tuple,
         ));
+        if !self.retracted.is_empty() {
+            children.push(SpaceNode::leaf(
+                "tombstone log",
+                self.retracted.len() as u64,
+                self.retracted.len() as u64 * per_tuple,
+            ));
+        }
         SpaceNode::branch(
             format!("{name}/{}", self.arity),
             self.set.len() as u64,
@@ -258,9 +282,45 @@ impl Relation {
         if self.set.contains(&tuple) {
             return false;
         }
-        self.fork_epoch_if_shared();
+        if self.retracted.contains(&tuple) {
+            // Reviving a tombstoned tuple: its dead physical copy is
+            // still in storage, so a plain append would make iterators
+            // yield it twice. Collapse to the live set (dropping the
+            // tombstone log) under a fresh epoch instead.
+            self.epoch = next_epoch();
+            self.epoch_token = Arc::new(());
+            self.collapse_to_set();
+        } else {
+            self.fork_epoch_if_shared();
+        }
         self.set.insert(tuple.clone());
         self.recent.push(tuple);
+        self.version += 1;
+        true
+    }
+
+    /// Retracts a tuple as a *tombstone*, returning `true` if it was
+    /// present.
+    ///
+    /// Unlike [`Relation::remove`], retraction preserves the append-only
+    /// lineage: the physical copy stays where it is, the tuple is dropped
+    /// from the membership set, and a tombstone is appended to the
+    /// retraction log. Generation cursors captured earlier in this epoch
+    /// stay exact — [`Relation::iter_since`] simply filters the dead
+    /// tuples out and [`Relation::retracted_since`] enumerates the
+    /// tombstones added since the mark, which is what lets indexes
+    /// un-append postings instead of rebuilding.
+    ///
+    /// The epoch still forks when a live clone shares the storage:
+    /// sibling clones with diverging tombstone logs must never answer
+    /// each other's cursors.
+    pub fn retract(&mut self, tuple: &Tuple) -> bool {
+        if !self.set.contains(tuple) {
+            return false;
+        }
+        self.fork_epoch_if_shared();
+        self.set.remove(tuple);
+        self.retracted.push(tuple.clone());
         self.version += 1;
         true
     }
@@ -304,16 +364,18 @@ impl Relation {
         }
         self.segments.clear();
         self.recent = all;
+        self.retracted.clear();
     }
 
     /// Removes all tuples.
     pub fn clear(&mut self) {
-        if self.set.is_empty() {
+        if self.set.is_empty() && self.retracted.is_empty() {
             return;
         }
         self.set.clear();
         self.segments.clear();
         self.recent.clear();
+        self.retracted.clear();
         self.version += 1;
         self.epoch = next_epoch();
         self.epoch_token = Arc::new(());
@@ -338,13 +400,15 @@ impl Relation {
     }
 
     /// Iterates in storage order: frozen segments first (each internally
-    /// sorted), then the recent tail in insertion order. Every tuple appears
-    /// exactly once.
+    /// sorted), then the recent tail in insertion order. Every live tuple
+    /// appears exactly once; tombstoned tuples are skipped.
     pub fn iter_stored(&self) -> impl Iterator<Item = &Tuple> + Clone {
+        let all_live = self.retracted.is_empty();
         self.segments
             .iter()
             .flat_map(|s| s.iter())
             .chain(self.recent.iter())
+            .filter(move |t| all_live || self.set.contains(*t))
     }
 
     /// The tuples added since `gen` was captured from this relation.
@@ -356,12 +420,31 @@ impl Relation {
     /// true delta — up to the whole relation. Semi-naive evaluation stays
     /// correct under a superset delta (it can only re-derive known facts);
     /// exact-delta consumers should use [`Relation::delta_bounds`] instead.
+    ///
+    /// Tombstoned tuples are never yielded: a tuple appended after the
+    /// mark and retracted again before the call is not part of the live
+    /// delta.
     pub fn iter_since(&self, gen: Generation) -> impl Iterator<Item = &Tuple> {
         let (seg_from, rec_from) = self.delta_bounds(gen).unwrap_or((0, 0));
+        let all_live = self.retracted.is_empty();
         self.segments[seg_from..]
             .iter()
             .flat_map(|s| s.iter())
             .chain(self.recent[rec_from..].iter())
+            .filter(move |t| all_live || self.set.contains(*t))
+    }
+
+    /// The tombstones appended since `gen` was captured from this
+    /// relation, in retraction order. Falls back to the whole log when
+    /// `gen` belongs to another epoch — a conservative superset, since
+    /// every logged tuple is genuinely dead.
+    pub fn retracted_since(&self, gen: Generation) -> impl Iterator<Item = &Tuple> {
+        let from = if gen.epoch == self.epoch {
+            gen.retracted.min(self.retracted.len())
+        } else {
+            0
+        };
+        self.retracted[from..].iter()
     }
 
     /// Exact delta bounds `(first new segment, first new recent index)` for
@@ -373,6 +456,7 @@ impl Relation {
         }
         if gen.segments > self.segments.len()
             || (gen.segments == self.segments.len() && gen.recent > self.recent.len())
+            || gen.retracted > self.retracted.len()
         {
             return None; // cursor is ahead of us: a diverged sibling's mark
         }
@@ -390,6 +474,11 @@ impl Relation {
     /// workers split a delta scan into equal contiguous chunks without
     /// first materializing it.
     pub fn delta_len(&self, gen: Generation) -> usize {
+        if !self.retracted.is_empty() {
+            // Dead tuples hide inside the suffix; count the filtered
+            // enumeration instead of trusting the storage arithmetic.
+            return self.iter_since(gen).count();
+        }
         let (seg_from, rec_from) = self.delta_bounds(gen).unwrap_or((0, 0));
         self.segments[seg_from..]
             .iter()
@@ -408,7 +497,12 @@ impl Relation {
         if let Some(cached) = self.sorted_cache.get(key) {
             return cached;
         }
-        let view = if self.recent.is_empty() && self.segments.len() == 1 {
+        let view = if !self.retracted.is_empty() {
+            // Storage order is polluted by dead tuples; sort the live set.
+            let mut acc: Vec<Tuple> = self.set.iter().cloned().collect();
+            acc.sort_unstable();
+            Arc::new(acc)
+        } else if self.recent.is_empty() && self.segments.len() == 1 {
             Arc::clone(&self.segments[0])
         } else {
             let mut acc: Vec<Tuple> = Vec::new();
@@ -434,19 +528,13 @@ impl Relation {
     /// Panics if arities differ.
     pub fn union_with(&mut self, other: &Relation) -> usize {
         assert_eq!(self.arity, other.arity, "arity mismatch in union");
+        // Routed through `insert` so reviving a tombstoned tuple takes
+        // the collapse path there instead of appending a duplicate copy.
         let mut added = 0;
         for t in other.iter() {
-            if !self.set.contains(t) {
-                if added == 0 {
-                    self.fork_epoch_if_shared();
-                }
-                self.set.insert(t.clone());
-                self.recent.push(t.clone());
+            if self.insert(t.clone()) {
                 added += 1;
             }
-        }
-        if added > 0 {
-            self.version += 1;
         }
         added
     }
@@ -527,7 +615,8 @@ impl HeapSize for Relation {
     fn heap_bytes(&self) -> usize {
         let stored = self.segments.iter().map(|s| s.len()).sum::<usize>()
             + self.recent.len()
-            + self.set.len();
+            + self.set.len()
+            + self.retracted.len();
         stored * tuple_bytes(self.arity)
     }
 }
@@ -618,17 +707,37 @@ impl Index {
         self.tuples += 1;
     }
 
+    /// Removes one posting for `t`, if present. Tolerant of absent
+    /// postings: a tuple inserted *and* retracted since the index's
+    /// generation was never appended in the first place.
+    fn unappend(&mut self, t: &Tuple) {
+        let key: Box<[Value]> = self.key_columns.iter().map(|&c| t[c]).collect();
+        if let Some(postings) = self.buckets.get_mut(&key) {
+            if let Some(pos) = postings.iter().position(|p| p == t) {
+                postings.swap_remove(pos);
+                self.tuples -= 1;
+                if postings.is_empty() {
+                    self.buckets.remove(&key);
+                }
+            }
+        }
+    }
+
     /// Number of tuples indexed (postings across all buckets).
     pub fn tuple_count(&self) -> usize {
         self.tuples
     }
 
-    /// Absorbs the tuples `relation` gained since `gen` (the generation this
-    /// index is current for) by appending postings. Returns the number of
+    /// Absorbs the changes `relation` saw since `gen` (the generation this
+    /// index is current for): postings for retracted tuples are removed,
+    /// postings for new live tuples appended. Returns the number of
     /// tuples appended, or `None` when the delta cannot be reconstructed
     /// exactly and the caller must rebuild.
     pub fn absorb_from(&mut self, relation: &Relation, gen: Generation) -> Option<usize> {
         relation.delta_bounds(gen)?;
+        for t in relation.retracted_since(gen) {
+            self.unappend(t);
+        }
         let mut appended = 0;
         for t in relation.iter_since(gen) {
             self.append(t);
@@ -973,6 +1082,97 @@ mod tests {
                 assert_eq!(merged, expect, "parts={parts} key={key}");
             }
         }
+    }
+
+    #[test]
+    fn retract_preserves_the_lineage_and_filters_iteration() {
+        let mut r = Relation::from_tuples(2, vec![t2(1, 2), t2(3, 4)]);
+        r.commit();
+        let mark = r.generation();
+        r.insert(t2(5, 6));
+        assert!(r.retract(&t2(1, 2)));
+        assert!(!r.retract(&t2(1, 2)), "already dead");
+        assert_eq!(r.len(), 2);
+        assert!(!r.contains(&t2(1, 2)));
+        assert_eq!(r.tombstone_count(), 1);
+        // The mark is still an exact storage prefix…
+        assert!(r.delta_bounds(mark).is_some());
+        // …the live delta is just the new tuple…
+        let delta: Vec<_> = r.iter_since(mark).cloned().collect();
+        assert_eq!(delta, vec![t2(5, 6)]);
+        assert_eq!(r.delta_len(mark), 1);
+        // …and the tombstones since the mark are enumerable.
+        let dead: Vec<_> = r.retracted_since(mark).cloned().collect();
+        assert_eq!(dead, vec![t2(1, 2)]);
+        // Dead tuples vanish from every view.
+        assert_eq!(r.iter_stored().count(), 2);
+        assert_eq!(*r.sorted(), vec![t2(3, 4), t2(5, 6)]);
+    }
+
+    #[test]
+    fn index_absorbs_retractions_by_unappending() {
+        let mut r = Relation::from_tuples(2, vec![t2(1, 10), t2(1, 20), t2(2, 30)]);
+        r.commit();
+        let mut idx = Index::build(&r, &[0]);
+        let mark = r.generation();
+        r.retract(&t2(1, 10));
+        r.insert(t2(3, 40));
+        assert_eq!(idx.absorb_from(&r, mark), Some(1));
+        assert_eq!(idx.probe(&[Value::Int(1)]), &[t2(1, 20)]);
+        assert_eq!(idx.probe(&[Value::Int(3)]), &[t2(3, 40)]);
+        assert_eq!(idx.tuple_count(), 3);
+        // Retracting the last posting of a key drops the bucket.
+        let mark2 = r.generation();
+        r.retract(&t2(2, 30));
+        assert_eq!(idx.absorb_from(&r, mark2), Some(0));
+        assert_eq!(idx.distinct_keys(), 2);
+        // Insert-then-retract inside one delta never reaches the index.
+        let mark3 = r.generation();
+        r.insert(t2(4, 50));
+        r.retract(&t2(4, 50));
+        assert_eq!(idx.absorb_from(&r, mark3), Some(0));
+        assert_eq!(idx.tuple_count(), 2);
+    }
+
+    #[test]
+    fn reviving_a_tombstoned_tuple_collapses_storage() {
+        let mut r = Relation::from_tuples(2, vec![t2(1, 2), t2(3, 4)]);
+        r.commit();
+        let mark = r.generation();
+        r.retract(&t2(1, 2));
+        let epoch_before = r.generation().epoch;
+        assert!(r.insert(t2(1, 2)), "revival counts as an insert");
+        assert_ne!(
+            r.generation().epoch,
+            epoch_before,
+            "revival must fork the epoch"
+        );
+        assert!(r.delta_bounds(mark).is_none(), "old cursors are refused");
+        assert_eq!(r.tombstone_count(), 0, "collapse drops the log");
+        // Exactly one physical copy per live tuple.
+        assert_eq!(r.iter_stored().count(), 2);
+        assert_eq!(r.len(), 2);
+        // Union-based merges take the same revival path.
+        let mut a = Relation::from_tuples(2, vec![t2(7, 8)]);
+        a.retract(&t2(7, 8));
+        let b = Relation::from_tuples(2, vec![t2(7, 8)]);
+        assert_eq!(a.union_with(&b), 1);
+        assert_eq!(a.iter_stored().count(), 1);
+    }
+
+    #[test]
+    fn retract_on_a_shared_relation_forks_the_epoch() {
+        let mut a = Relation::from_tuples(2, vec![t2(1, 2), t2(3, 4)]);
+        a.commit();
+        let mark = a.generation();
+        let b = a.clone();
+        a.retract(&t2(1, 2));
+        assert_ne!(a.generation().epoch, mark.epoch);
+        // The untouched clone still answers the old cursor exactly and
+        // never sees the sibling's tombstone.
+        assert_eq!(b.delta_bounds(mark), Some((1, 0)));
+        assert!(b.contains(&t2(1, 2)));
+        assert_eq!(b.retracted_since(mark).count(), 0);
     }
 
     #[test]

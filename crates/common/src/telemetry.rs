@@ -145,6 +145,12 @@ pub struct EvalTrace {
     /// Plan-arena subplan nodes shared between rules (summed across
     /// strata). Deterministic, like `plan_joins_pruned`.
     pub subplans_shared: u64,
+    /// Tuples withdrawn by the incremental engine's overdelete pass
+    /// (DRed overestimate), summed across polls. Zero for batch runs.
+    pub ivm_overdeleted: u64,
+    /// Withdrawn tuples the incremental engine restored from
+    /// alternative support, summed across polls. Zero for batch runs.
+    pub ivm_rederived: u64,
     /// Divergence-detector snapshot (noninflationary runs).
     pub divergence: Option<DivergenceSnapshot>,
     /// Values invented by the Datalog¬new engine.
@@ -208,6 +214,11 @@ impl EvalTrace {
             out,
             ",\"plan_joins_pruned\":{},\"subplans_shared\":{}",
             self.plan_joins_pruned, self.subplans_shared
+        );
+        let _ = write!(
+            out,
+            ",\"ivm_overdeleted\":{},\"ivm_rederived\":{}",
+            self.ivm_overdeleted, self.ivm_rederived
         );
         out.push_str(",\"joins\":");
         push_joins(&mut out, &self.joins);
@@ -336,6 +347,8 @@ impl EvalTrace {
             rules_fired: req_u64("rules_fired")?,
             plan_joins_pruned: req_u64("plan_joins_pruned")?,
             subplans_shared: req_u64("subplans_shared")?,
+            ivm_overdeleted: req_u64("ivm_overdeleted")?,
+            ivm_rederived: req_u64("ivm_rederived")?,
             bytes_peak: req_u64("bytes_peak")?,
             bytes_final: req_u64("bytes_final")?,
             joins: joins_of(run.get("joins").ok_or("run: missing `joins`")?, "run")?,

@@ -40,6 +40,8 @@ fn sample_trace(interner: &mut Interner) -> EvalTrace {
         diverged_stage: Some(4),
         period: Some(2),
     });
+    trace.ivm_overdeleted = 13;
+    trace.ivm_rederived = 9;
     trace.invented = 6;
     trace.loop_iterations = 0;
     trace.interner_symbols = interner.len();
@@ -108,6 +110,8 @@ fn trace_json_lines_round_trip() {
     assert_eq!(u(run, "bytes_peak"), trace.bytes_peak);
     assert_eq!(u(run, "bytes_final"), trace.bytes_final);
     assert_eq!(u(run, "rules_fired"), trace.rules_fired);
+    assert_eq!(u(run, "ivm_overdeleted"), trace.ivm_overdeleted);
+    assert_eq!(u(run, "ivm_rederived"), trace.ivm_rederived);
     assert_eq!(u(run, "invented"), trace.invented as u64);
     assert_eq!(u(run, "loop_iterations"), trace.loop_iterations as u64);
     assert_eq!(u(run, "interner_symbols"), trace.interner_symbols as u64);
@@ -226,6 +230,8 @@ fn sample_report() -> BenchReport {
                 interner_symbols: 2,
                 bytes_peak: 8192,
                 bytes_final: 4096,
+                ivm_overdeleted: 5,
+                ivm_rederived: 2,
             },
         });
     }

@@ -39,6 +39,10 @@ pub enum EvalError {
         /// Stage at which the contradiction occurred.
         stage: usize,
     },
+    /// An incremental-session update was rejected: edits must target
+    /// EDB relations with schema-consistent arities, and the initial
+    /// instance must not already contain IDB facts.
+    InvalidUpdate(String),
 }
 
 impl fmt::Display for EvalError {
@@ -64,6 +68,7 @@ impl fmt::Display for EvalError {
                 f,
                 "A and ¬A inferred simultaneously at stage {stage} (undefined semantics)"
             ),
+            EvalError::InvalidUpdate(msg) => write!(f, "invalid incremental update: {msg}"),
         }
     }
 }

@@ -165,6 +165,12 @@ impl IndexCache {
 ///   the Gelfond–Lifschitz-style reduct of the alternating fixpoint,
 ///   where negation reads the *previous* iterate while positive facts
 ///   accumulate in the current one.
+/// * `delta_from` — when set, [`ScanSource::Delta`] scans read their
+///   relations from this instance instead of `full` (marks still come
+///   from `delta`). The incremental-maintenance engine uses this to
+///   drive Δ-variant plans over a scratch change set (the overdeleted
+///   or newly inserted tuples) while `full` stays pinned to the
+///   appropriate database state.
 #[derive(Clone, Copy)]
 pub struct Sources<'a> {
     /// Current instance.
@@ -173,6 +179,8 @@ pub struct Sources<'a> {
     pub delta: Option<&'a DeltaHandle>,
     /// Override instance for negative checks.
     pub neg: Option<&'a Instance>,
+    /// Override instance for delta scans.
+    pub delta_from: Option<&'a Instance>,
 }
 
 impl<'a> Sources<'a> {
@@ -182,6 +190,7 @@ impl<'a> Sources<'a> {
             full,
             delta: None,
             neg: None,
+            delta_from: None,
         }
     }
 }
@@ -199,6 +208,24 @@ pub fn for_each_match(
 ) -> ControlFlow<()> {
     let mut env: Env = vec![None; plan.var_count];
     run_steps(&plan.steps, sources, adom, cache, &mut env, on_match)
+}
+
+/// Like [`for_each_match`], but starting from a caller-seeded
+/// environment: variables already bound in `env` act as constants
+/// (plans compiled with those variables prebound turn them into scan
+/// key columns). `env` must have `plan.var_count` slots; bindings the
+/// plan adds are undone before returning, the seeded ones survive.
+#[allow(clippy::type_complexity)]
+pub fn for_each_match_from(
+    plan: &Plan,
+    sources: Sources<'_>,
+    adom: &[Value],
+    cache: &mut IndexCache,
+    env: &mut Env,
+    on_match: &mut dyn FnMut(&Env) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    debug_assert_eq!(env.len(), plan.var_count);
+    run_steps(&plan.steps, sources, adom, cache, env, on_match)
 }
 
 /// Runs `plan` and instantiates `head_args` once per match, invoking
@@ -249,7 +276,11 @@ fn run_steps(
                         .mark(*pred),
                 ),
             };
-            let Some(relation) = sources.full.relation(*pred) else {
+            let scan_instance = match source {
+                ScanSource::Full => sources.full,
+                ScanSource::Delta => sources.delta_from.unwrap_or(sources.full),
+            };
+            let Some(relation) = scan_instance.relation(*pred) else {
                 return ControlFlow::Continue(()); // absent relation = empty
             };
             // Build the probe key from the bound positions.

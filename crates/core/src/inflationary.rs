@@ -21,10 +21,21 @@ use crate::subst::{active_domain, merge_new_facts, merge_new_facts_with, record_
 use unchained_common::{HeapSize, Instance, SpanKind, StageRecord};
 use unchained_parser::{check_range_restricted, HeadLiteral, Language, Program};
 
-/// Plans every rule with a catalog snapshotted from the input.
-fn plan_rules(program: &Program, input: &Instance, options: &EvalOptions) -> Vec<Plan> {
-    let mut planner = Planner::new(Catalog::from_instance(input), options.plan_mode);
-    planner.inflate(program.idb());
+/// Plans every rule against the *current* instance — called once per
+/// round, because a catalog snapshotted at entry goes stale as the idb
+/// grows and the stale join orders would stick for the whole run. The
+/// idb cardinalities are inflated only on the first round, while the
+/// relations are genuinely empty.
+fn plan_rules(
+    program: &Program,
+    instance: &Instance,
+    options: &EvalOptions,
+    first_round: bool,
+) -> Vec<Plan> {
+    let mut planner = Planner::new(Catalog::from_instance(instance), options.plan_mode);
+    if first_round {
+        planner.inflate(program.idb());
+    }
     program.rules.iter().map(|r| planner.plan_rule(r)).collect()
 }
 
@@ -48,7 +59,6 @@ pub fn eval(
     check_range_restricted(program, false)?;
 
     let adom = active_domain(program, input);
-    let plans = plan_rules(program, input, &options);
     let mut cache = IndexCache::new();
     let mut instance = input.clone();
     let schema = program.schema()?;
@@ -71,6 +81,7 @@ pub fn eval(
         let round_guard = tracer.span(SpanKind::Round, format!("round {stages}"));
         let stage_sw = tel.stopwatch();
         let joins_before = cache.counters;
+        let plans = plan_rules(program, &instance, &options, stages == 1);
         let mut fired: u64 = 0;
         // One parallel firing: all rules read the same instance; newly
         // inferred facts only become visible at the next stage.
@@ -224,7 +235,6 @@ pub fn eval_traced(
     check_range_restricted(program, false)?;
 
     let adom = active_domain(program, input);
-    let plans = plan_rules(program, input, &options);
     let mut cache = IndexCache::new();
     let mut instance = input.clone();
     let schema = program.schema()?;
@@ -248,6 +258,7 @@ pub fn eval_traced(
         let round_guard = tracer.span(SpanKind::Round, format!("round {stages}"));
         let stage_sw = tel.stopwatch();
         let joins_before = cache.counters;
+        let plans = plan_rules(program, &instance, &options, stages == 1);
         let mut fired: u64 = 0;
         let mut new_facts = Vec::new();
         for (rule, plan) in program.rules.iter().zip(&plans) {

@@ -1,0 +1,1182 @@
+//! Incremental view maintenance (IVM): a long-lived evaluation session
+//! that keeps a stratified Datalog¬ fixpoint synchronized with
+//! insert/retract batches on the EDB instead of recomputing from
+//! scratch.
+//!
+//! Inserts propagate through the same semi-naive Δ-variant plans the
+//! batch engines use, driven over a scratch change set via
+//! [`Sources::delta_from`]. Deletes use DRed-style maintenance: an
+//! *overdelete* pass computes an overestimate of the tuples whose
+//! support may be gone (Δ plans over the deleted set, every other
+//! literal pinned to the pre-update fixpoint), then a *rederive* pass
+//! restores each withdrawn tuple that still has alternative support in
+//! the new state, queried through bound-head plans whose head variables
+//! become index probe keys. Strata without same-stratum positive
+//! dependencies additionally keep lazy support counts: a deletion that
+//! leaves a positive stored count is absorbed without any support
+//! query. Stored counts only ever *under*-estimate the true number of
+//! derivations (Δ-matches over-count lost derivations, and new support
+//! merely invalidates), so a non-positive count conservatively falls
+//! back to an exact recount — see DESIGN.md § Incremental maintenance
+//! for why this is safe exactly there and not under recursion.
+//!
+//! Two changes force a stratum back onto the batch path ([`PollStats::
+//! strata_recomputed`]): a change to a negated predicate (deletion
+//! under negation can *grow* the stratum, which Δ plans over positive
+//! literals cannot see), and an active-domain change under a rule with
+//! a variable not bound by any positive literal (its `Domain` steps
+//! enumerate the adom). Both recompute the stratum from scratch and
+//! diff, so downstream strata still see a minimal change set.
+
+use std::ops::ControlFlow;
+
+use crate::error::EvalError;
+use crate::exec::{for_each_head, for_each_match_from, IndexCache, Sources};
+use crate::ir::Plan;
+use crate::options::EvalOptions;
+use crate::planner::{Catalog, PlanMode, Planner};
+use crate::require_language;
+use crate::seminaive::seminaive_fixpoint;
+use crate::subst::{active_domain, Env};
+use unchained_common::{
+    DeltaHandle, FxHashMap, FxHashSet, HeapSize, Instance, JoinCounters, Schema, Symbol, Tuple,
+    Value,
+};
+use unchained_parser::{
+    check_range_restricted, Atom, DependencyGraph, HeadLiteral, Language, Literal, Program, Rule,
+    Stratification, Var,
+};
+
+/// One queued EDB edit.
+#[derive(Clone, Debug)]
+enum Edit {
+    Insert(Symbol, Tuple),
+    Retract(Symbol, Tuple),
+}
+
+/// Deterministic work gauges for one [`IncrementalSession::poll`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PollStats {
+    /// Net EDB facts the batch changed (inserts + retracts after
+    /// cancellation).
+    pub applied: u64,
+    /// Net facts added to the maintained instance (EDB and IDB).
+    pub facts_added: u64,
+    /// Net facts removed from the maintained instance (EDB and IDB).
+    pub facts_removed: u64,
+    /// Tuples withdrawn by the overdelete pass (the DRed overestimate).
+    pub overdeleted: u64,
+    /// Withdrawn tuples restored from alternative support.
+    pub rederived: u64,
+    /// Deletions absorbed by a positive support count, with no support
+    /// query at all.
+    pub support_hits: u64,
+    /// Strata skipped because nothing they read changed.
+    pub strata_skipped: u64,
+    /// Strata recomputed from scratch (negated input or active domain
+    /// changed).
+    pub strata_recomputed: u64,
+    /// Satisfying valuations enumerated by Δ-variant and support plans
+    /// (join-order invariant, like the batch engines' gauge; fallback
+    /// recomputation reports its matches through telemetry stages
+    /// instead).
+    pub rules_fired: u64,
+    /// Join work across every phase of the poll.
+    pub joins: JoinCounters,
+}
+
+/// A long-lived incremental evaluation session over one stratified
+/// Datalog¬ program.
+///
+/// Construction runs the initial fixpoint; afterwards
+/// [`insert`](Self::insert)/[`retract`](Self::retract) queue EDB edits
+/// and [`poll`](Self::poll) re-stabilizes the IDB strata incrementally.
+/// The maintained [`instance`](Self::instance) always equals what
+/// [`crate::stratified::eval`] would compute on the current
+/// [`edb`](Self::edb) — the edit-script fuzz campaign holds the session
+/// to exactly that oracle.
+pub struct IncrementalSession {
+    program: Program,
+    options: EvalOptions,
+    stratification: Stratification,
+    schema: Schema,
+    /// EDB mirror: exactly the input a from-scratch run would receive.
+    edb: Instance,
+    /// The maintained fixpoint (EDB plus all IDB strata).
+    instance: Instance,
+    /// Active domain of (program, edb) as of the last stabilization.
+    adom: Vec<Value>,
+    idb: FxHashSet<Symbol>,
+    pending: Vec<Edit>,
+    /// Long-lived index cache over the maintained instance.
+    cache: IndexCache,
+    /// Bound-head support plan per program rule (head variables
+    /// prebound, so support checks probe instead of scan).
+    support_plans: Vec<Plan>,
+    /// Head predicate → indices of the rules deriving it.
+    rules_for: FxHashMap<Symbol, Vec<usize>>,
+    /// Per stratum: eligible for support counting (no rule reads a
+    /// same-stratum head positively)?
+    counted: Vec<bool>,
+    /// Per stratum: some rule has a variable outside every positive
+    /// body literal (bound by `Domain` enumeration of the adom)?
+    adom_dependent: Vec<bool>,
+    /// Lazy derivation counts for counted predicates; absent = unknown,
+    /// stored ≤ true count.
+    supports: FxHashMap<Symbol, FxHashMap<Tuple, i64>>,
+}
+
+impl IncrementalSession {
+    /// Creates a session and computes the initial fixpoint.
+    ///
+    /// # Errors
+    /// Rejects everything [`crate::stratified::eval`] rejects, plus
+    /// initial instances that already contain facts for IDB predicates
+    /// (input IDB facts would have no derivation to maintain).
+    pub fn new(
+        program: Program,
+        input: &Instance,
+        options: EvalOptions,
+    ) -> Result<Self, EvalError> {
+        require_language(&program, Language::DatalogNeg)?;
+        check_range_restricted(&program, false)?;
+        let stratification = DependencyGraph::build(&program).stratify()?;
+        let schema = program.schema()?;
+        let idb: FxHashSet<Symbol> = program.idb().into_iter().collect();
+        for (pred, rel) in input.iter() {
+            if idb.contains(&pred) && !rel.is_empty() {
+                return Err(EvalError::InvalidUpdate(
+                    "initial instance contains facts for a derived (IDB) predicate".into(),
+                ));
+            }
+        }
+
+        let adom = active_domain(&program, input);
+        let mut instance = input.clone();
+        for pred in program.idb() {
+            instance.ensure(pred, schema.arity(pred).expect("idb has arity"));
+        }
+        let mut cache = IndexCache::new();
+        options.telemetry.begin("ivm");
+
+        let mut counted = Vec::new();
+        let mut adom_dependent = Vec::new();
+        for stratum_rules in stratification.partition_rules(&program) {
+            let heads: FxHashSet<Symbol> = stratum_rules
+                .iter()
+                .filter_map(|r| r.head.first().and_then(HeadLiteral::atom))
+                .map(|a| a.pred)
+                .collect();
+            let reads_own_stratum = stratum_rules.iter().any(|r| {
+                r.body
+                    .iter()
+                    .any(|l| matches!(l, Literal::Pos(a) if heads.contains(&a.pred)))
+            });
+            counted.push(!reads_own_stratum);
+            adom_dependent.push(stratum_rules.iter().any(|r| {
+                let mut pos_vars: FxHashSet<Var> = FxHashSet::default();
+                for l in &r.body {
+                    if let Literal::Pos(a) = l {
+                        pos_vars.extend(a.vars());
+                    }
+                }
+                r.head_vars()
+                    .into_iter()
+                    .chain(r.body_vars())
+                    .any(|v| !pos_vars.contains(&v))
+            }));
+            if stratum_rules.is_empty() {
+                continue;
+            }
+            seminaive_fixpoint(
+                &stratum_rules,
+                &mut instance,
+                &adom,
+                &heads,
+                &mut cache,
+                &options,
+            )?;
+        }
+
+        // Bound-head support plans: one per rule, head variables
+        // prebound so a support check for a concrete tuple starts from
+        // index probes on the head bindings.
+        let mut planner = Planner::new(Catalog::from_instance(&instance), options.plan_mode);
+        let mut rules_for: FxHashMap<Symbol, Vec<usize>> = FxHashMap::default();
+        let mut support_plans = Vec::with_capacity(program.rules.len());
+        for (ri, rule) in program.rules.iter().enumerate() {
+            let head = head_atom(rule);
+            rules_for.entry(head.pred).or_default().push(ri);
+            let mut prebound: Vec<Var> = Vec::new();
+            for v in head.vars() {
+                if !prebound.contains(&v) {
+                    prebound.push(v);
+                }
+            }
+            support_plans.push(planner.plan_rule_bound(rule, &prebound));
+        }
+
+        Ok(IncrementalSession {
+            edb: input.clone(),
+            program,
+            options,
+            stratification,
+            schema,
+            instance,
+            adom,
+            idb,
+            pending: Vec::new(),
+            cache,
+            support_plans,
+            rules_for,
+            counted,
+            adom_dependent,
+            supports: FxHashMap::default(),
+        })
+    }
+
+    /// The maintained instance (EDB plus derived strata). Between a
+    /// queued edit and the next [`poll`](Self::poll) this reflects the
+    /// *previous* stable state.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// The EDB mirror: the input a from-scratch evaluation of the same
+    /// program would receive right now (queued edits not yet applied).
+    pub fn edb(&self) -> &Instance {
+        &self.edb
+    }
+
+    /// The program this session maintains.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of queued, not-yet-polled edits.
+    pub fn pending_edits(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The IDB portion of the maintained instance (the paper's answer
+    /// restriction).
+    pub fn answer(&self) -> Instance {
+        self.instance.project_schema(self.program.idb())
+    }
+
+    /// Queues an EDB insertion.
+    ///
+    /// # Errors
+    /// Rejects edits on IDB predicates and arity mismatches.
+    pub fn insert(&mut self, pred: Symbol, tuple: Tuple) -> Result<(), EvalError> {
+        self.validate_edit(pred, &tuple)?;
+        self.pending.push(Edit::Insert(pred, tuple));
+        Ok(())
+    }
+
+    /// Queues an EDB retraction.
+    ///
+    /// # Errors
+    /// Rejects edits on IDB predicates and arity mismatches.
+    pub fn retract(&mut self, pred: Symbol, tuple: Tuple) -> Result<(), EvalError> {
+        self.validate_edit(pred, &tuple)?;
+        self.pending.push(Edit::Retract(pred, tuple));
+        Ok(())
+    }
+
+    fn validate_edit(&self, pred: Symbol, tuple: &Tuple) -> Result<(), EvalError> {
+        if self.idb.contains(&pred) {
+            return Err(EvalError::InvalidUpdate(
+                "edits must target EDB relations, but this predicate is derived by a rule".into(),
+            ));
+        }
+        let expected = self.schema.arity(pred).or_else(|| {
+            self.edb
+                .relation(pred)
+                .map(unchained_common::Relation::arity)
+        });
+        if let Some(arity) = expected {
+            if arity != tuple.arity() {
+                return Err(EvalError::InvalidUpdate(format!(
+                    "arity mismatch: relation has arity {arity}, tuple has arity {}",
+                    tuple.arity()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies every queued edit and re-stabilizes the IDB strata
+    /// incrementally.
+    ///
+    /// # Errors
+    /// Propagates the stage/fact budget errors of [`EvalOptions`]; the
+    /// session stays usable only if `poll` returns `Ok`.
+    pub fn poll(&mut self) -> Result<PollStats, EvalError> {
+        let mut stats = PollStats::default();
+        if self.pending.is_empty() {
+            return Ok(stats);
+        }
+        let joins_entry = self.cache.counters;
+        let poll_sw = self.options.telemetry.stopwatch();
+
+        // Net EDB change: apply the batch to the mirror in order, then
+        // diff — inserting and retracting the same tuple in one batch
+        // cancels out.
+        let edb_before = self.edb.clone();
+        for edit in std::mem::take(&mut self.pending) {
+            match edit {
+                Edit::Insert(pred, tuple) => {
+                    self.edb.insert_fact(pred, tuple);
+                }
+                Edit::Retract(pred, tuple) => {
+                    self.edb.retract_fact(pred, &tuple);
+                }
+            }
+        }
+        let mut deleted = Instance::new();
+        let mut inserted = Instance::new();
+        let mut edb_preds: Vec<Symbol> = edb_before.symbols().chain(self.edb.symbols()).collect();
+        edb_preds.sort_unstable();
+        edb_preds.dedup();
+        for pred in edb_preds {
+            diff_pred(&edb_before, &self.edb, pred, &mut deleted, &mut inserted);
+        }
+        stats.applied = (deleted.fact_count() + inserted.fact_count()) as u64;
+        if deleted.is_empty() && inserted.is_empty() {
+            return Ok(stats);
+        }
+
+        // Pin the pre-update fixpoint, then apply the EDB net change to
+        // the maintained instance.
+        let old = self.instance.clone();
+        for (pred, rel) in deleted.iter() {
+            for t in rel.iter() {
+                self.instance.retract_fact(pred, t);
+            }
+        }
+        for (pred, rel) in inserted.iter() {
+            for t in rel.iter() {
+                self.instance.insert_fact(pred, t.clone());
+            }
+        }
+        self.instance.commit_all();
+
+        let adom = active_domain(&self.program, &self.edb);
+        let adom_changed = adom != self.adom;
+        self.adom = adom.clone();
+
+        // Reads of the pre-update fixpoint and the scratch delete set go
+        // through a per-poll cache: they would otherwise collide with
+        // the session cache's entries for the live instance.
+        let mut old_cache = IndexCache::new();
+        let touched =
+            |change: &Instance, p: Symbol| change.relation(p).is_some_and(|r| !r.is_empty());
+
+        for (stratum, stratum_rules) in self
+            .stratification
+            .partition_rules(&self.program)
+            .into_iter()
+            .enumerate()
+        {
+            if stratum_rules.is_empty() {
+                continue;
+            }
+            let heads: FxHashSet<Symbol> = stratum_rules
+                .iter()
+                .filter_map(|r| r.head.first().and_then(HeadLiteral::atom))
+                .map(|a| a.pred)
+                .collect();
+            let mut pos_preds: FxHashSet<Symbol> = FxHashSet::default();
+            let mut neg_preds: FxHashSet<Symbol> = FxHashSet::default();
+            for rule in &stratum_rules {
+                for lit in &rule.body {
+                    match lit {
+                        Literal::Pos(a) => {
+                            pos_preds.insert(a.pred);
+                        }
+                        Literal::Neg(a) => {
+                            neg_preds.insert(a.pred);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let neg_changed = neg_preds
+                .iter()
+                .any(|&p| touched(&deleted, p) || touched(&inserted, p));
+            if neg_changed || (adom_changed && self.adom_dependent[stratum]) {
+                // Batch fallback: Δ plans over positive literals cannot
+                // see growth caused by deletion under negation or by a
+                // shifted active domain.
+                for &p in &heads {
+                    if let Some(rel) = self.instance.relation_mut(p) {
+                        rel.clear();
+                    }
+                    self.supports.remove(&p);
+                }
+                seminaive_fixpoint(
+                    &stratum_rules,
+                    &mut self.instance,
+                    &adom,
+                    &heads,
+                    &mut self.cache,
+                    &self.options,
+                )?;
+                diff_heads(&heads, &old, &self.instance, &mut deleted, &mut inserted);
+                stats.strata_recomputed += 1;
+                continue;
+            }
+            let del_hit = pos_preds.iter().any(|&p| touched(&deleted, p));
+            let ins_hit = pos_preds.iter().any(|&p| touched(&inserted, p));
+            if !del_hit && !ins_hit {
+                stats.strata_skipped += 1;
+                continue;
+            }
+            if del_hit {
+                if self.counted[stratum] {
+                    counted_delete(
+                        &stratum_rules,
+                        &old,
+                        &deleted,
+                        &mut self.instance,
+                        &mut self.supports,
+                        &self.program,
+                        &self.rules_for,
+                        &self.support_plans,
+                        &adom,
+                        &mut old_cache,
+                        &mut self.cache,
+                        self.options.plan_mode,
+                        &mut stats,
+                    );
+                } else {
+                    let overdeleted = overdelete_closure(
+                        &stratum_rules,
+                        &old,
+                        &deleted,
+                        &mut self.instance,
+                        &adom,
+                        &mut old_cache,
+                        self.options.plan_mode,
+                        self.options.max_stages,
+                        &mut stats,
+                    )?;
+                    rederive(
+                        &overdeleted,
+                        &self.program,
+                        &self.rules_for,
+                        &self.support_plans,
+                        &mut self.instance,
+                        &adom,
+                        &mut self.cache,
+                        &mut stats,
+                    );
+                }
+            }
+            if ins_hit {
+                insert_closure(
+                    &stratum_rules,
+                    &mut self.instance,
+                    &inserted,
+                    &mut self.supports,
+                    &adom,
+                    &mut self.cache,
+                    &self.options,
+                    &mut stats,
+                )?;
+            }
+            diff_heads(&heads, &old, &self.instance, &mut deleted, &mut inserted);
+        }
+
+        self.instance.commit_all();
+        stats.facts_removed = deleted.fact_count() as u64;
+        stats.facts_added = inserted.fact_count() as u64;
+        stats.joins = self.cache.counters.since(&joins_entry);
+        stats.joins.absorb(&old_cache.counters);
+        // Each poll is one telemetry stage, so a trace of a session
+        // reads as: initial fixpoint rounds, then one record per poll.
+        let (facts, bytes) = (
+            self.instance.fact_count(),
+            self.instance.heap_bytes() as u64,
+        );
+        self.options.telemetry.with(|t| {
+            t.ivm_overdeleted += stats.overdeleted;
+            t.ivm_rederived += stats.rederived;
+            t.stages.push(unchained_common::StageRecord {
+                stage: t.stages.len() + 1,
+                wall_nanos: poll_sw.nanos(),
+                facts_added: stats.facts_added as usize,
+                facts_removed: stats.facts_removed as usize,
+                rules_fired: stats.rules_fired,
+                delta: Vec::new(),
+                bytes,
+                joins: stats.joins,
+            });
+            t.peak_facts = t.peak_facts.max(facts);
+            t.bytes_peak = t.bytes_peak.max(bytes);
+        });
+        Ok(stats)
+    }
+}
+
+fn head_atom(rule: &Rule) -> &Atom {
+    match &rule.head[0] {
+        HeadLiteral::Pos(a) => a,
+        _ => unreachable!("Datalog¬ rules have a single positive head"),
+    }
+}
+
+/// Seeds a valuation environment from a concrete head tuple: `None` if
+/// the tuple contradicts a head constant or a repeated head variable.
+fn seed_env(head: &Atom, tuple: &Tuple, var_count: usize) -> Option<Env> {
+    let mut env: Env = vec![None; var_count];
+    for (i, term) in head.args.iter().enumerate() {
+        match term {
+            unchained_parser::Term::Const(v) => {
+                if *v != tuple[i] {
+                    return None;
+                }
+            }
+            unchained_parser::Term::Var(v) => match env[v.index()] {
+                Some(existing) => {
+                    if existing != tuple[i] {
+                        return None;
+                    }
+                }
+                None => env[v.index()] = Some(tuple[i]),
+            },
+        }
+    }
+    Some(env)
+}
+
+/// Extends `deleted`/`inserted` with `new` vs `old` on one predicate.
+fn diff_pred(
+    old: &Instance,
+    new: &Instance,
+    pred: Symbol,
+    deleted: &mut Instance,
+    inserted: &mut Instance,
+) {
+    let old_rel = old.relation(pred);
+    let new_rel = new.relation(pred);
+    if let Some(o) = old_rel {
+        for t in o.iter() {
+            if !new_rel.is_some_and(|n| n.contains(t)) {
+                deleted.insert_fact(pred, t.clone());
+            }
+        }
+    }
+    if let Some(n) = new_rel {
+        for t in n.iter() {
+            if !old_rel.is_some_and(|o| o.contains(t)) {
+                inserted.insert_fact(pred, t.clone());
+            }
+        }
+    }
+}
+
+fn diff_heads(
+    heads: &FxHashSet<Symbol>,
+    old: &Instance,
+    new: &Instance,
+    deleted: &mut Instance,
+    inserted: &mut Instance,
+) {
+    let mut preds: Vec<Symbol> = heads.iter().copied().collect();
+    preds.sort_unstable();
+    for pred in preds {
+        diff_pred(old, new, pred, deleted, inserted);
+    }
+}
+
+/// Counts derivations of `tuple` (or just probes for one, with
+/// `first_only`) across every rule whose head predicate matches,
+/// against the current `instance`.
+#[allow(clippy::too_many_arguments)]
+fn count_support(
+    pred: Symbol,
+    tuple: &Tuple,
+    program: &Program,
+    rules_for: &FxHashMap<Symbol, Vec<usize>>,
+    support_plans: &[Plan],
+    instance: &Instance,
+    adom: &[Value],
+    cache: &mut IndexCache,
+    stats: &mut PollStats,
+    first_only: bool,
+) -> u64 {
+    let mut count = 0u64;
+    let Some(rule_indices) = rules_for.get(&pred) else {
+        return 0;
+    };
+    for &ri in rule_indices {
+        let rule = &program.rules[ri];
+        let Some(mut env) = seed_env(head_atom(rule), tuple, rule.var_count()) else {
+            continue;
+        };
+        let _ = for_each_match_from(
+            &support_plans[ri],
+            Sources::simple(instance),
+            adom,
+            cache,
+            &mut env,
+            &mut |_| {
+                count += 1;
+                if first_only {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        if first_only && count > 0 {
+            break;
+        }
+    }
+    stats.rules_fired += count;
+    count
+}
+
+/// The DRed overdelete closure for one stratum: Δ-variant plans driven
+/// over the scratch delete set, every other literal reading the
+/// pre-update fixpoint `old`. Affected head tuples are withdrawn from
+/// `instance` and fed back into the delete set until nothing new is
+/// reachable. Returns the withdrawn tuples, in withdrawal order.
+#[allow(clippy::too_many_arguments)]
+fn overdelete_closure(
+    stratum_rules: &[&Rule],
+    old: &Instance,
+    seed: &Instance,
+    instance: &mut Instance,
+    adom: &[Value],
+    old_cache: &mut IndexCache,
+    plan_mode: PlanMode,
+    max_stages: Option<usize>,
+    stats: &mut PollStats,
+) -> Result<Vec<(Symbol, Tuple)>, EvalError> {
+    let mut ddel = seed.clone();
+    // The default handle marks everything in the seed as new; captured
+    // marks restrict later rounds to that round's additions.
+    let mut mark = DeltaHandle::default();
+    let mut overdeleted: Vec<(Symbol, Tuple)> = Vec::new();
+    let mut planner = Planner::new(Catalog::from_instance(old), plan_mode);
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        if max_stages.is_some_and(|m| rounds > m) {
+            return Err(EvalError::StageLimitExceeded(rounds - 1));
+        }
+        old_cache.begin_delta_round();
+        let del_preds: FxHashSet<Symbol> = ddel
+            .iter()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(p, _)| p)
+            .collect();
+        let mut found: Vec<(Symbol, Tuple)> = Vec::new();
+        for rule in stratum_rules {
+            let head = head_atom(rule);
+            for plan in planner.seminaive_variants(rule, &|p| del_preds.contains(&p)) {
+                stats.rules_fired += for_each_head(
+                    &plan,
+                    &head.args,
+                    Sources {
+                        full: old,
+                        delta: Some(&mark),
+                        neg: None,
+                        delta_from: Some(&ddel),
+                    },
+                    adom,
+                    old_cache,
+                    &mut |tuple| {
+                        if instance.contains_fact(head.pred, &tuple) {
+                            found.push((head.pred, tuple));
+                        }
+                    },
+                );
+            }
+        }
+        if found.is_empty() {
+            return Ok(overdeleted);
+        }
+        mark = DeltaHandle::capture(&ddel);
+        for (pred, tuple) in found {
+            if ddel.insert_fact(pred, tuple.clone()) {
+                instance.retract_fact(pred, &tuple);
+                stats.overdeleted += 1;
+                overdeleted.push((pred, tuple));
+            }
+        }
+    }
+}
+
+/// The DRed rederivation pass: each withdrawn tuple that still has a
+/// derivation from surviving (certified) facts is restored. Iterates to
+/// fixpoint because a restored tuple can in turn support another
+/// candidate.
+#[allow(clippy::too_many_arguments)]
+fn rederive(
+    candidates: &[(Symbol, Tuple)],
+    program: &Program,
+    rules_for: &FxHashMap<Symbol, Vec<usize>>,
+    support_plans: &[Plan],
+    instance: &mut Instance,
+    adom: &[Value],
+    cache: &mut IndexCache,
+    stats: &mut PollStats,
+) {
+    loop {
+        let mut changed = false;
+        for (pred, tuple) in candidates {
+            if instance.contains_fact(*pred, tuple) {
+                continue;
+            }
+            let supported = count_support(
+                *pred,
+                tuple,
+                program,
+                rules_for,
+                support_plans,
+                instance,
+                adom,
+                cache,
+                stats,
+                true,
+            ) > 0;
+            if supported {
+                instance.insert_fact(*pred, tuple.clone());
+                stats.rederived += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// Support-counted deletion for a stratum with no same-stratum positive
+/// dependencies: one Δ pass over the accumulated deletions finds every
+/// affected head tuple (no cascade is possible within the stratum), a
+/// stored count that stays positive absorbs the deletion outright, and
+/// anything else gets an exact recount against the new state.
+#[allow(clippy::too_many_arguments)]
+fn counted_delete(
+    stratum_rules: &[&Rule],
+    old: &Instance,
+    seed: &Instance,
+    instance: &mut Instance,
+    supports: &mut FxHashMap<Symbol, FxHashMap<Tuple, i64>>,
+    program: &Program,
+    rules_for: &FxHashMap<Symbol, Vec<usize>>,
+    support_plans: &[Plan],
+    adom: &[Value],
+    old_cache: &mut IndexCache,
+    cache: &mut IndexCache,
+    plan_mode: PlanMode,
+    stats: &mut PollStats,
+) {
+    let mark = DeltaHandle::default();
+    let del_preds: FxHashSet<Symbol> = seed
+        .iter()
+        .filter(|(_, r)| !r.is_empty())
+        .map(|(p, _)| p)
+        .collect();
+    let mut planner = Planner::new(Catalog::from_instance(old), plan_mode);
+    let mut affected: Vec<(Symbol, Tuple)> = Vec::new();
+    let mut seen: FxHashSet<(Symbol, Tuple)> = FxHashSet::default();
+    old_cache.begin_delta_round();
+    for rule in stratum_rules {
+        let head = head_atom(rule);
+        for plan in planner.seminaive_variants(rule, &|p| del_preds.contains(&p)) {
+            stats.rules_fired += for_each_head(
+                &plan,
+                &head.args,
+                Sources {
+                    full: old,
+                    delta: Some(&mark),
+                    neg: None,
+                    delta_from: Some(seed),
+                },
+                adom,
+                old_cache,
+                &mut |tuple| {
+                    if !instance.contains_fact(head.pred, &tuple) {
+                        return;
+                    }
+                    // Every Δ-match witnesses a (possibly repeated)
+                    // lost derivation: decrementing once per match can
+                    // only push the stored count *below* the truth,
+                    // which is the safe direction.
+                    if let Some(c) = supports.get_mut(&head.pred).and_then(|m| m.get_mut(&tuple)) {
+                        *c -= 1;
+                    }
+                    let key = (head.pred, tuple);
+                    if seen.insert(key.clone()) {
+                        affected.push(key);
+                    }
+                },
+            );
+        }
+    }
+    for (pred, tuple) in affected {
+        if let Some(&c) = supports.get(&pred).and_then(|m| m.get(&tuple)) {
+            if c > 0 {
+                stats.support_hits += 1;
+                continue;
+            }
+        }
+        let count = count_support(
+            pred,
+            &tuple,
+            program,
+            rules_for,
+            support_plans,
+            instance,
+            adom,
+            cache,
+            stats,
+            false,
+        );
+        supports
+            .entry(pred)
+            .or_default()
+            .insert(tuple.clone(), count as i64);
+        if count == 0 {
+            instance.retract_fact(pred, &tuple);
+        }
+    }
+}
+
+/// Semi-naive insertion propagation for one stratum: Δ-variant plans
+/// over a scratch insert set, full scans against the live (growing)
+/// instance. Stored support counts of re-derived tuples are invalidated
+/// rather than incremented — a Δ-match with `k` new body tuples is
+/// enumerated `k` times, so incrementing could overshoot the truth.
+#[allow(clippy::too_many_arguments)]
+fn insert_closure(
+    stratum_rules: &[&Rule],
+    instance: &mut Instance,
+    seed: &Instance,
+    supports: &mut FxHashMap<Symbol, FxHashMap<Tuple, i64>>,
+    adom: &[Value],
+    cache: &mut IndexCache,
+    options: &EvalOptions,
+    stats: &mut PollStats,
+) -> Result<(), EvalError> {
+    let mut dins = seed.clone();
+    let mut mark = DeltaHandle::default();
+    let mut planner = Planner::new(Catalog::from_instance(instance), options.plan_mode);
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        if options.max_stages.is_some_and(|m| rounds > m) {
+            return Err(EvalError::StageLimitExceeded(rounds - 1));
+        }
+        cache.begin_delta_round();
+        let ins_preds: FxHashSet<Symbol> = dins
+            .iter()
+            .filter(|(_, r)| !r.is_empty())
+            .map(|(p, _)| p)
+            .collect();
+        let mut found: Vec<(Symbol, Tuple)> = Vec::new();
+        for rule in stratum_rules {
+            let head = head_atom(rule);
+            for plan in planner.seminaive_variants(rule, &|p| ins_preds.contains(&p)) {
+                stats.rules_fired += for_each_head(
+                    &plan,
+                    &head.args,
+                    Sources {
+                        full: instance,
+                        delta: Some(&mark),
+                        neg: None,
+                        delta_from: Some(&dins),
+                    },
+                    adom,
+                    cache,
+                    &mut |tuple| {
+                        if !instance.contains_fact(head.pred, &tuple) {
+                            found.push((head.pred, tuple));
+                        }
+                    },
+                );
+            }
+        }
+        if found.is_empty() {
+            return Ok(());
+        }
+        mark = DeltaHandle::capture(&dins);
+        for (pred, tuple) in found {
+            if instance.insert_fact(pred, tuple.clone()) {
+                if let Some(m) = supports.get_mut(&pred) {
+                    m.remove(&tuple);
+                }
+                dins.insert_fact(pred, tuple);
+            }
+        }
+        if options.max_facts.is_some_and(|m| instance.fact_count() > m) {
+            return Err(EvalError::FactLimitExceeded(instance.fact_count()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stratified;
+    use unchained_common::{Interner, Value};
+    use unchained_parser::parse_program;
+
+    fn tc_program(interner: &mut Interner) -> Program {
+        parse_program(
+            "T(x,y) :- G(x,y).\n\
+             T(x,y) :- G(x,z), T(z,y).",
+            interner,
+        )
+        .unwrap()
+    }
+
+    fn edge(a: i64, b: i64) -> Tuple {
+        Tuple::from([Value::Int(a), Value::Int(b)])
+    }
+
+    fn chain(interner: &mut Interner, n: i64) -> Instance {
+        let g = interner.intern("G");
+        let mut inst = Instance::new();
+        for k in 0..n - 1 {
+            inst.insert_fact(g, edge(k, k + 1));
+        }
+        inst
+    }
+
+    /// The session must equal a from-scratch run on its current EDB.
+    fn assert_matches_scratch(session: &IncrementalSession, interner: &Interner) {
+        let scratch =
+            stratified::eval(session.program(), session.edb(), EvalOptions::default()).unwrap();
+        assert!(
+            session.instance().same_facts(&scratch.instance),
+            "session diverged from from-scratch evaluation:\nsession:\n{}\nscratch:\n{}",
+            session.instance().display(interner),
+            scratch.instance.display(interner),
+        );
+    }
+
+    #[test]
+    fn inserts_match_from_scratch() {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let g = i.get("G").unwrap();
+        let mut s = IncrementalSession::new(p, &chain(&mut i, 4), EvalOptions::default()).unwrap();
+        s.insert(g, edge(3, 4)).unwrap();
+        s.insert(g, edge(4, 0)).unwrap();
+        let stats = s.poll().unwrap();
+        assert!(stats.facts_added > 2, "inserts must derive new T facts");
+        assert_eq!(stats.facts_removed, 0);
+        assert_matches_scratch(&s, &i);
+    }
+
+    #[test]
+    fn retractions_match_from_scratch() {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let g = i.get("G").unwrap();
+        let mut s = IncrementalSession::new(p, &chain(&mut i, 6), EvalOptions::default()).unwrap();
+        s.retract(g, edge(2, 3)).unwrap();
+        let stats = s.poll().unwrap();
+        assert!(stats.overdeleted > 0, "a cut chain loses T facts");
+        assert!(stats.facts_removed > 1);
+        assert_matches_scratch(&s, &i);
+    }
+
+    #[test]
+    fn alternative_support_is_rederived() {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let g = i.get("G").unwrap();
+        let t = i.get("T").unwrap();
+        let mut input = Instance::new();
+        for (a, b) in [(0, 1), (1, 2), (0, 2)] {
+            input.insert_fact(g, edge(a, b));
+        }
+        let mut s = IncrementalSession::new(p, &input, EvalOptions::default()).unwrap();
+        s.retract(g, edge(0, 2)).unwrap();
+        let stats = s.poll().unwrap();
+        // T(0,2) loses its direct edge but survives via G(0,1), T(1,2).
+        assert!(s.instance().contains_fact(t, &edge(0, 2)));
+        assert!(stats.rederived >= 1, "overdeleted T(0,2) must be restored");
+        assert_matches_scratch(&s, &i);
+    }
+
+    #[test]
+    fn negation_stratum_falls_back_to_recompute() {
+        let mut i = Interner::new();
+        let p = parse_program(
+            "T(x,y) :- G(x,y).\n\
+             T(x,y) :- G(x,z), T(z,y).\n\
+             CT(x,y) :- !T(x,y).",
+            &mut i,
+        )
+        .unwrap();
+        let g = i.get("G").unwrap();
+        let mut s = IncrementalSession::new(p, &chain(&mut i, 4), EvalOptions::default()).unwrap();
+        s.retract(g, edge(1, 2)).unwrap();
+        let stats = s.poll().unwrap();
+        assert!(stats.strata_recomputed >= 1, "CT reads ¬T, which shrank");
+        assert_matches_scratch(&s, &i);
+        // Insert it back: the complement must return to its old state.
+        s.insert(g, edge(1, 2)).unwrap();
+        s.poll().unwrap();
+        assert_matches_scratch(&s, &i);
+    }
+
+    #[test]
+    fn support_counting_absorbs_deletions_with_remaining_support() {
+        let mut i = Interner::new();
+        let p = parse_program("P(x) :- A(x). P(x) :- B(x). P(x) :- C(x).", &mut i).unwrap();
+        let (a, b, c) = (
+            i.get("A").unwrap(),
+            i.get("B").unwrap(),
+            i.get("C").unwrap(),
+        );
+        let pp = i.get("P").unwrap();
+        let one = Tuple::from([Value::Int(1)]);
+        let mut input = Instance::new();
+        for pred in [a, b, c] {
+            input.insert_fact(pred, one.clone());
+        }
+        let mut s = IncrementalSession::new(p, &input, EvalOptions::default()).unwrap();
+        // First deletion: the count is unknown, so it is established by
+        // an exact recount (A and B remain → 2).
+        s.retract(c, one.clone()).unwrap();
+        let stats = s.poll().unwrap();
+        assert_eq!(stats.support_hits, 0);
+        assert!(s.instance().contains_fact(pp, &one));
+        assert_matches_scratch(&s, &i);
+        // Second deletion: 2 − 1 = 1 > 0, absorbed without any query.
+        s.retract(a, one.clone()).unwrap();
+        let stats = s.poll().unwrap();
+        assert_eq!(stats.support_hits, 1);
+        assert!(s.instance().contains_fact(pp, &one));
+        assert_matches_scratch(&s, &i);
+        // Last support gone: 1 − 1 = 0 forces a recount, which deletes.
+        s.retract(b, one.clone()).unwrap();
+        let stats = s.poll().unwrap();
+        assert_eq!(stats.support_hits, 0);
+        assert!(!s.instance().contains_fact(pp, &one));
+        assert_matches_scratch(&s, &i);
+    }
+
+    #[test]
+    fn mixed_batch_nets_out_to_nothing() {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let g = i.get("G").unwrap();
+        let mut s = IncrementalSession::new(p, &chain(&mut i, 4), EvalOptions::default()).unwrap();
+        let before = s.instance().clone();
+        s.insert(g, edge(7, 8)).unwrap();
+        s.retract(g, edge(7, 8)).unwrap();
+        let stats = s.poll().unwrap();
+        assert_eq!(stats.applied, 0);
+        assert!(s.instance().same_facts(&before));
+        // An empty poll is a no-op too.
+        let stats = s.poll().unwrap();
+        assert_eq!(stats.applied, 0);
+    }
+
+    #[test]
+    fn rejects_idb_edits_arity_mismatches_and_idb_input() {
+        let mut i = Interner::new();
+        let p = tc_program(&mut i);
+        let g = i.get("G").unwrap();
+        let t = i.get("T").unwrap();
+        let mut s =
+            IncrementalSession::new(p.clone(), &chain(&mut i, 3), EvalOptions::default()).unwrap();
+        assert!(matches!(
+            s.insert(t, edge(0, 1)),
+            Err(EvalError::InvalidUpdate(_))
+        ));
+        assert!(matches!(
+            s.retract(g, Tuple::from([Value::Int(0)])),
+            Err(EvalError::InvalidUpdate(_))
+        ));
+        let mut tainted = Instance::new();
+        tainted.insert_fact(t, edge(0, 1));
+        assert!(matches!(
+            IncrementalSession::new(p, &tainted, EvalOptions::default()),
+            Err(EvalError::InvalidUpdate(_))
+        ));
+    }
+
+    #[test]
+    fn updates_across_strata_cascade() {
+        let mut i = Interner::new();
+        // Three strata with only positive inter-stratum dependencies.
+        let p = parse_program(
+            "T(x,y) :- G(x,y).\n\
+             T(x,y) :- G(x,z), T(z,y).\n\
+             S(x) :- T(x,x).\n\
+             U(x) :- S(x), V(x).",
+            &mut i,
+        )
+        .unwrap();
+        let g = i.get("G").unwrap();
+        let v = i.get("V").unwrap();
+        let mut input = Instance::new();
+        for (a, b) in [(0, 1), (1, 2)] {
+            input.insert_fact(g, edge(a, b));
+        }
+        input.insert_fact(v, Tuple::from([Value::Int(0)]));
+        let mut s = IncrementalSession::new(p, &input, EvalOptions::default()).unwrap();
+        // Close the cycle: S(0), S(1), S(2) and U(0) appear.
+        s.insert(g, edge(2, 0)).unwrap();
+        s.poll().unwrap();
+        assert_matches_scratch(&s, &i);
+        // Cut it again: the cascade must retract through S into U.
+        s.retract(g, edge(2, 0)).unwrap();
+        let stats = s.poll().unwrap();
+        assert!(stats.facts_removed > 0);
+        assert_matches_scratch(&s, &i);
+    }
+
+    /// The acceptance gauge of ISSUE 9: after a retraction on the
+    /// chain-TC workload, one poll must do strictly less join work than
+    /// recomputing from scratch — by the deterministic gauges, not wall
+    /// time.
+    #[test]
+    fn chain_tc_retraction_beats_from_scratch_on_work_gauges() {
+        let mut i = Interner::new();
+        let n = 48i64;
+        let p = tc_program(&mut i);
+        let g = i.get("G").unwrap();
+        let mut s = IncrementalSession::new(p, &chain(&mut i, n), EvalOptions::default()).unwrap();
+        s.retract(g, edge(n - 2, n - 1)).unwrap();
+        let stats = s.poll().unwrap();
+        assert_matches_scratch(&s, &i);
+
+        let telemetry = unchained_common::Telemetry::enabled();
+        let scratch = stratified::eval(
+            s.program(),
+            s.edb(),
+            EvalOptions::default().with_telemetry(telemetry.clone()),
+        )
+        .unwrap();
+        let trace = telemetry.snapshot().unwrap();
+        assert!(scratch.instance.same_facts(s.instance()));
+        assert!(
+            stats.rules_fired < trace.rules_fired,
+            "poll fired {} vs from-scratch {}",
+            stats.rules_fired,
+            trace.rules_fired
+        );
+        assert!(
+            stats.joins.probe_tuples < trace.joins.probe_tuples,
+            "poll probed {} tuples vs from-scratch {}",
+            stats.joins.probe_tuples,
+            trace.joins.probe_tuples
+        );
+        // The margin is structural (O(n) vs O(n²)), so assert a real
+        // gap rather than a knife's edge.
+        assert!(stats.rules_fired * 4 < trace.rules_fired);
+    }
+}

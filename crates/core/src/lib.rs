@@ -43,6 +43,7 @@ pub mod exec;
 pub mod inflationary;
 pub mod invention;
 pub mod ir;
+pub mod ivm;
 pub mod magic;
 pub mod naive;
 pub mod noninflationary;
@@ -57,6 +58,7 @@ pub mod subst;
 pub mod wellfounded;
 
 pub use error::EvalError;
+pub use ivm::{IncrementalSession, PollStats};
 pub use options::{DivergenceDetection, EvalOptions, FixpointRun};
 pub use planner::PlanMode;
 

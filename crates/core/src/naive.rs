@@ -33,10 +33,6 @@ pub fn minimum_model(
     check_range_restricted(program, false)?;
 
     let adom = active_domain(program, input);
-    let mut planner = Planner::new(Catalog::from_instance(input), options.plan_mode);
-    planner.inflate(program.idb());
-    let plans: Vec<_> = program.rules.iter().map(|r| planner.plan_rule(r)).collect();
-    let plan_stats = planner.stats();
     let mut cache = IndexCache::new();
     let mut instance = input.clone();
     // Make sure every idb relation exists, even if it stays empty.
@@ -52,6 +48,7 @@ pub fn minimum_model(
     let eval_guard = tracer.span(SpanKind::Eval, "naive");
 
     let mut stages = 0;
+    let mut plan_stats = crate::planner::PlanStats::default();
     loop {
         stages += 1;
         if options.max_stages.is_some_and(|m| stages > m) {
@@ -60,6 +57,19 @@ pub fn minimum_model(
         let round_guard = tracer.span(SpanKind::Round, format!("round {stages}"));
         let stage_sw = tel.stopwatch();
         let joins_before = cache.counters;
+        // Replan every round: a catalog snapshotted at entry goes stale
+        // as the idb grows, and join orders chosen against empty (or
+        // merely inflated) relations would stick for the whole run. On
+        // the first round the idb really is empty, so its cardinality is
+        // inflated; afterwards the live counts speak for themselves.
+        let mut planner = Planner::new(Catalog::from_instance(&instance), options.plan_mode);
+        if stages == 1 {
+            planner.inflate(program.idb());
+        }
+        let plans: Vec<_> = program.rules.iter().map(|r| planner.plan_rule(r)).collect();
+        let round_plans = planner.stats();
+        plan_stats.joins_pruned += round_plans.joins_pruned;
+        plan_stats.subplans_shared += round_plans.subplans_shared;
         let mut fired: u64 = 0;
         let mut new_facts = Vec::new();
         for (rule, plan) in program.rules.iter().zip(&plans) {
@@ -216,6 +226,46 @@ mod tests {
         let t = i.get("T").unwrap();
         // Complete relation on 4 nodes.
         assert_eq!(run.instance.relation(t).unwrap().len(), 16);
+    }
+
+    /// Regression: plans must be rebuilt against the grown idb each
+    /// round. With one entry-time catalog both of Q's body atoms are
+    /// idb, so both get the same inflated cardinality; the tie puts the
+    /// 200-tuple P1 on the scan side of the join, and every round after
+    /// the first scans all of P1 probing the one-fact P2 — hundreds of
+    /// probe lookups where a fresh catalog needs a handful.
+    #[test]
+    fn replanning_tracks_grown_idb_cardinalities() {
+        let mut i = Interner::new();
+        let p = parse_program(
+            "P1(x,y) :- E1(x,y).\n\
+             P2(x,y) :- E2(x,y).\n\
+             Q(x,y) :- P1(x,y), P2(x,y).",
+            &mut i,
+        )
+        .unwrap();
+        let e1 = i.get("E1").unwrap();
+        let e2 = i.get("E2").unwrap();
+        let mut input = Instance::new();
+        for k in 0..200i64 {
+            input.insert_fact(e1, Tuple::from([Value::Int(k), Value::Int(k)]));
+        }
+        input.insert_fact(e2, Tuple::from([Value::Int(0), Value::Int(0)]));
+        let telemetry = unchained_common::Telemetry::enabled();
+        let run = minimum_model(
+            &p,
+            &input,
+            EvalOptions::default().with_telemetry(telemetry.clone()),
+        )
+        .unwrap();
+        let q = i.get("Q").unwrap();
+        assert_eq!(run.instance.relation(q).unwrap().len(), 1);
+        let trace = telemetry.snapshot().unwrap();
+        assert!(
+            trace.joins.probes < 50,
+            "stale join order: {} probe lookups for a one-fact join",
+            trace.joins.probes
+        );
     }
 
     #[test]

@@ -104,6 +104,7 @@ pub(crate) fn run_round(
                                 full: instance,
                                 delta,
                                 neg: None,
+                                delta_from: None,
                             },
                             adom,
                             cache,

@@ -153,7 +153,23 @@ impl Planner {
     pub fn plan_rule(&mut self, rule: &Rule) -> Plan {
         let literals: Vec<&Literal> = rule.body.iter().collect();
         let vars = rule.body_vars();
-        self.compile(rule, &literals, &vars, None)
+        self.compile(rule, &literals, &vars, None, &[])
+    }
+
+    /// Plans a rule's full body with `prebound` variables already bound
+    /// by the caller: they act as constants, so scans over atoms using
+    /// them turn the positions into probe-key columns. Run the result
+    /// with [`crate::exec::for_each_match_from`], seeding the
+    /// environment at each prebound variable's index.
+    ///
+    /// The incremental-maintenance engine uses this for support queries:
+    /// with every head variable prebound, "does any body valuation
+    /// rederive this tuple?" becomes a chain of point lookups instead of
+    /// a full join.
+    pub fn plan_rule_bound(&mut self, rule: &Rule, prebound: &[Var]) -> Plan {
+        let literals: Vec<&Literal> = rule.body.iter().collect();
+        let vars = rule.body_vars();
+        self.compile(rule, &literals, &vars, None, prebound)
     }
 
     /// Plans the given body literals of `rule`.
@@ -164,7 +180,7 @@ impl Planner {
     /// part of the body). Variables not bound by scans or equalities get
     /// [`Step::Domain`] steps.
     pub fn plan_body(&mut self, rule: &Rule, literals: &[&Literal], vars_to_bind: &[Var]) -> Plan {
-        self.compile(rule, literals, vars_to_bind, None)
+        self.compile(rule, literals, vars_to_bind, None, &[])
     }
 
     /// Produces the semi-naive variants of a rule: for each positive
@@ -183,7 +199,7 @@ impl Planner {
         for (i, lit) in rule.body.iter().enumerate() {
             if let Literal::Pos(atom) = lit {
                 if recursive(atom.pred) {
-                    variants.push(self.compile(rule, &literals, &vars, Some(i)));
+                    variants.push(self.compile(rule, &literals, &vars, Some(i), &[]));
                 }
             }
         }
@@ -206,13 +222,16 @@ impl Planner {
 
     /// Orders the body into steps (the join-ordering loop). When
     /// `delta_lit` names a literal, its scan reads the delta; under
-    /// cost mode it is additionally forced to the front.
+    /// cost mode it is additionally forced to the front. Variables in
+    /// `prebound` start out bound (seeded by the caller at run time),
+    /// so they count as known positions for SIP pushdown and cost.
     fn order_steps(
         &self,
         rule: &Rule,
         literals: &[&Literal],
         vars_to_bind: &[Var],
         delta_lit: Option<usize>,
+        prebound: &[Var],
     ) -> Vec<Step> {
         #[derive(PartialEq)]
         enum LitState {
@@ -221,6 +240,9 @@ impl Planner {
         }
         let mut state: Vec<LitState> = literals.iter().map(|_| LitState::Pending).collect();
         let mut bound = vec![false; rule.var_count()];
+        for v in prebound {
+            bound[v.index()] = true;
+        }
         let mut steps = Vec::new();
 
         let term_known = |t: &Term, bound: &[bool]| match t {
@@ -407,11 +429,21 @@ impl Planner {
         literals: &[&Literal],
         vars_to_bind: &[Var],
         delta_lit: Option<usize>,
+        prebound: &[Var],
     ) -> Plan {
-        let steps = self.order_steps(rule, literals, vars_to_bind, delta_lit);
+        let steps = self.order_steps(rule, literals, vars_to_bind, delta_lit, prebound);
 
         let mut slot_of: Vec<Option<u32>> = vec![None; rule.var_count()];
         let mut next_slot = 0u32;
+        // Prebound variables get the first slots, in caller order, so the
+        // IR below can reference them as key columns before any step
+        // binds them.
+        for v in prebound {
+            if slot_of[v.index()].is_none() {
+                slot_of[v.index()] = Some(next_slot);
+                next_slot += 1;
+            }
+        }
         let mut assign = |v: Var, slot_of: &mut Vec<Option<u32>>| {
             debug_assert!(slot_of[v.index()].is_none(), "slot assigned twice");
             let s = next_slot;
@@ -540,7 +572,7 @@ pub fn plan_body(rule: &Rule, literals: &[&Literal], vars_to_bind: &[Var]) -> Pl
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::exec::{for_each_match, IndexCache, Sources};
+    use crate::exec::{for_each_match, for_each_match_from, IndexCache, Sources};
     use crate::subst::active_domain;
     use std::ops::ControlFlow;
     use unchained_common::{Instance, Interner, Tuple, Value};
@@ -922,6 +954,63 @@ mod tests {
             }
             assert_eq!(answers[0], answers[1], "modes disagree on:\n{src}");
         }
+    }
+
+    #[test]
+    fn prebound_head_variables_become_probe_keys() {
+        // Support query: does any body valuation derive T(a, b) for a
+        // *fixed* (a, b)? With x and y prebound the G scan probes on
+        // both columns instead of enumerating.
+        let mut interner = Interner::new();
+        let program = parse_program("T(x,y) :- G(x,z), G(z,y).", &mut interner).unwrap();
+        let rule = &program.rules[0];
+        let g = interner.get("G").unwrap();
+        let mut instance = Instance::new();
+        for (p, q) in [(1i64, 2), (2, 3), (3, 4)] {
+            instance.insert_fact(g, Tuple::from([Value::Int(p), Value::Int(q)]));
+        }
+        let head_vars: Vec<Var> = rule
+            .head
+            .first()
+            .and_then(HeadLiteral::atom)
+            .map(|a| a.args.iter().filter_map(|t| t.as_var()).collect())
+            .unwrap_or_default();
+        let mut planner = Planner::new(Catalog::from_instance(&instance), PlanMode::Cost);
+        let plan = planner.plan_rule_bound(rule, &head_vars);
+        // The first scheduled scan already probes on a bound column.
+        let Some(Step::Scan { key, .. }) =
+            plan.steps.iter().find(|s| matches!(s, Step::Scan { .. }))
+        else {
+            panic!("plan must scan G");
+        };
+        assert!(!key.is_empty(), "prebound vars must reach the probe key");
+
+        // Seeded execution answers the point query.
+        let adom = active_domain(&program, &instance);
+        let mut cache = IndexCache::new();
+        let mut supported = |a: i64, b: i64| {
+            let mut env: Vec<Option<Value>> = vec![None; plan.var_count];
+            for (v, val) in head_vars.iter().zip([a, b]) {
+                env[v.index()] = Some(Value::Int(val));
+            }
+            let mut hit = false;
+            let _ = for_each_match_from(
+                &plan,
+                Sources::simple(&instance),
+                &adom,
+                &mut cache,
+                &mut env,
+                &mut |_| {
+                    hit = true;
+                    ControlFlow::Break(())
+                },
+            );
+            hit
+        };
+        assert!(supported(1, 3));
+        assert!(supported(2, 4));
+        assert!(!supported(1, 4));
+        assert!(!supported(3, 3));
     }
 
     #[test]

@@ -406,6 +406,7 @@ pub(crate) fn seminaive_fixpoint(
                         full: instance,
                         delta: Some(&mark),
                         neg: None,
+                        delta_from: None,
                     },
                     adom,
                     cache,

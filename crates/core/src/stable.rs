@@ -133,6 +133,7 @@ fn reduct_lfp(
                 full: &instance,
                 delta: None,
                 neg: Some(candidate),
+                delta_from: None,
             };
             let _ = for_each_match(plan, sources, adom, &mut cache, &mut |env| {
                 let tuple = instantiate(&head.args, env);

@@ -121,6 +121,7 @@ fn reduct_lfp(
                 full: &instance,
                 delta: None,
                 neg: Some(frozen),
+                delta_from: None,
             };
             let _ = for_each_match(plan, sources, adom, cache, &mut |env| {
                 *fired += 1;

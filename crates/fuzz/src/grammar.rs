@@ -37,6 +37,12 @@ pub enum Campaign {
     /// against the syntactic (most-bound-first) reference ordering,
     /// sequentially and in parallel.
     Planner,
+    /// Incremental maintenance: stratified Datalog¬ driven through a
+    /// seeded script of edb insert/retract batches, comparing the
+    /// [`unchained_core::IncrementalSession`]'s maintained model after
+    /// every poll against a from-scratch evaluation of the edited edb,
+    /// at one and at four worker threads.
+    EditScript,
 }
 
 impl Campaign {
@@ -48,6 +54,7 @@ impl Campaign {
             "invention" | "datalog-new" => Campaign::Invention,
             "nondet" => Campaign::Nondet,
             "planner" | "plan" => Campaign::Planner,
+            "edits" | "edit-script" | "ivm" => Campaign::EditScript,
             _ => return None,
         })
     }
@@ -60,17 +67,19 @@ impl Campaign {
             Campaign::Invention => "invention",
             Campaign::Nondet => "nondet",
             Campaign::Planner => "planner",
+            Campaign::EditScript => "edits",
         }
     }
 
     /// All campaigns, in documentation order.
-    pub fn all() -> [Campaign; 5] {
+    pub fn all() -> [Campaign; 6] {
         [
             Campaign::Positive,
             Campaign::Negation,
             Campaign::Invention,
             Campaign::Nondet,
             Campaign::Planner,
+            Campaign::EditScript,
         ]
     }
 }
@@ -174,7 +183,10 @@ pub fn generate(
         // through a negation — the textbook sufficient condition.
         let n_body = 1 + rng.gen_index(cfg.max_body);
         let mut body = Vec::new();
-        let stratified = matches!(campaign, Campaign::Negation | Campaign::Planner);
+        let stratified = matches!(
+            campaign,
+            Campaign::Negation | Campaign::Planner | Campaign::EditScript
+        );
         for _ in 0..n_body {
             let negate = stratified && rng.gen_bool(0.3);
             let layered = stratified;
@@ -321,7 +333,7 @@ mod tests {
                     .unwrap_or_else(|e| panic!("{campaign:?} seed {seed}: {e}"));
                 match campaign {
                     Campaign::Positive => assert_eq!(classify(&p), Language::Datalog),
-                    Campaign::Negation | Campaign::Planner => {
+                    Campaign::Negation | Campaign::Planner | Campaign::EditScript => {
                         DependencyGraph::build(&p)
                             .stratify()
                             .unwrap_or_else(|e| panic!("seed {seed} not stratifiable: {e}"));

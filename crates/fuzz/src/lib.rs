@@ -165,7 +165,8 @@ USAGE:
   unchained fuzz [options]
 
 OPTIONS:
-  --campaign <C>     positive (default) | negation | invention | nondet | planner
+  --campaign <C>     positive (default) | negation | invention | nondet |
+                     planner | edits (incremental-session edit scripts)
   --seed <N>         master seed (default 0); same seed, same run, bit for bit
   --budget <N>       programs to generate (default 100)
   --json <PATH>      write the campaign summary (default FUZZ.json)

@@ -10,15 +10,17 @@
 //! | invention | invention ×2 (determinism), invention@4 | — |
 //! | nondet | seeded run ×2 (determinism), poss/cert containment | — |
 //! | planner | stratified syntactic-plan vs cost-plan, cost-plan@{2,4,8}, syntactic-plan@4 | stage-count equality |
+//! | edits | incremental session vs from-scratch stratified, after every poll of a seeded edit script, @{1,4} | edb-mirror fidelity |
 //!
 //! A `Fault` injects a deliberate wrong answer into one extra matrix
 //! entry — the shrinker's self-test: with the fault enabled the oracle
 //! must diverge on any program that derives at least one idb fact, and
 //! the shrinker must walk that divergence down to a ≤ 3-rule repro.
 
-use unchained_common::{Instance, Interner, Symbol, Tuple, Value};
+use unchained_common::{Instance, Interner, Rng, Symbol, Tuple, Value};
 use unchained_core::{
-    invention, magic, naive, seminaive, stratified, wellfounded, EvalOptions, PlanMode,
+    invention, magic, naive, seminaive, stratified, wellfounded, EvalOptions, IncrementalSession,
+    PlanMode,
 };
 use unchained_nondet::{poss_cert, run_once, EffOptions, NondetProgram, RandomChooser};
 use unchained_parser::Program;
@@ -167,7 +169,142 @@ pub fn check(
         Campaign::Invention => invention_campaign(program, &input, fault),
         Campaign::Nondet => nondet(program, &input, run_seed, fault),
         Campaign::Planner => planner(program, &input, fault),
+        Campaign::EditScript => edit_script_campaign(program, &input, run_seed, fault),
     }
+}
+
+/// One queued EDB edit: `true` inserts the tuple, `false` retracts it.
+type Edit = (bool, Symbol, Tuple);
+
+/// Derives a deterministic edit script from `seed`: a few batches of
+/// inserts and retracts against the program's edb relations.
+/// Retractions target facts actually present after the preceding edits
+/// (tracked in a mirror), so the delete/rederive machinery is genuinely
+/// exercised; insertions draw from a slightly larger universe than the
+/// generator's, so both redundant and novel facts occur.
+fn edit_script(program: &Program, input: &Instance, seed: u64) -> Vec<Vec<Edit>> {
+    let Ok(schema) = program.schema() else {
+        return Vec::new();
+    };
+    let mut preds: Vec<(Symbol, usize)> = program
+        .edb()
+        .into_iter()
+        .filter_map(|p| schema.arity(p).map(|a| (p, a)))
+        .collect();
+    preds.sort_unstable_by_key(|&(p, _)| p);
+    if preds.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = Rng::seeded(seed);
+    let mut mirror = input.clone();
+    let batches = 2 + rng.gen_index(3);
+    let mut script = Vec::with_capacity(batches);
+    for _ in 0..batches {
+        let mut batch = Vec::new();
+        for _ in 0..1 + rng.gen_index(3) {
+            let (pred, arity) = preds[rng.gen_index(preds.len())];
+            let existing: Vec<Tuple> = mirror
+                .relation(pred)
+                .map(|r| r.sorted().iter().cloned().collect())
+                .unwrap_or_default();
+            if !existing.is_empty() && rng.gen_bool(0.5) {
+                let tuple = existing[rng.gen_index(existing.len())].clone();
+                mirror.retract_fact(pred, &tuple);
+                batch.push((false, pred, tuple));
+            } else {
+                let tuple: Tuple = (0..arity)
+                    .map(|_| Value::Int(rng.gen_range_i64(0, 6)))
+                    .collect();
+                mirror.insert_fact(pred, tuple.clone());
+                batch.push((true, pred, tuple));
+            }
+        }
+        script.push(batch);
+    }
+    script
+}
+
+/// Edit-script differential: an [`IncrementalSession`] fed a seeded
+/// script of insert/retract batches must agree with a from-scratch
+/// stratified evaluation of the edited edb after **every** poll — both
+/// the idb answer and the maintained edb mirror — at one and at four
+/// worker threads.
+fn edit_script_campaign(
+    program: &Program,
+    input: &Instance,
+    run_seed: u64,
+    fault: Fault,
+) -> Outcome {
+    let mut out = Outcome::default();
+    out.oracle_runs += 1;
+    if stratified::eval(program, input, opts(1)).is_err() {
+        out.skipped = true;
+        return out;
+    }
+    let script = edit_script(program, input, run_seed);
+    if script.is_empty() {
+        out.skipped = true;
+        return out;
+    }
+
+    let mut final_answer = None;
+    for threads in [1usize, 4] {
+        out.oracle_runs += 1;
+        let leg = if threads == 1 { "ivm" } else { "ivm-parallel" };
+        let mut session = match IncrementalSession::new(program.clone(), input, opts(threads)) {
+            Ok(s) => s,
+            Err(e) => {
+                out.diverge("from-scratch", leg, format!("session init failed: {e}"));
+                return out;
+            }
+        };
+        let mut edb = input.clone();
+        for batch in &script {
+            for (insert, pred, tuple) in batch {
+                let queued = if *insert {
+                    edb.insert_fact(*pred, tuple.clone());
+                    session.insert(*pred, tuple.clone())
+                } else {
+                    edb.retract_fact(*pred, tuple);
+                    session.retract(*pred, tuple.clone())
+                };
+                if let Err(e) = queued {
+                    out.diverge("from-scratch", leg, format!("edit rejected: {e}"));
+                    return out;
+                }
+            }
+            out.oracle_runs += 1;
+            if let Err(e) = session.poll() {
+                out.diverge("from-scratch", leg, format!("poll failed: {e}"));
+                return out;
+            }
+            let Ok(scratch) = stratified::eval(program, &edb, opts(1)) else {
+                // The edited instance blew a budget the initial run fit
+                // in; nothing sound to compare against.
+                out.skipped = true;
+                return out;
+            };
+            // The whole maintained instance (edb mirror + idb) and the
+            // mirror alone: the second isolates edit-application bugs
+            // from maintenance bugs.
+            compare(
+                &mut out,
+                "from-scratch",
+                leg,
+                &scratch.instance,
+                session.instance(),
+            );
+            compare(&mut out, "edited-edb", leg, &edb, session.edb());
+        }
+        if threads == 1 {
+            final_answer = Some(session.answer());
+        }
+    }
+
+    if let Some(answer) = final_answer {
+        fault_leg(&mut out, &answer, fault);
+    }
+    out
 }
 
 /// Planned-vs-unplanned: the cost-based join ordering must be a pure

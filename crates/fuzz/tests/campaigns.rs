@@ -42,6 +42,28 @@ fn identical_options_give_identical_reports() {
     }
 }
 
+/// The shrinker self-test for the incremental campaign: with the
+/// drop-max-fact fault riding on the session's final answer, any edit
+/// script that leaves the idb nonempty diverges — and the shrinker must
+/// still walk the witness down to a tiny stratified program.
+#[test]
+fn edit_script_fault_injection_shrinks_to_minimal_repros() {
+    let opts = FuzzOptions {
+        fault: Fault::DropMaxFact,
+        ..options(Campaign::EditScript, 7, 20)
+    };
+    let (report, repros) = run_campaign(&opts).expect("faulted run");
+    assert!(report.divergences > 0, "fault must be observable");
+    assert_eq!(repros.len(), report.divergences);
+    for repro in &repros {
+        assert!(
+            repro.program.rules.len() <= 3,
+            "repro not minimal: {} rules",
+            repro.program.rules.len()
+        );
+    }
+}
+
 #[test]
 fn fault_injection_produces_divergences_and_minimal_repros() {
     let opts = FuzzOptions {

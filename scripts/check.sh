@@ -171,6 +171,41 @@ if ! grep -q '"divergences":0' target/fuzz-planner.json; then
     exit 1
 fi
 
+# Incremental-maintenance gate 1: the edit-script campaign drives an
+# IncrementalSession through seeded insert/retract batches and compares
+# every poll against from-scratch evaluation at 1 and 4 threads. A
+# fixed seed keeps it deterministic; any divergence means maintenance
+# drifted from the batch semantics.
+echo "==> fuzz smoke: edits/42/200, zero divergences"
+rm -rf target/fuzz-edits-corpus
+cargo run -q --release -p unchained-fuzz -- --campaign edits --seed 42 \
+    --budget 200 --json target/fuzz-edits.json --corpus target/fuzz-edits-corpus \
+    >/dev/null
+if ! grep -q '"divergences":0' target/fuzz-edits.json; then
+    echo "edit-script fuzz smoke found divergences:" >&2
+    cat target/fuzz-edits.json >&2
+    exit 1
+fi
+
+# Incremental-maintenance gate 2: the ivm bench case retracts a chain
+# edge, polls, and fails its own runner unless the poll overdeletes
+# something and lands byte-identical to a from-scratch evaluation — so
+# a quick filtered run is a conformance check, and the row must carry
+# the DRed gauges.
+echo "==> bench smoke: ivm case overdeletes and matches from-scratch"
+cargo run -q --release -p unchained-bench -- --quick --filter ivm \
+    --json target/bench-ivm.json >/dev/null
+ivm_row=$(grep '"workload":"ivm","engine":"incremental"' target/bench-ivm.json)
+if [ -z "$ivm_row" ]; then
+    echo "ivm/incremental row missing from filtered bench smoke" >&2
+    exit 1
+fi
+if [ "$(pick "$ivm_row" overdeleted)" = "0" ]; then
+    echo "ivm bench row reports ivm_overdeleted=0 (retraction maintained nothing)" >&2
+    echo "  row: $ivm_row" >&2
+    exit 1
+fi
+
 # Differential-fuzzer smoke: the fixed CI triple (positive/42/200) must
 # run every oracle leg with zero divergences and an empty corpus, and
 # the run must be deterministic enough to gate (same seed, same

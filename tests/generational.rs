@@ -437,3 +437,52 @@ fn cloned_instances_keep_independent_delta_lineages() {
     assert_eq!(b.relation(g).unwrap().iter_since(mark.mark(g)).count(), 2);
     assert_eq!(a.relation(g).unwrap().iter_since(mark.mark(g)).count(), 0);
 }
+
+/// Property sweep of the symmetric hazard: mutating the *original*
+/// after taking a clone must fork the original's epoch — the shared
+/// lineage came first, but neither side owns it. Whatever mix of
+/// inserts and retracts lands on the original, the untouched clone's
+/// contents and delta lineage must stay byte-stable, and a mark taken
+/// before the split must stop matching the mutated side's storage
+/// (degrading to a full, sound superset scan).
+#[test]
+fn mutating_the_original_forks_the_epoch_not_the_clone() {
+    for seed in 0..30u64 {
+        let mut rng = Rng::seeded(0xC10E + seed);
+        let mut i = Interner::new();
+        let g = i.intern("G");
+        let mut orig = Instance::new();
+        for k in 0..6i64 {
+            orig.insert_fact(g, Tuple::from([Value::Int(k), Value::Int(k + 1)]));
+        }
+        orig.commit_all();
+        let mark = unchained::common::DeltaHandle::capture(&orig);
+        let clone = orig.clone();
+        let clone_before = clone.display(&i).to_string();
+        let edits = 1 + rng.gen_range_i64(0, 5);
+        for _ in 0..edits {
+            if rng.gen_range_i64(0, 2) == 0 {
+                let a = rng.gen_range_i64(10, 30);
+                orig.insert_fact(g, Tuple::from([Value::Int(a), Value::Int(a)]));
+            } else {
+                let k = rng.gen_range_i64(0, 6);
+                orig.retract_fact(g, &Tuple::from([Value::Int(k), Value::Int(k + 1)]));
+            }
+        }
+        // The untouched clone: contents and delta lineage byte-stable.
+        assert_eq!(clone.display(&i).to_string(), clone_before, "seed {seed}");
+        assert_eq!(
+            clone.relation(g).unwrap().iter_since(mark.mark(g)).count(),
+            0,
+            "seed {seed}: clone's delta lineage must stay exact"
+        );
+        // The mutated original: the pre-split mark must not claim to
+        // still match this storage.
+        let live = orig.relation(g).unwrap().len();
+        assert_eq!(
+            orig.relation(g).unwrap().iter_since(mark.mark(g)).count(),
+            live,
+            "seed {seed}: stale mark must degrade to a superset scan"
+        );
+    }
+}
