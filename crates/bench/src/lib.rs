@@ -30,6 +30,8 @@
 //! | `ctc`    | complement of TC (§3.2) | stratified, wellfounded |
 //! | `magic`  | single-source TC over disjoint chains (§3.1) | seminaive, magic |
 //! | `invent` | Datalog¬new invention chain (§4.3) | invention |
+//! | `scale_reach` | single-source reach, 10^6-fact EDB, threads 1/2/4/8 | seminaive |
+//! | `scale_pointsto` | Andersen points-to, 4.4·10^5-fact EDB, threads 1/2/4/8 | seminaive |
 //!
 //! Every generator is deterministic in its seed (`common::rng`), so
 //! the work gauges — stages, facts derived, join probes — are exactly
@@ -77,6 +79,9 @@ pub struct Case {
     pub threads: usize,
     /// Size parameter (nodes, states, or stages — per workload).
     pub n: u64,
+    /// Input EDB size in facts (recorded in v7 `BENCH.json` entries so
+    /// throughput rates can be read against the input scale).
+    pub edb_facts: u64,
     runner: CaseRunner,
 }
 
@@ -188,6 +193,38 @@ fn options_runner(
     })
 }
 
+/// Like [`options_runner`], but the workload input is built on the
+/// runner's first call instead of when the registry is assembled. The
+/// scale workloads use this: their full-fidelity EDBs run to 10^6
+/// facts, and generating them eagerly would make `cases()` — and every
+/// `--filter` run that skips them — pay seconds of setup. The first
+/// (warmup) call absorbs the generation; timed repetitions reuse it.
+fn lazy_runner(
+    threads: usize,
+    build: impl Fn(&mut Interner) -> (Instance, Program) + 'static,
+) -> CaseRunner {
+    let mut state: Option<(Instance, Interner, Program)> = None;
+    Box::new(move |tracer| {
+        let (input, interner, program) = state.get_or_insert_with(|| {
+            let mut interner = Interner::new();
+            let (input, program) = build(&mut interner);
+            (input, interner, program)
+        });
+        let tel = Telemetry::enabled().with_tracer(tracer.clone());
+        let options = EvalOptions::default()
+            .with_telemetry(tel.clone())
+            .with_threads(threads);
+        seminaive::minimum_model(program, input, options)
+            .map(drop)
+            .map_err(|e| e.to_string())?;
+        let profile = tracer
+            .is_enabled()
+            .then(|| hottest_rules(&tracer.finish(), interner, PROFILE_TOP_N));
+        let (gauges, threads) = harvest(&tel, interner.len(), input.fact_count())?;
+        Ok((gauges, threads, profile))
+    })
+}
+
 /// The full case registry at the given fidelity. `threads` is the
 /// worker count every options-driven case is asked to run with; when it
 /// is 1 (the default), a dedicated `chain/seminaive@4` thread-scaling
@@ -247,6 +284,7 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
                         engine,
                         threads: 1,
                         n,
+                        edb_facts: facts as u64,
                         runner: Box::new(move |tracer| {
                             let tel = Telemetry::enabled().with_tracer(tracer.clone());
                             unchained_while::run_traced(
@@ -301,6 +339,7 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
                         engine,
                         threads,
                         n,
+                        edb_facts: input.fact_count() as u64,
                         runner: options_runner(input, interner, threads, move |inp, o| run(inp, o)),
                     }
                 }
@@ -322,6 +361,7 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
             engine: "seminaive",
             threads: 4,
             n: n as u64,
+            edb_facts: input.fact_count() as u64,
             runner: options_runner(input, interner, 4, move |inp, o| {
                 seminaive::minimum_model(&program, inp, o)
                     .map(drop)
@@ -341,6 +381,7 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
             engine: "wellfounded",
             threads,
             n: sizes.win as u64,
+            edb_facts: input.fact_count() as u64,
             runner: options_runner(input, interner, threads, move |inp, o| {
                 wellfounded::eval(&program, inp, o)
                     .map(drop)
@@ -373,6 +414,7 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
             engine,
             threads,
             n: sizes.ctc as u64,
+            edb_facts: input.fact_count() as u64,
             runner: options_runner(input, interner, threads, move |inp, o| run(inp, o)),
         });
     }
@@ -408,6 +450,7 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
                 engine: "seminaive",
                 threads,
                 n,
+                edb_facts: input.fact_count() as u64,
                 runner: options_runner(input, interner, threads, move |inp, o| {
                     seminaive::minimum_model(&program, inp, o)
                         .map(drop)
@@ -427,6 +470,7 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
                 engine: "magic",
                 threads,
                 n,
+                edb_facts: facts as u64,
                 runner: Box::new(move |tracer| {
                     let tel = Telemetry::enabled().with_tracer(tracer.clone());
                     let options = EvalOptions::default()
@@ -462,6 +506,7 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
             engine: "invention",
             threads,
             n: budget as u64,
+            edb_facts: 1,
             runner: options_runner(
                 input,
                 interner,
@@ -489,6 +534,8 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
             engine: "incremental",
             threads,
             n: n as u64,
+            // The runner builds its line-graph EDB itself: n−1 edges.
+            edb_facts: (n - 1) as u64,
             runner: Box::new(move |tracer| {
                 let mut interner = Interner::new();
                 let input = generators::line_graph(&mut interner, "G", n);
@@ -524,6 +571,74 @@ pub fn cases(quick: bool, threads: usize) -> Vec<Case> {
                 Ok((gauges, threads, profile))
             }),
         });
+    }
+
+    // scale — the columnar-layout / morsel-scheduler workloads: EDBs
+    // of 10^4 (quick) to 10^6 (full) facts, one to two orders past
+    // the graph cases above. `scale_reach` is single-source
+    // reachability over a random out-degree-4 digraph (output and
+    // work both linear in the edge count); `scale_pointsto` is a
+    // field-insensitive Andersen points-to analysis (four rules, five
+    // relations, three-way joins through the `PT` IDB). The default
+    // registry carries thread-scaling rows at 1/2/4/8 over identical
+    // inputs, so BENCH.json always records `speedup_vs_seq` against a
+    // sequential twin; an explicit `--threads N` run keeps one row.
+    // Inputs are built lazily on first run (see [`lazy_runner`]), so
+    // listing or filtering the registry never generates them.
+    {
+        let thread_rows: Vec<usize> = if threads == 1 {
+            vec![1, 2, 4, 8]
+        } else {
+            vec![threads]
+        };
+        let reach_n: i64 = if quick { 2_500 } else { 260_000 };
+        const REACH_DEG: i64 = 4;
+        const REACH_SOURCES: usize = 16;
+        for &t in &thread_rows {
+            out.push(Case {
+                workload: "scale_reach",
+                engine: "seminaive",
+                threads: t,
+                n: reach_n as u64,
+                // Both generators produce exact counts by construction.
+                edb_facts: (reach_n * REACH_DEG) as u64 + REACH_SOURCES as u64,
+                runner: lazy_runner(t, move |i| {
+                    let input = generators::merge(
+                        generators::random_out_digraph(i, "G", reach_n, REACH_DEG, 0x5CA1E),
+                        &generators::random_unary(i, "S", reach_n, REACH_SOURCES, 0x0DD5),
+                    );
+                    let program = parse_program(programs::REACH, i).expect("REACH parses");
+                    (input, program)
+                }),
+            });
+        }
+        // Subcritical statement mix (assigns = vars/4, loads = stores
+        // = vars/16), so the points-to closure stays within a small
+        // constant of the EDB — see the generator's doc; denser mixes
+        // cross the percolation threshold and the closure goes
+        // superlinear. EDB = vars·(1 + 1/4 + 1/16 + 1/16) = 11·vars/8.
+        let pt_vars: i64 = if quick { 8_000 } else { 320_000 };
+        for &t in &thread_rows {
+            out.push(Case {
+                workload: "scale_pointsto",
+                engine: "seminaive",
+                threads: t,
+                n: pt_vars as u64,
+                edb_facts: (11 * pt_vars / 8) as u64,
+                runner: lazy_runner(t, move |i| {
+                    let input = generators::random_pointsto(
+                        i,
+                        pt_vars,
+                        pt_vars / 4,
+                        pt_vars / 16,
+                        pt_vars / 16,
+                        0xA11C,
+                    );
+                    let program = parse_program(programs::POINTSTO, i).expect("POINTSTO parses");
+                    (input, program)
+                }),
+            });
+        }
     }
 
     out
@@ -786,6 +901,7 @@ pub fn run_benchmarks(args: &BenchArgs) -> Result<BenchReport, String> {
             engine: case.engine.to_string(),
             threads,
             n: case.n,
+            edb_facts: case.edb_facts,
             reps: rep.reps as u64,
             wall: WallStats::from_samples(&samples),
             gauges,
@@ -976,7 +1092,17 @@ mod tests {
         assert!(workloads.len() >= 6, "{workloads:?}");
         assert!(engines.len() >= 5, "{engines:?}");
         for w in [
-            "chain", "cycle", "grid", "random", "win", "ctc", "magic", "invent", "ivm",
+            "chain",
+            "cycle",
+            "grid",
+            "random",
+            "win",
+            "ctc",
+            "magic",
+            "invent",
+            "ivm",
+            "scale_reach",
+            "scale_pointsto",
         ] {
             assert!(workloads.contains(w), "missing workload {w}");
         }
@@ -1002,9 +1128,20 @@ mod tests {
             cases.iter().any(|c| c.label() == "chain/seminaive@4"),
             "missing thread-scaling row"
         );
-        // …which is dropped when the whole run is already parallel.
+        // …as are the scale workloads' 1/2/4/8 thread-scaling rows.
+        for w in ["scale_reach", "scale_pointsto"] {
+            let rows: Vec<usize> = cases
+                .iter()
+                .filter(|c| c.workload == w)
+                .map(|c| c.threads)
+                .collect();
+            assert_eq!(rows, vec![1, 2, 4, 8], "{w}");
+        }
+        // …all of which are dropped when the whole run is already
+        // parallel (the chain@4 row, plus three extra rows per scale
+        // workload).
         let par = super::cases(true, 4);
-        assert_eq!(par.len(), cases.len() - 1);
+        assert_eq!(par.len(), cases.len() - 7);
         assert!(par.iter().all(|c| c.threads == 4 || c.engine == "while"));
     }
 
@@ -1252,6 +1389,72 @@ mod tests {
             ..Default::default()
         };
         assert!(profile_benchmarks(&args).is_err());
+    }
+
+    #[test]
+    fn scale_rows_share_work_and_record_edb_facts() {
+        let report = run_benchmarks(&BenchArgs {
+            filter: Some("scale_reach".into()),
+            quick: true,
+            reps: Some(1),
+            warmup: Some(0),
+            ..Default::default()
+        })
+        .unwrap();
+        // The default registry carries the full thread-scaling ladder.
+        let threads: Vec<u64> = report.entries.iter().map(|e| e.threads).collect();
+        assert_eq!(threads, vec![1, 2, 4, 8]);
+        let seq = &report.entries[0];
+        // Quick fidelity: 2 500 nodes × out-degree 4, plus 16 sources.
+        assert_eq!(seq.edb_facts, 10_016);
+        for e in &report.entries {
+            // Work gauges are schedule-invariant: every thread row
+            // derives the same facts through the same stages.
+            assert_eq!(e.edb_facts, seq.edb_facts);
+            assert_eq!(e.gauges.stages, seq.gauges.stages);
+            assert_eq!(e.gauges.facts_derived, seq.gauges.facts_derived);
+            assert_eq!(e.gauges.rules_fired, seq.gauges.rules_fired);
+        }
+        // Reachability never exceeds the node count — the workload is
+        // EDB-bound, not closure-bound.
+        assert!(seq.gauges.facts_derived <= 2 * seq.n);
+        // v7 JSON carries the EDB size and the speedup rate, and the
+        // sequential twin is the speedup denominator.
+        let json = report.to_json();
+        assert!(json.contains("\"edb_facts\":10016"), "{json}");
+        assert!(json.contains("\"speedup_vs_seq\":1.00"), "{json}");
+        assert_eq!(report.speedup_vs_seq(seq), 1.0);
+        let round = BenchReport::from_json(&json).unwrap();
+        assert_eq!(round, report);
+    }
+
+    #[test]
+    fn scale_pointsto_closure_stays_linear() {
+        let report = run_benchmarks(&BenchArgs {
+            filter: Some("scale_pointsto".into()),
+            quick: true,
+            reps: Some(1),
+            warmup: Some(0),
+            threads: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        // An explicit --threads run keeps a single row per workload.
+        assert_eq!(report.entries.len(), 1);
+        let e = &report.entries[0];
+        // Quick fidelity: 8 000 vars × 11/8.
+        assert_eq!(e.edb_facts, 11_000);
+        assert_eq!(e.threads, 2);
+        assert!(e.gauges.facts_derived > 0);
+        // The subcritical assign graph keeps the points-to closure
+        // within a small constant of the EDB (the scale knob is input
+        // size, not output blowup).
+        assert!(
+            e.gauges.facts_derived < 8 * e.edb_facts,
+            "{} facts from {} EDB",
+            e.gauges.facts_derived,
+            e.edb_facts
+        );
     }
 
     #[test]

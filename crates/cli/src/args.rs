@@ -103,6 +103,8 @@ pub enum Command {
         /// Worker threads for the semi-naive hot path (None = engine
         /// default, which honors `UNCHAINED_THREADS`).
         threads: Option<usize>,
+        /// Driver rows per parallel morsel (None = engine default).
+        morsel_size: Option<usize>,
         /// Write a Chrome-trace-event profile (Perfetto-loadable) of
         /// the run's span tree to this path.
         profile: Option<String>,
@@ -242,6 +244,10 @@ OPTIONS:
   --threads <N>                worker threads for semi-naive rounds
                                (default 1, or the UNCHAINED_THREADS env var;
                                output is identical for every thread count)
+  --morsel-size <N>            driver rows per parallel work morsel
+                               (default 2048; output is identical for
+                               every value — the knob trades scheduling
+                               overhead against load balance)
   --profile <PATH>             write a Chrome-trace-event profile of the run
                                (open in Perfetto / chrome://tracing; one
                                timeline lane per worker with --threads)
@@ -414,6 +420,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             let mut memstats = false;
             let mut trace_json = None;
             let mut threads = None;
+            let mut morsel_size = None;
             let mut profile = None;
             let mut metrics = None;
             while let Some(arg) = it.next() {
@@ -463,6 +470,14 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                         }
                         threads = Some(n);
                     }
+                    "--morsel-size" => {
+                        let v = it.next().ok_or("--morsel-size needs a value")?;
+                        let n: usize = v.parse().map_err(|_| format!("bad --morsel-size `{v}`"))?;
+                        if n == 0 {
+                            return Err("--morsel-size must be at least 1".to_string());
+                        }
+                        morsel_size = Some(n);
+                    }
                     other if other.starts_with('-') => {
                         return Err(format!("unknown option `{other}`"));
                     }
@@ -490,6 +505,7 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
                     memstats,
                     trace_json,
                     threads,
+                    morsel_size,
                     profile,
                     metrics,
                 },
@@ -592,6 +608,23 @@ mod tests {
         assert!(parse_args(&argv("eval -s seminaive p.dl --threads 0")).is_err());
         assert!(parse_args(&argv("eval -s seminaive p.dl --threads nope")).is_err());
         assert!(parse_args(&argv("eval -s seminaive p.dl --threads")).is_err());
+    }
+
+    #[test]
+    fn parse_morsel_size_flag() {
+        let args = parse_args(&argv("eval -s seminaive p.dl --morsel-size 128")).unwrap();
+        let Command::Eval { morsel_size, .. } = args.command else {
+            panic!("expected eval");
+        };
+        assert_eq!(morsel_size, Some(128));
+        let args = parse_args(&argv("eval -s seminaive p.dl")).unwrap();
+        let Command::Eval { morsel_size, .. } = args.command else {
+            panic!("expected eval");
+        };
+        assert_eq!(morsel_size, None);
+        assert!(parse_args(&argv("eval -s seminaive p.dl --morsel-size 0")).is_err());
+        assert!(parse_args(&argv("eval -s seminaive p.dl --morsel-size nope")).is_err());
+        assert!(parse_args(&argv("eval -s seminaive p.dl --morsel-size")).is_err());
     }
 
     #[test]

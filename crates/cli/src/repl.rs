@@ -28,6 +28,7 @@ pub struct Repl {
     max_stages: Option<usize>,
     seed: u64,
     threads: Option<usize>,
+    morsel_size: Option<usize>,
     /// The live incremental session behind `.insert`/`.retract`/`.poll`.
     /// Created lazily from the current program and database; dropped
     /// whenever either changes (the session would be maintaining a
@@ -54,6 +55,7 @@ Enter Datalog statements (terminated by `.`) or commands:
   .seed <n>                   RNG seed for nondeterministic runs
   .max-stages <n>             stage budget
   .threads <n>                worker threads for semi-naive rounds
+  .morsel-size <n>            driver rows per parallel work morsel
   .explain <fact>.            derivation tree of a fact (Datalog only)
   .why <fact>.                alias of .explain
   .insert <fact>.             queue an edb insertion on the live
@@ -104,6 +106,7 @@ impl Repl {
             max_stages: None,
             seed: 0,
             threads: None,
+            morsel_size: None,
             session: None,
         }
     }
@@ -160,6 +163,13 @@ impl Repl {
                     format!("threads: {n}\n")
                 }
                 _ => format!("bad thread count `{arg}`\n"),
+            },
+            "morsel-size" => match arg.parse::<usize>() {
+                Ok(n) if n >= 1 => {
+                    self.morsel_size = Some(n);
+                    format!("morsel size: {n}\n")
+                }
+                _ => format!("bad morsel size `{arg}`\n"),
             },
             "explain" | "why" => self.explain(arg),
             "insert" => self.ivm_edit(arg, true),
@@ -464,6 +474,7 @@ impl Repl {
             memstats,
             trace_json: None,
             threads: self.threads,
+            morsel_size: self.morsel_size,
             // The path is a placeholder: the REPL prints the profiling
             // table inline and discards the Chrome JSON payload.
             profile: profile.then(|| "(repl)".to_string()),
@@ -490,6 +501,9 @@ impl Repl {
         }
         if let Some(n) = self.threads {
             o = o.with_threads(n);
+        }
+        if let Some(n) = self.morsel_size {
+            o = o.with_morsel_size(n);
         }
         o
     }

@@ -92,6 +92,7 @@ pub fn execute_full(
             memstats,
             trace_json,
             threads,
+            morsel_size,
             profile,
             metrics,
             ..
@@ -133,6 +134,9 @@ pub fn execute_full(
                 }
                 if let Some(n) = threads {
                     options = options.with_threads(*n);
+                }
+                if let Some(n) = morsel_size {
+                    options = options.with_morsel_size(*n);
                 }
                 evaluate(
                     *semantics,

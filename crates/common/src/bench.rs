@@ -40,7 +40,15 @@ use crate::telemetry::{json_escape, EvalTrace};
 /// incremental-maintenance workloads, and relaxed the reader to accept
 /// v4/v5 baselines (sub-objects introduced later parse as zeroes) so an
 /// old committed baseline still compares instead of failing outright.
-pub const BENCH_SCHEMA_VERSION: u64 = 6;
+/// v7 added the per-entry `edb_facts` field (input EDB size, so
+/// throughput rows are self-describing) and the derived
+/// `speedup_vs_seq` rate on thread-scaling rows; it also stopped gating
+/// the index-maintenance gauges (`index_appends`/`index_rebuilds`) on
+/// entries with `threads > 1` — under the morsel-driven scheduler the
+/// per-worker cache contents depend on which worker pulled which
+/// morsel, so those two gauges are schedule-dependent there (the
+/// fact/stage/byte gauges remain exact at every thread count).
+pub const BENCH_SCHEMA_VERSION: u64 = 7;
 
 /// Oldest `BENCH.json` schema the reader still accepts. Versions below
 /// this renamed or re-shaped existing fields; v4 onward only *added*
@@ -62,6 +70,19 @@ pub const DEFAULT_REGRESSION_THRESHOLD: f64 = 2.0;
 /// wall time this gate is machine-independent and needs no noise floor
 /// beyond requiring a non-zero baseline.
 pub const BYTES_REGRESSION_FACTOR: f64 = 2.0;
+
+/// Cross-engine bound, checked within the *new* report: on workloads
+/// both engines measure, the `while` interpreter may be at most this
+/// factor slower than the semi-naive engine at the same size and
+/// thread count. The while engine re-evaluates its whole comprehension
+/// every loop iteration (no delta reasoning), so a gap of one order of
+/// magnitude is expected — but its assignments evaluate through the
+/// same index-nested-loop joins as the Datalog engines, so a gap of
+/// three orders (as with the old `O(|domain|^k)` enumeration, which
+/// ran chain TC at n=64 ~1600× slower than semi-naive) is a
+/// regression. Ratios between same-machine, same-run rows are
+/// machine-independent enough to gate.
+pub const WHILE_GAP_FACTOR: f64 = 100.0;
 
 /// Warmup/repetition counts for one benchmark case.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -228,6 +249,9 @@ pub struct BenchEntry {
     pub threads: u64,
     /// Workload size parameter (nodes, states, stages — per workload).
     pub n: u64,
+    /// Input EDB facts the case was fed (0 when the workload predates
+    /// the field or generates no input relation).
+    pub edb_facts: u64,
     /// Timed repetitions behind `wall`.
     pub reps: u64,
     /// Wall-time order statistics.
@@ -264,6 +288,28 @@ impl BenchEntry {
     }
 }
 
+impl BenchReport {
+    /// Derived speedup of `e` over the sequential entry for the same
+    /// workload, engine, and size in this report: `seq_median /
+    /// e.median`. Returns 1.0 for sequential entries and 0.0 when no
+    /// sequential twin exists or a median is zero. Emitted into
+    /// `BENCH.json` for thread-scaling rows but never parsed back.
+    pub fn speedup_vs_seq(&self, e: &BenchEntry) -> f64 {
+        if e.threads <= 1 {
+            return 1.0;
+        }
+        let Some(seq) = self.entries.iter().find(|b| {
+            b.threads == 1 && b.workload == e.workload && b.engine == e.engine && b.n == e.n
+        }) else {
+            return 0.0;
+        };
+        if e.wall.median == 0 || seq.wall.median == 0 {
+            return 0.0;
+        }
+        seq.wall.median as f64 / e.wall.median as f64
+    }
+}
+
 /// A full harness run: schema version plus one entry per case.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BenchReport {
@@ -281,11 +327,13 @@ impl BenchReport {
         for (i, e) in self.entries.iter().enumerate() {
             let _ = write!(
                 out,
-                "{{\"workload\":\"{}\",\"engine\":\"{}\",\"threads\":{},\"n\":{},\"reps\":{}",
+                "{{\"workload\":\"{}\",\"engine\":\"{}\",\"threads\":{},\"n\":{},\
+                 \"edb_facts\":{},\"reps\":{}",
                 json_escape(&e.workload),
                 json_escape(&e.engine),
                 e.threads,
                 e.n,
+                e.edb_facts,
                 e.reps
             );
             let _ = write!(
@@ -326,11 +374,12 @@ impl BenchReport {
             let _ = write!(
                 out,
                 ",\"interner_symbols\":{},\"bytes_peak\":{},\"bytes_final\":{},\
-                 \"tuples_per_sec\":{}}}",
+                 \"tuples_per_sec\":{},\"speedup_vs_seq\":{:.2}}}",
                 g.interner_symbols,
                 g.bytes_peak,
                 g.bytes_final,
-                e.tuples_per_sec()
+                e.tuples_per_sec(),
+                self.speedup_vs_seq(e)
             );
             out.push_str(if i + 1 < self.entries.len() {
                 ",\n"
@@ -397,6 +446,8 @@ impl BenchReport {
                     .to_string(),
                 threads: field(e, "threads")?,
                 n: field(e, "n")?,
+                // Added in v7; absent in older baselines.
+                edb_facts: e.get("edb_facts").and_then(Json::as_u64).unwrap_or(0),
                 reps: field(e, "reps")?,
                 wall: WallStats {
                     min: field(wall, "min")?,
@@ -502,6 +553,24 @@ pub struct EntryDelta {
     pub bytes_regressed: bool,
 }
 
+/// One cross-engine data point from the new report: the `while` row
+/// against the semi-naive row of the same workload, size, and thread
+/// count (see [`WHILE_GAP_FACTOR`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct EngineGap {
+    /// The while entry's key.
+    pub key: String,
+    /// Median wall nanoseconds of the while row.
+    pub while_median: u64,
+    /// Median wall nanoseconds of the matching semi-naive row.
+    pub seminaive_median: u64,
+    /// `while_median / seminaive_median`.
+    pub ratio: f64,
+    /// Whether the gap exceeds [`WHILE_GAP_FACTOR`] (beyond the
+    /// absolute noise floor).
+    pub regressed: bool,
+}
+
 /// The outcome of comparing a run against a baseline `BENCH.json`.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Comparison {
@@ -512,17 +581,20 @@ pub struct Comparison {
     pub missing: Vec<String>,
     /// Keys present only in the new report.
     pub added: Vec<String>,
+    /// Cross-engine while-vs-seminaive gaps found in the new report.
+    pub engine_gaps: Vec<EngineGap>,
     /// The threshold the comparison ran with.
     pub threshold: f64,
 }
 
 impl Comparison {
     /// True when any matched entry regressed (time, work drift, or
-    /// byte growth).
+    /// byte growth) or a cross-engine gap blew past its bound.
     pub fn has_regression(&self) -> bool {
         self.deltas
             .iter()
             .any(|d| d.time_regressed || d.work_drifted || d.bytes_regressed)
+            || self.engine_gaps.iter().any(|g| g.regressed)
     }
 
     /// Renders the per-entry delta table plus a verdict line.
@@ -560,11 +632,24 @@ impl Comparison {
         for k in &self.added {
             let _ = writeln!(out, "  {k:<28} only in this run");
         }
+        for g in &self.engine_gaps {
+            let verdict = if g.regressed { "  WHILE GAP" } else { "" };
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>10} vs {:>10} seminaive  (x{:.1}, bound x{:.0}){verdict}",
+                g.key,
+                fmt_nanos(g.while_median),
+                fmt_nanos(g.seminaive_median),
+                g.ratio,
+                WHILE_GAP_FACTOR
+            );
+        }
         let regressions = self
             .deltas
             .iter()
             .filter(|d| d.time_regressed || d.work_drifted || d.bytes_regressed)
-            .count();
+            .count()
+            + self.engine_gaps.iter().filter(|g| g.regressed).count();
         let _ = writeln!(
             out,
             "{} compared, {} regression(s), {} missing, {} added",
@@ -602,10 +687,16 @@ pub fn compare_reports(new: &BenchReport, base: &BenchReport, threshold: f64) ->
                     new_median: e.wall.median,
                     ratio,
                     time_regressed: ratio > threshold && delta > REGRESSION_MIN_DELTA_NANOS,
+                    // The fact and stage gauges are deterministic at
+                    // every thread count. The index-maintenance gauges
+                    // are only deterministic sequentially: under the
+                    // morsel scheduler, which worker cache builds or
+                    // absorbs an index depends on the schedule.
                     work_drifted: e.gauges.facts_derived != b.gauges.facts_derived
                         || e.gauges.stages != b.gauges.stages
-                        || e.gauges.index_rebuilds != b.gauges.index_rebuilds
-                        || e.gauges.index_appends != b.gauges.index_appends,
+                        || (e.threads <= 1
+                            && (e.gauges.index_rebuilds != b.gauges.index_rebuilds
+                                || e.gauges.index_appends != b.gauges.index_appends)),
                     bytes_regressed: b.gauges.bytes_peak > 0
                         && e.gauges.bytes_peak as f64
                             > b.gauges.bytes_peak as f64 * BYTES_REGRESSION_FACTOR,
@@ -618,6 +709,34 @@ pub fn compare_reports(new: &BenchReport, base: &BenchReport, threshold: f64) ->
         if !new.entries.iter().any(|e| e.key() == key) {
             cmp.missing.push(key);
         }
+    }
+    // Cross-engine bound on the new report alone: the while interpreter
+    // against semi-naive on every workload/size/threads both measure.
+    for e in &new.entries {
+        if e.engine != "while" {
+            continue;
+        }
+        let Some(s) = new.entries.iter().find(|s| {
+            s.engine == "seminaive"
+                && s.workload == e.workload
+                && s.n == e.n
+                && s.threads == e.threads
+        }) else {
+            continue;
+        };
+        let ratio = if s.wall.median == 0 {
+            1.0
+        } else {
+            e.wall.median as f64 / s.wall.median as f64
+        };
+        cmp.engine_gaps.push(EngineGap {
+            key: e.key(),
+            while_median: e.wall.median,
+            seminaive_median: s.wall.median,
+            ratio,
+            regressed: ratio > WHILE_GAP_FACTOR
+                && e.wall.median.saturating_sub(s.wall.median) > REGRESSION_MIN_DELTA_NANOS,
+        });
     }
     cmp
 }
@@ -898,6 +1017,7 @@ mod tests {
             engine: engine.into(),
             threads: 1,
             n,
+            edb_facts: 0,
             reps: 3,
             wall: WallStats {
                 min: median / 2,
@@ -1076,6 +1196,45 @@ mod tests {
             entries: vec![entry("chain", "naive", 16, 900)],
         };
         assert!(!compare_reports(&tiny_slow, &tiny_base, 2.0).has_regression());
+    }
+
+    /// The while interpreter is allowed to trail semi-naive (it has no
+    /// delta reasoning) but not by orders of magnitude: the gap bound
+    /// pins the join-based assignment evaluator in place.
+    #[test]
+    fn comparison_bounds_the_while_engine_gap() {
+        let fine = BenchReport {
+            entries: vec![
+                entry("chain", "seminaive", 64, 1_000_000),
+                entry("chain", "while", 64, 20_000_000), // 20x: expected
+            ],
+        };
+        let cmp = compare_reports(&fine, &fine, 2.0);
+        assert_eq!(cmp.engine_gaps.len(), 1);
+        assert!(!cmp.has_regression());
+
+        let pathological = BenchReport {
+            entries: vec![
+                entry("chain", "seminaive", 64, 1_000_000),
+                // The old O(|domain|^k) enumeration gap (~1600x).
+                entry("chain", "while", 64, 1_600_000_000),
+            ],
+        };
+        let cmp = compare_reports(&pathological, &pathological, 2.0);
+        assert!(cmp.has_regression());
+        assert!(cmp.engine_gaps[0].regressed);
+        assert!(cmp.render().contains("WHILE GAP"), "{}", cmp.render());
+
+        // Rows only pair at the same workload and size.
+        let unmatched = BenchReport {
+            entries: vec![
+                entry("chain", "seminaive", 16, 1_000),
+                entry("chain", "while", 64, 1_600_000_000),
+            ],
+        };
+        let cmp = compare_reports(&unmatched, &unmatched, 2.0);
+        assert!(cmp.engine_gaps.is_empty());
+        assert!(!cmp.has_regression());
     }
 
     #[test]

@@ -1,0 +1,197 @@
+//! Columnar tuple storage: flat, arity-strided value buffers.
+//!
+//! A frozen relation segment used to be a `Vec<Tuple>` — one heap
+//! allocation (a `Box<[Value]>`) per tuple, pointer-chased on every
+//! scan. [`ColumnSegment`] packs the same rows into a single contiguous
+//! `Vec<Value>` in row-major order with a fixed stride (the arity):
+//! row `i` occupies `values[i*arity .. (i+1)*arity]`. Scans walk one
+//! allocation linearly, rows are handed out as borrowed `&[Value]`
+//! slices, and freezing a tail drops the per-tuple boxes entirely.
+//!
+//! The logical space model (see [`crate::space`]) is unchanged: a
+//! stored row still costs [`tuple_bytes`](crate::space::tuple_bytes)
+//! of *logical* bytes regardless of the physical layout, so byte
+//! gauges stay comparable across this representation change.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// An immutable, row-major packed run of same-arity rows.
+///
+/// Arity 0 is explicitly supported (propositional relations): the value
+/// buffer stays empty and the row count alone carries the cardinality,
+/// with every row read back as the empty slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnSegment {
+    arity: usize,
+    rows: usize,
+    values: Vec<Value>,
+}
+
+impl ColumnSegment {
+    /// Packs `tuples` into a segment. The tuples' order is preserved.
+    ///
+    /// # Panics
+    /// Panics if a tuple's arity does not match.
+    pub fn from_tuples<'a>(arity: usize, tuples: impl IntoIterator<Item = &'a Tuple>) -> Self {
+        let mut seg = ColumnSegment {
+            arity,
+            rows: 0,
+            values: Vec::new(),
+        };
+        for t in tuples {
+            assert_eq!(t.arity(), arity, "arity mismatch packing a segment");
+            seg.values.extend_from_slice(t.values());
+            seg.rows += 1;
+        }
+        seg.values.shrink_to_fit();
+        seg
+    }
+
+    /// The row stride.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True if the segment holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row `i` as a borrowed slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn row(&self, i: usize) -> &[Value] {
+        assert!(i < self.rows, "row {i} out of {}", self.rows);
+        &self.values[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// Iterates all rows in storage order.
+    pub fn rows(&self) -> Rows<'_> {
+        self.rows_range(0, self.rows)
+    }
+
+    /// Iterates rows `lo..hi` in storage order.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or `hi > len()`.
+    pub fn rows_range(&self, lo: usize, hi: usize) -> Rows<'_> {
+        assert!(
+            lo <= hi && hi <= self.rows,
+            "range {lo}..{hi} out of {}",
+            self.rows
+        );
+        Rows {
+            values: &self.values[lo * self.arity..hi * self.arity],
+            arity: self.arity,
+            remaining: hi - lo,
+        }
+    }
+}
+
+/// Iterator over the rows of a [`ColumnSegment`] (or any packed
+/// row-major value buffer), yielding `&[Value]` slices of the stride.
+#[derive(Clone, Debug)]
+pub struct Rows<'a> {
+    values: &'a [Value],
+    arity: usize,
+    remaining: usize,
+}
+
+impl<'a> Rows<'a> {
+    /// An empty rows iterator of the given stride.
+    pub fn empty(arity: usize) -> Self {
+        Rows {
+            values: &[],
+            arity,
+            remaining: 0,
+        }
+    }
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [Value];
+
+    fn next(&mut self) -> Option<&'a [Value]> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.arity == 0 {
+            return Some(&[]);
+        }
+        let (row, rest) = self.values.split_at(self.arity);
+        self.values = rest;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(a: i64, b: i64) -> Tuple {
+        Tuple::from([Value::Int(a), Value::Int(b)])
+    }
+
+    #[test]
+    fn packs_rows_in_order() {
+        let tuples = vec![t2(3, 4), t2(1, 2), t2(5, 6)];
+        let seg = ColumnSegment::from_tuples(2, &tuples);
+        assert_eq!(seg.len(), 3);
+        assert_eq!(seg.arity(), 2);
+        assert_eq!(seg.row(1), &[Value::Int(1), Value::Int(2)]);
+        let back: Vec<Tuple> = seg.rows().map(Tuple::new).collect();
+        assert_eq!(back, tuples);
+    }
+
+    #[test]
+    fn range_iteration_matches_skip_take() {
+        let tuples: Vec<Tuple> = (0..10).map(|k| t2(k, k + 1)).collect();
+        let seg = ColumnSegment::from_tuples(2, &tuples);
+        for (lo, hi) in [(0, 0), (0, 10), (3, 7), (9, 10)] {
+            let ranged: Vec<&[Value]> = seg.rows_range(lo, hi).collect();
+            let skipped: Vec<&[Value]> = seg.rows().skip(lo).take(hi - lo).collect();
+            assert_eq!(ranged, skipped, "{lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn arity_zero_counts_rows_without_values() {
+        let tuples = vec![Tuple::from([]), Tuple::from([])];
+        let seg = ColumnSegment::from_tuples(0, &tuples);
+        assert_eq!(seg.len(), 2);
+        assert_eq!(seg.rows().count(), 2);
+        assert_eq!(seg.row(0), &[] as &[Value]);
+        assert_eq!(seg.rows_range(1, 2).count(), 1);
+    }
+
+    #[test]
+    fn exact_size_is_reported() {
+        let tuples: Vec<Tuple> = (0..5).map(|k| t2(k, k)).collect();
+        let seg = ColumnSegment::from_tuples(2, &tuples);
+        let mut it = seg.rows();
+        assert_eq!(it.len(), 5);
+        it.next();
+        assert_eq!(it.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_is_checked() {
+        let t = Tuple::from([Value::Int(1)]);
+        let _ = ColumnSegment::from_tuples(2, [&t]);
+    }
+}

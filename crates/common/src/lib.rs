@@ -20,6 +20,7 @@
 //! Only finite instances are representable, matching the paper's setting.
 
 pub mod bench;
+pub mod columnar;
 pub mod error;
 pub mod hash;
 pub mod instance;
@@ -40,6 +41,7 @@ pub use bench::{
     Comparison, Gauges, HistoryComparison, HistoryPoint, HistoryRun, Repetitions, WallStats,
     BENCH_SCHEMA_VERSION,
 };
+pub use columnar::{ColumnSegment, Rows};
 pub use error::CommonError;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use instance::{DeltaHandle, Instance};

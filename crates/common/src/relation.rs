@@ -9,11 +9,23 @@
 //! evaluation needs for its per-round deltas, and what [`Index::absorb_from`]
 //! needs to maintain hash indexes incrementally instead of rebuilding them
 //! from scratch on every version bump.
+//!
+//! Physically, frozen segments are **columnar**: each is a single
+//! arity-strided `Vec<Value>` ([`ColumnSegment`]) rather than a
+//! `Vec<Tuple>` of per-tuple boxes, so scans walk one contiguous
+//! allocation and hand out borrowed `&[Value]` rows without pointer
+//! chasing. The recent tail still holds owned [`Tuple`]s (it is built
+//! incrementally, one insert at a time); [`Relation::commit`] is the
+//! point where rows get packed. [`Index`] is open-addressing over the
+//! same packed representation: probe and absorb never allocate a
+//! per-tuple box.
 
-use crate::hash::{hash_one, FxHashMap, FxHashSet};
+use crate::columnar::ColumnSegment;
+use crate::hash::{hash_one, FxHashSet, FxHasher};
 use crate::space::{tuple_bytes, HeapSize, SpaceNode, TUPLE_HEADER_BYTES, VALUE_BYTES};
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::hash::Hasher;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -107,8 +119,8 @@ pub struct Relation {
     arity: usize,
     /// Membership set over segments ∪ recent (each tuple stored once there).
     set: FxHashSet<Tuple>,
-    /// Frozen, internally sorted runs; shared by clones via `Arc`.
-    segments: Vec<Arc<Vec<Tuple>>>,
+    /// Frozen, internally sorted columnar runs; shared by clones via `Arc`.
+    segments: Vec<Arc<ColumnSegment>>,
     /// Uncommitted tail in insertion order, already deduplicated.
     recent: Vec<Tuple>,
     /// Tombstone log: tuples retracted from this lineage, in retraction
@@ -267,6 +279,11 @@ impl Relation {
         self.set.contains(tuple)
     }
 
+    /// Membership test for a borrowed row (no `Tuple` allocation).
+    pub fn contains_row(&self, row: &[Value]) -> bool {
+        self.set.contains(row)
+    }
+
     /// Inserts a tuple, returning `true` if it was new.
     ///
     /// # Panics
@@ -351,9 +368,9 @@ impl Relation {
     fn collapse_to_set(&mut self) {
         let mut all: Vec<Tuple> = Vec::with_capacity(self.set.len());
         for seg in &self.segments {
-            for t in seg.iter() {
-                if self.set.contains(t) {
-                    all.push(t.clone());
+            for row in seg.rows() {
+                if self.set.contains(row) {
+                    all.push(Tuple::new(row));
                 }
             }
         }
@@ -381,16 +398,19 @@ impl Relation {
         self.epoch_token = Arc::new(());
     }
 
-    /// Freezes the recent tail into a new stable segment (sorted), returning
-    /// `true` if anything was committed. Contents are unchanged, so the
-    /// version does not move — only the generation shape does.
+    /// Freezes the recent tail into a new stable segment (sorted and
+    /// packed columnar), returning `true` if anything was committed.
+    /// Contents are unchanged, so the version does not move — only the
+    /// generation shape does. This is the point where per-tuple boxes
+    /// from the tail are flattened into one contiguous value buffer.
     pub fn commit(&mut self) -> bool {
         if self.recent.is_empty() {
             return false;
         }
         let mut seg = std::mem::take(&mut self.recent);
         seg.sort_unstable();
-        self.segments.push(Arc::new(seg));
+        self.segments
+            .push(Arc::new(ColumnSegment::from_tuples(self.arity, &seg)));
         true
     }
 
@@ -401,14 +421,33 @@ impl Relation {
 
     /// Iterates in storage order: frozen segments first (each internally
     /// sorted), then the recent tail in insertion order. Every live tuple
-    /// appears exactly once; tombstoned tuples are skipped.
-    pub fn iter_stored(&self) -> impl Iterator<Item = &Tuple> + Clone {
+    /// appears exactly once as a borrowed row; tombstoned tuples are
+    /// skipped.
+    pub fn iter_stored(&self) -> impl Iterator<Item = &[Value]> + Clone {
         let all_live = self.retracted.is_empty();
         self.segments
             .iter()
-            .flat_map(|s| s.iter())
-            .chain(self.recent.iter())
-            .filter(move |t| all_live || self.set.contains(*t))
+            .flat_map(|s| s.rows())
+            .chain(self.recent.iter().map(|t| t.values()))
+            .filter(move |row| all_live || self.set.contains(*row))
+    }
+
+    /// Rows `lo..hi` of [`Relation::iter_stored`]'s enumeration.
+    ///
+    /// Tombstone-free relations (the hot path) navigate straight to the
+    /// right segment offsets instead of skipping row by row, which is
+    /// what lets morsel-driven workers jump to their assigned range in
+    /// O(#segments) rather than O(lo).
+    pub fn iter_stored_range(
+        &self,
+        lo: usize,
+        hi: usize,
+    ) -> Box<dyn Iterator<Item = &[Value]> + '_> {
+        if self.retracted.is_empty() {
+            Box::new(rows_in_range(&self.segments, &self.recent, lo, hi))
+        } else {
+            Box::new(self.iter_stored().skip(lo).take(hi.saturating_sub(lo)))
+        }
     }
 
     /// The tuples added since `gen` was captured from this relation.
@@ -424,14 +463,38 @@ impl Relation {
     /// Tombstoned tuples are never yielded: a tuple appended after the
     /// mark and retracted again before the call is not part of the live
     /// delta.
-    pub fn iter_since(&self, gen: Generation) -> impl Iterator<Item = &Tuple> {
+    pub fn iter_since(&self, gen: Generation) -> impl Iterator<Item = &[Value]> {
         let (seg_from, rec_from) = self.delta_bounds(gen).unwrap_or((0, 0));
         let all_live = self.retracted.is_empty();
         self.segments[seg_from..]
             .iter()
-            .flat_map(|s| s.iter())
-            .chain(self.recent[rec_from..].iter())
-            .filter(move |t| all_live || self.set.contains(*t))
+            .flat_map(|s| s.rows())
+            .chain(self.recent[rec_from..].iter().map(|t| t.values()))
+            .filter(move |row| all_live || self.set.contains(*row))
+    }
+
+    /// Rows `lo..hi` of [`Relation::iter_since`]'s enumeration for `gen`
+    /// (including its conservative whole-relation fallback). Offsets are
+    /// relative to the delta, not to full storage; the ranges of a
+    /// partition of `0..delta_len(gen)` enumerate the delta exactly, in
+    /// order — the contract morsel-driven delta scans rely on.
+    pub fn iter_since_range(
+        &self,
+        gen: Generation,
+        lo: usize,
+        hi: usize,
+    ) -> Box<dyn Iterator<Item = &[Value]> + '_> {
+        if self.retracted.is_empty() {
+            let (seg_from, rec_from) = self.delta_bounds(gen).unwrap_or((0, 0));
+            Box::new(rows_in_range(
+                &self.segments[seg_from..],
+                &self.recent[rec_from..],
+                lo,
+                hi,
+            ))
+        } else {
+            Box::new(self.iter_since(gen).skip(lo).take(hi.saturating_sub(lo)))
+        }
     }
 
     /// The tombstones appended since `gen` was captured from this
@@ -471,7 +534,7 @@ impl Relation {
 
     /// Number of tuples [`Relation::iter_since`] would yield for `gen`
     /// (including the conservative whole-relation fallback). Lets parallel
-    /// workers split a delta scan into equal contiguous chunks without
+    /// workers split a delta scan into equal contiguous morsels without
     /// first materializing it.
     pub fn delta_len(&self, gen: Generation) -> usize {
         if !self.retracted.is_empty() {
@@ -487,37 +550,25 @@ impl Relation {
             + (self.recent.len() - rec_from)
     }
 
+    /// Number of rows [`Relation::iter_stored`] yields. Equals `len()`
+    /// for tombstone-free relations; with tombstones the storage walk is
+    /// filtered, but every live tuple still appears exactly once.
+    pub fn stored_len(&self) -> usize {
+        self.set.len()
+    }
+
     /// Returns the tuples in sorted order as shared owned storage.
     ///
     /// The view is cached per version: repeated calls between mutations
-    /// return the same `Arc` without re-sorting, and a fully committed
-    /// single-segment relation shares the segment's storage directly.
+    /// return the same `Arc` without re-sorting.
     pub fn sorted(&self) -> Arc<Vec<Tuple>> {
         let key = (self.epoch, self.version);
         if let Some(cached) = self.sorted_cache.get(key) {
             return cached;
         }
-        let view = if !self.retracted.is_empty() {
-            // Storage order is polluted by dead tuples; sort the live set.
-            let mut acc: Vec<Tuple> = self.set.iter().cloned().collect();
-            acc.sort_unstable();
-            Arc::new(acc)
-        } else if self.recent.is_empty() && self.segments.len() == 1 {
-            Arc::clone(&self.segments[0])
-        } else {
-            let mut acc: Vec<Tuple> = Vec::new();
-            for seg in &self.segments {
-                acc = merge_sorted(&acc, seg);
-            }
-            let mut tail: Vec<Tuple> = self.recent.clone();
-            tail.sort_unstable();
-            if acc.is_empty() {
-                acc = tail;
-            } else if !tail.is_empty() {
-                acc = merge_sorted(&acc, &tail);
-            }
-            Arc::new(acc)
-        };
+        let mut acc: Vec<Tuple> = self.set.iter().cloned().collect();
+        acc.sort_unstable();
+        let view = Arc::new(acc);
         self.sorted_cache.set(key, Arc::clone(&view));
         view
     }
@@ -590,28 +641,45 @@ impl Relation {
     }
 }
 
-/// Merges two sorted runs into a new sorted vector.
-fn merge_sorted(a: &[Tuple], b: &[Tuple]) -> Vec<Tuple> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        if a[i] <= b[j] {
-            out.push(a[i].clone());
-            i += 1;
-        } else {
-            out.push(b[j].clone());
-            j += 1;
+/// Enumerates rows `lo..hi` of the concatenation `segments ++ recent`
+/// by jumping straight to the covering segment offsets (no per-row
+/// skipping). Bounds outside the storage are clamped.
+fn rows_in_range<'a>(
+    segments: &'a [Arc<ColumnSegment>],
+    recent: &'a [Tuple],
+    lo: usize,
+    hi: usize,
+) -> impl Iterator<Item = &'a [Value]> {
+    let mut pieces: Vec<crate::columnar::Rows<'a>> = Vec::new();
+    let mut off = 0usize;
+    for seg in segments {
+        let n = seg.len();
+        let a = lo.max(off);
+        let b = hi.min(off + n);
+        if a < b {
+            pieces.push(seg.rows_range(a - off, b - off));
         }
+        off += n;
     }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    out
+    let a = lo.clamp(off, off + recent.len());
+    let b = hi.clamp(off, off + recent.len());
+    let tail: &[Tuple] = if a < b {
+        &recent[a - off..b - off]
+    } else {
+        &[]
+    };
+    pieces
+        .into_iter()
+        .flatten()
+        .chain(tail.iter().map(|t| t.values()))
 }
 
 impl HeapSize for Relation {
-    /// One stored-tuple copy per segment posting, recent-tail posting,
+    /// One stored-tuple copy per segment row, recent-tail posting,
     /// and membership-set entry. Computed from counts only (O(#segments)),
-    /// so engines can sample it after every rule application.
+    /// so engines can sample it after every rule application. The
+    /// *logical* byte model is layout-independent: a columnar row costs
+    /// the same `tuple_bytes(arity)` a boxed tuple did.
     fn heap_bytes(&self) -> usize {
         let stored = self.segments.iter().map(|s| s.len()).sum::<usize>()
             + self.recent.len()
@@ -629,6 +697,30 @@ impl PartialEq for Relation {
 
 impl Eq for Relation {}
 
+/// Sentinel for "no slot / end of chain" in the open-addressing index.
+const NONE32: u32 = u32::MAX;
+
+/// Hashes the key columns of a packed row. Must agree with
+/// [`hash_key`]: both feed the same `Value` sequence to the hasher.
+fn hash_row_key(key_columns: &[usize], row: &[Value]) -> u64 {
+    use std::hash::Hash;
+    let mut h = FxHasher::default();
+    for &c in key_columns {
+        row[c].hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Hashes an already-extracted probe key.
+fn hash_key(key: &[Value]) -> u64 {
+    use std::hash::Hash;
+    let mut h = FxHasher::default();
+    for v in key {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
 /// A hash index over a relation: tuples grouped by their values at a
 /// fixed set of key columns.
 ///
@@ -637,29 +729,74 @@ impl Eq for Relation {}
 /// whose key columns equal the probe key. When the underlying relation only
 /// grew since the index was built, [`Index::absorb_from`] appends the new
 /// postings instead of rebuilding.
+///
+/// The layout is open-addressing over packed columns, specialized for
+/// the columnar storage:
+///
+/// * `slots` is a power-of-two linear-probe table mapping key hashes to
+///   bucket ids;
+/// * bucket keys live packed in one `Vec<Value>` (stride = #key
+///   columns) with their hashes cached for cheap table growth;
+/// * postings live packed in one `Vec<Value>` (stride = arity), linked
+///   per bucket through a `next` chain that preserves append order.
+///
+/// Probing and absorbing therefore never allocate a per-tuple box: a
+/// probe hashes the borrowed key slice, walks the chain, and yields
+/// borrowed `&[Value]` rows.
 #[derive(Debug)]
 pub struct Index {
     key_columns: Vec<usize>,
-    buckets: FxHashMap<Box<[Value]>, Vec<Tuple>>,
-    tuples: usize,
-    empty: Vec<Tuple>,
+    arity: usize,
+    /// Linear-probe slot table; `NONE32` marks an empty slot.
+    slots: Vec<u32>,
+    /// Packed bucket keys, stride `key_columns.len()`.
+    keys: Vec<Value>,
+    /// Cached key hash per bucket.
+    hashes: Vec<u64>,
+    /// First posting per bucket (`NONE32` when the bucket is empty).
+    heads: Vec<u32>,
+    /// Last posting per bucket, for O(1) order-preserving append.
+    tails: Vec<u32>,
+    /// Live postings per bucket.
+    lens: Vec<u32>,
+    /// Packed posting rows, stride `arity`. Unappended rows stay in the
+    /// buffer (unlinked from their chain) — absorb workloads retract
+    /// far fewer rows than they append.
+    rows: Vec<Value>,
+    /// Per-posting chain links.
+    next: Vec<u32>,
+    /// Total postings ever appended (dead ones included).
+    row_count: usize,
+    /// Live postings across all buckets.
+    live: usize,
+    /// Buckets with at least one live posting.
+    live_buckets: usize,
 }
 
 impl Index {
-    fn empty(key_columns: &[usize]) -> Self {
+    fn empty(key_columns: &[usize], arity: usize) -> Self {
         Index {
             key_columns: key_columns.to_vec(),
-            buckets: FxHashMap::default(),
-            tuples: 0,
-            empty: Vec::new(),
+            arity,
+            slots: Vec::new(),
+            keys: Vec::new(),
+            hashes: Vec::new(),
+            heads: Vec::new(),
+            tails: Vec::new(),
+            lens: Vec::new(),
+            rows: Vec::new(),
+            next: Vec::new(),
+            row_count: 0,
+            live: 0,
+            live_buckets: 0,
         }
     }
 
     /// Builds the index. `key_columns` must be valid positions.
     pub fn build(relation: &Relation, key_columns: &[usize]) -> Self {
-        let mut idx = Index::empty(key_columns);
-        for t in relation.iter_stored() {
-            idx.append(t);
+        let mut idx = Index::empty(key_columns, relation.arity());
+        for row in relation.iter_stored() {
+            idx.append_row(row);
         }
         idx
     }
@@ -667,65 +804,186 @@ impl Index {
     /// Builds an index over only the tuples added since `gen` — the shape
     /// semi-naive evaluation uses for its per-round delta scans.
     pub fn build_delta(relation: &Relation, key_columns: &[usize], gen: Generation) -> Self {
-        let mut idx = Index::empty(key_columns);
-        for t in relation.iter_since(gen) {
-            idx.append(t);
+        let mut idx = Index::empty(key_columns, relation.arity());
+        for row in relation.iter_since(gen) {
+            idx.append_row(row);
         }
         idx
     }
 
-    /// Builds an index over worker `part`'s contiguous chunk of the delta
-    /// enumeration (chunk boundaries `⌊part·len/parts⌋ .. ⌊(part+1)·len/parts⌋`
-    /// over [`Relation::iter_since`]'s order). The chunks of all `parts`
-    /// workers partition the delta exactly, which is what makes the
-    /// parallel semi-naive round's union of per-worker matches equal the
-    /// sequential round's matches.
-    ///
-    /// # Panics
-    /// Panics if `part >= parts` or `parts == 0`.
-    pub fn build_delta_part(
-        relation: &Relation,
-        key_columns: &[usize],
-        gen: Generation,
-        part: usize,
-        parts: usize,
-    ) -> Self {
-        assert!(part < parts, "partition {part} out of {parts}");
-        let total = relation.delta_len(gen);
-        let lo = part * total / parts;
-        let hi = (part + 1) * total / parts;
-        let mut idx = Index::empty(key_columns);
-        for t in relation.iter_since(gen).skip(lo).take(hi - lo) {
-            idx.append(t);
+    /// The key slice of bucket `b`.
+    fn key_of(&self, b: usize) -> &[Value] {
+        let k = self.key_columns.len();
+        &self.keys[b * k..(b + 1) * k]
+    }
+
+    /// The packed row of posting `r`.
+    fn row_of(&self, r: u32) -> &[Value] {
+        let a = self.arity;
+        let r = r as usize;
+        &self.rows[r * a..r * a + a]
+    }
+
+    /// True iff bucket `b`'s key equals `row`'s key columns.
+    fn key_matches_row(&self, b: usize, row: &[Value]) -> bool {
+        let k = self.key_columns.len();
+        self.key_columns
+            .iter()
+            .enumerate()
+            .all(|(j, &c)| self.keys[b * k + j] == row[c])
+    }
+
+    /// Grows (or seeds) the slot table so the load factor stays ≤ 3/4.
+    /// Buckets re-place by their cached hashes — no key re-hashing.
+    fn maybe_grow(&mut self) {
+        let buckets = self.heads.len();
+        if self.slots.is_empty() {
+            self.slots = vec![NONE32; 16];
+        } else if (buckets + 1) * 4 >= self.slots.len() * 3 {
+            let new_len = self.slots.len() * 2;
+            let mask = new_len - 1;
+            let mut slots = vec![NONE32; new_len];
+            for b in 0..buckets {
+                let mut i = (self.hashes[b] as usize) & mask;
+                while slots[i] != NONE32 {
+                    i = (i + 1) & mask;
+                }
+                slots[i] = b as u32;
+            }
+            self.slots = slots;
         }
-        idx
     }
 
-    fn append(&mut self, t: &Tuple) {
-        let key: Box<[Value]> = self.key_columns.iter().map(|&c| t[c]).collect();
-        self.buckets.entry(key).or_default().push(t.clone());
-        self.tuples += 1;
-    }
-
-    /// Removes one posting for `t`, if present. Tolerant of absent
-    /// postings: a tuple inserted *and* retracted since the index's
-    /// generation was never appended in the first place.
-    fn unappend(&mut self, t: &Tuple) {
-        let key: Box<[Value]> = self.key_columns.iter().map(|&c| t[c]).collect();
-        if let Some(postings) = self.buckets.get_mut(&key) {
-            if let Some(pos) = postings.iter().position(|p| p == t) {
-                postings.swap_remove(pos);
-                self.tuples -= 1;
-                if postings.is_empty() {
-                    self.buckets.remove(&key);
+    /// Finds the bucket for an extracted probe key, if present.
+    fn find_bucket_for_key(&self, h: u64, key: &[Value]) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (h as usize) & mask;
+        loop {
+            match self.slots[i] {
+                NONE32 => return None,
+                b => {
+                    let b = b as usize;
+                    if self.hashes[b] == h && self.key_of(b) == key {
+                        return Some(b);
+                    }
                 }
             }
+            i = (i + 1) & mask;
         }
     }
 
-    /// Number of tuples indexed (postings across all buckets).
+    /// Finds the bucket whose key matches `row`'s key columns, if present.
+    fn find_bucket_for_row(&self, h: u64, row: &[Value]) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (h as usize) & mask;
+        loop {
+            match self.slots[i] {
+                NONE32 => return None,
+                b => {
+                    let b = b as usize;
+                    if self.hashes[b] == h && self.key_matches_row(b, row) {
+                        return Some(b);
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Finds or creates the bucket for `row`'s key columns.
+    fn bucket_for_row(&mut self, h: u64, row: &[Value]) -> usize {
+        self.maybe_grow();
+        let mask = self.slots.len() - 1;
+        let mut i = (h as usize) & mask;
+        loop {
+            match self.slots[i] {
+                NONE32 => break,
+                b => {
+                    let b = b as usize;
+                    if self.hashes[b] == h && self.key_matches_row(b, row) {
+                        return b;
+                    }
+                }
+            }
+            i = (i + 1) & mask;
+        }
+        let b = self.heads.len();
+        for &c in &self.key_columns {
+            self.keys.push(row[c]);
+        }
+        self.hashes.push(h);
+        self.heads.push(NONE32);
+        self.tails.push(NONE32);
+        self.lens.push(0);
+        self.slots[i] = b as u32;
+        b
+    }
+
+    /// Appends a posting for `row`, preserving append order per bucket.
+    fn append_row(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.arity);
+        let h = hash_row_key(&self.key_columns, row);
+        let b = self.bucket_for_row(h, row);
+        let r = self.row_count as u32;
+        self.rows.extend_from_slice(row);
+        self.next.push(NONE32);
+        self.row_count += 1;
+        if self.lens[b] == 0 {
+            self.live_buckets += 1;
+            self.heads[b] = r;
+        } else {
+            let t = self.tails[b] as usize;
+            self.next[t] = r;
+        }
+        self.tails[b] = r;
+        self.lens[b] += 1;
+        self.live += 1;
+    }
+
+    /// Removes one posting for `row`, if present. Tolerant of absent
+    /// postings: a tuple inserted *and* retracted since the index's
+    /// generation was never appended in the first place.
+    fn unappend(&mut self, row: &[Value]) {
+        let h = hash_row_key(&self.key_columns, row);
+        let Some(b) = self.find_bucket_for_row(h, row) else {
+            return;
+        };
+        let mut prev = NONE32;
+        let mut cur = self.heads[b];
+        while cur != NONE32 {
+            if self.row_of(cur) == row {
+                let nxt = self.next[cur as usize];
+                if prev == NONE32 {
+                    self.heads[b] = nxt;
+                } else {
+                    self.next[prev as usize] = nxt;
+                }
+                if self.tails[b] == cur {
+                    self.tails[b] = prev;
+                }
+                self.lens[b] -= 1;
+                self.live -= 1;
+                if self.lens[b] == 0 {
+                    self.live_buckets -= 1;
+                    self.heads[b] = NONE32;
+                    self.tails[b] = NONE32;
+                }
+                return;
+            }
+            prev = cur;
+            cur = self.next[cur as usize];
+        }
+    }
+
+    /// Number of tuples indexed (live postings across all buckets).
     pub fn tuple_count(&self) -> usize {
-        self.tuples
+        self.live
     }
 
     /// Absorbs the changes `relation` saw since `gen` (the generation this
@@ -736,11 +994,11 @@ impl Index {
     pub fn absorb_from(&mut self, relation: &Relation, gen: Generation) -> Option<usize> {
         relation.delta_bounds(gen)?;
         for t in relation.retracted_since(gen) {
-            self.unappend(t);
+            self.unappend(t.values());
         }
         let mut appended = 0;
-        for t in relation.iter_since(gen) {
-            self.append(t);
+        for row in relation.iter_since(gen) {
+            self.append_row(row);
             appended += 1;
         }
         Some(appended)
@@ -751,34 +1009,67 @@ impl Index {
         &self.key_columns
     }
 
-    /// The tuples whose key columns equal `key` (in index order).
-    pub fn probe(&self, key: &[Value]) -> &[Tuple] {
+    /// The tuples whose key columns equal `key`, in append order, as
+    /// borrowed packed rows. The iterator reports its exact length.
+    pub fn probe(&self, key: &[Value]) -> Postings<'_> {
         debug_assert_eq!(key.len(), self.key_columns.len());
-        self.buckets.get(key).map_or(&self.empty[..], |v| &v[..])
+        let h = hash_key(key);
+        match self.find_bucket_for_key(h, key) {
+            Some(b) => Postings {
+                index: self,
+                cur: self.heads[b],
+                remaining: self.lens[b] as usize,
+            },
+            None => Postings {
+                index: self,
+                cur: NONE32,
+                remaining: 0,
+            },
+        }
     }
 
-    /// Number of distinct keys.
+    /// Number of distinct keys with at least one live posting.
     pub fn distinct_keys(&self) -> usize {
-        self.buckets.len()
+        self.live_buckets
     }
 }
 
+/// Iterator over the postings of one [`Index`] bucket, yielding packed
+/// rows in append order.
+#[derive(Clone, Debug)]
+pub struct Postings<'a> {
+    index: &'a Index,
+    cur: u32,
+    remaining: usize,
+}
+
+impl<'a> Iterator for Postings<'a> {
+    type Item = &'a [Value];
+
+    fn next(&mut self) -> Option<&'a [Value]> {
+        if self.cur == NONE32 {
+            return None;
+        }
+        let r = self.cur;
+        self.cur = self.index.next[r as usize];
+        self.remaining -= 1;
+        Some(self.index.row_of(r))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for Postings<'_> {}
+
 impl HeapSize for Index {
-    /// One boxed key per bucket plus one stored-tuple copy per posting.
-    /// Summed over buckets, so the result is independent of hash-map
-    /// iteration order.
+    /// One key row per live bucket plus one stored-tuple copy per live
+    /// posting — the same logical bucket model as before the columnar
+    /// layout, so index byte gauges stay comparable.
     fn heap_bytes(&self) -> usize {
         let key_width = TUPLE_HEADER_BYTES + self.key_columns.len() * VALUE_BYTES;
-        self.buckets
-            .values()
-            .map(|postings| {
-                key_width
-                    + postings
-                        .iter()
-                        .map(|t| tuple_bytes(t.arity()))
-                        .sum::<usize>()
-            })
-            .sum()
+        self.live_buckets * key_width + self.live * tuple_bytes(self.arity)
     }
 }
 
@@ -847,8 +1138,21 @@ mod tests {
         let idx = Index::build(&r, &[0]);
         assert_eq!(idx.probe(&[Value::Int(1)]).len(), 2);
         assert_eq!(idx.probe(&[Value::Int(2)]).len(), 1);
-        assert!(idx.probe(&[Value::Int(9)]).is_empty());
+        assert_eq!(idx.probe(&[Value::Int(9)]).count(), 0);
         assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn index_probe_preserves_append_order() {
+        let mut r = Relation::new(2);
+        for k in [30, 10, 20] {
+            r.insert(t2(1, k));
+        }
+        r.commit(); // segment is sorted: (1,10), (1,20), (1,30)
+        r.insert(t2(1, 5)); // tail appends after the segment
+        let idx = Index::build(&r, &[0]);
+        let got: Vec<Tuple> = idx.probe(&[Value::Int(1)]).map(Tuple::new).collect();
+        assert_eq!(got, vec![t2(1, 10), t2(1, 20), t2(1, 30), t2(1, 5)]);
     }
 
     #[test]
@@ -859,6 +1163,23 @@ mod tests {
     }
 
     #[test]
+    fn index_handles_many_distinct_keys_through_growth() {
+        let mut r = Relation::new(2);
+        for k in 0..500 {
+            r.insert(t2(k, k + 1));
+            r.insert(t2(k, k + 2));
+        }
+        let idx = Index::build(&r, &[0]);
+        assert_eq!(idx.distinct_keys(), 500);
+        assert_eq!(idx.tuple_count(), 1000);
+        for k in 0..500 {
+            let got: Vec<Tuple> = idx.probe(&[Value::Int(k)]).map(Tuple::new).collect();
+            assert_eq!(got, vec![t2(k, k + 1), t2(k, k + 2)], "key {k}");
+        }
+        assert_eq!(idx.probe(&[Value::Int(999)]).count(), 0);
+    }
+
+    #[test]
     fn sorted_is_deterministic() {
         let r = Relation::from_tuples(2, vec![t2(3, 4), t2(1, 2)]);
         let sorted = r.sorted();
@@ -866,7 +1187,7 @@ mod tests {
     }
 
     #[test]
-    fn sorted_is_cached_and_reuses_committed_segment() {
+    fn sorted_is_cached_until_mutation() {
         let mut r = Relation::from_tuples(2, vec![t2(3, 4), t2(1, 2)]);
         r.commit();
         let a = r.sorted();
@@ -920,14 +1241,14 @@ mod tests {
         // Tail appends are visible…
         r.insert(t2(3, 4));
         r.insert(t2(5, 6));
-        let delta: Vec<_> = r.iter_since(mark).cloned().collect();
+        let delta: Vec<Tuple> = r.iter_since(mark).map(Tuple::new).collect();
         assert_eq!(delta, vec![t2(3, 4), t2(5, 6)]);
         // …duplicate inserts are not (they add nothing).
         r.insert(t2(1, 2));
         assert_eq!(r.iter_since(mark).count(), 2);
         // …and so is a committed segment made from them.
         r.commit();
-        let delta: Vec<_> = r.iter_since(mark).cloned().collect();
+        let delta: Vec<Tuple> = r.iter_since(mark).map(Tuple::new).collect();
         assert_eq!(delta, vec![t2(3, 4), t2(5, 6)]);
         // A fresh mark after the commit sees nothing.
         assert_eq!(r.iter_since(r.generation()).count(), 0);
@@ -1048,11 +1369,11 @@ mod tests {
         assert_eq!(r.delta_len(mark), r.len());
     }
 
-    /// The per-worker delta chunks partition the delta exactly: their
-    /// union over all parts equals the full delta index, bucket for
-    /// bucket, for any worker count (including more workers than tuples).
+    /// Contiguous ranges over the delta enumeration partition it exactly
+    /// and in order, for any morsel count (including more morsels than
+    /// tuples) — the contract parallel morsel scans rely on.
     #[test]
-    fn build_delta_part_partitions_the_delta_exactly() {
+    fn iter_since_range_partitions_the_delta_exactly() {
         let mut r = Relation::from_tuples(2, vec![t2(0, 0)]);
         r.commit();
         let mark = r.generation();
@@ -1064,23 +1385,54 @@ mod tests {
         for k in 8..=10 {
             r.insert(t2(k % 3, k));
         }
-        let full = Index::build_delta(&r, &[0], mark);
+        let full: Vec<Tuple> = r.iter_since(mark).map(Tuple::new).collect();
+        let total = r.delta_len(mark);
+        assert_eq!(total, full.len());
         for parts in [1usize, 2, 3, 4, 16] {
-            let chunks: Vec<Index> = (0..parts)
-                .map(|p| Index::build_delta_part(&r, &[0], mark, p, parts))
-                .collect();
-            let total: usize = chunks.iter().map(Index::tuple_count).sum();
-            assert_eq!(total, full.tuple_count(), "parts={parts}");
-            for key in 0..3i64 {
-                let mut merged: Vec<Tuple> = chunks
-                    .iter()
-                    .flat_map(|c| c.probe(&[Value::Int(key)]).iter().cloned())
-                    .collect();
-                let mut expect: Vec<Tuple> = full.probe(&[Value::Int(key)]).to_vec();
-                merged.sort_unstable();
-                expect.sort_unstable();
-                assert_eq!(merged, expect, "parts={parts} key={key}");
+            let mut merged: Vec<Tuple> = Vec::new();
+            for p in 0..parts {
+                let lo = p * total / parts;
+                let hi = (p + 1) * total / parts;
+                merged.extend(r.iter_since_range(mark, lo, hi).map(Tuple::new));
             }
+            assert_eq!(merged, full, "parts={parts}");
+        }
+        // The tombstone fallback path partitions the filtered walk too.
+        r.retract(&t2(1, 1));
+        let full: Vec<Tuple> = r.iter_since(mark).map(Tuple::new).collect();
+        let total = r.delta_len(mark);
+        for parts in [1usize, 3] {
+            let mut merged: Vec<Tuple> = Vec::new();
+            for p in 0..parts {
+                let lo = p * total / parts;
+                let hi = (p + 1) * total / parts;
+                merged.extend(r.iter_since_range(mark, lo, hi).map(Tuple::new));
+            }
+            assert_eq!(merged, full, "tombstoned parts={parts}");
+        }
+    }
+
+    /// Same partition contract for full storage scans.
+    #[test]
+    fn iter_stored_range_partitions_storage_exactly() {
+        let mut r = Relation::new(2);
+        for k in 0..9 {
+            r.insert(t2(k, k + 1));
+            if k % 4 == 3 {
+                r.commit();
+            }
+        }
+        let full: Vec<Tuple> = r.iter_stored().map(Tuple::new).collect();
+        let total = r.stored_len();
+        assert_eq!(total, full.len());
+        for parts in [1usize, 2, 5, 12] {
+            let mut merged: Vec<Tuple> = Vec::new();
+            for p in 0..parts {
+                let lo = p * total / parts;
+                let hi = (p + 1) * total / parts;
+                merged.extend(r.iter_stored_range(lo, hi).map(Tuple::new));
+            }
+            assert_eq!(merged, full, "parts={parts}");
         }
     }
 
@@ -1098,7 +1450,7 @@ mod tests {
         // The mark is still an exact storage prefix…
         assert!(r.delta_bounds(mark).is_some());
         // …the live delta is just the new tuple…
-        let delta: Vec<_> = r.iter_since(mark).cloned().collect();
+        let delta: Vec<Tuple> = r.iter_since(mark).map(Tuple::new).collect();
         assert_eq!(delta, vec![t2(5, 6)]);
         assert_eq!(r.delta_len(mark), 1);
         // …and the tombstones since the mark are enumerable.
@@ -1118,8 +1470,10 @@ mod tests {
         r.retract(&t2(1, 10));
         r.insert(t2(3, 40));
         assert_eq!(idx.absorb_from(&r, mark), Some(1));
-        assert_eq!(idx.probe(&[Value::Int(1)]), &[t2(1, 20)]);
-        assert_eq!(idx.probe(&[Value::Int(3)]), &[t2(3, 40)]);
+        let got: Vec<Tuple> = idx.probe(&[Value::Int(1)]).map(Tuple::new).collect();
+        assert_eq!(got, vec![t2(1, 20)]);
+        let got: Vec<Tuple> = idx.probe(&[Value::Int(3)]).map(Tuple::new).collect();
+        assert_eq!(got, vec![t2(3, 40)]);
         assert_eq!(idx.tuple_count(), 3);
         // Retracting the last posting of a key drops the bucket.
         let mark2 = r.generation();
@@ -1132,6 +1486,38 @@ mod tests {
         r.retract(&t2(4, 50));
         assert_eq!(idx.absorb_from(&r, mark3), Some(0));
         assert_eq!(idx.tuple_count(), 2);
+    }
+
+    /// Unappending the head, middle, and tail of one bucket's chain
+    /// keeps the remaining postings in append order, and a re-append
+    /// after emptying the bucket revives it.
+    #[test]
+    fn unappend_keeps_chain_order_at_every_position() {
+        let rows: Vec<Tuple> = (0..4).map(|k| t2(1, k)).collect();
+        for victim in 0..4 {
+            let r = Relation::from_tuples(2, rows.clone());
+            let mut idx = Index::build(&r, &[0]);
+            idx.unappend(rows[victim].values());
+            let got: Vec<Tuple> = idx.probe(&[Value::Int(1)]).map(Tuple::new).collect();
+            let expect: Vec<Tuple> = rows
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != victim)
+                .map(|(_, t)| t.clone())
+                .collect();
+            assert_eq!(got, expect, "victim={victim}");
+            assert_eq!(idx.tuple_count(), 3);
+        }
+        // Empty a bucket completely, then revive it.
+        let r = Relation::from_tuples(2, vec![t2(7, 1)]);
+        let mut idx = Index::build(&r, &[0]);
+        idx.unappend(t2(7, 1).values());
+        assert_eq!(idx.distinct_keys(), 0);
+        assert_eq!(idx.probe(&[Value::Int(7)]).count(), 0);
+        idx.append_row(t2(7, 2).values());
+        let got: Vec<Tuple> = idx.probe(&[Value::Int(7)]).map(Tuple::new).collect();
+        assert_eq!(got, vec![t2(7, 2)]);
+        assert_eq!(idx.distinct_keys(), 1);
     }
 
     #[test]

@@ -55,6 +55,17 @@ impl Deref for Tuple {
     }
 }
 
+impl std::borrow::Borrow<[Value]> for Tuple {
+    /// Lets hash sets keyed by `Tuple` answer lookups for borrowed
+    /// `&[Value]` rows straight out of columnar storage, with no
+    /// per-probe `Tuple` allocation. Sound because `Tuple` is a
+    /// single-field wrapper: its derived `Hash`/`Eq`/`Ord` delegate to
+    /// the slice, so the `Borrow` coherence requirements hold.
+    fn borrow(&self) -> &[Value] {
+        &self.0
+    }
+}
+
 impl crate::space::HeapSize for Tuple {
     /// The inline `Box<[Value]>` handle plus one value slot per column
     /// (see [`crate::space::tuple_bytes`]).

@@ -205,6 +205,7 @@ fn sample_report() -> BenchReport {
             engine: engine.into(),
             threads: 1,
             n: 16,
+            edb_facts: 0,
             reps: 3,
             wall: WallStats {
                 min: median / 2,

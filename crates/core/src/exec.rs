@@ -51,14 +51,11 @@ pub struct IndexCache {
     /// adds — the telemetry-off path stays branch-free). Engines
     /// snapshot and diff this per stage when telemetry is enabled.
     pub counters: JoinCounters,
-    /// When set to `(part, parts)`, delta indexes cover only worker
-    /// `part`'s contiguous chunk of each delta enumeration
-    /// ([`Index::build_delta_part`]). Since every delta-variant match
-    /// consumes exactly one delta tuple, restricting the delta index
-    /// restricts the worker to its share of the round's matches — the
-    /// partitioning primitive of the parallel executor. Full-source
-    /// entries are unaffected.
-    delta_part: Option<(usize, usize)>,
+    /// Pool of packed-value scratch buffers reused by the scan step
+    /// (probe keys and posting copies), so steady-state probing does
+    /// not allocate. Depth-bounded: the pool high-water mark is the
+    /// deepest scan nesting of any plan, not the data size.
+    scratch: Vec<Vec<Value>>,
 }
 
 impl IndexCache {
@@ -67,14 +64,15 @@ impl IndexCache {
         Self::default()
     }
 
-    /// Creates a worker-shard cache whose delta indexes cover chunk
-    /// `part` of `parts` (see the `delta_part` field).
-    pub fn with_delta_part(part: usize, parts: usize) -> Self {
-        assert!(part < parts, "partition {part} out of {parts}");
-        IndexCache {
-            delta_part: Some((part, parts)),
-            ..Self::default()
-        }
+    /// Takes a cleared scratch buffer from the pool (or a fresh one).
+    fn take_scratch(&mut self) -> Vec<Value> {
+        self.scratch.pop().unwrap_or_default()
+    }
+
+    /// Returns a scratch buffer to the pool for reuse.
+    fn put_scratch(&mut self, mut buf: Vec<Value>) {
+        buf.clear();
+        self.scratch.push(buf);
     }
 
     /// Drops all delta-source entries. Call at the start of each
@@ -110,14 +108,10 @@ impl IndexCache {
         let key = (pred, cols.to_vec().into_boxed_slice(), source);
         let gen_now = relation.generation();
         let counters = &mut self.counters;
-        let delta_part = self.delta_part;
         let fresh = |counters: &mut JoinCounters| {
-            let index = match (mark, delta_part) {
-                (Some(m), Some((part, parts))) => {
-                    Index::build_delta_part(relation, cols, m, part, parts)
-                }
-                (Some(m), None) => Index::build_delta(relation, cols, m),
-                (None, _) => Index::build(relation, cols),
+            let index = match mark {
+                Some(m) => Index::build_delta(relation, cols, m),
+                None => Index::build(relation, cols),
             };
             counters.index_builds += 1;
             counters.indexed_tuples += index.tuple_count() as u64;
@@ -249,6 +243,152 @@ pub fn for_each_head(
     fired
 }
 
+/// One unit of work for the morsel-driven parallel executor: either a
+/// whole-plan evaluation, or a contiguous row range of the plan's
+/// *driver* — its first scan step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Morsel {
+    /// Run the plan in full. Used for plans whose first step is not a
+    /// scan (no row range to partition).
+    Whole,
+    /// Run only driver rows `lo..hi` (a range of the driver relation's
+    /// stored enumeration for full scans, or of its exact delta
+    /// enumeration for delta scans).
+    Rows {
+        /// First driver row (inclusive).
+        lo: usize,
+        /// Past-the-end driver row (exclusive).
+        hi: usize,
+    },
+}
+
+/// Number of driver rows `plan` enumerates under `sources`: the stored
+/// length of the first scan step's relation (full scans) or its delta
+/// length (delta scans). `None` when the first step is not a scan — such
+/// plans cannot be row-partitioned and run as one [`Morsel::Whole`].
+/// An absent relation yields `Some(0)`: nothing to scan, zero morsels.
+pub fn driver_len(plan: &Plan, sources: Sources<'_>) -> Option<usize> {
+    let Some(Step::Scan { pred, source, .. }) = plan.steps.first() else {
+        return None;
+    };
+    let scan_instance = match source {
+        ScanSource::Full => sources.full,
+        ScanSource::Delta => sources.delta_from.unwrap_or(sources.full),
+    };
+    let Some(relation) = scan_instance.relation(*pred) else {
+        return Some(0);
+    };
+    match source {
+        ScanSource::Full => Some(relation.stored_len()),
+        ScanSource::Delta => {
+            let mark = sources
+                .delta
+                .expect("delta plan run without delta marks")
+                .mark(*pred);
+            Some(relation.delta_len(mark))
+        }
+    }
+}
+
+/// Like [`for_each_head`], but restricted to one [`Morsel`] of the
+/// plan's driver scan. The driver rows are enumerated directly from
+/// columnar storage ([`Relation::iter_stored_range`] /
+/// [`Relation::iter_since_range`]) instead of through an index, so
+/// workers pulling disjoint row ranges partition the plan's match set
+/// exactly: every match consumes exactly one driver row, and the ranges
+/// partition the driver enumeration. Summing `fired` over a partition of
+/// `0..driver_len(plan, sources)` therefore equals the sequential fired
+/// count, independent of how morsels are assigned to workers.
+pub fn for_each_head_morsel(
+    plan: &Plan,
+    head_args: &[Term],
+    sources: Sources<'_>,
+    adom: &[Value],
+    cache: &mut IndexCache,
+    morsel: Morsel,
+    on_tuple: &mut dyn FnMut(Tuple),
+) -> u64 {
+    let (lo, hi) = match morsel {
+        Morsel::Whole => return for_each_head(plan, head_args, sources, adom, cache, on_tuple),
+        Morsel::Rows { lo, hi } => (lo, hi),
+    };
+    let Some((
+        Step::Scan {
+            pred, args, source, ..
+        },
+        rest,
+    )) = plan.steps.split_first()
+    else {
+        unreachable!("row morsel for a plan without a driver scan");
+    };
+    let scan_instance = match source {
+        ScanSource::Full => sources.full,
+        ScanSource::Delta => sources.delta_from.unwrap_or(sources.full),
+    };
+    let Some(relation) = scan_instance.relation(*pred) else {
+        return 0; // absent relation = empty driver
+    };
+    let rows: Box<dyn Iterator<Item = &[Value]>> = match source {
+        ScanSource::Full => relation.iter_stored_range(lo, hi),
+        ScanSource::Delta => {
+            let mark = sources
+                .delta
+                .expect("delta plan run without delta marks")
+                .mark(*pred);
+            relation.iter_since_range(mark, lo, hi)
+        }
+    };
+    let mut env: Env = vec![None; plan.var_count];
+    let mut fired = 0u64;
+    let mut scanned = 0u64;
+    // The driver borrow comes from `sources`, not `cache`, so the row
+    // iterator can be held across the recursive `run_steps` calls — no
+    // buffering needed. At step 0 nothing is bound yet, so every
+    // position is handled right here: constants are checked, variables
+    // bound (with the repeated-variable check).
+    'rows: for row in rows {
+        scanned += 1;
+        let mut newly_bound: Vec<usize> = Vec::new();
+        for (p, term) in args.iter().enumerate() {
+            match term {
+                Term::Const(_) => {
+                    if term_value(term, &env) != row[p] {
+                        for &b in &newly_bound {
+                            env[b] = None;
+                        }
+                        continue 'rows;
+                    }
+                }
+                Term::Var(v) => match env[v.index()] {
+                    Some(existing) => {
+                        if existing != row[p] {
+                            for &b in &newly_bound {
+                                env[b] = None;
+                            }
+                            continue 'rows;
+                        }
+                    }
+                    None => {
+                        env[v.index()] = Some(row[p]);
+                        newly_bound.push(v.index());
+                    }
+                },
+            }
+        }
+        let _ = run_steps(rest, sources, adom, cache, &mut env, &mut |env| {
+            fired += 1;
+            on_tuple(instantiate(head_args, env));
+            ControlFlow::Continue(())
+        });
+        for &b in &newly_bound {
+            env[b] = None;
+        }
+    }
+    cache.counters.probes += 1;
+    cache.counters.probe_tuples += scanned;
+    fired
+}
+
 fn run_steps(
     steps: &[Step],
     sources: Sources<'_>,
@@ -283,18 +423,28 @@ fn run_steps(
             let Some(relation) = scan_instance.relation(*pred) else {
                 return ControlFlow::Continue(()); // absent relation = empty
             };
-            // Build the probe key from the bound positions.
-            let probe: Vec<Value> = key.iter().map(|&p| term_value(&args[p], env)).collect();
+            // Build the probe key (packed) from the bound positions.
+            let mut probe = cache.take_scratch();
+            probe.extend(key.iter().map(|&p| term_value(&args[p], env)));
             // The borrow checker will not let us hold the index across the
-            // recursive call (which needs `cache`), so clone the matching
-            // tuples. Buckets are typically small.
-            let matches: Vec<Tuple> = cache
-                .get(*pred, key, *source, relation, mark)
-                .probe(&probe)
-                .to_vec();
+            // recursive call (which needs `cache`), so copy the matching
+            // rows into a pooled packed buffer. Buckets are typically
+            // small, and in steady state this allocates nothing.
+            let mut buf = cache.take_scratch();
+            let rows = {
+                let postings = cache.get(*pred, key, *source, relation, mark).probe(&probe);
+                let rows = postings.len();
+                for row in postings {
+                    buf.extend_from_slice(row);
+                }
+                rows
+            };
             cache.counters.probes += 1;
-            cache.counters.probe_tuples += matches.len() as u64;
-            'tuples: for tuple in matches {
+            cache.counters.probe_tuples += rows as u64;
+            let arity = args.len();
+            let mut flow = ControlFlow::Continue(());
+            'rows: for i in 0..rows {
+                let row = &buf[i * arity..i * arity + arity];
                 // Bind non-key positions, checking repeated variables.
                 let mut newly_bound: Vec<usize> = Vec::new();
                 for (p, term) in args.iter().enumerate() {
@@ -306,27 +456,32 @@ fn run_steps(
                     };
                     match env[v.index()] {
                         Some(existing) => {
-                            if existing != tuple[p] {
+                            if existing != row[p] {
                                 // Repeated variable mismatch.
                                 for &b in &newly_bound {
                                     env[b] = None;
                                 }
-                                continue 'tuples;
+                                continue 'rows;
                             }
                         }
                         None => {
-                            env[v.index()] = Some(tuple[p]);
+                            env[v.index()] = Some(row[p]);
                             newly_bound.push(v.index());
                         }
                     }
                 }
-                let flow = run_steps(rest, sources, adom, cache, env, on_match);
+                let f = run_steps(rest, sources, adom, cache, env, on_match);
                 for &b in &newly_bound {
                     env[b] = None;
                 }
-                flow?;
+                if f.is_break() {
+                    flow = ControlFlow::Break(());
+                    break 'rows;
+                }
             }
-            ControlFlow::Continue(())
+            cache.put_scratch(buf);
+            cache.put_scratch(probe);
+            flow
         }
         Step::BindEq { var, term } => {
             let value = term_value(term, env);
@@ -405,10 +560,13 @@ mod tests {
         assert_eq!(cache.counters.index_rebuilds, 0);
         // A removal breaks the lineage and forces a rebuild.
         rel.remove(&Tuple::from([Value::Int(1)]));
-        assert!(cache
-            .get(g, &[0], ScanSource::Full, &rel, None)
-            .probe(&[Value::Int(1)])
-            .is_empty());
+        assert_eq!(
+            cache
+                .get(g, &[0], ScanSource::Full, &rel, None)
+                .probe(&[Value::Int(1)])
+                .len(),
+            0
+        );
         assert_eq!(cache.counters.index_rebuilds, 1);
     }
 
@@ -424,7 +582,7 @@ mod tests {
         rel.commit();
         let mut cache = IndexCache::new();
         let idx = cache.get(g, &[0], ScanSource::Delta, &rel, Some(mark));
-        assert!(idx.probe(&[Value::Int(1)]).is_empty());
+        assert_eq!(idx.probe(&[Value::Int(1)]).len(), 0);
         assert_eq!(idx.probe(&[Value::Int(2)]).len(), 1);
         assert_eq!(cache.counters.index_builds, 1);
         assert_eq!(cache.counters.indexed_tuples, 1);

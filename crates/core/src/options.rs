@@ -22,6 +22,11 @@ fn default_threads() -> NonZeroUsize {
     })
 }
 
+/// Default [`EvalOptions::morsel_size`]: small enough to load-balance
+/// skewed rounds across workers, large enough that the shared-queue
+/// fetch is noise next to the per-row join work.
+pub const DEFAULT_MORSEL_SIZE: usize = 2048;
+
 /// How the noninflationary engines detect that a computation will never
 /// reach a fixpoint (Section 4.2: e.g. the flip-flop program).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -60,6 +65,13 @@ pub struct EvalOptions {
     /// keeps evaluation strictly sequential; output is byte-identical for
     /// every value.
     pub threads: NonZeroUsize,
+    /// Maximum driver rows per morsel for the parallel executor: each
+    /// fixpoint round is cut into contiguous driver-row ranges of at
+    /// most this many rows, pulled by workers from a shared queue.
+    /// Output is byte-identical for every value (the morsel partition
+    /// is deterministic and schedule-independent); the knob trades
+    /// scheduling overhead against load balance. Ignored at 1 thread.
+    pub morsel_size: usize,
     /// How rule bodies are ordered by the planner. [`PlanMode::Cost`]
     /// (the default) orders joins by catalog cardinalities;
     /// [`PlanMode::Syntactic`] keeps the historical most-bound-first
@@ -75,6 +87,7 @@ impl Default for EvalOptions {
             divergence: DivergenceDetection::Exact,
             telemetry: Telemetry::off(),
             threads: default_threads(),
+            morsel_size: DEFAULT_MORSEL_SIZE,
             plan_mode: PlanMode::default(),
         }
     }
@@ -109,6 +122,12 @@ impl EvalOptions {
     /// to 1, i.e. sequential).
     pub fn with_threads(mut self, n: usize) -> Self {
         self.threads = NonZeroUsize::new(n).unwrap_or(NonZeroUsize::MIN);
+        self
+    }
+
+    /// Options with the given morsel size (`n == 0` is clamped to 1).
+    pub fn with_morsel_size(mut self, n: usize) -> Self {
+        self.morsel_size = n.max(1);
         self
     }
 
@@ -166,6 +185,13 @@ mod tests {
         let o = EvalOptions::default();
         assert!(o.max_stages.is_none() && o.max_facts.is_none());
         assert_eq!(o.divergence, DivergenceDetection::Exact);
+    }
+
+    #[test]
+    fn morsel_size_builder_clamps_zero() {
+        assert_eq!(EvalOptions::default().morsel_size, DEFAULT_MORSEL_SIZE);
+        assert_eq!(EvalOptions::default().with_morsel_size(0).morsel_size, 1);
+        assert_eq!(EvalOptions::default().with_morsel_size(64).morsel_size, 64);
     }
 
     #[test]

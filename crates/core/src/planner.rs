@@ -11,7 +11,9 @@
 //!    relation cardinalities snapshotted from the input [`Instance`]
 //!    into a [`Catalog`] (recursive predicates, whose relations grow
 //!    during the fixpoint, are estimated at no less than the total fact
-//!    count). Under [`PlanMode::Syntactic`] the next atom is simply the
+//!    count), with a Cartesian guard: once any position is bound, atoms
+//!    sharing a bound position always beat unconnected ones regardless
+//!    of cardinality. Under [`PlanMode::Syntactic`] the next atom is simply the
 //!    one with the most bound argument positions, tie-broken by source
 //!    order — the historical ordering, kept as the differential-fuzzing
 //!    counterpart. Ties in cost fall back to bound positions, then
@@ -341,7 +343,7 @@ impl Planner {
             //    to most-bound-first with source-order tie-break. A
             //    forced delta literal always wins (deltas are presumed
             //    small).
-            let mut best: Option<((u64, u64, u64), usize)> = None;
+            let mut best: Option<((u64, u64, u64, u64), usize)> = None;
             for (i, lit) in literals.iter().enumerate() {
                 if state[i] == LitState::Done {
                     continue;
@@ -349,13 +351,23 @@ impl Planner {
                 if let Literal::Pos(atom) = lit {
                     let known = atom.args.iter().filter(|t| term_known(t, &bound)).count();
                     let key = if self.mode == PlanMode::Cost && delta_lit == Some(i) {
-                        (0, 0, 0)
+                        (0, 0, 0, 0)
                     } else {
                         let cost = match self.mode {
                             PlanMode::Cost => self.estimate(atom.pred, known),
                             PlanMode::Syntactic => 0,
                         };
-                        (cost, (usize::MAX - known) as u64, i as u64)
+                        // Cartesian guard: an atom with no known position
+                        // joins nothing — every frontier-connected atom,
+                        // however expensive, beats a cross product. (Only
+                        // cost mode needs the explicit flag; the syntactic
+                        // key's most-bound-first already encodes it.)
+                        // Without it, a cheap unconnected relation wins on
+                        // raw cardinality and each delta tuple re-enumerates
+                        // it wholesale: the Andersen `Load`/`Store` rules
+                        // turn quadratic exactly that way.
+                        let cross = u64::from(self.mode == PlanMode::Cost && known == 0);
+                        (cross, cost, (usize::MAX - known) as u64, i as u64)
                     };
                     if best.is_none_or(|(k, _)| key < k) {
                         best = Some((key, i));
@@ -847,6 +859,40 @@ mod tests {
             panic!("last step must be the closing scan");
         };
         assert_eq!(key, &[0, 1], "closing triangle scan is a point lookup");
+    }
+
+    #[test]
+    fn cost_mode_never_picks_a_cross_product_over_a_connected_atom() {
+        // The Andersen load rule. After the forced delta scan binds
+        // (q, o), the connected PT(p,q) atom must be scheduled before
+        // the *smaller but unconnected* Load(v,p): picking Load there
+        // re-enumerates it per delta tuple — a Cartesian product that
+        // turns the whole fixpoint quadratic.
+        let mut interner = Interner::new();
+        let program =
+            parse_program("PT(v,o) :- Load(v,p), PT(p,q), PT(q,o).", &mut interner).unwrap();
+        let load = interner.get("Load").unwrap();
+        let pt = interner.get("PT").unwrap();
+        let instance = instance_with(&mut interner, &[("Load", 2, 4), ("PT", 2, 64)]);
+        let mut planner = Planner::new(Catalog::from_instance(&instance), PlanMode::Cost);
+        planner.inflate([pt]);
+        let variants = planner.seminaive_variants(&program.rules[0], &|p| p == pt);
+        assert_eq!(variants.len(), 2);
+        // Δ on PT(q,o): delta first, then PT(p,q) via q, then Load via p.
+        assert_eq!(scan_preds(&variants[1]), vec![pt, pt, load]);
+        // Every post-delta scan probes on at least one bound column.
+        for step in variants[1].steps.iter().skip(1) {
+            if let Step::Scan { key, .. } = step {
+                assert!(!key.is_empty(), "cross product scheduled: {step:?}");
+            }
+        }
+        // Δ on PT(p,q): Load joins via p and is cheap, so it may lead
+        // the remainder — but it too must arrive connected.
+        for step in variants[0].steps.iter().skip(1) {
+            if let Step::Scan { key, .. } = step {
+                assert!(!key.is_empty(), "cross product scheduled: {step:?}");
+            }
+        }
     }
 
     #[test]

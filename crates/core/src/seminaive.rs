@@ -131,19 +131,17 @@ pub(crate) fn seminaive_fixpoint(
     tracer.gauge("plan_joins_pruned", plan_stats.joins_pruned);
     tracer.gauge("subplans_shared", plan_stats.subplans_shared);
 
-    // Parallel executor state. Each worker owns a cache shard that lives
-    // across rounds (so full indexes absorb committed segments just like
-    // the sequential cache) and whose delta indexes cover only that
-    // worker's chunk of each delta enumeration. The shared `cache` stays
-    // the single source of truth for counters: after every parallel
-    // round its counters are rewritten as entry snapshot + the sum over
-    // worker shards, which keeps the per-stage `since` diffs below exact.
+    // Parallel executor state. Each worker owns a private cache that
+    // lives across rounds (so full indexes absorb committed segments
+    // just like the sequential cache); morsels are pulled from a shared
+    // queue, see `crate::parallel`. The shared `cache` stays the single
+    // source of truth for counters: after every parallel round its
+    // counters are rewritten as entry snapshot + the sum over worker
+    // caches, which keeps the per-stage `since` diffs below exact.
     let threads = options.threads.get();
     tel.with(|t| t.threads = threads);
     let mut worker_caches: Vec<IndexCache> = if threads > 1 {
-        (0..threads)
-            .map(|w| IndexCache::with_delta_part(w, threads))
-            .collect()
+        (0..threads).map(|_| IndexCache::new()).collect()
     } else {
         Vec::new()
     };
@@ -162,7 +160,7 @@ pub(crate) fn seminaive_fixpoint(
     instance.commit_all();
 
     // Round 1: full evaluation of every rule into a pending buffer —
-    // rules striped across workers when parallel.
+    // driver-row morsels pulled by workers when parallel.
     let mut stage_sw = tel.stopwatch();
     let mut joins_before = cache.counters;
     let mut round_guard = tracer.span(SpanKind::Round, format!("round {}", base + 1));
@@ -187,7 +185,7 @@ pub(crate) fn seminaive_fixpoint(
             None,
             adom,
             &mut worker_caches,
-            true,
+            options.morsel_size,
             compiled.len(),
             traced,
         );
@@ -363,7 +361,7 @@ pub(crate) fn seminaive_fixpoint(
                 Some(&mark),
                 adom,
                 &mut worker_caches,
-                false,
+                options.morsel_size,
                 compiled.len(),
                 traced,
             );

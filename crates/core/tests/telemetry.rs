@@ -268,6 +268,71 @@ fn space_accounting_is_identical_at_threads_1_and_4() {
     assert!(report1.relation_bytes() > 0);
 }
 
+/// Morsel-parallel execution must be invisible in the trace: every
+/// deterministic stage field is byte-identical at threads 1 and 7.
+///
+/// Seven is deliberate — an odd worker count over morsels whose sizes
+/// don't divide evenly, the shape that caught the PR 5 chunking bug
+/// (the last short morsel was attributed to the wrong stage). Only the
+/// wall clocks and the per-worker join counters (each worker keeps its
+/// own index cache) may differ between runs.
+#[test]
+fn eval_trace_stages_are_identical_at_threads_1_and_7() {
+    let mut i = Interner::new();
+    let program = parse_program(TC, &mut i).unwrap();
+    let g = i.get("G").unwrap();
+    // Seeded pseudo-random multigraph with an odd edge count so no
+    // morsel boundary lands evenly under 7 workers.
+    let n = 23i64;
+    let mut input = Instance::new();
+    for k in 0..n {
+        input.insert_fact(g, Tuple::from([Value::Int(k), Value::Int((k * 7 + 3) % n)]));
+        input.insert_fact(g, Tuple::from([Value::Int(k), Value::Int((k * 5 + 1) % n)]));
+        if k % 3 == 0 {
+            input.insert_fact(
+                g,
+                Tuple::from([Value::Int(k), Value::Int((k * 11 + 4) % n)]),
+            );
+        }
+    }
+    let run_with = |threads: usize| {
+        let tel = Telemetry::enabled();
+        let run = seminaive::minimum_model(
+            &program,
+            &input,
+            EvalOptions::default()
+                .with_telemetry(tel.clone())
+                .with_threads(threads),
+        )
+        .unwrap();
+        (run, tel.snapshot().unwrap())
+    };
+    let (run1, trace1) = run_with(1);
+    let (run7, trace7) = run_with(7);
+    assert_eq!(run1.instance, run7.instance, "derived facts must agree");
+    assert_eq!(run1.stages, run7.stages);
+    assert_eq!(trace1.engine, trace7.engine);
+    assert_eq!(trace1.stages.len(), trace7.stages.len());
+    // The deterministic projection of every stage record: everything
+    // except wall clocks and worker-local join-cache counters.
+    for (s1, s7) in trace1.stages.iter().zip(&trace7.stages) {
+        assert_eq!(s1.stage, s7.stage);
+        assert_eq!(s1.facts_added, s7.facts_added, "stage {}", s1.stage);
+        assert_eq!(s1.facts_removed, s7.facts_removed, "stage {}", s1.stage);
+        assert_eq!(s1.rules_fired, s7.rules_fired, "stage {}", s1.stage);
+        assert_eq!(s1.delta, s7.delta, "stage {}", s1.stage);
+        assert_eq!(s1.bytes, s7.bytes, "stage {}", s1.stage);
+    }
+    // Run-level gauges, same projection.
+    assert_eq!(trace1.peak_facts, trace7.peak_facts);
+    assert_eq!(trace1.final_facts, trace7.final_facts);
+    assert_eq!(trace1.bytes_peak, trace7.bytes_peak);
+    assert_eq!(trace1.bytes_final, trace7.bytes_final);
+    assert_eq!(trace1.rules_fired, trace7.rules_fired);
+    assert_eq!(trace1.plan_joins_pruned, trace7.plan_joins_pruned);
+    assert_eq!(trace1.subplans_shared, trace7.subplans_shared);
+}
+
 /// Same determinism check on a stratified program with negation.
 #[test]
 fn space_accounting_is_thread_invariant_under_negation() {

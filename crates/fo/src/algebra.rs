@@ -218,7 +218,7 @@ pub fn eval(expr: &Expr, instance: &Instance) -> Result<Relation, AlgebraError> 
                     key.extend(pairs.iter().map(|&(i, _)| lt[i]));
                     for rt in index.probe(&key) {
                         let vals: Vec<Value> =
-                            lt.values().iter().chain(rt.values()).copied().collect();
+                            lt.values().iter().chain(rt.iter()).copied().collect();
                         out.insert(Tuple::from(vals));
                     }
                 }

@@ -209,9 +209,9 @@ impl fmt::Display for FoError {
 impl std::error::Error for FoError {}
 
 /// A (partial) assignment of values to formula variables.
-type Env = Vec<Option<Value>>;
+pub(crate) type Env = Vec<Option<Value>>;
 
-fn term_value(term: &FoTerm, env: &Env) -> Result<Value, FoError> {
+pub(crate) fn term_value(term: &FoTerm, env: &Env) -> Result<Value, FoError> {
     match term {
         FoTerm::Const(v) => Ok(*v),
         FoTerm::Var(v) => env
@@ -224,7 +224,7 @@ fn term_value(term: &FoTerm, env: &Env) -> Result<Value, FoError> {
 
 /// Evaluates whether `formula` holds in `instance` under `env`, with
 /// quantifiers ranging over `domain`.
-fn satisfies(
+pub(crate) fn satisfies(
     formula: &Formula,
     instance: &Instance,
     domain: &[Value],

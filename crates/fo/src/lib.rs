@@ -15,6 +15,7 @@
 pub mod algebra;
 pub mod codd;
 pub mod formula;
+pub mod join;
 pub mod text;
 
 pub use algebra::{eval as eval_algebra, AlgebraError, Condition, Expr, Operand};
@@ -22,4 +23,5 @@ pub use codd::{compile_formula, eval_via_algebra};
 pub use formula::{
     display_formula, eval_formula, eval_sentence, FoError, FoTerm, FoVar, Formula, VarSet,
 };
+pub use join::eval_formula_joined;
 pub use text::{parse_formula, TextError};

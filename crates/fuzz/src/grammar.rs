@@ -43,6 +43,13 @@ pub enum Campaign {
     /// every poll against a from-scratch evaluation of the edited edb,
     /// at one and at four worker threads.
     EditScript,
+    /// Columnar storage and morsel scheduling at size: layered
+    /// pseudo-random digraphs with 10^4–10^5 edges (seed-scaled from
+    /// [`GrammarConfig::scale_edges`]) under a pinned pool of
+    /// reachability-shaped stratified programs, differentially run
+    /// sequentially vs morsel-parallel at 2/4/8 threads plus an
+    /// edit-script incremental pass.
+    Scale,
 }
 
 impl Campaign {
@@ -55,6 +62,7 @@ impl Campaign {
             "nondet" => Campaign::Nondet,
             "planner" | "plan" => Campaign::Planner,
             "edits" | "edit-script" | "ivm" => Campaign::EditScript,
+            "scale" | "columnar" => Campaign::Scale,
             _ => return None,
         })
     }
@@ -68,11 +76,12 @@ impl Campaign {
             Campaign::Nondet => "nondet",
             Campaign::Planner => "planner",
             Campaign::EditScript => "edits",
+            Campaign::Scale => "scale",
         }
     }
 
     /// All campaigns, in documentation order.
-    pub fn all() -> [Campaign; 6] {
+    pub fn all() -> [Campaign; 7] {
         [
             Campaign::Positive,
             Campaign::Negation,
@@ -80,6 +89,7 @@ impl Campaign {
             Campaign::Nondet,
             Campaign::Planner,
             Campaign::EditScript,
+            Campaign::Scale,
         ]
     }
 }
@@ -101,6 +111,12 @@ pub struct GrammarConfig {
     pub universe: i64,
     /// Facts generated per edb predicate (duplicates collapse).
     pub facts_per_pred: usize,
+    /// Base edge count for the [`Campaign::Scale`] digraphs. Per-seed
+    /// sizes land in `base..=3*base`, with roughly one program in ten
+    /// at `10*base` — the default 10 000 yields the advertised
+    /// 10^4–10^5 range. Tests shrink this to stay interactive in
+    /// debug builds.
+    pub scale_edges: usize,
 }
 
 impl Default for GrammarConfig {
@@ -112,6 +128,7 @@ impl Default for GrammarConfig {
             max_body: 3,
             universe: 4,
             facts_per_pred: 5,
+            scale_edges: 10_000,
         }
     }
 }
@@ -130,6 +147,9 @@ pub fn generate(
     cfg: GrammarConfig,
     seed: u64,
 ) -> (Program, Instance) {
+    if campaign == Campaign::Scale {
+        return scale_generate(interner, cfg, seed);
+    }
     let mut rng = Rng::seeded(seed);
     let idb: Vec<_> = (0..cfg.idb_preds)
         .map(|k| (interner.intern(&format!("I{k}")), arity_of(k), k))
@@ -314,6 +334,71 @@ pub fn generate(
     (program, instance)
 }
 
+/// The pinned program pool for the scale campaign. Every program is
+/// reachability-shaped so the idb stays `O(nodes + edges)` — large
+/// enough to exercise segment freezing and morsel partitioning, small
+/// enough that a 50-program budget stays interactive in release builds.
+const SCALE_PROGRAMS: [&str; 3] = [
+    // Single-source reachability (the bench `scale_reach` shape).
+    "R(y) :- S(y).\nR(y) :- R(x), G(x,y).",
+    // Reachability plus a stratified frontier: edges whose source was
+    // never reached. Negation over an edb-bounded range keeps the
+    // stratum cheap while still exercising the negative morsel path.
+    "R(y) :- S(y).\nR(y) :- R(x), G(x,y).\nF(x,y) :- G(x,y), !R(x).",
+    // Two independent sources joined on the intersection.
+    "R(y) :- S(y).\nR(y) :- R(x), G(x,y).\nQ(y) :- T(y).\nQ(y) :- Q(x), G(x,y).\nB(x) :- R(x), Q(x).",
+];
+
+/// Scale-campaign generation: a layered pseudo-random digraph under one
+/// of [`SCALE_PROGRAMS`]. Node `k` lives in layer `k % layers`; every
+/// edge goes from layer `i` to layer `(i + 1) % layers`, so paths wrap
+/// through short cycles and reachable sets saturate in a few rounds
+/// while staying bounded by the node count.
+fn scale_generate(interner: &mut Interner, cfg: GrammarConfig, seed: u64) -> (Program, Instance) {
+    let mut rng = Rng::seeded(seed);
+    let base = cfg.scale_edges.max(64);
+    let edges = if rng.gen_bool(0.1) {
+        base * 10
+    } else {
+        base * (1 + rng.gen_index(3))
+    };
+    let layers = 4 + rng.gen_index(4);
+    let nodes = (edges / 2).max(layers * 2);
+    let per_layer = nodes / layers;
+
+    let text = SCALE_PROGRAMS[rng.gen_index(SCALE_PROGRAMS.len())];
+    let program = unchained_parser::parse_program(text, interner)
+        .expect("pinned scale program parses")
+        .normalized();
+
+    let g = interner.intern("G");
+    let mut instance = Instance::new();
+    instance.ensure(g, 2);
+    for _ in 0..edges {
+        let from = rng.gen_index(nodes);
+        let next_layer = (from % layers + 1) % layers;
+        let to = next_layer + layers * rng.gen_index(per_layer);
+        instance.insert_fact(
+            g,
+            Tuple::from([Value::Int(from as i64), Value::Int(to as i64)]),
+        );
+    }
+    // Seed relations: a handful of start nodes each.
+    let mut seed_rel = |name: &str, interner: &mut Interner, rng: &mut Rng| {
+        let sym = interner.intern(name);
+        instance.ensure(sym, 1);
+        for _ in 0..1 + rng.gen_index(4) {
+            let node = rng.gen_index(nodes) as i64;
+            instance.insert_fact(sym, Tuple::from([Value::Int(node)]));
+        }
+    };
+    seed_rel("S", interner, &mut rng);
+    if text.contains("T(") {
+        seed_rel("T", interner, &mut rng);
+    }
+    (program, instance)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,18 +407,30 @@ mod tests {
         Language,
     };
 
+    /// Default knobs, except the scale digraphs are shrunk so debug
+    /// test builds stay interactive (the properties are size-free).
+    fn test_cfg() -> GrammarConfig {
+        GrammarConfig {
+            scale_edges: 256,
+            ..GrammarConfig::default()
+        }
+    }
+
     #[test]
     fn generated_programs_are_safe_for_their_campaign() {
         for campaign in Campaign::all() {
             for seed in 0..80u64 {
                 let mut i = Interner::new();
-                let (p, _) = generate(&mut i, campaign, GrammarConfig::default(), seed);
+                let (p, _) = generate(&mut i, campaign, test_cfg(), seed);
                 let allow_invention = campaign == Campaign::Invention;
                 check_range_restricted(&p, allow_invention)
                     .unwrap_or_else(|e| panic!("{campaign:?} seed {seed}: {e}"));
                 match campaign {
                     Campaign::Positive => assert_eq!(classify(&p), Language::Datalog),
-                    Campaign::Negation | Campaign::Planner | Campaign::EditScript => {
+                    Campaign::Negation
+                    | Campaign::Planner
+                    | Campaign::EditScript
+                    | Campaign::Scale => {
                         DependencyGraph::build(&p)
                             .stratify()
                             .unwrap_or_else(|e| panic!("seed {seed} not stratifiable: {e}"));
@@ -364,7 +461,7 @@ mod tests {
         for campaign in Campaign::all() {
             for seed in 0..80u64 {
                 let mut i = Interner::new();
-                let (p, _) = generate(&mut i, campaign, GrammarConfig::default(), seed);
+                let (p, _) = generate(&mut i, campaign, test_cfg(), seed);
                 let text = p.display(&i).to_string();
                 let reparsed = parse_program(&text, &mut i)
                     .unwrap_or_else(|e| panic!("{campaign:?} seed {seed}: {e}\n{text}"));

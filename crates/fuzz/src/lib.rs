@@ -166,7 +166,8 @@ USAGE:
 
 OPTIONS:
   --campaign <C>     positive (default) | negation | invention | nondet |
-                     planner | edits (incremental-session edit scripts)
+                     planner | edits (incremental-session edit scripts) |
+                     scale (10^4–10^5-fact digraphs, morsel-parallel + ivm)
   --seed <N>         master seed (default 0); same seed, same run, bit for bit
   --budget <N>       programs to generate (default 100)
   --json <PATH>      write the campaign summary (default FUZZ.json)

@@ -11,6 +11,7 @@
 //! | nondet | seeded run ×2 (determinism), poss/cert containment | — |
 //! | planner | stratified syntactic-plan vs cost-plan, cost-plan@{2,4,8}, syntactic-plan@4 | stage-count equality |
 //! | edits | incremental session vs from-scratch stratified, after every poll of a seeded edit script, @{1,4} | edb-mirror fidelity |
+//! | scale | stratified@1 vs morsel-parallel@{2,4,8} on 10^4–10^5-fact layered digraphs, plus an incremental edit-script pass@4 | stage-count equality, edb-mirror fidelity |
 //!
 //! A `Fault` injects a deliberate wrong answer into one extra matrix
 //! entry — the shrinker's self-test: with the fault enabled the oracle
@@ -170,6 +171,7 @@ pub fn check(
         Campaign::Nondet => nondet(program, &input, run_seed, fault),
         Campaign::Planner => planner(program, &input, fault),
         Campaign::EditScript => edit_script_campaign(program, &input, run_seed, fault),
+        Campaign::Scale => scale_campaign(program, &input, run_seed, fault),
     }
 }
 
@@ -305,6 +307,165 @@ fn edit_script_campaign(
         fault_leg(&mut out, &answer, fault);
     }
     out
+}
+
+/// Budgets for the scale campaign: the layered digraphs carry up to
+/// 10^5 edb facts and reachability-shaped idbs of the same order, so
+/// the fact ceiling is raised well clear of any honest run while still
+/// catching a runaway fixpoint.
+fn scale_opts(threads: usize) -> EvalOptions {
+    EvalOptions::default()
+        .with_max_stages(500)
+        .with_max_facts(2_000_000)
+        .with_threads(threads)
+}
+
+/// Scale differential: the morsel-parallel legs must be invisible at
+/// 10^4–10^5-fact size — byte-identical model *and* stage count at
+/// 2/4/8 worker threads against the sequential reference — and an
+/// incremental session driven by a seeded edit script over the large
+/// edb must agree with from-scratch evaluation after every poll.
+///
+/// This is the fuzzing face of the columnar/morsel tentpole: segment
+/// freezing, `iter_since` delta cursors, and morsel partitioning all
+/// get exercised at sizes the small-grammar campaigns never reach.
+fn scale_campaign(program: &Program, input: &Instance, run_seed: u64, fault: Fault) -> Outcome {
+    let mut out = Outcome::default();
+    out.oracle_runs += 1;
+    let Ok(reference) = stratified::eval(program, input, scale_opts(1)) else {
+        out.skipped = true;
+        return out;
+    };
+    let answer = reference.answer(program);
+
+    for threads in [2usize, 4, 8] {
+        out.oracle_runs += 1;
+        match stratified::eval(program, input, scale_opts(threads)) {
+            Ok(run) => {
+                compare(
+                    &mut out,
+                    "stratified",
+                    "morsel-parallel",
+                    &answer,
+                    &run.answer(program),
+                );
+                out.comparisons += 1;
+                if run.stages != reference.stages {
+                    out.diverge(
+                        "stratified",
+                        "morsel-parallel",
+                        format!(
+                            "stages {} at 1 thread vs {} at {threads}",
+                            reference.stages, run.stages
+                        ),
+                    );
+                }
+            }
+            Err(e) => out.diverge(
+                "stratified",
+                "morsel-parallel",
+                format!("threads={threads} failed: {e}"),
+            ),
+        }
+    }
+
+    // Incremental pass: a short edit script against the large edb,
+    // maintained at 4 threads, checked against from-scratch after
+    // every poll. Retractions of long-standing facts force the
+    // delete/rederive machinery through frozen columnar segments.
+    let script = scale_edit_script(program, input, run_seed);
+    if !script.is_empty() {
+        out.oracle_runs += 1;
+        match IncrementalSession::new(program.clone(), input, scale_opts(4)) {
+            Ok(mut session) => {
+                let mut edb = input.clone();
+                'polls: for batch in &script {
+                    for (insert, pred, tuple) in batch {
+                        let queued = if *insert {
+                            edb.insert_fact(*pred, tuple.clone());
+                            session.insert(*pred, tuple.clone())
+                        } else {
+                            edb.retract_fact(*pred, tuple);
+                            session.retract(*pred, tuple.clone())
+                        };
+                        if let Err(e) = queued {
+                            out.diverge("from-scratch", "ivm-scale", format!("edit rejected: {e}"));
+                            break 'polls;
+                        }
+                    }
+                    out.oracle_runs += 1;
+                    if let Err(e) = session.poll() {
+                        out.diverge("from-scratch", "ivm-scale", format!("poll failed: {e}"));
+                        break 'polls;
+                    }
+                    let Ok(scratch) = stratified::eval(program, &edb, scale_opts(1)) else {
+                        break 'polls;
+                    };
+                    compare(
+                        &mut out,
+                        "from-scratch",
+                        "ivm-scale",
+                        &scratch.instance,
+                        session.instance(),
+                    );
+                    compare(&mut out, "edited-edb", "ivm-scale", &edb, session.edb());
+                }
+            }
+            Err(e) => out.diverge(
+                "from-scratch",
+                "ivm-scale",
+                format!("session init failed: {e}"),
+            ),
+        }
+    }
+
+    fault_leg(&mut out, &answer, fault);
+    out
+}
+
+/// Edit script over a scale instance: two batches of inserts and
+/// retracts drawn from the instance's own active domain (the small
+/// campaigns' hard-coded universe would never hit a 10^4-node graph).
+fn scale_edit_script(program: &Program, input: &Instance, seed: u64) -> Vec<Vec<Edit>> {
+    let Ok(schema) = program.schema() else {
+        return Vec::new();
+    };
+    let mut preds: Vec<(Symbol, usize)> = program
+        .edb()
+        .into_iter()
+        .filter_map(|p| schema.arity(p).map(|a| (p, a)))
+        .collect();
+    preds.sort_unstable_by_key(|&(p, _)| p);
+    let adom = input.adom_sorted();
+    if preds.is_empty() || adom.is_empty() {
+        return Vec::new();
+    }
+    let mut rng = Rng::seeded(seed);
+    let mut mirror = input.clone();
+    let mut script = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let mut batch = Vec::new();
+        for _ in 0..1 + rng.gen_index(3) {
+            let (pred, arity) = preds[rng.gen_index(preds.len())];
+            let existing: Vec<Tuple> = mirror
+                .relation(pred)
+                .map(|r| r.sorted().iter().cloned().collect())
+                .unwrap_or_default();
+            if !existing.is_empty() && rng.gen_bool(0.5) {
+                let tuple = existing[rng.gen_index(existing.len())].clone();
+                mirror.retract_fact(pred, &tuple);
+                batch.push((false, pred, tuple));
+            } else {
+                let tuple: Tuple = (0..arity)
+                    .map(|_| adom[rng.gen_index(adom.len())])
+                    .collect();
+                mirror.insert_fact(pred, tuple.clone());
+                batch.push((true, pred, tuple));
+            }
+        }
+        script.push(batch);
+    }
+    script
 }
 
 /// Planned-vs-unplanned: the cost-based join ordering must be a pure

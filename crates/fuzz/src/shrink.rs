@@ -35,7 +35,7 @@ fn valid(campaign: Campaign, program: &Program) -> bool {
         return false;
     }
     match campaign {
-        Campaign::Negation | Campaign::Planner | Campaign::EditScript => {
+        Campaign::Negation | Campaign::Planner | Campaign::EditScript | Campaign::Scale => {
             DependencyGraph::build(program).stratify().is_ok()
         }
         Campaign::Nondet => check_positively_bound(program, false).is_ok(),

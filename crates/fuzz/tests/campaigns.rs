@@ -4,14 +4,21 @@
 use unchained_fuzz::{run_campaign, Campaign, Fault, FuzzOptions};
 
 fn options(campaign: Campaign, seed: u64, budget: usize) -> FuzzOptions {
-    FuzzOptions {
+    let mut opts = FuzzOptions {
         campaign,
         seed,
         budget,
         fault: Fault::None,
         corpus_dir: None,
         ..FuzzOptions::default()
+    };
+    // The scale campaign defaults to 10^4–10^5-fact instances for the
+    // release-build gate; debug-build tests shrink the digraphs (the
+    // differential properties are size-free, only the gate needs bulk).
+    if campaign == Campaign::Scale {
+        opts.grammar.scale_edges = 512;
     }
+    opts
 }
 
 #[test]
@@ -30,6 +37,23 @@ fn every_campaign_runs_clean_at_small_budget() {
         assert!(report.oracle_runs > 0, "oracle must actually run");
         assert!(report.comparisons >= report.oracle_runs - report.programs * 2);
     }
+}
+
+/// At the default (gate) configuration, scale-campaign instances hit
+/// the advertised 10^4-fact floor — checked on generation alone so the
+/// debug build never evaluates one.
+#[test]
+fn scale_campaign_instances_reach_ten_thousand_facts_by_default() {
+    use unchained_common::Interner;
+    use unchained_fuzz::GrammarConfig;
+    let mut i = Interner::new();
+    let (_, instance) =
+        unchained_fuzz::grammar::generate(&mut i, Campaign::Scale, GrammarConfig::default(), 1);
+    assert!(
+        instance.fact_count() >= 10_000,
+        "scale edb too small: {}",
+        instance.fact_count()
+    );
 }
 
 #[test]

@@ -88,6 +88,77 @@ pub fn random_digraph(interner: &mut Interner, name: &str, n: i64, p: f64, seed:
     instance
 }
 
+/// A random digraph given by out-degree: each of `n` nodes gets
+/// exactly `out_deg` *distinct* random successors (re-rolling
+/// collisions), so the relation holds exactly `n·out_deg` edges. This
+/// is the way to reach 10^6-fact EDBs — [`random_digraph`] flips a
+/// coin per ordered pair and is quadratic in `n`.
+pub fn random_out_digraph(
+    interner: &mut Interner,
+    name: &str,
+    n: i64,
+    out_deg: i64,
+    seed: u64,
+) -> Instance {
+    let rel = interner.intern(name);
+    let mut rng = Rng::seeded(seed);
+    let mut instance = Instance::new();
+    instance.ensure(rel, 2);
+    let out_deg = out_deg.min(n); // at most n distinct successors exist
+    for a in 0..n {
+        let mut added = 0;
+        while added < out_deg {
+            let b = rng.gen_range_i64(0, n);
+            if instance.insert_fact(rel, Tuple::from([Value::Int(a), Value::Int(b)])) {
+                added += 1;
+            }
+        }
+    }
+    instance
+}
+
+/// A random Andersen points-to input for `programs::POINTSTO`:
+/// `vars` program variables (values `0..vars`) and as many allocation
+/// sites (values `vars..2·vars`), one `AddrOf` fact per site aimed at
+/// a random variable, plus exactly `assigns`/`loads`/`stores` distinct
+/// statements over random variable pairs. Keep `assigns` below `vars`
+/// (subcritical assign graph) and the fixpoint's output stays linear
+/// in the input — the EDB size, not the closure, is the scale knob.
+/// Total EDB size is exactly `vars + assigns + loads + stores`.
+pub fn random_pointsto(
+    interner: &mut Interner,
+    vars: i64,
+    assigns: i64,
+    loads: i64,
+    stores: i64,
+    seed: u64,
+) -> Instance {
+    let addr_of = interner.intern("AddrOf");
+    let assign = interner.intern("Assign");
+    let load = interner.intern("Load");
+    let store = interner.intern("Store");
+    let mut rng = Rng::seeded(seed);
+    let mut instance = Instance::new();
+    for rel in [addr_of, assign, load, store] {
+        instance.ensure(rel, 2);
+    }
+    for o in 0..vars {
+        let v = rng.gen_range_i64(0, vars);
+        instance.insert_fact(addr_of, Tuple::from([Value::Int(v), Value::Int(vars + o)]));
+    }
+    for (rel, count) in [(assign, assigns), (load, loads), (store, stores)] {
+        let mut added = 0;
+        while added < count {
+            let a = rng.gen_range_i64(0, vars);
+            let b = rng.gen_range_i64(0, vars);
+            if instance.insert_fact(rel, Tuple::from([Value::Int(a), Value::Int(b)])) {
+                added += 1;
+            }
+        }
+    }
+    instance
+}
+
 /// A random symmetric-pair graph: `pairs` disjoint 2-cycles plus
 /// `extra` random one-way edges among `2·pairs` nodes. The workload of
 /// the orientation program (Section 5.1).
@@ -237,6 +308,38 @@ mod tests {
         assert!(a.same_facts(&b));
         let c = random_digraph(&mut i, "G", 10, 0.3, 8);
         assert!(!a.same_facts(&c) || a.fact_count() == c.fact_count());
+    }
+
+    #[test]
+    fn out_digraph_has_exact_edge_count() {
+        let mut i = Interner::new();
+        let g = random_out_digraph(&mut i, "G", 100, 4, 9);
+        assert_eq!(g.fact_count(), 400);
+        // Deterministic in the seed; a clamp to n when out_deg > n.
+        let h = random_out_digraph(&mut i, "G", 100, 4, 9);
+        assert!(g.same_facts(&h));
+        let tiny = random_out_digraph(&mut i, "G", 3, 10, 9);
+        assert_eq!(tiny.fact_count(), 9);
+    }
+
+    #[test]
+    fn pointsto_input_has_exact_fact_count() {
+        let mut i = Interner::new();
+        let inst = random_pointsto(&mut i, 50, 25, 10, 10, 3);
+        assert_eq!(inst.fact_count(), 50 + 25 + 10 + 10);
+        let again = random_pointsto(&mut i, 50, 25, 10, 10, 3);
+        assert!(inst.same_facts(&again));
+        // Allocation sites live in their own value band above the vars.
+        let addr = i.get("AddrOf").unwrap();
+        for t in inst.relation(addr).unwrap().iter() {
+            match (t[0], t[1]) {
+                (Value::Int(v), Value::Int(o)) => {
+                    assert!((0..50).contains(&v));
+                    assert!((50..100).contains(&o));
+                }
+                other => panic!("non-int point-to fact {other:?}"),
+            }
+        }
     }
 
     #[test]

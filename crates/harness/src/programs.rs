@@ -9,6 +9,27 @@ T(x,y) :- G(x,y).
 T(x,y) :- G(x,z), T(z,y).
 ";
 
+/// Single-source reachability — the unary cousin of §3.1's transitive
+/// closure. Output is bounded by the node count rather than the node
+/// count squared, so it scales linearly with the edge relation: the
+/// `scale_reach` benchmark workload runs it over 10^6-fact EDBs.
+pub const REACH: &str = "\
+R(x) :- S(x).
+R(y) :- R(x), G(x,y).
+";
+
+/// Field-insensitive Andersen-style points-to analysis: four rules
+/// over `AddrOf`/`Assign`/`Load`/`Store` statement relations, with
+/// the classic three-way joins through the `PT` IDB. The canonical
+/// "real program analysis in Datalog" shape (cf. Doop), used by the
+/// `scale_pointsto` benchmark workload.
+pub const POINTSTO: &str = "\
+PT(v,o) :- AddrOf(v,o).
+PT(v,o) :- Assign(v,w), PT(w,o).
+PT(v,o) :- Load(v,p), PT(p,q), PT(q,o).
+PT(q,o) :- Store(p,w), PT(p,q), PT(w,o).
+";
+
 /// §3.2 — complement of transitive closure (stratified Datalog¬).
 pub const CTC_STRATIFIED: &str = "\
 T(x,y) :- G(x,y).

@@ -3,7 +3,7 @@
 use crate::ast::{Assignment, LoopCondition, Stmt, WhileProgram};
 use std::fmt;
 use unchained_common::{FxHashMap, HeapSize, Instance, Relation, SpanKind, Telemetry, Value};
-use unchained_fo::{eval_formula, eval_sentence, FoError};
+use unchained_fo::{eval_formula_joined, eval_sentence, FoError};
 
 /// Supplies the choices of the witness operator `W`.
 pub trait WitnessChooser {
@@ -106,7 +106,7 @@ impl Interp<'_> {
                 formula,
                 mode,
             } => {
-                let rel = eval_formula(formula, vars, instance, &self.domain)?;
+                let rel = eval_formula_joined(formula, vars, instance, &self.domain)?;
                 // Mid-assignment, the evaluated comprehension and the
                 // instance are both live — that is the space peak.
                 if self.tel.is_enabled() {
@@ -123,7 +123,7 @@ impl Interp<'_> {
                 formula,
                 mode,
             } => {
-                let rel = eval_formula(formula, vars, instance, &self.domain)?;
+                let rel = eval_formula_joined(formula, vars, instance, &self.domain)?;
                 let chosen = if rel.is_empty() {
                     Relation::new(vars.len())
                 } else {

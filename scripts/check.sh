@@ -206,6 +206,64 @@ if [ "$(pick "$ivm_row" overdeleted)" = "0" ]; then
     exit 1
 fi
 
+# Columnar/morsel gate 1: the scale campaign runs layered digraphs of
+# 10^4–10^5 EDB facts through the sequential engine vs morsel-parallel
+# at 2/4/8 threads (model + stage-count equality) plus an incremental
+# edit-script pass. A divergence here means the columnar layout or the
+# morsel scheduler leaked into semantics at sizes the small-grammar
+# campaigns never reach.
+echo "==> fuzz smoke: scale/42/50, zero divergences"
+rm -rf target/fuzz-scale-corpus
+cargo run -q --release -p unchained-fuzz -- --campaign scale --seed 42 \
+    --budget 50 --json target/fuzz-scale.json --corpus target/fuzz-scale-corpus \
+    >/dev/null
+if ! grep -q '"divergences":0' target/fuzz-scale.json; then
+    echo "scale fuzz smoke found divergences:" >&2
+    cat target/fuzz-scale.json >&2
+    exit 1
+fi
+
+# Columnar/morsel gate 2: one full-size scale workload (Andersen
+# points-to, 4.4e5-fact EDB) through the bench harness at one timed
+# repetition. The thread-scaling rows must report byte-identical work
+# gauges (facts, stages, rules fired) — the morsel scheduler is only
+# allowed to change wall time — and the parallel wall time must stay
+# within the same order of magnitude as sequential (this container is
+# single-core, so parallel rows are legitimately slower, never faster;
+# the gate catches pathological blowups, not missing speedups).
+echo "==> bench smoke: scale_pointsto work-gauge equality seq vs parallel"
+cargo run -q --release -p unchained-bench -- --filter scale_pointsto --reps 1 \
+    --json target/bench-scale.json >/dev/null
+scale_seq=$(grep '"workload":"scale_pointsto","engine":"seminaive","threads":1' \
+    target/bench-scale.json)
+if [ -z "$scale_seq" ]; then
+    echo "scale_pointsto threads:1 row missing from bench smoke" >&2
+    exit 1
+fi
+for t in 2 4 8; do
+    scale_par=$(grep "\"workload\":\"scale_pointsto\",\"engine\":\"seminaive\",\"threads\":$t" \
+        target/bench-scale.json)
+    if [ -z "$scale_par" ]; then
+        echo "scale_pointsto threads:$t row missing from bench smoke" >&2
+        exit 1
+    fi
+    if [ "$(pick "$scale_seq" facts_derived)" != "$(pick "$scale_par" facts_derived)" ] \
+        || [ "$(pick "$scale_seq" stages)" != "$(pick "$scale_par" stages)" ] \
+        || [ "$(pick "$scale_seq" rules_fired)" != "$(pick "$scale_par" rules_fired)" ]; then
+        echo "scale_pointsto threads:$t row drifted from sequential work gauges" >&2
+        echo "  seq: $scale_seq" >&2
+        echo "  par: $scale_par" >&2
+        exit 1
+    fi
+    par_median=$(printf '%s' "$scale_par" | sed 's/.*"median":\([0-9]*\).*/\1/')
+    seq_median=$(printf '%s' "$scale_seq" | sed 's/.*"median":\([0-9]*\).*/\1/')
+    if [ "$par_median" -gt $(( seq_median * 10 + 5000000 )) ]; then
+        echo "scale_pointsto threads:$t pathologically slower than sequential" >&2
+        echo "  seq median: ${seq_median}ns, par median: ${par_median}ns" >&2
+        exit 1
+    fi
+done
+
 # Differential-fuzzer smoke: the fixed CI triple (positive/42/200) must
 # run every oracle leg with zero divergences and an empty corpus, and
 # the run must be deterministic enough to gate (same seed, same
